@@ -1,0 +1,641 @@
+//! Fuel-bounded evaluation of algebra programs.
+//!
+//! Evaluation follows §2/§4 of the paper: statements execute in order over
+//! an environment of instance-valued variables initialized from the input
+//! database; `while ⟨x;y⟩` loops run while `y` is non-empty; the program's
+//! answer is the final value of `ANS`. If `undefine` fires on an empty
+//! instance the whole query is `?` ([`EvalError::Undefined`]); a loop
+//! exceeding the configured fuel reports [`EvalError::FuelExhausted`] — the
+//! finite stand-in for the paper's non-termination-is-`?` convention (see
+//! DESIGN.md §5).
+
+use crate::expr::{Expr, Pred};
+use crate::program::{Program, Stmt, ANS};
+use std::collections::{BTreeSet, HashMap};
+use uset_object::{Database, Instance, Value};
+
+/// Evaluation limits.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Maximum number of statements executed (loop iterations multiply).
+    pub fuel: u64,
+    /// Maximum number of members in any intermediate instance (powerset and
+    /// product can explode; this converts explosions into clean errors).
+    pub max_instance_len: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            fuel: 1_000_000,
+            max_instance_len: 1_000_000,
+        }
+    }
+}
+
+/// Evaluation failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The paper's `?`: `undefine` fired on an empty instance.
+    Undefined,
+    /// The fuel bound was hit (observed stand-in for non-termination).
+    FuelExhausted,
+    /// An intermediate instance exceeded the size bound.
+    InstanceTooLarge { var: String, len: usize },
+    /// A variable was read before being assigned.
+    Unbound(String),
+    /// The program never assigned `ANS`.
+    NoAnswer,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Undefined => write!(f, "query evaluated to the undefined value '?'"),
+            EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted (possible divergence)"),
+            EvalError::InstanceTooLarge { var, len } => {
+                write!(f, "intermediate {var} grew to {len} members, over the bound")
+            }
+            EvalError::Unbound(v) => write!(f, "variable {v} read before assignment"),
+            EvalError::NoAnswer => write!(f, "program did not assign ANS"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Result alias for evaluation.
+pub type EvalResult<T> = Result<T, EvalError>;
+
+struct Evaluator {
+    env: HashMap<String, Instance>,
+    fuel: u64,
+    max_len: usize,
+}
+
+impl Evaluator {
+    fn spend(&mut self) -> EvalResult<()> {
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn run_stmts(&mut self, stmts: &[Stmt]) -> EvalResult<()> {
+        for s in stmts {
+            self.spend()?;
+            match s {
+                Stmt::Assign(var, expr) => {
+                    let v = self.eval_expr(expr)?;
+                    if v.len() > self.max_len {
+                        return Err(EvalError::InstanceTooLarge {
+                            var: var.clone(),
+                            len: v.len(),
+                        });
+                    }
+                    self.env.insert(var.clone(), v);
+                }
+                Stmt::While {
+                    out,
+                    result,
+                    cond,
+                    body,
+                } => {
+                    loop {
+                        let c = self.lookup(cond)?;
+                        if c.is_empty() {
+                            break;
+                        }
+                        self.spend()?;
+                        self.run_stmts(body)?;
+                    }
+                    let r = self.lookup(result)?.clone();
+                    self.env.insert(out.clone(), r);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, var: &str) -> EvalResult<&Instance> {
+        self.env
+            .get(var)
+            .ok_or_else(|| EvalError::Unbound(var.to_owned()))
+    }
+
+    fn eval_expr(&self, expr: &Expr) -> EvalResult<Instance> {
+        let out = match expr {
+            Expr::Var(v) => self.lookup(v)?.clone(),
+            Expr::Const(i) => i.clone(),
+            Expr::Union(a, b) => self.eval_expr(a)?.union(&self.eval_expr(b)?),
+            Expr::Diff(a, b) => self.eval_expr(a)?.difference(&self.eval_expr(b)?),
+            Expr::Intersect(a, b) => self.eval_expr(a)?.intersection(&self.eval_expr(b)?),
+            Expr::Product(a, b) => product(&self.eval_expr(a)?, &self.eval_expr(b)?),
+            Expr::Select(e, p) => select(&self.eval_expr(e)?, p),
+            Expr::Project(e, cols) => project(&self.eval_expr(e)?, cols),
+            Expr::Nest(e, cols) => nest(&self.eval_expr(e)?, cols),
+            Expr::Unnest(e, col) => unnest(&self.eval_expr(e)?, *col),
+            Expr::Powerset(e) => {
+                let inst = self.eval_expr(e)?;
+                if inst.len() >= usize::BITS as usize
+                    || (1usize << inst.len()) > self.max_len
+                {
+                    return Err(EvalError::InstanceTooLarge {
+                        var: "powerset".to_owned(),
+                        len: inst.len(),
+                    });
+                }
+                powerset(&inst)
+            }
+            Expr::SetCollapse(e) => set_collapse(&self.eval_expr(e)?),
+            Expr::Singleton(e) => {
+                Instance::from_values([self.eval_expr(e)?.to_set_value()])
+            }
+            Expr::Wrap(e) => wrap(&self.eval_expr(e)?),
+            Expr::Unwrap(e) => unwrap_tuples(&self.eval_expr(e)?),
+            Expr::Undefine(e) => {
+                let inst = self.eval_expr(e)?;
+                if inst.is_empty() {
+                    return Err(EvalError::Undefined);
+                }
+                inst
+            }
+        };
+        if out.len() > self.max_len {
+            return Err(EvalError::InstanceTooLarge {
+                var: "<expr>".to_owned(),
+                len: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Coerce a member to tuple components (non-tuples act as 1-tuples).
+fn components(v: &Value) -> Vec<Value> {
+    match v {
+        Value::Tuple(items) => items.clone(),
+        other => vec![other.clone()],
+    }
+}
+
+/// Cartesian product with tuple concatenation.
+pub fn product(a: &Instance, b: &Instance) -> Instance {
+    let mut out = Instance::empty();
+    for x in a.iter() {
+        let xs = components(x);
+        for y in b.iter() {
+            let mut row = xs.clone();
+            row.extend(components(y));
+            out.insert(Value::Tuple(row));
+        }
+    }
+    out
+}
+
+/// Selection; members where the predicate is inapplicable are dropped.
+pub fn select(inst: &Instance, pred: &Pred) -> Instance {
+    inst.iter()
+        .filter(|m| pred.eval(m) == Some(true))
+        .cloned()
+        .collect()
+}
+
+/// Projection; wrong-shape members are dropped. One column yields bare
+/// values; several yield tuples.
+pub fn project(inst: &Instance, cols: &[usize]) -> Instance {
+    let mut out = Instance::empty();
+    'member: for m in inst.iter() {
+        let mut picked = Vec::with_capacity(cols.len());
+        for &c in cols {
+            match m.project(c) {
+                Some(v) => picked.push(v.clone()),
+                None => continue 'member,
+            }
+        }
+        let v = if picked.len() == 1 {
+            picked.pop().expect("picked is non-empty")
+        } else {
+            Value::Tuple(picked)
+        };
+        out.insert(v);
+    }
+    out
+}
+
+/// Nest ν: group by the complement of `cols`; the grouped columns become a
+/// set appended after the grouping columns. Wrong-shape members dropped.
+pub fn nest(inst: &Instance, cols: &[usize]) -> Instance {
+    use std::collections::BTreeMap;
+    let nested: BTreeSet<usize> = cols.iter().copied().collect();
+    let mut groups: BTreeMap<Vec<Value>, BTreeSet<Value>> = BTreeMap::new();
+    for m in inst.iter() {
+        let Some(items) = m.as_tuple() else { continue };
+        if cols.iter().any(|&c| c >= items.len()) {
+            continue;
+        }
+        let key: Vec<Value> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !nested.contains(i))
+            .map(|(_, v)| v.clone())
+            .collect();
+        let sub: Vec<Value> = cols.iter().map(|&c| items[c].clone()).collect();
+        let sub_val = if sub.len() == 1 {
+            sub.into_iter().next().expect("one nested column")
+        } else {
+            Value::Tuple(sub)
+        };
+        groups.entry(key).or_default().insert(sub_val);
+    }
+    let mut out = Instance::empty();
+    for (key, members) in groups {
+        let mut row = key;
+        row.push(Value::Set(members));
+        out.insert(Value::Tuple(row));
+    }
+    out
+}
+
+/// Unnest μ on column `col`: splice each set member (coerced to tuple) in
+/// place of the set. Members whose `col` is not a set are dropped.
+pub fn unnest(inst: &Instance, col: usize) -> Instance {
+    let mut out = Instance::empty();
+    for m in inst.iter() {
+        let Some(items) = m.as_tuple() else { continue };
+        let Some(set) = items.get(col).and_then(Value::as_set) else {
+            continue;
+        };
+        for member in set {
+            let mut row: Vec<Value> = Vec::with_capacity(items.len() + 1);
+            row.extend(items[..col].iter().cloned());
+            row.extend(components(member));
+            row.extend(items[col + 1..].iter().cloned());
+            out.insert(Value::Tuple(row));
+        }
+    }
+    out
+}
+
+/// Powerset of the instance, as set objects.
+pub fn powerset(inst: &Instance) -> Instance {
+    let members: Vec<Value> = inst.iter().cloned().collect();
+    uset_object::cons::powerset(&members).into_iter().collect()
+}
+
+/// Remove one set level: union of all set-shaped members.
+pub fn set_collapse(inst: &Instance) -> Instance {
+    let mut out = Instance::empty();
+    for m in inst.iter() {
+        if let Some(s) = m.as_set() {
+            for v in s {
+                out.insert(v.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Wrap each member as a 1-tuple.
+pub fn wrap(inst: &Instance) -> Instance {
+    inst.iter()
+        .map(|v| Value::Tuple(vec![v.clone()]))
+        .collect()
+}
+
+/// Unwrap 1-tuples; other members dropped.
+pub fn unwrap_tuples(inst: &Instance) -> Instance {
+    inst.iter()
+        .filter_map(|v| match v {
+            Value::Tuple(items) if items.len() == 1 => Some(items[0].clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Evaluate a program on a database. Input relations enter the environment
+/// under their database names; the answer is the final value of `ANS`.
+pub fn eval_program(
+    prog: &Program,
+    db: &Database,
+    config: &EvalConfig,
+) -> EvalResult<Instance> {
+    let mut ev = Evaluator {
+        env: db
+            .iter()
+            .map(|(n, i)| (n.to_owned(), i.clone()))
+            .collect(),
+        fuel: config.fuel,
+        max_len: config.max_instance_len,
+    };
+    ev.run_stmts(&prog.stmts)?;
+    ev.env.remove(ANS).ok_or(EvalError::NoAnswer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Operand;
+    use uset_object::{atom, set, tuple};
+
+    fn db_r(rows: Vec<Vec<Value>>) -> Database {
+        let mut db = Database::empty();
+        db.set("R", Instance::from_rows(rows));
+        db
+    }
+
+    fn run(prog: Program, db: &Database) -> EvalResult<Instance> {
+        eval_program(&prog, db, &EvalConfig::default())
+    }
+
+    #[test]
+    fn identity_query() {
+        let db = db_r(vec![vec![atom(1), atom(2)]]);
+        let prog = Program::new(vec![Stmt::assign(ANS, Expr::var("R"))]);
+        assert_eq!(run(prog, &db).unwrap(), db.get("R"));
+    }
+
+    #[test]
+    fn product_concatenates_tuples() {
+        let a = Instance::from_rows([[atom(1), atom(2)]]);
+        let b = Instance::from_rows([[atom(3)]]);
+        let p = product(&a, &b);
+        assert_eq!(
+            p,
+            Instance::from_values([tuple([atom(1), atom(2), atom(3)])])
+        );
+        // bare values act as 1-tuples
+        let bare = Instance::from_values([atom(9)]);
+        let p2 = product(&bare, &bare);
+        assert_eq!(p2, Instance::from_values([tuple([atom(9), atom(9)])]));
+    }
+
+    #[test]
+    fn select_skips_wrong_shapes() {
+        let het = Instance::from_values([
+            tuple([atom(1), atom(1)]),
+            tuple([atom(1), atom(2)]),
+            atom(7), // not a tuple: skipped, not an error
+        ]);
+        let sel = select(&het, &Pred::eq_cols(0, 1));
+        assert_eq!(sel, Instance::from_values([tuple([atom(1), atom(1)])]));
+    }
+
+    #[test]
+    fn project_single_column_is_bare() {
+        let inst = Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(4)]]);
+        assert_eq!(
+            project(&inst, &[0]),
+            Instance::from_values([atom(1), atom(3)])
+        );
+        assert_eq!(
+            project(&inst, &[1, 0]),
+            Instance::from_values([tuple([atom(2), atom(1)]), tuple([atom(4), atom(3)])])
+        );
+    }
+
+    #[test]
+    fn nest_unnest_roundtrip_modulo_column_order() {
+        let inst = Instance::from_rows([
+            [atom(1), atom(10)],
+            [atom(1), atom(11)],
+            [atom(2), atom(20)],
+        ]);
+        let nested = nest(&inst, &[1]);
+        assert_eq!(
+            nested,
+            Instance::from_values([
+                tuple([atom(1), set([atom(10), atom(11)])]),
+                tuple([atom(2), set([atom(20)])]),
+            ])
+        );
+        let flat = unnest(&nested, 1);
+        assert_eq!(flat, inst);
+    }
+
+    #[test]
+    fn nest_multiple_columns_makes_tuples() {
+        let inst = Instance::from_rows([[atom(1), atom(2), atom(3)]]);
+        let nested = nest(&inst, &[1, 2]);
+        assert_eq!(
+            nested,
+            Instance::from_values([tuple([atom(1), set([tuple([atom(2), atom(3)])])])])
+        );
+    }
+
+    #[test]
+    fn powerset_and_collapse() {
+        let inst = Instance::from_values([atom(1), atom(2)]);
+        let pow = powerset(&inst);
+        assert_eq!(pow.len(), 4);
+        assert!(pow.contains(&Value::empty_set()));
+        assert!(pow.contains(&set([atom(1), atom(2)])));
+        // collapse of the powerset recovers the original members
+        assert_eq!(set_collapse(&pow), inst);
+    }
+
+    #[test]
+    fn wrap_unwrap_inverse() {
+        let inst = Instance::from_values([atom(1), set([atom(2)])]);
+        assert_eq!(unwrap_tuples(&wrap(&inst)), inst);
+        // unwrap drops non-1-tuples
+        let mixed = Instance::from_values([tuple([atom(1)]), tuple([atom(1), atom(2)]), atom(3)]);
+        assert_eq!(unwrap_tuples(&mixed), Instance::from_values([atom(1)]));
+    }
+
+    #[test]
+    fn undefine_produces_undefined() {
+        let db = db_r(vec![]);
+        let prog = Program::new(vec![Stmt::assign(ANS, Expr::var("R").undefine())]);
+        assert_eq!(run(prog, &db), Err(EvalError::Undefined));
+
+        let db2 = db_r(vec![vec![atom(1), atom(2)]]);
+        let prog2 = Program::new(vec![Stmt::assign(ANS, Expr::var("R").undefine())]);
+        assert!(run(prog2, &db2).is_ok());
+    }
+
+    #[test]
+    fn while_loop_drains_condition() {
+        // drain R one "round" by emptying y immediately; z gets x
+        let db = db_r(vec![vec![atom(1), atom(2)]]);
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign("y", Expr::var("R")),
+            Stmt::while_loop(
+                "z",
+                "x",
+                "y",
+                vec![
+                    Stmt::assign("x", Expr::var("x").union(Expr::var("x"))),
+                    Stmt::assign("y", Expr::var("y").diff(Expr::var("y"))),
+                ],
+            ),
+            Stmt::assign(ANS, Expr::var("z")),
+        ]);
+        assert_eq!(run(prog, &db).unwrap(), db.get("R"));
+    }
+
+    #[test]
+    fn while_zero_iterations() {
+        let db = db_r(vec![vec![atom(1), atom(2)]]);
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign("empty", Expr::var("R").diff(Expr::var("R"))),
+            Stmt::while_loop("z", "x", "empty", vec![Stmt::assign("x", Expr::var("empty"))]),
+            Stmt::assign(ANS, Expr::var("z")),
+        ]);
+        // body never runs, so z = x = R
+        assert_eq!(run(prog, &db).unwrap(), db.get("R"));
+    }
+
+    #[test]
+    fn divergent_while_hits_fuel() {
+        let db = db_r(vec![vec![atom(1), atom(2)]]);
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::while_loop(
+                "z",
+                "x",
+                "x",
+                vec![Stmt::assign("x", Expr::var("x"))], // never empties
+            ),
+            Stmt::assign(ANS, Expr::var("z")),
+        ]);
+        let cfg = EvalConfig {
+            fuel: 1000,
+            ..EvalConfig::default()
+        };
+        assert_eq!(eval_program(&prog, &db, &cfg), Err(EvalError::FuelExhausted));
+    }
+
+    #[test]
+    fn unbound_variable_detected() {
+        let db = db_r(vec![]);
+        let prog = Program::new(vec![Stmt::assign(ANS, Expr::var("nope"))]);
+        assert_eq!(run(prog, &db), Err(EvalError::Unbound("nope".to_owned())));
+    }
+
+    #[test]
+    fn missing_ans_detected() {
+        let db = db_r(vec![]);
+        let prog = Program::new(vec![Stmt::assign("x", Expr::var("R"))]);
+        assert_eq!(run(prog, &db), Err(EvalError::NoAnswer));
+    }
+
+    #[test]
+    fn powerset_size_guard() {
+        let big: Vec<Vec<Value>> = (0..40).map(|i| vec![atom(i), atom(i)]).collect();
+        let db = db_r(big);
+        let prog = Program::new(vec![Stmt::assign(ANS, Expr::var("R").powerset())]);
+        let cfg = EvalConfig {
+            max_instance_len: 1 << 16,
+            ..EvalConfig::default()
+        };
+        assert!(matches!(
+            eval_program(&prog, &db, &cfg),
+            Err(EvalError::InstanceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn nest_skips_out_of_range_columns_and_non_tuples() {
+        let het = Instance::from_values([
+            tuple([atom(1), atom(2)]),
+            tuple([atom(9)]), // too short for col 1
+            atom(7),          // not a tuple
+        ]);
+        let out = nest(&het, &[1]);
+        assert_eq!(
+            out,
+            Instance::from_values([tuple([atom(1), set([atom(2)])])])
+        );
+    }
+
+    #[test]
+    fn unnest_skips_non_set_columns() {
+        let inst = Instance::from_values([
+            tuple([atom(1), set([atom(2)])]),
+            tuple([atom(3), atom(4)]), // col 1 not a set
+            atom(5),
+        ]);
+        assert_eq!(
+            unnest(&inst, 1),
+            Instance::from_values([tuple([atom(1), atom(2)])])
+        );
+        // unnesting an empty set drops the member entirely
+        let empty_set_member = Instance::from_values([tuple([atom(1), Value::empty_set()])]);
+        assert_eq!(unnest(&empty_set_member, 1), Instance::empty());
+    }
+
+    #[test]
+    fn singleton_of_empty_is_the_empty_set_object() {
+        let db = db_r(vec![]);
+        let prog = Program::new(vec![Stmt::assign(ANS, Expr::var("R").singleton())]);
+        assert_eq!(
+            run(prog, &db).unwrap(),
+            Instance::from_values([Value::empty_set()])
+        );
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let a = Instance::from_rows([[atom(1)]]);
+        assert_eq!(product(&a, &Instance::empty()), Instance::empty());
+        assert_eq!(product(&Instance::empty(), &a), Instance::empty());
+    }
+
+    #[test]
+    fn set_collapse_ignores_non_sets() {
+        let mixed = Instance::from_values([
+            set([atom(1), atom(2)]),
+            atom(3),
+            tuple([atom(4)]),
+            set([tuple([atom(5), atom(6)])]),
+        ]);
+        assert_eq!(
+            set_collapse(&mixed),
+            Instance::from_values([atom(1), atom(2), tuple([atom(5), atom(6)])])
+        );
+    }
+
+    #[test]
+    fn project_repeated_columns_duplicates() {
+        let inst = Instance::from_rows([[atom(1), atom(2)]]);
+        assert_eq!(
+            project(&inst, &[0, 0, 1]),
+            Instance::from_values([tuple([atom(1), atom(1), atom(2)])])
+        );
+    }
+
+    #[test]
+    fn while_out_variable_assigned_even_after_zero_runs() {
+        // z is the *only* handle on x per the paper's syntax
+        let db = db_r(vec![vec![atom(1), atom(2)]]);
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign("none", Expr::var("R").diff(Expr::var("R"))),
+            Stmt::while_loop("z", "x", "none", vec![Stmt::assign("x", Expr::var("none"))]),
+            Stmt::assign(ANS, Expr::var("z").union(Expr::var("z"))),
+        ]);
+        assert_eq!(run(prog, &db).unwrap(), db.get("R"));
+    }
+
+    #[test]
+    fn membership_select_on_nested_data() {
+        // pairs [v, S] where v ∈ S
+        let inst = Instance::from_values([
+            tuple([atom(1), set([atom(1), atom(2)])]),
+            tuple([atom(3), set([atom(1), atom(2)])]),
+        ]);
+        let mut db = Database::empty();
+        db.set("R", inst);
+        let prog = Program::new(vec![Stmt::assign(
+            ANS,
+            Expr::var("R").select(Pred::Member(Operand::Col(0), Operand::Col(1))),
+        )]);
+        let out = run(prog, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple([atom(1), set([atom(1), atom(2)])])));
+    }
+}

@@ -1,0 +1,447 @@
+//! Algebra expressions, selection predicates, and operands.
+//!
+//! An [`Expr`] denotes an instance-valued operation over the variables in
+//! scope. Operators follow Abiteboul–Beeri/Kuper–Vardi complex-object
+//! algebra conventions, with the paper's §4 relaxation: on heterogeneous
+//! instances, shape-sensitive operators skip members of the wrong shape.
+
+use std::fmt;
+use uset_object::{Instance, Value};
+
+/// An instance-valued algebra expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A program variable (or input relation name).
+    Var(String),
+    /// A constant instance (embeds the query's constants `C`).
+    Const(Instance),
+    /// Set union. In relaxed mode the operands may have different rtypes —
+    /// "we permit the formation of unions of instances of different rtypes".
+    Union(Box<Expr>, Box<Expr>),
+    /// Set difference.
+    Diff(Box<Expr>, Box<Expr>),
+    /// Set intersection.
+    Intersect(Box<Expr>, Box<Expr>),
+    /// Cartesian product: members are coerced to tuples (a non-tuple `v`
+    /// acts as `[v]`) and concatenated pairwise.
+    Product(Box<Expr>, Box<Expr>),
+    /// Selection by predicate; members on which the predicate is
+    /// inapplicable (wrong shape) are dropped.
+    Select(Box<Expr>, Pred),
+    /// Projection onto columns (0-based); non-tuples and too-short tuples
+    /// are dropped. Projecting a single column yields *bare* values;
+    /// multiple columns yield tuples.
+    Project(Box<Expr>, Vec<usize>),
+    /// Nest ν: group members by the columns *not* listed; each group emits
+    /// one tuple of the grouping columns (in order) followed by one set
+    /// containing the nested-column sub-tuples (bare values if one column).
+    Nest(Box<Expr>, Vec<usize>),
+    /// Unnest μ on a set-valued column: splice each member of that set
+    /// (coerced to a tuple) in place of the column.
+    Unnest(Box<Expr>, usize),
+    /// Powerset: all subsets of the instance, as set objects.
+    Powerset(Box<Expr>),
+    /// Set-collapse: the union of all set-shaped members (one nesting level
+    /// removed); non-set members are dropped.
+    SetCollapse(Box<Expr>),
+    /// Singleton: the one-member instance containing the operand instance
+    /// as a single set object.
+    Singleton(Box<Expr>),
+    /// Wrap each member `v` as the 1-tuple `[v]`.
+    Wrap(Box<Expr>),
+    /// Unwrap 1-tuples `[v]` to `v`; other members are dropped.
+    Unwrap(Box<Expr>),
+    /// The paper's `undefine`: `?` if the operand is empty, the operand
+    /// otherwise.
+    Undefine(Box<Expr>),
+}
+
+impl Expr {
+    /// Variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Constant instance.
+    pub fn constant(inst: Instance) -> Expr {
+        Expr::Const(inst)
+    }
+
+    /// Constant single-value instance.
+    pub fn const_value(v: Value) -> Expr {
+        Expr::Const(Instance::from_values([v]))
+    }
+
+    /// `self ∪ other`
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self − other`
+    pub fn diff(self, other: Expr) -> Expr {
+        Expr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∩ other`
+    pub fn intersect(self, other: Expr) -> Expr {
+        Expr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// `self × other`
+    pub fn product(self, other: Expr) -> Expr {
+        Expr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `σ_pred(self)`
+    pub fn select(self, pred: Pred) -> Expr {
+        Expr::Select(Box::new(self), pred)
+    }
+
+    /// `π_cols(self)`
+    pub fn project(self, cols: impl IntoIterator<Item = usize>) -> Expr {
+        Expr::Project(Box::new(self), cols.into_iter().collect())
+    }
+
+    /// `ν_cols(self)`
+    pub fn nest(self, cols: impl IntoIterator<Item = usize>) -> Expr {
+        Expr::Nest(Box::new(self), cols.into_iter().collect())
+    }
+
+    /// `μ_col(self)`
+    pub fn unnest(self, col: usize) -> Expr {
+        Expr::Unnest(Box::new(self), col)
+    }
+
+    /// `powerset(self)`
+    pub fn powerset(self) -> Expr {
+        Expr::Powerset(Box::new(self))
+    }
+
+    /// `collapse(self)` — one set level removed.
+    pub fn set_collapse(self) -> Expr {
+        Expr::SetCollapse(Box::new(self))
+    }
+
+    /// `{self}` as a single object.
+    pub fn singleton(self) -> Expr {
+        Expr::Singleton(Box::new(self))
+    }
+
+    /// Wrap members as 1-tuples.
+    pub fn wrap(self) -> Expr {
+        Expr::Wrap(Box::new(self))
+    }
+
+    /// Unwrap 1-tuples.
+    pub fn unwrap_tuples(self) -> Expr {
+        Expr::Unwrap(Box::new(self))
+    }
+
+    /// `undefine(self)`.
+    pub fn undefine(self) -> Expr {
+        Expr::Undefine(Box::new(self))
+    }
+
+    /// Whether the expression (recursively) uses `Powerset` — Theorem 4.1(b)
+    /// distinguishes ALG+while from ALG+while−powerset.
+    pub fn uses_powerset(&self) -> bool {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => false,
+            Expr::Powerset(_) => true,
+            Expr::Union(a, b)
+            | Expr::Diff(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Product(a, b) => a.uses_powerset() || b.uses_powerset(),
+            Expr::Select(e, _)
+            | Expr::Project(e, _)
+            | Expr::Nest(e, _)
+            | Expr::Unnest(e, _)
+            | Expr::SetCollapse(e)
+            | Expr::Singleton(e)
+            | Expr::Wrap(e)
+            | Expr::Unwrap(e)
+            | Expr::Undefine(e) => e.uses_powerset(),
+        }
+    }
+
+    /// Variables read by this expression, appended to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Const(_) => {}
+            Expr::Union(a, b)
+            | Expr::Diff(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Product(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Select(e, _)
+            | Expr::Project(e, _)
+            | Expr::Nest(e, _)
+            | Expr::Unnest(e, _)
+            | Expr::SetCollapse(e)
+            | Expr::Singleton(e)
+            | Expr::Wrap(e)
+            | Expr::Unwrap(e)
+            | Expr::Undefine(e)
+            | Expr::Powerset(e) => e.collect_vars(out),
+        }
+    }
+}
+
+/// An operand inside a selection predicate, evaluated relative to the
+/// current member object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// The member itself.
+    Whole,
+    /// The `i`-th component (0-based) of the member (member must be a tuple
+    /// of sufficient arity, else the predicate is inapplicable).
+    Col(usize),
+    /// A nested component path, e.g. `[1, 0]` = first component of second
+    /// component.
+    Path(Vec<usize>),
+    /// A constant object.
+    Lit(Value),
+    /// A tuple built from sub-operands, e.g. `Tup([Col(0), Col(3)])` builds
+    /// `[m.0, m.3]` — the tuple-construction facility of the complex-object
+    /// algebra, needed to phrase conditions like `[x, z] ∈ S`.
+    Tup(Vec<Operand>),
+}
+
+impl Operand {
+    /// Resolve against a member; `None` if the shape does not fit.
+    pub fn resolve(&self, member: &Value) -> Option<Value> {
+        match self {
+            Operand::Whole => Some(member.clone()),
+            Operand::Col(i) => member.project(*i).cloned(),
+            Operand::Path(path) => {
+                let mut cur = member;
+                for &i in path {
+                    cur = cur.project(i)?;
+                }
+                Some(cur.clone())
+            }
+            Operand::Lit(v) => Some(v.clone()),
+            Operand::Tup(parts) => Some(Value::Tuple(
+                parts
+                    .iter()
+                    .map(|p| p.resolve(member))
+                    .collect::<Option<Vec<_>>>()?,
+            )),
+        }
+    }
+}
+
+/// Selection predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pred {
+    /// Equality of two operands.
+    Eq(Operand, Operand),
+    /// Membership `left ∈ right` (right must resolve to a set).
+    Member(Operand, Operand),
+    /// Subset `left ⊆ right` (both must resolve to sets).
+    Subset(Operand, Operand),
+    /// Operand resolves to a set (shape test).
+    IsSet(Operand),
+    /// Operand resolves to an atom (shape test).
+    IsAtom(Operand),
+    /// Operand resolves to a tuple of exactly the given arity.
+    IsTuple(Operand, usize),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Always true (useful in generated code).
+    True,
+}
+
+impl Pred {
+    /// `left = right` on columns.
+    pub fn eq_cols(i: usize, j: usize) -> Pred {
+        Pred::Eq(Operand::Col(i), Operand::Col(j))
+    }
+
+    /// `col = literal`.
+    pub fn eq_const(i: usize, v: Value) -> Pred {
+        Pred::Eq(Operand::Col(i), Operand::Lit(v))
+    }
+
+    /// `left ∈ right` on columns.
+    pub fn member_cols(i: usize, j: usize) -> Pred {
+        Pred::Member(Operand::Col(i), Operand::Col(j))
+    }
+
+    /// Negation.
+    pub fn not(self) -> Pred {
+        Pred::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Pred) -> Pred {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Pred) -> Pred {
+        Pred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a member. `None` means "inapplicable" (wrong shape):
+    /// the member is skipped by selection, per the paper's §4 convention.
+    pub fn eval(&self, member: &Value) -> Option<bool> {
+        match self {
+            Pred::True => Some(true),
+            Pred::Eq(a, b) => Some(a.resolve(member)? == b.resolve(member)?),
+            Pred::Member(a, b) => {
+                let x = a.resolve(member)?;
+                let bv = b.resolve(member)?;
+                let s = bv.as_set()?;
+                Some(s.contains(&x))
+            }
+            Pred::Subset(a, b) => {
+                let av = a.resolve(member)?;
+                let bv = b.resolve(member)?;
+                let x = av.as_set()?;
+                let y = bv.as_set()?;
+                Some(x.is_subset(y))
+            }
+            Pred::IsSet(a) => Some(a.resolve(member)?.is_set()),
+            Pred::IsAtom(a) => Some(a.resolve(member)?.is_atom()),
+            Pred::IsTuple(a, n) => {
+                Some(a.resolve(member)?.as_tuple().map(<[Value]>::len) == Some(*n))
+            }
+            Pred::Not(p) => p.eval(member).map(|b| !b),
+            Pred::And(p, q) => match (p.eval(member), q.eval(member)) {
+                (Some(a), Some(b)) => Some(a && b),
+                _ => None,
+            },
+            Pred::Or(p, q) => match (p.eval(member), q.eval(member)) {
+                (Some(a), Some(b)) => Some(a || b),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(i) => write!(f, "const{i}"),
+            Expr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            Expr::Diff(a, b) => write!(f, "({a} − {b})"),
+            Expr::Intersect(a, b) => write!(f, "({a} ∩ {b})"),
+            Expr::Product(a, b) => write!(f, "({a} × {b})"),
+            Expr::Select(e, p) => write!(f, "σ[{p:?}]({e})"),
+            Expr::Project(e, cols) => write!(f, "π{cols:?}({e})"),
+            Expr::Nest(e, cols) => write!(f, "ν{cols:?}({e})"),
+            Expr::Unnest(e, col) => write!(f, "μ[{col}]({e})"),
+            Expr::Powerset(e) => write!(f, "powerset({e})"),
+            Expr::SetCollapse(e) => write!(f, "collapse({e})"),
+            Expr::Singleton(e) => write!(f, "singleton({e})"),
+            Expr::Wrap(e) => write!(f, "wrap({e})"),
+            Expr::Unwrap(e) => write!(f, "unwrap({e})"),
+            Expr::Undefine(e) => write!(f, "undefine({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_object::{atom, set, tuple};
+
+    #[test]
+    fn operand_resolution() {
+        let m = tuple([atom(1), tuple([atom(2), atom(3)])]);
+        assert_eq!(Operand::Whole.resolve(&m), Some(m.clone()));
+        assert_eq!(Operand::Col(0).resolve(&m), Some(atom(1)));
+        assert_eq!(Operand::Col(5).resolve(&m), None);
+        assert_eq!(Operand::Path(vec![1, 1]).resolve(&m), Some(atom(3)));
+        assert_eq!(Operand::Path(vec![0, 0]).resolve(&m), None);
+        assert_eq!(Operand::Lit(atom(9)).resolve(&m), Some(atom(9)));
+        assert_eq!(
+            Operand::Tup(vec![Operand::Col(0), Operand::Path(vec![1, 0])]).resolve(&m),
+            Some(tuple([atom(1), atom(2)]))
+        );
+        assert_eq!(
+            Operand::Tup(vec![Operand::Col(9)]).resolve(&m),
+            None
+        );
+    }
+
+    #[test]
+    fn predicate_eval_with_inapplicability() {
+        let row = tuple([atom(1), atom(1)]);
+        assert_eq!(Pred::eq_cols(0, 1).eval(&row), Some(true));
+        assert_eq!(Pred::eq_cols(0, 2).eval(&row), None); // no col 2
+        assert_eq!(Pred::eq_cols(0, 1).eval(&atom(3)), None); // not a tuple
+        assert_eq!(Pred::True.eval(&atom(3)), Some(true));
+    }
+
+    #[test]
+    fn membership_and_subset() {
+        let row = tuple([atom(1), set([atom(1), atom(2)]), set([atom(1)])]);
+        assert_eq!(Pred::member_cols(0, 1).eval(&row), Some(true));
+        assert_eq!(
+            Pred::Member(Operand::Col(0), Operand::Col(0)).eval(&row),
+            None // col0 is not a set
+        );
+        assert_eq!(
+            Pred::Subset(Operand::Col(2), Operand::Col(1)).eval(&row),
+            Some(true)
+        );
+        assert_eq!(
+            Pred::Subset(Operand::Col(1), Operand::Col(2)).eval(&row),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn boolean_connectives_propagate_inapplicability() {
+        let row = tuple([atom(1)]);
+        let bad = Pred::eq_cols(0, 5);
+        let good = Pred::eq_const(0, atom(1));
+        assert_eq!(good.clone().and(bad.clone()).eval(&row), None);
+        assert_eq!(good.clone().or(bad.clone()).eval(&row), None);
+        assert_eq!(bad.not().eval(&row), None);
+        assert_eq!(good.clone().and(good.clone()).eval(&row), Some(true));
+        assert_eq!(good.clone().not().eval(&row), Some(false));
+    }
+
+    #[test]
+    fn shape_tests() {
+        assert_eq!(Pred::IsAtom(Operand::Whole).eval(&atom(1)), Some(true));
+        assert_eq!(Pred::IsSet(Operand::Whole).eval(&atom(1)), Some(false));
+        assert_eq!(
+            Pred::IsTuple(Operand::Whole, 2).eval(&tuple([atom(1), atom(2)])),
+            Some(true)
+        );
+        assert_eq!(
+            Pred::IsTuple(Operand::Whole, 3).eval(&tuple([atom(1), atom(2)])),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn uses_powerset_detection() {
+        let e = Expr::var("R").union(Expr::var("S").powerset());
+        assert!(e.uses_powerset());
+        let e2 = Expr::var("R").product(Expr::var("S")).select(Pred::True);
+        assert!(!e2.uses_powerset());
+    }
+
+    #[test]
+    fn collect_vars() {
+        let e = Expr::var("R")
+            .union(Expr::var("S"))
+            .product(Expr::var("R"));
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["R", "S", "R"]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Program optimization: algebraic simplification and dead-assignment
+//! elimination.
+//!
+//! The compilers in `uset-core` generate mechanical code (gated unions
+//! with empty constants, copies of copies); this pass cleans such programs
+//! up without changing their meaning:
+//!
+//! * **simplify** — local algebraic identities: `e ∪ ∅ = e`, `e − ∅ = e`,
+//!   `∅ × e = ∅`, `σ_true(e) = e`, `e ∪ e = e`, `e ∩ e = e`, `e − e = ∅`,
+//!   `unwrap(wrap(e)) = e`, collapse of nested unions with `∅`, and
+//!   constant folding of operations whose operands are both constants.
+//! * **eliminate_dead** — remove assignments to variables that are never
+//!   subsequently read and are not `ANS` (loop-aware: anything read or
+//!   controlled inside a `while` stays live across the loop).
+//!
+//! All passes preserve the undefined-value semantics: expressions
+//! containing `undefine` are never folded away or duplicated.
+
+use crate::expr::{Expr, Pred};
+use crate::program::{Program, Stmt, ANS};
+use uset_object::Instance;
+
+fn is_empty_const(e: &Expr) -> bool {
+    matches!(e, Expr::Const(i) if i.is_empty())
+}
+
+fn empty() -> Expr {
+    Expr::Const(Instance::empty())
+}
+
+fn has_undefine(e: &Expr) -> bool {
+    match e {
+        Expr::Undefine(_) => true,
+        Expr::Var(_) | Expr::Const(_) => false,
+        Expr::Union(a, b)
+        | Expr::Diff(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Product(a, b) => has_undefine(a) || has_undefine(b),
+        Expr::Select(e, _)
+        | Expr::Project(e, _)
+        | Expr::Nest(e, _)
+        | Expr::Unnest(e, _)
+        | Expr::Powerset(e)
+        | Expr::SetCollapse(e)
+        | Expr::Singleton(e)
+        | Expr::Wrap(e)
+        | Expr::Unwrap(e) => has_undefine(e),
+    }
+}
+
+/// Simplify an expression bottom-up.
+pub fn simplify_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Var(_) | Expr::Const(_) => e.clone(),
+        Expr::Union(a, b) => {
+            let (a, b) = (simplify_expr(a), simplify_expr(b));
+            if is_empty_const(&a) {
+                b
+            } else if is_empty_const(&b) {
+                a
+            } else if a == b && !has_undefine(&a) {
+                a
+            } else if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                Expr::Const(x.union(y))
+            } else {
+                a.union(b)
+            }
+        }
+        Expr::Diff(a, b) => {
+            let (a, b) = (simplify_expr(a), simplify_expr(b));
+            if is_empty_const(&b) {
+                a
+            } else if is_empty_const(&a) && !has_undefine(&b) {
+                empty()
+            } else if a == b && !has_undefine(&a) {
+                empty()
+            } else if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                Expr::Const(x.difference(y))
+            } else {
+                a.diff(b)
+            }
+        }
+        Expr::Intersect(a, b) => {
+            let (a, b) = (simplify_expr(a), simplify_expr(b));
+            if (is_empty_const(&a) && !has_undefine(&b))
+                || (is_empty_const(&b) && !has_undefine(&a))
+            {
+                empty()
+            } else if a == b && !has_undefine(&a) {
+                a
+            } else if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                Expr::Const(x.intersection(y))
+            } else {
+                a.intersect(b)
+            }
+        }
+        Expr::Product(a, b) => {
+            let (a, b) = (simplify_expr(a), simplify_expr(b));
+            if (is_empty_const(&a) && !has_undefine(&b))
+                || (is_empty_const(&b) && !has_undefine(&a))
+            {
+                empty()
+            } else {
+                a.product(b)
+            }
+        }
+        Expr::Select(inner, p) => {
+            let inner = simplify_expr(inner);
+            if *p == Pred::True {
+                inner
+            } else if is_empty_const(&inner) {
+                empty()
+            } else {
+                inner.select(p.clone())
+            }
+        }
+        Expr::Project(inner, cols) => {
+            let inner = simplify_expr(inner);
+            if is_empty_const(&inner) {
+                empty()
+            } else {
+                inner.project(cols.iter().copied())
+            }
+        }
+        Expr::Nest(inner, cols) => simplify_expr(inner).nest(cols.iter().copied()),
+        Expr::Unnest(inner, col) => {
+            let inner = simplify_expr(inner);
+            if is_empty_const(&inner) {
+                empty()
+            } else {
+                inner.unnest(*col)
+            }
+        }
+        Expr::Powerset(inner) => simplify_expr(inner).powerset(),
+        Expr::SetCollapse(inner) => {
+            let inner = simplify_expr(inner);
+            if is_empty_const(&inner) {
+                empty()
+            } else {
+                inner.set_collapse()
+            }
+        }
+        Expr::Singleton(inner) => simplify_expr(inner).singleton(),
+        Expr::Wrap(inner) => {
+            let inner = simplify_expr(inner);
+            if is_empty_const(&inner) {
+                empty()
+            } else {
+                inner.wrap()
+            }
+        }
+        Expr::Unwrap(inner) => {
+            let inner = simplify_expr(inner);
+            match inner {
+                Expr::Wrap(e) => *e,
+                e if is_empty_const(&e) => empty(),
+                e => e.unwrap_tuples(),
+            }
+        }
+        Expr::Undefine(inner) => simplify_expr(inner).undefine(),
+    }
+}
+
+fn simplify_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign(v, e) => Stmt::Assign(v.clone(), simplify_expr(e)),
+            Stmt::While {
+                out,
+                result,
+                cond,
+                body,
+            } => Stmt::While {
+                out: out.clone(),
+                result: result.clone(),
+                cond: cond.clone(),
+                body: simplify_stmts(body),
+            },
+        })
+        .collect()
+}
+
+/// Variables read anywhere in the statements (loop-aware).
+fn read_set(stmts: &[Stmt]) -> std::collections::BTreeSet<String> {
+    let mut reads = Vec::new();
+    for s in stmts {
+        s.collect_read(&mut reads);
+    }
+    reads.into_iter().collect()
+}
+
+/// Remove assignments to variables that are never read anywhere in the
+/// program and are not `ANS`. Iterates to a fixpoint (removing one dead
+/// assignment can make another dead). Conservative in the presence of
+/// loops: a variable read anywhere stays, even if only before its
+/// assignment. Assignments whose expressions contain `undefine` are kept
+/// (they may produce `?`).
+pub fn eliminate_dead(prog: &Program) -> Program {
+    let mut stmts = prog.stmts.clone();
+    loop {
+        let live = read_set(&stmts);
+        let before = stmts.len() + count_nested(&stmts);
+        stmts = remove_dead(&stmts, &live);
+        if stmts.len() + count_nested(&stmts) == before {
+            return Program::new(stmts);
+        }
+    }
+}
+
+fn count_nested(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign(..) => 0,
+            Stmt::While { body, .. } => body.len() + count_nested(body),
+        })
+        .sum()
+}
+
+fn remove_dead(stmts: &[Stmt], live: &std::collections::BTreeSet<String>) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Assign(v, e) => {
+                if v != ANS && !live.contains(v) && !has_undefine(e) {
+                    None
+                } else {
+                    Some(s.clone())
+                }
+            }
+            Stmt::While {
+                out,
+                result,
+                cond,
+                body,
+            } => Some(Stmt::While {
+                out: out.clone(),
+                result: result.clone(),
+                cond: cond.clone(),
+                body: remove_dead(body, live),
+            }),
+        })
+        .collect()
+}
+
+/// Full pipeline: simplify, then eliminate dead assignments.
+pub fn optimize(prog: &Program) -> Program {
+    eliminate_dead(&Program::new(simplify_stmts(&prog.stmts)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_program, EvalConfig};
+    use uset_object::{atom, Database, Instance};
+
+    fn db() -> Database {
+        let mut d = Database::empty();
+        d.set(
+            "R",
+            Instance::from_rows([[atom(1), atom(2)], [atom(2), atom(3)]]),
+        );
+        d
+    }
+
+    fn same_semantics(p: &Program) {
+        let o = optimize(p);
+        let cfg = EvalConfig::default();
+        assert_eq!(
+            eval_program(p, &db(), &cfg),
+            eval_program(&o, &db(), &cfg),
+            "optimization changed semantics"
+        );
+    }
+
+    #[test]
+    fn union_with_empty_folds() {
+        let e = Expr::var("R").union(empty());
+        assert_eq!(simplify_expr(&e), Expr::var("R"));
+        let e2 = empty().union(Expr::var("R"));
+        assert_eq!(simplify_expr(&e2), Expr::var("R"));
+    }
+
+    #[test]
+    fn self_operations_fold() {
+        let r = Expr::var("R");
+        assert_eq!(simplify_expr(&r.clone().union(r.clone())), r);
+        assert_eq!(simplify_expr(&r.clone().intersect(r.clone())), r);
+        assert!(is_empty_const(&simplify_expr(&r.clone().diff(r.clone()))));
+    }
+
+    #[test]
+    fn undefine_never_folds() {
+        let u = Expr::var("R").undefine();
+        // u − u must NOT fold to ∅: it can still produce `?`
+        let e = u.clone().diff(u.clone());
+        assert_eq!(simplify_expr(&e), e);
+        // nor may ∅ × undefine(...) fold away
+        let e2 = empty().product(u);
+        assert_eq!(simplify_expr(&e2), e2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let a = Expr::Const(Instance::from_values([atom(1)]));
+        let b = Expr::Const(Instance::from_values([atom(2)]));
+        match simplify_expr(&a.union(b)) {
+            Expr::Const(i) => assert_eq!(i.len(), 2),
+            other => panic!("expected constant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unwrap_wrap_cancels() {
+        let e = Expr::var("R").wrap().unwrap_tuples();
+        assert_eq!(simplify_expr(&e), Expr::var("R"));
+    }
+
+    #[test]
+    fn dead_assignments_removed_transitively() {
+        let prog = Program::new(vec![
+            Stmt::assign("a", Expr::var("R")),
+            Stmt::assign("b", Expr::var("a")), // read only by dead c
+            Stmt::assign("c", Expr::var("b")), // never read
+            Stmt::assign(ANS, Expr::var("R")),
+        ]);
+        let o = optimize(&prog);
+        assert_eq!(o.stmts.len(), 1);
+        same_semantics(&prog);
+    }
+
+    #[test]
+    fn loop_variables_stay_live() {
+        let prog = crate::derived::tc_while_program("R");
+        let o = optimize(&prog);
+        let cfg = EvalConfig::default();
+        assert_eq!(
+            eval_program(&prog, &db(), &cfg).unwrap(),
+            eval_program(&o, &db(), &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn undefine_assignment_never_removed() {
+        let prog = Program::new(vec![
+            Stmt::assign("side", Expr::var("R").diff(Expr::var("R")).undefine()),
+            Stmt::assign(ANS, Expr::var("R")),
+        ]);
+        let o = optimize(&prog);
+        assert_eq!(o.stmts.len(), 2, "undefine side effect preserved");
+        let cfg = EvalConfig::default();
+        // both produce `?` because side is undefined on the diff
+        assert!(eval_program(&prog, &db(), &cfg).is_err());
+        assert!(eval_program(&o, &db(), &cfg).is_err());
+    }
+
+    #[test]
+    fn select_true_elides() {
+        let prog = Program::new(vec![Stmt::assign(
+            ANS,
+            Expr::var("R").select(Pred::True).union(empty()),
+        )]);
+        let o = optimize(&prog);
+        assert_eq!(o.stmts[0], Stmt::assign(ANS, Expr::var("R")));
+        same_semantics(&prog);
+    }
+}

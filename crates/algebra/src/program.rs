@@ -1,0 +1,321 @@
+//! Algebra programs: assignment sequences with `while`.
+
+use crate::expr::Expr;
+use std::fmt;
+
+/// The distinguished answer variable.
+pub const ANS: &str = "ANS";
+
+/// One statement of a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var := expr`
+    Assign(String, Expr),
+    /// `out := while ⟨result; cond⟩ do body end` — while `cond` is
+    /// non-empty run `body`; afterwards `out` receives the value of
+    /// `result`. Per the paper, `out` must not occur in the body.
+    While {
+        /// Variable assigned after the loop ends (the paper's `z`).
+        out: String,
+        /// Variable whose final value is copied to `out` (the paper's `x`).
+        result: String,
+        /// Loop condition variable (the paper's `y`); loop runs while it is
+        /// non-empty.
+        cond: String,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// `var := expr`
+    pub fn assign(var: impl Into<String>, expr: Expr) -> Stmt {
+        Stmt::Assign(var.into(), expr)
+    }
+
+    /// Construct a `while` statement.
+    pub fn while_loop(
+        out: impl Into<String>,
+        result: impl Into<String>,
+        cond: impl Into<String>,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        Stmt::While {
+            out: out.into(),
+            result: result.into(),
+            cond: cond.into(),
+            body,
+        }
+    }
+
+    /// Does this statement contain a nested `while` inside a `while` body?
+    pub fn has_nested_while(&self) -> bool {
+        match self {
+            Stmt::Assign(..) => false,
+            Stmt::While { body, .. } => body.iter().any(Stmt::contains_while),
+        }
+    }
+
+    /// Does this statement contain any `while` at all?
+    pub fn contains_while(&self) -> bool {
+        matches!(self, Stmt::While { .. })
+    }
+
+    /// Does any expression in this statement use `powerset`?
+    pub fn uses_powerset(&self) -> bool {
+        match self {
+            Stmt::Assign(_, e) => e.uses_powerset(),
+            Stmt::While { body, .. } => body.iter().any(Stmt::uses_powerset),
+        }
+    }
+
+    /// Variables assigned by this statement (including inside loop bodies).
+    pub fn collect_assigned(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Assign(v, _) => out.push(v.clone()),
+            Stmt::While {
+                out: z,
+                body,
+                ..
+            } => {
+                out.push(z.clone());
+                for s in body {
+                    s.collect_assigned(out);
+                }
+            }
+        }
+    }
+
+    /// Variables read by this statement.
+    pub fn collect_read(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Assign(_, e) => e.collect_vars(out),
+            Stmt::While {
+                result,
+                cond,
+                body,
+                ..
+            } => {
+                out.push(result.clone());
+                out.push(cond.clone());
+                for s in body {
+                    s.collect_read(out);
+                }
+            }
+        }
+    }
+}
+
+/// A query program: a sequence of statements; the final value of [`ANS`]
+/// (which must be assigned) is the query answer.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Statements in execution order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// A program from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Program {
+        Program { stmts }
+    }
+
+    /// True iff no `while` appears (the paper's plain ALG / tsALG).
+    pub fn is_while_free(&self) -> bool {
+        !self.stmts.iter().any(|s| s.contains_while() || s.has_nested_while())
+    }
+
+    /// True iff no `while` body contains another `while` (the paper's
+    /// *unnested-while* fragment).
+    pub fn is_unnested_while(&self) -> bool {
+        self.stmts.iter().all(|s| !s.has_nested_while())
+    }
+
+    /// True iff no expression uses `powerset` (the `−powerset` fragments of
+    /// Theorem 4.1b).
+    pub fn is_powerset_free(&self) -> bool {
+        !self.stmts.iter().any(Stmt::uses_powerset)
+    }
+
+    /// True iff ANS is assigned somewhere.
+    pub fn assigns_ans(&self) -> bool {
+        let mut assigned = Vec::new();
+        for s in &self.stmts {
+            s.collect_assigned(&mut assigned);
+        }
+        assigned.iter().any(|v| v == ANS)
+    }
+
+    /// Static scope check: every variable is assigned (or is one of the
+    /// given input relations) before it is read. Returns the first
+    /// violating variable.
+    pub fn check_def_before_use(&self, inputs: &[&str]) -> Result<(), String> {
+        let mut defined: Vec<String> = inputs.iter().map(|s| (*s).to_owned()).collect();
+        check_stmts(&self.stmts, &mut defined)
+    }
+
+    /// Append the statements of another program (simple concatenation; the
+    /// caller is responsible for variable hygiene).
+    pub fn extend(&mut self, other: Program) {
+        self.stmts.extend(other.stmts);
+    }
+}
+
+fn check_stmts(stmts: &[Stmt], defined: &mut Vec<String>) -> Result<(), String> {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                let mut read = Vec::new();
+                e.collect_vars(&mut read);
+                for r in read {
+                    if !defined.contains(&r) {
+                        return Err(r);
+                    }
+                }
+                if !defined.contains(v) {
+                    defined.push(v.clone());
+                }
+            }
+            Stmt::While {
+                out,
+                result,
+                cond,
+                body,
+            } => {
+                if !defined.contains(cond) {
+                    return Err(cond.clone());
+                }
+                // the loop body may run zero times, but `result` must be
+                // defined when the loop exits; require it defined before or
+                // within the body
+                let mut body_defs = defined.clone();
+                check_stmts(body, &mut body_defs)?;
+                if !body_defs.contains(result) {
+                    return Err(result.clone());
+                }
+                if !defined.contains(out) {
+                    defined.push(out.clone());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_stmts(
+            f: &mut fmt::Formatter<'_>,
+            stmts: &[Stmt],
+            indent: usize,
+        ) -> fmt::Result {
+            for s in stmts {
+                let pad = "  ".repeat(indent);
+                match s {
+                    Stmt::Assign(v, e) => writeln!(f, "{pad}{v} := {e}")?,
+                    Stmt::While {
+                        out,
+                        result,
+                        cond,
+                        body,
+                    } => {
+                        writeln!(f, "{pad}{out} := while ⟨{result}; {cond}⟩ do")?;
+                        write_stmts(f, body, indent + 1)?;
+                        writeln!(f, "{pad}end")?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        write_stmts(f, &self.stmts, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn p(stmts: Vec<Stmt>) -> Program {
+        Program::new(stmts)
+    }
+
+    #[test]
+    fn fragment_classification() {
+        let plain = p(vec![Stmt::assign(ANS, Expr::var("R"))]);
+        assert!(plain.is_while_free());
+        assert!(plain.is_unnested_while());
+        assert!(plain.is_powerset_free());
+        assert!(plain.assigns_ans());
+
+        let with_while = p(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign("y", Expr::var("R")),
+            Stmt::while_loop(
+                "z",
+                "x",
+                "y",
+                vec![Stmt::assign("y", Expr::var("y").diff(Expr::var("y")))],
+            ),
+            Stmt::assign(ANS, Expr::var("z")),
+        ]);
+        assert!(!with_while.is_while_free());
+        assert!(with_while.is_unnested_while());
+
+        let nested = p(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign("y", Expr::var("R")),
+            Stmt::while_loop(
+                "z",
+                "x",
+                "y",
+                vec![Stmt::while_loop(
+                    "w",
+                    "x",
+                    "y",
+                    vec![Stmt::assign("y", Expr::var("y"))],
+                )],
+            ),
+            Stmt::assign(ANS, Expr::var("z")),
+        ]);
+        assert!(!nested.is_unnested_while());
+
+        let pow = p(vec![Stmt::assign(ANS, Expr::var("R").powerset())]);
+        assert!(!pow.is_powerset_free());
+    }
+
+    #[test]
+    fn def_before_use() {
+        let ok = p(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign(ANS, Expr::var("x")),
+        ]);
+        assert!(ok.check_def_before_use(&["R"]).is_ok());
+
+        let bad = p(vec![Stmt::assign(ANS, Expr::var("x"))]);
+        assert_eq!(bad.check_def_before_use(&["R"]), Err("x".to_owned()));
+
+        let bad_cond = p(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::while_loop("z", "x", "nope", vec![]),
+        ]);
+        assert_eq!(bad_cond.check_def_before_use(&["R"]), Err("nope".to_owned()));
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let prog = p(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::while_loop(
+                "z",
+                "x",
+                "x",
+                vec![Stmt::assign("x", Expr::var("x").diff(Expr::var("x")))],
+            ),
+            Stmt::assign(ANS, Expr::var("z")),
+        ]);
+        let text = prog.to_string();
+        assert!(text.contains("while ⟨x; x⟩"));
+        assert!(text.contains("ANS := z"));
+    }
+}

@@ -1,0 +1,391 @@
+//! rtype inference over algebra programs, separating the paper's language
+//! levels.
+//!
+//! [`infer_types`] assigns an [`RType`] to every program variable by forward
+//! abstract interpretation. The result classifies a program:
+//!
+//! * if every inferred rtype is *strict* (no `Obj`), the program is a
+//!   **tsALG** program — the typed complex-object algebra of Theorem 2.1;
+//! * otherwise it genuinely exploits untyped sets (**ALG**), e.g. by
+//!   unioning differently-shaped instances or building ordinal chains.
+//!
+//! The analysis is sound but necessarily approximate (heterogeneous unions
+//! are joined to `Obj`); its purpose is fragment classification, not safety
+//! — the evaluator is total on well-scoped programs regardless.
+
+use crate::expr::Expr;
+use crate::program::{Program, Stmt};
+use std::collections::HashMap;
+use uset_object::{RType, Schema};
+
+/// Language level of a program, per the paper's fragments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Typed complex-object algebra (every intermediate strictly typed).
+    TypedSets,
+    /// Untyped-set algebra (some intermediate has rtype involving `Obj`).
+    UntypedSets,
+}
+
+/// Type-analysis failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable was read before assignment (and is not an input).
+    Unbound(String),
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::Unbound(v) => write!(f, "variable {v} read before assignment"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Infer rtypes for all variables of `prog` given the input schema.
+///
+/// Relations in the schema are typed as sets of their element type; each
+/// assignment refines the variable's rtype to the join of all values it may
+/// receive (loops are iterated to a fixpoint, which exists because the
+/// rtype join lattice has bounded ascent to `Obj`).
+pub fn infer_types(
+    prog: &Program,
+    schema: &Schema,
+) -> Result<HashMap<String, RType>, TypeError> {
+    let mut env: HashMap<String, RType> = schema
+        .entries()
+        .iter()
+        .map(|(n, t)| (n.clone(), t.clone()))
+        .collect();
+    infer_stmts(&prog.stmts, &mut env)?;
+    Ok(env)
+}
+
+/// Classify a program's language level under a schema.
+pub fn classify(prog: &Program, schema: &Schema) -> Result<Level, TypeError> {
+    let env = infer_types(prog, schema)?;
+    if env.values().all(RType::is_strict) {
+        Ok(Level::TypedSets)
+    } else {
+        Ok(Level::UntypedSets)
+    }
+}
+
+fn infer_stmts(
+    stmts: &[Stmt],
+    env: &mut HashMap<String, RType>,
+) -> Result<(), TypeError> {
+    for s in stmts {
+        match s {
+            Stmt::Assign(var, expr) => {
+                let t = infer_expr(expr, env)?;
+                merge(env, var, t);
+            }
+            Stmt::While {
+                out,
+                result,
+                cond,
+                body,
+            } => {
+                if !env.contains_key(cond) {
+                    return Err(TypeError::Unbound(cond.clone()));
+                }
+                // iterate the body to a type fixpoint (ascending chains in
+                // the join lattice terminate: every join step either leaves
+                // the map unchanged or moves some position toward Obj)
+                loop {
+                    let before = env.clone();
+                    infer_stmts(body, env)?;
+                    if *env == before {
+                        break;
+                    }
+                }
+                let rt = env
+                    .get(result)
+                    .cloned()
+                    .ok_or_else(|| TypeError::Unbound(result.clone()))?;
+                merge(env, out, rt);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn merge(env: &mut HashMap<String, RType>, var: &str, t: RType) {
+    match env.get(var) {
+        Some(old) => {
+            let joined = old.join(&t);
+            env.insert(var.to_owned(), joined);
+        }
+        None => {
+            env.insert(var.to_owned(), t);
+        }
+    }
+}
+
+/// Element rtype of the members of a variable of element rtype `t` — for
+/// schemas we store *element* types, so expressions over instances
+/// manipulate members of that type directly.
+fn infer_expr(expr: &Expr, env: &HashMap<String, RType>) -> Result<RType, TypeError> {
+    Ok(match expr {
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| TypeError::Unbound(v.clone()))?,
+        Expr::Const(inst) => {
+            // precise join over the constant's members
+            let mut t: Option<RType> = None;
+            for v in inst.iter() {
+                let vt = rtype_of_value(v);
+                t = Some(match t {
+                    None => vt,
+                    Some(old) => old.join(&vt),
+                });
+            }
+            t.unwrap_or(RType::Obj)
+        }
+        Expr::Union(a, b) | Expr::Intersect(a, b) => {
+            infer_expr(a, env)?.join(&infer_expr(b, env)?)
+        }
+        Expr::Diff(a, b) => {
+            let t = infer_expr(a, env)?;
+            let _ = infer_expr(b, env)?;
+            t
+        }
+        Expr::Product(a, b) => {
+            let ta = infer_expr(a, env)?;
+            let tb = infer_expr(b, env)?;
+            let mut items = tuple_components(&ta);
+            items.extend(tuple_components(&tb));
+            RType::Tuple(items)
+        }
+        Expr::Select(e, _) => infer_expr(e, env)?,
+        Expr::Project(e, cols) => {
+            let t = infer_expr(e, env)?;
+            match &t {
+                RType::Tuple(items) => {
+                    let picked: Vec<RType> = cols
+                        .iter()
+                        .map(|&c| items.get(c).cloned().unwrap_or(RType::Obj))
+                        .collect();
+                    if picked.len() == 1 {
+                        picked.into_iter().next().expect("one column")
+                    } else {
+                        RType::Tuple(picked)
+                    }
+                }
+                _ => RType::Obj,
+            }
+        }
+        Expr::Nest(e, cols) => {
+            let t = infer_expr(e, env)?;
+            match &t {
+                RType::Tuple(items) => {
+                    let nested: Vec<RType> = cols
+                        .iter()
+                        .map(|&c| items.get(c).cloned().unwrap_or(RType::Obj))
+                        .collect();
+                    let inner = if nested.len() == 1 {
+                        nested.into_iter().next().expect("one column")
+                    } else {
+                        RType::Tuple(nested)
+                    };
+                    let mut row: Vec<RType> = items
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !cols.contains(i))
+                        .map(|(_, t)| t.clone())
+                        .collect();
+                    row.push(RType::Set(Box::new(inner)));
+                    RType::Tuple(row)
+                }
+                _ => RType::Obj,
+            }
+        }
+        Expr::Unnest(e, col) => {
+            let t = infer_expr(e, env)?;
+            match &t {
+                RType::Tuple(items) if *col < items.len() => {
+                    let spliced = match &items[*col] {
+                        RType::Set(inner) => tuple_components(inner),
+                        _ => vec![RType::Obj],
+                    };
+                    let mut row: Vec<RType> = items[..*col].to_vec();
+                    row.extend(spliced);
+                    row.extend(items[col + 1..].iter().cloned());
+                    RType::Tuple(row)
+                }
+                _ => RType::Obj,
+            }
+        }
+        Expr::Powerset(e) | Expr::Singleton(e) => {
+            RType::Set(Box::new(infer_expr(e, env)?))
+        }
+        Expr::SetCollapse(e) => {
+            let t = infer_expr(e, env)?;
+            match t {
+                RType::Set(inner) => *inner,
+                _ => RType::Obj,
+            }
+        }
+        Expr::Wrap(e) => RType::Tuple(vec![infer_expr(e, env)?]),
+        Expr::Unwrap(e) => {
+            let t = infer_expr(e, env)?;
+            match t {
+                RType::Tuple(items) if items.len() == 1 => {
+                    items.into_iter().next().expect("one component")
+                }
+                _ => RType::Obj,
+            }
+        }
+        Expr::Undefine(e) => infer_expr(e, env)?,
+    })
+}
+
+fn tuple_components(t: &RType) -> Vec<RType> {
+    match t {
+        RType::Tuple(items) => items.clone(),
+        other => vec![other.clone()],
+    }
+}
+
+fn rtype_of_value(v: &uset_object::Value) -> RType {
+    use uset_object::Value;
+    match v {
+        Value::Atom(_) => RType::Atomic,
+        Value::Tuple(items) => RType::Tuple(items.iter().map(rtype_of_value).collect()),
+        Value::Set(items) => {
+            let mut inner: Option<RType> = None;
+            for m in items {
+                let mt = rtype_of_value(m);
+                inner = Some(match inner {
+                    None => mt,
+                    Some(old) => old.join(&mt),
+                });
+            }
+            RType::Set(Box::new(inner.unwrap_or(RType::Obj)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Pred;
+    use crate::program::ANS;
+    use uset_object::{atom, set, Instance};
+
+    fn schema_r2() -> Schema {
+        Schema::flat([("R", 2)])
+    }
+
+    #[test]
+    fn relational_program_is_typed() {
+        let prog = Program::new(vec![Stmt::assign(
+            ANS,
+            Expr::var("R")
+                .product(Expr::var("R"))
+                .select(Pred::eq_cols(1, 2))
+                .project([0, 3]),
+        )]);
+        let env = infer_types(&prog, &schema_r2()).unwrap();
+        assert_eq!(
+            env[ANS],
+            RType::Tuple(vec![RType::Atomic, RType::Atomic])
+        );
+        assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::TypedSets);
+    }
+
+    #[test]
+    fn heterogeneous_union_is_untyped() {
+        // union a relation of pairs with its own projection (bare atoms):
+        // members now have two incompatible shapes → Obj
+        let prog = Program::new(vec![Stmt::assign(
+            ANS,
+            Expr::var("R").union(Expr::var("R").project([0])),
+        )]);
+        assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::UntypedSets);
+    }
+
+    #[test]
+    fn ordinal_chain_step_is_untyped() {
+        // x := x ∪ singleton(x) — the chain-building step of Theorem 4.1(b)
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R").project([0])),
+            Stmt::assign("x", Expr::var("x").union(Expr::var("x").singleton())),
+            Stmt::assign(ANS, Expr::var("x")),
+        ]);
+        assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::UntypedSets);
+    }
+
+    #[test]
+    fn nest_and_powerset_stay_typed() {
+        let prog = Program::new(vec![
+            Stmt::assign("g", Expr::var("R").nest([1])),
+            Stmt::assign(ANS, Expr::var("g").project([1]).powerset()),
+        ]);
+        let env = infer_types(&prog, &schema_r2()).unwrap();
+        assert_eq!(
+            env["g"],
+            RType::Tuple(vec![
+                RType::Atomic,
+                RType::Set(Box::new(RType::Atomic))
+            ])
+        );
+        assert_eq!(
+            env[ANS],
+            RType::Set(Box::new(RType::Set(Box::new(RType::Atomic))))
+        );
+        assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::TypedSets);
+    }
+
+    #[test]
+    fn while_loop_types_reach_fixpoint() {
+        // TC-style loop stays typed
+        let compose = Expr::var("tc")
+            .product(Expr::var("R"))
+            .select(Pred::eq_cols(1, 2))
+            .project([0, 3]);
+        let prog = Program::new(vec![
+            Stmt::assign("tc", Expr::var("R")),
+            Stmt::assign("delta", Expr::var("R")),
+            Stmt::while_loop(
+                "out",
+                "tc",
+                "delta",
+                vec![
+                    Stmt::assign("new", compose.clone().diff(Expr::var("tc"))),
+                    Stmt::assign("tc", Expr::var("tc").union(Expr::var("new"))),
+                    Stmt::assign("delta", Expr::var("new")),
+                ],
+            ),
+            Stmt::assign(ANS, Expr::var("out")),
+        ]);
+        assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::TypedSets);
+    }
+
+    #[test]
+    fn unbound_reported() {
+        let prog = Program::new(vec![Stmt::assign(ANS, Expr::var("missing"))]);
+        assert_eq!(
+            infer_types(&prog, &schema_r2()),
+            Err(TypeError::Unbound("missing".to_owned()))
+        );
+    }
+
+    #[test]
+    fn constant_types_are_precise() {
+        let homog = Expr::Const(Instance::from_values([atom(1), atom(2)]));
+        let het = Expr::Const(Instance::from_values([atom(1), set([atom(2)])]));
+        let prog = Program::new(vec![
+            Stmt::assign("a", homog),
+            Stmt::assign("b", het),
+            Stmt::assign(ANS, Expr::var("a")),
+        ]);
+        let env = infer_types(&prog, &Schema::default()).unwrap();
+        assert_eq!(env["a"], RType::Atomic);
+        assert_eq!(env["b"], RType::Obj);
+    }
+}

@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//!
+//! * naive vs semi-naive stratified DATALOG fixpoints (the evaluator
+//!   design choice; identical results, different polynomial);
+//! * optimizer on/off for the Theorem 4.1(b) compiled programs (the gated
+//!   mechanical code cleans up — measure the evaluation win);
+//! * ordinal-chain (von Neumann, doubling size) vs singleton-nesting
+//!   chain (linear size) — the index-supply representation choice that
+//!   keeps the GTM simulation polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uset_algebra::opt::optimize;
+use uset_algebra::{eval_program, EvalConfig};
+use uset_bench::path_graph;
+use uset_core::gtm_to_alg::{compile_gtm, prepare_gtm_input};
+use uset_deductive::datalog::{DatalogProgram, DlAtom, DlRule, DlTerm};
+use uset_gtm::machines::swap_pairs_gtm;
+use uset_object::cons::{ordinal_chain, singleton_chain};
+use uset_object::{atom, Atom, Database, Instance, Schema, Value};
+
+fn tc_datalog() -> DatalogProgram {
+    let v = DlTerm::var;
+    DatalogProgram::new(vec![
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("y")]),
+            vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("z")]),
+            vec![
+                (true, DlAtom::new("E", vec![v("x"), v("y")])),
+                (true, DlAtom::new("T", vec![v("y"), v("z")])),
+            ],
+        ),
+    ])
+}
+
+fn bench_naive_vs_seminaive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/naive_vs_seminaive");
+    let prog = tc_datalog();
+    for n in [8u64, 16, 24] {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_stratified(&db, 1_000_000).unwrap().get("T").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    prog.eval_stratified_seminaive(&db, 1_000_000)
+                        .unwrap()
+                        .get("T")
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer_on_compiled_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/optimizer");
+    group.sample_size(10);
+    let m = swap_pairs_gtm();
+    let raw = compile_gtm(&m);
+    let optimized = optimize(&raw);
+    let schema = Schema::flat([("R", 2)]);
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(4)]]),
+    );
+    let orders: Vec<Vec<Value>> = vec![db.get("R").iter().cloned().collect()];
+    let input = prepare_gtm_input(&db, &schema, &orders).unwrap();
+    let cfg = EvalConfig {
+        fuel: 100_000_000,
+        max_instance_len: 1_000_000,
+    };
+    group.bench_function("raw", |b| {
+        b.iter(|| black_box(eval_program(&raw, &input, &cfg).unwrap().len()))
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| black_box(eval_program(&optimized, &input, &cfg).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_chain_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chain_representation");
+    for len in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("von_neumann", len), &len, |b, &l| {
+            b.iter(|| black_box(ordinal_chain(Atom::new(0), l).last().unwrap().size()))
+        });
+        group.bench_with_input(BenchmarkId::new("singleton", len), &len, |b, &l| {
+            b.iter(|| black_box(singleton_chain(Atom::new(0), l).last().unwrap().size()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_while_flattening_overhead(c: &mut Criterion) {
+    // the Theorem 4.1(b)(iii) transformation is semantics-preserving but
+    // pays a constant interpretive factor per gated statement — measure it
+    let mut group = c.benchmark_group("ablation/while_flattening");
+    let nested = uset_algebra::derived::tc_while_program("R");
+    let flat = uset_algebra::flatten_while::flatten_to_single_while(&nested).unwrap();
+    let cfg = EvalConfig::default();
+    for n in [6u64, 12] {
+        let db = path_graph(n);
+        group.bench_with_input(BenchmarkId::new("nested_form", n), &n, |b, _| {
+            b.iter(|| black_box(eval_program(&nested, &db, &cfg).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("flattened_form", n), &n, |b, _| {
+            b.iter(|| black_box(eval_program(&flat, &db, &cfg).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_naive_vs_seminaive,
+    bench_optimizer_on_compiled_program,
+    bench_chain_representations,
+    bench_while_flattening_overhead
+);
+criterion_main!(benches);

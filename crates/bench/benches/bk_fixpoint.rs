@@ -1,0 +1,77 @@
+//! Example 5.2 / Proposition 5.3: the BK "join" rule's cross-product
+//! blow-up, and BK fixpoint scaling.
+//!
+//! Shapes this regenerates:
+//! * the output of the Example 5.2 rule grows as `|π₁R₁| × |π₂R₂|` (a
+//!   cross product) rather than as the join size — measured directly;
+//! * principal-mode matching scales polynomially; exhaustive sub-object
+//!   matching blows up with object width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uset_bk::eval::{eval_fixpoint, state_from, BindMode, BkConfig};
+use uset_bk::{BkObject, BkProgram};
+
+fn pair(a: &'static str, x: u64, b: &'static str, y: u64) -> BkObject {
+    BkObject::tuple([(a, BkObject::atom(x)), (b, BkObject::atom(y))])
+}
+
+/// R1 with n tuples sharing no B values with R2 (join is empty; the BK
+/// rule still derives the full cross product).
+fn disjoint_state(n: u64) -> uset_bk::BkState {
+    state_from([
+        (
+            "R1",
+            (0..n).map(|i| pair("A", i, "B", 1000 + i)).collect::<Vec<_>>(),
+        ),
+        (
+            "R2",
+            (0..n).map(|i| pair("B", 2000 + i, "C", 3000 + i)).collect::<Vec<_>>(),
+        ),
+    ])
+}
+
+fn bench_join_rule_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ex5.2/join_rule_blowup");
+    let prog = BkProgram::join_rule();
+    for n in [2u64, 4, 8, 16] {
+        let st = disjoint_state(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let (out, _) =
+                    eval_fixpoint(&prog, &st, &BkConfig::default()).unwrap();
+                // the join is empty, yet R holds ≥ n² ⊥-free cross tuples
+                black_box(out["R"].len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bind_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ex5.2/bind_modes");
+    let prog = BkProgram::join_rule();
+    for n in [2u64, 4, 6] {
+        let st = disjoint_state(n);
+        for (name, mode) in [
+            ("principal", BindMode::Principal),
+            ("exhaustive", BindMode::Exhaustive),
+        ] {
+            let cfg = BkConfig {
+                bind_mode: mode,
+                max_facts: 10_000_000,
+                ..BkConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let (out, _) = eval_fixpoint(&prog, &st, &cfg).unwrap();
+                    black_box(out["R"].len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_rule_blowup, bench_bind_modes);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Theorem 5.1: COL with untyped sets under both semantics.
+//!
+//! Shapes this regenerates:
+//! * stratified and inflationary evaluation coincide in cost and result on
+//!   positive programs (on flat DATALOG¬ the two semantics differ in
+//!   *power*; with untyped sets they coincide — Theorem 5.1);
+//! * the history-keeping COL simulation of a GTM (Theorem 5.1) pays a
+//!   higher polynomial overhead than the in-place algebra simulation
+//!   (Theorem 4.1b) on the same machine — the cost of stratification
+//!   without negation;
+//! * the guarded chain rules supply indices at quadratic-ish cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uset_bench::path_graph;
+use uset_core::gtm_to_alg::run_compiled;
+use uset_core::gtm_to_col::run_col_compiled;
+use uset_deductive::chain::{chain_rules, singleton_chain};
+use uset_deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
+use uset_deductive::col::eval::{inflationary, stratified, ColConfig};
+use uset_gtm::machines::swap_pairs_gtm;
+use uset_object::{atom, Atom, Database, Instance, Schema, Type};
+
+fn tc_prog() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("R", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ),
+    ])
+}
+
+fn bench_stratified_vs_inflationary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm5.1/stratified_vs_inflationary");
+    let cfg = ColConfig::default();
+    let prog = tc_prog();
+    for n in [4u64, 8, 12] {
+        let db = path_graph(n);
+        group.bench_with_input(BenchmarkId::new("stratified", n), &n, |b, _| {
+            b.iter(|| black_box(stratified(&prog, &db, &cfg).unwrap().pred("T").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("inflationary", n), &n, |b, _| {
+            b.iter(|| black_box(inflationary(&prog, &db, &cfg).unwrap().pred("T").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm5.1/chain_rules");
+    let cfg = ColConfig::default();
+    for len in [4usize, 8, 16] {
+        let seed = Atom::new(0);
+        let allowed: Instance = singleton_chain(seed, len).into_iter().collect();
+        let rules = chain_rules(
+            "F",
+            seed,
+            vec![ColLiteral::pred("Allowed", vec![ColTerm::var("u")])],
+        );
+        let prog = ColProgram::new(rules);
+        let mut db = Database::empty();
+        db.set("Allowed", allowed);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                black_box(
+                    stratified(&prog, &db, &cfg)
+                        .unwrap()
+                        .func("F", &[uset_object::atom(0)])
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_history_vs_inplace_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm5.1/history_vs_inplace");
+    group.sample_size(10);
+    let m = swap_pairs_gtm();
+    let schema = Schema::flat([("R", 2)]);
+    let target = Type::atomic_tuple(2);
+    for n in [1u64, 2] {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows((0..n).map(|i| [atom(2 * i), atom(2 * i + 1)])),
+        );
+        let alg_cfg = uset_algebra::EvalConfig {
+            fuel: 100_000_000,
+            max_instance_len: 10_000_000,
+        };
+        let col_cfg = ColConfig {
+            max_rounds: 100_000,
+            max_facts: 10_000_000,
+        };
+        group.bench_with_input(BenchmarkId::new("alg_inplace", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_compiled(&m, &db, &schema, &target, &alg_cfg)
+                        .unwrap()
+                        .map(|i| i.len()),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("col_history", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_col_compiled(&m, &db, &schema, &target, &col_cfg)
+                        .unwrap()
+                        .map(|i| i.len()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stratified_vs_inflationary,
+    bench_chain_rules,
+    bench_history_vs_inplace_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Theorem 2.2 / Theorem 4.1(a): the elementary hierarchy.
+//!
+//! Each level of set nesting multiplies cost by an exponential: enumerating
+//! `cons_T(X)` for `T = {…{U}…}` of depth k over n atoms costs
+//! `hyp_k(n)`-ish. The series below regenerate that shape: runtime per
+//! (depth, n) cell should grow hyper-exponentially in depth, and the
+//! relaxed-mode (untyped) algebra should track the typed algebra on
+//! identical programs (Theorem 4.1(a): ALG ≡ tsALG).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uset_algebra::{eval_program, EvalConfig, Expr, Program, Stmt};
+use uset_bench::unary;
+use uset_object::cons::cons_type;
+use uset_object::{Atom, Type};
+
+fn bench_cons_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2.2/cons_depth");
+    for depth in [0usize, 1, 2] {
+        for n in [2u64, 3, 4] {
+            // depth 2 over n=4 already enumerates 2^16 nested sets
+            let atoms: std::collections::BTreeSet<Atom> = (0..n).map(Atom::new).collect();
+            let ty = Type::nested_set(depth);
+            group.bench_with_input(
+                BenchmarkId::new(format!("depth{depth}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(cons_type(&ty, &atoms, 1 << 22).unwrap().len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_powerset_chain(c: &mut Criterion) {
+    // powerset applied k times in the algebra: the operator behind the
+    // E-hierarchy (one extra level per application)
+    let mut group = c.benchmark_group("thm2.2/powerset_chain");
+    for k in [1usize, 2] {
+        for n in [2u64, 3, 4] {
+            let mut expr = Expr::var("R").project([0]);
+            for _ in 0..k {
+                expr = expr.powerset();
+            }
+            let prog = Program::new(vec![Stmt::assign("ANS", expr)]);
+            let db = unary(n);
+            let cfg = EvalConfig {
+                fuel: 1_000_000,
+                max_instance_len: 1 << 22,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("powerset^{k}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(eval_program(&prog, &db, &cfg).unwrap().len())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_typed_vs_relaxed_mode(c: &mut Criterion) {
+    // Theorem 4.1(a): the same while-free program over typed vs
+    // heterogeneous intermediates — the relaxed evaluation pays no
+    // asymptotic penalty (both are the same engine; the bench documents
+    // the constant factor of heterogeneous unions)
+    let mut group = c.benchmark_group("thm4.1a/typed_vs_relaxed");
+    for n in [8u64, 16, 32] {
+        let typed = Program::new(vec![Stmt::assign(
+            "ANS",
+            Expr::var("R").product(Expr::var("R")).project([0, 3]),
+        )]);
+        let relaxed = Program::new(vec![
+            Stmt::assign("H", Expr::var("R").union(Expr::var("R").project([0]))),
+            Stmt::assign("ANS", Expr::var("H").product(Expr::var("H")).project([0, 1])),
+        ]);
+        let db = uset_bench::path_graph(n);
+        let cfg = EvalConfig::default();
+        group.bench_with_input(BenchmarkId::new("typed", n), &n, |b, _| {
+            b.iter(|| black_box(eval_program(&typed, &db, &cfg).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("relaxed", n), &n, |b, _| {
+            b.iter(|| black_box(eval_program(&relaxed, &db, &cfg).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cons_depth,
+    bench_powerset_chain,
+    bench_typed_vs_relaxed_mode
+);
+criterion_main!(benches);

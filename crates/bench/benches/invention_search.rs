@@ -1,0 +1,102 @@
+//! Section 6: invention semantics and flattening.
+//!
+//! Shapes this regenerates:
+//! * `Q|ⁱ` evaluation cost grows with the invention budget `i` (the
+//!   quantifier domains grow);
+//! * the terminal-invention search pays one evaluation per candidate
+//!   budget until the witness appears (Theorem 6.4's loop);
+//! * the Example 6.2 halting search cost is linear in the witness step
+//!   count for halting machines;
+//! * flattening complex objects into `{[U,U,U,U]}` with invented
+//!   surrogates (the Theorem 6.3 device) is linear in object size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uset_bench::unary;
+use uset_calculus::{eval_terminal, eval_with_invention, CalcConfig, CalcQuery, CalcTerm, Formula};
+use uset_core::halting::f_halt_terminal;
+use uset_gtm::tm::always_halt_machine;
+use uset_object::flatten::{flatten, unflatten, Inventor};
+use uset_object::{Atom, RType};
+
+fn all_atoms_query() -> CalcQuery {
+    CalcQuery::new(
+        "x",
+        RType::Atomic,
+        Formula::Eq(CalcTerm::var("x"), CalcTerm::var("x")),
+    )
+}
+
+fn bench_invention_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm6/invention_budget");
+    let db = unary(4);
+    let q = all_atoms_query();
+    let cfg = CalcConfig::default();
+    for i in [0usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(i), &i, |b, _| {
+            b.iter(|| black_box(eval_with_invention(&q, &db, i, &cfg).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_terminal_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm6.4/terminal_search");
+    let q = all_atoms_query();
+    let cfg = CalcConfig::default();
+    for n in [2u64, 8, 32] {
+        let db = unary(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval_terminal(&q, &db, 10, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_halting_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ex6.2/halting_search");
+    let m = always_halt_machine();
+    let c_atom = Atom::named("bench-halt-c");
+    for n in [4u64, 16, 64] {
+        let db = unary(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(f_halt_terminal(&m, &db, c_atom, 1000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flattening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm6.3/flattening");
+    for depth in [3usize, 6, 9] {
+        let chain = uset_object::cons::ordinal_chain(Atom::new(0), depth);
+        let v = chain.last().expect("non-empty chain").clone();
+        group.bench_with_input(
+            BenchmarkId::new("flatten", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut inv = Inventor::new();
+                    black_box(flatten(&v, &mut inv).rows.len())
+                })
+            },
+        );
+        let mut inv = Inventor::new();
+        let flat = flatten(&v, &mut inv);
+        group.bench_with_input(
+            BenchmarkId::new("unflatten", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(unflatten(flat.root, &flat.rows).unwrap().size())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_invention_budget,
+    bench_terminal_search,
+    bench_halting_search,
+    bench_flattening
+);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Theorem 4.1(b): `while` vs `powerset`, and the GTM compilation.
+//!
+//! Shapes this regenerates:
+//! * while-TC is polynomial while powerset-TC is `2^(n²)` — the crossover
+//!   is immediate and the powerset series stops at 3 nodes;
+//! * the ordinal-chain index supply costs time quadratic-ish in length
+//!   (each new element is the set of all previous ones);
+//! * powerset *expressed by* while + untyped sets (no Powerset operator)
+//!   tracks the native operator up to an algebraic constant;
+//! * the compiled ALG+while simulation of a GTM pays a polynomial
+//!   interpretation overhead over the direct GTM run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uset_algebra::derived::{chain_program_unrolled, tc_powerset_program, tc_while_program};
+use uset_algebra::{eval_program, EvalConfig};
+use uset_bench::{path_graph, unary};
+use uset_core::gtm_to_alg::run_compiled;
+use uset_core::powerset_via_while_program;
+use uset_gtm::machines::swap_pairs_gtm;
+use uset_gtm::query::run_gtm_query;
+use uset_object::{atom, Database, Instance, Schema, Type};
+
+fn bench_tc_while_vs_powerset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4.1b/tc_while_vs_powerset");
+    let cfg = EvalConfig {
+        fuel: 10_000_000,
+        max_instance_len: 10_000_000,
+    };
+    for n in [2u64, 3, 4, 8, 16] {
+        let db = path_graph(n);
+        let w = tc_while_program("R");
+        group.bench_with_input(BenchmarkId::new("while", n), &n, |b, _| {
+            b.iter(|| black_box(eval_program(&w, &db, &cfg).unwrap().len()))
+        });
+        if n <= 3 {
+            // 2^(n²) candidate relations: n = 4 would be 2^16 sets of pairs
+            // through a triple unnest — the hyper-exponential wall itself
+            let p = tc_powerset_program("R");
+            group.bench_with_input(BenchmarkId::new("powerset", n), &n, |b, _| {
+                b.iter(|| black_box(eval_program(&p, &db, &cfg).unwrap().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ordinal_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4.1b/ordinal_chain");
+    let cfg = EvalConfig::default();
+    for len in [2usize, 4, 8, 16] {
+        let prog = chain_program_unrolled("seed", len);
+        let mut db = Database::empty();
+        db.set("seed", Instance::from_values([atom(0)]));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(eval_program(&prog, &db, &cfg).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_powerset_native_vs_while(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4.1b/powerset_native_vs_while");
+    let cfg = EvalConfig {
+        fuel: 1_000_000,
+        max_instance_len: 1 << 20,
+    };
+    for n in [3u64, 5, 7] {
+        let db = unary(n);
+        let native = uset_algebra::Program::new(vec![uset_algebra::Stmt::assign(
+            "ANS",
+            uset_algebra::Expr::var("R").project([0]).powerset(),
+        )]);
+        let via_while_db = {
+            // the while variant consumes bare elements
+            let mut d = Database::empty();
+            d.set(
+                "R",
+                Instance::from_values((0..n).map(atom)),
+            );
+            d
+        };
+        let via_while = powerset_via_while_program("R");
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| black_box(eval_program(&native, &db, &cfg).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("while", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(eval_program(&via_while, &via_while_db, &cfg).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gtm_direct_vs_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4.1b/gtm_direct_vs_compiled");
+    group.sample_size(10);
+    let m = swap_pairs_gtm();
+    let schema = Schema::flat([("R", 2)]);
+    let target = Type::atomic_tuple(2);
+    let cfg = EvalConfig {
+        fuel: 100_000_000,
+        max_instance_len: 10_000_000,
+    };
+    for n in [1u64, 2, 4] {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows((0..n).map(|i| [atom(2 * i), atom(2 * i + 1)])),
+        );
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_gtm_query(&m, &db, &schema, &target, 10_000_000)
+                        .unwrap()
+                        .map(|i| i.len()),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compiled_alg", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_compiled(&m, &db, &schema, &target, &cfg)
+                        .unwrap()
+                        .map(|i| i.len()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tc_while_vs_powerset,
+    bench_ordinal_chain,
+    bench_powerset_native_vs_while,
+    bench_gtm_direct_vs_compiled
+);
+criterion_main!(benches);

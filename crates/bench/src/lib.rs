@@ -1,0 +1,60 @@
+//! Shared workload generators for the benchmark harness.
+//!
+//! Each bench target regenerates the *shape* of one of the paper's results
+//! (the paper reports no numbers — its "evaluation" is a set of theorems;
+//! EXPERIMENTS.md maps each result to its bench group and records what we
+//! measure).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uset_object::{atom, Database, Instance};
+
+/// A deterministic RNG for reproducible workloads.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x5eed_cafe)
+}
+
+/// A path graph `0 → 1 → … → n−1` as relation `R`.
+pub fn path_graph(n: u64) -> Database {
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows((0..n.saturating_sub(1)).map(|i| [atom(i), atom(i + 1)])),
+    );
+    db
+}
+
+/// A random graph over `n` nodes with `edges` edges as relation `R`.
+pub fn random_graph(n: u64, edges: usize) -> Database {
+    let mut r = rng();
+    let mut inst = Instance::empty();
+    while inst.len() < edges {
+        let a = r.gen_range(0..n);
+        let b = r.gen_range(0..n);
+        inst.insert(uset_object::tuple([atom(a), atom(b)]));
+    }
+    let mut db = Database::empty();
+    db.set("R", inst);
+    db
+}
+
+/// A unary relation of `n` atoms as relation `R`.
+pub fn unary(n: u64) -> Database {
+    let mut db = Database::empty();
+    db.set("R", Instance::from_rows((0..n).map(|i| [atom(i)])));
+    db
+}
+
+/// A binary relation of `n` random pairs as relation `R`.
+pub fn random_pairs(n: u64) -> Database {
+    let mut r = rng();
+    let mut inst = Instance::empty();
+    while inst.len() < n as usize {
+        let a: u64 = r.gen_range(0..1_000);
+        let b: u64 = r.gen_range(0..1_000);
+        inst.insert(uset_object::tuple([atom(a), atom(b)]));
+    }
+    let mut db = Database::empty();
+    db.set("R", inst);
+    db
+}

@@ -1,0 +1,470 @@
+//! Fixpoint evaluation of BK programs with derivation recording.
+//!
+//! A rule fires for every valuation ν such that each instantiated body
+//! pattern is a **sub-object** of some object in the corresponding
+//! predicate's extent. Variable instantiation therefore ranges over
+//! sub-objects of the matched components; the evaluator offers two
+//! candidate policies:
+//!
+//! * [`BindMode::Principal`] — a variable matched against component `o`
+//!   binds to `o` itself or to ⊥. This is the finite core that already
+//!   produces every phenomenon the paper exhibits (the ⊥-instantiated
+//!   cross-product of Example 5.2, the divergence of Example 5.4), because
+//!   instantiation is monotone: any lower binding derives a head ⊑ the
+//!   principal one.
+//! * [`BindMode::Exhaustive`] — all sub-objects of `o` (exponential;
+//!   small inputs only), for completeness experiments.
+//!
+//! BK is monotone and negation-free, so the fixpoint exists; it may be
+//! infinite (Example 5.4), which the round/size budgets convert into
+//! [`BkError::FuelExhausted`] — the observable form of "the execution of
+//! this program will not terminate, and so its output is undefined".
+
+use crate::object::BkObject;
+use crate::order::{subobject, subobjects};
+use crate::rules::{BkProgram, BkRule, BkTerm};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Candidate policy for variable instantiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BindMode {
+    /// Bind to the matched component or ⊥.
+    Principal,
+    /// Bind to every sub-object of the matched component.
+    Exhaustive,
+}
+
+/// Evaluation budgets and policy.
+#[derive(Clone, Copy, Debug)]
+pub struct BkConfig {
+    /// Maximum fixpoint rounds.
+    pub max_rounds: u64,
+    /// Maximum total facts.
+    pub max_facts: usize,
+    /// Instantiation policy.
+    pub bind_mode: BindMode,
+}
+
+impl Default for BkConfig {
+    fn default() -> Self {
+        BkConfig {
+            max_rounds: 1000,
+            max_facts: 100_000,
+            bind_mode: BindMode::Principal,
+        }
+    }
+}
+
+/// Evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BkError {
+    /// Budgets exhausted — the program's fixpoint is (or behaves as)
+    /// infinite; the paper's undefined output.
+    FuelExhausted,
+    /// Exhaustive sub-object enumeration overflowed.
+    SubobjectOverflow,
+}
+
+impl std::fmt::Display for BkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BkError::FuelExhausted => write!(f, "BK fixpoint did not converge within budget"),
+            BkError::SubobjectOverflow => write!(f, "sub-object enumeration overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for BkError {}
+
+/// Predicate extents.
+pub type BkState = BTreeMap<String, BTreeSet<BkObject>>;
+
+/// A recorded derivation: rule index, bindings, derived fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// Index of the fired rule in the program.
+    pub rule: usize,
+    /// The valuation used.
+    pub bindings: BTreeMap<String, BkObject>,
+    /// Head predicate.
+    pub pred: String,
+    /// The derived object.
+    pub fact: BkObject,
+}
+
+type Bindings = BTreeMap<String, BkObject>;
+
+/// All extensions of `b` making `pat` instantiate to a sub-object of
+/// `target`.
+fn match_pattern(
+    pat: &BkTerm,
+    target: &BkObject,
+    b: &Bindings,
+    mode: BindMode,
+) -> Result<Vec<Bindings>, BkError> {
+    match pat {
+        BkTerm::Var(v) => match b.get(v) {
+            Some(bound) => {
+                if subobject(bound, target) {
+                    Ok(vec![b.clone()])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            None => {
+                let candidates: Vec<BkObject> = match mode {
+                    BindMode::Principal => {
+                        if *target == BkObject::Bottom {
+                            vec![BkObject::Bottom]
+                        } else {
+                            vec![target.clone(), BkObject::Bottom]
+                        }
+                    }
+                    BindMode::Exhaustive => {
+                        subobjects(target, 1 << 12).ok_or(BkError::SubobjectOverflow)?
+                    }
+                };
+                Ok(candidates
+                    .into_iter()
+                    .map(|c| {
+                        let mut nb = b.clone();
+                        nb.insert(v.clone(), c);
+                        nb
+                    })
+                    .collect())
+            }
+        },
+        BkTerm::Const(c) => {
+            if subobject(c, target) {
+                Ok(vec![b.clone()])
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        BkTerm::Tuple(m) => {
+            // the instantiated tuple has exactly attrs(m); it is ⊑ target
+            // iff target is a tuple (or ⊤) providing each attribute above
+            let out_for_top = |b: &Bindings| -> Result<Vec<Bindings>, BkError> {
+                // everything is ⊑ ⊤: match sub-patterns against ⊤
+                let mut acc = vec![b.clone()];
+                for t in m.values() {
+                    let mut next = Vec::new();
+                    for bb in &acc {
+                        next.extend(match_pattern(t, &BkObject::Top, bb, mode)?);
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            };
+            match target {
+                BkObject::Top => out_for_top(b),
+                BkObject::Tuple(tm) => {
+                    let mut acc = vec![b.clone()];
+                    for (k, t) in m {
+                        let Some(tv) = tm.get(k) else {
+                            return Ok(Vec::new());
+                        };
+                        let mut next = Vec::new();
+                        for bb in &acc {
+                            next.extend(match_pattern(t, tv, bb, mode)?);
+                        }
+                        acc = next;
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                    Ok(acc)
+                }
+                _ => Ok(Vec::new()),
+            }
+        }
+        BkTerm::Set(items) => match target {
+            BkObject::Set(ts) => {
+                // each item pattern must be ⊑ some member
+                let mut acc = vec![b.clone()];
+                for item in items {
+                    let mut next = Vec::new();
+                    for bb in &acc {
+                        for member in ts {
+                            next.extend(match_pattern(item, member, bb, mode)?);
+                        }
+                    }
+                    acc = next;
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                Ok(acc)
+            }
+            BkObject::Top => {
+                let mut acc = vec![b.clone()];
+                for item in items {
+                    let mut next = Vec::new();
+                    for bb in &acc {
+                        next.extend(match_pattern(item, &BkObject::Top, bb, mode)?);
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+            _ => Ok(Vec::new()),
+        },
+    }
+}
+
+/// All valuations satisfying a rule body against the state.
+fn rule_bindings(
+    rule: &BkRule,
+    state: &BkState,
+    mode: BindMode,
+) -> Result<Vec<Bindings>, BkError> {
+    let mut acc: Vec<Bindings> = vec![Bindings::new()];
+    for lit in &rule.body {
+        let extent = state.get(&lit.pred).cloned().unwrap_or_default();
+        let mut next = Vec::new();
+        for b in &acc {
+            for target in &extent {
+                next.extend(match_pattern(&lit.pattern, target, b, mode)?);
+            }
+        }
+        // dedup to keep the frontier small
+        next.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        next.dedup();
+        acc = next;
+        if acc.is_empty() {
+            break;
+        }
+    }
+    Ok(acc)
+}
+
+/// Run at most `config.max_rounds` rounds of the monotone operator.
+/// Returns the reached state, the recorded derivations, and whether the
+/// fixpoint converged within the budget. `Err` only on sub-object
+/// enumeration overflow or fact-count overflow.
+pub fn eval_rounds(
+    prog: &BkProgram,
+    input: &BkState,
+    config: &BkConfig,
+) -> Result<(BkState, Vec<Derivation>, bool), BkError> {
+    let mut state = input.clone();
+    let mut derivations = Vec::new();
+    for _ in 0..config.max_rounds {
+        let mut changed = false;
+        let snapshot = state.clone();
+        for (idx, rule) in prog.rules.iter().enumerate() {
+            for b in rule_bindings(rule, &snapshot, config.bind_mode)? {
+                let fact = rule.head.instantiate(&b);
+                let extent = state.entry(rule.head_pred.clone()).or_default();
+                if extent.insert(fact.clone()) {
+                    changed = true;
+                    derivations.push(Derivation {
+                        rule: idx,
+                        bindings: b,
+                        pred: rule.head_pred.clone(),
+                        fact,
+                    });
+                }
+            }
+        }
+        let total: usize = state.values().map(BTreeSet::len).sum();
+        if total > config.max_facts {
+            return Err(BkError::FuelExhausted);
+        }
+        if !changed {
+            return Ok((state, derivations, true));
+        }
+    }
+    Ok((state, derivations, false))
+}
+
+/// Run the monotone fixpoint to convergence. Returns the final state and
+/// the full list of recorded derivations; non-convergence within the
+/// budget is the paper's undefined output.
+pub fn eval_fixpoint(
+    prog: &BkProgram,
+    input: &BkState,
+    config: &BkConfig,
+) -> Result<(BkState, Vec<Derivation>), BkError> {
+    match eval_rounds(prog, input, config)? {
+        (state, derivations, true) => Ok((state, derivations)),
+        _ => Err(BkError::FuelExhausted),
+    }
+}
+
+/// Build a state from `(pred, objects)` pairs.
+pub fn state_from<I, J>(relations: I) -> BkState
+where
+    I: IntoIterator<Item = (&'static str, J)>,
+    J: IntoIterator<Item = BkObject>,
+{
+    relations
+        .into_iter()
+        .map(|(p, objs)| (p.to_owned(), objs.into_iter().collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::BkObject as O;
+
+    fn pair(a: &'static str, x: O, b: &'static str, y: O) -> O {
+        O::tuple([(a, x), (b, y)])
+    }
+
+    /// The Example 5.2 setup: R1 = {[A:1,B:2]}, R2 = {[B:2,C:3],[B:4,C:5]}.
+    fn example_52_state() -> BkState {
+        state_from([
+            ("R1", vec![pair("A", O::atom(1), "B", O::atom(2))]),
+            (
+                "R2",
+                vec![
+                    pair("B", O::atom(2), "C", O::atom(3)),
+                    pair("B", O::atom(4), "C", O::atom(5)),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn example_52_join_rule_overshoots_to_cross_product() {
+        let prog = BkProgram::join_rule();
+        let (state, _) =
+            eval_fixpoint(&prog, &example_52_state(), &BkConfig::default()).unwrap();
+        let r = &state["R"];
+        // the true join tuple is derived …
+        assert!(r.contains(&pair("A", O::atom(1), "C", O::atom(3))));
+        // … but so is the spurious tuple via y ↦ ⊥ — the paper's point:
+        // the rule computes π₁R₁ × π₂R₂, not the join
+        assert!(r.contains(&pair("A", O::atom(1), "C", O::atom(5))));
+        // and ⊥-polluted variants of both columns appear as well
+        assert!(r.contains(&pair("A", O::atom(1), "C", O::Bottom)));
+    }
+
+    #[test]
+    fn example_52_all_cross_product_tuples_appear() {
+        // enlarge R1 to two tuples: every (x, z) combination must show up
+        let mut st = example_52_state();
+        st.get_mut("R1")
+            .unwrap()
+            .insert(pair("A", O::atom(7), "B", O::atom(8)));
+        let (state, _) = eval_fixpoint(&BkProgram::join_rule(), &st, &BkConfig::default())
+            .unwrap();
+        let r = &state["R"];
+        for x in [1u64, 7] {
+            for z in [3u64, 5] {
+                assert!(
+                    r.contains(&pair("A", O::atom(x), "C", O::atom(z))),
+                    "missing [A:{x}, C:{z}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example_54_chain_to_list_diverges() {
+        let dollar = O::Atom(uset_object::Atom::named("$"));
+        let prog = BkProgram::chain_to_list(dollar.clone());
+        let st = state_from([(
+            "S",
+            vec![pair("A", dollar.clone(), "B", O::atom(1))],
+        )]);
+        let cfg = BkConfig {
+            max_rounds: 100,
+            max_facts: 5000,
+            bind_mode: BindMode::Principal,
+        };
+        assert_eq!(eval_fixpoint(&prog, &st, &cfg), Err(BkError::FuelExhausted));
+    }
+
+    #[test]
+    fn example_54_derives_growing_bottom_lists() {
+        // run a few rounds and inspect the intermediate facts: the
+        // ⊥-headed lists of increasing depth predicted by the paper —
+        // [H:⊥,T:$], [H:⊥,T:[H:⊥,T:$]], … — must be among them
+        let dollar = O::Atom(uset_object::Atom::named("$"));
+        let prog = BkProgram::chain_to_list(dollar.clone());
+        let st = state_from([(
+            "S",
+            vec![pair("A", dollar.clone(), "B", O::atom(1))],
+        )]);
+        let cfg = BkConfig {
+            max_rounds: 4,
+            max_facts: 100_000,
+            bind_mode: BindMode::Principal,
+        };
+        let (state, _, converged) = eval_rounds(&prog, &st, &cfg).unwrap();
+        assert!(!converged, "Example 5.4 must not converge");
+        let list = &state["LIST"];
+        let depth1 = pair("H", O::Bottom, "T", dollar.clone());
+        let depth2 = pair("H", O::Bottom, "T", depth1.clone());
+        let depth3 = pair("H", O::Bottom, "T", depth2.clone());
+        assert!(list.contains(&depth1));
+        assert!(list.contains(&depth2));
+        assert!(list.contains(&depth3));
+    }
+
+    #[test]
+    fn monotone_growth_under_larger_input() {
+        // adding input facts only adds output facts (BK is monotone)
+        let prog = BkProgram::join_rule();
+        let small = example_52_state();
+        let mut big = small.clone();
+        big.get_mut("R1")
+            .unwrap()
+            .insert(pair("A", O::atom(10), "B", O::atom(11)));
+        let (out_small, _) = eval_fixpoint(&prog, &small, &BkConfig::default()).unwrap();
+        let (out_big, _) = eval_fixpoint(&prog, &big, &BkConfig::default()).unwrap();
+        assert!(out_small["R"].is_subset(&out_big["R"]));
+    }
+
+    #[test]
+    fn exhaustive_mode_extends_principal_mode() {
+        let prog = BkProgram::join_rule();
+        let st = example_52_state();
+        let (p, _) = eval_fixpoint(&prog, &st, &BkConfig::default()).unwrap();
+        let (e, _) = eval_fixpoint(
+            &prog,
+            &st,
+            &BkConfig {
+                bind_mode: BindMode::Exhaustive,
+                ..BkConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(p["R"].is_subset(&e["R"]));
+    }
+
+    #[test]
+    fn derivations_record_bindings() {
+        let prog = BkProgram::join_rule();
+        let (_, ds) = eval_fixpoint(&prog, &example_52_state(), &BkConfig::default()).unwrap();
+        // find the derivation of the true join tuple and check its binding
+        let join_fact = pair("A", O::atom(1), "C", O::atom(3));
+        let d = ds
+            .iter()
+            .find(|d| d.fact == join_fact)
+            .expect("join tuple derived");
+        assert_eq!(d.bindings["y"], O::atom(2));
+        assert_eq!(d.rule, 0);
+    }
+
+    #[test]
+    fn constants_in_patterns_match_by_subobject() {
+        // body pattern [A:1] (constant) matches [A:1, B:2] because the
+        // pattern instantiates to a sub-object
+        let prog = BkProgram::new(vec![crate::rules::BkRule::new(
+            "Out",
+            BkTerm::var("w"),
+            vec![(
+                "R1",
+                BkTerm::tuple([("A", BkTerm::cst(O::atom(1)))]),
+            )],
+        )]);
+        let (state, _) = eval_fixpoint(&prog, &example_52_state(), &BkConfig::default())
+            .unwrap();
+        // w is unbound in the body → instantiates to ⊥
+        assert_eq!(state["Out"], [O::Bottom].into_iter().collect());
+    }
+}

@@ -1,0 +1,33 @@
+//! # uset-bk — the Bancilhon–Khoshafian calculus
+//!
+//! BK (Bancilhon & Khoshafian 1986) is a rule language over complex
+//! objects with two distinguished elements ⊥ ("no information") and ⊤
+//! ("inconsistent"), ordered by the *sub-object* relation ⊑ under which the
+//! objects form a lattice. Tuples have **named** attributes; a tuple with
+//! fewer attributes is below one with more. Rules fire by finding
+//! valuations whose instantiated body patterns are **sub-objects of**
+//! (not equal to) database objects — the footnote-3 difference from COL
+//! that drives all of Section 5's negative results:
+//!
+//! * Example 5.2 — the natural-join rule actually derives
+//!   `π₁R₁ × π₂R₂`, because a join variable may be instantiated to ⊥;
+//! * Proposition 5.3 — no BK query computes the natural join;
+//! * Example 5.4 / Proposition 5.5 — the chain-to-list program diverges,
+//!   and no BK query converts a chain to a list.
+//!
+//! All four are *executable* here: the evaluator ([`eval`]) records
+//! derivations, [`limits`] mechanizes the paper's
+//! derivation-transformation argument (lower a binding to ⊥, re-fire, get
+//! a non-join tuple), and an exhaustive search over a small rule grammar
+//! confirms no tiny program computes the join.
+
+pub mod eval;
+pub mod limits;
+pub mod object;
+pub mod order;
+pub mod rules;
+
+pub use eval::{eval_fixpoint, BkConfig, BkError, BkState, Derivation};
+pub use object::BkObject;
+pub use order::{lub, subobject};
+pub use rules::{BkProgram, BkRule, BkTerm};

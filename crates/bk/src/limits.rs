@@ -1,0 +1,282 @@
+//! Mechanized forms of the paper's BK impossibility arguments
+//! (Propositions 5.3 and 5.5).
+//!
+//! The paper's proof of Proposition 5.3 transforms a derivation tree:
+//! given any BK query with `Q[I1, I2] ⊇ I1 ⋈ I2` on the witness input
+//! `I1 = {[A:1,B:2]}`, `I2 = {[B:2,C:3],[B:4,C:5]}`, take the derivation of
+//! `[A:1,C:3]`, replace every binding of `2` by `⊥` and every binding of
+//! `3` by `5`, and obtain a valid derivation of `[A:1,C:5]` — which is not
+//! in the join. Hence no BK query computes the join exactly.
+//!
+//! Two executable pieces back this up:
+//!
+//! * [`lower_binding_preserves_derivation`] — the transformation's key
+//!   lemma, checked operationally: lowering any binding of a recorded
+//!   derivation pointwise (in ⊑) still matches the body, and re-firing the
+//!   rule derives the transformed fact.
+//! * [`search_join_programs`] — an exhaustive search over a finite grammar
+//!   of single-rule BK programs (patterns over the attributes A/B/C with
+//!   variables x/y/z), confirming that none computes the natural join on a
+//!   family of test instances. Impossibility over the *infinite* language
+//!   is the paper's theorem; the search documents that the failure is
+//!   structural, not an artifact of the specific rule in Example 5.2.
+
+use crate::eval::{eval_fixpoint, state_from, BkConfig, BkState, Derivation};
+use crate::object::BkObject;
+use crate::order::subobject;
+use crate::rules::{BkProgram, BkRule, BkTerm};
+use std::collections::BTreeMap;
+
+/// Check the derivation-transformation lemma on a recorded derivation:
+/// replace bindings by the given (pointwise ⊑-below or renamed) objects
+/// and verify the transformed valuation still satisfies the rule body
+/// against `state`, deriving the transformed head. Returns the new fact.
+pub fn transform_derivation(
+    prog: &BkProgram,
+    state: &BkState,
+    d: &Derivation,
+    replace: &BTreeMap<BkObject, BkObject>,
+) -> Option<BkObject> {
+    let rule = prog.rules.get(d.rule)?;
+    let new_bindings: BTreeMap<String, BkObject> = d
+        .bindings
+        .iter()
+        .map(|(k, v)| (k.clone(), replace.get(v).cloned().unwrap_or_else(|| v.clone())))
+        .collect();
+    // verify each body literal still matches under the new valuation
+    for lit in &rule.body {
+        let inst = lit.pattern.instantiate(&new_bindings);
+        let extent = state.get(&lit.pred)?;
+        if !extent.iter().any(|o| subobject(&inst, o)) {
+            return None;
+        }
+    }
+    Some(rule.head.instantiate(&new_bindings))
+}
+
+/// The lemma behind the transformation: lowering a single binding to ⊥
+/// keeps every derivation valid (instantiation is monotone and ⊑ is
+/// transitive). Verified for all recorded derivations of a program run;
+/// returns the number of (derivation, variable) pairs checked.
+pub fn lower_binding_preserves_derivation(
+    prog: &BkProgram,
+    state: &BkState,
+    derivations: &[Derivation],
+) -> Result<usize, String> {
+    let mut checked = 0;
+    for d in derivations {
+        for var in d.bindings.keys() {
+            let mut replace = BTreeMap::new();
+            replace.insert(d.bindings[var].clone(), BkObject::Bottom);
+            // a replacement map keyed by value may collide across vars
+            // bound to the same object; that only lowers more, which the
+            // lemma still covers
+            if transform_derivation(prog, state, d, &replace).is_none() {
+                return Err(format!(
+                    "lowering {var} in derivation of {} broke the body match",
+                    d.fact
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+/// The natural join of two binary BK relations over attributes (A,B) and
+/// (B,C) — the ground truth of Proposition 5.3.
+pub fn natural_join(r1: &[BkObject], r2: &[BkObject]) -> Vec<BkObject> {
+    let mut out = Vec::new();
+    for t1 in r1 {
+        for t2 in r2 {
+            if let (Some(b1), Some(b2)) = (t1.attr("B"), t2.attr("B")) {
+                if b1 == b2 {
+                    if let (Some(a), Some(c)) = (t1.attr("A"), t2.attr("C")) {
+                        out.push(BkObject::Tuple(
+                            [("A".to_owned(), a.clone()), ("C".to_owned(), c.clone())]
+                                .into_iter()
+                                .collect(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Enumerate single-rule candidate programs
+/// `R{[A:α, C:γ]} ← R1{[A:α', B:β]}, R2{[B:β', C:γ']}` where each slot is a
+/// variable from {x, y, z, w} — the natural grammar fragment around the
+/// Example 5.2 rule.
+pub fn candidate_join_programs() -> Vec<BkProgram> {
+    let vars = ["x", "y", "z", "w"];
+    let mut out = Vec::new();
+    for ha in vars {
+        for hc in vars {
+            for b1a in vars {
+                for b1b in vars {
+                    for b2b in vars {
+                        for b2c in vars {
+                            out.push(BkProgram::new(vec![BkRule::new(
+                                "R",
+                                BkTerm::tuple([
+                                    ("A", BkTerm::var(ha)),
+                                    ("C", BkTerm::var(hc)),
+                                ]),
+                                vec![
+                                    (
+                                        "R1",
+                                        BkTerm::tuple([
+                                            ("A", BkTerm::var(b1a)),
+                                            ("B", BkTerm::var(b1b)),
+                                        ]),
+                                    ),
+                                    (
+                                        "R2",
+                                        BkTerm::tuple([
+                                            ("B", BkTerm::var(b2b)),
+                                            ("C", BkTerm::var(b2c)),
+                                        ]),
+                                    ),
+                                ],
+                            )]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Test instances for the join search: the paper's witness plus variants.
+pub fn join_test_instances() -> Vec<(Vec<BkObject>, Vec<BkObject>)> {
+    let t = |a: &'static str, x: u64, b: &'static str, y: u64| {
+        BkObject::tuple([(a, BkObject::atom(x)), (b, BkObject::atom(y))])
+    };
+    vec![
+        // the paper's witness
+        (
+            vec![t("A", 1, "B", 2)],
+            vec![t("B", 2, "C", 3), t("B", 4, "C", 5)],
+        ),
+        // no matches at all
+        (vec![t("A", 1, "B", 2)], vec![t("B", 9, "C", 3)]),
+        // multiple matches
+        (
+            vec![t("A", 1, "B", 2), t("A", 6, "B", 2)],
+            vec![t("B", 2, "C", 3)],
+        ),
+    ]
+}
+
+/// Exhaustively check that no candidate program computes the natural join
+/// (restricted to output tuples without ⊥/⊤, i.e. the flat reading)
+/// on all test instances. Returns the number of candidates examined; every
+/// one must fail on at least one instance.
+pub fn search_join_programs() -> Result<usize, String> {
+    let mut examined = 0;
+    for prog in candidate_join_programs() {
+        examined += 1;
+        let mut computes_join_everywhere = true;
+        for (r1, r2) in join_test_instances() {
+            let state = state_from([
+                ("R1", r1.iter().cloned().collect::<Vec<_>>()),
+                ("R2", r2.iter().cloned().collect::<Vec<_>>()),
+            ]);
+            let Ok((out, _)) = eval_fixpoint(&prog, &state, &BkConfig::default()) else {
+                computes_join_everywhere = false;
+                break;
+            };
+            let expected: std::collections::BTreeSet<BkObject> =
+                natural_join(&r1, &r2).into_iter().collect();
+            // flat reading: compare atoms-only output tuples
+            let flat: std::collections::BTreeSet<BkObject> = out
+                .get("R")
+                .cloned()
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|o| !o.mentions_bottom() && *o != BkObject::Top)
+                .collect();
+            if flat != expected {
+                computes_join_everywhere = false;
+                break;
+            }
+        }
+        if computes_join_everywhere {
+            return Err("a candidate program computed the join — Proposition 5.3 violated".to_owned());
+        }
+    }
+    Ok(examined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::BkObject as O;
+
+    fn witness_state() -> BkState {
+        state_from([
+            (
+                "R1",
+                vec![O::tuple([("A", O::atom(1)), ("B", O::atom(2))])],
+            ),
+            (
+                "R2",
+                vec![
+                    O::tuple([("B", O::atom(2)), ("C", O::atom(3))]),
+                    O::tuple([("B", O::atom(4)), ("C", O::atom(5))]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn paper_transformation_produces_non_join_tuple() {
+        // the Proposition 5.3 argument, executed literally
+        let prog = BkProgram::join_rule();
+        let (state, ds) = eval_fixpoint(&prog, &witness_state(), &BkConfig::default()).unwrap();
+        let join_fact = O::tuple([("A", O::atom(1)), ("C", O::atom(3))]);
+        let d = ds.iter().find(|d| d.fact == join_fact).expect("derived");
+        // replace 2 ↦ ⊥ and 3 ↦ 5 in the valuation
+        let mut replace = BTreeMap::new();
+        replace.insert(O::atom(2), O::Bottom);
+        replace.insert(O::atom(3), O::atom(5));
+        let transformed = transform_derivation(&prog, &state, d, &replace)
+            .expect("transformed derivation must remain valid");
+        let bad = O::tuple([("A", O::atom(1)), ("C", O::atom(5))]);
+        assert_eq!(transformed, bad);
+        // …and that fact is not in the natural join
+        let r1: Vec<O> = witness_state()["R1"].iter().cloned().collect();
+        let r2: Vec<O> = witness_state()["R2"].iter().cloned().collect();
+        assert!(!natural_join(&r1, &r2).contains(&bad));
+    }
+
+    #[test]
+    fn lowering_lemma_holds_for_all_derivations() {
+        let prog = BkProgram::join_rule();
+        let (state, ds) = eval_fixpoint(&prog, &witness_state(), &BkConfig::default()).unwrap();
+        let checked = lower_binding_preserves_derivation(&prog, &state, &ds).unwrap();
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn natural_join_ground_truth() {
+        let r1 = vec![O::tuple([("A", O::atom(1)), ("B", O::atom(2))])];
+        let r2 = vec![
+            O::tuple([("B", O::atom(2)), ("C", O::atom(3))]),
+            O::tuple([("B", O::atom(4)), ("C", O::atom(5))]),
+        ];
+        let j = natural_join(&r1, &r2);
+        assert_eq!(j, vec![O::tuple([("A", O::atom(1)), ("C", O::atom(3))])]);
+    }
+
+    #[test]
+    fn exhaustive_search_finds_no_join_program() {
+        let examined = search_join_programs().unwrap();
+        assert_eq!(examined, 4096); // 4^6 candidates
+    }
+}

@@ -1,0 +1,132 @@
+//! BK objects: atoms, named-attribute tuples, sets, ⊥ and ⊤.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use uset_object::Atom;
+
+/// A BK complex object.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BkObject {
+    /// ⊥ — the bottom object, "no information"; sub-object of everything.
+    Bottom,
+    /// ⊤ — the top object; everything is a sub-object of it.
+    Top,
+    /// An atom of **U**.
+    Atom(Atom),
+    /// A tuple with named attributes.
+    Tuple(BTreeMap<String, BkObject>),
+    /// A finite set.
+    Set(BTreeSet<BkObject>),
+}
+
+impl BkObject {
+    /// An atomic object.
+    pub fn atom(id: u64) -> BkObject {
+        BkObject::Atom(Atom::new(id))
+    }
+
+    /// A named-attribute tuple from `(attr, value)` pairs.
+    pub fn tuple<I>(attrs: I) -> BkObject
+    where
+        I: IntoIterator<Item = (&'static str, BkObject)>,
+    {
+        BkObject::Tuple(
+            attrs
+                .into_iter()
+                .map(|(a, v)| (a.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// A set object.
+    pub fn set<I: IntoIterator<Item = BkObject>>(items: I) -> BkObject {
+        BkObject::Set(items.into_iter().collect())
+    }
+
+    /// Attribute lookup on tuples.
+    pub fn attr(&self, name: &str) -> Option<&BkObject> {
+        match self {
+            BkObject::Tuple(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    /// Structural size (number of nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            BkObject::Bottom | BkObject::Top | BkObject::Atom(_) => 1,
+            BkObject::Tuple(m) => 1 + m.values().map(BkObject::size).sum::<usize>(),
+            BkObject::Set(s) => 1 + s.iter().map(BkObject::size).sum::<usize>(),
+        }
+    }
+
+    /// Does the object mention ⊥ anywhere?
+    pub fn mentions_bottom(&self) -> bool {
+        match self {
+            BkObject::Bottom => true,
+            BkObject::Top | BkObject::Atom(_) => false,
+            BkObject::Tuple(m) => m.values().any(BkObject::mentions_bottom),
+            BkObject::Set(s) => s.iter().any(BkObject::mentions_bottom),
+        }
+    }
+}
+
+impl fmt::Display for BkObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BkObject::Bottom => write!(f, "⊥"),
+            BkObject::Top => write!(f, "⊤"),
+            BkObject::Atom(a) => write!(f, "{a}"),
+            BkObject::Tuple(m) => {
+                write!(f, "[")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}:{v}")?;
+                }
+                write!(f, "]")
+            }
+            BkObject::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_attrs() {
+        let t = BkObject::tuple([("A", BkObject::atom(1)), ("B", BkObject::atom(2))]);
+        assert_eq!(t.attr("A"), Some(&BkObject::atom(1)));
+        assert_eq!(t.attr("C"), None);
+        assert_eq!(BkObject::Bottom.attr("A"), None);
+    }
+
+    #[test]
+    fn size_and_bottom_detection() {
+        let t = BkObject::tuple([
+            ("H", BkObject::Bottom),
+            ("T", BkObject::set([BkObject::atom(1)])),
+        ]);
+        assert_eq!(t.size(), 4);
+        assert!(t.mentions_bottom());
+        assert!(!BkObject::atom(1).mentions_bottom());
+    }
+
+    #[test]
+    fn display() {
+        let t = BkObject::tuple([("A", BkObject::atom(1)), ("B", BkObject::Bottom)]);
+        assert_eq!(format!("{t}"), "[A:a1, B:⊥]");
+    }
+}

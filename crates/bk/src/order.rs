@@ -1,0 +1,273 @@
+//! The sub-object order ⊑ and least upper bounds.
+//!
+//! Following Bancilhon–Khoshafian: `o ⊑ o'` ("o is a sub-object of o'",
+//! carries no more information) holds when
+//!
+//! * `o = ⊥`, or `o' = ⊤`;
+//! * both are the same atom;
+//! * both are tuples, `attrs(o) ⊆ attrs(o')`, and attribute-wise ⊑;
+//! * both are sets and every member of `o` is ⊑ some member of `o'`
+//!   (the Hoare/lower preorder).
+//!
+//! With ⊤ adjoined, every pair has an upper bound; [`lub`] computes the
+//! natural least upper bound (on sets it returns the union, which is the
+//! canonical representative of the lub's equivalence class under the
+//! set preorder).
+
+use crate::object::BkObject;
+use std::collections::BTreeSet;
+
+/// The sub-object relation `a ⊑ b`.
+pub fn subobject(a: &BkObject, b: &BkObject) -> bool {
+    match (a, b) {
+        (BkObject::Bottom, _) => true,
+        (_, BkObject::Top) => true,
+        (BkObject::Top, _) => false,
+        (_, BkObject::Bottom) => false,
+        (BkObject::Atom(x), BkObject::Atom(y)) => x == y,
+        (BkObject::Tuple(ma), BkObject::Tuple(mb)) => ma
+            .iter()
+            .all(|(k, va)| mb.get(k).is_some_and(|vb| subobject(va, vb))),
+        (BkObject::Set(sa), BkObject::Set(sb)) => sa
+            .iter()
+            .all(|x| sb.iter().any(|y| subobject(x, y))),
+        _ => false,
+    }
+}
+
+/// Least upper bound of two objects (⊤ when no common structure exists).
+pub fn lub(a: &BkObject, b: &BkObject) -> BkObject {
+    match (a, b) {
+        (BkObject::Bottom, o) | (o, BkObject::Bottom) => o.clone(),
+        (BkObject::Top, _) | (_, BkObject::Top) => BkObject::Top,
+        (BkObject::Atom(x), BkObject::Atom(y)) => {
+            if x == y {
+                a.clone()
+            } else {
+                BkObject::Top
+            }
+        }
+        (BkObject::Tuple(ma), BkObject::Tuple(mb)) => {
+            let mut out = ma.clone();
+            for (k, vb) in mb {
+                let merged = match out.get(k) {
+                    Some(va) => lub(va, vb),
+                    None => vb.clone(),
+                };
+                out.insert(k.clone(), merged);
+            }
+            BkObject::Tuple(out)
+        }
+        (BkObject::Set(sa), BkObject::Set(sb)) => {
+            BkObject::Set(sa.union(sb).cloned().collect())
+        }
+        _ => BkObject::Top,
+    }
+}
+
+/// All sub-objects of `o`, capped at `limit` results (`None` when the cap
+/// is hit). Exponential; intended for small objects and the exhaustive
+/// matching mode.
+pub fn subobjects(o: &BkObject, limit: usize) -> Option<Vec<BkObject>> {
+    let mut out = subobjects_rec(o)?;
+    out.sort();
+    out.dedup();
+    if out.len() > limit {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn subobjects_rec(o: &BkObject) -> Option<Vec<BkObject>> {
+    const HARD_CAP: usize = 1 << 16;
+    let mut out = vec![BkObject::Bottom];
+    match o {
+        BkObject::Bottom => {}
+        BkObject::Top | BkObject::Atom(_) => out.push(o.clone()),
+        BkObject::Tuple(m) => {
+            // choose, per attribute, either to drop it or any sub-object of
+            // its value — but dropping is subsumed by not including the
+            // attribute; generate over subsets implicitly: start with the
+            // empty tuple and extend attribute by attribute
+            let mut partials: Vec<std::collections::BTreeMap<String, BkObject>> =
+                vec![std::collections::BTreeMap::new()];
+            for (k, v) in m {
+                let subs = subobjects_rec(v)?;
+                let mut next = Vec::new();
+                for p in &partials {
+                    // omit the attribute entirely
+                    next.push(p.clone());
+                    for s in &subs {
+                        let mut q = p.clone();
+                        q.insert(k.clone(), s.clone());
+                        next.push(q);
+                    }
+                }
+                if next.len() > HARD_CAP {
+                    return None;
+                }
+                partials = next;
+            }
+            out.extend(partials.into_iter().map(BkObject::Tuple));
+        }
+        BkObject::Set(s) => {
+            // sub-objects in the Hoare order: any set of sub-objects of
+            // members. Generating all is doubly exponential; we generate
+            // the (sufficient for lattice tests) family of sets whose
+            // members are sub-objects of distinct members.
+            let member_subs: Vec<Vec<BkObject>> = s
+                .iter()
+                .map(subobjects_rec)
+                .collect::<Option<_>>()?;
+            let mut partials: Vec<BTreeSet<BkObject>> = vec![BTreeSet::new()];
+            for subs in &member_subs {
+                let mut next = Vec::new();
+                for p in &partials {
+                    next.push(p.clone());
+                    for sub in subs {
+                        let mut q = p.clone();
+                        q.insert(sub.clone());
+                        next.push(q);
+                    }
+                }
+                if next.len() > HARD_CAP {
+                    return None;
+                }
+                partials = next;
+            }
+            out.extend(partials.into_iter().map(BkObject::Set));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::BkObject as O;
+
+    #[test]
+    fn bottom_and_top_bound_everything() {
+        let t = O::tuple([("A", O::atom(1))]);
+        assert!(subobject(&O::Bottom, &t));
+        assert!(subobject(&t, &O::Top));
+        assert!(!subobject(&O::Top, &t));
+        assert!(!subobject(&t, &O::Bottom));
+        assert!(subobject(&O::Bottom, &O::Bottom));
+        assert!(subobject(&O::Top, &O::Top));
+    }
+
+    #[test]
+    fn atoms_compare_by_identity() {
+        assert!(subobject(&O::atom(1), &O::atom(1)));
+        assert!(!subobject(&O::atom(1), &O::atom(2)));
+    }
+
+    #[test]
+    fn tuple_order_is_attribute_inclusion() {
+        let small = O::tuple([("A", O::atom(1))]);
+        let big = O::tuple([("A", O::atom(1)), ("B", O::atom(2))]);
+        assert!(subobject(&small, &big));
+        assert!(!subobject(&big, &small));
+        // ⊥ attribute is below anything
+        let with_bot = O::tuple([("A", O::Bottom), ("B", O::atom(2))]);
+        assert!(subobject(&with_bot, &big));
+        // differing atoms block
+        let wrong = O::tuple([("A", O::atom(9))]);
+        assert!(!subobject(&wrong, &big));
+    }
+
+    #[test]
+    fn set_order_is_hoare() {
+        let s1 = O::set([O::atom(1)]);
+        let s12 = O::set([O::atom(1), O::atom(2)]);
+        assert!(subobject(&s1, &s12));
+        assert!(!subobject(&s12, &s1));
+        // empty set below every set
+        assert!(subobject(&O::set([]), &s1));
+        // member-wise lowering
+        let lowered = O::set([O::tuple([("A", O::Bottom)])]);
+        let target = O::set([O::tuple([("A", O::atom(3)), ("B", O::atom(4))])]);
+        assert!(subobject(&lowered, &target));
+    }
+
+    #[test]
+    fn order_is_reflexive_and_transitive_on_samples() {
+        let samples = vec![
+            O::Bottom,
+            O::Top,
+            O::atom(1),
+            O::tuple([("A", O::atom(1))]),
+            O::tuple([("A", O::atom(1)), ("B", O::Bottom)]),
+            O::set([O::atom(1), O::tuple([("A", O::Bottom)])]),
+        ];
+        for a in &samples {
+            assert!(subobject(a, a), "reflexivity at {a}");
+            for b in &samples {
+                for c in &samples {
+                    if subobject(a, b) && subobject(b, c) {
+                        assert!(subobject(a, c), "transitivity {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lub_is_an_upper_bound_and_least_on_samples() {
+        let samples = vec![
+            O::Bottom,
+            O::atom(1),
+            O::atom(2),
+            O::tuple([("A", O::atom(1))]),
+            O::tuple([("B", O::atom(2))]),
+            O::set([O::atom(1)]),
+            O::set([O::atom(2)]),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let j = lub(a, b);
+                assert!(subobject(a, &j), "lub({a},{b}) = {j} not ⊒ {a}");
+                assert!(subobject(b, &j), "lub({a},{b}) = {j} not ⊒ {b}");
+                // least among the sample upper bounds
+                for u in &samples {
+                    if subobject(a, u) && subobject(b, u) {
+                        assert!(
+                            subobject(&j, u),
+                            "lub({a},{b}) = {j} not ⊑ upper bound {u}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lub_merges_tuples_attributewise() {
+        let a = O::tuple([("A", O::atom(1))]);
+        let b = O::tuple([("B", O::atom(2))]);
+        assert_eq!(
+            lub(&a, &b),
+            O::tuple([("A", O::atom(1)), ("B", O::atom(2))])
+        );
+        // conflicting attribute goes to ⊤
+        let c = O::tuple([("A", O::atom(9))]);
+        assert_eq!(lub(&a, &c), O::tuple([("A", O::Top)]));
+    }
+
+    #[test]
+    fn subobjects_enumeration() {
+        let t = O::tuple([("A", O::atom(1)), ("B", O::atom(2))]);
+        let subs = subobjects(&t, 1000).unwrap();
+        // ⊥, and tuples over attribute subsets with ⊥/value choices
+        assert!(subs.contains(&O::Bottom));
+        assert!(subs.contains(&t));
+        assert!(subs.contains(&O::tuple([("A", O::atom(1))])));
+        assert!(subs.contains(&O::tuple([("A", O::Bottom), ("B", O::atom(2))])));
+        // everything enumerated really is a sub-object
+        for s in &subs {
+            assert!(subobject(s, &t), "{s} not ⊑ {t}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! BK rules: patterns, programs.
+
+use crate::object::BkObject;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A pattern term in a BK rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BkTerm {
+    /// Variable.
+    Var(String),
+    /// Constant object.
+    Const(BkObject),
+    /// Tuple pattern with named attributes.
+    Tuple(BTreeMap<String, BkTerm>),
+    /// Set pattern (each item must be ⊑ some member of the target set).
+    Set(Vec<BkTerm>),
+}
+
+impl BkTerm {
+    /// Shorthand variable.
+    pub fn var(name: &str) -> BkTerm {
+        BkTerm::Var(name.to_owned())
+    }
+
+    /// Shorthand constant.
+    pub fn cst(o: BkObject) -> BkTerm {
+        BkTerm::Const(o)
+    }
+
+    /// Tuple pattern from `(attr, term)` pairs.
+    pub fn tuple<I>(attrs: I) -> BkTerm
+    where
+        I: IntoIterator<Item = (&'static str, BkTerm)>,
+    {
+        BkTerm::Tuple(
+            attrs
+                .into_iter()
+                .map(|(a, t)| (a.to_owned(), t))
+                .collect(),
+        )
+    }
+
+    /// Variables in the term, appended to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            BkTerm::Var(v) => out.push(v.clone()),
+            BkTerm::Const(_) => {}
+            BkTerm::Tuple(m) => {
+                for t in m.values() {
+                    t.collect_vars(out);
+                }
+            }
+            BkTerm::Set(ts) => {
+                for t in ts {
+                    t.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Instantiate under a complete binding (unbound variables become ⊥ —
+    /// BK's "no information" default).
+    pub fn instantiate(&self, b: &BTreeMap<String, BkObject>) -> BkObject {
+        match self {
+            BkTerm::Var(v) => b.get(v).cloned().unwrap_or(BkObject::Bottom),
+            BkTerm::Const(o) => o.clone(),
+            BkTerm::Tuple(m) => BkObject::Tuple(
+                m.iter()
+                    .map(|(k, t)| (k.clone(), t.instantiate(b)))
+                    .collect(),
+            ),
+            BkTerm::Set(ts) => {
+                BkObject::Set(ts.iter().map(|t| t.instantiate(b)).collect())
+            }
+        }
+    }
+}
+
+/// One body literal: `pred { pattern }` — the pattern must instantiate to a
+/// sub-object of some object in the predicate's extent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BkLiteral {
+    /// Predicate name.
+    pub pred: String,
+    /// The pattern.
+    pub pattern: BkTerm,
+}
+
+/// A BK rule `head_pred{head} ← body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BkRule {
+    /// Head predicate.
+    pub head_pred: String,
+    /// Head pattern (instantiated and inserted on firing).
+    pub head: BkTerm,
+    /// Body literals.
+    pub body: Vec<BkLiteral>,
+}
+
+impl BkRule {
+    /// Build a rule; body entries are `(pred, pattern)`.
+    pub fn new(head_pred: &str, head: BkTerm, body: Vec<(&str, BkTerm)>) -> BkRule {
+        BkRule {
+            head_pred: head_pred.to_owned(),
+            head,
+            body: body
+                .into_iter()
+                .map(|(p, pattern)| BkLiteral {
+                    pred: p.to_owned(),
+                    pattern,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A BK program.
+#[derive(Clone, Debug, Default)]
+pub struct BkProgram {
+    /// The rules.
+    pub rules: Vec<BkRule>,
+}
+
+impl BkProgram {
+    /// Build from rules.
+    pub fn new(rules: Vec<BkRule>) -> BkProgram {
+        BkProgram { rules }
+    }
+
+    /// The paper's Example 5.2 "join" rule:
+    /// `R{[A:x, C:z]} ← R1{[A:x, B:y]}, R2{[B:y, C:z]}`.
+    pub fn join_rule() -> BkProgram {
+        BkProgram::new(vec![BkRule::new(
+            "R",
+            BkTerm::tuple([("A", BkTerm::var("x")), ("C", BkTerm::var("z"))]),
+            vec![
+                (
+                    "R1",
+                    BkTerm::tuple([("A", BkTerm::var("x")), ("B", BkTerm::var("y"))]),
+                ),
+                (
+                    "R2",
+                    BkTerm::tuple([("B", BkTerm::var("y")), ("C", BkTerm::var("z"))]),
+                ),
+            ],
+        )])
+    }
+
+    /// The paper's Example 5.4 chain-to-list program:
+    /// ```text
+    /// LIST{[H:x, T:$]}            ← S{[A:$, B:x]}
+    /// LIST{[H:x, T:[H:y, T:z]]}   ← S{[A:y, B:x]}, LIST{[H:y, T:z]}
+    /// ```
+    pub fn chain_to_list(dollar: BkObject) -> BkProgram {
+        BkProgram::new(vec![
+            BkRule::new(
+                "LIST",
+                BkTerm::tuple([("H", BkTerm::var("x")), ("T", BkTerm::cst(dollar.clone()))]),
+                vec![(
+                    "S",
+                    BkTerm::tuple([("A", BkTerm::cst(dollar)), ("B", BkTerm::var("x"))]),
+                )],
+            ),
+            BkRule::new(
+                "LIST",
+                BkTerm::tuple([
+                    ("H", BkTerm::var("x")),
+                    (
+                        "T",
+                        BkTerm::tuple([("H", BkTerm::var("y")), ("T", BkTerm::var("z"))]),
+                    ),
+                ]),
+                vec![
+                    (
+                        "S",
+                        BkTerm::tuple([("A", BkTerm::var("y")), ("B", BkTerm::var("x"))]),
+                    ),
+                    (
+                        "LIST",
+                        BkTerm::tuple([("H", BkTerm::var("y")), ("T", BkTerm::var("z"))]),
+                    ),
+                ],
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for BkTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BkTerm::Var(v) => write!(f, "{v}"),
+            BkTerm::Const(o) => write!(f, "{o}"),
+            BkTerm::Tuple(m) => {
+                write!(f, "[")?;
+                for (i, (k, t)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}:{t}")?;
+                }
+                write!(f, "]")
+            }
+            BkTerm::Set(ts) => {
+                write!(f, "{{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_with_defaults() {
+        let t = BkTerm::tuple([("A", BkTerm::var("x")), ("B", BkTerm::var("y"))]);
+        let mut b = BTreeMap::new();
+        b.insert("x".to_owned(), BkObject::atom(1));
+        assert_eq!(
+            t.instantiate(&b),
+            BkObject::tuple([("A", BkObject::atom(1)), ("B", BkObject::Bottom)])
+        );
+    }
+
+    #[test]
+    fn collect_vars() {
+        let t = BkTerm::Set(vec![
+            BkTerm::var("x"),
+            BkTerm::tuple([("A", BkTerm::var("y"))]),
+        ]);
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+}

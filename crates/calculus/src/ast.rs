@@ -1,0 +1,294 @@
+//! Calculus abstract syntax: terms, formulas, queries.
+
+use std::fmt;
+use uset_object::{RType, Value};
+
+/// A calculus term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CalcTerm {
+    /// Variable.
+    Var(String),
+    /// Constant object (embeds the query's constants `C`).
+    Const(Value),
+    /// Tuple construction `[t1, …, tn]`.
+    Tuple(Vec<CalcTerm>),
+    /// Finite set enumeration `{t1, …, tn}`.
+    SetEnum(Vec<CalcTerm>),
+}
+
+impl CalcTerm {
+    /// Shorthand variable.
+    pub fn var(name: &str) -> CalcTerm {
+        CalcTerm::Var(name.to_owned())
+    }
+
+    /// Shorthand constant.
+    pub fn cst(v: Value) -> CalcTerm {
+        CalcTerm::Const(v)
+    }
+
+    /// Free variables, appended to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            CalcTerm::Var(v) => out.push(v.clone()),
+            CalcTerm::Const(_) => {}
+            CalcTerm::Tuple(ts) | CalcTerm::SetEnum(ts) => {
+                for t in ts {
+                    t.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Atoms used by constants in the term.
+    pub fn collect_const_atoms(&self, out: &mut std::collections::BTreeSet<uset_object::Atom>) {
+        match self {
+            CalcTerm::Var(_) => {}
+            CalcTerm::Const(v) => {
+                v.collect_adom(out);
+            }
+            CalcTerm::Tuple(ts) | CalcTerm::SetEnum(ts) => {
+                for t in ts {
+                    t.collect_const_atoms(out);
+                }
+            }
+        }
+    }
+}
+
+/// A calculus formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// `u ≈ v`
+    Eq(CalcTerm, CalcTerm),
+    /// `u ∈ v`
+    Member(CalcTerm, CalcTerm),
+    /// `P(u)` — `u` is a member of relation `P`.
+    Pred(String, CalcTerm),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// `∃x/T φ` — typed existential (rtype-annotated; strict types give
+    /// tsCALC).
+    Exists(String, RType, Box<Formula>),
+    /// `∀x/T φ` — typed universal.
+    Forall(String, RType, Box<Formula>),
+}
+
+impl Formula {
+    /// `self ∧ other`
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬self`
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `∃x/T self`
+    pub fn exists(self, var: &str, ty: RType) -> Formula {
+        Formula::Exists(var.to_owned(), ty, Box::new(self))
+    }
+
+    /// `∀x/T self`
+    pub fn forall(self, var: &str, ty: RType) -> Formula {
+        Formula::Forall(var.to_owned(), ty, Box::new(self))
+    }
+
+    /// True iff every quantifier (and the given output type) is a strict
+    /// type — i.e. the formula lies in tsCALC.
+    pub fn is_typed(&self) -> bool {
+        match self {
+            Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => true,
+            Formula::And(a, b) | Formula::Or(a, b) => a.is_typed() && b.is_typed(),
+            Formula::Not(f) => f.is_typed(),
+            Formula::Exists(_, ty, f) | Formula::Forall(_, ty, f) => {
+                ty.is_strict() && f.is_typed()
+            }
+        }
+    }
+
+    /// True iff every rtype-quantified (non-strict) variable is
+    /// existentially quantified under an even number of negations — the
+    /// fragment CALC∃ of Theorem 6.3(b).
+    pub fn is_calc_exists(&self) -> bool {
+        fn rec(f: &Formula, positive: bool) -> bool {
+            match f {
+                Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => true,
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    rec(a, positive) && rec(b, positive)
+                }
+                Formula::Not(g) => rec(g, !positive),
+                Formula::Exists(_, ty, g) => {
+                    (ty.is_strict() || positive) && rec(g, positive)
+                }
+                Formula::Forall(_, ty, g) => {
+                    (ty.is_strict() || !positive) && rec(g, positive)
+                }
+            }
+        }
+        rec(self, true)
+    }
+
+    /// Constant atoms appearing anywhere in the formula.
+    pub fn const_atoms(&self) -> std::collections::BTreeSet<uset_object::Atom> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_const_atoms(&mut out);
+        out
+    }
+
+    fn collect_const_atoms(
+        &self,
+        out: &mut std::collections::BTreeSet<uset_object::Atom>,
+    ) {
+        match self {
+            Formula::Eq(a, b) | Formula::Member(a, b) => {
+                a.collect_const_atoms(out);
+                b.collect_const_atoms(out);
+            }
+            Formula::Pred(_, t) => t.collect_const_atoms(out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_const_atoms(out);
+                b.collect_const_atoms(out);
+            }
+            Formula::Not(f) => f.collect_const_atoms(out),
+            Formula::Exists(_, _, f) | Formula::Forall(_, _, f) => {
+                f.collect_const_atoms(out)
+            }
+        }
+    }
+}
+
+/// A calculus query `{ x/T | φ }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CalcQuery {
+    /// The result variable.
+    pub var: String,
+    /// The result rtype (strict for tsCALC queries).
+    pub ty: RType,
+    /// The body formula (its free variables must be exactly `var`).
+    pub formula: Formula,
+}
+
+impl CalcQuery {
+    /// Build a query.
+    pub fn new(var: &str, ty: RType, formula: Formula) -> CalcQuery {
+        CalcQuery {
+            var: var.to_owned(),
+            ty,
+            formula,
+        }
+    }
+
+    /// True iff the query is in tsCALC (all types strict).
+    pub fn is_typed(&self) -> bool {
+        self.ty.is_strict() && self.formula.is_typed()
+    }
+}
+
+impl fmt::Display for CalcTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalcTerm::Var(v) => write!(f, "{v}"),
+            CalcTerm::Const(c) => write!(f, "{c}"),
+            CalcTerm::Tuple(ts) => {
+                write!(f, "[")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+            CalcTerm::SetEnum(ts) => {
+                write!(f, "{{")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Eq(a, b) => write!(f, "{a} ≈ {b}"),
+            Formula::Member(a, b) => write!(f, "{a} ∈ {b}"),
+            Formula::Pred(p, t) => write!(f, "{p}({t})"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Formula::Not(g) => write!(f, "¬{g}"),
+            Formula::Exists(x, ty, g) => write!(f, "∃{x}/{ty} {g}"),
+            Formula::Forall(x, ty, g) => write!(f, "∀{x}/{ty} {g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_object::atom;
+
+    #[test]
+    fn typedness_classification() {
+        let typed = Formula::Pred("R".into(), CalcTerm::var("x"))
+            .exists("x", RType::Atomic);
+        assert!(typed.is_typed());
+        let untyped = Formula::Pred("R".into(), CalcTerm::var("x"))
+            .exists("x", RType::untyped_set());
+        assert!(!untyped.is_typed());
+    }
+
+    #[test]
+    fn calc_exists_fragment() {
+        let ok = Formula::Member(CalcTerm::var("y"), CalcTerm::var("s"))
+            .exists("s", RType::untyped_set());
+        assert!(ok.is_calc_exists());
+        // ∀ over an untyped set is outside the fragment
+        let bad = Formula::Member(CalcTerm::var("y"), CalcTerm::var("s"))
+            .forall("s", RType::untyped_set());
+        assert!(!bad.is_calc_exists());
+        // ¬∃ over untyped is a hidden ∀ — also outside
+        let hidden = Formula::Member(CalcTerm::var("y"), CalcTerm::var("s"))
+            .exists("s", RType::untyped_set())
+            .not();
+        assert!(!hidden.is_calc_exists());
+        // but ¬¬∃ is fine
+        let double = Formula::Member(CalcTerm::var("y"), CalcTerm::var("s"))
+            .exists("s", RType::untyped_set())
+            .not()
+            .not();
+        assert!(double.is_calc_exists());
+    }
+
+    #[test]
+    fn const_atoms_collected() {
+        let f = Formula::Eq(
+            CalcTerm::cst(atom(7)),
+            CalcTerm::Tuple(vec![CalcTerm::cst(atom(8)), CalcTerm::var("x")]),
+        );
+        let atoms = f.const_atoms();
+        assert_eq!(atoms.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = Formula::Pred("R".into(), CalcTerm::var("x")).exists("x", RType::Atomic);
+        assert_eq!(q.to_string(), "∃x/U R(x)");
+    }
+}

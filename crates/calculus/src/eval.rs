@@ -1,0 +1,392 @@
+//! Limited-interpretation evaluation of calculus queries.
+//!
+//! Quantifiers range over the constructive domain of their annotation
+//! relative to the *extended active domain* `adom(d, Q)` (input atoms plus
+//! the query's constants — plus any invented atoms supplied by the
+//! invention semantics of [`crate::invention`]). For strict types the
+//! constructive domain is finite but hyper-exponential in the set-nesting
+//! depth; for rtypes mentioning `Obj` it is infinite and we enumerate it
+//! bounded by construction size ([`CalcConfig::obj_size_bound`]) — the
+//! documented substitution for the provably non-computable full semantics.
+
+use crate::ast::{CalcQuery, CalcTerm, Formula};
+use std::collections::{BTreeSet, HashMap};
+use uset_object::cons::{cons_obj_bounded, cons_type};
+use uset_object::{Atom, Database, Instance, ObjectError, RType, Value};
+
+/// Evaluation bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct CalcConfig {
+    /// Cap on any single constructive-domain enumeration.
+    pub cons_limit: usize,
+    /// Size bound for enumerating `cons_Obj` (rtypes mentioning `Obj`).
+    pub obj_size_bound: usize,
+}
+
+impl Default for CalcConfig {
+    fn default() -> Self {
+        CalcConfig {
+            cons_limit: 1 << 20,
+            obj_size_bound: 4,
+        }
+    }
+}
+
+/// Evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CalcError {
+    /// A constructive domain exceeded [`CalcConfig::cons_limit`].
+    DomainTooLarge(String),
+    /// A free variable was not the query variable.
+    UnboundVariable(String),
+}
+
+impl std::fmt::Display for CalcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalcError::DomainTooLarge(what) => {
+                write!(f, "constructive domain too large: {what}")
+            }
+            CalcError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CalcError {}
+
+/// Enumerate `cons_T(atoms)` for an rtype under the config bounds.
+pub fn enumerate_rtype(
+    ty: &RType,
+    atoms: &BTreeSet<Atom>,
+    config: &CalcConfig,
+) -> Result<Vec<Value>, CalcError> {
+    if let Some(strict) = ty.to_type() {
+        cons_type(&strict, atoms, config.cons_limit).map_err(describe)
+    } else {
+        // rtype mentions Obj: enumerate all bounded objects, filter to the
+        // rtype (bounded stand-in for the infinite domain)
+        let all = cons_obj_bounded(atoms, config.obj_size_bound, config.cons_limit)
+            .map_err(describe)?;
+        Ok(all.into_iter().filter(|v| ty.contains(v)).collect())
+    }
+}
+
+fn describe(e: ObjectError) -> CalcError {
+    CalcError::DomainTooLarge(e.to_string())
+}
+
+type Bindings = HashMap<String, Value>;
+
+fn eval_term(t: &CalcTerm, b: &Bindings) -> Result<Value, CalcError> {
+    match t {
+        CalcTerm::Var(v) => b
+            .get(v)
+            .cloned()
+            .ok_or_else(|| CalcError::UnboundVariable(v.clone())),
+        CalcTerm::Const(c) => Ok(c.clone()),
+        CalcTerm::Tuple(ts) => Ok(Value::Tuple(
+            ts.iter().map(|t| eval_term(t, b)).collect::<Result<_, _>>()?,
+        )),
+        CalcTerm::SetEnum(ts) => Ok(Value::Set(
+            ts.iter()
+                .map(|t| eval_term(t, b))
+                .collect::<Result<_, _>>()?,
+        )),
+    }
+}
+
+fn eval_formula(
+    f: &Formula,
+    db: &Database,
+    atoms: &BTreeSet<Atom>,
+    b: &mut Bindings,
+    config: &CalcConfig,
+) -> Result<bool, CalcError> {
+    match f {
+        Formula::Eq(x, y) => Ok(eval_term(x, b)? == eval_term(y, b)?),
+        Formula::Member(x, y) => {
+            let xv = eval_term(x, b)?;
+            let yv = eval_term(y, b)?;
+            Ok(yv.as_set().is_some_and(|s| s.contains(&xv)))
+        }
+        Formula::Pred(p, t) => {
+            let v = eval_term(t, b)?;
+            Ok(db.get(p).contains(&v))
+        }
+        Formula::And(x, y) => Ok(eval_formula(x, db, atoms, b, config)?
+            && eval_formula(y, db, atoms, b, config)?),
+        Formula::Or(x, y) => Ok(eval_formula(x, db, atoms, b, config)?
+            || eval_formula(y, db, atoms, b, config)?),
+        Formula::Not(g) => Ok(!eval_formula(g, db, atoms, b, config)?),
+        Formula::Exists(x, ty, g) => {
+            let domain = enumerate_rtype(ty, atoms, config)?;
+            let saved = b.get(x).cloned();
+            let mut found = false;
+            for v in domain {
+                b.insert(x.clone(), v);
+                if eval_formula(g, db, atoms, b, config)? {
+                    found = true;
+                    break;
+                }
+            }
+            restore(b, x, saved);
+            Ok(found)
+        }
+        Formula::Forall(x, ty, g) => {
+            let domain = enumerate_rtype(ty, atoms, config)?;
+            let saved = b.get(x).cloned();
+            let mut all = true;
+            for v in domain {
+                b.insert(x.clone(), v);
+                if !eval_formula(g, db, atoms, b, config)? {
+                    all = false;
+                    break;
+                }
+            }
+            restore(b, x, saved);
+            Ok(all)
+        }
+    }
+}
+
+fn restore(b: &mut Bindings, x: &str, saved: Option<Value>) {
+    match saved {
+        Some(v) => {
+            b.insert(x.to_owned(), v);
+        }
+        None => {
+            b.remove(x);
+        }
+    }
+}
+
+/// The extended active domain `adom(d, Q)`: input atoms plus the query's
+/// constants.
+pub fn extended_adom(q: &CalcQuery, db: &Database) -> BTreeSet<Atom> {
+    let mut atoms = db.adom();
+    atoms.extend(q.formula.const_atoms());
+    atoms
+}
+
+/// Evaluate `{x/T | φ}` under the limited interpretation with the given
+/// atom universe (normally [`extended_adom`]; the invention semantics pass
+/// an enlarged universe).
+pub fn eval_query_over(
+    q: &CalcQuery,
+    db: &Database,
+    atoms: &BTreeSet<Atom>,
+    config: &CalcConfig,
+) -> Result<Instance, CalcError> {
+    let candidates = enumerate_rtype(&q.ty, atoms, config)?;
+    let mut out = Instance::empty();
+    let mut b = Bindings::new();
+    for v in candidates {
+        b.insert(q.var.clone(), v.clone());
+        if eval_formula(&q.formula, db, atoms, &mut b, config)? {
+            out.insert(v);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate under the limited interpretation (`Q|₀[d]` in the §6
+/// notation).
+pub fn eval_query(
+    q: &CalcQuery,
+    db: &Database,
+    config: &CalcConfig,
+) -> Result<Instance, CalcError> {
+    let atoms = extended_adom(q, db);
+    eval_query_over(q, db, &atoms, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_object::{atom, set, tuple, Type};
+
+    fn pair_db(rows: &[(u64, u64)]) -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows(rows.iter().map(|&(a, b)| [atom(a), atom(b)])),
+        );
+        db
+    }
+
+    fn t_u() -> RType {
+        RType::Atomic
+    }
+
+    fn t_uu() -> RType {
+        Type::atomic_tuple(2).to_rtype()
+    }
+
+    #[test]
+    fn identity_query() {
+        let db = pair_db(&[(1, 2), (3, 4)]);
+        let q = CalcQuery::new(
+            "t",
+            t_uu(),
+            Formula::Pred("R".into(), CalcTerm::var("t")),
+        );
+        let out = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+        assert_eq!(out, db.get("R"));
+    }
+
+    #[test]
+    fn projection_via_tuple_terms() {
+        // { x/U | ∃y/U R([x,y]) }
+        let db = pair_db(&[(1, 2), (3, 4)]);
+        let q = CalcQuery::new(
+            "x",
+            t_u(),
+            Formula::Pred(
+                "R".into(),
+                CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+            )
+            .exists("y", t_u()),
+        );
+        let out = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+        assert_eq!(out, Instance::from_values([atom(1), atom(3)]));
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        // { t/[U,U] | ∃x y z: t ≈ [x,z] ∧ R([x,y]) ∧ R([y,z]) }
+        let db = pair_db(&[(1, 2), (2, 3)]);
+        let body = Formula::Eq(
+            CalcTerm::var("t"),
+            CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("z")]),
+        )
+        .and(Formula::Pred(
+            "R".into(),
+            CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+        ))
+        .and(Formula::Pred(
+            "R".into(),
+            CalcTerm::Tuple(vec![CalcTerm::var("y"), CalcTerm::var("z")]),
+        ))
+        .exists("z", t_u())
+        .exists("y", t_u())
+        .exists("x", t_u());
+        let q = CalcQuery::new("t", t_uu(), body);
+        let out = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+        assert_eq!(out, Instance::from_values([tuple([atom(1), atom(3)])]));
+    }
+
+    #[test]
+    fn negation_is_active_domain_complement() {
+        // { x/U | ¬∃y/U R([x,y]) } — atoms with no outgoing edge
+        let db = pair_db(&[(1, 2)]);
+        let q = CalcQuery::new(
+            "x",
+            t_u(),
+            Formula::Pred(
+                "R".into(),
+                CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+            )
+            .exists("y", t_u())
+            .not(),
+        );
+        let out = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+        assert_eq!(out, Instance::from_values([atom(2)]));
+    }
+
+    #[test]
+    fn set_typed_quantifier_ranges_over_powerset() {
+        // { s/{U} | ∀x/U (x ∈ s → ∃y/U R([x,y])) } — all subsets of the
+        // "sources" set; over adom {1,2} with R={(1,2)} the sources are {1},
+        // so the answer is {{}, {1}}
+        let db = pair_db(&[(1, 2)]);
+        let member_implies = Formula::Member(CalcTerm::var("x"), CalcTerm::var("s"))
+            .not()
+            .or(Formula::Pred(
+                "R".into(),
+                CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+            )
+            .exists("y", t_u()));
+        let q = CalcQuery::new(
+            "s",
+            RType::Set(Box::new(RType::Atomic)),
+            member_implies.forall("x", t_u()),
+        );
+        let out = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+        assert_eq!(
+            out,
+            Instance::from_values([Value::empty_set(), set([atom(1)])])
+        );
+    }
+
+    #[test]
+    fn constants_extend_the_domain() {
+        // { x/U | x ≈ c } over an empty database still finds c
+        let c = Atom::named("calc-c");
+        let q = CalcQuery::new(
+            "x",
+            t_u(),
+            Formula::Eq(CalcTerm::var("x"), CalcTerm::cst(Value::Atom(c))),
+        );
+        let out = eval_query(&q, &Database::empty(), &CalcConfig::default()).unwrap();
+        assert_eq!(out, Instance::from_values([Value::Atom(c)]));
+    }
+
+    #[test]
+    fn untyped_quantifier_is_bounded() {
+        // { x/U | ∃s/{Obj} (x ∈ s) } — with any non-empty bounded cons_Obj
+        // every atom is in some set, so this is the active domain
+        let db = pair_db(&[(1, 2)]);
+        let q = CalcQuery::new(
+            "x",
+            t_u(),
+            Formula::Member(CalcTerm::var("x"), CalcTerm::var("s"))
+                .exists("s", RType::untyped_set()),
+        );
+        let cfg = CalcConfig {
+            obj_size_bound: 3,
+            ..CalcConfig::default()
+        };
+        let out = eval_query(&q, &db, &cfg).unwrap();
+        assert_eq!(out, Instance::from_values([atom(1), atom(2)]));
+        assert!(!q.is_typed());
+    }
+
+    #[test]
+    fn domain_blowup_is_reported() {
+        // {{{U}}} over 5 atoms overflows the default cons limit
+        let db = pair_db(&[(1, 2), (3, 4), (5, 5)]);
+        let q = CalcQuery::new(
+            "s",
+            Type::nested_set(3).to_rtype(),
+            Formula::Eq(CalcTerm::var("s"), CalcTerm::var("s")),
+        );
+        assert!(matches!(
+            eval_query(&q, &db, &CalcConfig::default()),
+            Err(CalcError::DomainTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn genericity_of_evaluation() {
+        use uset_object::perm::Permutation;
+        let db = pair_db(&[(1, 2), (2, 3)]);
+        let q = CalcQuery::new(
+            "x",
+            t_u(),
+            Formula::Pred(
+                "R".into(),
+                CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+            )
+            .exists("y", t_u()),
+        );
+        let sigma = Permutation::from_pairs([
+            (Atom::new(1), Atom::new(2)),
+            (Atom::new(2), Atom::new(3)),
+            (Atom::new(3), Atom::new(1)),
+        ]);
+        let direct = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+        let renamed = eval_query(&q, &sigma.apply_database(&db), &CalcConfig::default())
+            .unwrap();
+        assert_eq!(renamed, sigma.apply_instance(&direct));
+    }
+}

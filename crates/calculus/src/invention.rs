@@ -1,0 +1,244 @@
+//! The invention semantics of Section 6.
+//!
+//! For a query `Q` and database `d`:
+//!
+//! * `Q|ⁱ[d]` — evaluate under the limited interpretation with the active
+//!   domain extended by `i` *invented* atoms ([`eval_with_invention`]);
+//! * `Q|_i[d]` — `Q|ⁱ[d]` with objects containing invented values deleted
+//!   ([`strip_invented`] composed with the above);
+//! * finite invention `Q^fi[d] = ⋃_{0≤i<ω} Q|_i[d]` — r.e. but not
+//!   computable in general; [`eval_fi`] computes the union up to a budget
+//!   (exactly the approximation Example 6.2 exploits);
+//! * countable invention `Q^ci[d] = Q|_ω[d]` — not even r.e.; only its
+//!   finite-budget approximations are computable (Theorem 6.1), see
+//!   DESIGN.md §5;
+//! * **terminal invention** `Q^ti[d]` — `Q|_n[d]` for the least `n` such
+//!   that `Q|ⁿ[d]` contains an invented value, `?` if there is no such `n`
+//!   ([`eval_terminal`]). The paper's Theorem 6.4 shows this semantics is
+//!   exactly C-equivalent; unlike fi/ci it needs no budget beyond the
+//!   search cap for the (decidable-per-n) witness test.
+
+use crate::ast::CalcQuery;
+use crate::eval::{eval_query_over, extended_adom, CalcConfig, CalcError};
+use std::collections::BTreeSet;
+use uset_object::flatten::Inventor;
+use uset_object::{Atom, Database, Instance};
+
+/// Deterministically produce `i` invented atoms (disjoint from workload
+/// atoms and named constants; recognized by [`Inventor::is_invented`]).
+pub fn invented_atoms(i: usize) -> Vec<Atom> {
+    let mut inv = Inventor::new();
+    (0..i).map(|_| inv.fresh()).collect()
+}
+
+/// `Q|ⁱ[d]`: evaluate with the active domain extended by `i` invented
+/// atoms. The result may mention invented atoms.
+pub fn eval_with_invention(
+    q: &CalcQuery,
+    db: &Database,
+    i: usize,
+    config: &CalcConfig,
+) -> Result<Instance, CalcError> {
+    let mut atoms: BTreeSet<Atom> = extended_adom(q, db);
+    atoms.extend(invented_atoms(i));
+    eval_query_over(q, db, &atoms, config)
+}
+
+/// Delete objects containing invented values (the `Q|_i` step).
+pub fn strip_invented(inst: &Instance) -> Instance {
+    inst.iter()
+        .filter(|v| !v.adom().iter().any(|a| Inventor::is_invented(*a)))
+        .cloned()
+        .collect()
+}
+
+/// `⋃_{0 ≤ i ≤ budget} Q|_i[d]` — the finite-invention semantics,
+/// truncated at `budget`. The true `Q^fi` is the limit as the budget grows
+/// (r.e., not computable); callers observe convergence by increasing the
+/// budget.
+pub fn eval_fi(
+    q: &CalcQuery,
+    db: &Database,
+    budget: usize,
+    config: &CalcConfig,
+) -> Result<Instance, CalcError> {
+    let mut out = Instance::empty();
+    for i in 0..=budget {
+        let raw = eval_with_invention(q, db, i, config)?;
+        out = out.union(&strip_invented(&raw));
+    }
+    Ok(out)
+}
+
+/// Outcome of terminal-invention evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InventionOutcome {
+    /// `Q|_n[d]` for the least `n` whose raw output contains an invented
+    /// value.
+    Defined {
+        /// The terminal `n`.
+        n: usize,
+        /// The answer.
+        answer: Instance,
+    },
+    /// No `n ≤ cap` produced an invented value: the paper's `?` (up to the
+    /// search cap, which makes the r.e. search finite).
+    Undefined,
+}
+
+/// `Q^ti[d]` — terminal invention, searching `n = 0, 1, …, cap`.
+pub fn eval_terminal(
+    q: &CalcQuery,
+    db: &Database,
+    cap: usize,
+    config: &CalcConfig,
+) -> Result<InventionOutcome, CalcError> {
+    for n in 0..=cap {
+        let raw = eval_with_invention(q, db, n, config)?;
+        let has_invented = raw
+            .iter()
+            .any(|v| v.adom().iter().any(|a| Inventor::is_invented(*a)));
+        if has_invented {
+            return Ok(InventionOutcome::Defined {
+                n,
+                answer: strip_invented(&raw),
+            });
+        }
+    }
+    Ok(InventionOutcome::Undefined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CalcTerm, Formula};
+    use uset_object::{atom, Instance, RType, Value};
+
+    fn unary_db(atoms: &[u64]) -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_values(atoms.iter().map(|&a| atom(a))),
+        );
+        db
+    }
+
+    /// `{ x/U | x ≈ x }` — the all-atoms query; under invention it sees the
+    /// invented atoms too.
+    fn all_atoms_query() -> CalcQuery {
+        CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Eq(CalcTerm::var("x"), CalcTerm::var("x")),
+        )
+    }
+
+    #[test]
+    fn invention_extends_the_domain() {
+        let db = unary_db(&[1, 2]);
+        let q = all_atoms_query();
+        let cfg = CalcConfig::default();
+        let q0 = eval_with_invention(&q, &db, 0, &cfg).unwrap();
+        assert_eq!(q0.len(), 2);
+        let q3 = eval_with_invention(&q, &db, 3, &cfg).unwrap();
+        assert_eq!(q3.len(), 5);
+        // stripping recovers the base output
+        assert_eq!(strip_invented(&q3), q0);
+    }
+
+    #[test]
+    fn fi_union_is_monotone_in_budget() {
+        let db = unary_db(&[1]);
+        let q = all_atoms_query();
+        let cfg = CalcConfig::default();
+        let f0 = eval_fi(&q, &db, 0, &cfg).unwrap();
+        let f2 = eval_fi(&q, &db, 2, &cfg).unwrap();
+        assert!(f0.is_subset(&f2));
+        // for this query the stripped output never grows with i
+        assert_eq!(f0, f2);
+    }
+
+    #[test]
+    fn terminal_invention_defined_at_one() {
+        // the all-atoms query mentions an invented atom as soon as i = 1,
+        // so Q^ti = Q|_1 = adom
+        let db = unary_db(&[1, 2]);
+        let q = all_atoms_query();
+        match eval_terminal(&q, &db, 5, &CalcConfig::default()).unwrap() {
+            InventionOutcome::Defined { n, answer } => {
+                assert_eq!(n, 1);
+                assert_eq!(answer, Instance::from_values([atom(1), atom(2)]));
+            }
+            InventionOutcome::Undefined => panic!("expected defined"),
+        }
+    }
+
+    #[test]
+    fn terminal_invention_undefined_for_domain_bound_query() {
+        // { x/U | R(x) } never outputs an invented value — Q^ti = ?
+        let db = unary_db(&[1]);
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Pred("R".into(), CalcTerm::var("x")),
+        );
+        assert_eq!(
+            eval_terminal(&q, &db, 5, &CalcConfig::default()).unwrap(),
+            InventionOutcome::Undefined
+        );
+    }
+
+    #[test]
+    fn terminal_invention_with_conditional_witness() {
+        // { x/U | R(x) ∨ ¬∃y/U R(y) } — outputs invented atoms exactly
+        // when R is empty: Q^ti is defined (empty answer) on empty R and
+        // undefined otherwise. This shows ti queries can *selectively*
+        // diverge, the mechanism behind Theorem 6.4's C-completeness.
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Pred("R".into(), CalcTerm::var("x")).or(
+                Formula::Pred("R".into(), CalcTerm::var("y"))
+                    .exists("y", RType::Atomic)
+                    .not(),
+            ),
+        );
+        let cfg = CalcConfig::default();
+        let empty = unary_db(&[]);
+        match eval_terminal(&q, &empty, 5, &cfg).unwrap() {
+            InventionOutcome::Defined { n, answer } => {
+                assert_eq!(n, 1);
+                assert!(answer.is_empty());
+            }
+            InventionOutcome::Undefined => panic!("expected defined on empty R"),
+        }
+        let nonempty = unary_db(&[1]);
+        assert_eq!(
+            eval_terminal(&q, &nonempty, 5, &cfg).unwrap(),
+            InventionOutcome::Undefined
+        );
+    }
+
+    #[test]
+    fn invented_atoms_are_disjoint_and_recognized() {
+        let inv = invented_atoms(4);
+        let distinct: std::collections::BTreeSet<_> = inv.iter().collect();
+        assert_eq!(distinct.len(), 4);
+        for a in &inv {
+            assert!(uset_object::flatten::Inventor::is_invented(*a));
+        }
+        // deterministic across calls (the semantics is a function of i)
+        assert_eq!(invented_atoms(4), inv);
+    }
+
+    #[test]
+    fn strip_removes_nested_invented_values() {
+        let inv = invented_atoms(1)[0];
+        let inst = Instance::from_values([
+            atom(1),
+            Value::Set([Value::Atom(inv)].into_iter().collect()),
+            uset_object::tuple([atom(2), Value::Atom(inv)]),
+        ]);
+        assert_eq!(strip_invented(&inst), Instance::from_values([atom(1)]));
+    }
+}

@@ -1,0 +1,158 @@
+//! Example 6.2 and Theorem 6.4: halting queries under invention budgets.
+//!
+//! Example 6.2 considers a Turing machine `M` with unary input alphabet
+//! and the (non-computable, total) query
+//!
+//! ```text
+//! f_halt(d) = {[c]}  if M halts on a^|d|,   ∅ otherwise.
+//! ```
+//!
+//! The paper's tsCALC^fi query `Q` "outputs ⟨c⟩ if there exists a halting
+//! computation of M on a^|d| whose running time is ≤ the number of active
+//! domain and invented objects"; the fi semantics unions over all finite
+//! invention budgets, so `Q` has access to computations of every length.
+//! This module implements that budget structure literally — with the
+//! innermost "∃ computation table" decided by running `M` itself (the
+//! computation table encoded over `{[U,U,U,U]}` is the paper's device for
+//! staying first-order; its content is exactly "M halts within k steps",
+//! which we decide directly — DESIGN.md §5 records this substitution).
+//!
+//! The same budget structure evaluated under *terminal* invention is the
+//! Theorem 6.4 shape: search for the least budget that produces a witness,
+//! answer there, and be undefined when no budget ever does.
+
+use uset_gtm::tm::Tm;
+use uset_object::{Atom, Database, Instance, Value};
+
+/// Does `m` (single-tape, unary input alphabet `{x}`) halt on `xⁿ` within
+/// exactly `steps` machine steps?
+pub fn halts_within(m: &Tm, n: usize, steps: u64) -> bool {
+    let input: Vec<char> = std::iter::repeat('x').take(n).collect();
+    m.halts_on(&input, steps) == Some(true)
+}
+
+/// `Q|_i[d]` for the Example 6.2 query: `{[c]}` iff `M` halts on `a^|d|`
+/// within `|adom(d)| + i` steps (active-domain size plus invention
+/// budget), `∅` otherwise.
+pub fn f_halt_under_budget(m: &Tm, db: &Database, c: Atom, i: usize) -> Instance {
+    let n = db.adom().len();
+    if halts_within(m, n, (n + i) as u64) {
+        Instance::from_values([Value::Tuple(vec![Value::Atom(c)])])
+    } else {
+        Instance::empty()
+    }
+}
+
+/// The finite-invention union `⋃_{0 ≤ i ≤ budget} Q|_i[d]`. As the budget
+/// grows this converges to `f_halt(d)` from below — the r.e. behaviour
+/// Example 6.2 exhibits (the complement `f_h̄alt` needs countable
+/// invention and is *not* approximable this way).
+pub fn f_halt_fi(m: &Tm, db: &Database, c: Atom, budget: usize) -> Instance {
+    let mut out = Instance::empty();
+    for i in 0..=budget {
+        out = out.union(&f_halt_under_budget(m, db, c, i));
+    }
+    out
+}
+
+/// Outcome of the terminal-invention halting query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TerminalHalting {
+    /// Defined: the least witnessing budget and the answer `{[c]}`.
+    Defined {
+        /// Least budget at which the halting witness (an invented-value
+        /// output in the paper's encoding) appears.
+        n: usize,
+        /// The answer.
+        answer: Instance,
+    },
+    /// No budget ≤ cap produced a witness: the paper's `?`.
+    Undefined,
+}
+
+/// Theorem 6.4 shape: under terminal invention the query is *defined with
+/// answer `{[c]}`* exactly when `M` halts (at the least sufficient
+/// budget), and undefined — a genuinely diverging search — when it does
+/// not. `cap` bounds the search to keep the observation finite.
+pub fn f_halt_terminal(m: &Tm, db: &Database, c: Atom, cap: usize) -> TerminalHalting {
+    let n = db.adom().len();
+    for i in 0..=cap {
+        if halts_within(m, n, (n + i) as u64) {
+            return TerminalHalting::Defined {
+                n: i,
+                answer: Instance::from_values([Value::Tuple(vec![Value::Atom(c)])]),
+            };
+        }
+    }
+    TerminalHalting::Undefined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_gtm::tm::{always_halt_machine, halt_iff_even_machine, never_halt_machine};
+    use uset_object::atom;
+
+    fn db_of_size(n: u64) -> Database {
+        let mut db = Database::empty();
+        db.set("R", Instance::from_rows((0..n).map(|i| [atom(i)])));
+        db
+    }
+
+    fn flag(c: Atom) -> Instance {
+        Instance::from_values([Value::Tuple(vec![Value::Atom(c)])])
+    }
+
+    #[test]
+    fn fi_converges_from_below_for_halting_machines() {
+        let c = Atom::named("halt-c");
+        let m = always_halt_machine();
+        let db = db_of_size(3);
+        // the machine needs n+1 steps; small budgets miss it, larger hit
+        assert_eq!(f_halt_under_budget(&m, &db, c, 0), Instance::empty());
+        assert_eq!(f_halt_under_budget(&m, &db, c, 1), flag(c));
+        assert_eq!(f_halt_fi(&m, &db, c, 0), Instance::empty());
+        assert_eq!(f_halt_fi(&m, &db, c, 5), flag(c));
+        // monotone in the budget
+        assert!(f_halt_fi(&m, &db, c, 1).is_subset(&f_halt_fi(&m, &db, c, 10)));
+    }
+
+    #[test]
+    fn fi_never_fires_for_non_halting_machines() {
+        let c = Atom::named("halt-c2");
+        let m = never_halt_machine();
+        let db = db_of_size(2);
+        for budget in [0, 5, 50] {
+            assert_eq!(f_halt_fi(&m, &db, c, budget), Instance::empty());
+        }
+    }
+
+    #[test]
+    fn terminal_matches_halting_behaviour() {
+        let c = Atom::named("halt-c3");
+        let m = halt_iff_even_machine();
+        for n in 0..6u64 {
+            let db = db_of_size(n);
+            let out = f_halt_terminal(&m, &db, c, 100);
+            if n % 2 == 0 {
+                match out {
+                    TerminalHalting::Defined { answer, .. } => assert_eq!(answer, flag(c)),
+                    TerminalHalting::Undefined => panic!("expected defined at n = {n}"),
+                }
+            } else {
+                assert_eq!(out, TerminalHalting::Undefined, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_reports_least_budget() {
+        let c = Atom::named("halt-c4");
+        let m = always_halt_machine(); // halts after n+1 steps on xⁿ
+        let db = db_of_size(4);
+        match f_halt_terminal(&m, &db, c, 100) {
+            TerminalHalting::Defined { n, .. } => assert_eq!(n, 1),
+            TerminalHalting::Undefined => panic!("expected defined"),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # uset-core — the constructive content of Hull & Su 1989
+//!
+//! The paper's theorems are constructive: each "language L has the power
+//! of C" proof is a compiler from (generic) Turing machines into L. This
+//! crate implements those compilers as executable artifacts:
+//!
+//! * [`gtm_to_alg`] — **Theorem 4.1(b)**: compile any GTM into an
+//!   `ALG+while` program (powerset-free, single unnested `while`). Tape
+//!   squares are indexed by the paper's ordinal chain
+//!   `a; {a}; {a,{a}}; …`, grown one element per simulated step; the
+//!   transition function becomes a constant relation joined against the
+//!   current configuration.
+//! * [`gtm_to_col`] — **Theorem 5.1**: compile a GTM into a stratified COL
+//!   program, keeping the entire computation *history* indexed by a
+//!   singleton-nesting time chain built inside a data function `F(a)`.
+//! * [`powerset_free`] — the two directions of the broken
+//!   powerset/iteration balance: `powerset` expressed by `while` over
+//!   untyped sets (no `Powerset` operator), complementing
+//!   `uset_algebra::derived::tc_powerset_program` (iteration from
+//!   `powerset`, no `while`).
+//! * [`halting`] — **Example 6.2 / Theorem 6.4**: the query `f_halt` under
+//!   finite-invention and terminal-invention semantics, with the paper's
+//!   "runtime ≤ active domain + invented objects" budget structure made
+//!   explicit, driven by real Turing machines from [`uset_gtm::tm`].
+
+pub mod gtm_to_alg;
+pub mod gtm_to_col;
+pub mod halting;
+pub mod powerset_free;
+
+pub use gtm_to_alg::{compile_gtm, decode_tape_relation, prepare_gtm_input, run_compiled};
+pub use powerset_free::powerset_via_while_program;

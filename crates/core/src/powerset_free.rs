@@ -1,0 +1,121 @@
+//! Powerset from `while` + untyped sets (no `Powerset` operator).
+//!
+//! With typed sets, Gyssens–van Gucht showed powerset and while are
+//! interchangeable *extensions*; Theorem 4.1(b) shows untyped sets break
+//! that balance — `while` alone already reaches all of C, so in particular
+//! it can express powerset. This module gives the direct construction: a
+//! powerset-free `ALG+while` program computing `powerset(R)` by the
+//! subset-saturation recurrence
+//!
+//! ```text
+//! ACC₀    = { ∅ }
+//! ACCₖ₊₁  = ACCₖ ∪ { S ∪ {x} | S ∈ ACCₖ, x ∈ R }
+//! ```
+//!
+//! which is generic (no element is "chosen") and reaches the fixpoint
+//! `powerset(R)` after `|R|` rounds. The `S ∪ {x}` step is pure algebra:
+//! pair every `S` with every `x`, unnest `S`'s members alongside, re-nest
+//! over the `(S, x)` key.
+
+use uset_algebra::program::ANS;
+use uset_algebra::{Expr, Program, Stmt};
+use uset_object::{Instance, Value};
+
+/// A powerset-free, single-while program with `ANS = powerset(rel)`.
+pub fn powerset_via_while_program(rel: &str) -> Program {
+    // ACC starts as {∅}: a unary relation holding the empty set object
+    let empty_set_const = Expr::constant(Instance::from_values([Value::empty_set()]));
+
+    // one saturation round: NEWSETS = { S ∪ {x} | S ∈ ACC, x ∈ rel }
+    //   A = ACC × wrap(rel)                  → [S, x]   (wrap keeps tuple
+    //                                          members as one component)
+    //   B = π[0,1,1](A)                      → [S, x, x]
+    //   C = σ[c2 ∈ c0](A × wrap(rel))        → [S, x, e]  (e ∈ S)
+    //   D = ν₂(B ∪ C)                        → [S, x, S ∪ {x}]
+    use uset_algebra::Operand;
+    use uset_algebra::Pred;
+    let relw = Expr::var(rel).wrap();
+    let a = Expr::var("ps_acc").product(relw.clone());
+    let b = a.clone().project([0, 1, 1]);
+    let c = a
+        .product(relw)
+        .select(Pred::Member(Operand::Col(2), Operand::Col(0)));
+    let d = b.union(c).nest([2]);
+    let newsets = d.project([2]);
+
+    Program::new(vec![
+        Stmt::assign("ps_acc", empty_set_const),
+        Stmt::assign("ps_delta", Expr::var("ps_acc")),
+        Stmt::while_loop(
+            "ps_out",
+            "ps_acc",
+            "ps_delta",
+            vec![
+                Stmt::assign("ps_new", newsets.clone().diff(Expr::var("ps_acc"))),
+                Stmt::assign("ps_acc", Expr::var("ps_acc").union(Expr::var("ps_new"))),
+                Stmt::assign("ps_delta", Expr::var("ps_new")),
+            ],
+        ),
+        Stmt::assign(ANS, Expr::var("ps_out")),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_algebra::{eval_program, EvalConfig};
+    use uset_object::{atom, set, Database};
+
+    fn run(n: u64) -> Instance {
+        let mut db = Database::empty();
+        db.set("R", Instance::from_values((0..n).map(atom)));
+        eval_program(
+            &powerset_via_while_program("R"),
+            &db,
+            &EvalConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn program_is_powerset_free_with_one_while() {
+        let p = powerset_via_while_program("R");
+        assert!(p.is_powerset_free());
+        assert!(p.is_unnested_while());
+        assert!(!p.is_while_free());
+    }
+
+    #[test]
+    fn matches_the_powerset_operator() {
+        for n in 0..5u64 {
+            let out = run(n);
+            assert_eq!(out.len(), 1 << n, "2^{n} subsets");
+            // spot-check membership
+            assert!(out.contains(&Value::empty_set()));
+            if n >= 2 {
+                assert!(out.contains(&set([atom(0), atom(1)])));
+            }
+            if n >= 1 {
+                assert!(out.contains(&set((0..n).map(atom))));
+            }
+        }
+    }
+
+    #[test]
+    fn bare_and_tuple_elements_both_work() {
+        // powerset over a relation of pairs (members are tuples)
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(4)]]),
+        );
+        let out = eval_program(
+            &powerset_via_while_program("R"),
+            &db,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.contains(&set([uset_object::tuple([atom(1), atom(2)])])));
+    }
+}

@@ -1,0 +1,97 @@
+//! The Theorem 5.1 ordinal-chain device for COL.
+//!
+//! The proof of Theorem 5.1 creates an unbounded ordered set of "tape
+//! indices" inside a data function `F(a)` using the rules
+//!
+//! ```text
+//! a ∈ F(a) ←
+//! {u} ∈ F(a) ← u ∈ F(a),  Guard(u)
+//! ```
+//!
+//! Each element is the singleton of the previous one, so `F(a)` holds the
+//! strictly increasing (by nesting depth) chain `a, {a}, {{a}}, …` — an
+//! arbitrarily long supply of *distinct* objects built without inventing
+//! atoms. In the paper the guard is the "machine not yet halted" condition
+//! `S(t, p, s)`; unguarded, the rules diverge (that divergence is the
+//! paper's undefined output and is exercised in tests of
+//! [`crate::col::eval`]).
+
+use crate::col::ast::{ColLiteral, ColRule, ColTerm};
+use uset_object::{Atom, Value};
+
+/// Chain-seeding and chain-extension rules for `F(seed)`, with extension
+/// guarded by the given extra literals (which may mention the chain
+/// variable `u`).
+pub fn chain_rules(func: &str, seed: Atom, guard: Vec<ColLiteral>) -> Vec<ColRule> {
+    let a = ColTerm::Const(Value::Atom(seed));
+    let mut body = vec![ColLiteral::member(
+        ColTerm::var("u"),
+        ColTerm::Apply(func.to_owned(), vec![a.clone()]),
+    )];
+    body.extend(guard);
+    vec![
+        ColRule::func_member(func, vec![a.clone()], a.clone(), vec![]),
+        ColRule::func_member(
+            func,
+            vec![a],
+            ColTerm::SetLit(vec![ColTerm::var("u")]),
+            body,
+        ),
+    ]
+}
+
+/// The singleton-nesting chain of length `n` as plain values:
+/// `seed, {seed}, {{seed}}, …` — the reference against which COL runs are
+/// checked.
+pub fn singleton_chain(seed: Atom, n: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity(n);
+    let mut cur = Value::Atom(seed);
+    for _ in 0..n {
+        out.push(cur.clone());
+        cur = Value::Set([cur].into_iter().collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::col::ast::ColProgram;
+    use crate::col::eval::{stratified, ColConfig};
+    use uset_object::{atom, set, Database, Instance};
+
+    #[test]
+    fn singleton_chain_shape() {
+        let c = singleton_chain(Atom::new(3), 3);
+        assert_eq!(c[0], atom(3));
+        assert_eq!(c[1], set([atom(3)]));
+        assert_eq!(c[2], set([set([atom(3)])]));
+        // strictly increasing depth, all distinct, constant adom
+        for w in c.windows(2) {
+            assert!(w[0].set_depth() < w[1].set_depth());
+        }
+        for v in &c {
+            assert_eq!(v.adom().len(), 1);
+        }
+    }
+
+    #[test]
+    fn guarded_chain_grows_to_guard_extent() {
+        // guard: u ∈ Allowed, where Allowed holds the first 4 chain
+        // elements — so exactly 5 elements appear in F(a)
+        let seed = Atom::new(0);
+        let allowed: Instance = singleton_chain(seed, 4).into_iter().collect();
+        let rules = chain_rules(
+            "F",
+            seed,
+            vec![ColLiteral::pred("Allowed", vec![ColTerm::var("u")])],
+        );
+        let mut db = Database::empty();
+        db.set("Allowed", allowed);
+        let out = stratified(&ColProgram::new(rules), &db, &ColConfig::default()).unwrap();
+        let f = out.func("F", &[atom(0)]);
+        let expected: std::collections::BTreeSet<_> =
+            singleton_chain(seed, 5).into_iter().collect();
+        assert_eq!(f, expected);
+    }
+}

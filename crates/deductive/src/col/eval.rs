@@ -1,0 +1,662 @@
+//! Evaluation of COL programs: stratified and inflationary semantics.
+//!
+//! Both semantics share a round-based engine: in each round every rule is
+//! matched against the current state and all derived facts are added
+//! simultaneously. Stratified evaluation runs the engine once per stratum
+//! (so negation and function reads see completed lower strata);
+//! inflationary evaluation runs it once over all rules, with negation
+//! evaluated against the current (growing) state.
+//!
+//! Untyped COL programs can diverge — e.g. the chain rules of Theorem 5.1
+//! without a guard — so the engine is bounded by a round budget and a
+//! total-fact budget; exceeding either reports
+//! [`ColEvalError::FuelExhausted`], the observable stand-in for the paper's
+//! undefined output `?`.
+
+use crate::col::ast::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm};
+use crate::col::stratify::stratify;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use uset_object::{Database, Instance, Value};
+
+/// Evaluation state: predicate extents and data-function graphs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ColState {
+    /// Predicate name → extent. Unary predicates hold bare objects; n-ary
+    /// predicates (n ≥ 2) hold n-tuples.
+    pub preds: BTreeMap<String, Instance>,
+    /// Function symbol → argument tuple → set value.
+    pub funcs: BTreeMap<String, BTreeMap<Vec<Value>, BTreeSet<Value>>>,
+}
+
+impl ColState {
+    /// Initialize from a database (all relations become predicates).
+    pub fn from_database(db: &Database) -> ColState {
+        ColState {
+            preds: db
+                .iter()
+                .map(|(n, i)| (n.to_owned(), i.clone()))
+                .collect(),
+            funcs: BTreeMap::new(),
+        }
+    }
+
+    /// A predicate's extent (empty if absent).
+    pub fn pred(&self, name: &str) -> Instance {
+        self.preds.get(name).cloned().unwrap_or_default()
+    }
+
+    /// A function's value at given arguments (empty set if absent).
+    pub fn func(&self, name: &str, args: &[Value]) -> BTreeSet<Value> {
+        self.funcs
+            .get(name)
+            .and_then(|g| g.get(args))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Total number of stored facts (for the size budget).
+    pub fn total_facts(&self) -> usize {
+        let p: usize = self.preds.values().map(Instance::len).sum();
+        let f: usize = self
+            .funcs
+            .values()
+            .flat_map(|g| g.values())
+            .map(BTreeSet::len)
+            .sum();
+        p + f
+    }
+}
+
+/// Evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ColEvalError {
+    /// The round or size budget was exhausted (possible divergence — the
+    /// paper's `?`).
+    FuelExhausted,
+    /// A term that had to be ground still contained unbound variables.
+    NonGround(String),
+    /// The program is not stratifiable (stratified semantics only).
+    NotStratifiable(String),
+}
+
+impl std::fmt::Display for ColEvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColEvalError::FuelExhausted => write!(f, "COL evaluation fuel exhausted"),
+            ColEvalError::NonGround(v) => {
+                write!(f, "variable {v} unbound where a ground term was required")
+            }
+            ColEvalError::NotStratifiable(s) => {
+                write!(f, "program not stratifiable (at {s})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColEvalError {}
+
+/// Budgets for COL evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct ColConfig {
+    /// Maximum fixpoint rounds per engine run.
+    pub max_rounds: u64,
+    /// Maximum total facts across the state.
+    pub max_facts: usize,
+}
+
+impl Default for ColConfig {
+    fn default() -> Self {
+        ColConfig {
+            max_rounds: 100_000,
+            max_facts: 1_000_000,
+        }
+    }
+}
+
+type Bindings = HashMap<String, Value>;
+
+/// Evaluate a ground term under bindings.
+fn eval_term(t: &ColTerm, b: &Bindings, state: &ColState) -> Result<Value, ColEvalError> {
+    match t {
+        ColTerm::Var(v) => b
+            .get(v)
+            .cloned()
+            .ok_or_else(|| ColEvalError::NonGround(v.clone())),
+        ColTerm::Const(c) => Ok(c.clone()),
+        ColTerm::Tuple(ts) => Ok(Value::Tuple(
+            ts.iter()
+                .map(|t| eval_term(t, b, state))
+                .collect::<Result<_, _>>()?,
+        )),
+        ColTerm::SetLit(ts) => Ok(Value::Set(
+            ts.iter()
+                .map(|t| eval_term(t, b, state))
+                .collect::<Result<_, _>>()?,
+        )),
+        ColTerm::Apply(f, ts) => {
+            let args: Vec<Value> = ts
+                .iter()
+                .map(|t| eval_term(t, b, state))
+                .collect::<Result<_, _>>()?;
+            Ok(Value::Set(state.func(f, &args)))
+        }
+    }
+}
+
+/// One-way matching of a pattern term against a value, extending bindings.
+/// Respects the rule's rtype annotations. Returns false (no binding
+/// produced) on mismatch; `SetLit`/`Apply` sub-patterns must be ground.
+fn match_term(
+    pat: &ColTerm,
+    value: &Value,
+    b: &mut Bindings,
+    rule: &ColRule,
+    state: &ColState,
+) -> Result<bool, ColEvalError> {
+    match pat {
+        ColTerm::Var(v) => match b.get(v) {
+            Some(bound) => Ok(bound == value),
+            None => {
+                if let Some(ty) = rule.types.get(v) {
+                    if !ty.contains(value) {
+                        return Ok(false);
+                    }
+                }
+                b.insert(v.clone(), value.clone());
+                Ok(true)
+            }
+        },
+        ColTerm::Const(c) => Ok(c == value),
+        ColTerm::Tuple(ts) => match value.as_tuple() {
+            Some(items) if items.len() == ts.len() => {
+                for (t, v) in ts.iter().zip(items) {
+                    if !match_term(t, v, b, rule, state)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        },
+        // set literals and function applications are compared, not
+        // destructured: they must be ground at this point
+        ColTerm::SetLit(_) | ColTerm::Apply(..) => {
+            Ok(eval_term(pat, b, state)? == *value)
+        }
+    }
+}
+
+/// Extend a set of bindings through one body literal.
+fn extend(
+    lit: &ColLiteral,
+    bindings: Vec<Bindings>,
+    rule: &ColRule,
+    state: &ColState,
+) -> Result<Vec<Bindings>, ColEvalError> {
+    let mut out = Vec::new();
+    match lit {
+        ColLiteral::Pred {
+            name,
+            args,
+            positive,
+        } => {
+            let rel = state.pred(name);
+            if *positive {
+                for b in bindings {
+                    for row in rel.iter() {
+                        let mut nb = b.clone();
+                        let matched = if args.len() == 1 {
+                            match_term(&args[0], row, &mut nb, rule, state)?
+                        } else {
+                            match row.as_tuple() {
+                                Some(items) if items.len() == args.len() => {
+                                    let mut ok = true;
+                                    for (t, v) in args.iter().zip(items) {
+                                        if !match_term(t, v, &mut nb, rule, state)? {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                    ok
+                                }
+                                _ => false,
+                            }
+                        };
+                        if matched {
+                            out.push(nb);
+                        }
+                    }
+                }
+            } else {
+                for b in bindings {
+                    let ground: Vec<Value> = args
+                        .iter()
+                        .map(|t| eval_term(t, &b, state))
+                        .collect::<Result<_, _>>()?;
+                    let row = if ground.len() == 1 {
+                        ground.into_iter().next().expect("one argument")
+                    } else {
+                        Value::Tuple(ground)
+                    };
+                    if !rel.contains(&row) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        ColLiteral::Member {
+            elem,
+            set,
+            positive,
+        } => {
+            for b in bindings {
+                let set_val = eval_term(set, &b, state)?;
+                let Some(members) = set_val.as_set() else {
+                    continue; // non-set: the literal is simply unsatisfied
+                };
+                if *positive {
+                    for m in members {
+                        let mut nb = b.clone();
+                        if match_term(elem, m, &mut nb, rule, state)? {
+                            out.push(nb);
+                        }
+                    }
+                } else {
+                    let e = eval_term(elem, &b, state)?;
+                    if !members.contains(&e) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        ColLiteral::Eq {
+            left,
+            right,
+            positive,
+        } => {
+            for b in bindings {
+                // allow an unbound variable on one side to be assigned
+                let lv = eval_term(left, &b, state);
+                let rv = eval_term(right, &b, state);
+                match (lv, rv) {
+                    (Ok(l), Ok(r)) => {
+                        if (l == r) == *positive {
+                            out.push(b);
+                        }
+                    }
+                    (Err(_), Ok(r)) if *positive => {
+                        if let ColTerm::Var(v) = left {
+                            let mut nb = b.clone();
+                            if let Some(ty) = rule.types.get(v) {
+                                if !ty.contains(&r) {
+                                    continue;
+                                }
+                            }
+                            nb.insert(v.clone(), r);
+                            out.push(nb);
+                        } else {
+                            return Err(ColEvalError::NonGround(format!("{left:?}")));
+                        }
+                    }
+                    (Ok(l), Err(_)) if *positive => {
+                        if let ColTerm::Var(v) = right {
+                            let mut nb = b.clone();
+                            if let Some(ty) = rule.types.get(v) {
+                                if !ty.contains(&l) {
+                                    continue;
+                                }
+                            }
+                            nb.insert(v.clone(), l);
+                            out.push(nb);
+                        } else {
+                            return Err(ColEvalError::NonGround(format!("{right:?}")));
+                        }
+                    }
+                    (Err(e), _) | (_, Err(e)) => return Err(e),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Derive all facts of one rule against the state.
+fn fire_rule(
+    rule: &ColRule,
+    state: &ColState,
+) -> Result<Vec<(ColHead, Vec<Value>, Option<Value>)>, ColEvalError> {
+    let mut bindings = vec![Bindings::new()];
+    for lit in &rule.body {
+        bindings = extend(lit, bindings, rule, state)?;
+        if bindings.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    let mut out = Vec::new();
+    for b in &bindings {
+        match &rule.head {
+            ColHead::Pred { name, args } => {
+                let ground: Vec<Value> = args
+                    .iter()
+                    .map(|t| eval_term(t, b, state))
+                    .collect::<Result<_, _>>()?;
+                out.push((
+                    ColHead::Pred {
+                        name: name.clone(),
+                        args: Vec::new(),
+                    },
+                    ground,
+                    None,
+                ));
+            }
+            ColHead::FuncMember { func, args, elem } => {
+                let ground: Vec<Value> = args
+                    .iter()
+                    .map(|t| eval_term(t, b, state))
+                    .collect::<Result<_, _>>()?;
+                let e = eval_term(elem, b, state)?;
+                out.push((
+                    ColHead::FuncMember {
+                        func: func.clone(),
+                        args: Vec::new(),
+                        elem: ColTerm::Const(Value::empty_set()),
+                    },
+                    ground,
+                    Some(e),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Round-based engine: fire all `rules` simultaneously until fixpoint.
+fn run_engine(
+    rules: &[&ColRule],
+    state: &mut ColState,
+    config: &ColConfig,
+) -> Result<(), ColEvalError> {
+    for _ in 0..config.max_rounds {
+        let mut changed = false;
+        let snapshot = state.clone();
+        for rule in rules {
+            for (head, args, elem) in fire_rule(rule, &snapshot)? {
+                match (head, elem) {
+                    (ColHead::Pred { name, .. }, None) => {
+                        let row = if args.len() == 1 {
+                            args.into_iter().next().expect("one argument")
+                        } else {
+                            Value::Tuple(args)
+                        };
+                        let entry = state.preds.entry(name).or_default();
+                        if entry.insert(row) {
+                            changed = true;
+                        }
+                    }
+                    (ColHead::FuncMember { func, .. }, Some(e)) => {
+                        let entry = state
+                            .funcs
+                            .entry(func)
+                            .or_default()
+                            .entry(args)
+                            .or_default();
+                        if entry.insert(e) {
+                            changed = true;
+                        }
+                    }
+                    _ => unreachable!("head/elem shapes are paired in fire_rule"),
+                }
+            }
+        }
+        if state.total_facts() > config.max_facts {
+            return Err(ColEvalError::FuelExhausted);
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+    Err(ColEvalError::FuelExhausted)
+}
+
+/// Stratified semantics: strata evaluated bottom-up, each to its least
+/// fixpoint.
+pub fn stratified(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+) -> Result<ColState, ColEvalError> {
+    let strata = stratify(prog).map_err(|e| ColEvalError::NotStratifiable(e.symbol))?;
+    let max = strata.values().copied().max().unwrap_or(0);
+    let mut state = ColState::from_database(db);
+    for s in 0..=max {
+        let rules: Vec<&ColRule> = prog
+            .rules
+            .iter()
+            .filter(|r| strata[r.head_symbol()] == s)
+            .collect();
+        run_engine(&rules, &mut state, config)?;
+    }
+    Ok(state)
+}
+
+/// Inflationary semantics: one cumulative fixpoint over all rules, with
+/// negation read against the current state.
+pub fn inflationary(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+) -> Result<ColState, ColEvalError> {
+    let rules: Vec<&ColRule> = prog.rules.iter().collect();
+    let mut state = ColState::from_database(db);
+    run_engine(&rules, &mut state, config)?;
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::col::ast::{ColLiteral, ColRule, ColTerm};
+    use uset_object::{atom, set, tuple, RType};
+
+    fn v(n: &str) -> ColTerm {
+        ColTerm::var(n)
+    }
+
+    fn path_db(n: u64) -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        db
+    }
+
+    fn tc_prog() -> ColProgram {
+        ColProgram::new(vec![
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("y")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("z")],
+                vec![
+                    ColLiteral::pred("E", vec![v("x"), v("y")]),
+                    ColLiteral::pred("T", vec![v("y"), v("z")]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn tc_stratified_and_inflationary_agree() {
+        let db = path_db(5);
+        let cfg = ColConfig::default();
+        let s = stratified(&tc_prog(), &db, &cfg).unwrap();
+        let i = inflationary(&tc_prog(), &db, &cfg).unwrap();
+        assert_eq!(s.pred("T"), i.pred("T"));
+        assert_eq!(s.pred("T").len(), 10);
+    }
+
+    #[test]
+    fn grouping_via_data_function() {
+        // F(x) ∋ y ← E(x,y);  G([x, F(x)]) ← E(x, y)
+        // (the COL idiom for nest)
+        let prog = ColProgram::new(vec![
+            ColRule::func_member(
+                "F",
+                vec![v("x")],
+                v("y"),
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "G",
+                vec![ColTerm::Tuple(vec![
+                    v("x"),
+                    ColTerm::Apply("F".into(), vec![v("x")]),
+                ])],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+        ]);
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows([
+                [atom(1), atom(10)],
+                [atom(1), atom(11)],
+                [atom(2), atom(20)],
+            ]),
+        );
+        let out = stratified(&prog, &db, &ColConfig::default()).unwrap();
+        assert!(out.pred("G").contains(&tuple([atom(1), set([atom(10), atom(11)])])));
+        assert!(out.pred("G").contains(&tuple([atom(2), set([atom(20)])])));
+        assert_eq!(out.pred("G").len(), 2);
+    }
+
+    #[test]
+    fn unguarded_chain_diverges() {
+        // a ∈ F(a) ←;   {u} ∈ F(a) ← u ∈ F(a)
+        let a = ColTerm::cst(atom(0));
+        let prog = ColProgram::new(vec![
+            ColRule::func_member("F", vec![a.clone()], a.clone(), vec![]),
+            ColRule::func_member(
+                "F",
+                vec![a.clone()],
+                ColTerm::SetLit(vec![v("u")]),
+                vec![ColLiteral::member(
+                    v("u"),
+                    ColTerm::Apply("F".into(), vec![a.clone()]),
+                )],
+            ),
+        ]);
+        let cfg = ColConfig {
+            max_rounds: 50,
+            max_facts: 10_000,
+        };
+        let err = stratified(&prog, &Database::empty(), &cfg).unwrap_err();
+        assert_eq!(err, ColEvalError::FuelExhausted);
+    }
+
+    #[test]
+    fn guarded_chain_terminates_with_correct_shape() {
+        // chain growth guarded by a predicate: {u} ∈ F(a) ← u ∈ F(a), Go(u)
+        // where Go holds only elements of bounded depth is not directly
+        // expressible; instead guard by membership in a finite set — here
+        // we guard on u ∈ Seed so exactly one extension happens.
+        let a = ColTerm::cst(atom(0));
+        let prog = ColProgram::new(vec![
+            ColRule::func_member("F", vec![a.clone()], a.clone(), vec![]),
+            ColRule::func_member(
+                "F",
+                vec![a.clone()],
+                ColTerm::SetLit(vec![v("u")]),
+                vec![
+                    ColLiteral::member(v("u"), ColTerm::Apply("F".into(), vec![a.clone()])),
+                    ColLiteral::pred("Seed", vec![v("u")]),
+                ],
+            ),
+        ]);
+        let mut db = Database::empty();
+        db.set("Seed", Instance::from_values([atom(0)]));
+        let out = stratified(&prog, &db, &ColConfig::default()).unwrap();
+        let f = out.func("F", &[atom(0)]);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(&atom(0)));
+        assert!(f.contains(&set([atom(0)])));
+    }
+
+    #[test]
+    fn rtype_annotations_filter_bindings() {
+        // P(x) ← R(x) with x : U keeps only atoms from a heterogeneous R
+        let prog = ColProgram::new(vec![ColRule::pred(
+            "P",
+            vec![v("x")],
+            vec![ColLiteral::pred("R", vec![v("x")])],
+        )
+        .with_type("x", RType::Atomic)]);
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_values([atom(1), set([atom(2)]), tuple([atom(3), atom(4)])]),
+        );
+        let out = stratified(&prog, &db, &ColConfig::default()).unwrap();
+        assert_eq!(out.pred("P"), Instance::from_values([atom(1)]));
+    }
+
+    #[test]
+    fn negation_under_stratified_semantics() {
+        // NotE(x,y) ← N(x), N(y), ¬E(x,y)
+        let prog = ColProgram::new(vec![
+            ColRule::pred("N", vec![v("x")], vec![ColLiteral::pred("E", vec![v("x"), v("y")])]),
+            ColRule::pred("N", vec![v("y")], vec![ColLiteral::pred("E", vec![v("x"), v("y")])]),
+            ColRule::pred(
+                "NotE",
+                vec![v("x"), v("y")],
+                vec![
+                    ColLiteral::pred("N", vec![v("x")]),
+                    ColLiteral::pred("N", vec![v("y")]),
+                    ColLiteral::not_pred("E", vec![v("x"), v("y")]),
+                ],
+            ),
+        ]);
+        let out = stratified(&prog, &path_db(3), &ColConfig::default()).unwrap();
+        assert_eq!(out.pred("NotE").len(), 9 - 2);
+    }
+
+    #[test]
+    fn membership_and_equality_literals() {
+        // Pairs(x, y) ← R(s), x ∈ s, y ∈ s, x ≉ y
+        let prog = ColProgram::new(vec![ColRule::pred(
+            "Pairs",
+            vec![v("x"), v("y")],
+            vec![
+                ColLiteral::pred("R", vec![v("s")]),
+                ColLiteral::member(v("x"), v("s")),
+                ColLiteral::member(v("y"), v("s")),
+                ColLiteral::neq(v("x"), v("y")),
+            ],
+        )]);
+        let mut db = Database::empty();
+        db.set("R", Instance::from_values([set([atom(1), atom(2)])]));
+        let out = stratified(&prog, &db, &ColConfig::default()).unwrap();
+        assert_eq!(out.pred("Pairs").len(), 2);
+    }
+
+    #[test]
+    fn set_literal_head_builds_sets() {
+        // Wrapped({x}) ← R(x)
+        let prog = ColProgram::new(vec![ColRule::pred(
+            "Wrapped",
+            vec![ColTerm::SetLit(vec![v("x")])],
+            vec![ColLiteral::pred("R", vec![v("x")])],
+        )]);
+        let mut db = Database::empty();
+        db.set("R", Instance::from_values([atom(1), atom(2)]));
+        let out = inflationary(&prog, &db, &ColConfig::default()).unwrap();
+        assert_eq!(
+            out.pred("Wrapped"),
+            Instance::from_values([set([atom(1)]), set([atom(2)])])
+        );
+    }
+}

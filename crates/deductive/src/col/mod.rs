@@ -1,0 +1,5 @@
+//! COL with rtypes: complex-object rules with set-valued data functions.
+
+pub mod ast;
+pub mod eval;
+pub mod stratify;

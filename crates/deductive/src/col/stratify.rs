@@ -1,0 +1,240 @@
+//! Stratification analysis for COL programs.
+//!
+//! The dependency discipline generalizes DATALOG's: a rule defining symbol
+//! `H` depends on a body symbol `S` *positively* if `S` occurs in a
+//! positive predicate or membership literal, and *strongly* if `S` occurs
+//! negated **or** is a data function used as an evaluated term (a function
+//! must be fully computed before its set value can be read — Abiteboul &
+//! Grumbach's condition). A program is stratifiable iff no strong
+//! dependency lies on a cycle; strata are computed by the usual iterative
+//! lifting.
+
+use crate::col::ast::{ColHead, ColLiteral, ColProgram, ColTerm};
+use std::collections::BTreeMap;
+
+/// Stratification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotStratifiable {
+    /// A symbol on the offending cycle.
+    pub symbol: String,
+}
+
+impl std::fmt::Display for NotStratifiable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "strong dependency (negation or function read) through recursion at {}",
+            self.symbol
+        )
+    }
+}
+
+impl std::error::Error for NotStratifiable {}
+
+/// Dependencies of one rule: (symbol, strong?).
+fn rule_dependencies(rule: &crate::col::ast::ColRule) -> Vec<(String, bool)> {
+    let mut deps: Vec<(String, bool)> = Vec::new();
+    let add_applies = |t: &ColTerm, deps: &mut Vec<(String, bool)>| {
+        let mut fs = Vec::new();
+        t.collect_applies(&mut fs);
+        for f in fs {
+            deps.push((f, true)); // reading a function value is strong
+        }
+    };
+    for lit in &rule.body {
+        match lit {
+            ColLiteral::Pred {
+                name,
+                args,
+                positive,
+            } => {
+                deps.push((name.clone(), !positive));
+                for a in args {
+                    add_applies(a, &mut deps);
+                }
+            }
+            ColLiteral::Member {
+                elem,
+                set,
+                positive,
+            } => {
+                add_applies(elem, &mut deps);
+                // membership in F(ū): reading F's set — but a *positive*
+                // membership in a function being built in the same stratum
+                // is exactly how recursion through functions works in COL
+                // (cf. the chain rules of Theorem 5.1). Only the negated
+                // form is strong; direct Apply in other positions is strong
+                // via add_applies.
+                if let ColTerm::Apply(f, args) = set {
+                    deps.push((f.clone(), !positive));
+                    for a in args {
+                        add_applies(a, &mut deps);
+                    }
+                } else {
+                    add_applies(set, &mut deps);
+                }
+            }
+            ColLiteral::Eq { left, right, .. } => {
+                add_applies(left, &mut deps);
+                add_applies(right, &mut deps);
+            }
+        }
+    }
+    // head terms may also read functions
+    match &rule.head {
+        ColHead::Pred { args, .. } => {
+            for a in args {
+                add_applies(a, &mut deps);
+            }
+        }
+        ColHead::FuncMember { args, elem, .. } => {
+            for a in args {
+                add_applies(a, &mut deps);
+            }
+            add_applies(elem, &mut deps);
+        }
+    }
+    deps
+}
+
+/// Compute strata for the program's defined symbols. EDB symbols (never in
+/// a head) implicitly sit at stratum 0.
+pub fn stratify(prog: &ColProgram) -> Result<BTreeMap<String, usize>, NotStratifiable> {
+    let defined = prog.defined_symbols();
+    let mut stratum: BTreeMap<String, usize> =
+        defined.iter().map(|s| (s.clone(), 0)).collect();
+    let bound = defined.len() + 1;
+    loop {
+        let mut changed = false;
+        for rule in &prog.rules {
+            let h = stratum[rule.head_symbol()];
+            for (sym, strong) in rule_dependencies(rule) {
+                let Some(&b) = stratum.get(&sym) else { continue };
+                let required = if strong { b + 1 } else { b };
+                if required > h {
+                    stratum.insert(rule.head_symbol().to_owned(), required);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(stratum);
+        }
+        if let Some((sym, _)) = stratum.iter().find(|(_, s)| **s > bound) {
+            return Err(NotStratifiable {
+                symbol: sym.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::col::ast::{ColLiteral, ColRule, ColTerm};
+    use uset_object::atom;
+
+    fn v(n: &str) -> ColTerm {
+        ColTerm::var(n)
+    }
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        // T(x,z) ← E(x,y), T(y,z)
+        let prog = ColProgram::new(vec![
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("y")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("z")],
+                vec![
+                    ColLiteral::pred("E", vec![v("x"), v("y")]),
+                    ColLiteral::pred("T", vec![v("y"), v("z")]),
+                ],
+            ),
+        ]);
+        let s = stratify(&prog).unwrap();
+        assert_eq!(s["T"], 0);
+    }
+
+    #[test]
+    fn negation_lifts_stratum() {
+        let prog = ColProgram::new(vec![
+            ColRule::pred(
+                "P",
+                vec![v("x")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "Q",
+                vec![v("x")],
+                vec![
+                    ColLiteral::pred("P", vec![v("x")]),
+                    ColLiteral::not_pred("R", vec![v("x")]),
+                ],
+            ),
+            ColRule::pred(
+                "R",
+                vec![v("x")],
+                vec![ColLiteral::pred("P", vec![v("x")])],
+            ),
+        ]);
+        let s = stratify(&prog).unwrap();
+        assert!(s["Q"] > s["R"]);
+    }
+
+    #[test]
+    fn function_membership_recursion_allowed() {
+        // the Theorem 5.1 chain: {u} ∈ F(a) ← u ∈ F(a)
+        let a = ColTerm::cst(atom(0));
+        let prog = ColProgram::new(vec![
+            ColRule::func_member("F", vec![a.clone()], a.clone(), vec![]),
+            ColRule::func_member(
+                "F",
+                vec![a.clone()],
+                ColTerm::SetLit(vec![v("u")]),
+                vec![ColLiteral::member(v("u"), ColTerm::Apply("F".into(), vec![a.clone()]))],
+            ),
+        ]);
+        let s = stratify(&prog).unwrap();
+        assert_eq!(s["F"], 0);
+    }
+
+    #[test]
+    fn function_read_as_term_is_strong() {
+        // P(F(c)) ← Q(x): P needs F complete
+        let c = ColTerm::cst(atom(0));
+        let prog = ColProgram::new(vec![
+            ColRule::func_member("F", vec![c.clone()], v("x"), vec![
+                ColLiteral::pred("Q", vec![v("x")]),
+            ]),
+            ColRule::pred(
+                "P",
+                vec![ColTerm::Apply("F".into(), vec![c.clone()])],
+                vec![ColLiteral::pred("Q", vec![v("x")])],
+            ),
+        ]);
+        let s = stratify(&prog).unwrap();
+        assert!(s["P"] > s["F"]);
+    }
+
+    #[test]
+    fn strong_cycle_rejected() {
+        // P(x) ← Q(x); Q(x) ← E(x), ¬P(x)
+        let prog = ColProgram::new(vec![
+            ColRule::pred("P", vec![v("x")], vec![ColLiteral::pred("Q", vec![v("x")])]),
+            ColRule::pred(
+                "Q",
+                vec![v("x")],
+                vec![
+                    ColLiteral::pred("E", vec![v("x")]),
+                    ColLiteral::not_pred("P", vec![v("x")]),
+                ],
+            ),
+        ]);
+        assert!(stratify(&prog).is_err());
+    }
+}

@@ -1,0 +1,686 @@
+//! Flat DATALOG with negation — the baseline deductive language.
+//!
+//! Two semantics are implemented:
+//!
+//! * **stratified**: the program is split into strata so that negation
+//!   never occurs inside a recursion; each stratum is evaluated to its
+//!   least fixpoint over the previous strata.
+//! * **inflationary** (Kolaitis–Papadimitriou): all rules fire
+//!   simultaneously against the *current* state, derived facts accumulate,
+//!   and iteration stops at the (always-reached) fixpoint.
+//!
+//! On flat relations stratified DATALOG¬ is strictly weaker than
+//! inflationary DATALOG¬ — the asymmetry that Theorem 5.1 shows disappears
+//! for COL with untyped sets.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use uset_object::{Database, Instance, Value};
+
+/// A term: a variable or a constant atom value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DlTerm {
+    /// Variable.
+    Var(String),
+    /// Constant.
+    Const(Value),
+}
+
+impl DlTerm {
+    /// Shorthand variable.
+    pub fn var(name: &str) -> DlTerm {
+        DlTerm::Var(name.to_owned())
+    }
+}
+
+/// A predicate atom `P(t1, …, tn)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlAtom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<DlTerm>,
+}
+
+impl DlAtom {
+    /// Build an atom.
+    pub fn new(pred: &str, args: Vec<DlTerm>) -> DlAtom {
+        DlAtom {
+            pred: pred.to_owned(),
+            args,
+        }
+    }
+}
+
+/// A possibly negated body literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlLiteral {
+    /// Polarity: false = negated.
+    pub positive: bool,
+    /// The atom.
+    pub atom: DlAtom,
+}
+
+/// A rule `head ← body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlRule {
+    /// Head atom.
+    pub head: DlAtom,
+    /// Body literals (evaluated left to right for binding).
+    pub body: Vec<DlLiteral>,
+}
+
+impl DlRule {
+    /// Build a rule from a head and `(positive, atom)` body entries.
+    pub fn new(head: DlAtom, body: Vec<(bool, DlAtom)>) -> DlRule {
+        DlRule {
+            head,
+            body: body
+                .into_iter()
+                .map(|(positive, atom)| DlLiteral { positive, atom })
+                .collect(),
+        }
+    }
+}
+
+/// A DATALOG¬ program.
+#[derive(Clone, Debug, Default)]
+pub struct DatalogProgram {
+    /// The rules.
+    pub rules: Vec<DlRule>,
+}
+
+/// Errors from DATALOG evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DlError {
+    /// A head or negated variable does not occur in a positive body
+    /// literal.
+    Unsafe(String),
+    /// The program has negation inside recursion (stratified mode only).
+    NotStratifiable(String),
+    /// Fuel exhausted.
+    FuelExhausted,
+}
+
+impl fmt::Display for DlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlError::Unsafe(v) => write!(f, "unsafe variable {v}"),
+            DlError::NotStratifiable(p) => {
+                write!(f, "negation through recursion at predicate {p}")
+            }
+            DlError::FuelExhausted => write!(f, "datalog fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for DlError {}
+
+impl DatalogProgram {
+    /// Build from rules.
+    pub fn new(rules: Vec<DlRule>) -> DatalogProgram {
+        DatalogProgram { rules }
+    }
+
+    /// Safety check: every head variable and every variable in a negated
+    /// literal must occur in some positive body literal.
+    pub fn check_safety(&self) -> Result<(), DlError> {
+        for rule in &self.rules {
+            let mut positive_vars: BTreeSet<&str> = BTreeSet::new();
+            for lit in &rule.body {
+                if lit.positive {
+                    for t in &lit.atom.args {
+                        if let DlTerm::Var(v) = t {
+                            positive_vars.insert(v);
+                        }
+                    }
+                }
+            }
+            let check = |args: &[DlTerm]| -> Result<(), DlError> {
+                for t in args {
+                    if let DlTerm::Var(v) = t {
+                        if !positive_vars.contains(v.as_str()) {
+                            return Err(DlError::Unsafe(v.clone()));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            check(&rule.head.args)?;
+            for lit in &rule.body {
+                if !lit.positive {
+                    check(&lit.atom.args)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Intensional (head) predicates.
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+    }
+
+    /// Compute the stratification: predicate → stratum index. Errors if
+    /// negation occurs through recursion.
+    pub fn stratify(&self) -> Result<BTreeMap<String, usize>, DlError> {
+        // iterate stratum assignment to fixpoint (standard algorithm)
+        let idb = self.idb_predicates();
+        let mut stratum: BTreeMap<String, usize> =
+            idb.iter().map(|p| (p.clone(), 0)).collect();
+        let bound = idb.len() + 1;
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                let h = stratum[&rule.head.pred];
+                for lit in &rule.body {
+                    let Some(&b) = stratum.get(&lit.atom.pred) else {
+                        continue; // EDB predicate: stratum 0 implicitly
+                    };
+                    let required = if lit.positive { b } else { b + 1 };
+                    if required > h {
+                        stratum.insert(rule.head.pred.clone(), required);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            if stratum.values().any(|&s| s > bound) {
+                // a stratum exceeding the predicate count means a negative
+                // cycle
+                let culprit = stratum
+                    .iter()
+                    .max_by_key(|(_, s)| **s)
+                    .map(|(p, _)| p.clone())
+                    .unwrap_or_default();
+                return Err(DlError::NotStratifiable(culprit));
+            }
+        }
+        Ok(stratum)
+    }
+
+    /// Stratified evaluation: returns the database extended with all IDB
+    /// relations.
+    pub fn eval_stratified(&self, db: &Database, fuel: u64) -> Result<Database, DlError> {
+        self.check_safety()?;
+        let strata = self.stratify()?;
+        let max = strata.values().copied().max().unwrap_or(0);
+        let mut state = db.clone();
+        let mut budget = fuel;
+        for s in 0..=max {
+            let rules: Vec<&DlRule> = self
+                .rules
+                .iter()
+                .filter(|r| strata[&r.head.pred] == s)
+                .collect();
+            least_fixpoint(&rules, &mut state, &mut budget)?;
+        }
+        Ok(state)
+    }
+
+    /// Inflationary evaluation: all rules fire cumulatively until fixpoint.
+    pub fn eval_inflationary(&self, db: &Database, fuel: u64) -> Result<Database, DlError> {
+        self.check_safety()?;
+        let rules: Vec<&DlRule> = self.rules.iter().collect();
+        let mut state = db.clone();
+        let mut budget = fuel;
+        least_fixpoint(&rules, &mut state, &mut budget)?;
+        Ok(state)
+    }
+
+    /// Stratified evaluation with **semi-naive** per-stratum fixpoints:
+    /// each round, every recursive rule is evaluated once per positive
+    /// recursive body literal with that literal restricted to the previous
+    /// round's delta. Produces exactly the same result as
+    /// [`Self::eval_stratified`]; the ablation bench
+    /// `ablation/naive_vs_seminaive` measures the speed difference.
+    pub fn eval_stratified_seminaive(
+        &self,
+        db: &Database,
+        fuel: u64,
+    ) -> Result<Database, DlError> {
+        self.check_safety()?;
+        let strata = self.stratify()?;
+        let max = strata.values().copied().max().unwrap_or(0);
+        let mut state = db.clone();
+        let mut budget = fuel;
+        for s in 0..=max {
+            let rules: Vec<&DlRule> = self
+                .rules
+                .iter()
+                .filter(|r| strata[&r.head.pred] == s)
+                .collect();
+            let recursive: BTreeSet<String> =
+                rules.iter().map(|r| r.head.pred.clone()).collect();
+            seminaive_fixpoint(&rules, &recursive, &mut state, &mut budget)?;
+        }
+        Ok(state)
+    }
+}
+
+/// Semi-naive least fixpoint for one stratum: the first round runs naive
+/// to seed the deltas; afterwards each rule fires once per positive
+/// recursive literal bound to the delta.
+fn seminaive_fixpoint(
+    rules: &[&DlRule],
+    recursive: &BTreeSet<String>,
+    state: &mut Database,
+    budget: &mut u64,
+) -> Result<(), DlError> {
+    // deltas per recursive predicate
+    let mut delta: BTreeMap<String, Instance> = BTreeMap::new();
+    // round 0: naive over the initial state
+    let mut first = true;
+    loop {
+        if *budget == 0 {
+            return Err(DlError::FuelExhausted);
+        }
+        *budget -= 1;
+        let mut derived: Vec<(String, Value)> = Vec::new();
+        for rule in rules {
+            // which body positions are positive recursive literals?
+            let rec_positions: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.positive && recursive.contains(&l.atom.pred))
+                .map(|(i, _)| i)
+                .collect();
+            if first || rec_positions.is_empty() {
+                // naive pass (also covers non-recursive rules every round —
+                // cheap because their support never changes after round 0,
+                // but only run them in the first round)
+                if !first && rec_positions.is_empty() {
+                    continue;
+                }
+                fire_rule_naive(rule, state, None, usize::MAX, &mut derived);
+            } else {
+                for &pos in &rec_positions {
+                    fire_rule_naive(rule, state, Some(&delta), pos, &mut derived);
+                }
+            }
+        }
+        let mut new_delta: BTreeMap<String, Instance> = BTreeMap::new();
+        let mut changed = false;
+        for (pred, row) in derived {
+            let mut inst = state.get(&pred);
+            if inst.insert(row.clone()) {
+                state.set(pred.clone(), inst);
+                new_delta.entry(pred).or_default().insert(row);
+                changed = true;
+            }
+        }
+        delta = new_delta;
+        first = false;
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+/// Evaluate one rule; if `delta_pos` indexes a body literal, that literal
+/// is evaluated against the delta relation instead of the full state.
+fn fire_rule_naive(
+    rule: &DlRule,
+    state: &Database,
+    delta: Option<&BTreeMap<String, Instance>>,
+    delta_pos: usize,
+    derived: &mut Vec<(String, Value)>,
+) {
+    let mut bindings = vec![HashMap::new()];
+    for (i, lit) in rule.body.iter().enumerate() {
+        let use_delta = delta.is_some() && i == delta_pos;
+        if use_delta {
+            let d = delta
+                .expect("checked is_some")
+                .get(&lit.atom.pred)
+                .cloned()
+                .unwrap_or_default();
+            let mut scoped = state.clone();
+            scoped.set(lit.atom.pred.clone(), d);
+            bindings = extend_bindings(lit, &bindings, &scoped);
+        } else {
+            bindings = extend_bindings(lit, &bindings, state);
+        }
+        if bindings.is_empty() {
+            return;
+        }
+    }
+    for b in &bindings {
+        let row: Vec<Value> = rule.head.args.iter().map(|t| instantiate(t, b)).collect();
+        derived.push((rule.head.pred.clone(), Value::Tuple(row)));
+    }
+}
+
+fn least_fixpoint(
+    rules: &[&DlRule],
+    state: &mut Database,
+    budget: &mut u64,
+) -> Result<(), DlError> {
+    loop {
+        if *budget == 0 {
+            return Err(DlError::FuelExhausted);
+        }
+        *budget -= 1;
+        let mut derived: Vec<(String, Value)> = Vec::new();
+        for rule in rules {
+            let mut bindings = vec![HashMap::new()];
+            for lit in &rule.body {
+                bindings = extend_bindings(lit, &bindings, state);
+                if bindings.is_empty() {
+                    break;
+                }
+            }
+            for b in &bindings {
+                let row: Vec<Value> = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| instantiate(t, b))
+                    .collect();
+                derived.push((rule.head.pred.clone(), Value::Tuple(row)));
+            }
+        }
+        let mut changed = false;
+        for (pred, row) in derived {
+            let mut inst = state.get(&pred);
+            if inst.insert(row) {
+                state.set(pred, inst);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+fn instantiate(t: &DlTerm, b: &HashMap<String, Value>) -> Value {
+    match t {
+        DlTerm::Var(v) => b
+            .get(v)
+            .cloned()
+            .expect("safety check guarantees bound head variables"),
+        DlTerm::Const(c) => c.clone(),
+    }
+}
+
+fn extend_bindings(
+    lit: &DlLiteral,
+    bindings: &[HashMap<String, Value>],
+    state: &Database,
+) -> Vec<HashMap<String, Value>> {
+    let rel = state.get(&lit.atom.pred);
+    let mut out = Vec::new();
+    if lit.positive {
+        for b in bindings {
+            for row in rel.iter() {
+                let Some(items) = row.as_tuple() else { continue };
+                if items.len() != lit.atom.args.len() {
+                    continue;
+                }
+                let mut nb = b.clone();
+                if lit
+                    .atom
+                    .args
+                    .iter()
+                    .zip(items)
+                    .all(|(t, v)| match t {
+                        DlTerm::Var(name) => match nb.get(name) {
+                            Some(bound) => bound == v,
+                            None => {
+                                nb.insert(name.clone(), v.clone());
+                                true
+                            }
+                        },
+                        DlTerm::Const(c) => c == v,
+                    })
+                {
+                    out.push(nb);
+                }
+            }
+        }
+    } else {
+        for b in bindings {
+            let row: Vec<Value> = lit.atom.args.iter().map(|t| instantiate(t, b)).collect();
+            if !rel.contains(&Value::Tuple(row)) {
+                out.push(b.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_object::atom;
+
+    fn v(name: &str) -> DlTerm {
+        DlTerm::var(name)
+    }
+
+    fn tc_program() -> DatalogProgram {
+        DatalogProgram::new(vec![
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("y")]),
+                vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+            ),
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("z")]),
+                vec![
+                    (true, DlAtom::new("E", vec![v("x"), v("y")])),
+                    (true, DlAtom::new("T", vec![v("y"), v("z")])),
+                ],
+            ),
+        ])
+    }
+
+    fn path_db(n: u64) -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        db
+    }
+
+    #[test]
+    fn tc_via_stratified_and_inflationary_agree() {
+        let prog = tc_program();
+        let db = path_db(5);
+        let s = prog.eval_stratified(&db, 10_000).unwrap();
+        let i = prog.eval_inflationary(&db, 10_000).unwrap();
+        assert_eq!(s.get("T"), i.get("T"));
+        assert_eq!(s.get("T").len(), 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn negation_complement_pairs() {
+        // NT(x,y) ← N(x), N(y), ¬T(x,y): pairs not connected
+        let mut rules = tc_program().rules;
+        rules.push(DlRule::new(
+            DlAtom::new("N", vec![v("x")]),
+            vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+        ));
+        rules.push(DlRule::new(
+            DlAtom::new("N", vec![v("y")]),
+            vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+        ));
+        rules.push(DlRule::new(
+            DlAtom::new("NT", vec![v("x"), v("y")]),
+            vec![
+                (true, DlAtom::new("N", vec![v("x")])),
+                (true, DlAtom::new("N", vec![v("y")])),
+                (false, DlAtom::new("T", vec![v("x"), v("y")])),
+            ],
+        ));
+        let prog = DatalogProgram::new(rules);
+        let strata = prog.stratify().unwrap();
+        assert!(strata["NT"] > strata["T"]);
+        let out = prog.eval_stratified(&path_db(4), 10_000).unwrap();
+        // 16 pairs total, T holds 6, so NT holds 10
+        assert_eq!(out.get("NT").len(), 10);
+    }
+
+    #[test]
+    fn unstratifiable_program_rejected() {
+        // P(x) ← E(x,y), ¬P(x) — negation through recursion
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("P", vec![v("x")]),
+            vec![
+                (true, DlAtom::new("E", vec![v("x"), v("y")])),
+                (false, DlAtom::new("P", vec![v("x")])),
+            ],
+        )]);
+        assert!(matches!(
+            prog.stratify(),
+            Err(DlError::NotStratifiable(_))
+        ));
+        // but inflationary semantics handles it fine
+        let out = prog.eval_inflationary(&path_db(3), 10_000).unwrap();
+        // round 1: ¬P holds for everything, so P gets {0, 1}
+        assert_eq!(out.get("P").len(), 2);
+    }
+
+    #[test]
+    fn inflationary_differs_from_stratified_on_win_move() {
+        // the "win" query: W(x) ← E(x,y), ¬W(y). Unstratifiable; under
+        // inflationary semantics it computes an approximation, not the
+        // game-theoretic answer — we only check it terminates and derives
+        // something sensible.
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("W", vec![v("x")]),
+            vec![
+                (true, DlAtom::new("E", vec![v("x"), v("y")])),
+                (false, DlAtom::new("W", vec![v("y")])),
+            ],
+        )]);
+        let db = path_db(4); // 0→1→2→3
+        let out = prog.eval_inflationary(&db, 10_000).unwrap();
+        // first round: every node with an outgoing edge wins (W unpopulated)
+        assert!(out.get("W").contains(&uset_object::tuple([atom(0)])));
+    }
+
+    #[test]
+    fn safety_violations_rejected() {
+        let bad_head = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("P", vec![v("z")]),
+            vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+        )]);
+        assert_eq!(
+            bad_head.eval_stratified(&path_db(2), 100),
+            Err(DlError::Unsafe("z".to_owned()))
+        );
+        let bad_neg = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("P", vec![v("x")]),
+            vec![
+                (true, DlAtom::new("E", vec![v("x"), v("y")])),
+                (false, DlAtom::new("Q", vec![v("w")])),
+            ],
+        )]);
+        assert_eq!(
+            bad_neg.eval_inflationary(&path_db(2), 100),
+            Err(DlError::Unsafe("w".to_owned()))
+        );
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        // P(x) ← E(a0, x): successors of node 0
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("P", vec![v("x")]),
+            vec![(true, DlAtom::new("E", vec![DlTerm::Const(atom(0)), v("x")]))],
+        )]);
+        let out = prog.eval_stratified(&path_db(3), 100).unwrap();
+        assert_eq!(
+            out.get("P"),
+            Instance::from_rows([[atom(1)]])
+        );
+    }
+}
+
+#[cfg(test)]
+mod seminaive_tests {
+    use super::*;
+    use uset_object::atom;
+
+    fn v(name: &str) -> DlTerm {
+        DlTerm::var(name)
+    }
+
+    fn tc_program() -> DatalogProgram {
+        DatalogProgram::new(vec![
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("y")]),
+                vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+            ),
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("z")]),
+                vec![
+                    (true, DlAtom::new("E", vec![v("x"), v("y")])),
+                    (true, DlAtom::new("T", vec![v("y"), v("z")])),
+                ],
+            ),
+        ])
+    }
+
+    fn path_db(n: u64) -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        db
+    }
+
+    #[test]
+    fn seminaive_matches_naive_on_tc() {
+        let prog = tc_program();
+        for n in [2u64, 5, 10] {
+            let db = path_db(n);
+            let naive = prog.eval_stratified(&db, 100_000).unwrap();
+            let semi = prog.eval_stratified_seminaive(&db, 100_000).unwrap();
+            assert_eq!(naive.get("T"), semi.get("T"), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn seminaive_matches_naive_with_negation_strata() {
+        let mut rules = tc_program().rules;
+        rules.push(DlRule::new(
+            DlAtom::new("N", vec![v("x")]),
+            vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+        ));
+        rules.push(DlRule::new(
+            DlAtom::new("NT", vec![v("x"), v("y")]),
+            vec![
+                (true, DlAtom::new("N", vec![v("x")])),
+                (true, DlAtom::new("N", vec![v("y")])),
+                (false, DlAtom::new("T", vec![v("x"), v("y")])),
+            ],
+        ));
+        let prog = DatalogProgram::new(rules);
+        let db = path_db(5);
+        let naive = prog.eval_stratified(&db, 100_000).unwrap();
+        let semi = prog.eval_stratified_seminaive(&db, 100_000).unwrap();
+        assert_eq!(naive.get("NT"), semi.get("NT"));
+        assert_eq!(naive.get("T"), semi.get("T"));
+    }
+
+    #[test]
+    fn seminaive_on_cyclic_graph() {
+        let prog = tc_program();
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows([[atom(0), atom(1)], [atom(1), atom(2)], [atom(2), atom(0)]]),
+        );
+        let naive = prog.eval_stratified(&db, 100_000).unwrap();
+        let semi = prog.eval_stratified_seminaive(&db, 100_000).unwrap();
+        assert_eq!(naive.get("T"), semi.get("T"));
+        assert_eq!(semi.get("T").len(), 9);
+    }
+}

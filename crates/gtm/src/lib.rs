@@ -1,0 +1,35 @@
+//! # uset-gtm — Turing machines and generic Turing machines
+//!
+//! Section 3 of Hull & Su 1989 introduces the *generic Turing machine*
+//! (GTM): a two-tape machine whose tape alphabet includes the entire
+//! (infinite) universal domain **U** alongside a finite set of working
+//! symbols, and whose transition function is given finitely by *templates*
+//! over `W ∪ C ∪ {α, β}`. A template mentioning `α` stands for infinitely
+//! many concrete transitions, one per element of `U − C`; `β` stands for a
+//! second, distinct element. The side-conditions of the paper's definition
+//! (`b = β only if a = α`; outputs may mention `α`/`β` only if the reads
+//! bound them) are enforced at construction time, which makes every GTM
+//! deterministic and *generic by construction* — the machine can move,
+//! copy and compare domain elements but never inspect or manufacture them.
+//!
+//! Modules:
+//! * [`tm`] — conventional deterministic multi-tape Turing machines over a
+//!   finite alphabet (the substrate and the baseline of Proposition 3.1);
+//! * [`gtm`] — the GTM definition, validation and simulator;
+//! * [`encode`] — the relational input/output conventions (instances are
+//!   enumerated onto tape 1; halting tape contents are decoded back);
+//! * [`machines`] — a library of example GTMs used across tests, examples
+//!   and benchmarks;
+//! * [`query`] — running a GTM as a database query, including the
+//!   input-order-independence check of Proposition 3.1;
+//! * [`convert`] — the constructive directions of Proposition 3.1.
+
+pub mod convert;
+pub mod encode;
+pub mod gtm;
+pub mod machines;
+pub mod query;
+pub mod tm;
+
+pub use gtm::{Gtm, GtmBuilder, Move, RunOutcome, SymOut, SymPat, TapeSym};
+pub use query::{run_gtm_query, GtmQueryError};

@@ -1,0 +1,470 @@
+//! A library of concrete generic Turing machines.
+//!
+//! These machines exercise every capability of the GTM model: generic
+//! transitions (`α`), cross-tape equality testing and element swapping
+//! (`α`/`β`), constants from `C`, and the relational I/O conventions. They
+//! are the workloads compiled to algebra by Theorem 4.1(b) and to COL by
+//! Theorem 5.1 elsewhere in the workspace.
+//!
+//! All machines here are *input-order independent* (verified by tests via
+//! [`crate::query::check_order_independence`]).
+
+use crate::gtm::{Gtm, GtmBuilder, Move, SymOut, SymPat};
+use uset_object::Atom;
+
+/// Punctuation working symbols shared by all machines.
+const PUNCT: [&str; 6] = ["_", ",", "(", ")", "[", "]"];
+
+/// Add, for every symbol a machine can encounter (punctuation, the given
+/// extra work symbols, the given constants, and a generic element), a
+/// transition `from --read--> to` that *keeps* the read symbol on tape 1
+/// and moves as specified. Symbols in `except` are skipped (they get their
+/// own handling). Tape 2 is required blank and left alone.
+#[allow(clippy::too_many_arguments)]
+fn for_all_syms_keep(
+    mut b: GtmBuilder,
+    from: &str,
+    to: &str,
+    mv: Move,
+    extra_work: &[&str],
+    constants: &[Atom],
+    except: &[&str],
+) -> GtmBuilder {
+    let blank = SymPat::Work("_".into());
+    for w in PUNCT.iter().chain(extra_work) {
+        if except.contains(w) {
+            continue;
+        }
+        b = b.transition(
+            from,
+            SymPat::Work((*w).to_owned()),
+            blank.clone(),
+            to,
+            SymOut::Work((*w).to_owned()),
+            SymOut::Work("_".into()),
+            mv,
+            Move::S,
+        );
+    }
+    for c in constants {
+        b = b.transition(
+            from,
+            SymPat::Const(*c),
+            blank.clone(),
+            to,
+            SymOut::Const(*c),
+            SymOut::Work("_".into()),
+            mv,
+            Move::S,
+        );
+    }
+    b.transition(
+        from,
+        SymPat::Alpha,
+        blank,
+        to,
+        SymOut::Alpha,
+        SymOut::Work("_".into()),
+        mv,
+        Move::S,
+    )
+}
+
+/// Like [`for_all_syms_keep`] but *overwrites* tape 1 with a fixed symbol.
+#[allow(clippy::too_many_arguments)]
+fn for_all_syms_write(
+    mut b: GtmBuilder,
+    from: &str,
+    to: &str,
+    write: SymOut,
+    mv: Move,
+    extra_work: &[&str],
+    constants: &[Atom],
+    except: &[&str],
+) -> GtmBuilder {
+    let blank = SymPat::Work("_".into());
+    for w in PUNCT.iter().chain(extra_work) {
+        if except.contains(w) {
+            continue;
+        }
+        b = b.transition(
+            from,
+            SymPat::Work((*w).to_owned()),
+            blank.clone(),
+            to,
+            write.clone(),
+            SymOut::Work("_".into()),
+            mv,
+            Move::S,
+        );
+    }
+    for c in constants {
+        b = b.transition(
+            from,
+            SymPat::Const(*c),
+            blank.clone(),
+            to,
+            write.clone(),
+            SymOut::Work("_".into()),
+            mv,
+            Move::S,
+        );
+    }
+    b.transition(
+        from,
+        SymPat::Alpha,
+        blank,
+        to,
+        write,
+        SymOut::Work("_".into()),
+        mv,
+        Move::S,
+    )
+}
+
+/// The identity query on any flat relation: the machine halts immediately,
+/// leaving the input listing (already a valid output listing) on tape 1.
+pub fn identity_gtm() -> Gtm {
+    GtmBuilder::new()
+        .start("s")
+        .halt("h")
+        .transition(
+            "s",
+            SymPat::Work("(".into()),
+            SymPat::Work("_".into()),
+            "h",
+            SymOut::Work("(".into()),
+            SymOut::Work("_".into()),
+            Move::S,
+            Move::S,
+        )
+        .build()
+        .expect("identity machine is well-formed")
+}
+
+/// The query `d ↦ {[c]}` if the input relation is non-empty, `∅` otherwise.
+/// `c` is the machine's one constant.
+pub fn nonempty_flag_gtm(c: Atom) -> Gtm {
+    let cs = [c];
+    let mut b = GtmBuilder::new()
+        .start("s")
+        .halt("h")
+        .states(["look", "w2", "w3", "w4", "clean"])
+        .constants(cs)
+        // consume '('
+        .transition(
+            "s",
+            SymPat::Work("(".into()),
+            SymPat::Work("_".into()),
+            "look",
+            SymOut::Work("(".into()),
+            SymOut::Work("_".into()),
+            Move::R,
+            Move::S,
+        )
+        // empty relation: `()` already on tape, halt
+        .transition(
+            "look",
+            SymPat::Work(")".into()),
+            SymPat::Work("_".into()),
+            "h",
+            SymOut::Work(")".into()),
+            SymOut::Work("_".into()),
+            Move::S,
+            Move::S,
+        )
+        // non-empty: overwrite with `([c])` then blank the remainder
+        .transition(
+            "look",
+            SymPat::Work("[".into()),
+            SymPat::Work("_".into()),
+            "w2",
+            SymOut::Work("[".into()),
+            SymOut::Work("_".into()),
+            Move::R,
+            Move::S,
+        );
+    b = for_all_syms_write(b, "w2", "w3", SymOut::Const(c), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(b, "w3", "w4", SymOut::Work("]".into()), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(b, "w4", "clean", SymOut::Work(")".into()), Move::R, &[], &cs, &[]);
+    // blank everything to the right, halt at the first blank
+    b = for_all_syms_write(
+        b,
+        "clean",
+        "clean",
+        SymOut::Work("_".into()),
+        Move::R,
+        &[],
+        &cs,
+        &["_"],
+    );
+    b = b.transition(
+        "clean",
+        SymPat::Work("_".into()),
+        SymPat::Work("_".into()),
+        "h",
+        SymOut::Work("_".into()),
+        SymOut::Work("_".into()),
+        Move::S,
+        Move::S,
+    );
+    b.build().expect("nonempty-flag machine is well-formed")
+}
+
+/// The parity query on a unary relation: `d ↦ {[c]}` if `|d|` is even
+/// (including 0), `∅` if odd.
+pub fn parity_gtm(c: Atom) -> Gtm {
+    let cs = [c];
+    let blank = || SymPat::Work("_".into());
+    let keep = |w: &str| SymOut::Work(w.into());
+    let mut b = GtmBuilder::new()
+        .start("s")
+        .halt("h")
+        .states([
+            "exp_e", "in_e", "close_e", "exp_o", "in_o", "close_o", "sep_e", "sep_o",
+            "rew_e", "rew_o", "we1", "we2", "we3", "we4", "wo1", "clean",
+        ])
+        .constants(cs)
+        .transition(
+            "s",
+            SymPat::Work("(".into()),
+            blank(),
+            "exp_e",
+            keep("("),
+            keep("_"),
+            Move::R,
+            Move::S,
+        );
+    // even side: expect '[' (start a tuple) or ')' (done: even)
+    b = b
+        .transition("exp_e", SymPat::Work("[".into()), blank(), "in_e", keep("["), keep("_"), Move::R, Move::S)
+        .transition("exp_e", SymPat::Work(")".into()), blank(), "rew_e", keep(")"), keep("_"), Move::L, Move::S)
+        .transition("in_e", SymPat::Alpha, blank(), "close_e", SymOut::Alpha, keep("_"), Move::R, Move::S)
+        .transition("in_e", SymPat::Const(c), blank(), "close_e", SymOut::Const(c), keep("_"), Move::R, Move::S)
+        .transition("close_e", SymPat::Work("]".into()), blank(), "sep_o", keep("]"), keep("_"), Move::R, Move::S)
+        // after one tuple the count is odd
+        .transition("sep_o", SymPat::Work(",".into()), blank(), "exp_o", keep(","), keep("_"), Move::R, Move::S)
+        .transition("sep_o", SymPat::Work(")".into()), blank(), "rew_o", keep(")"), keep("_"), Move::L, Move::S)
+        // odd side mirrors
+        .transition("exp_o", SymPat::Work("[".into()), blank(), "in_o", keep("["), keep("_"), Move::R, Move::S)
+        .transition("in_o", SymPat::Alpha, blank(), "close_o", SymOut::Alpha, keep("_"), Move::R, Move::S)
+        .transition("in_o", SymPat::Const(c), blank(), "close_o", SymOut::Const(c), keep("_"), Move::R, Move::S)
+        .transition("close_o", SymPat::Work("]".into()), blank(), "sep_e", keep("]"), keep("_"), Move::R, Move::S)
+        .transition("sep_e", SymPat::Work(",".into()), blank(), "exp_e", keep(","), keep("_"), Move::R, Move::S)
+        .transition("sep_e", SymPat::Work(")".into()), blank(), "rew_e", keep(")"), keep("_"), Move::L, Move::S);
+    // rewind to '(' keeping symbols, then write the answer
+    b = for_all_syms_keep(b, "rew_e", "rew_e", Move::L, &[], &cs, &["("]);
+    b = b.transition("rew_e", SymPat::Work("(".into()), blank(), "we1", keep("("), keep("_"), Move::R, Move::S);
+    b = for_all_syms_keep(b, "rew_o", "rew_o", Move::L, &[], &cs, &["("]);
+    b = b.transition("rew_o", SymPat::Work("(".into()), blank(), "wo1", keep("("), keep("_"), Move::R, Move::S);
+    // even: ([c]) then clean
+    b = for_all_syms_write(b, "we1", "we2", SymOut::Work("[".into()), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(b, "we2", "we3", SymOut::Const(c), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(b, "we3", "we4", SymOut::Work("]".into()), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(b, "we4", "clean", SymOut::Work(")".into()), Move::R, &[], &cs, &[]);
+    // odd: () then clean
+    b = for_all_syms_write(b, "wo1", "clean", SymOut::Work(")".into()), Move::R, &[], &cs, &[]);
+    // clean: blank to the right, halt at the first blank
+    b = for_all_syms_write(b, "clean", "clean", SymOut::Work("_".into()), Move::R, &[], &cs, &["_"]);
+    b = b.transition("clean", blank(), blank(), "h", keep("_"), keep("_"), Move::S, Move::S);
+    b.build().expect("parity machine is well-formed")
+}
+
+/// The pair-swap query `{[a,b]} ↦ {[b,a]}` on a binary relation — the
+/// machine that shows off `α`/`β`: it stashes the first component on tape
+/// 2, then swaps it with the second using cross-tape `(α, β)` transitions.
+pub fn swap_pairs_gtm() -> Gtm {
+    let blank = || SymPat::Work("_".into());
+    let keep = |w: &str| SymOut::Work(w.into());
+    let b = GtmBuilder::new()
+        .start("s")
+        .halt("h")
+        .states(["t", "ra", "rc", "rb", "rswap", "lc", "la", "ldep", "sk1", "sk2", "sk3"])
+        // '(' → scan tuples
+        .transition("s", SymPat::Work("(".into()), blank(), "t", keep("("), keep("_"), Move::R, Move::S)
+        // 't': expect '[' (a tuple), ')' (done) or ',' (between tuples)
+        .transition("t", SymPat::Work("[".into()), blank(), "ra", keep("["), keep("_"), Move::R, Move::S)
+        .transition("t", SymPat::Work(")".into()), blank(), "h", keep(")"), keep("_"), Move::S, Move::S)
+        .transition("t", SymPat::Work(",".into()), blank(), "t", keep(","), keep("_"), Move::R, Move::S)
+        // 'ra': stash first component a on tape 2, step off the stash cell
+        .transition("ra", SymPat::Alpha, blank(), "rc", SymOut::Alpha, SymOut::Alpha, Move::R, Move::R)
+        // 'rc': cross the ','
+        .transition("rc", SymPat::Work(",".into()), blank(), "rb", keep(","), keep("_"), Move::R, Move::S)
+        // 'rb': tape 1 on b; bring tape 2 head back onto the stash
+        .transition("rb", SymPat::Alpha, blank(), "rswap", SymOut::Alpha, keep("_"), Move::S, Move::L)
+        // 'rswap': tape1=b (α), tape2=a; write a over b, b over the stash
+        .transition("rswap", SymPat::Alpha, SymPat::Beta, "lc", SymOut::Beta, SymOut::Alpha, Move::L, Move::R)
+        .transition("rswap", SymPat::Alpha, SymPat::Alpha, "lc", SymOut::Alpha, SymOut::Alpha, Move::L, Move::R)
+        // 'lc': cross the ',' leftwards
+        .transition("lc", SymPat::Work(",".into()), blank(), "la", keep(","), keep("_"), Move::L, Move::S)
+        // 'la': tape 1 back on (old) a; dive onto the stash again
+        .transition("la", SymPat::Alpha, blank(), "ldep", SymOut::Alpha, keep("_"), Move::S, Move::L)
+        // 'ldep': deposit stashed b over a, erase the stash
+        .transition("ldep", SymPat::Alpha, SymPat::Beta, "sk1", SymOut::Beta, keep("_"), Move::R, Move::S)
+        .transition("ldep", SymPat::Alpha, SymPat::Alpha, "sk1", SymOut::Alpha, keep("_"), Move::R, Move::S)
+        // skip ',', the (now first) component, and ']'
+        .transition("sk1", SymPat::Work(",".into()), blank(), "sk2", keep(","), keep("_"), Move::R, Move::S)
+        .transition("sk2", SymPat::Alpha, blank(), "sk3", SymOut::Alpha, keep("_"), Move::R, Move::S)
+        .transition("sk3", SymPat::Work("]".into()), blank(), "t", keep("]"), keep("_"), Move::R, Move::S);
+    b.build().expect("swap machine is well-formed")
+}
+
+/// The query `{[a,b]} ↦ {[a,c]}` on a binary relation: keep the first
+/// component, overwrite the second with the constant `c`. Exercises
+/// constant writes interleaved with generic reads.
+pub fn replace_second_gtm(c: Atom) -> Gtm {
+    let blank = || SymPat::Work("_".into());
+    let keep = |w: &str| SymOut::Work(w.into());
+    GtmBuilder::new()
+        .start("s")
+        .halt("h")
+        .states(["t", "fst", "comma", "snd", "close"])
+        .constants([c])
+        .transition("s", SymPat::Work("(".into()), blank(), "t", keep("("), keep("_"), Move::R, Move::S)
+        .transition("t", SymPat::Work("[".into()), blank(), "fst", keep("["), keep("_"), Move::R, Move::S)
+        .transition("t", SymPat::Work(")".into()), blank(), "h", keep(")"), keep("_"), Move::S, Move::S)
+        .transition("t", SymPat::Work(",".into()), blank(), "t", keep(","), keep("_"), Move::R, Move::S)
+        // first component passes through (generic or the constant itself)
+        .transition("fst", SymPat::Alpha, blank(), "comma", SymOut::Alpha, keep("_"), Move::R, Move::S)
+        .transition("fst", SymPat::Const(c), blank(), "comma", SymOut::Const(c), keep("_"), Move::R, Move::S)
+        .transition("comma", SymPat::Work(",".into()), blank(), "snd", keep(","), keep("_"), Move::R, Move::S)
+        // second component is overwritten with c
+        .transition("snd", SymPat::Alpha, blank(), "close", SymOut::Const(c), keep("_"), Move::R, Move::S)
+        .transition("snd", SymPat::Const(c), blank(), "close", SymOut::Const(c), keep("_"), Move::R, Move::S)
+        .transition("close", SymPat::Work("]".into()), blank(), "t", keep("]"), keep("_"), Move::R, Move::S)
+        .build()
+        .expect("replace-second machine is well-formed")
+}
+
+/// A machine that is stuck by design on every non-empty input (it expects
+/// a symbol the encoding never produces) — used to test that `?`
+/// propagates through every pipeline.
+pub fn always_stuck_gtm() -> Gtm {
+    GtmBuilder::new()
+        .start("s")
+        .halt("h")
+        .work_symbols(["never"])
+        .transition(
+            "s",
+            SymPat::Work("never".into()),
+            SymPat::Work("_".into()),
+            "h",
+            SymOut::Work("never".into()),
+            SymOut::Work("_".into()),
+            Move::S,
+            Move::S,
+        )
+        .build()
+        .expect("stuck machine is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{decode_instance, encode_instance};
+    use crate::gtm::RunOutcome;
+    use uset_object::{atom, Instance, Value};
+
+    fn run_on(m: &Gtm, inst: &Instance) -> Option<Instance> {
+        let tape = encode_instance(inst).unwrap();
+        match m.run(tape, 100_000) {
+            RunOutcome::Halted(out) => decode_instance(&out),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn identity_machine() {
+        let m = identity_gtm();
+        let inst = Instance::from_rows([[atom(1), atom(2)], [atom(5), atom(6)]]);
+        assert_eq!(run_on(&m, &inst), Some(inst));
+        assert_eq!(run_on(&m, &Instance::empty()), Some(Instance::empty()));
+    }
+
+    #[test]
+    fn nonempty_flag() {
+        let c = Atom::named("flag-c");
+        let m = nonempty_flag_gtm(c);
+        let empty = Instance::empty();
+        assert_eq!(run_on(&m, &empty), Some(Instance::empty()));
+        let one = Instance::from_rows([[atom(3), atom(4)]]);
+        assert_eq!(
+            run_on(&m, &one),
+            Some(Instance::from_values([Value::Tuple(vec![Value::Atom(c)])]))
+        );
+        let many = Instance::from_rows([[atom(1)], [atom(2)], [atom(3)]]);
+        assert_eq!(
+            run_on(&m, &many),
+            Some(Instance::from_values([Value::Tuple(vec![Value::Atom(c)])]))
+        );
+    }
+
+    #[test]
+    fn parity_counts_modulo_two() {
+        let c = Atom::named("parity-c");
+        let m = parity_gtm(c);
+        let flag = Instance::from_values([Value::Tuple(vec![Value::Atom(c)])]);
+        for n in 0..6u64 {
+            let inst = Instance::from_rows((0..n).map(|i| [atom(i)]));
+            let expected = if n % 2 == 0 { flag.clone() } else { Instance::empty() };
+            assert_eq!(run_on(&m, &inst), Some(expected), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parity_handles_constant_atoms_in_input() {
+        let c = Atom::named("parity-c");
+        let m = parity_gtm(c);
+        // the flag constant itself may appear in the input domain
+        let inst = Instance::from_rows([[Value::Atom(c)], [atom(1)]]);
+        let inst = Instance::from_values(inst.iter().cloned());
+        assert_eq!(run_on(&m, &inst), Some(Instance::from_values([Value::Tuple(vec![Value::Atom(c)])])));
+    }
+
+    #[test]
+    fn swap_pairs() {
+        let m = swap_pairs_gtm();
+        let inst = Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(3)], [atom(9), atom(0)]]);
+        let expected = Instance::from_rows([[atom(2), atom(1)], [atom(3), atom(3)], [atom(0), atom(9)]]);
+        assert_eq!(run_on(&m, &inst), Some(expected));
+        assert_eq!(run_on(&m, &Instance::empty()), Some(Instance::empty()));
+    }
+
+    #[test]
+    fn replace_second_overwrites_with_constant() {
+        let c = Atom::named("replace-c");
+        let m = replace_second_gtm(c);
+        let inst = Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(4)]]);
+        let expected = Instance::from_rows([
+            [atom(1), Value::Atom(c)],
+            [atom(3), Value::Atom(c)],
+        ]);
+        assert_eq!(run_on(&m, &inst), Some(expected));
+        assert_eq!(run_on(&m, &Instance::empty()), Some(Instance::empty()));
+        // collapses colliding first components into one tuple
+        let collide = Instance::from_rows([[atom(1), atom(2)], [atom(1), atom(9)]]);
+        assert_eq!(
+            run_on(&m, &collide).map(|i| i.len()),
+            Some(1)
+        );
+        // works when the input already contains the constant
+        let with_c = Instance::from_rows([[Value::Atom(c), Value::Atom(c)]]);
+        assert_eq!(run_on(&m, &with_c), Some(with_c));
+    }
+
+    #[test]
+    fn always_stuck_is_stuck() {
+        let m = always_stuck_gtm();
+        let inst = Instance::from_rows([[atom(1)]]);
+        assert_eq!(run_on(&m, &inst), None);
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let m = swap_pairs_gtm();
+        let inst = Instance::from_rows([[atom(10), atom(20)], [atom(30), atom(40)]]);
+        let once = run_on(&m, &inst).unwrap();
+        let twice = run_on(&m, &once).unwrap();
+        assert_eq!(twice, inst);
+    }
+}

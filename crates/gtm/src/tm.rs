@@ -1,0 +1,298 @@
+//! Conventional deterministic Turing machines over finite alphabets.
+//!
+//! The baseline computation model: single- or multi-tape deterministic TMs
+//! with `char` symbols and string states. These are the machines `M` of the
+//! paper's definitions of C (computable queries) and E (elementary
+//! queries), of Proposition 3.1, and of Example 6.2 (machines with unary
+//! input alphabet whose halting problem the invention semantics can and
+//! cannot express).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Head movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TmMove {
+    /// Left (no-op at square 0 — one-way tapes).
+    L,
+    /// Right.
+    R,
+    /// Stay.
+    S,
+}
+
+/// The blank symbol used by all machines in this crate.
+pub const BLANK: char = '_';
+
+/// A deterministic multi-tape Turing machine.
+#[derive(Clone, Debug)]
+pub struct Tm {
+    /// Number of tapes.
+    pub tapes: usize,
+    /// Start state.
+    pub start: String,
+    /// Halting state (unique, by convention).
+    pub halt: String,
+    /// δ: (state, read symbols) → (state, written symbols, moves).
+    pub delta: HashMap<(String, Vec<char>), (String, Vec<char>, Vec<TmMove>)>,
+}
+
+/// Outcome of a TM run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TmOutcome {
+    /// Halted; contents of tape 0 (trailing blanks trimmed).
+    Halted(Vec<char>),
+    /// No transition applied.
+    Stuck {
+        /// State the machine was stuck in.
+        state: String,
+        /// Steps executed.
+        steps: u64,
+    },
+    /// Step bound exhausted.
+    FuelExhausted,
+}
+
+impl Tm {
+    /// Build a machine; `transitions` entries are
+    /// `(from, reads, to, writes, moves)`.
+    pub fn new(
+        tapes: usize,
+        start: &str,
+        halt: &str,
+        transitions: Vec<(&str, Vec<char>, &str, Vec<char>, Vec<TmMove>)>,
+    ) -> Tm {
+        let mut delta = HashMap::new();
+        for (from, reads, to, writes, moves) in transitions {
+            assert_eq!(reads.len(), tapes, "read arity mismatch");
+            assert_eq!(writes.len(), tapes, "write arity mismatch");
+            assert_eq!(moves.len(), tapes, "move arity mismatch");
+            assert_ne!(from, halt, "transition from halt state");
+            let prev = delta.insert(
+                (from.to_owned(), reads),
+                (to.to_owned(), writes, moves),
+            );
+            assert!(prev.is_none(), "duplicate transition");
+        }
+        Tm {
+            tapes,
+            start: start.to_owned(),
+            halt: halt.to_owned(),
+            delta,
+        }
+    }
+
+    /// Run on an initial tape-0 content (other tapes blank).
+    pub fn run(&self, input: &[char], fuel: u64) -> TmOutcome {
+        let mut tapes: Vec<Vec<char>> = vec![Vec::new(); self.tapes];
+        tapes[0] = input.to_vec();
+        let mut heads = vec![0usize; self.tapes];
+        let mut state = self.start.clone();
+        for steps in 0..fuel {
+            if state == self.halt {
+                return TmOutcome::Halted(trim(&tapes[0]));
+            }
+            let reads: Vec<char> = (0..self.tapes)
+                .map(|t| *tapes[t].get(heads[t]).unwrap_or(&BLANK))
+                .collect();
+            let Some((to, writes, moves)) = self.delta.get(&(state.clone(), reads)) else {
+                return TmOutcome::Stuck { state, steps };
+            };
+            for t in 0..self.tapes {
+                if heads[t] >= tapes[t].len() {
+                    tapes[t].resize(heads[t] + 1, BLANK);
+                }
+                tapes[t][heads[t]] = writes[t];
+                heads[t] = match moves[t] {
+                    TmMove::L => heads[t].saturating_sub(1),
+                    TmMove::R => heads[t] + 1,
+                    TmMove::S => heads[t],
+                };
+            }
+            state = to.clone();
+        }
+        if state == self.halt {
+            return TmOutcome::Halted(trim(&tapes[0]));
+        }
+        TmOutcome::FuelExhausted
+    }
+
+    /// Does the machine halt on `input` within `fuel` steps?
+    pub fn halts_on(&self, input: &[char], fuel: u64) -> Option<bool> {
+        match self.run(input, fuel) {
+            TmOutcome::Halted(_) | TmOutcome::Stuck { .. } => Some(true),
+            TmOutcome::FuelExhausted => None,
+        }
+    }
+}
+
+fn trim(tape: &[char]) -> Vec<char> {
+    let mut out = tape.to_vec();
+    while out.last() == Some(&BLANK) {
+        out.pop();
+    }
+    out
+}
+
+impl fmt::Display for Tm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TM({} tapes, {} transitions, start {}, halt {})",
+            self.tapes,
+            self.delta.len(),
+            self.start,
+            self.halt
+        )
+    }
+}
+
+/// A single-tape machine over `{x}` that always halts (it scans its input
+/// and stops). "M halts on aⁿ" is true for every n.
+pub fn always_halt_machine() -> Tm {
+    Tm::new(
+        1,
+        "s",
+        "h",
+        vec![
+            ("s", vec!['x'], "s", vec!['x'], vec![TmMove::R]),
+            ("s", vec![BLANK], "h", vec![BLANK], vec![TmMove::S]),
+        ],
+    )
+}
+
+/// A single-tape machine over `{x}` that never halts (it ping-pongs on the
+/// first square forever).
+pub fn never_halt_machine() -> Tm {
+    Tm::new(
+        1,
+        "s",
+        "h",
+        vec![
+            ("s", vec!['x'], "s", vec!['x'], vec![TmMove::S]),
+            ("s", vec![BLANK], "s", vec![BLANK], vec![TmMove::S]),
+        ],
+    )
+}
+
+/// A single-tape machine over `{x}` that halts iff its input length is
+/// even: it consumes two `x`s per round and loops forever if a lone `x`
+/// remains. The concrete witness for Example 6.2's r.e./co-r.e. asymmetry.
+pub fn halt_iff_even_machine() -> Tm {
+    Tm::new(
+        1,
+        "s",
+        "h",
+        vec![
+            // even so far: blank → halt; x → consume and expect a partner
+            ("s", vec![BLANK], "h", vec![BLANK], vec![TmMove::S]),
+            ("s", vec!['x'], "odd", vec![BLANK], vec![TmMove::R]),
+            // odd: x → consume, back to even; blank → spin forever
+            ("odd", vec!['x'], "s", vec![BLANK], vec![TmMove::R]),
+            ("odd", vec![BLANK], "odd", vec![BLANK], vec![TmMove::S]),
+        ],
+    )
+}
+
+/// A single-tape machine that reverses the roles of `0`/`1` on its tape and
+/// halts — a tiny machine with a non-trivial output, used to test
+/// simulation plumbing.
+pub fn flip_bits_machine() -> Tm {
+    Tm::new(
+        1,
+        "s",
+        "h",
+        vec![
+            ("s", vec!['0'], "s", vec!['1'], vec![TmMove::R]),
+            ("s", vec!['1'], "s", vec!['0'], vec![TmMove::R]),
+            ("s", vec![BLANK], "h", vec![BLANK], vec![TmMove::S]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_halt_halts() {
+        let m = always_halt_machine();
+        for n in 0..10 {
+            let input: Vec<char> = std::iter::repeat('x').take(n).collect();
+            assert_eq!(m.halts_on(&input, 1000), Some(true), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn never_halt_exhausts_fuel() {
+        let m = never_halt_machine();
+        assert_eq!(m.halts_on(&['x'], 1000), None);
+        assert_eq!(m.halts_on(&[], 1000), None);
+    }
+
+    #[test]
+    fn halt_iff_even() {
+        let m = halt_iff_even_machine();
+        for n in 0..8 {
+            let input: Vec<char> = std::iter::repeat('x').take(n).collect();
+            let expected = if n % 2 == 0 { Some(true) } else { None };
+            assert_eq!(m.halts_on(&input, 1000), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn flip_bits_output() {
+        let m = flip_bits_machine();
+        match m.run(&['0', '1', '1', '0'], 100) {
+            TmOutcome::Halted(out) => assert_eq!(out, vec!['1', '0', '0', '1']),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stuck_on_unknown_symbol() {
+        let m = flip_bits_machine();
+        assert!(matches!(m.run(&['z'], 100), TmOutcome::Stuck { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn duplicate_transitions_rejected() {
+        let _ = Tm::new(
+            1,
+            "s",
+            "h",
+            vec![
+                ("s", vec!['x'], "s", vec!['x'], vec![TmMove::R]),
+                ("s", vec!['x'], "h", vec!['x'], vec![TmMove::S]),
+            ],
+        );
+    }
+
+    #[test]
+    fn multi_tape_copy() {
+        // copy tape0 ('x's) to tape1, then halt — 2-tape machine sanity
+        let m = Tm::new(
+            2,
+            "s",
+            "h",
+            vec![
+                (
+                    "s",
+                    vec!['x', BLANK],
+                    "s",
+                    vec!['x', 'x'],
+                    vec![TmMove::R, TmMove::R],
+                ),
+                (
+                    "s",
+                    vec![BLANK, BLANK],
+                    "h",
+                    vec![BLANK, BLANK],
+                    vec![TmMove::S, TmMove::S],
+                ),
+            ],
+        );
+        assert_eq!(m.halts_on(&['x', 'x', 'x'], 100), Some(true));
+    }
+}

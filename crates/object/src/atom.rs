@@ -1,0 +1,168 @@
+//! Atoms — elements of the countably infinite universal domain **U**.
+//!
+//! The paper assumes a countably infinite domain of uninterpreted atomic
+//! objects. We realize **U** as the 64-bit integers. Finitely many atoms can
+//! be given human-readable names (used for the constants `C` appearing in
+//! queries, for tape punctuation in examples, and for printing); names live
+//! in a process-wide interner in a reserved id range so they can never
+//! collide with numeric atoms allocated by workloads.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Ids at or above this bound are reserved for named atoms.
+const NAMED_BASE: u64 = 1 << 62;
+
+/// An element of the universal domain **U**.
+///
+/// Atoms are uninterpreted: query languages in this workspace may test atoms
+/// for equality but may not inspect their ids (doing so would break
+/// genericity — see [`crate::perm`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(u64);
+
+struct Interner {
+    by_name: HashMap<String, u64>,
+    by_id: HashMap<u64, String>,
+    next: u64,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+            by_id: HashMap::new(),
+            next: NAMED_BASE,
+        })
+    })
+}
+
+impl Atom {
+    /// An anonymous atom with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` falls in the reserved named range (≥ 2⁶²); workloads
+    /// have the entire range below that available.
+    pub fn new(id: u64) -> Self {
+        assert!(id < NAMED_BASE, "atom id {id} is in the reserved named range");
+        Atom(id)
+    }
+
+    /// The named atom for `name`, interning it on first use.
+    ///
+    /// The same name always yields the same atom within a process.
+    pub fn named(name: &str) -> Self {
+        let mut int = interner().lock().expect("atom interner poisoned");
+        if let Some(&id) = int.by_name.get(name) {
+            return Atom(id);
+        }
+        let id = int.next;
+        int.next += 1;
+        int.by_name.insert(name.to_owned(), id);
+        int.by_id.insert(id, name.to_owned());
+        Atom(id)
+    }
+
+    /// The raw id (stable within a process; opaque to query languages).
+    pub fn id(self) -> u64 {
+        self.0
+    }
+
+    /// The interned name, if this atom was created via [`Atom::named`].
+    pub fn name(self) -> Option<String> {
+        if self.0 < NAMED_BASE {
+            return None;
+        }
+        interner()
+            .lock()
+            .expect("atom interner poisoned")
+            .by_id
+            .get(&self.0)
+            .cloned()
+    }
+
+    /// True if this atom carries an interned name.
+    pub fn is_named(self) -> bool {
+        self.0 >= NAMED_BASE
+    }
+
+    /// Construct an atom directly from a raw id, including the named range.
+    ///
+    /// Used by permutation machinery which must be a bijection on all of
+    /// **U**; not intended for building workloads.
+    pub fn from_raw(id: u64) -> Self {
+        Atom(id)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => write!(f, "'{name}"),
+            None => write!(f, "a{}", self.0),
+        }
+    }
+}
+
+impl From<u64> for Atom {
+    fn from(id: u64) -> Self {
+        Atom::new(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_atoms_roundtrip() {
+        let a = Atom::new(42);
+        assert_eq!(a.id(), 42);
+        assert_eq!(a.name(), None);
+        assert!(!a.is_named());
+        assert_eq!(format!("{a}"), "a42");
+    }
+
+    #[test]
+    fn named_atoms_are_interned() {
+        let a = Atom::named("alice");
+        let b = Atom::named("alice");
+        let c = Atom::named("bob");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name().as_deref(), Some("alice"));
+        assert!(a.is_named());
+        assert_eq!(format!("{a}"), "'alice");
+    }
+
+    #[test]
+    fn named_and_numeric_never_collide() {
+        let named = Atom::named("zero");
+        let numeric = Atom::new(0);
+        assert_ne!(named, numeric);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved named range")]
+    fn reserved_range_is_rejected() {
+        let _ = Atom::new(NAMED_BASE);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![Atom::new(3), Atom::new(1), Atom::named("x"), Atom::new(2)];
+        v.sort();
+        assert_eq!(v[0], Atom::new(1));
+        assert_eq!(v[1], Atom::new(2));
+        assert_eq!(v[2], Atom::new(3));
+        assert!(v[3].is_named());
+    }
+}

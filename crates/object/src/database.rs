@@ -1,0 +1,489 @@
+//! Schemas, instances, and database instances.
+//!
+//! A database schema is a sequence `⟨P1:T1, …, Pn:Tn⟩` of distinct predicate
+//! names with rtypes; an instance assigns each `Pi` a finite set of objects
+//! of `dom(Ti)`. Query languages in this workspace consume and produce
+//! [`Instance`]s, with whole databases as named collections.
+
+use crate::atom::Atom;
+use crate::error::{ObjectError, Result};
+use crate::rtype::{RType, Type};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An instance of a type: a finite set of objects.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Instance {
+    values: BTreeSet<Value>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn empty() -> Self {
+        Instance::default()
+    }
+
+    /// Build from an iterator of objects (duplicates collapse).
+    pub fn from_values<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Instance {
+            values: items.into_iter().collect(),
+        }
+    }
+
+    /// Build a flat relation instance from rows of atoms.
+    pub fn from_rows<R, I>(rows: I) -> Self
+    where
+        R: IntoIterator<Item = Value>,
+        I: IntoIterator<Item = R>,
+    {
+        Instance {
+            values: rows
+                .into_iter()
+                .map(|r| Value::Tuple(r.into_iter().collect()))
+                .collect(),
+        }
+    }
+
+    /// The member objects, in canonical order.
+    pub fn values(&self) -> &BTreeSet<Value> {
+        &self.values
+    }
+
+    /// Number of member objects.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the instance has no members.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Insert an object; returns true if newly added.
+    pub fn insert(&mut self, v: Value) -> bool {
+        self.values.insert(v)
+    }
+
+    /// Remove an object; returns true if it was present.
+    pub fn remove(&mut self, v: &Value) -> bool {
+        self.values.remove(v)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.values.contains(v)
+    }
+
+    /// Iterate members in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+
+    /// Union with another instance.
+    pub fn union(&self, other: &Instance) -> Instance {
+        Instance {
+            values: self.values.union(&other.values).cloned().collect(),
+        }
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &Instance) -> Instance {
+        Instance {
+            values: self.values.difference(&other.values).cloned().collect(),
+        }
+    }
+
+    /// Intersection with another instance.
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        Instance {
+            values: self.values.intersection(&other.values).cloned().collect(),
+        }
+    }
+
+    /// True iff every member is a subset of `other`.
+    pub fn is_subset(&self, other: &Instance) -> bool {
+        self.values.is_subset(&other.values)
+    }
+
+    /// The active domain: all atoms used in any member object.
+    pub fn adom(&self) -> BTreeSet<Atom> {
+        let mut out = BTreeSet::new();
+        for v in &self.values {
+            v.collect_adom(&mut out);
+        }
+        out
+    }
+
+    /// Check that every member conforms to `ty`.
+    pub fn check_rtype(&self, ty: &RType) -> Result<()> {
+        for v in &self.values {
+            if !ty.contains(v) {
+                return Err(ObjectError::TypeMismatch {
+                    expected: ty.to_string(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply an atom renaming to every member.
+    pub fn map_atoms(&self, f: &mut impl FnMut(Atom) -> Atom) -> Instance {
+        Instance {
+            values: self.values.iter().map(|v| v.map_atoms(f)).collect(),
+        }
+    }
+
+    /// View this instance as a single set object `{v1, …, vn}`.
+    pub fn to_set_value(&self) -> Value {
+        Value::Set(self.values.clone())
+    }
+
+    /// Build an instance from a set object's members.
+    pub fn from_set_value(v: &Value) -> Option<Instance> {
+        v.as_set().map(|s| Instance {
+            values: s.clone(),
+        })
+    }
+
+    /// Total structural size of all members.
+    pub fn total_size(&self) -> usize {
+        self.values.iter().map(Value::size).sum()
+    }
+}
+
+impl FromIterator<Value> for Instance {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Instance::from_values(iter)
+    }
+}
+
+impl IntoIterator for Instance {
+    type Item = Value;
+    type IntoIter = std::collections::btree_set::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Instance {
+    type Item = &'a Value;
+    type IntoIter = std::collections::btree_set::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A database schema: an ordered list of distinct relation names with rtypes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    entries: Vec<(String, RType)>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate names.
+    pub fn new<I>(entries: I) -> Result<Schema>
+    where
+        I: IntoIterator<Item = (String, RType)>,
+    {
+        let entries: Vec<_> = entries.into_iter().collect();
+        let mut seen = BTreeSet::new();
+        for (name, _) in &entries {
+            if !seen.insert(name.clone()) {
+                return Err(ObjectError::DuplicateRelation(name.clone()));
+            }
+        }
+        Ok(Schema { entries })
+    }
+
+    /// A schema of flat relations given as `(name, arity)` pairs.
+    ///
+    /// Following the paper, a schema entry `P : T` gives the type of the
+    /// relation's *elements*; the relation itself is a finite subset of
+    /// `dom(T)`. A flat relation of arity `k` therefore has entry type
+    /// `[U, …, U]` (k components).
+    pub fn flat<I>(relations: I) -> Schema
+    where
+        I: IntoIterator<Item = (&'static str, usize)>,
+    {
+        Schema {
+            entries: relations
+                .into_iter()
+                .map(|(n, a)| (n.to_owned(), Type::atomic_tuple(a).to_rtype()))
+                .collect(),
+        }
+    }
+
+    /// The (name, rtype) entries in order.
+    pub fn entries(&self) -> &[(String, RType)] {
+        &self.entries
+    }
+
+    /// Look up the rtype of a relation.
+    pub fn rtype_of(&self, name: &str) -> Option<&RType> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// True iff every relation element type is flat (no set construct) —
+    /// the input/output discipline the paper imposes on the classes C and E.
+    pub fn is_flat(&self) -> bool {
+        fn flat(t: &RType) -> bool {
+            match t {
+                RType::Atomic => true,
+                RType::Obj | RType::Set(_) => false,
+                RType::Tuple(items) => items.iter().all(flat),
+            }
+        }
+        self.entries.iter().all(|(_, t)| flat(t))
+    }
+
+    /// Names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// A database instance: a mapping from relation names to instances.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Instance>,
+}
+
+impl Database {
+    /// The empty database.
+    pub fn empty() -> Self {
+        Database::default()
+    }
+
+    /// Build from (name, instance) pairs; later entries overwrite earlier.
+    pub fn from_relations<I>(relations: I) -> Self
+    where
+        I: IntoIterator<Item = (String, Instance)>,
+    {
+        Database {
+            relations: relations.into_iter().collect(),
+        }
+    }
+
+    /// Insert or replace a relation.
+    pub fn set(&mut self, name: impl Into<String>, inst: Instance) {
+        self.relations.insert(name.into(), inst);
+    }
+
+    /// Fetch a relation; absent relations read as empty (the convention used
+    /// by the fixpoint languages).
+    pub fn get(&self, name: &str) -> Instance {
+        self.relations.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Fetch a relation, erroring if absent.
+    pub fn get_required(&self, name: &str) -> Result<&Instance> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| ObjectError::MissingRelation(name.to_owned()))
+    }
+
+    /// True if the relation is explicitly present.
+    pub fn contains_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate (name, instance) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Instance)> {
+        self.relations.iter().map(|(n, i)| (n.as_str(), i))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if no relations are present.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The active domain of the whole database.
+    pub fn adom(&self) -> BTreeSet<Atom> {
+        let mut out = BTreeSet::new();
+        for inst in self.relations.values() {
+            for v in inst.iter() {
+                v.collect_adom(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Validate this database against a schema (relations present and
+    /// rtype-conformant; extra relations are rejected).
+    pub fn check_schema(&self, schema: &Schema) -> Result<()> {
+        for (name, ty) in schema.entries() {
+            let inst = self.get_required(name)?;
+            inst.check_rtype(ty)?;
+        }
+        for name in self.relations.keys() {
+            if schema.rtype_of(name).is_none() {
+                return Err(ObjectError::MissingRelation(format!(
+                    "{name} (present in database but absent from schema)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply an atom renaming to every relation.
+    pub fn map_atoms(&self, f: &mut impl FnMut(Atom) -> Atom) -> Database {
+        Database {
+            relations: self
+                .relations
+                .iter()
+                .map(|(n, i)| (n.clone(), i.map_atoms(f)))
+                .collect(),
+        }
+    }
+
+    /// Total structural size across relations (the `‖d‖` of the paper's
+    /// complexity definitions, up to a constant factor).
+    pub fn total_size(&self) -> usize {
+        self.relations.values().map(Instance::total_size).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, inst) in &self.relations {
+            writeln!(f, "{name} = {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A query function signature: flat schema in, flat type out (the discipline
+/// the paper imposes on all languages studied).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySignature {
+    /// Input schema (must be flat for the paper's classes C and E).
+    pub input: Schema,
+    /// Output type.
+    pub output: Type,
+}
+
+impl QuerySignature {
+    /// A signature with flat input relations and flat relational output of
+    /// the given arity (output element type `[U, …, U]`).
+    pub fn flat<I>(inputs: I, output_arity: usize) -> QuerySignature
+    where
+        I: IntoIterator<Item = (&'static str, usize)>,
+    {
+        QuerySignature {
+            input: Schema::flat(inputs),
+            output: Type::atomic_tuple(output_arity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, set, tuple};
+
+    fn sample_db() -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows([[atom(1), atom(2)], [atom(2), atom(3)]]),
+        );
+        db.set("S", Instance::from_values([atom(4)]));
+        db
+    }
+
+    #[test]
+    fn instance_set_operations() {
+        let a = Instance::from_values([atom(1), atom(2)]);
+        let b = Instance::from_values([atom(2), atom(3)]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.difference(&b), Instance::from_values([atom(1)]));
+        assert_eq!(a.intersection(&b), Instance::from_values([atom(2)]));
+        assert!(Instance::empty().is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn adom_spans_relations() {
+        let db = sample_db();
+        let adom = db.adom();
+        assert_eq!(adom.len(), 4);
+        assert!(adom.contains(&Atom::new(4)));
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new([
+            ("R".to_owned(), RType::flat_relation(2)),
+            ("R".to_owned(), RType::flat_relation(1)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ObjectError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn schema_check_catches_type_errors() {
+        let schema = Schema::flat([("R", 2), ("S", 1)]);
+        assert!(schema.is_flat());
+        let mut db = sample_db();
+        // S holds bare atoms, not 1-tuples: flat {[U]} should reject it
+        assert!(db.check_schema(&schema).is_err());
+        db.set("S", Instance::from_rows([[atom(4)]]));
+        db.check_schema(&schema).unwrap();
+        // extra relation rejected
+        db.set("T", Instance::empty());
+        assert!(db.check_schema(&schema).is_err());
+    }
+
+    #[test]
+    fn missing_relation_reads_empty_but_required_errors() {
+        let db = sample_db();
+        assert!(db.get("missing").is_empty());
+        assert!(db.get_required("missing").is_err());
+    }
+
+    #[test]
+    fn instance_rtype_check() {
+        let het = Instance::from_values([atom(1), set([atom(2)]), tuple([atom(3), atom(4)])]);
+        het.check_rtype(&RType::Obj).unwrap();
+        assert!(het.check_rtype(&RType::Atomic).is_err());
+    }
+
+    #[test]
+    fn set_value_roundtrip() {
+        let inst = Instance::from_values([atom(1), set([atom(2)])]);
+        let v = inst.to_set_value();
+        assert_eq!(Instance::from_set_value(&v), Some(inst));
+        assert_eq!(Instance::from_set_value(&atom(1)), None);
+    }
+
+    #[test]
+    fn database_map_atoms_is_per_relation() {
+        let db = sample_db();
+        let shifted = db.map_atoms(&mut |a| Atom::new(a.id() + 100));
+        assert!(shifted.get("R").contains(&tuple([atom(101), atom(102)])));
+        assert!(shifted.get("S").contains(&atom(104)));
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared by the data-model operations.
+
+use std::fmt;
+
+/// Errors raised by data-model operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectError {
+    /// A value did not conform to the expected type.
+    TypeMismatch {
+        /// Rendered expected type.
+        expected: String,
+        /// Rendered offending value.
+        value: String,
+    },
+    /// A schema referred to a relation name that the instance lacks.
+    MissingRelation(String),
+    /// A schema listed the same predicate name twice.
+    DuplicateRelation(String),
+    /// An enumeration or construction exceeded its configured bound.
+    BoundExceeded {
+        /// What was being enumerated.
+        what: &'static str,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// A flattened encoding was malformed and could not be decoded.
+    MalformedEncoding(String),
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::TypeMismatch { expected, value } => {
+                write!(f, "value {value} does not have type {expected}")
+            }
+            ObjectError::MissingRelation(name) => {
+                write!(f, "database has no relation named {name:?}")
+            }
+            ObjectError::DuplicateRelation(name) => {
+                write!(f, "schema lists relation {name:?} more than once")
+            }
+            ObjectError::BoundExceeded { what, bound } => {
+                write!(f, "enumeration of {what} exceeded bound {bound}")
+            }
+            ObjectError::MalformedEncoding(msg) => {
+                write!(f, "malformed flat encoding: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
+
+/// Result alias for data-model operations.
+pub type Result<T> = std::result::Result<T, ObjectError>;

@@ -1,0 +1,363 @@
+//! LDM-style flattening of complex objects into flat `{[U,U,U,U]}` relations.
+//!
+//! The proof of Theorem 6.3 removes the rtype `Obj` by "flattening" each
+//! element of `cons_Obj(adom(d,Q))` into an object of type `{[U,U,U,U]}`
+//! using invented values — the representation of complex objects from the
+//! Logical Data Model (Kuper & Vardi 1984). This module implements that
+//! encoding concretely and invertibly:
+//!
+//! Each sub-object gets a fresh surrogate atom (an *invented value*). The
+//! encoding of an object is a set of 4-tuples `[id, kind, key, child]`:
+//!
+//! * `[id, ATOM, a, a]` — node `id` is the atom `a`;
+//! * `[id, TUPLE, pos_k, child]` — node `id` is a tuple whose `k`-th
+//!   component (`pos_k` drawn from a fixed ladder of position constants) is
+//!   node `child`;
+//! * `[id, SET, child, child]` — node `id` is a set containing node `child`;
+//! * `[id, EMPTYSET, id, id]` — node `id` is the empty set (sets with no
+//!   members need an explicit witness row).
+//!
+//! `kind` markers and position constants come from the named-constant pool,
+//! so the encoding is generic relative to that finite constant set `C` —
+//! exactly the discipline of the paper.
+
+use crate::atom::Atom;
+use crate::database::Instance;
+use crate::error::{ObjectError, Result};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Kind marker: atom node.
+pub fn kind_atom() -> Atom {
+    Atom::named("#atom")
+}
+/// Kind marker: tuple node.
+pub fn kind_tuple() -> Atom {
+    Atom::named("#tuple")
+}
+/// Kind marker: set node (one row per member).
+pub fn kind_set() -> Atom {
+    Atom::named("#set")
+}
+/// Kind marker: empty-set node.
+pub fn kind_empty_set() -> Atom {
+    Atom::named("#emptyset")
+}
+
+/// The `k`-th tuple-position constant.
+pub fn position(k: usize) -> Atom {
+    Atom::named(&format!("#pos{k}"))
+}
+
+/// Allocator of invented surrogate atoms, outside any workload's adom.
+#[derive(Debug)]
+pub struct Inventor {
+    next: u64,
+}
+
+/// Invented atoms are numbered downward from just below the named range, so
+/// they cannot collide with ordinary workload atoms (which count up from 0)
+/// in any realistic run.
+const INVENT_BASE: u64 = (1 << 62) - 1;
+
+impl Inventor {
+    /// A fresh inventor.
+    pub fn new() -> Self {
+        Inventor { next: INVENT_BASE }
+    }
+
+    /// Produce the next invented atom.
+    pub fn fresh(&mut self) -> Atom {
+        let a = Atom::new(self.next);
+        self.next -= 1;
+        a
+    }
+
+    /// True iff the atom was produced by *some* inventor with default
+    /// numbering (used by the invention semantics to strip invented values).
+    pub fn is_invented(a: Atom) -> bool {
+        !a.is_named() && a.id() > INVENT_BASE - (1 << 32) && a.id() <= INVENT_BASE
+    }
+}
+
+impl Default for Inventor {
+    fn default() -> Self {
+        Inventor::new()
+    }
+}
+
+/// The result of flattening: the root surrogate and the flat encoding rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flattened {
+    /// Surrogate atom denoting the encoded object.
+    pub root: Atom,
+    /// Rows `[id, kind, key, child]` as a flat instance of `{[U,U,U,U]}`.
+    pub rows: Instance,
+}
+
+/// Flatten an object into `{[U,U,U,U]}` rows with invented surrogates.
+///
+/// Structure sharing: identical sub-objects receive the same surrogate, so
+/// the encoding of a set avoids duplicate sub-trees (and decoding is
+/// insensitive to sharing).
+pub fn flatten(v: &Value, inventor: &mut Inventor) -> Flattened {
+    let mut rows = Instance::empty();
+    let mut memo: BTreeMap<Value, Atom> = BTreeMap::new();
+    let root = flatten_rec(v, inventor, &mut rows, &mut memo);
+    Flattened { root, rows }
+}
+
+fn flatten_rec(
+    v: &Value,
+    inventor: &mut Inventor,
+    rows: &mut Instance,
+    memo: &mut BTreeMap<Value, Atom>,
+) -> Atom {
+    if let Some(&id) = memo.get(v) {
+        return id;
+    }
+    let id = inventor.fresh();
+    memo.insert(v.clone(), id);
+    match v {
+        Value::Atom(a) => {
+            rows.insert(Value::Tuple(vec![
+                Value::Atom(id),
+                Value::Atom(kind_atom()),
+                Value::Atom(*a),
+                Value::Atom(*a),
+            ]));
+        }
+        Value::Tuple(items) => {
+            for (k, item) in items.iter().enumerate() {
+                let child = flatten_rec(item, inventor, rows, memo);
+                rows.insert(Value::Tuple(vec![
+                    Value::Atom(id),
+                    Value::Atom(kind_tuple()),
+                    Value::Atom(position(k)),
+                    Value::Atom(child),
+                ]));
+            }
+            if items.is_empty() {
+                // zero-length tuples are not legal types but tolerate them
+                rows.insert(Value::Tuple(vec![
+                    Value::Atom(id),
+                    Value::Atom(kind_tuple()),
+                    Value::Atom(position(0)),
+                    Value::Atom(id),
+                ]));
+            }
+        }
+        Value::Set(items) => {
+            if items.is_empty() {
+                rows.insert(Value::Tuple(vec![
+                    Value::Atom(id),
+                    Value::Atom(kind_empty_set()),
+                    Value::Atom(id),
+                    Value::Atom(id),
+                ]));
+            } else {
+                for item in items {
+                    let child = flatten_rec(item, inventor, rows, memo);
+                    rows.insert(Value::Tuple(vec![
+                        Value::Atom(id),
+                        Value::Atom(kind_set()),
+                        Value::Atom(child),
+                        Value::Atom(child),
+                    ]));
+                }
+            }
+        }
+    }
+    id
+}
+
+/// Reconstruct the object denoted by `root` from flat encoding rows.
+pub fn unflatten(root: Atom, rows: &Instance) -> Result<Value> {
+    // index rows by id
+    let mut by_id: BTreeMap<Atom, Vec<(Atom, Atom, Atom)>> = BTreeMap::new();
+    for row in rows.iter() {
+        let items = row
+            .as_tuple()
+            .ok_or_else(|| ObjectError::MalformedEncoding(format!("non-tuple row {row}")))?;
+        if items.len() != 4 {
+            return Err(ObjectError::MalformedEncoding(format!(
+                "row of arity {} (expected 4)",
+                items.len()
+            )));
+        }
+        let get = |i: usize| -> Result<Atom> {
+            items[i].as_atom().ok_or_else(|| {
+                ObjectError::MalformedEncoding(format!("non-atomic field in {row}"))
+            })
+        };
+        by_id
+            .entry(get(0)?)
+            .or_default()
+            .push((get(1)?, get(2)?, get(3)?));
+    }
+    unflatten_rec(root, &by_id, 0)
+}
+
+fn unflatten_rec(
+    id: Atom,
+    by_id: &BTreeMap<Atom, Vec<(Atom, Atom, Atom)>>,
+    depth: usize,
+) -> Result<Value> {
+    // encodings produced by `flatten` are DAGs; cycles mean corruption
+    if depth > 512 {
+        return Err(ObjectError::MalformedEncoding(
+            "cycle or excessive depth in encoding".to_owned(),
+        ));
+    }
+    let rows = by_id.get(&id).ok_or_else(|| {
+        ObjectError::MalformedEncoding(format!("no rows for node {id}"))
+    })?;
+    let kind = rows[0].0;
+    if rows.iter().any(|(k, _, _)| *k != kind) {
+        return Err(ObjectError::MalformedEncoding(format!(
+            "node {id} has conflicting kinds"
+        )));
+    }
+    if kind == kind_atom() {
+        if rows.len() != 1 || rows[0].1 != rows[0].2 {
+            return Err(ObjectError::MalformedEncoding(format!(
+                "bad atom node {id}"
+            )));
+        }
+        Ok(Value::Atom(rows[0].1))
+    } else if kind == kind_empty_set() {
+        Ok(Value::empty_set())
+    } else if kind == kind_set() {
+        let mut members = std::collections::BTreeSet::new();
+        for (_, child, _) in rows {
+            members.insert(unflatten_rec(*child, by_id, depth + 1)?);
+        }
+        Ok(Value::Set(members))
+    } else if kind == kind_tuple() {
+        let mut by_pos: BTreeMap<usize, Atom> = BTreeMap::new();
+        for (_, pos, child) in rows {
+            let pos_name = pos.name().ok_or_else(|| {
+                ObjectError::MalformedEncoding(format!("non-position key in tuple node {id}"))
+            })?;
+            let k: usize = pos_name
+                .strip_prefix("#pos")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    ObjectError::MalformedEncoding(format!("bad position {pos_name}"))
+                })?;
+            by_pos.insert(k, *child);
+        }
+        let mut items = Vec::with_capacity(by_pos.len());
+        for k in 0..by_pos.len() {
+            let child = by_pos.get(&k).ok_or_else(|| {
+                ObjectError::MalformedEncoding(format!("gap at position {k} in node {id}"))
+            })?;
+            items.push(unflatten_rec(*child, by_id, depth + 1)?);
+        }
+        Ok(Value::Tuple(items))
+    } else {
+        Err(ObjectError::MalformedEncoding(format!(
+            "unknown kind marker {kind}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, set, tuple};
+
+    fn roundtrip(v: &Value) {
+        let mut inv = Inventor::new();
+        let flat = flatten(v, &mut inv);
+        // encoding really is flat {[U,U,U,U]}
+        use crate::rtype::Type;
+        flat.rows
+            .check_rtype(&Type::atomic_tuple(4).to_rtype())
+            .unwrap();
+        let back = unflatten(flat.root, &flat.rows).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn roundtrip_atom() {
+        roundtrip(&atom(5));
+    }
+
+    #[test]
+    fn roundtrip_empty_set() {
+        roundtrip(&Value::empty_set());
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        roundtrip(&set([
+            tuple([atom(1), set([atom(2), atom(3)])]),
+            Value::empty_set(),
+            atom(4),
+        ]));
+    }
+
+    #[test]
+    fn roundtrip_deep_ordinal_chain() {
+        let chain = crate::cons::ordinal_chain(Atom::new(0), 6);
+        roundtrip(chain.last().unwrap());
+    }
+
+    #[test]
+    fn sharing_collapses_identical_subobjects() {
+        // {[a,a],[a,b]} — atom a appears three times but is encoded once
+        let v = set([tuple([atom(1), atom(1)]), tuple([atom(1), atom(2)])]);
+        let mut inv = Inventor::new();
+        let flat = flatten(&v, &mut inv);
+        let atom_rows = flat
+            .rows
+            .iter()
+            .filter(|r| r.project(1) == Some(&Value::Atom(kind_atom())))
+            .count();
+        assert_eq!(atom_rows, 2); // one node per distinct atom
+    }
+
+    #[test]
+    fn invented_atoms_are_recognized() {
+        let mut inv = Inventor::new();
+        let a = inv.fresh();
+        let b = inv.fresh();
+        assert_ne!(a, b);
+        assert!(Inventor::is_invented(a));
+        assert!(Inventor::is_invented(b));
+        assert!(!Inventor::is_invented(Atom::new(0)));
+        assert!(!Inventor::is_invented(Atom::named("c")));
+    }
+
+    #[test]
+    fn unflatten_rejects_garbage() {
+        // missing root
+        assert!(unflatten(Atom::new(1), &Instance::empty()).is_err());
+        // wrong arity
+        let bad = Instance::from_values([tuple([atom(1), atom(2)])]);
+        assert!(unflatten(Atom::new(1), &bad).is_err());
+        // cyclic set encoding: {id, SET, id, id} points at itself
+        let id = Atom::new(3);
+        let cyc = Instance::from_values([tuple([
+            Value::Atom(id),
+            Value::Atom(kind_set()),
+            Value::Atom(id),
+            Value::Atom(id),
+        ])]);
+        assert!(unflatten(id, &cyc).is_err());
+    }
+
+    #[test]
+    fn encoding_uses_only_input_atoms_constants_and_invented() {
+        let v = set([atom(1), tuple([atom(2), atom(3)])]);
+        let mut inv = Inventor::new();
+        let flat = flatten(&v, &mut inv);
+        for a in flat.rows.adom() {
+            assert!(
+                a.is_named() || Inventor::is_invented(a) || v.adom().contains(&a),
+                "unexpected atom {a} in encoding"
+            );
+        }
+    }
+}

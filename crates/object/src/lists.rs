@@ -1,0 +1,181 @@
+//! Lists — the Section 7 remark, made executable.
+//!
+//! The paper closes by noting that "analogous results hold in other cases
+//! where untyped sets can be simulated[, such as] the use of list
+//! structures and the use of a freely interpreted function symbol". This
+//! module provides the simulation: lists are encoded as right-nested
+//! `[head, tail]` pairs terminated by a `nil` constant, and the two
+//! capabilities untyped sets supply to the completeness proofs —
+//! *arbitrarily long ordered sequences of distinct objects over a fixed
+//! atom set* and *pairing* — are reproduced:
+//!
+//! * [`list_chain`] builds the list analogue of the ordinal chain:
+//!   `nil; cons(a, nil); cons(a, cons(a, nil)); …` — distinct, strictly
+//!   ordered by length, constant active domain;
+//! * [`cons`]/[`head`]/[`tail`] give the free-pairing view (a freely
+//!   interpreted binary function symbol is exactly `cons` read as an
+//!   uninterpreted constructor).
+//!
+//! Round-trips with finite sets ([`list_from_values`], [`list_to_values`])
+//! connect the encodings.
+
+use crate::atom::Atom;
+use crate::value::Value;
+
+/// The `nil` terminator (a named constant; part of the query's `C`).
+pub fn nil() -> Value {
+    Value::Atom(Atom::named("list:nil"))
+}
+
+/// `cons(head, tail)` as the pair `[head, tail]`.
+pub fn cons(head: Value, tail: Value) -> Value {
+    Value::Tuple(vec![head, tail])
+}
+
+/// The head of a non-empty list.
+pub fn head(list: &Value) -> Option<&Value> {
+    if is_nil(list) {
+        return None;
+    }
+    list.project(0)
+}
+
+/// The tail of a non-empty list.
+pub fn tail(list: &Value) -> Option<&Value> {
+    if is_nil(list) {
+        return None;
+    }
+    list.project(1)
+}
+
+/// Is this the empty list?
+pub fn is_nil(v: &Value) -> bool {
+    *v == nil()
+}
+
+/// Is this value a well-formed list (`nil` or cons cells ending in `nil`)?
+pub fn is_list(v: &Value) -> bool {
+    let mut cur = v;
+    loop {
+        if is_nil(cur) {
+            return true;
+        }
+        match cur.as_tuple() {
+            Some(items) if items.len() == 2 => cur = &items[1],
+            _ => return false,
+        }
+    }
+}
+
+/// Build a list from values (first element becomes the head).
+pub fn list_from_values<I: IntoIterator<Item = Value>>(items: I) -> Value {
+    let items: Vec<Value> = items.into_iter().collect();
+    let mut out = nil();
+    for v in items.into_iter().rev() {
+        out = cons(v, out);
+    }
+    out
+}
+
+/// Flatten a list back to its elements (None if not a list).
+pub fn list_to_values(list: &Value) -> Option<Vec<Value>> {
+    let mut out = Vec::new();
+    let mut cur = list;
+    loop {
+        if is_nil(cur) {
+            return Some(out);
+        }
+        let items = cur.as_tuple()?;
+        if items.len() != 2 {
+            return None;
+        }
+        out.push(items[0].clone());
+        cur = &items[1];
+    }
+}
+
+/// Length of a list (None if not a list).
+pub fn list_len(list: &Value) -> Option<usize> {
+    list_to_values(list).map(|v| v.len())
+}
+
+/// The list analogue of the ordinal chain: `len`-many lists
+/// `nil, [a|nil], [a,a|nil], …` — distinct, strictly ordered by length,
+/// built from a single atom. This is the "untyped sets can be simulated by
+/// lists" device: substituting these for the set chain in the Theorem
+/// 4.1(b)/5.1 constructions changes nothing else.
+pub fn list_chain(seed: Atom, len: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity(len);
+    let mut cur = nil();
+    for _ in 0..len {
+        out.push(cur.clone());
+        cur = cons(Value::Atom(seed), cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, set};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn cons_head_tail() {
+        let l = cons(atom(1), cons(atom(2), nil()));
+        assert_eq!(head(&l), Some(&atom(1)));
+        assert_eq!(tail(&l).and_then(head), Some(&atom(2)));
+        assert_eq!(head(&nil()), None);
+        assert_eq!(tail(&nil()), None);
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let vals = vec![atom(3), set([atom(1)]), atom(3)];
+        let l = list_from_values(vals.clone());
+        assert!(is_list(&l));
+        assert_eq!(list_to_values(&l), Some(vals));
+        assert_eq!(list_len(&l), Some(3));
+        assert_eq!(list_to_values(&nil()), Some(vec![]));
+    }
+
+    #[test]
+    fn non_lists_detected() {
+        assert!(!is_list(&atom(1)));
+        assert!(!is_list(&cons(atom(1), atom(2)))); // improper tail
+        assert!(is_list(&nil()));
+        assert_eq!(list_to_values(&atom(1)), None);
+    }
+
+    #[test]
+    fn list_chain_has_the_chain_properties() {
+        let c = list_chain(Atom::new(0), 6);
+        // distinct
+        let distinct: BTreeSet<_> = c.iter().cloned().collect();
+        assert_eq!(distinct.len(), 6);
+        // strictly ordered by length, constant adom, all lists
+        for (k, v) in c.iter().enumerate() {
+            assert!(is_list(v));
+            assert_eq!(list_len(v), Some(k));
+            assert!(v.adom().len() <= 2, "seed + nil only");
+        }
+        // lists preserve order under the canonical value order by length
+        for w in c.windows(2) {
+            assert!(w[0].size() < w[1].size());
+        }
+    }
+
+    #[test]
+    fn lists_are_preserved_by_renaming_with_fixed_constants() {
+        // nil is a constant; renaming non-constant atoms keeps list shape
+        use crate::perm::Permutation;
+        let l = list_from_values([atom(1), atom(2)]);
+        let sigma = Permutation::swap(Atom::new(1), Atom::new(9));
+        let renamed = sigma.apply_value(&l);
+        assert!(is_list(&renamed));
+        assert_eq!(
+            list_to_values(&renamed),
+            Some(vec![atom(9), atom(2)])
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Types and relaxed types (rtypes).
+//!
+//! Types are the paper's Section 2 definition: `U`, set types `{T}`, and
+//! tuple types `[T1..Tn]` (n ≥ 1). Relaxed types (Section 4) additionally
+//! include the universal rtype `Obj`, whose domain is all of **Obj** — this
+//! is what "untyped sets" means formally: a variable of rtype `{Obj}`
+//! ranges over arbitrarily heterogeneous finite sets.
+//!
+//! Every [`Type`] embeds into an [`RType`]; unlike types, two distinct
+//! rtypes may have overlapping domains (e.g. `{U}` and `{Obj}`).
+
+use crate::value::Value;
+use std::fmt;
+
+/// A (strict) type: `U`, `{T}`, or `[T1..Tn]`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Type {
+    /// The basic type `U` of atoms.
+    Atomic,
+    /// A set type `{T}`.
+    Set(Box<Type>),
+    /// A tuple type `[T1, …, Tn]`, n ≥ 1.
+    Tuple(Vec<Type>),
+}
+
+impl Type {
+    /// The flat relation type `{[U, …, U]}` of the given arity.
+    pub fn flat_relation(arity: usize) -> Type {
+        Type::Set(Box::new(Type::Tuple(vec![Type::Atomic; arity])))
+    }
+
+    /// A tuple of `n` atomic components `[U, …, U]`.
+    pub fn atomic_tuple(arity: usize) -> Type {
+        Type::Tuple(vec![Type::Atomic; arity])
+    }
+
+    /// The type `{…{U}…}` with `depth` levels of set nesting.
+    pub fn nested_set(depth: usize) -> Type {
+        let mut t = Type::Atomic;
+        for _ in 0..depth {
+            t = Type::Set(Box::new(t));
+        }
+        t
+    }
+
+    /// True iff no set construct occurs (the paper's *flat* types are tuple
+    /// types over `U`, i.e. relation schemas).
+    pub fn is_flat(&self) -> bool {
+        match self {
+            Type::Atomic => true,
+            Type::Set(_) => false,
+            Type::Tuple(items) => items.iter().all(Type::is_flat),
+        }
+    }
+
+    /// Maximum set-nesting depth of the type.
+    pub fn set_depth(&self) -> usize {
+        match self {
+            Type::Atomic => 0,
+            Type::Set(inner) => 1 + inner.set_depth(),
+            Type::Tuple(items) => items.iter().map(Type::set_depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Type membership: does `v ∈ dom(self)`?
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (Type::Atomic, Value::Atom(_)) => true,
+            (Type::Set(inner), Value::Set(items)) => items.iter().all(|x| inner.contains(x)),
+            (Type::Tuple(ts), Value::Tuple(items)) => {
+                ts.len() == items.len() && ts.iter().zip(items).all(|(t, x)| t.contains(x))
+            }
+            _ => false,
+        }
+    }
+
+    /// Embed into the relaxed-type system.
+    pub fn to_rtype(&self) -> RType {
+        match self {
+            Type::Atomic => RType::Atomic,
+            Type::Set(inner) => RType::Set(Box::new(inner.to_rtype())),
+            Type::Tuple(items) => RType::Tuple(items.iter().map(Type::to_rtype).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Atomic => write!(f, "U"),
+            Type::Set(inner) => write!(f, "{{{inner}}}"),
+            Type::Tuple(items) => {
+                write!(f, "[")?;
+                for (i, t) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A relaxed type (rtype): `U`, `Obj`, `{R}`, or `[R1..Rn]`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RType {
+    /// The atomic rtype `U`.
+    Atomic,
+    /// The universal rtype `Obj` — every object inhabits it.
+    Obj,
+    /// A set rtype `{R}`.
+    Set(Box<RType>),
+    /// A tuple rtype `[R1, …, Rn]`, n ≥ 1.
+    Tuple(Vec<RType>),
+}
+
+impl RType {
+    /// The rtype `{Obj}` of untyped sets.
+    pub fn untyped_set() -> RType {
+        RType::Set(Box::new(RType::Obj))
+    }
+
+    /// The flat relation rtype `{[U, …, U]}` of the given arity.
+    pub fn flat_relation(arity: usize) -> RType {
+        RType::Set(Box::new(RType::Tuple(vec![RType::Atomic; arity])))
+    }
+
+    /// rtype membership: does `v ∈ dom(self)`?
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (RType::Obj, _) => true,
+            (RType::Atomic, Value::Atom(_)) => true,
+            (RType::Set(inner), Value::Set(items)) => items.iter().all(|x| inner.contains(x)),
+            (RType::Tuple(ts), Value::Tuple(items)) => {
+                ts.len() == items.len() && ts.iter().zip(items).all(|(t, x)| t.contains(x))
+            }
+            _ => false,
+        }
+    }
+
+    /// True iff the rtype is actually a strict type (no `Obj` occurs).
+    pub fn is_strict(&self) -> bool {
+        match self {
+            RType::Atomic => true,
+            RType::Obj => false,
+            RType::Set(inner) => inner.is_strict(),
+            RType::Tuple(items) => items.iter().all(RType::is_strict),
+        }
+    }
+
+    /// Convert to a strict [`Type`] if no `Obj` occurs.
+    pub fn to_type(&self) -> Option<Type> {
+        match self {
+            RType::Atomic => Some(Type::Atomic),
+            RType::Obj => None,
+            RType::Set(inner) => inner.to_type().map(|t| Type::Set(Box::new(t))),
+            RType::Tuple(items) => items
+                .iter()
+                .map(RType::to_type)
+                .collect::<Option<Vec<_>>>()
+                .map(Type::Tuple),
+        }
+    }
+
+    /// Structural "liberality" order: `self ⊑ other` iff every value of
+    /// `self` is a value of `other` *by structure* (sound but — because
+    /// rtype domains overlap non-trivially — not complete for domain
+    /// inclusion of empty-set corner cases; sufficient for type checking).
+    pub fn subtype_of(&self, other: &RType) -> bool {
+        match (self, other) {
+            (_, RType::Obj) => true,
+            (RType::Atomic, RType::Atomic) => true,
+            (RType::Set(a), RType::Set(b)) => a.subtype_of(b),
+            (RType::Tuple(xs), RType::Tuple(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| x.subtype_of(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Least upper bound in the structural order, used when a language
+    /// operation (e.g. union) merges differently-shaped operands.
+    pub fn join(&self, other: &RType) -> RType {
+        match (self, other) {
+            (a, b) if a == b => a.clone(),
+            (RType::Set(a), RType::Set(b)) => RType::Set(Box::new(a.join(b))),
+            (RType::Tuple(xs), RType::Tuple(ys)) if xs.len() == ys.len() => {
+                RType::Tuple(xs.iter().zip(ys).map(|(x, y)| x.join(y)).collect())
+            }
+            _ => RType::Obj,
+        }
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RType::Atomic => write!(f, "U"),
+            RType::Obj => write!(f, "Obj"),
+            RType::Set(inner) => write!(f, "{{{inner}}}"),
+            RType::Tuple(items) => {
+                write!(f, "[")?;
+                for (i, t) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<Type> for RType {
+    fn from(t: Type) -> Self {
+        t.to_rtype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, set, tuple};
+
+    #[test]
+    fn flat_types() {
+        assert!(Type::flat_relation(2).set_depth() == 1);
+        assert!(Type::atomic_tuple(3).is_flat());
+        assert!(!Type::flat_relation(2).is_flat());
+        assert!(Type::Atomic.is_flat());
+    }
+
+    #[test]
+    fn type_membership() {
+        let rel = Type::flat_relation(2);
+        let good = set([tuple([atom(1), atom(2)])]);
+        let bad = set([atom(1)]);
+        assert!(rel.contains(&good));
+        assert!(!rel.contains(&bad));
+        // the empty set inhabits every set type
+        assert!(rel.contains(&Value::empty_set()));
+        assert!(Type::Set(Box::new(Type::Set(Box::new(Type::Atomic)))).contains(&Value::empty_set()));
+    }
+
+    #[test]
+    fn obj_contains_everything() {
+        let heterogeneous = set([atom(1), tuple([atom(2), atom(3)]), set([atom(4)])]);
+        assert!(RType::Obj.contains(&heterogeneous));
+        assert!(RType::untyped_set().contains(&heterogeneous));
+        // but a strict set type does not
+        assert!(!Type::Set(Box::new(Type::Atomic)).contains(&heterogeneous));
+    }
+
+    #[test]
+    fn rtype_embedding_roundtrip() {
+        let t = Type::Set(Box::new(Type::Tuple(vec![Type::Atomic, Type::nested_set(2)])));
+        let r = t.to_rtype();
+        assert!(r.is_strict());
+        assert_eq!(r.to_type(), Some(t));
+        assert!(RType::Obj.to_type().is_none());
+    }
+
+    #[test]
+    fn subtyping_and_join() {
+        let u = RType::Atomic;
+        let su = RType::Set(Box::new(RType::Atomic));
+        let sobj = RType::untyped_set();
+        assert!(su.subtype_of(&sobj));
+        assert!(!sobj.subtype_of(&su));
+        assert!(u.subtype_of(&RType::Obj));
+        assert_eq!(su.join(&sobj), sobj);
+        assert_eq!(u.join(&su), RType::Obj);
+        let t1 = RType::Tuple(vec![u.clone(), su.clone()]);
+        let t2 = RType::Tuple(vec![u.clone(), sobj.clone()]);
+        assert_eq!(t1.join(&t2), RType::Tuple(vec![u, sobj]));
+    }
+
+    #[test]
+    fn nested_set_builder() {
+        assert_eq!(Type::nested_set(0), Type::Atomic);
+        assert_eq!(Type::nested_set(2).set_depth(), 2);
+        assert_eq!(format!("{}", Type::nested_set(2)), "{{U}}");
+        assert_eq!(format!("{}", RType::untyped_set()), "{Obj}");
+    }
+}

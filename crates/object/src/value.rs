@@ -1,0 +1,270 @@
+//! Objects — values built from atoms with tuple and set constructors.
+//!
+//! This realizes the set **Obj** of Section 4 of the paper: the smallest set
+//! containing **U** and closed under finite tuples `[X1..Xn]` (n ≥ 1) and
+//! finite sets `{X1..Xn}` (n ≥ 0). Sets are kept in a canonical ordered
+//! form (a `BTreeSet` under the derived structural order), so `==` is
+//! extensional set equality and every object has exactly one representation.
+
+use crate::atom::Atom;
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// A complex object: an atom, a tuple of objects, or a finite set of objects.
+///
+/// The derived `Ord` (atoms < tuples < sets, lexicographic within a variant)
+/// gives objects a canonical total order; sets are stored ordered under it,
+/// which makes structural equality coincide with extensional set equality.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An element of **U**.
+    Atom(Atom),
+    /// A tuple `[X1, …, Xn]`, n ≥ 1 (we do not enforce n ≥ 1 structurally;
+    /// the type checkers do).
+    Tuple(Vec<Value>),
+    /// A finite set `{X1, …, Xn}`, n ≥ 0, in canonical order.
+    Set(BTreeSet<Value>),
+}
+
+impl Value {
+    /// Build a set value from an iterator (duplicates collapse).
+    pub fn set_of<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// The empty set `{}`.
+    pub fn empty_set() -> Value {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// True if this is an atom.
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Value::Atom(_))
+    }
+
+    /// True if this is a tuple.
+    pub fn is_tuple(&self) -> bool {
+        matches!(self, Value::Tuple(_))
+    }
+
+    /// True if this is a set.
+    pub fn is_set(&self) -> bool {
+        matches!(self, Value::Set(_))
+    }
+
+    /// The atom inside, if atomic.
+    pub fn as_atom(&self) -> Option<Atom> {
+        match self {
+            Value::Atom(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The components, if a tuple.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if a set.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `i`-th tuple component (0-based), if present.
+    pub fn project(&self, i: usize) -> Option<&Value> {
+        self.as_tuple().and_then(|items| items.get(i))
+    }
+
+    /// Membership test `self ∈ other` (false if `other` is not a set).
+    pub fn member_of(&self, other: &Value) -> bool {
+        other.as_set().is_some_and(|s| s.contains(self))
+    }
+
+    /// The atomic (active) domain `adom(X)`: the set of atoms used in
+    /// building this object.
+    pub fn adom(&self) -> BTreeSet<Atom> {
+        let mut out = BTreeSet::new();
+        self.collect_adom(&mut out);
+        out
+    }
+
+    /// Accumulate the atoms of this object into `out` (allocation-shared
+    /// form of [`Value::adom`]).
+    pub fn collect_adom(&self, out: &mut BTreeSet<Atom>) {
+        match self {
+            Value::Atom(a) => {
+                out.insert(*a);
+            }
+            Value::Tuple(items) => {
+                for v in items {
+                    v.collect_adom(out);
+                }
+            }
+            Value::Set(items) => {
+                for v in items {
+                    v.collect_adom(out);
+                }
+            }
+        }
+    }
+
+    /// Structural size: the number of constructor nodes (atoms count 1).
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Atom(_) => 1,
+            Value::Tuple(items) => 1 + items.iter().map(Value::size).sum::<usize>(),
+            Value::Set(items) => 1 + items.iter().map(Value::size).sum::<usize>(),
+        }
+    }
+
+    /// Set-nesting depth: 0 for atoms, max of components for tuples, one
+    /// more than the member maximum for sets. This is the quantity that
+    /// drives the hyper-exponential hierarchy of Theorem 2.2.
+    pub fn set_depth(&self) -> usize {
+        match self {
+            Value::Atom(_) => 0,
+            Value::Tuple(items) => items.iter().map(Value::set_depth).max().unwrap_or(0),
+            Value::Set(items) => 1 + items.iter().map(Value::set_depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Apply an atom renaming to every atom in the object.
+    pub fn map_atoms(&self, f: &mut impl FnMut(Atom) -> Atom) -> Value {
+        match self {
+            Value::Atom(a) => Value::Atom(f(*a)),
+            Value::Tuple(items) => Value::Tuple(items.iter().map(|v| v.map_atoms(f)).collect()),
+            Value::Set(items) => Value::Set(items.iter().map(|v| v.map_atoms(f)).collect()),
+        }
+    }
+
+    /// True if the object mentions any atom from `atoms`.
+    pub fn mentions_any(&self, atoms: &HashSet<Atom>) -> bool {
+        match self {
+            Value::Atom(a) => atoms.contains(a),
+            Value::Tuple(items) => items.iter().any(|v| v.mentions_any(atoms)),
+            Value::Set(items) => items.iter().any(|v| v.mentions_any(atoms)),
+        }
+    }
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Self {
+        Value::Atom(a)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Tuple(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, set, tuple};
+
+    #[test]
+    fn set_equality_is_extensional() {
+        let s1 = set([atom(1), atom(2), atom(2)]);
+        let s2 = set([atom(2), atom(1)]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn nested_sets_canonicalize() {
+        let a = set([set([atom(1)]), set([atom(2)])]);
+        let b = set([set([atom(2)]), set([atom(1)])]);
+        assert_eq!(a, b);
+        assert_eq!(a.set_depth(), 2);
+    }
+
+    #[test]
+    fn adom_collects_all_atoms() {
+        let v = tuple([atom(1), set([atom(2), tuple([atom(3), atom(1)])])]);
+        let adom = v.adom();
+        assert_eq!(adom.len(), 3);
+        assert!(adom.contains(&Atom::new(1)));
+        assert!(adom.contains(&Atom::new(2)));
+        assert!(adom.contains(&Atom::new(3)));
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let v = set([tuple([atom(1), atom(2)]), atom(3)]);
+        // set node + tuple node + 3 atoms
+        assert_eq!(v.size(), 5);
+        assert_eq!(v.set_depth(), 1);
+        assert_eq!(atom(7).set_depth(), 0);
+        assert_eq!(tuple([atom(1)]).set_depth(), 0);
+    }
+
+    #[test]
+    fn projection_and_membership() {
+        let t = tuple([atom(1), atom(2)]);
+        assert_eq!(t.project(0), Some(&atom(1)));
+        assert_eq!(t.project(2), None);
+        let s = set([t.clone()]);
+        assert!(t.member_of(&s));
+        assert!(!atom(1).member_of(&s));
+        assert!(!atom(1).member_of(&atom(2)));
+    }
+
+    #[test]
+    fn map_atoms_renames_recursively() {
+        let v = set([tuple([atom(1), set([atom(2)])])]);
+        let renamed = v.map_atoms(&mut |a| Atom::new(a.id() + 10));
+        assert_eq!(renamed, set([tuple([atom(11), set([atom(12)])])]));
+    }
+
+    #[test]
+    fn ordering_variant_order() {
+        // atoms < tuples < sets under the derived ordering
+        let a = atom(1000);
+        let t = tuple([atom(0)]);
+        let s = Value::empty_set();
+        assert!(a < t);
+        assert!(t < s);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = set([tuple([atom(1), atom(2)])]);
+        assert_eq!(format!("{v}"), "{[a1, a2]}");
+        assert_eq!(format!("{}", Value::empty_set()), "{}");
+    }
+}

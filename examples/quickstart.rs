@@ -1,0 +1,66 @@
+//! Quickstart: build a database, run algebra and calculus queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use untyped_sets::algebra::{eval_program, EvalConfig, Expr, Pred, Program, Stmt};
+use untyped_sets::calculus::{eval_query, CalcConfig, CalcQuery, CalcTerm, Formula};
+use untyped_sets::object::{atom, Database, Instance, RType, Schema, Type};
+
+fn main() {
+    // A flat binary relation R over the atomic domain U.
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows([
+            [atom(1), atom(2)],
+            [atom(2), atom(3)],
+            [atom(3), atom(4)],
+        ]),
+    );
+    let schema = Schema::flat([("R", 2)]);
+    db.check_schema(&schema).expect("R is a flat binary relation");
+    println!("input database:\n{db}");
+
+    // Algebra: σ, π, × as an assignment-sequence program — compose R with
+    // itself (the pairs at distance two).
+    let compose = Expr::var("R")
+        .product(Expr::var("R"))
+        .select(Pred::eq_cols(1, 2))
+        .project([0, 3]);
+    let prog = Program::new(vec![Stmt::assign("ANS", compose)]);
+    let out = eval_program(&prog, &db, &EvalConfig::default()).unwrap();
+    println!("algebra R∘R      = {out}");
+
+    // The same query in the calculus:
+    //   { t/[U,U] | ∃x∃y∃z (t ≈ [x,z] ∧ R([x,y]) ∧ R([y,z])) }
+    let body = Formula::Eq(
+        CalcTerm::var("t"),
+        CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("z")]),
+    )
+    .and(Formula::Pred(
+        "R".into(),
+        CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+    ))
+    .and(Formula::Pred(
+        "R".into(),
+        CalcTerm::Tuple(vec![CalcTerm::var("y"), CalcTerm::var("z")]),
+    ))
+    .exists("z", RType::Atomic)
+    .exists("y", RType::Atomic)
+    .exists("x", RType::Atomic);
+    let q = CalcQuery::new("t", Type::atomic_tuple(2).to_rtype(), body);
+    let calc_out = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+    println!("calculus R∘R     = {calc_out}");
+    assert_eq!(out, calc_out);
+
+    // Untyped sets in one line: union a relation with its own projection —
+    // illegal under strict typing, an ordinary instance of Obj here.
+    let heterogeneous = Program::new(vec![Stmt::assign(
+        "ANS",
+        Expr::var("R").union(Expr::var("R").project([0])),
+    )]);
+    let het = eval_program(&heterogeneous, &db, &EvalConfig::default()).unwrap();
+    println!("R ∪ π₀(R)        = {het}   (a heterogeneous instance of Obj)");
+}

@@ -1,0 +1,30 @@
+//! # untyped-sets — facade crate
+//!
+//! Reproduction of Hull & Su, *Untyped Sets, Invention, and Computable
+//! Queries* (PODS 1989). This crate re-exports the workspace crates under
+//! one roof; see the README for a tour and DESIGN.md for the system
+//! inventory.
+//!
+//! * [`object`] — the complex-object data model (atoms, tuples, untyped sets,
+//!   rtypes, schemas, genericity, constructive domains, flattening).
+//! * [`algebra`] — the complex-object algebra with `while` (tsALG / ALG).
+//! * [`gtm`] — conventional Turing machines and the paper's generic Turing
+//!   machines (Section 3).
+//! * [`deductive`] — DATALOG¬ and COL under stratified and inflationary
+//!   semantics (Section 5).
+//! * [`bk`] — the Bancilhon–Khoshafian calculus and its limitations.
+//! * [`calculus`] — tsCALC/CALC with invention semantics, including the
+//!   paper's *terminal invention* (Section 6).
+//! * [`core`] — the constructive content of the theorems: compilers between
+//!   the formalisms.
+
+pub use uset_algebra as algebra;
+pub use uset_bk as bk;
+pub use uset_calculus as calculus;
+pub use uset_core as core;
+pub use uset_deductive as deductive;
+pub use uset_gtm as gtm;
+pub use uset_object as object;
+
+/// Crate version, for examples that print provenance.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

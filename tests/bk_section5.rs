@@ -1,0 +1,128 @@
+//! Integration tests for the Section 5 BK results, exercised through the
+//! public facade: Example 5.2, Proposition 5.3 (both the mechanized
+//! derivation transformation and the exhaustive small-program search),
+//! Example 5.4, and Proposition 5.5's shape (the ⊥-polluted list family).
+
+use std::collections::BTreeMap;
+use untyped_sets::bk::eval::{eval_fixpoint, eval_rounds, state_from, BkConfig, BkError};
+use untyped_sets::bk::limits::{
+    lower_binding_preserves_derivation, natural_join, search_join_programs,
+    transform_derivation,
+};
+use untyped_sets::bk::{BkObject, BkProgram};
+
+fn pair(a: &'static str, x: BkObject, b: &'static str, y: BkObject) -> BkObject {
+    BkObject::tuple([(a, x), (b, y)])
+}
+
+fn witness() -> untyped_sets::bk::BkState {
+    state_from([
+        (
+            "R1",
+            vec![pair("A", BkObject::atom(1), "B", BkObject::atom(2))],
+        ),
+        (
+            "R2",
+            vec![
+                pair("B", BkObject::atom(2), "C", BkObject::atom(3)),
+                pair("B", BkObject::atom(4), "C", BkObject::atom(5)),
+            ],
+        ),
+    ])
+}
+
+#[test]
+fn example_52_full_story() {
+    let prog = BkProgram::join_rule();
+    let (state, derivations) = eval_fixpoint(&prog, &witness(), &BkConfig::default()).unwrap();
+    let r = &state["R"];
+    // ⊆ direction: the join is contained
+    let r1: Vec<BkObject> = witness()["R1"].iter().cloned().collect();
+    let r2: Vec<BkObject> = witness()["R2"].iter().cloned().collect();
+    for j in natural_join(&r1, &r2) {
+        assert!(r.contains(&j), "join tuple {j} must be derived");
+    }
+    // ⊉ direction: the cross product leaks in
+    assert!(r.contains(&pair("A", BkObject::atom(1), "C", BkObject::atom(5))));
+    // the lowering lemma holds across every recorded derivation
+    let checked = lower_binding_preserves_derivation(&prog, &state, &derivations).unwrap();
+    assert!(checked >= derivations.len());
+}
+
+#[test]
+fn proposition_53_transformation_and_search() {
+    let prog = BkProgram::join_rule();
+    let (state, ds) = eval_fixpoint(&prog, &witness(), &BkConfig::default()).unwrap();
+    let join_fact = pair("A", BkObject::atom(1), "C", BkObject::atom(3));
+    let d = ds.iter().find(|d| d.fact == join_fact).unwrap();
+    let mut replace = BTreeMap::new();
+    replace.insert(BkObject::atom(2), BkObject::Bottom);
+    replace.insert(BkObject::atom(3), BkObject::atom(5));
+    let bad = transform_derivation(&prog, &state, d, &replace).unwrap();
+    assert_eq!(bad, pair("A", BkObject::atom(1), "C", BkObject::atom(5)));
+    // and the search finds no single-rule program computing the join
+    assert_eq!(search_join_programs().unwrap(), 4096);
+}
+
+#[test]
+fn example_54_divergence_with_real_chain() {
+    // the paper's chain $ → 1 → 2 → #
+    let dollar = BkObject::Atom(untyped_sets::object::Atom::named("$"));
+    let hash = BkObject::Atom(untyped_sets::object::Atom::named("#"));
+    let prog = BkProgram::chain_to_list(dollar.clone());
+    let st = state_from([(
+        "S",
+        vec![
+            pair("A", dollar.clone(), "B", BkObject::atom(1)),
+            pair("A", BkObject::atom(1), "B", BkObject::atom(2)),
+            pair("A", BkObject::atom(2), "B", hash),
+        ],
+    )]);
+    let cfg = BkConfig {
+        max_rounds: 200,
+        max_facts: 20_000,
+        ..BkConfig::default()
+    };
+    assert_eq!(eval_fixpoint(&prog, &st, &cfg), Err(BkError::FuelExhausted));
+
+    // Proposition 5.5's shape: among the partial facts are the ever-deeper
+    // ⊥-lists that prevent any chain→list BK query from existing
+    let (partial, _, converged) = eval_rounds(
+        &prog,
+        &st,
+        &BkConfig {
+            max_rounds: 4,
+            max_facts: 100_000,
+            ..BkConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(!converged);
+    let bottom_lists = partial["LIST"]
+        .iter()
+        .filter(|o| o.mentions_bottom())
+        .count();
+    assert!(bottom_lists > 0, "⊥-polluted lists must appear");
+    // and the *intended* list prefix is also derivable — both live
+    // together, which is exactly why the output is not the intended list
+    let good = pair("H", BkObject::atom(1), "T", dollar);
+    assert!(partial["LIST"].contains(&good));
+}
+
+#[test]
+fn monotonicity_of_bk_queries() {
+    // BK is monotone (the paper: "each BK query is computable and
+    // monotonic"): on every pair of nested inputs, outputs nest
+    let prog = BkProgram::join_rule();
+    let small = witness();
+    let mut big = small.clone();
+    big.get_mut("R2").unwrap().insert(pair(
+        "B",
+        BkObject::atom(2),
+        "C",
+        BkObject::atom(9),
+    ));
+    let (o1, _) = eval_fixpoint(&prog, &small, &BkConfig::default()).unwrap();
+    let (o2, _) = eval_fixpoint(&prog, &big, &BkConfig::default()).unwrap();
+    assert!(o1["R"].is_subset(&o2["R"]));
+}

@@ -1,0 +1,180 @@
+//! Integration tests for the C-equivalence layer (Proposition 3.1,
+//! Theorems 4.1(b) and 5.1): direct GTM runs, the ALG+while compilation
+//! and the stratified-COL compilation agree machine-by-machine and
+//! input-by-input; compiled programs are generic; order independence
+//! holds; stuckness and divergence map to `?`.
+
+use untyped_sets::algebra::EvalConfig;
+use untyped_sets::core::gtm_to_alg::{compile_gtm, run_compiled, run_compiled_all_orders};
+use untyped_sets::core::gtm_to_col::{run_col_compiled, run_col_compiled_inflationary};
+use untyped_sets::deductive::col::eval::ColConfig;
+use untyped_sets::gtm::convert::{renaming_invariance, tm_to_gtm_cardinality};
+use untyped_sets::gtm::machines::{identity_gtm, nonempty_flag_gtm, parity_gtm, swap_pairs_gtm};
+use untyped_sets::gtm::query::{check_order_independence, run_gtm_query};
+use untyped_sets::gtm::tm::always_halt_machine;
+use untyped_sets::object::perm::Permutation;
+use untyped_sets::object::{atom, Atom, Database, Instance, Schema, Type, Value};
+
+fn alg_cfg() -> EvalConfig {
+    EvalConfig {
+        fuel: 50_000_000,
+        max_instance_len: 1_000_000,
+    }
+}
+
+fn col_cfg() -> ColConfig {
+    ColConfig {
+        max_rounds: 100_000,
+        max_facts: 10_000_000,
+    }
+}
+
+fn db_rows(rows: Vec<Vec<Value>>, arity: usize) -> (Database, Schema, Type) {
+    let mut db = Database::empty();
+    db.set("R", Instance::from_rows(rows));
+    (db, Schema::flat([("R", arity)]), Type::atomic_tuple(arity))
+}
+
+/// The three execution paths agree on a gallery of machines × inputs.
+/// The COL (history-keeping) path is quadratically heavier per rule
+/// bundle, so it runs on the small-template machines; the algebra path
+/// covers the whole gallery.
+#[test]
+fn direct_algebra_and_col_agree() {
+    let c = Atom::named("itest-c");
+    let machines: Vec<(&str, untyped_sets::gtm::Gtm, usize, usize, bool)> = vec![
+        // (name, machine, input arity, output arity, also run COL?)
+        ("identity", identity_gtm(), 2, 2, true),
+        ("swap", swap_pairs_gtm(), 2, 2, true),
+        ("nonempty", nonempty_flag_gtm(c), 2, 1, false),
+        ("parity", parity_gtm(c), 1, 1, false),
+    ];
+    for (name, m, arity, out_arity, with_col) in machines {
+        for n in 0..3u64 {
+            let rows: Vec<Vec<Value>> = (0..n)
+                .map(|i| (0..arity as u64).map(|k| atom(10 * i + k)).collect())
+                .collect();
+            let (db, schema, _) = db_rows(rows, arity);
+            let target = Type::atomic_tuple(out_arity);
+            let direct = run_gtm_query(&m, &db, &schema, &target, 1_000_000).unwrap();
+            let alg = run_compiled(&m, &db, &schema, &target, &alg_cfg()).unwrap();
+            assert_eq!(direct, alg, "{name} n={n} (algebra)");
+            if with_col && n <= 1 {
+                let col = run_col_compiled(&m, &db, &schema, &target, &col_cfg()).unwrap();
+                assert_eq!(direct, col, "{name} n={n} (COL)");
+            }
+        }
+    }
+}
+
+/// Theorem 5.1's punchline: stratified ≡ inflationary on the compiled
+/// construction.
+#[test]
+fn col_semantics_coincide_on_simulation() {
+    let m = swap_pairs_gtm();
+    let (db, schema, t) = db_rows(vec![vec![atom(1), atom(2)], vec![atom(5), atom(6)]], 2);
+    let s = run_col_compiled(&m, &db, &schema, &t, &col_cfg()).unwrap();
+    let i = run_col_compiled_inflationary(&m, &db, &schema, &t, &col_cfg()).unwrap();
+    assert_eq!(s, i);
+    assert_eq!(
+        s,
+        Some(Instance::from_rows([
+            [atom(2), atom(1)],
+            [atom(6), atom(5)]
+        ]))
+    );
+}
+
+/// Compiled programs are C-generic: the whole pipeline commutes with
+/// permutations of non-constant atoms.
+#[test]
+fn compiled_pipeline_is_generic() {
+    let m = swap_pairs_gtm();
+    let schema = Schema::flat([("R", 2)]);
+    let target = Type::atomic_tuple(2);
+    let (db, _, _) = db_rows(vec![vec![atom(1), atom(2)], vec![atom(3), atom(4)]], 2);
+    let sigma = Permutation::from_pairs([
+        (Atom::new(1), Atom::new(4)),
+        (Atom::new(4), Atom::new(1)),
+        (Atom::new(2), Atom::new(77)),
+        (Atom::new(77), Atom::new(2)),
+    ]);
+    // direct machine level
+    renaming_invariance(&m, &db, &schema, &target, &sigma, 1_000_000).unwrap();
+    // compiled level
+    let direct = run_compiled(&m, &db, &schema, &target, &alg_cfg()).unwrap();
+    let renamed_db = sigma.apply_database(&db);
+    let via = run_compiled(&m, &renamed_db, &schema, &target, &alg_cfg())
+        .unwrap()
+        .map(|i| sigma.inverse().apply_instance(&i));
+    assert_eq!(direct, via);
+}
+
+/// Order independence: at machine level and compiled level.
+#[test]
+fn order_independence_everywhere() {
+    let m = swap_pairs_gtm();
+    let (db, schema, t) = db_rows(
+        vec![vec![atom(1), atom(2)], vec![atom(3), atom(4)], vec![atom(5), atom(5)]],
+        2,
+    );
+    let direct = check_order_independence(&m, &db, &schema, &t, 1_000_000)
+        .expect("machine is order independent");
+    let compiled = run_compiled_all_orders(&m, &db, &schema, &t, &alg_cfg())
+        .expect("compiled program is order independent");
+    assert_eq!(direct, compiled);
+}
+
+/// The compiled fragment witnesses Theorem 4.1(b)'s syntactic claims for
+/// every machine in the library.
+#[test]
+fn compiled_fragment_claims() {
+    let c = Atom::named("itest-c2");
+    for m in [
+        identity_gtm(),
+        swap_pairs_gtm(),
+        nonempty_flag_gtm(c),
+        parity_gtm(c),
+        tm_to_gtm_cardinality(&always_halt_machine(), c),
+    ] {
+        let prog = compile_gtm(&m);
+        assert!(prog.is_powerset_free());
+        assert!(prog.is_unnested_while());
+        prog.check_def_before_use(&["T1_init", "CHAIN_init", "SUCC_init", "LAST_init"])
+            .unwrap();
+    }
+}
+
+/// Proposition 3.1 direction: a conventional TM compiled through the GTM
+/// layer and then through the algebra layer still computes its query —
+/// TM → GTM → ALG+while, end to end.
+#[test]
+fn tm_to_gtm_to_algebra_end_to_end() {
+    let c = Atom::named("itest-c3");
+    let g = tm_to_gtm_cardinality(&always_halt_machine(), c);
+    let (db, schema, _) = db_rows(vec![vec![atom(1)], vec![atom(2)]], 1);
+    let target = Type::atomic_tuple(1);
+    let direct = run_gtm_query(&g, &db, &schema, &target, 1_000_000).unwrap();
+    let alg = run_compiled(&g, &db, &schema, &target, &alg_cfg()).unwrap();
+    assert_eq!(direct, alg);
+    assert_eq!(
+        alg,
+        Some(Instance::from_rows([[Value::Atom(c)]]))
+    );
+}
+
+/// Undefinedness (`?`) propagates identically through all paths.
+#[test]
+fn undefined_propagates() {
+    let m = swap_pairs_gtm(); // sticks on unary input
+    let (db, schema, t) = db_rows(vec![vec![atom(1)]], 1);
+    assert_eq!(
+        run_gtm_query(&m, &db, &schema, &t, 1_000_000).unwrap(),
+        None
+    );
+    assert_eq!(run_compiled(&m, &db, &schema, &t, &alg_cfg()).unwrap(), None);
+    assert_eq!(
+        run_col_compiled(&m, &db, &schema, &t, &col_cfg()).unwrap(),
+        None
+    );
+}

@@ -1,0 +1,204 @@
+//! Integration tests for the Theorem 2.1 / 2.2 / 4.1(a) layer: the same
+//! query expressed in the algebra, the calculus, COL and DATALOG agrees
+//! everywhere, the typed/untyped fragment classifier works across
+//! languages, and the hyper-exponential wall of the elementary hierarchy
+//! is where the theory puts it.
+
+use untyped_sets::algebra::derived::{compose_expr, tc_while_program};
+use untyped_sets::algebra::typecheck::{classify, Level};
+use untyped_sets::algebra::{eval_program, EvalConfig, Expr, Program, Stmt};
+use untyped_sets::calculus::{eval_query, CalcConfig, CalcQuery, CalcTerm, Formula};
+use untyped_sets::deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
+use untyped_sets::deductive::col::eval::{stratified, ColConfig};
+use untyped_sets::deductive::datalog::{DatalogProgram, DlAtom, DlRule, DlTerm};
+use untyped_sets::object::{atom, Database, Instance, RType, Schema, Type};
+
+fn graph(edges: &[(u64, u64)]) -> Database {
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows(edges.iter().map(|&(a, b)| [atom(a), atom(b)])),
+    );
+    db
+}
+
+/// Composition R∘R in all four languages.
+#[test]
+fn composition_agrees_across_all_four_languages() {
+    let db = graph(&[(1, 2), (2, 3), (3, 4), (2, 5)]);
+
+    // algebra
+    let alg = eval_program(
+        &Program::new(vec![Stmt::assign(
+            "ANS",
+            compose_expr(Expr::var("R"), Expr::var("R")),
+        )]),
+        &db,
+        &EvalConfig::default(),
+    )
+    .unwrap();
+
+    // calculus
+    let body = Formula::Eq(
+        CalcTerm::var("t"),
+        CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("z")]),
+    )
+    .and(Formula::Pred(
+        "R".into(),
+        CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+    ))
+    .and(Formula::Pred(
+        "R".into(),
+        CalcTerm::Tuple(vec![CalcTerm::var("y"), CalcTerm::var("z")]),
+    ))
+    .exists("z", RType::Atomic)
+    .exists("y", RType::Atomic)
+    .exists("x", RType::Atomic);
+    let calc = eval_query(
+        &CalcQuery::new("t", Type::atomic_tuple(2).to_rtype(), body),
+        &db,
+        &CalcConfig::default(),
+    )
+    .unwrap();
+
+    // COL
+    let v = ColTerm::var;
+    let col = stratified(
+        &ColProgram::new(vec![ColRule::pred(
+            "ANS",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("R", vec![v("x"), v("y")]),
+                ColLiteral::pred("R", vec![v("y"), v("z")]),
+            ],
+        )]),
+        &db,
+        &ColConfig::default(),
+    )
+    .unwrap()
+    .pred("ANS");
+
+    // DATALOG
+    let dv = DlTerm::var;
+    let dl = DatalogProgram::new(vec![DlRule::new(
+        DlAtom::new("ANS", vec![dv("x"), dv("z")]),
+        vec![
+            (true, DlAtom::new("R", vec![dv("x"), dv("y")])),
+            (true, DlAtom::new("R", vec![dv("y"), dv("z")])),
+        ],
+    )])
+    .eval_stratified(&db, 10_000)
+    .unwrap()
+    .get("ANS");
+
+    assert_eq!(alg, calc);
+    assert_eq!(alg, col);
+    assert_eq!(alg, dl);
+    assert_eq!(alg.len(), 3); // (1,3), (2,4), (2,5)
+}
+
+/// Fragment classification across a gallery of programs (tsALG vs ALG).
+#[test]
+fn typed_untyped_classification() {
+    let schema = Schema::flat([("R", 2)]);
+    // plain relational programs are tsALG
+    assert_eq!(
+        classify(&tc_while_program("R"), &schema).unwrap(),
+        Level::TypedSets
+    );
+    // the ordinal-chain trick is genuinely untyped
+    let chain = Program::new(vec![
+        Stmt::assign("x", Expr::var("R").project([0])),
+        Stmt::assign("x", Expr::var("x").union(Expr::var("x").singleton())),
+        Stmt::assign("ANS", Expr::var("x")),
+    ]);
+    assert_eq!(classify(&chain, &schema).unwrap(), Level::UntypedSets);
+    // the compiled GTM simulation is untyped too (its CHAIN variable
+    // mixes atoms and sets)
+    let compiled = untyped_sets::core::gtm_to_alg::compile_gtm(
+        &untyped_sets::gtm::machines::identity_gtm(),
+    );
+    let input_schema = Schema::new([
+        ("T1_init".to_owned(), RType::Tuple(vec![RType::Obj, RType::Atomic])),
+        ("CHAIN_init".to_owned(), RType::Obj),
+        ("SUCC_init".to_owned(), RType::Tuple(vec![RType::Obj, RType::Obj])),
+        ("LAST_init".to_owned(), RType::Obj),
+    ])
+    .unwrap();
+    assert_eq!(
+        classify(&compiled, &input_schema).unwrap(),
+        Level::UntypedSets
+    );
+}
+
+/// Theorem 4.1(a): without while, evaluation cost on a fixed program is
+/// bounded — and the powerset wall appears exactly at the predicted size.
+#[test]
+fn while_free_algebra_is_elementary_bounded() {
+    // two stacked powersets over n atoms produce 2^(2^n) objects: n = 3
+    // fits comfortably, n = 5 must trip the instance-size guard
+    let prog = Program::new(vec![Stmt::assign(
+        "ANS",
+        Expr::var("R").project([0]).powerset().powerset(),
+    )]);
+    assert!(prog.is_while_free());
+    let cfg = EvalConfig {
+        fuel: 1_000_000,
+        max_instance_len: 1 << 20,
+    };
+    let small = graph(&[(0, 0), (1, 1), (2, 2)]);
+    let out = eval_program(&prog, &small, &cfg).unwrap();
+    assert_eq!(out.len(), 1 << (1 << 3));
+    let big = graph(&[(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+    assert!(eval_program(&prog, &big, &cfg).is_err());
+}
+
+/// Heterogeneous unions round-trip through every horizontal operator
+/// without error — §4's "operators ignore wrong shapes" convention.
+#[test]
+fn relaxed_operators_ignore_wrong_shapes() {
+    let db = graph(&[(1, 2), (3, 4)]);
+    let het = Expr::var("R").union(Expr::var("R").project([0]));
+    let prog = Program::new(vec![
+        Stmt::assign("H", het),
+        // select on column equality silently drops the bare atoms
+        Stmt::assign(
+            "ANS",
+            Expr::var("H").select(untyped_sets::algebra::Pred::eq_cols(0, 1).not()),
+        ),
+    ]);
+    let out = eval_program(&prog, &db, &EvalConfig::default()).unwrap();
+    assert_eq!(out, db.get("R"));
+}
+
+/// The same TC query under all three deductive semantics and the algebra.
+#[test]
+fn transitive_closure_cross_language() {
+    let db = graph(&[(0, 1), (1, 2), (2, 3), (3, 0)]); // a 4-cycle
+    let alg = eval_program(&tc_while_program("R"), &db, &EvalConfig::default()).unwrap();
+    assert_eq!(alg.len(), 16); // complete relation on a cycle
+
+    let v = ColTerm::var;
+    let col_prog = ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("R", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ),
+    ]);
+    let cfg = ColConfig::default();
+    let s = stratified(&col_prog, &db, &cfg).unwrap().pred("T");
+    let i = untyped_sets::deductive::col::eval::inflationary(&col_prog, &db, &cfg)
+        .unwrap()
+        .pred("T");
+    assert_eq!(alg, s);
+    assert_eq!(s, i);
+}

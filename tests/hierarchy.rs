@@ -1,0 +1,105 @@
+//! The quantitative skeleton of Theorem 2.2: the hyper-exponential tower.
+//!
+//! `hyp_0(n) = n`, `hyp_{i+1}(n) = 2^{hyp_i(n)}`; each set-nesting level
+//! costs one exponential. These tests pin the constructive-domain sizes to
+//! the tower exactly, and the three index-chain devices to their predicted
+//! growth laws.
+
+use std::collections::BTreeSet;
+use untyped_sets::object::cons::{
+    cons_obj_bounded, cons_type, cons_type_size, ordinal_chain, singleton_chain,
+};
+use untyped_sets::object::lists::list_chain;
+use untyped_sets::object::{Atom, Type};
+
+/// `hyp_i(n)` with overflow → None (mirrors the paper's definition).
+fn hyp(i: u32, n: u64) -> Option<u64> {
+    let mut v = n;
+    for _ in 0..i {
+        if v >= 63 {
+            return None;
+        }
+        v = 1u64 << v;
+    }
+    Some(v)
+}
+
+#[test]
+fn hyp_tower_basics() {
+    assert_eq!(hyp(0, 5), Some(5));
+    assert_eq!(hyp(1, 5), Some(32));
+    assert_eq!(hyp(2, 4), Some(65536));
+    assert_eq!(hyp(2, 6), None); // 2^64 overflows u64
+    assert_eq!(hyp(3, 2), Some(65536));
+    assert_eq!(hyp(3, 3), None); // 2^256
+}
+
+#[test]
+fn nested_set_domains_match_the_tower() {
+    // |cons_{nested_set(k)}(n atoms)| = hyp_k(n)
+    for k in 0..4u32 {
+        for n in 1..5u64 {
+            let predicted = hyp(k, n);
+            let computed = cons_type_size(&Type::nested_set(k as usize), n);
+            assert_eq!(computed, predicted, "depth {k}, n {n}");
+        }
+    }
+}
+
+#[test]
+fn enumerations_realize_the_predicted_sizes() {
+    let atoms: BTreeSet<Atom> = (0..3).map(Atom::new).collect();
+    for k in 0..3usize {
+        let ty = Type::nested_set(k);
+        let predicted = cons_type_size(&ty, 3).unwrap() as usize;
+        let actual = cons_type(&ty, &atoms, 1 << 20).unwrap().len();
+        assert_eq!(actual, predicted, "depth {k}");
+    }
+}
+
+#[test]
+fn tuple_types_multiply_not_exponentiate() {
+    // [T, T] squares; {T} exponentiates — the structural reason tuples
+    // stay elementary-cheap and sets do not
+    let pair_of_sets = Type::Tuple(vec![Type::nested_set(1), Type::nested_set(1)]);
+    assert_eq!(cons_type_size(&pair_of_sets, 3), Some(8 * 8));
+    let set_of_pairs = Type::Set(Box::new(Type::Tuple(vec![Type::Atomic, Type::Atomic])));
+    assert_eq!(cons_type_size(&set_of_pairs, 3), Some(1 << 9));
+}
+
+#[test]
+fn chain_devices_growth_laws() {
+    let seed = Atom::new(0);
+    let n = 12;
+    let von_neumann = ordinal_chain(seed, n);
+    let singleton = singleton_chain(seed, n);
+    let lists = list_chain(seed, n);
+    for k in 1..n {
+        // von Neumann doubles
+        assert_eq!(von_neumann[k].size(), 1 << k, "vN at {k}");
+        // singleton nesting adds one node per element
+        assert_eq!(singleton[k].size(), k + 1, "singleton at {k}");
+        // lists add two nodes (cons cell + head) per element
+        assert_eq!(lists[k].size(), 2 * k + 1, "list at {k}");
+    }
+    // all three are strictly ordered families of distinct objects
+    for chain in [&von_neumann, &singleton, &lists] {
+        let distinct: BTreeSet<_> = chain.iter().collect();
+        assert_eq!(distinct.len(), n);
+    }
+}
+
+#[test]
+fn bounded_cons_obj_grows_strictly_with_the_size_bound() {
+    let atoms: BTreeSet<Atom> = (0..2).map(Atom::new).collect();
+    let mut last = 0;
+    for bound in 1..6usize {
+        let count = cons_obj_bounded(&atoms, bound, 1_000_000).unwrap().len();
+        assert!(count > last, "bound {bound}: {count} ≤ {last}");
+        last = count;
+    }
+    // and the growth is super-linear (the infinite-domain mechanism)
+    let c3 = cons_obj_bounded(&atoms, 3, 1_000_000).unwrap().len();
+    let c5 = cons_obj_bounded(&atoms, 5, 1_000_000).unwrap().len();
+    assert!(c5 > 4 * c3, "cons_Obj must explode: {c3} → {c5}");
+}

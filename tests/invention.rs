@@ -1,0 +1,198 @@
+//! Integration tests for Section 6: untyped sets = invention.
+//!
+//! * Theorem 6.3's correspondence, at the object level: bounded
+//!   `cons_Obj` enumeration ↔ flat `{[U,U,U,U]}` encodings with invented
+//!   surrogates (bijectively, via flatten/unflatten).
+//! * Example 6.2 against real Turing machines.
+//! * Theorem 6.4's terminal-invention semantics on calculus queries and on
+//!   the halting family.
+//! * Theorem 6.1's separation shape: fi-answers grow with budget and are
+//!   not reached by any fixed budget for machines with growing runtimes.
+
+use std::collections::BTreeSet;
+use untyped_sets::calculus::{
+    eval_fi, eval_query, eval_terminal, eval_with_invention, strip_invented, CalcConfig,
+    CalcQuery, CalcTerm, Formula, InventionOutcome,
+};
+use untyped_sets::core::halting::{f_halt_fi, f_halt_terminal, TerminalHalting};
+use untyped_sets::gtm::tm::{halt_iff_even_machine, never_halt_machine, Tm, TmMove, BLANK};
+use untyped_sets::object::cons::cons_obj_bounded;
+use untyped_sets::object::flatten::{flatten, unflatten, Inventor};
+use untyped_sets::object::{atom, Atom, Database, Instance, RType};
+
+fn unary_db(n: u64) -> Database {
+    let mut db = Database::empty();
+    db.set("R", Instance::from_rows((0..n).map(|i| [atom(i)])));
+    db
+}
+
+/// Theorem 6.3's flattening correspondence: every object of the bounded
+/// constructive domain has a flat encoding with invented values that
+/// decodes back to it, and distinct objects get distinct encodings (up to
+/// surrogate renaming, checked via decoding).
+#[test]
+fn flattening_is_a_bijection_on_bounded_cons_obj() {
+    let atoms: BTreeSet<Atom> = (0..2).map(Atom::new).collect();
+    let objects = cons_obj_bounded(&atoms, 4, 100_000).unwrap();
+    assert!(objects.len() > 50, "non-trivial domain");
+    let mut decoded = BTreeSet::new();
+    for obj in &objects {
+        let mut inv = Inventor::new();
+        let flat = flatten(obj, &mut inv);
+        // the encoding is flat: every row a 4-tuple of atoms
+        for row in flat.rows.iter() {
+            let items = row.as_tuple().expect("tuple row");
+            assert_eq!(items.len(), 4);
+            assert!(items.iter().all(untyped_sets::object::Value::is_atom));
+        }
+        let back = unflatten(flat.root, &flat.rows).unwrap();
+        assert_eq!(&back, obj);
+        decoded.insert(back);
+    }
+    assert_eq!(decoded.len(), objects.len(), "injective through decoding");
+}
+
+/// An Obj-quantified (untyped) query and its semantics under growing
+/// bounds: CALC's expressive surplus is visible as answers that keep
+/// growing with the size bound — exactly the non-computability mechanism
+/// of Theorems 6.1/6.3.
+#[test]
+fn untyped_quantifier_answers_grow_with_bound() {
+    // { s/{Obj} | a0 ∈ s } — all constructible sets containing a0
+    let q = CalcQuery::new(
+        "s",
+        RType::untyped_set(),
+        Formula::Member(CalcTerm::cst(atom(0)), CalcTerm::var("s")),
+    );
+    let db = unary_db(1);
+    let mut last = 0;
+    for bound in [2usize, 3, 4, 5] {
+        let cfg = CalcConfig {
+            obj_size_bound: bound,
+            cons_limit: 1 << 20,
+        };
+        let out = eval_query(&q, &db, &cfg).unwrap();
+        assert!(out.len() > last, "bound {bound} must add answers");
+        last = out.len();
+    }
+}
+
+/// Example 6.2 with the even-halting machine: fi-approximations converge
+/// exactly on the halting side.
+#[test]
+fn example_62_fi_behaviour() {
+    let c = Atom::named("inv-c");
+    let m = halt_iff_even_machine();
+    let flag = Instance::from_rows([[untyped_sets::object::Value::Atom(c)]]);
+    for n in 0..6u64 {
+        let db = unary_db(n);
+        let out = f_halt_fi(&m, &db, c, 100);
+        if n % 2 == 0 {
+            assert_eq!(out, flag, "even n = {n} halts");
+        } else {
+            assert_eq!(out, Instance::empty(), "odd n = {n} diverges");
+        }
+    }
+    // the complement (f_h̄alt) is NOT fi-approximable: no budget ever
+    // outputs the flag for the non-halting machine
+    let nh = never_halt_machine();
+    for budget in [0usize, 10, 200] {
+        assert_eq!(f_halt_fi(&nh, &unary_db(1), c, budget), Instance::empty());
+    }
+}
+
+/// A machine whose runtime grows quadratically: the least witnessing
+/// invention budget grows with the input — no fixed budget suffices,
+/// the Theorem 6.1 separation shape.
+#[test]
+fn witness_budget_grows_with_input() {
+    // sweep machine: marks the left end, then repeatedly sweeps to the
+    // right end and erases one x per round trip (runtime ~ n²/2)
+    let m = Tm::new(
+        1,
+        "s0",
+        "h",
+        vec![
+            ("s0", vec!['x'], "r", vec!['M'], vec![TmMove::R]),
+            ("s0", vec![BLANK], "h", vec![BLANK], vec![TmMove::S]),
+            ("r", vec!['x'], "r", vec!['x'], vec![TmMove::R]),
+            ("r", vec![BLANK], "back", vec![BLANK], vec![TmMove::L]),
+            ("back", vec!['x'], "lft", vec![BLANK], vec![TmMove::L]),
+            ("back", vec!['M'], "h", vec!['M'], vec![TmMove::S]),
+            ("lft", vec!['x'], "lft", vec!['x'], vec![TmMove::L]),
+            ("lft", vec!['M'], "r2", vec!['M'], vec![TmMove::R]),
+            ("r2", vec!['x'], "r", vec!['x'], vec![TmMove::S]),
+            ("r2", vec![BLANK], "h", vec![BLANK], vec![TmMove::S]),
+        ],
+    );
+    let c = Atom::named("inv-c2");
+    let mut budgets = Vec::new();
+    for n in [2u64, 4, 6] {
+        match f_halt_terminal(&m, &unary_db(n), c, 10_000) {
+            TerminalHalting::Defined { n: budget, .. } => budgets.push(budget),
+            TerminalHalting::Undefined => panic!("sweep machine halts"),
+        }
+    }
+    assert!(
+        budgets.windows(2).all(|w| w[0] < w[1]),
+        "witness budgets must grow: {budgets:?}"
+    );
+}
+
+/// Terminal invention on genuine calculus queries: the conditional
+/// witness pattern gives selective definedness (the C-completeness
+/// mechanism of Theorem 6.4).
+#[test]
+fn terminal_invention_selective_definedness() {
+    // Q = { x/U | R([x]) ∨ ¬∃y/U R([y]) } — R holds 1-tuples, so the
+    // query wraps its variable; invented witnesses appear iff R = ∅
+    let q = CalcQuery::new(
+        "x",
+        RType::Atomic,
+        Formula::Pred(
+            "R".into(),
+            CalcTerm::Tuple(vec![CalcTerm::var("x")]),
+        )
+        .or(Formula::Pred(
+            "R".into(),
+            CalcTerm::Tuple(vec![CalcTerm::var("y")]),
+        )
+        .exists("y", RType::Atomic)
+        .not()),
+    );
+    let cfg = CalcConfig::default();
+    match eval_terminal(&q, &unary_db(0), 5, &cfg).unwrap() {
+        InventionOutcome::Defined { n, answer } => {
+            assert_eq!(n, 1);
+            assert!(answer.is_empty());
+        }
+        InventionOutcome::Undefined => panic!("defined on empty R"),
+    }
+    assert_eq!(
+        eval_terminal(&q, &unary_db(2), 5, &cfg).unwrap(),
+        InventionOutcome::Undefined
+    );
+}
+
+/// `Q|ⁱ` / `Q|_i` structural laws on a query with set-typed output:
+/// stripping removes exactly the objects touching invented atoms, and
+/// invented values can appear arbitrarily deep.
+#[test]
+fn stripping_laws_on_nested_outputs() {
+    // { s/{U} | true } — all subsets of the (extended) atom universe
+    let q = CalcQuery::new(
+        "s",
+        RType::Set(Box::new(RType::Atomic)),
+        Formula::Eq(CalcTerm::var("s"), CalcTerm::var("s")),
+    );
+    let db = unary_db(2);
+    let cfg = CalcConfig::default();
+    let q0 = eval_query(&q, &db, &cfg).unwrap();
+    assert_eq!(q0.len(), 4); // 2^2 subsets
+    let q1 = eval_with_invention(&q, &db, 1, &cfg).unwrap();
+    assert_eq!(q1.len(), 8); // 2^3 with the invented atom
+    assert_eq!(strip_invented(&q1), q0);
+    // fi over this query is the same as the base: invented-touching
+    // subsets are always stripped
+    assert_eq!(eval_fi(&q, &db, 3, &cfg).unwrap(), q0);
+}

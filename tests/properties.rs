@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on cross-crate invariants:
+//! canonicalization, flattening, genericity of evaluation, BK lattice
+//! laws, and powerset equivalences, all over randomly generated objects
+//! and databases.
+
+use proptest::prelude::*;
+use untyped_sets::algebra::{eval_program, EvalConfig};
+use untyped_sets::bk::{lub, subobject, BkObject};
+use untyped_sets::core::powerset_via_while_program;
+use untyped_sets::object::flatten::{flatten, unflatten, Inventor};
+use untyped_sets::object::perm::{all_permutations, Permutation};
+use untyped_sets::object::{Atom, Database, Instance, Value};
+
+/// Strategy: arbitrary complex objects over a small atom pool.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = (0u64..6).prop_map(|i| Value::Atom(Atom::new(i)));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Value::Tuple),
+            prop::collection::vec(inner, 0..4)
+                .prop_map(|vs| Value::Set(vs.into_iter().collect())),
+        ]
+    })
+}
+
+/// Strategy: arbitrary BK objects over a small atom pool.
+fn arb_bk() -> impl Strategy<Value = BkObject> {
+    let leaf = prop_oneof![
+        Just(BkObject::Bottom),
+        (0u64..5).prop_map(BkObject::atom),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::btree_map("[ABC]", inner.clone(), 0..3)
+                .prop_map(BkObject::Tuple),
+            prop::collection::vec(inner, 0..3)
+                .prop_map(|vs| BkObject::Set(vs.into_iter().collect())),
+        ]
+    })
+}
+
+/// Strategy: small flat binary relations.
+fn arb_binary_relation() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0u64..5, 0u64..5), 0..8).prop_map(|pairs| {
+        Instance::from_rows(
+            pairs
+                .into_iter()
+                .map(|(a, b)| [Value::Atom(Atom::new(a)), Value::Atom(Atom::new(b))]),
+        )
+    })
+}
+
+proptest! {
+    /// flatten ∘ unflatten = id on arbitrary objects.
+    #[test]
+    fn flatten_roundtrip(v in arb_value()) {
+        let mut inv = Inventor::new();
+        let flat = flatten(&v, &mut inv);
+        prop_assert_eq!(unflatten(flat.root, &flat.rows).unwrap(), v);
+    }
+
+    /// Renaming atoms commutes with flattening (genericity of the
+    /// encoding): decode(rename(encode(v))) = rename(v).
+    #[test]
+    fn flatten_commutes_with_renaming(v in arb_value()) {
+        let sigma = Permutation::from_pairs(
+            (0u64..6).map(|i| (Atom::new(i), Atom::new((i + 1) % 6))),
+        );
+        let mut inv = Inventor::new();
+        let flat = flatten(&v, &mut inv);
+        let renamed_rows = sigma.apply_instance(&flat.rows);
+        let back = unflatten(sigma.apply_atom(flat.root), &renamed_rows).unwrap();
+        prop_assert_eq!(back, sigma.apply_value(&v));
+    }
+
+    /// Set canonicalization: building a set twice in different orders
+    /// yields equal values with equal hashes of structure (Ord-consistent).
+    #[test]
+    fn set_construction_is_order_insensitive(mut vs in prop::collection::vec(arb_value(), 0..6)) {
+        let s1 = Value::set_of(vs.clone());
+        vs.reverse();
+        let s2 = Value::set_of(vs);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// adom is invariant under set reordering and respects map_atoms.
+    #[test]
+    fn adom_respects_renaming(v in arb_value()) {
+        let shifted = v.map_atoms(&mut |a| Atom::new(a.id() + 100));
+        let expected: std::collections::BTreeSet<_> =
+            v.adom().into_iter().map(|a| Atom::new(a.id() + 100)).collect();
+        prop_assert_eq!(shifted.adom(), expected);
+    }
+
+    /// BK ⊑ is reflexive; lub is an upper bound, commutative and
+    /// idempotent, with ⊥ as identity.
+    #[test]
+    fn bk_lattice_laws(a in arb_bk(), b in arb_bk()) {
+        prop_assert!(subobject(&a, &a));
+        let j = lub(&a, &b);
+        prop_assert!(subobject(&a, &j));
+        prop_assert!(subobject(&b, &j));
+        prop_assert_eq!(lub(&b, &a), j.clone());
+        prop_assert_eq!(lub(&a, &a), a.clone());
+        prop_assert_eq!(lub(&a, &BkObject::Bottom), a.clone());
+        prop_assert!(subobject(&BkObject::Bottom, &a));
+        prop_assert!(subobject(&a, &BkObject::Top));
+    }
+
+    /// BK lub is monotone: a ⊑ a' implies lub(a,b) ⊑ lub(a',b).
+    #[test]
+    fn bk_lub_monotone(a in arb_bk(), b in arb_bk()) {
+        // lower a by replacing it with ⊥ (always ⊑ a)
+        let j_low = lub(&BkObject::Bottom, &b);
+        let j = lub(&a, &b);
+        prop_assert!(subobject(&j_low, &j));
+    }
+
+    /// The while-based powerset program matches the native operator on
+    /// arbitrary small relations (Theorem 4.1(b) in miniature).
+    #[test]
+    fn powerset_via_while_matches_native(rel in arb_binary_relation()) {
+        prop_assume!(rel.len() <= 6);
+        let mut db = Database::empty();
+        db.set("R", rel.clone());
+        let via_while = eval_program(
+            &powerset_via_while_program("R"),
+            &db,
+            &EvalConfig { fuel: 1_000_000, max_instance_len: 1 << 20 },
+        ).unwrap();
+        let native = untyped_sets::algebra::eval::powerset(&rel);
+        prop_assert_eq!(via_while, native);
+    }
+
+    /// Algebra evaluation is generic: permuting input atoms permutes the
+    /// output of the TC program.
+    #[test]
+    fn tc_program_is_generic(rel in arb_binary_relation()) {
+        let mut db = Database::empty();
+        db.set("R", rel);
+        let prog = untyped_sets::algebra::derived::tc_while_program("R");
+        let cfg = EvalConfig::default();
+        let direct = eval_program(&prog, &db, &cfg).unwrap();
+        let sigma = Permutation::from_pairs(
+            (0u64..5).map(|i| (Atom::new(i), Atom::new((i + 2) % 5))),
+        );
+        let via = eval_program(&prog, &sigma.apply_database(&db), &cfg).unwrap();
+        prop_assert_eq!(via, sigma.apply_instance(&direct));
+    }
+}
+
+/// Deterministic exhaustive check (not a proptest): all permutations of a
+/// 3-atom pool are generated exactly once and compose to the identity
+/// with their inverses.
+#[test]
+fn permutation_group_structure() {
+    let atoms: Vec<Atom> = (0..3).map(Atom::new).collect();
+    let perms = all_permutations(&atoms);
+    assert_eq!(perms.len(), 6);
+    for p in &perms {
+        assert_eq!(p.compose(&p.inverse()), Permutation::identity());
+        assert_eq!(p.inverse().compose(p), Permutation::identity());
+    }
+}
