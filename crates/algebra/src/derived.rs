@@ -32,8 +32,7 @@ pub fn empty_expr(some_var: &str) -> Expr {
 /// The produced program is while-powered but powerset-free, one half of the
 /// Theorem 4.1(b) story.
 pub fn tc_while_program(rel: &str) -> Program {
-    let new_pairs = compose_expr(Expr::var("tc_delta"), Expr::var(rel))
-        .diff(Expr::var("tc_acc"));
+    let new_pairs = compose_expr(Expr::var("tc_delta"), Expr::var(rel)).diff(Expr::var("tc_acc"));
     Program::new(vec![
         Stmt::assign("tc_acc", Expr::var(rel)),
         Stmt::assign("tc_delta", Expr::var(rel)),
@@ -43,10 +42,7 @@ pub fn tc_while_program(rel: &str) -> Program {
             "tc_delta",
             vec![
                 Stmt::assign("tc_new", new_pairs),
-                Stmt::assign(
-                    "tc_acc",
-                    Expr::var("tc_acc").union(Expr::var("tc_new")),
-                ),
+                Stmt::assign("tc_acc", Expr::var("tc_acc").union(Expr::var("tc_new"))),
                 Stmt::assign("tc_delta", Expr::var("tc_new")),
             ],
         ),
@@ -97,10 +93,7 @@ pub fn tc_powerset_program(rel: &str) -> Program {
             ),
         ),
         Stmt::assign("pw_bad", Expr::var("pw_witness").project([4])),
-        Stmt::assign(
-            "pw_trans",
-            Expr::var("pw_rels").diff(Expr::var("pw_bad")),
-        ),
+        Stmt::assign("pw_trans", Expr::var("pw_rels").diff(Expr::var("pw_bad"))),
     ]);
     // Keep candidates S ⊇ rel: pair each S with the set-of-rel and test ⊆.
     stmts.extend([
@@ -144,10 +137,7 @@ pub fn tc_powerset_program(rel: &str) -> Program {
 /// the next element is *the set of all previous elements* — i.e. exactly
 /// `singleton(chain)`.
 pub fn chain_extend_stmt(chain: &str) -> Stmt {
-    Stmt::assign(
-        chain,
-        Expr::var(chain).union(Expr::var(chain).singleton()),
-    )
+    Stmt::assign(chain, Expr::var(chain).union(Expr::var(chain).singleton()))
 }
 
 /// A full program building an ordinal chain of length `n` from the constant
@@ -315,7 +305,10 @@ mod tests {
     fn compose_is_relational_composition() {
         let mut db = Database::empty();
         db.set("L", Instance::from_rows([[atom(1), atom(2)]]));
-        db.set("S", Instance::from_rows([[atom(2), atom(3)], [atom(9), atom(9)]]));
+        db.set(
+            "S",
+            Instance::from_rows([[atom(2), atom(3)], [atom(9), atom(9)]]),
+        );
         let prog = Program::new(vec![Stmt::assign(
             ANS,
             compose_expr(Expr::var("L"), Expr::var("S")),

@@ -52,9 +52,14 @@ impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::Undefined => write!(f, "query evaluated to the undefined value '?'"),
-            EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted (possible divergence)"),
+            EvalError::FuelExhausted => {
+                write!(f, "evaluation fuel exhausted (possible divergence)")
+            }
             EvalError::InstanceTooLarge { var, len } => {
-                write!(f, "intermediate {var} grew to {len} members, over the bound")
+                write!(
+                    f,
+                    "intermediate {var} grew to {len} members, over the bound"
+                )
             }
             EvalError::Unbound(v) => write!(f, "variable {v} read before assignment"),
             EvalError::NoAnswer => write!(f, "program did not assign ANS"),
@@ -138,9 +143,7 @@ impl Evaluator {
             Expr::Unnest(e, col) => unnest(&self.eval_expr(e)?, *col),
             Expr::Powerset(e) => {
                 let inst = self.eval_expr(e)?;
-                if inst.len() >= usize::BITS as usize
-                    || (1usize << inst.len()) > self.max_len
-                {
+                if inst.len() >= usize::BITS as usize || (1usize << inst.len()) > self.max_len {
                     return Err(EvalError::InstanceTooLarge {
                         var: "powerset".to_owned(),
                         len: inst.len(),
@@ -149,9 +152,7 @@ impl Evaluator {
                 powerset(&inst)
             }
             Expr::SetCollapse(e) => set_collapse(&self.eval_expr(e)?),
-            Expr::Singleton(e) => {
-                Instance::from_values([self.eval_expr(e)?.to_set_value()])
-            }
+            Expr::Singleton(e) => Instance::from_values([self.eval_expr(e)?.to_set_value()]),
             Expr::Wrap(e) => wrap(&self.eval_expr(e)?),
             Expr::Unwrap(e) => unwrap_tuples(&self.eval_expr(e)?),
             Expr::Undefine(e) => {
@@ -299,9 +300,7 @@ pub fn set_collapse(inst: &Instance) -> Instance {
 
 /// Wrap each member as a 1-tuple.
 pub fn wrap(inst: &Instance) -> Instance {
-    inst.iter()
-        .map(|v| Value::Tuple(vec![v.clone()]))
-        .collect()
+    inst.iter().map(|v| Value::Tuple(vec![v.clone()])).collect()
 }
 
 /// Unwrap 1-tuples; other members dropped.
@@ -316,16 +315,9 @@ pub fn unwrap_tuples(inst: &Instance) -> Instance {
 
 /// Evaluate a program on a database. Input relations enter the environment
 /// under their database names; the answer is the final value of `ANS`.
-pub fn eval_program(
-    prog: &Program,
-    db: &Database,
-    config: &EvalConfig,
-) -> EvalResult<Instance> {
+pub fn eval_program(prog: &Program, db: &Database, config: &EvalConfig) -> EvalResult<Instance> {
     let mut ev = Evaluator {
-        env: db
-            .iter()
-            .map(|(n, i)| (n.to_owned(), i.clone()))
-            .collect(),
+        env: db.iter().map(|(n, i)| (n.to_owned(), i.clone())).collect(),
         fuel: config.fuel,
         max_len: config.max_instance_len,
     };
@@ -482,7 +474,12 @@ mod tests {
         let prog = Program::new(vec![
             Stmt::assign("x", Expr::var("R")),
             Stmt::assign("empty", Expr::var("R").diff(Expr::var("R"))),
-            Stmt::while_loop("z", "x", "empty", vec![Stmt::assign("x", Expr::var("empty"))]),
+            Stmt::while_loop(
+                "z",
+                "x",
+                "empty",
+                vec![Stmt::assign("x", Expr::var("empty"))],
+            ),
             Stmt::assign(ANS, Expr::var("z")),
         ]);
         // body never runs, so z = x = R
@@ -506,7 +503,10 @@ mod tests {
             fuel: 1000,
             ..EvalConfig::default()
         };
-        assert_eq!(eval_program(&prog, &db, &cfg), Err(EvalError::FuelExhausted));
+        assert_eq!(
+            eval_program(&prog, &db, &cfg),
+            Err(EvalError::FuelExhausted)
+        );
     }
 
     #[test]

@@ -148,10 +148,9 @@ impl Expr {
         match self {
             Expr::Var(_) | Expr::Const(_) => false,
             Expr::Powerset(_) => true,
-            Expr::Union(a, b)
-            | Expr::Diff(a, b)
-            | Expr::Intersect(a, b)
-            | Expr::Product(a, b) => a.uses_powerset() || b.uses_powerset(),
+            Expr::Union(a, b) | Expr::Diff(a, b) | Expr::Intersect(a, b) | Expr::Product(a, b) => {
+                a.uses_powerset() || b.uses_powerset()
+            }
             Expr::Select(e, _)
             | Expr::Project(e, _)
             | Expr::Nest(e, _)
@@ -169,10 +168,7 @@ impl Expr {
         match self {
             Expr::Var(v) => out.push(v.clone()),
             Expr::Const(_) => {}
-            Expr::Union(a, b)
-            | Expr::Diff(a, b)
-            | Expr::Intersect(a, b)
-            | Expr::Product(a, b) => {
+            Expr::Union(a, b) | Expr::Diff(a, b) | Expr::Intersect(a, b) | Expr::Product(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
@@ -276,6 +272,7 @@ impl Pred {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Pred {
         Pred::Not(Box::new(self))
     }
@@ -368,10 +365,7 @@ mod tests {
             Operand::Tup(vec![Operand::Col(0), Operand::Path(vec![1, 0])]).resolve(&m),
             Some(tuple([atom(1), atom(2)]))
         );
-        assert_eq!(
-            Operand::Tup(vec![Operand::Col(9)]).resolve(&m),
-            None
-        );
+        assert_eq!(Operand::Tup(vec![Operand::Col(9)]).resolve(&m), None);
     }
 
     #[test]
@@ -437,9 +431,7 @@ mod tests {
 
     #[test]
     fn collect_vars() {
-        let e = Expr::var("R")
-            .union(Expr::var("S"))
-            .product(Expr::var("R"));
+        let e = Expr::var("R").union(Expr::var("S")).product(Expr::var("R"));
         let mut vars = Vec::new();
         e.collect_vars(&mut vars);
         assert_eq!(vars, vec!["R", "S", "R"]);

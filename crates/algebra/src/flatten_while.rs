@@ -157,10 +157,9 @@ fn body_uses_undefine(stmts: &[Stmt]) -> bool {
         match e {
             Expr::Undefine(_) => true,
             Expr::Var(_) | Expr::Const(_) => false,
-            Expr::Union(a, b)
-            | Expr::Diff(a, b)
-            | Expr::Intersect(a, b)
-            | Expr::Product(a, b) => expr_has_undefine(a) || expr_has_undefine(b),
+            Expr::Union(a, b) | Expr::Diff(a, b) | Expr::Intersect(a, b) | Expr::Product(a, b) => {
+                expr_has_undefine(a) || expr_has_undefine(b)
+            }
             Expr::Select(e, _)
             | Expr::Project(e, _)
             | Expr::Nest(e, _)
@@ -212,8 +211,7 @@ pub fn flatten_to_single_while(prog: &Program) -> Result<Program, FlattenError> 
             Instr::Assign(v, e) => {
                 body.push(Stmt::assign(
                     v.clone(),
-                    gate(e.clone(), active.clone())
-                        .union(gate(Expr::var(v.clone()), inactive)),
+                    gate(e.clone(), active.clone()).union(gate(Expr::var(v.clone()), inactive)),
                 ));
                 body.push(Stmt::assign(
                     "pc_next",
@@ -297,11 +295,7 @@ mod tests {
         let flat = flatten_to_single_while(&prog).unwrap();
         assert!(flat.is_unnested_while());
         // exactly one while statement overall
-        let while_count = flat
-            .stmts
-            .iter()
-            .filter(|s| s.contains_while())
-            .count();
+        let while_count = flat.stmts.iter().filter(|s| s.contains_while()).count();
         assert_eq!(while_count, 1);
         for n in [2u64, 3, 5, 7] {
             let db = path(n);
@@ -347,10 +341,7 @@ mod tests {
                     // removing nodes with no outgoing R edge… keep it
                     // simple and generic: halve by intersecting with π₀R
                     // then diffing one fixpoint worth)
-                    Stmt::assign(
-                        "rounds",
-                        Expr::var("rounds").diff(Expr::var("rounds")),
-                    ),
+                    Stmt::assign("rounds", Expr::var("rounds").diff(Expr::var("rounds"))),
                 ],
             ),
             Stmt::assign("ANS", Expr::var("outer_out")),
@@ -375,12 +366,7 @@ mod tests {
         let prog = Program::new(vec![
             Stmt::assign("x", Expr::var("R")),
             Stmt::assign("e", Expr::var("R").diff(Expr::var("R"))),
-            Stmt::while_loop(
-                "z",
-                "x",
-                "e",
-                vec![Stmt::assign("x", Expr::var("e"))],
-            ),
+            Stmt::while_loop("z", "x", "e", vec![Stmt::assign("x", Expr::var("e"))]),
             Stmt::assign("ANS", Expr::var("z")),
         ]);
         let flat = flatten_to_single_while(&prog).unwrap();

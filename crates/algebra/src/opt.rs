@@ -32,10 +32,9 @@ fn has_undefine(e: &Expr) -> bool {
     match e {
         Expr::Undefine(_) => true,
         Expr::Var(_) | Expr::Const(_) => false,
-        Expr::Union(a, b)
-        | Expr::Diff(a, b)
-        | Expr::Intersect(a, b)
-        | Expr::Product(a, b) => has_undefine(a) || has_undefine(b),
+        Expr::Union(a, b) | Expr::Diff(a, b) | Expr::Intersect(a, b) | Expr::Product(a, b) => {
+            has_undefine(a) || has_undefine(b)
+        }
         Expr::Select(e, _)
         | Expr::Project(e, _)
         | Expr::Nest(e, _)
@@ -56,9 +55,7 @@ pub fn simplify_expr(e: &Expr) -> Expr {
             let (a, b) = (simplify_expr(a), simplify_expr(b));
             if is_empty_const(&a) {
                 b
-            } else if is_empty_const(&b) {
-                a
-            } else if a == b && !has_undefine(&a) {
+            } else if is_empty_const(&b) || (a == b && !has_undefine(&a)) {
                 a
             } else if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
                 Expr::Const(x.union(y))
@@ -70,9 +67,7 @@ pub fn simplify_expr(e: &Expr) -> Expr {
             let (a, b) = (simplify_expr(a), simplify_expr(b));
             if is_empty_const(&b) {
                 a
-            } else if is_empty_const(&a) && !has_undefine(&b) {
-                empty()
-            } else if a == b && !has_undefine(&a) {
+            } else if (is_empty_const(&a) && !has_undefine(&b)) || (a == b && !has_undefine(&a)) {
                 empty()
             } else if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
                 Expr::Const(x.difference(y))

@@ -73,11 +73,7 @@ impl Stmt {
     pub fn collect_assigned(&self, out: &mut Vec<String>) {
         match self {
             Stmt::Assign(v, _) => out.push(v.clone()),
-            Stmt::While {
-                out: z,
-                body,
-                ..
-            } => {
+            Stmt::While { out: z, body, .. } => {
                 out.push(z.clone());
                 for s in body {
                     s.collect_assigned(out);
@@ -91,10 +87,7 @@ impl Stmt {
         match self {
             Stmt::Assign(_, e) => e.collect_vars(out),
             Stmt::While {
-                result,
-                cond,
-                body,
-                ..
+                result, cond, body, ..
             } => {
                 out.push(result.clone());
                 out.push(cond.clone());
@@ -122,7 +115,10 @@ impl Program {
 
     /// True iff no `while` appears (the paper's plain ALG / tsALG).
     pub fn is_while_free(&self) -> bool {
-        !self.stmts.iter().any(|s| s.contains_while() || s.has_nested_while())
+        !self
+            .stmts
+            .iter()
+            .any(|s| s.contains_while() || s.has_nested_while())
     }
 
     /// True iff no `while` body contains another `while` (the paper's
@@ -204,11 +200,7 @@ fn check_stmts(stmts: &[Stmt], defined: &mut Vec<String>) -> Result<(), String> 
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn write_stmts(
-            f: &mut fmt::Formatter<'_>,
-            stmts: &[Stmt],
-            indent: usize,
-        ) -> fmt::Result {
+        fn write_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
             for s in stmts {
                 let pad = "  ".repeat(indent);
                 match s {
@@ -299,7 +291,10 @@ mod tests {
             Stmt::assign("x", Expr::var("R")),
             Stmt::while_loop("z", "x", "nope", vec![]),
         ]);
-        assert_eq!(bad_cond.check_def_before_use(&["R"]), Err("nope".to_owned()));
+        assert_eq!(
+            bad_cond.check_def_before_use(&["R"]),
+            Err("nope".to_owned())
+        );
     }
 
     #[test]

@@ -50,10 +50,7 @@ impl std::error::Error for TypeError {}
 /// assignment refines the variable's rtype to the join of all values it may
 /// receive (loops are iterated to a fixpoint, which exists because the
 /// rtype join lattice has bounded ascent to `Obj`).
-pub fn infer_types(
-    prog: &Program,
-    schema: &Schema,
-) -> Result<HashMap<String, RType>, TypeError> {
+pub fn infer_types(prog: &Program, schema: &Schema) -> Result<HashMap<String, RType>, TypeError> {
     let mut env: HashMap<String, RType> = schema
         .entries()
         .iter()
@@ -73,10 +70,7 @@ pub fn classify(prog: &Program, schema: &Schema) -> Result<Level, TypeError> {
     }
 }
 
-fn infer_stmts(
-    stmts: &[Stmt],
-    env: &mut HashMap<String, RType>,
-) -> Result<(), TypeError> {
+fn infer_stmts(stmts: &[Stmt], env: &mut HashMap<String, RType>) -> Result<(), TypeError> {
     for s in stmts {
         match s {
             Stmt::Assign(var, expr) => {
@@ -146,9 +140,7 @@ fn infer_expr(expr: &Expr, env: &HashMap<String, RType>) -> Result<RType, TypeEr
             }
             t.unwrap_or(RType::Obj)
         }
-        Expr::Union(a, b) | Expr::Intersect(a, b) => {
-            infer_expr(a, env)?.join(&infer_expr(b, env)?)
-        }
+        Expr::Union(a, b) | Expr::Intersect(a, b) => infer_expr(a, env)?.join(&infer_expr(b, env)?),
         Expr::Diff(a, b) => {
             let t = infer_expr(a, env)?;
             let _ = infer_expr(b, env)?;
@@ -220,9 +212,7 @@ fn infer_expr(expr: &Expr, env: &HashMap<String, RType>) -> Result<RType, TypeEr
                 _ => RType::Obj,
             }
         }
-        Expr::Powerset(e) | Expr::Singleton(e) => {
-            RType::Set(Box::new(infer_expr(e, env)?))
-        }
+        Expr::Powerset(e) | Expr::Singleton(e) => RType::Set(Box::new(infer_expr(e, env)?)),
         Expr::SetCollapse(e) => {
             let t = infer_expr(e, env)?;
             match t {
@@ -291,10 +281,7 @@ mod tests {
                 .project([0, 3]),
         )]);
         let env = infer_types(&prog, &schema_r2()).unwrap();
-        assert_eq!(
-            env[ANS],
-            RType::Tuple(vec![RType::Atomic, RType::Atomic])
-        );
+        assert_eq!(env[ANS], RType::Tuple(vec![RType::Atomic, RType::Atomic]));
         assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::TypedSets);
     }
 
@@ -329,10 +316,7 @@ mod tests {
         let env = infer_types(&prog, &schema_r2()).unwrap();
         assert_eq!(
             env["g"],
-            RType::Tuple(vec![
-                RType::Atomic,
-                RType::Set(Box::new(RType::Atomic))
-            ])
+            RType::Tuple(vec![RType::Atomic, RType::Set(Box::new(RType::Atomic))])
         );
         assert_eq!(
             env[ANS],

@@ -2,6 +2,10 @@
 //!
 //! * naive vs semi-naive stratified DATALOG fixpoints (the evaluator
 //!   design choice; identical results, different polynomial);
+//! * naive vs semi-naive COL fixpoints (same ablation one level up, where
+//!   deltas cover data-function membership as well as predicates) — work
+//!   counters for one representative size are printed once so the timing
+//!   numbers can be read against tuples actually derived;
 //! * optimizer on/off for the Theorem 4.1(b) compiled programs (the gated
 //!   mechanical code cleans up — measure the evaluation win);
 //! * ordinal-chain (von Neumann, doubling size) vs singleton-nesting
@@ -14,9 +18,12 @@ use uset_algebra::opt::optimize;
 use uset_algebra::{eval_program, EvalConfig};
 use uset_bench::path_graph;
 use uset_core::gtm_to_alg::{compile_gtm, prepare_gtm_input};
+use uset_deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
+use uset_deductive::col::eval::{stratified_with, ColConfig, ColStrategy};
 use uset_deductive::datalog::{DatalogProgram, DlAtom, DlRule, DlTerm};
 use uset_gtm::machines::swap_pairs_gtm;
 use uset_object::cons::{ordinal_chain, singleton_chain};
+use uset_object::EvalStats;
 use uset_object::{atom, Atom, Database, Instance, Schema, Value};
 
 fn tc_datalog() -> DatalogProgram {
@@ -55,6 +62,81 @@ fn bench_naive_vs_seminaive(c: &mut Criterion) {
                         .unwrap()
                         .get("T")
                         .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn tc_col() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("E", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ),
+    ])
+}
+
+fn bench_col_naive_vs_seminaive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/col_naive_vs_seminaive");
+    let prog = tc_col();
+    let cfg = ColConfig::default();
+    for n in [16u64, 32, 64] {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        if n == 64 {
+            // one-off work counters so the timings can be read against
+            // tuples actually derived
+            let mut naive = EvalStats::default();
+            let mut semi = EvalStats::default();
+            stratified_with(&prog, &db, &cfg, ColStrategy::Naive, &mut naive).unwrap();
+            stratified_with(&prog, &db, &cfg, ColStrategy::Seminaive, &mut semi).unwrap();
+            println!("col tc path-{n} naive:     {naive}");
+            println!("col tc path-{n} seminaive: {semi}");
+        }
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    stratified_with(
+                        &prog,
+                        &db,
+                        &cfg,
+                        ColStrategy::Naive,
+                        &mut EvalStats::default(),
+                    )
+                    .unwrap()
+                    .pred("T")
+                    .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    stratified_with(
+                        &prog,
+                        &db,
+                        &cfg,
+                        ColStrategy::Seminaive,
+                        &mut EvalStats::default(),
+                    )
+                    .unwrap()
+                    .pred("T")
+                    .len(),
                 )
             })
         });
@@ -124,6 +206,7 @@ fn bench_while_flattening_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_naive_vs_seminaive,
+    bench_col_naive_vs_seminaive,
     bench_optimizer_on_compiled_program,
     bench_chain_representations,
     bench_while_flattening_overhead

@@ -22,11 +22,15 @@ fn disjoint_state(n: u64) -> uset_bk::BkState {
     state_from([
         (
             "R1",
-            (0..n).map(|i| pair("A", i, "B", 1000 + i)).collect::<Vec<_>>(),
+            (0..n)
+                .map(|i| pair("A", i, "B", 1000 + i))
+                .collect::<Vec<_>>(),
         ),
         (
             "R2",
-            (0..n).map(|i| pair("B", 2000 + i, "C", 3000 + i)).collect::<Vec<_>>(),
+            (0..n)
+                .map(|i| pair("B", 2000 + i, "C", 3000 + i))
+                .collect::<Vec<_>>(),
         ),
     ])
 }
@@ -38,8 +42,7 @@ fn bench_join_rule_blowup(c: &mut Criterion) {
         let st = disjoint_state(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let (out, _) =
-                    eval_fixpoint(&prog, &st, &BkConfig::default()).unwrap();
+                let (out, _) = eval_fixpoint(&prog, &st, &BkConfig::default()).unwrap();
                 // the join is empty, yet R holds ≥ n² ⊥-free cross tuples
                 black_box(out["R"].len())
             })

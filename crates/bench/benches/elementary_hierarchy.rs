@@ -21,15 +21,9 @@ fn bench_cons_depth(c: &mut Criterion) {
             // depth 2 over n=4 already enumerates 2^16 nested sets
             let atoms: std::collections::BTreeSet<Atom> = (0..n).map(Atom::new).collect();
             let ty = Type::nested_set(depth);
-            group.bench_with_input(
-                BenchmarkId::new(format!("depth{depth}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(cons_type(&ty, &atoms, 1 << 22).unwrap().len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("depth{depth}"), n), &n, |b, _| {
+                b.iter(|| black_box(cons_type(&ty, &atoms, 1 << 22).unwrap().len()))
+            });
         }
     }
     group.finish();
@@ -51,11 +45,9 @@ fn bench_powerset_chain(c: &mut Criterion) {
                 fuel: 1_000_000,
                 max_instance_len: 1 << 22,
             };
-            group.bench_with_input(
-                BenchmarkId::new(format!("powerset^{k}"), n),
-                &n,
-                |b, _| b.iter(|| black_box(eval_program(&prog, &db, &cfg).unwrap().len())),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("powerset^{k}"), n), &n, |b, _| {
+                b.iter(|| black_box(eval_program(&prog, &db, &cfg).unwrap().len()))
+            });
         }
     }
     group.finish();
@@ -74,7 +66,10 @@ fn bench_typed_vs_relaxed_mode(c: &mut Criterion) {
         )]);
         let relaxed = Program::new(vec![
             Stmt::assign("H", Expr::var("R").union(Expr::var("R").project([0]))),
-            Stmt::assign("ANS", Expr::var("H").product(Expr::var("H")).project([0, 1])),
+            Stmt::assign(
+                "ANS",
+                Expr::var("H").product(Expr::var("H")).project([0, 1]),
+            ),
         ]);
         let db = uset_bench::path_graph(n);
         let cfg = EvalConfig::default();

@@ -71,23 +71,17 @@ fn bench_flattening(c: &mut Criterion) {
     for depth in [3usize, 6, 9] {
         let chain = uset_object::cons::ordinal_chain(Atom::new(0), depth);
         let v = chain.last().expect("non-empty chain").clone();
-        group.bench_with_input(
-            BenchmarkId::new("flatten", depth),
-            &depth,
-            |b, _| {
-                b.iter(|| {
-                    let mut inv = Inventor::new();
-                    black_box(flatten(&v, &mut inv).rows.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("flatten", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut inv = Inventor::new();
+                black_box(flatten(&v, &mut inv).rows.len())
+            })
+        });
         let mut inv = Inventor::new();
         let flat = flatten(&v, &mut inv);
-        group.bench_with_input(
-            BenchmarkId::new("unflatten", depth),
-            &depth,
-            |b, _| b.iter(|| black_box(unflatten(flat.root, &flat.rows).unwrap().size())),
-        );
+        group.bench_with_input(BenchmarkId::new("unflatten", depth), &depth, |b, _| {
+            b.iter(|| black_box(unflatten(flat.root, &flat.rows).unwrap().size()))
+        });
     }
     group.finish();
 }

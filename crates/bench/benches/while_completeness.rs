@@ -74,10 +74,7 @@ fn bench_powerset_native_vs_while(c: &mut Criterion) {
         let via_while_db = {
             // the while variant consumes bare elements
             let mut d = Database::empty();
-            d.set(
-                "R",
-                Instance::from_values((0..n).map(atom)),
-            );
+            d.set("R", Instance::from_values((0..n).map(atom)));
             d
         };
         let via_while = powerset_via_while_program("R");
@@ -85,9 +82,7 @@ fn bench_powerset_native_vs_while(c: &mut Criterion) {
             b.iter(|| black_box(eval_program(&native, &db, &cfg).unwrap().len()))
         });
         group.bench_with_input(BenchmarkId::new("while", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(eval_program(&via_while, &via_while_db, &cfg).unwrap().len())
-            })
+            b.iter(|| black_box(eval_program(&via_while, &via_while_db, &cfg).unwrap().len()))
         });
     }
     group.finish();

@@ -213,11 +213,7 @@ fn match_pattern(
 }
 
 /// All valuations satisfying a rule body against the state.
-fn rule_bindings(
-    rule: &BkRule,
-    state: &BkState,
-    mode: BindMode,
-) -> Result<Vec<Bindings>, BkError> {
+fn rule_bindings(rule: &BkRule, state: &BkState, mode: BindMode) -> Result<Vec<Bindings>, BkError> {
     let mut acc: Vec<Bindings> = vec![Bindings::new()];
     for lit in &rule.body {
         let extent = state.get(&lit.pred).cloned().unwrap_or_default();
@@ -330,8 +326,7 @@ mod tests {
     #[test]
     fn example_52_join_rule_overshoots_to_cross_product() {
         let prog = BkProgram::join_rule();
-        let (state, _) =
-            eval_fixpoint(&prog, &example_52_state(), &BkConfig::default()).unwrap();
+        let (state, _) = eval_fixpoint(&prog, &example_52_state(), &BkConfig::default()).unwrap();
         let r = &state["R"];
         // the true join tuple is derived …
         assert!(r.contains(&pair("A", O::atom(1), "C", O::atom(3))));
@@ -349,8 +344,7 @@ mod tests {
         st.get_mut("R1")
             .unwrap()
             .insert(pair("A", O::atom(7), "B", O::atom(8)));
-        let (state, _) = eval_fixpoint(&BkProgram::join_rule(), &st, &BkConfig::default())
-            .unwrap();
+        let (state, _) = eval_fixpoint(&BkProgram::join_rule(), &st, &BkConfig::default()).unwrap();
         let r = &state["R"];
         for x in [1u64, 7] {
             for z in [3u64, 5] {
@@ -366,10 +360,7 @@ mod tests {
     fn example_54_chain_to_list_diverges() {
         let dollar = O::Atom(uset_object::Atom::named("$"));
         let prog = BkProgram::chain_to_list(dollar.clone());
-        let st = state_from([(
-            "S",
-            vec![pair("A", dollar.clone(), "B", O::atom(1))],
-        )]);
+        let st = state_from([("S", vec![pair("A", dollar.clone(), "B", O::atom(1))])]);
         let cfg = BkConfig {
             max_rounds: 100,
             max_facts: 5000,
@@ -385,10 +376,7 @@ mod tests {
         // [H:⊥,T:$], [H:⊥,T:[H:⊥,T:$]], … — must be among them
         let dollar = O::Atom(uset_object::Atom::named("$"));
         let prog = BkProgram::chain_to_list(dollar.clone());
-        let st = state_from([(
-            "S",
-            vec![pair("A", dollar.clone(), "B", O::atom(1))],
-        )]);
+        let st = state_from([("S", vec![pair("A", dollar.clone(), "B", O::atom(1))])]);
         let cfg = BkConfig {
             max_rounds: 4,
             max_facts: 100_000,
@@ -457,13 +445,9 @@ mod tests {
         let prog = BkProgram::new(vec![crate::rules::BkRule::new(
             "Out",
             BkTerm::var("w"),
-            vec![(
-                "R1",
-                BkTerm::tuple([("A", BkTerm::cst(O::atom(1)))]),
-            )],
+            vec![("R1", BkTerm::tuple([("A", BkTerm::cst(O::atom(1)))]))],
         )]);
-        let (state, _) = eval_fixpoint(&prog, &example_52_state(), &BkConfig::default())
-            .unwrap();
+        let (state, _) = eval_fixpoint(&prog, &example_52_state(), &BkConfig::default()).unwrap();
         // w is unbound in the body → instantiates to ⊥
         assert_eq!(state["Out"], [O::Bottom].into_iter().collect());
     }

@@ -41,7 +41,12 @@ pub fn transform_derivation(
     let new_bindings: BTreeMap<String, BkObject> = d
         .bindings
         .iter()
-        .map(|(k, v)| (k.clone(), replace.get(v).cloned().unwrap_or_else(|| v.clone())))
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                replace.get(v).cloned().unwrap_or_else(|| v.clone()),
+            )
+        })
         .collect();
     // verify each body literal still matches under the new valuation
     for lit in &rule.body {
@@ -122,10 +127,7 @@ pub fn candidate_join_programs() -> Vec<BkProgram> {
                         for b2c in vars {
                             out.push(BkProgram::new(vec![BkRule::new(
                                 "R",
-                                BkTerm::tuple([
-                                    ("A", BkTerm::var(ha)),
-                                    ("C", BkTerm::var(hc)),
-                                ]),
+                                BkTerm::tuple([("A", BkTerm::var(ha)), ("C", BkTerm::var(hc))]),
                                 vec![
                                     (
                                         "R1",
@@ -183,10 +185,7 @@ pub fn search_join_programs() -> Result<usize, String> {
         examined += 1;
         let mut computes_join_everywhere = true;
         for (r1, r2) in join_test_instances() {
-            let state = state_from([
-                ("R1", r1.iter().cloned().collect::<Vec<_>>()),
-                ("R2", r2.iter().cloned().collect::<Vec<_>>()),
-            ]);
+            let state = state_from([("R1", r1.to_vec()), ("R2", r2.to_vec())]);
             let Ok((out, _)) = eval_fixpoint(&prog, &state, &BkConfig::default()) else {
                 computes_join_everywhere = false;
                 break;
@@ -207,7 +206,9 @@ pub fn search_join_programs() -> Result<usize, String> {
             }
         }
         if computes_join_everywhere {
-            return Err("a candidate program computed the join — Proposition 5.3 violated".to_owned());
+            return Err(
+                "a candidate program computed the join — Proposition 5.3 violated".to_owned(),
+            );
         }
     }
     Ok(examined)
@@ -220,10 +221,7 @@ mod tests {
 
     fn witness_state() -> BkState {
         state_from([
-            (
-                "R1",
-                vec![O::tuple([("A", O::atom(1)), ("B", O::atom(2))])],
-            ),
+            ("R1", vec![O::tuple([("A", O::atom(1)), ("B", O::atom(2))])]),
             (
                 "R2",
                 vec![

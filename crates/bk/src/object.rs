@@ -30,12 +30,7 @@ impl BkObject {
     where
         I: IntoIterator<Item = (&'static str, BkObject)>,
     {
-        BkObject::Tuple(
-            attrs
-                .into_iter()
-                .map(|(a, v)| (a.to_owned(), v))
-                .collect(),
-        )
+        BkObject::Tuple(attrs.into_iter().map(|(a, v)| (a.to_owned(), v)).collect())
     }
 
     /// A set object.

@@ -28,9 +28,9 @@ pub fn subobject(a: &BkObject, b: &BkObject) -> bool {
         (BkObject::Tuple(ma), BkObject::Tuple(mb)) => ma
             .iter()
             .all(|(k, va)| mb.get(k).is_some_and(|vb| subobject(va, vb))),
-        (BkObject::Set(sa), BkObject::Set(sb)) => sa
-            .iter()
-            .all(|x| sb.iter().any(|y| subobject(x, y))),
+        (BkObject::Set(sa), BkObject::Set(sb)) => {
+            sa.iter().all(|x| sb.iter().any(|y| subobject(x, y)))
+        }
         _ => false,
     }
 }
@@ -58,9 +58,7 @@ pub fn lub(a: &BkObject, b: &BkObject) -> BkObject {
             }
             BkObject::Tuple(out)
         }
-        (BkObject::Set(sa), BkObject::Set(sb)) => {
-            BkObject::Set(sa.union(sb).cloned().collect())
-        }
+        (BkObject::Set(sa), BkObject::Set(sb)) => BkObject::Set(sa.union(sb).cloned().collect()),
         _ => BkObject::Top,
     }
 }
@@ -116,10 +114,8 @@ fn subobjects_rec(o: &BkObject) -> Option<Vec<BkObject>> {
             // members. Generating all is doubly exponential; we generate
             // the (sufficient for lattice tests) family of sets whose
             // members are sub-objects of distinct members.
-            let member_subs: Vec<Vec<BkObject>> = s
-                .iter()
-                .map(subobjects_rec)
-                .collect::<Option<_>>()?;
+            let member_subs: Vec<Vec<BkObject>> =
+                s.iter().map(subobjects_rec).collect::<Option<_>>()?;
             let mut partials: Vec<BTreeSet<BkObject>> = vec![BTreeSet::new()];
             for subs in &member_subs {
                 let mut next = Vec::new();
@@ -233,10 +229,7 @@ mod tests {
                 // least among the sample upper bounds
                 for u in &samples {
                     if subobject(a, u) && subobject(b, u) {
-                        assert!(
-                            subobject(&j, u),
-                            "lub({a},{b}) = {j} not ⊑ upper bound {u}"
-                        );
+                        assert!(subobject(&j, u), "lub({a},{b}) = {j} not ⊑ upper bound {u}");
                     }
                 }
             }

@@ -33,12 +33,7 @@ impl BkTerm {
     where
         I: IntoIterator<Item = (&'static str, BkTerm)>,
     {
-        BkTerm::Tuple(
-            attrs
-                .into_iter()
-                .map(|(a, t)| (a.to_owned(), t))
-                .collect(),
-        )
+        BkTerm::Tuple(attrs.into_iter().map(|(a, t)| (a.to_owned(), t)).collect())
     }
 
     /// Variables in the term, appended to `out`.
@@ -70,9 +65,7 @@ impl BkTerm {
                     .map(|(k, t)| (k.clone(), t.instantiate(b)))
                     .collect(),
             ),
-            BkTerm::Set(ts) => {
-                BkObject::Set(ts.iter().map(|t| t.instantiate(b)).collect())
-            }
+            BkTerm::Set(ts) => BkObject::Set(ts.iter().map(|t| t.instantiate(b)).collect()),
         }
     }
 }

@@ -90,6 +90,7 @@ impl Formula {
     }
 
     /// `¬self`
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         Formula::Not(Box::new(self))
     }
@@ -111,9 +112,7 @@ impl Formula {
             Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => true,
             Formula::And(a, b) | Formula::Or(a, b) => a.is_typed() && b.is_typed(),
             Formula::Not(f) => f.is_typed(),
-            Formula::Exists(_, ty, f) | Formula::Forall(_, ty, f) => {
-                ty.is_strict() && f.is_typed()
-            }
+            Formula::Exists(_, ty, f) | Formula::Forall(_, ty, f) => ty.is_strict() && f.is_typed(),
         }
     }
 
@@ -124,16 +123,10 @@ impl Formula {
         fn rec(f: &Formula, positive: bool) -> bool {
             match f {
                 Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => true,
-                Formula::And(a, b) | Formula::Or(a, b) => {
-                    rec(a, positive) && rec(b, positive)
-                }
+                Formula::And(a, b) | Formula::Or(a, b) => rec(a, positive) && rec(b, positive),
                 Formula::Not(g) => rec(g, !positive),
-                Formula::Exists(_, ty, g) => {
-                    (ty.is_strict() || positive) && rec(g, positive)
-                }
-                Formula::Forall(_, ty, g) => {
-                    (ty.is_strict() || !positive) && rec(g, positive)
-                }
+                Formula::Exists(_, ty, g) => (ty.is_strict() || positive) && rec(g, positive),
+                Formula::Forall(_, ty, g) => (ty.is_strict() || !positive) && rec(g, positive),
             }
         }
         rec(self, true)
@@ -146,10 +139,7 @@ impl Formula {
         out
     }
 
-    fn collect_const_atoms(
-        &self,
-        out: &mut std::collections::BTreeSet<uset_object::Atom>,
-    ) {
+    fn collect_const_atoms(&self, out: &mut std::collections::BTreeSet<uset_object::Atom>) {
         match self {
             Formula::Eq(a, b) | Formula::Member(a, b) => {
                 a.collect_const_atoms(out);
@@ -161,9 +151,7 @@ impl Formula {
                 b.collect_const_atoms(out);
             }
             Formula::Not(f) => f.collect_const_atoms(out),
-            Formula::Exists(_, _, f) | Formula::Forall(_, _, f) => {
-                f.collect_const_atoms(out)
-            }
+            Formula::Exists(_, _, f) | Formula::Forall(_, _, f) => f.collect_const_atoms(out),
         }
     }
 }
@@ -246,11 +234,10 @@ mod tests {
 
     #[test]
     fn typedness_classification() {
-        let typed = Formula::Pred("R".into(), CalcTerm::var("x"))
-            .exists("x", RType::Atomic);
+        let typed = Formula::Pred("R".into(), CalcTerm::var("x")).exists("x", RType::Atomic);
         assert!(typed.is_typed());
-        let untyped = Formula::Pred("R".into(), CalcTerm::var("x"))
-            .exists("x", RType::untyped_set());
+        let untyped =
+            Formula::Pred("R".into(), CalcTerm::var("x")).exists("x", RType::untyped_set());
         assert!(!untyped.is_typed());
     }
 

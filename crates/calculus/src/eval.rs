@@ -65,8 +65,8 @@ pub fn enumerate_rtype(
     } else {
         // rtype mentions Obj: enumerate all bounded objects, filter to the
         // rtype (bounded stand-in for the infinite domain)
-        let all = cons_obj_bounded(atoms, config.obj_size_bound, config.cons_limit)
-            .map_err(describe)?;
+        let all =
+            cons_obj_bounded(atoms, config.obj_size_bound, config.cons_limit).map_err(describe)?;
         Ok(all.into_iter().filter(|v| ty.contains(v)).collect())
     }
 }
@@ -85,7 +85,9 @@ fn eval_term(t: &CalcTerm, b: &Bindings) -> Result<Value, CalcError> {
             .ok_or_else(|| CalcError::UnboundVariable(v.clone())),
         CalcTerm::Const(c) => Ok(c.clone()),
         CalcTerm::Tuple(ts) => Ok(Value::Tuple(
-            ts.iter().map(|t| eval_term(t, b)).collect::<Result<_, _>>()?,
+            ts.iter()
+                .map(|t| eval_term(t, b))
+                .collect::<Result<_, _>>()?,
         )),
         CalcTerm::SetEnum(ts) => Ok(Value::Set(
             ts.iter()
@@ -113,10 +115,12 @@ fn eval_formula(
             let v = eval_term(t, b)?;
             Ok(db.get(p).contains(&v))
         }
-        Formula::And(x, y) => Ok(eval_formula(x, db, atoms, b, config)?
-            && eval_formula(y, db, atoms, b, config)?),
-        Formula::Or(x, y) => Ok(eval_formula(x, db, atoms, b, config)?
-            || eval_formula(y, db, atoms, b, config)?),
+        Formula::And(x, y) => {
+            Ok(eval_formula(x, db, atoms, b, config)? && eval_formula(y, db, atoms, b, config)?)
+        }
+        Formula::Or(x, y) => {
+            Ok(eval_formula(x, db, atoms, b, config)? || eval_formula(y, db, atoms, b, config)?)
+        }
         Formula::Not(g) => Ok(!eval_formula(g, db, atoms, b, config)?),
         Formula::Exists(x, ty, g) => {
             let domain = enumerate_rtype(ty, atoms, config)?;
@@ -225,11 +229,7 @@ mod tests {
     #[test]
     fn identity_query() {
         let db = pair_db(&[(1, 2), (3, 4)]);
-        let q = CalcQuery::new(
-            "t",
-            t_uu(),
-            Formula::Pred("R".into(), CalcTerm::var("t")),
-        );
+        let q = CalcQuery::new("t", t_uu(), Formula::Pred("R".into(), CalcTerm::var("t")));
         let out = eval_query(&q, &db, &CalcConfig::default()).unwrap();
         assert_eq!(out, db.get("R"));
     }
@@ -385,8 +385,7 @@ mod tests {
             (Atom::new(3), Atom::new(1)),
         ]);
         let direct = eval_query(&q, &db, &CalcConfig::default()).unwrap();
-        let renamed = eval_query(&q, &sigma.apply_database(&db), &CalcConfig::default())
-            .unwrap();
+        let renamed = eval_query(&q, &sigma.apply_database(&db), &CalcConfig::default()).unwrap();
         assert_eq!(renamed, sigma.apply_instance(&direct));
     }
 }

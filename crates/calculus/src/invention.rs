@@ -116,10 +116,7 @@ mod tests {
 
     fn unary_db(atoms: &[u64]) -> Database {
         let mut db = Database::empty();
-        db.set(
-            "R",
-            Instance::from_values(atoms.iter().map(|&a| atom(a))),
-        );
+        db.set("R", Instance::from_values(atoms.iter().map(|&a| atom(a))));
         db
     }
 
@@ -197,11 +194,12 @@ mod tests {
         let q = CalcQuery::new(
             "x",
             RType::Atomic,
-            Formula::Pred("R".into(), CalcTerm::var("x")).or(
-                Formula::Pred("R".into(), CalcTerm::var("y"))
-                    .exists("y", RType::Atomic)
-                    .not(),
-            ),
+            Formula::Pred("R".into(), CalcTerm::var("x")).or(Formula::Pred(
+                "R".into(),
+                CalcTerm::var("y"),
+            )
+            .exists("y", RType::Atomic)
+            .not()),
         );
         let cfg = CalcConfig::default();
         let empty = unary_db(&[]);

@@ -40,11 +40,7 @@ impl std::fmt::Display for SafetyError {
 
 impl std::error::Error for SafetyError {}
 
-fn check_term(
-    t: &CalcTerm,
-    bound: &BTreeSet<String>,
-    result: &str,
-) -> Result<(), SafetyError> {
+fn check_term(t: &CalcTerm, bound: &BTreeSet<String>, result: &str) -> Result<(), SafetyError> {
     match t {
         CalcTerm::Var(v) => {
             if v != result && !bound.contains(v) {
@@ -119,11 +115,7 @@ mod tests {
 
     #[test]
     fn free_variable_detected() {
-        let q = CalcQuery::new(
-            "x",
-            RType::Atomic,
-            Formula::Eq(v("x"), v("stray")),
-        );
+        let q = CalcQuery::new("x", RType::Atomic, Formula::Eq(v("x"), v("stray")));
         assert_eq!(
             check_query(&q),
             Err(SafetyError::FreeVariable("stray".into()))

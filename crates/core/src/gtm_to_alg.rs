@@ -216,22 +216,20 @@ pub fn compile_gtm(m: &Gtm) -> Program {
         Stmt::assign("COND", Expr::var("ST").diff(single(halt))),
     ];
 
-    let mut body = Vec::new();
     // (b) extend the index chain by one element: singleton(LAST) = {last}
     // is the next singleton-nesting element — untyped sets at work. (The
     // paper's a;{a};{a,{a}} von Neumann chain works identically but its
     // elements double in size per step; with SUCC materialized, the
     // linear-size singleton chain is the right representative.)
-    body.push(Stmt::assign("NEWIDX", Expr::var("LAST").singleton()));
-    body.push(Stmt::assign(
-        "SUCC",
-        Expr::var("SUCC").union(Expr::var("LAST").product(Expr::var("NEWIDX"))),
-    ));
-    body.push(Stmt::assign(
-        "CHAIN",
-        Expr::var("CHAIN").union(Expr::var("NEWIDX")),
-    ));
-    body.push(Stmt::assign("LAST", Expr::var("NEWIDX")));
+    let mut body = vec![
+        Stmt::assign("NEWIDX", Expr::var("LAST").singleton()),
+        Stmt::assign(
+            "SUCC",
+            Expr::var("SUCC").union(Expr::var("LAST").product(Expr::var("NEWIDX"))),
+        ),
+        Stmt::assign("CHAIN", Expr::var("CHAIN").union(Expr::var("NEWIDX"))),
+        Stmt::assign("LAST", Expr::var("NEWIDX")),
+    ];
     for t in ["T1", "T2"] {
         body.push(Stmt::assign(
             t,
@@ -289,7 +287,9 @@ pub fn compile_gtm(m: &Gtm) -> Program {
     ));
     stmts.push(Stmt::assign(
         uset_algebra::program::ANS,
-        Expr::var("TFINAL").product(Expr::var("GUARD")).project([0, 1]),
+        Expr::var("TFINAL")
+            .product(Expr::var("GUARD"))
+            .project([0, 1]),
     ));
     Program::new(stmts)
 }
@@ -314,10 +314,7 @@ pub fn prepare_gtm_input(
     }
     // blank-fill unused initial squares (the empty-input corner case)
     for idx in chain.iter().take(len).skip(tape.len()) {
-        t1.insert(Value::Tuple(vec![
-            idx.clone(),
-            Value::Atom(work_atom("_")),
-        ]));
+        t1.insert(Value::Tuple(vec![idx.clone(), Value::Atom(work_atom("_"))]));
     }
     let mut succ = Instance::empty();
     for w in chain.windows(2) {
@@ -330,10 +327,7 @@ pub fn prepare_gtm_input(
         chain.iter().take(len).cloned().collect::<Instance>(),
     );
     out.set("SUCC_init", succ);
-    out.set(
-        "LAST_init",
-        Instance::from_values([chain[len - 1].clone()]),
-    );
+    out.set("LAST_init", Instance::from_values([chain[len - 1].clone()]));
     Some(out)
 }
 
@@ -396,8 +390,10 @@ pub fn run_compiled_ordered(
         return Ok(None);
     };
     match eval_program(&prog, &input, config) {
-        Ok(t1) => Ok(decode_tape_relation(&t1)
-            .filter(|inst| inst.check_rtype(&target.to_rtype()).is_ok())),
+        Ok(t1) => {
+            Ok(decode_tape_relation(&t1)
+                .filter(|inst| inst.check_rtype(&target.to_rtype()).is_ok()))
+        }
         Err(EvalError::Undefined) => Ok(None),
         Err(e) => Err(e),
     }
@@ -433,8 +429,7 @@ pub fn run_compiled_all_orders(
     }
     let mut first: Option<Option<Instance>> = None;
     for orders in combos {
-        let out = run_compiled_ordered(m, db, schema, &orders, target, config)
-            .unwrap_or(None);
+        let out = run_compiled_ordered(m, db, schema, &orders, target, config).unwrap_or(None);
         match &first {
             None => first = Some(out),
             Some(f) if *f != out => return Err((f.clone(), out)),
@@ -467,7 +462,10 @@ mod tests {
     #[test]
     fn compiled_program_is_in_the_right_fragment() {
         let prog = compile_gtm(&identity_gtm());
-        assert!(prog.is_powerset_free(), "Theorem 4.1(b): no powerset needed");
+        assert!(
+            prog.is_powerset_free(),
+            "Theorem 4.1(b): no powerset needed"
+        );
         assert!(prog.is_unnested_while(), "single unnested while");
         assert!(prog.assigns_ans());
         prog.check_def_before_use(&["T1_init", "CHAIN_init", "SUCC_init", "LAST_init"])
@@ -487,10 +485,7 @@ mod tests {
     #[test]
     fn compiled_swap_matches_direct_run() {
         let m = swap_pairs_gtm();
-        let (db, schema, t) = db1(
-            vec![vec![atom(1), atom(2)], vec![atom(3), atom(3)]],
-            2,
-        );
+        let (db, schema, t) = db1(vec![vec![atom(1), atom(2)], vec![atom(3), atom(3)]], 2);
         let direct = run_gtm_query(&m, &db, &schema, &t, 100_000).unwrap();
         let compiled = run_compiled(&m, &db, &schema, &t, &cfg()).unwrap();
         assert_eq!(direct, compiled);
@@ -532,10 +527,7 @@ mod tests {
         let (db, schema, _) = db1(vec![vec![atom(1), atom(2)], vec![atom(3), atom(4)]], 2);
         let out = run_compiled_all_orders(&m, &db, &schema, &Type::atomic_tuple(1), &cfg())
             .expect("order independence");
-        assert_eq!(
-            out,
-            Some(Instance::from_rows([[Value::Atom(c)]]))
-        );
+        assert_eq!(out, Some(Instance::from_rows([[Value::Atom(c)]])));
     }
 
     #[test]

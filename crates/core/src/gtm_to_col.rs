@@ -60,10 +60,7 @@ fn read_term(p: &SymPat, tape1_alpha: bool) -> (ColTerm, Vec<ColLiteral>) {
             // tape-2 α: the same element as tape-1's α — just reuse the var
             (v("a"), vec![])
         }
-        SymPat::Alpha => (
-            v("a"),
-            vec![ColLiteral::not_pred("Exact", vec![v("a")])],
-        ),
+        SymPat::Alpha => (v("a"), vec![ColLiteral::not_pred("Exact", vec![v("a")])]),
         SymPat::Beta => (
             v("b"),
             vec![
@@ -169,47 +166,27 @@ pub fn compile_gtm_to_col(m: &Gtm) -> ColProgram {
             let mut copy = body.clone();
             copy.push(ColLiteral::pred(tape, vec![v("t"), v("j"), v("s")]));
             copy.push(ColLiteral::neq(v("j"), v(head)));
-            rules.push(ColRule::pred(
-                tape,
-                vec![succ("t"), v("j"), v("s")],
-                copy,
-            ));
+            rules.push(ColRule::pred(tape, vec![succ("t"), v("j"), v("s")], copy));
         }
         // moved heads
         for (pred, head, mv) in [("H1", "i1", act.move1), ("H2", "i2", act.move2)] {
             match mv {
                 Move::S => {
-                    rules.push(ColRule::pred(
-                        pred,
-                        vec![succ("t"), v(head)],
-                        body.clone(),
-                    ));
+                    rules.push(ColRule::pred(pred, vec![succ("t"), v(head)], body.clone()));
                 }
                 Move::R => {
                     let mut b = body.clone();
                     b.push(ColLiteral::pred("INext", vec![v(head), v("inext")]));
-                    rules.push(ColRule::pred(
-                        pred,
-                        vec![succ("t"), v("inext")],
-                        b,
-                    ));
+                    rules.push(ColRule::pred(pred, vec![succ("t"), v("inext")], b));
                 }
                 Move::L => {
                     let mut b = body.clone();
                     b.push(ColLiteral::pred("INext", vec![v("iprev"), v(head)]));
-                    rules.push(ColRule::pred(
-                        pred,
-                        vec![succ("t"), v("iprev")],
-                        b,
-                    ));
+                    rules.push(ColRule::pred(pred, vec![succ("t"), v("iprev")], b));
                     // pinned at square zero: stay
                     let mut b0 = body.clone();
                     b0.push(ColLiteral::pred("IsZero", vec![v(head)]));
-                    rules.push(ColRule::pred(
-                        pred,
-                        vec![succ("t"), v(head)],
-                        b0,
-                    ));
+                    rules.push(ColRule::pred(pred, vec![succ("t"), v(head)], b0));
                 }
             }
         }
@@ -246,7 +223,11 @@ pub fn prepare_col_input(
             .get(i)
             .map(tape_sym_atom)
             .unwrap_or_else(|| work_atom("_"));
-        t1.insert(Value::Tuple(vec![t0.clone(), idx.clone(), Value::Atom(sym)]));
+        t1.insert(Value::Tuple(vec![
+            t0.clone(),
+            idx.clone(),
+            Value::Atom(sym),
+        ]));
         t2.insert(Value::Tuple(vec![
             t0.clone(),
             idx.clone(),
@@ -281,10 +262,7 @@ pub fn prepare_col_input(
     );
     out.set(
         "MaxIdx",
-        Instance::from_values([Value::Tuple(vec![
-            chain[len - 1].clone(),
-            t0.clone(),
-        ])]),
+        Instance::from_values([Value::Tuple(vec![chain[len - 1].clone(), t0.clone()])]),
     );
     out.set("IsZero", Instance::from_values([chain[0].clone()]));
     let mut exact = Instance::empty();
@@ -326,9 +304,7 @@ pub fn extract_output(m: &Gtm, state: &ColState, target: &Type) -> Option<Instan
     let mut tape: Vec<TapeSym> = cells
         .into_iter()
         .map(|(_, sym)| match sym.name() {
-            Some(name) if name.starts_with("gtm:w:") => {
-                TapeSym::work(&name["gtm:w:".len()..])
-            }
+            Some(name) if name.starts_with("gtm:w:") => TapeSym::work(&name["gtm:w:".len()..]),
             _ => TapeSym::Dom(sym),
         })
         .collect();

@@ -27,7 +27,7 @@ use uset_object::{Atom, Database, Instance, Value};
 /// Does `m` (single-tape, unary input alphabet `{x}`) halt on `xⁿ` within
 /// exactly `steps` machine steps?
 pub fn halts_within(m: &Tm, n: usize, steps: u64) -> bool {
-    let input: Vec<char> = std::iter::repeat('x').take(n).collect();
+    let input: Vec<char> = std::iter::repeat_n('x', n).collect();
     m.halts_on(&input, steps) == Some(true)
 }
 

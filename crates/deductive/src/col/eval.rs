@@ -1,22 +1,41 @@
 //! Evaluation of COL programs: stratified and inflationary semantics.
 //!
-//! Both semantics share a round-based engine: in each round every rule is
-//! matched against the current state and all derived facts are added
-//! simultaneously. Stratified evaluation runs the engine once per stratum
-//! (so negation and function reads see completed lower strata);
-//! inflationary evaluation runs it once over all rules, with negation
-//! evaluated against the current (growing) state.
+//! Both semantics share a round-based engine with two interchangeable
+//! strategies ([`ColStrategy`]):
+//!
+//! * **naive** — every rule fires against the pre-round state each round;
+//!   the reference implementation.
+//! * **semi-naive** (the default) — each rule is classified once per
+//!   engine run: rules reading no symbol defined in the run fire only in
+//!   the first round; rules whose only same-run reads are monotone
+//!   (positive predicate literals and positive memberships in a data
+//!   function being built) fire once per such position with that literal
+//!   restricted to the previous round's delta; rules with a non-monotone
+//!   same-run read (negation, or a function value evaluated as a term)
+//!   fall back to full re-evaluation. Under stratified semantics that
+//!   last class never arises — stratification lifts strong dependencies
+//!   to higher strata — so it only appears under inflationary semantics,
+//!   where full re-evaluation against the pre-round state is exactly the
+//!   naive semantics of those rules.
+//!
+//! Rounds are two-phase — derive everything from the settled pre-round
+//! state, then insert — so neither strategy ever clones the state.
+//! Positive predicate joins with a ground first argument probe a shared
+//! first-column hash index ([`uset_object::IndexSet`]) instead of
+//! scanning, and every engine threads an [`EvalStats`] of work counters.
 //!
 //! Untyped COL programs can diverge — e.g. the chain rules of Theorem 5.1
 //! without a guard — so the engine is bounded by a round budget and a
-//! total-fact budget; exceeding either reports
-//! [`ColEvalError::FuelExhausted`], the observable stand-in for the paper's
-//! undefined output `?`.
+//! total-fact budget, the latter enforced at every insertion (a single
+//! round can derive quadratically many facts, so checking between rounds
+//! would let the state overshoot arbitrarily). Exceeding either budget
+//! reports [`ColEvalError::FuelExhausted`], the observable stand-in for
+//! the paper's undefined output `?`.
 
 use crate::col::ast::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm};
 use crate::col::stratify::stratify;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use uset_object::{Database, Instance, Value};
+use uset_object::{Database, EvalStats, IndexSet, Instance, Value};
 
 /// Evaluation state: predicate extents and data-function graphs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,10 +51,7 @@ impl ColState {
     /// Initialize from a database (all relations become predicates).
     pub fn from_database(db: &Database) -> ColState {
         ColState {
-            preds: db
-                .iter()
-                .map(|(n, i)| (n.to_owned(), i.clone()))
-                .collect(),
+            preds: db.iter().map(|(n, i)| (n.to_owned(), i.clone())).collect(),
             funcs: BTreeMap::new(),
         }
     }
@@ -64,6 +80,37 @@ impl ColState {
             .map(BTreeSet::len)
             .sum();
         p + f
+    }
+
+    /// Insert one row into a predicate extent; true if newly added.
+    /// Duplicates (the common case inside a fixpoint) cost one lookup and
+    /// no allocation.
+    pub fn insert_pred_row(&mut self, name: &str, row: &Value) -> bool {
+        if let Some(rel) = self.preds.get_mut(name) {
+            if rel.contains(row) {
+                return false;
+            }
+            return rel.insert(row.clone());
+        }
+        self.preds
+            .insert(name.to_owned(), Instance::from_values([row.clone()]));
+        true
+    }
+
+    /// Insert one element into a data-function value; true if newly added.
+    pub fn insert_func_member(&mut self, func: &str, args: &[Value], elem: &Value) -> bool {
+        if !self.funcs.contains_key(func) {
+            self.funcs.insert(func.to_owned(), BTreeMap::new());
+        }
+        let graph = self.funcs.get_mut(func).expect("just ensured present");
+        if let Some(slot) = graph.get_mut(args) {
+            if slot.contains(elem) {
+                return false;
+            }
+            return slot.insert(elem.clone());
+        }
+        graph.insert(args.to_vec(), BTreeSet::from([elem.clone()]));
+        true
     }
 }
 
@@ -100,7 +147,7 @@ impl std::error::Error for ColEvalError {}
 pub struct ColConfig {
     /// Maximum fixpoint rounds per engine run.
     pub max_rounds: u64,
-    /// Maximum total facts across the state.
+    /// Maximum total facts across the state, enforced at every insertion.
     pub max_facts: usize,
 }
 
@@ -111,6 +158,16 @@ impl Default for ColConfig {
             max_facts: 1_000_000,
         }
     }
+}
+
+/// Which fixpoint strategy the engine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColStrategy {
+    /// Fire every rule fully every round (reference implementation).
+    Naive,
+    /// Classify rules and restrict monotone recursive reads to the
+    /// previous round's delta.
+    Seminaive,
 }
 
 type Bindings = HashMap<String, Value>;
@@ -180,18 +237,66 @@ fn match_term(
         },
         // set literals and function applications are compared, not
         // destructured: they must be ground at this point
-        ColTerm::SetLit(_) | ColTerm::Apply(..) => {
-            Ok(eval_term(pat, b, state)? == *value)
-        }
+        ColTerm::SetLit(_) | ColTerm::Apply(..) => Ok(eval_term(pat, b, state)? == *value),
     }
 }
 
+/// Match one predicate row against the literal's argument pattern, pushing
+/// the extended binding on success. Unary predicates hold bare objects,
+/// n-ary predicates hold n-tuples.
+fn match_pred_row(
+    args: &[ColTerm],
+    row: &Value,
+    b: &Bindings,
+    rule: &ColRule,
+    state: &ColState,
+    out: &mut Vec<Bindings>,
+) -> Result<(), ColEvalError> {
+    let mut nb = b.clone();
+    let matched = if args.len() == 1 {
+        match_term(&args[0], row, &mut nb, rule, state)?
+    } else {
+        match row.as_tuple() {
+            Some(items) if items.len() == args.len() => {
+                let mut ok = true;
+                for (t, v) in args.iter().zip(items) {
+                    if !match_term(t, v, &mut nb, rule, state)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            }
+            _ => false,
+        }
+    };
+    if matched {
+        out.push(nb);
+    }
+    Ok(())
+}
+
+/// Per-round delta: facts newly inserted in the previous round.
+#[derive(Debug, Default)]
+struct ColDelta {
+    preds: BTreeMap<String, Instance>,
+    funcs: BTreeMap<String, BTreeMap<Vec<Value>, BTreeSet<Value>>>,
+}
+
 /// Extend a set of bindings through one body literal.
+///
+/// When `delta_read` is set, this literal's top-level symbol (a positive
+/// predicate, or a positive membership in a function application) reads
+/// the previous round's delta instead of the full state — the semi-naive
+/// rewriting. Everything else in the literal still reads the state.
 fn extend(
     lit: &ColLiteral,
     bindings: Vec<Bindings>,
     rule: &ColRule,
     state: &ColState,
+    delta_read: Option<&ColDelta>,
+    indexes: &mut IndexSet,
+    stats: &mut EvalStats,
 ) -> Result<Vec<Bindings>, ColEvalError> {
     let mut out = Vec::new();
     match lit {
@@ -200,30 +305,42 @@ fn extend(
             args,
             positive,
         } => {
-            let rel = state.pred(name);
+            let empty = Instance::empty();
+            let rel: &Instance = match delta_read {
+                Some(d) => d.preds.get(name).unwrap_or(&empty),
+                None => state.preds.get(name).unwrap_or(&empty),
+            };
             if *positive {
                 for b in bindings {
-                    for row in rel.iter() {
-                        let mut nb = b.clone();
-                        let matched = if args.len() == 1 {
-                            match_term(&args[0], row, &mut nb, rule, state)?
-                        } else {
-                            match row.as_tuple() {
-                                Some(items) if items.len() == args.len() => {
-                                    let mut ok = true;
-                                    for (t, v) in args.iter().zip(items) {
-                                        if !match_term(t, v, &mut nb, rule, state)? {
-                                            ok = false;
-                                            break;
-                                        }
-                                    }
-                                    ok
-                                }
-                                _ => false,
+                    if args.len() == 1 {
+                        // a fully ground unary pattern is a membership
+                        // test, not a scan (sound because rtype checks
+                        // only guard fresh variable bindings)
+                        if let Ok(v) = eval_term(&args[0], &b, state) {
+                            stats.index_probes += 1;
+                            if rel.contains(&v) {
+                                out.push(b);
                             }
-                        };
-                        if matched {
-                            out.push(nb);
+                            continue;
+                        }
+                        for row in rel.iter() {
+                            match_pred_row(args, row, &b, rule, state, &mut out)?;
+                        }
+                    } else {
+                        // n-ary with ground first argument: probe the
+                        // first-column index over the settled state
+                        // (deltas are small and short-lived — scan them)
+                        let key = eval_term(&args[0], &b, state).ok();
+                        if let (None, Some(k)) = (delta_read, key.as_ref()) {
+                            let idx = indexes.of(name, rel);
+                            stats.index_probes += 1;
+                            for row in idx.probe(k) {
+                                match_pred_row(args, row, &b, rule, state, &mut out)?;
+                            }
+                        } else {
+                            for row in rel.iter() {
+                                match_pred_row(args, row, &b, rule, state, &mut out)?;
+                            }
                         }
                     }
                 }
@@ -250,7 +367,22 @@ fn extend(
             positive,
         } => {
             for b in bindings {
-                let set_val = eval_term(set, &b, state)?;
+                let set_val = match (delta_read, set) {
+                    (Some(d), ColTerm::Apply(f, fargs)) => {
+                        let fa: Vec<Value> = fargs
+                            .iter()
+                            .map(|t| eval_term(t, &b, state))
+                            .collect::<Result<_, _>>()?;
+                        Value::Set(
+                            d.funcs
+                                .get(f)
+                                .and_then(|g| g.get(&fa))
+                                .cloned()
+                                .unwrap_or_default(),
+                        )
+                    }
+                    _ => eval_term(set, &b, state)?,
+                };
                 let Some(members) = set_val.as_set() else {
                     continue; // non-set: the literal is simply unsatisfied
                 };
@@ -320,19 +452,42 @@ fn extend(
     Ok(out)
 }
 
-/// Derive all facts of one rule against the state.
+/// One fact derived by a rule firing, before insertion.
+enum Derived {
+    Pred {
+        name: String,
+        row: Value,
+    },
+    Func {
+        func: String,
+        args: Vec<Value>,
+        elem: Value,
+    },
+}
+
+/// Derive all facts of one rule against the state. If `delta` carries a
+/// body position, that literal reads the previous round's delta.
 fn fire_rule(
     rule: &ColRule,
     state: &ColState,
-) -> Result<Vec<(ColHead, Vec<Value>, Option<Value>)>, ColEvalError> {
+    delta: Option<(&ColDelta, usize)>,
+    indexes: &mut IndexSet,
+    stats: &mut EvalStats,
+    out: &mut Vec<Derived>,
+) -> Result<(), ColEvalError> {
+    stats.rules_fired += 1;
     let mut bindings = vec![Bindings::new()];
-    for lit in &rule.body {
-        bindings = extend(lit, bindings, rule, state)?;
+    for (i, lit) in rule.body.iter().enumerate() {
+        let delta_read = match delta {
+            Some((d, pos)) if pos == i => Some(d),
+            _ => None,
+        };
+        bindings = extend(lit, bindings, rule, state, delta_read, indexes, stats)?;
         if bindings.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
     }
-    let mut out = Vec::new();
+    stats.tuples_derived += bindings.len() as u64;
     for b in &bindings {
         match &rule.head {
             ColHead::Pred { name, args } => {
@@ -340,14 +495,15 @@ fn fire_rule(
                     .iter()
                     .map(|t| eval_term(t, b, state))
                     .collect::<Result<_, _>>()?;
-                out.push((
-                    ColHead::Pred {
-                        name: name.clone(),
-                        args: Vec::new(),
-                    },
-                    ground,
-                    None,
-                ));
+                let row = if ground.len() == 1 {
+                    ground.into_iter().next().expect("one argument")
+                } else {
+                    Value::Tuple(ground)
+                };
+                out.push(Derived::Pred {
+                    name: name.clone(),
+                    row,
+                });
             }
             ColHead::FuncMember { func, args, elem } => {
                 let ground: Vec<Value> = args
@@ -355,62 +511,223 @@ fn fire_rule(
                     .map(|t| eval_term(t, b, state))
                     .collect::<Result<_, _>>()?;
                 let e = eval_term(elem, b, state)?;
-                out.push((
-                    ColHead::FuncMember {
-                        func: func.clone(),
-                        args: Vec::new(),
-                        elem: ColTerm::Const(Value::empty_set()),
-                    },
-                    ground,
-                    Some(e),
-                ));
+                out.push(Derived::Func {
+                    func: func.clone(),
+                    args: ground,
+                    elem: e,
+                });
             }
         }
     }
-    Ok(out)
+    Ok(())
+}
+
+/// How one rule participates in a semi-naive engine run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RuleClass {
+    /// Reads no symbol defined in this run: fires in the first round only.
+    Constant,
+    /// All same-run reads are monotone; each listed body position is a
+    /// positive read of a run symbol, and the rule fires once per position
+    /// with that literal restricted to the delta.
+    Seminaive(Vec<usize>),
+    /// Has a non-monotone same-run read (negation, or a run function's
+    /// value evaluated as a term): fires fully every round against the
+    /// pre-round state. Under stratified semantics this class never
+    /// arises — stratification lifts strong dependencies out of the run.
+    Snapshot,
+}
+
+/// True if the term evaluates the set value of a function defined in this
+/// run (an Apply used as a term — a non-monotone read).
+fn reads_run_apply(t: &ColTerm, run: &BTreeSet<&str>) -> bool {
+    let mut fs = Vec::new();
+    t.collect_applies(&mut fs);
+    fs.iter().any(|f| run.contains(f.as_str()))
+}
+
+/// Classify one rule against the set of symbols defined in this engine
+/// run. Mirrors the dependency discipline of [`crate::col::stratify`]:
+/// delta-able reads are exactly the *positive* dependencies, non-monotone
+/// reads are exactly the *strong* ones.
+fn classify(rule: &ColRule, run_symbols: &BTreeSet<&str>) -> RuleClass {
+    let mut strong = false;
+    let mut positions: Vec<usize> = Vec::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        match lit {
+            ColLiteral::Pred {
+                name,
+                args,
+                positive,
+            } => {
+                if args.iter().any(|a| reads_run_apply(a, run_symbols)) {
+                    strong = true;
+                }
+                if run_symbols.contains(name.as_str()) {
+                    if *positive {
+                        positions.push(i);
+                    } else {
+                        strong = true;
+                    }
+                }
+            }
+            ColLiteral::Member {
+                elem,
+                set,
+                positive,
+            } => {
+                if reads_run_apply(elem, run_symbols) {
+                    strong = true;
+                }
+                if let ColTerm::Apply(f, fargs) = set {
+                    if fargs.iter().any(|a| reads_run_apply(a, run_symbols)) {
+                        strong = true;
+                    }
+                    if run_symbols.contains(f.as_str()) {
+                        if *positive {
+                            positions.push(i);
+                        } else {
+                            strong = true;
+                        }
+                    }
+                } else if reads_run_apply(set, run_symbols) {
+                    strong = true;
+                }
+            }
+            ColLiteral::Eq { left, right, .. } => {
+                if reads_run_apply(left, run_symbols) || reads_run_apply(right, run_symbols) {
+                    strong = true;
+                }
+            }
+        }
+    }
+    match &rule.head {
+        ColHead::Pred { args, .. } => {
+            if args.iter().any(|a| reads_run_apply(a, run_symbols)) {
+                strong = true;
+            }
+        }
+        ColHead::FuncMember { args, elem, .. } => {
+            if args.iter().any(|a| reads_run_apply(a, run_symbols))
+                || reads_run_apply(elem, run_symbols)
+            {
+                strong = true;
+            }
+        }
+    }
+    if strong {
+        RuleClass::Snapshot
+    } else if positions.is_empty() {
+        RuleClass::Constant
+    } else {
+        RuleClass::Seminaive(positions)
+    }
 }
 
 /// Round-based engine: fire all `rules` simultaneously until fixpoint.
+///
+/// Each round derives everything from the settled pre-round state, then
+/// inserts — so no per-round clone of the state is needed and both
+/// strategies produce identical states. The fact budget is enforced at
+/// every insertion; the state never exceeds `max_facts` by more than the
+/// one fact that trips the error.
 fn run_engine(
     rules: &[&ColRule],
     state: &mut ColState,
     config: &ColConfig,
+    strategy: ColStrategy,
+    stats: &mut EvalStats,
 ) -> Result<(), ColEvalError> {
+    let classes: Vec<RuleClass> = match strategy {
+        ColStrategy::Naive => vec![RuleClass::Snapshot; rules.len()],
+        ColStrategy::Seminaive => {
+            let run_symbols: BTreeSet<&str> = rules.iter().map(|r| r.head_symbol()).collect();
+            rules.iter().map(|r| classify(r, &run_symbols)).collect()
+        }
+    };
+    let mut indexes = IndexSet::new();
+    let mut facts = state.total_facts();
+    stats.observe_facts(facts);
+    if facts > config.max_facts {
+        return Err(ColEvalError::FuelExhausted);
+    }
+    let record_delta = strategy == ColStrategy::Seminaive;
+    let mut delta = ColDelta::default();
+    let mut first = true;
     for _ in 0..config.max_rounds {
-        let mut changed = false;
-        let snapshot = state.clone();
-        for rule in rules {
-            for (head, args, elem) in fire_rule(rule, &snapshot)? {
-                match (head, elem) {
-                    (ColHead::Pred { name, .. }, None) => {
-                        let row = if args.len() == 1 {
-                            args.into_iter().next().expect("one argument")
-                        } else {
-                            Value::Tuple(args)
-                        };
-                        let entry = state.preds.entry(name).or_default();
-                        if entry.insert(row) {
-                            changed = true;
+        stats.rounds += 1;
+        // phase 1: derive from the pre-round state
+        let mut derived: Vec<Derived> = Vec::new();
+        for (rule, class) in rules.iter().zip(&classes) {
+            match class {
+                RuleClass::Constant => {
+                    if first {
+                        fire_rule(rule, state, None, &mut indexes, stats, &mut derived)?;
+                    }
+                }
+                RuleClass::Seminaive(positions) => {
+                    if first {
+                        fire_rule(rule, state, None, &mut indexes, stats, &mut derived)?;
+                    } else {
+                        for &pos in positions {
+                            fire_rule(
+                                rule,
+                                state,
+                                Some((&delta, pos)),
+                                &mut indexes,
+                                stats,
+                                &mut derived,
+                            )?;
                         }
                     }
-                    (ColHead::FuncMember { func, .. }, Some(e)) => {
-                        let entry = state
-                            .funcs
-                            .entry(func)
-                            .or_default()
-                            .entry(args)
-                            .or_default();
-                        if entry.insert(e) {
-                            changed = true;
-                        }
-                    }
-                    _ => unreachable!("head/elem shapes are paired in fire_rule"),
+                }
+                RuleClass::Snapshot => {
+                    fire_rule(rule, state, None, &mut indexes, stats, &mut derived)?;
                 }
             }
         }
-        if state.total_facts() > config.max_facts {
-            return Err(ColEvalError::FuelExhausted);
+        // phase 2: insert, recording deltas and checking the fact budget
+        let mut new_delta = ColDelta::default();
+        let mut changed = false;
+        for d in derived {
+            match d {
+                Derived::Pred { name, row } => {
+                    if state.insert_pred_row(&name, &row) {
+                        indexes.note_insert(&name, &row);
+                        changed = true;
+                        facts += 1;
+                        stats.observe_facts(facts);
+                        if facts > config.max_facts {
+                            return Err(ColEvalError::FuelExhausted);
+                        }
+                        if record_delta {
+                            new_delta.preds.entry(name).or_default().insert(row);
+                        }
+                    }
+                }
+                Derived::Func { func, args, elem } => {
+                    if state.insert_func_member(&func, &args, &elem) {
+                        changed = true;
+                        facts += 1;
+                        stats.observe_facts(facts);
+                        if facts > config.max_facts {
+                            return Err(ColEvalError::FuelExhausted);
+                        }
+                        if record_delta {
+                            new_delta
+                                .funcs
+                                .entry(func)
+                                .or_default()
+                                .entry(args)
+                                .or_default()
+                                .insert(elem);
+                        }
+                    }
+                }
+            }
         }
+        delta = new_delta;
+        first = false;
         if !changed {
             return Ok(());
         }
@@ -419,11 +736,46 @@ fn run_engine(
 }
 
 /// Stratified semantics: strata evaluated bottom-up, each to its least
-/// fixpoint.
+/// fixpoint, with the default (semi-naive) strategy.
 pub fn stratified(
     prog: &ColProgram,
     db: &Database,
     config: &ColConfig,
+) -> Result<ColState, ColEvalError> {
+    stratified_with(
+        prog,
+        db,
+        config,
+        ColStrategy::Seminaive,
+        &mut EvalStats::default(),
+    )
+}
+
+/// Stratified semantics with the naive reference engine. Produces a state
+/// identical to [`stratified`]; the differential tests and the
+/// `ablation/col_naive_vs_seminaive` bench compare the two.
+pub fn stratified_naive(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+) -> Result<ColState, ColEvalError> {
+    stratified_with(
+        prog,
+        db,
+        config,
+        ColStrategy::Naive,
+        &mut EvalStats::default(),
+    )
+}
+
+/// Stratified semantics with an explicit strategy and work counters
+/// accumulated into `stats`.
+pub fn stratified_with(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+    strategy: ColStrategy,
+    stats: &mut EvalStats,
 ) -> Result<ColState, ColEvalError> {
     let strata = stratify(prog).map_err(|e| ColEvalError::NotStratifiable(e.symbol))?;
     let max = strata.values().copied().max().unwrap_or(0);
@@ -434,21 +786,56 @@ pub fn stratified(
             .iter()
             .filter(|r| strata[r.head_symbol()] == s)
             .collect();
-        run_engine(&rules, &mut state, config)?;
+        run_engine(&rules, &mut state, config, strategy, stats)?;
     }
     Ok(state)
 }
 
 /// Inflationary semantics: one cumulative fixpoint over all rules, with
-/// negation read against the current state.
+/// negation read against the pre-round state, using the default
+/// (semi-naive) strategy.
 pub fn inflationary(
     prog: &ColProgram,
     db: &Database,
     config: &ColConfig,
 ) -> Result<ColState, ColEvalError> {
+    inflationary_with(
+        prog,
+        db,
+        config,
+        ColStrategy::Seminaive,
+        &mut EvalStats::default(),
+    )
+}
+
+/// Inflationary semantics with the naive reference engine. Produces a
+/// state identical to [`inflationary`].
+pub fn inflationary_naive(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+) -> Result<ColState, ColEvalError> {
+    inflationary_with(
+        prog,
+        db,
+        config,
+        ColStrategy::Naive,
+        &mut EvalStats::default(),
+    )
+}
+
+/// Inflationary semantics with an explicit strategy and work counters
+/// accumulated into `stats`.
+pub fn inflationary_with(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+    strategy: ColStrategy,
+    stats: &mut EvalStats,
+) -> Result<ColState, ColEvalError> {
     let rules: Vec<&ColRule> = prog.rules.iter().collect();
     let mut state = ColState::from_database(db);
-    run_engine(&rules, &mut state, config)?;
+    run_engine(&rules, &mut state, config, strategy, stats)?;
     Ok(state)
 }
 
@@ -529,7 +916,9 @@ mod tests {
             ]),
         );
         let out = stratified(&prog, &db, &ColConfig::default()).unwrap();
-        assert!(out.pred("G").contains(&tuple([atom(1), set([atom(10), atom(11)])])));
+        assert!(out
+            .pred("G")
+            .contains(&tuple([atom(1), set([atom(10), atom(11)])])));
         assert!(out.pred("G").contains(&tuple([atom(2), set([atom(20)])])));
         assert_eq!(out.pred("G").len(), 2);
     }
@@ -608,8 +997,16 @@ mod tests {
     fn negation_under_stratified_semantics() {
         // NotE(x,y) ← N(x), N(y), ¬E(x,y)
         let prog = ColProgram::new(vec![
-            ColRule::pred("N", vec![v("x")], vec![ColLiteral::pred("E", vec![v("x"), v("y")])]),
-            ColRule::pred("N", vec![v("y")], vec![ColLiteral::pred("E", vec![v("x"), v("y")])]),
+            ColRule::pred(
+                "N",
+                vec![v("x")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "N",
+                vec![v("y")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
             ColRule::pred(
                 "NotE",
                 vec![v("x"), v("y")],
@@ -658,5 +1055,103 @@ mod tests {
             out.pred("Wrapped"),
             Instance::from_values([set([atom(1)]), set([atom(2)])])
         );
+    }
+
+    #[test]
+    fn classification_follows_dependency_discipline() {
+        let prog = tc_prog();
+        let run: BTreeSet<&str> = ["T"].into_iter().collect();
+        // T(x,y) ← E(x,y): reads only EDB
+        assert_eq!(classify(&prog.rules[0], &run), RuleClass::Constant);
+        // T(x,z) ← E(x,y), T(y,z): delta-able at body position 1
+        assert_eq!(
+            classify(&prog.rules[1], &run),
+            RuleClass::Seminaive(vec![1])
+        );
+        // W(x) ← E(x,y), ¬W(y): negation on a run symbol
+        let win = ColRule::pred(
+            "W",
+            vec![v("x")],
+            vec![
+                ColLiteral::pred("E", vec![v("x"), v("y")]),
+                ColLiteral::not_pred("W", vec![v("y")]),
+            ],
+        );
+        let run_w: BTreeSet<&str> = ["W"].into_iter().collect();
+        assert_eq!(classify(&win, &run_w), RuleClass::Snapshot);
+        // G([x, F(x)]) ← E(x,y): Apply of a run function in the head
+        let group = ColRule::pred(
+            "G",
+            vec![ColTerm::Tuple(vec![
+                v("x"),
+                ColTerm::Apply("F".into(), vec![v("x")]),
+            ])],
+            vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+        );
+        let run_fg: BTreeSet<&str> = ["F", "G"].into_iter().collect();
+        assert_eq!(classify(&group, &run_fg), RuleClass::Snapshot);
+        // but with F settled in a lower stratum the same rule is constant
+        let run_g: BTreeSet<&str> = ["G"].into_iter().collect();
+        assert_eq!(classify(&group, &run_g), RuleClass::Constant);
+        // {u} ∈ F(a) ← u ∈ F(a): monotone membership recursion
+        let a = ColTerm::cst(atom(0));
+        let chain = ColRule::func_member(
+            "F",
+            vec![a.clone()],
+            ColTerm::SetLit(vec![v("u")]),
+            vec![ColLiteral::member(
+                v("u"),
+                ColTerm::Apply("F".into(), vec![a.clone()]),
+            )],
+        );
+        let run_f: BTreeSet<&str> = ["F"].into_iter().collect();
+        assert_eq!(classify(&chain, &run_f), RuleClass::Seminaive(vec![0]));
+    }
+
+    #[test]
+    fn fact_budget_enforced_mid_round() {
+        // P(x,y) ← R(x), R(y) derives |R|² facts in a single round; the
+        // budget must trip during the round, not after it
+        let prog = ColProgram::new(vec![ColRule::pred(
+            "P",
+            vec![v("x"), v("y")],
+            vec![
+                ColLiteral::pred("R", vec![v("x")]),
+                ColLiteral::pred("R", vec![v("y")]),
+            ],
+        )]);
+        let mut db = Database::empty();
+        db.set("R", Instance::from_values((0..40).map(atom)));
+        let cfg = ColConfig {
+            max_rounds: 10,
+            max_facts: 100,
+        };
+        for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+            let mut stats = EvalStats::default();
+            let err = inflationary_with(&prog, &db, &cfg, strategy, &mut stats).unwrap_err();
+            assert_eq!(err, ColEvalError::FuelExhausted, "{strategy:?}");
+            assert!(
+                stats.peak_facts <= cfg.max_facts + 1,
+                "{strategy:?}: budget must bound mid-round growth, saw peak_facts={}",
+                stats.peak_facts
+            );
+        }
+    }
+
+    #[test]
+    fn seminaive_state_identical_to_naive_and_does_less_work() {
+        let db = path_db(16);
+        let cfg = ColConfig::default();
+        let mut naive = EvalStats::default();
+        let mut semi = EvalStats::default();
+        let sn = stratified_with(&tc_prog(), &db, &cfg, ColStrategy::Naive, &mut naive).unwrap();
+        let ss = stratified_with(&tc_prog(), &db, &cfg, ColStrategy::Seminaive, &mut semi).unwrap();
+        assert_eq!(sn, ss);
+        assert!(
+            semi.tuples_derived < naive.tuples_derived,
+            "semi-naive {semi} vs naive {naive}"
+        );
+        assert!(semi.index_probes > 0);
+        assert_eq!(semi.peak_facts, naive.peak_facts);
     }
 }

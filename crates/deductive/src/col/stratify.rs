@@ -101,15 +101,16 @@ fn rule_dependencies(rule: &crate::col::ast::ColRule) -> Vec<(String, bool)> {
 /// a head) implicitly sit at stratum 0.
 pub fn stratify(prog: &ColProgram) -> Result<BTreeMap<String, usize>, NotStratifiable> {
     let defined = prog.defined_symbols();
-    let mut stratum: BTreeMap<String, usize> =
-        defined.iter().map(|s| (s.clone(), 0)).collect();
+    let mut stratum: BTreeMap<String, usize> = defined.iter().map(|s| (s.clone(), 0)).collect();
     let bound = defined.len() + 1;
     loop {
         let mut changed = false;
         for rule in &prog.rules {
             let h = stratum[rule.head_symbol()];
             for (sym, strong) in rule_dependencies(rule) {
-                let Some(&b) = stratum.get(&sym) else { continue };
+                let Some(&b) = stratum.get(&sym) else {
+                    continue;
+                };
                 let required = if strong { b + 1 } else { b };
                 if required > h {
                     stratum.insert(rule.head_symbol().to_owned(), required);
@@ -176,11 +177,7 @@ mod tests {
                     ColLiteral::not_pred("R", vec![v("x")]),
                 ],
             ),
-            ColRule::pred(
-                "R",
-                vec![v("x")],
-                vec![ColLiteral::pred("P", vec![v("x")])],
-            ),
+            ColRule::pred("R", vec![v("x")], vec![ColLiteral::pred("P", vec![v("x")])]),
         ]);
         let s = stratify(&prog).unwrap();
         assert!(s["Q"] > s["R"]);
@@ -196,7 +193,10 @@ mod tests {
                 "F",
                 vec![a.clone()],
                 ColTerm::SetLit(vec![v("u")]),
-                vec![ColLiteral::member(v("u"), ColTerm::Apply("F".into(), vec![a.clone()]))],
+                vec![ColLiteral::member(
+                    v("u"),
+                    ColTerm::Apply("F".into(), vec![a.clone()]),
+                )],
             ),
         ]);
         let s = stratify(&prog).unwrap();
@@ -208,9 +208,12 @@ mod tests {
         // P(F(c)) ← Q(x): P needs F complete
         let c = ColTerm::cst(atom(0));
         let prog = ColProgram::new(vec![
-            ColRule::func_member("F", vec![c.clone()], v("x"), vec![
-                ColLiteral::pred("Q", vec![v("x")]),
-            ]),
+            ColRule::func_member(
+                "F",
+                vec![c.clone()],
+                v("x"),
+                vec![ColLiteral::pred("Q", vec![v("x")])],
+            ),
             ColRule::pred(
                 "P",
                 vec![ColTerm::Apply("F".into(), vec![c.clone()])],

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use uset_object::{Database, Instance, Value};
+use uset_object::{ColumnIndex, Database, EvalStats, IndexSet, Instance, Value};
 
 /// A term: a variable or a constant atom value.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -166,8 +166,7 @@ impl DatalogProgram {
     pub fn stratify(&self) -> Result<BTreeMap<String, usize>, DlError> {
         // iterate stratum assignment to fixpoint (standard algorithm)
         let idb = self.idb_predicates();
-        let mut stratum: BTreeMap<String, usize> =
-            idb.iter().map(|p| (p.clone(), 0)).collect();
+        let mut stratum: BTreeMap<String, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
         let bound = idb.len() + 1;
         loop {
             let mut changed = false;
@@ -204,42 +203,16 @@ impl DatalogProgram {
     /// Stratified evaluation: returns the database extended with all IDB
     /// relations.
     pub fn eval_stratified(&self, db: &Database, fuel: u64) -> Result<Database, DlError> {
-        self.check_safety()?;
-        let strata = self.stratify()?;
-        let max = strata.values().copied().max().unwrap_or(0);
-        let mut state = db.clone();
-        let mut budget = fuel;
-        for s in 0..=max {
-            let rules: Vec<&DlRule> = self
-                .rules
-                .iter()
-                .filter(|r| strata[&r.head.pred] == s)
-                .collect();
-            least_fixpoint(&rules, &mut state, &mut budget)?;
-        }
-        Ok(state)
+        self.eval_stratified_with_stats(db, fuel, &mut EvalStats::default())
     }
 
-    /// Inflationary evaluation: all rules fire cumulatively until fixpoint.
-    pub fn eval_inflationary(&self, db: &Database, fuel: u64) -> Result<Database, DlError> {
-        self.check_safety()?;
-        let rules: Vec<&DlRule> = self.rules.iter().collect();
-        let mut state = db.clone();
-        let mut budget = fuel;
-        least_fixpoint(&rules, &mut state, &mut budget)?;
-        Ok(state)
-    }
-
-    /// Stratified evaluation with **semi-naive** per-stratum fixpoints:
-    /// each round, every recursive rule is evaluated once per positive
-    /// recursive body literal with that literal restricted to the previous
-    /// round's delta. Produces exactly the same result as
-    /// [`Self::eval_stratified`]; the ablation bench
-    /// `ablation/naive_vs_seminaive` measures the speed difference.
-    pub fn eval_stratified_seminaive(
+    /// [`Self::eval_stratified`] with work counters accumulated into
+    /// `stats`.
+    pub fn eval_stratified_with_stats(
         &self,
         db: &Database,
         fuel: u64,
+        stats: &mut EvalStats,
     ) -> Result<Database, DlError> {
         self.check_safety()?;
         let strata = self.stratify()?;
@@ -252,12 +225,71 @@ impl DatalogProgram {
                 .iter()
                 .filter(|r| strata[&r.head.pred] == s)
                 .collect();
-            let recursive: BTreeSet<String> =
-                rules.iter().map(|r| r.head.pred.clone()).collect();
-            seminaive_fixpoint(&rules, &recursive, &mut state, &mut budget)?;
+            least_fixpoint(&rules, &mut state, &mut budget, stats)?;
         }
         Ok(state)
     }
+
+    /// Inflationary evaluation: all rules fire cumulatively until fixpoint.
+    pub fn eval_inflationary(&self, db: &Database, fuel: u64) -> Result<Database, DlError> {
+        self.eval_inflationary_with_stats(db, fuel, &mut EvalStats::default())
+    }
+
+    /// [`Self::eval_inflationary`] with work counters accumulated into
+    /// `stats`.
+    pub fn eval_inflationary_with_stats(
+        &self,
+        db: &Database,
+        fuel: u64,
+        stats: &mut EvalStats,
+    ) -> Result<Database, DlError> {
+        self.check_safety()?;
+        let rules: Vec<&DlRule> = self.rules.iter().collect();
+        let mut state = db.clone();
+        let mut budget = fuel;
+        least_fixpoint(&rules, &mut state, &mut budget, stats)?;
+        Ok(state)
+    }
+
+    /// Stratified evaluation with **semi-naive** per-stratum fixpoints:
+    /// each round, every recursive rule is evaluated once per positive
+    /// recursive body literal with that literal restricted to the previous
+    /// round's delta. Produces exactly the same result as
+    /// [`Self::eval_stratified`]; the ablation bench
+    /// `ablation/naive_vs_seminaive` measures the speed difference.
+    pub fn eval_stratified_seminaive(&self, db: &Database, fuel: u64) -> Result<Database, DlError> {
+        self.eval_stratified_seminaive_with_stats(db, fuel, &mut EvalStats::default())
+    }
+
+    /// [`Self::eval_stratified_seminaive`] with work counters accumulated
+    /// into `stats`.
+    pub fn eval_stratified_seminaive_with_stats(
+        &self,
+        db: &Database,
+        fuel: u64,
+        stats: &mut EvalStats,
+    ) -> Result<Database, DlError> {
+        self.check_safety()?;
+        let strata = self.stratify()?;
+        let max = strata.values().copied().max().unwrap_or(0);
+        let mut state = db.clone();
+        let mut budget = fuel;
+        for s in 0..=max {
+            let rules: Vec<&DlRule> = self
+                .rules
+                .iter()
+                .filter(|r| strata[&r.head.pred] == s)
+                .collect();
+            let recursive: BTreeSet<String> = rules.iter().map(|r| r.head.pred.clone()).collect();
+            seminaive_fixpoint(&rules, &recursive, &mut state, &mut budget, stats)?;
+        }
+        Ok(state)
+    }
+}
+
+/// Total rows across all relations of a database.
+fn db_facts(db: &Database) -> usize {
+    db.iter().map(|(_, inst)| inst.len()).sum()
 }
 
 /// Semi-naive least fixpoint for one stratum: the first round runs naive
@@ -268,7 +300,11 @@ fn seminaive_fixpoint(
     recursive: &BTreeSet<String>,
     state: &mut Database,
     budget: &mut u64,
+    stats: &mut EvalStats,
 ) -> Result<(), DlError> {
+    let mut indexes = IndexSet::new();
+    let mut facts = db_facts(state);
+    stats.observe_facts(facts);
     // deltas per recursive predicate
     let mut delta: BTreeMap<String, Instance> = BTreeMap::new();
     // round 0: naive over the initial state
@@ -278,6 +314,7 @@ fn seminaive_fixpoint(
             return Err(DlError::FuelExhausted);
         }
         *budget -= 1;
+        stats.rounds += 1;
         let mut derived: Vec<(String, Value)> = Vec::new();
         for rule in rules {
             // which body positions are positive recursive literals?
@@ -289,29 +326,36 @@ fn seminaive_fixpoint(
                 .map(|(i, _)| i)
                 .collect();
             if first || rec_positions.is_empty() {
-                // naive pass (also covers non-recursive rules every round —
-                // cheap because their support never changes after round 0,
-                // but only run them in the first round)
+                // non-recursive rules have constant support after round 0,
+                // so they only run in the first round
                 if !first && rec_positions.is_empty() {
                     continue;
                 }
-                fire_rule_naive(rule, state, None, usize::MAX, &mut derived);
+                fire_rule(rule, state, &mut indexes, None, &mut derived, stats);
             } else {
                 for &pos in &rec_positions {
-                    fire_rule_naive(rule, state, Some(&delta), pos, &mut derived);
+                    fire_rule(
+                        rule,
+                        state,
+                        &mut indexes,
+                        Some((&delta, pos)),
+                        &mut derived,
+                        stats,
+                    );
                 }
             }
         }
         let mut new_delta: BTreeMap<String, Instance> = BTreeMap::new();
         let mut changed = false;
         for (pred, row) in derived {
-            let mut inst = state.get(&pred);
-            if inst.insert(row.clone()) {
-                state.set(pred.clone(), inst);
+            if state.insert_row(&pred, &row) {
+                indexes.note_insert(&pred, &row);
+                facts += 1;
                 new_delta.entry(pred).or_default().insert(row);
                 changed = true;
             }
         }
+        stats.observe_facts(facts);
         delta = new_delta;
         first = false;
         if !changed {
@@ -320,34 +364,41 @@ fn seminaive_fixpoint(
     }
 }
 
-/// Evaluate one rule; if `delta_pos` indexes a body literal, that literal
-/// is evaluated against the delta relation instead of the full state.
-fn fire_rule_naive(
+/// Evaluate one rule; if `delta` carries a body position, that literal is
+/// evaluated directly against the per-predicate delta relation (no scoped
+/// database is materialized) instead of the full state.
+fn fire_rule(
     rule: &DlRule,
     state: &Database,
-    delta: Option<&BTreeMap<String, Instance>>,
-    delta_pos: usize,
+    indexes: &mut IndexSet,
+    delta: Option<(&BTreeMap<String, Instance>, usize)>,
     derived: &mut Vec<(String, Value)>,
+    stats: &mut EvalStats,
 ) {
+    stats.rules_fired += 1;
+    let empty = Instance::empty();
     let mut bindings = vec![HashMap::new()];
     for (i, lit) in rule.body.iter().enumerate() {
-        let use_delta = delta.is_some() && i == delta_pos;
-        if use_delta {
-            let d = delta
-                .expect("checked is_some")
-                .get(&lit.atom.pred)
-                .cloned()
-                .unwrap_or_default();
-            let mut scoped = state.clone();
-            scoped.set(lit.atom.pred.clone(), d);
-            bindings = extend_bindings(lit, &bindings, &scoped);
+        let from_delta = matches!(delta, Some((_, pos)) if pos == i);
+        let rel = if from_delta {
+            let (d, _) = delta.expect("checked by from_delta");
+            d.get(&lit.atom.pred).unwrap_or(&empty)
         } else {
-            bindings = extend_bindings(lit, &bindings, state);
-        }
+            state.get_ref(&lit.atom.pred).unwrap_or(&empty)
+        };
+        // deltas are small and short-lived: scan them; only the settled
+        // state earns an index
+        let index = if !from_delta && lit.positive {
+            Some(indexes.of(&lit.atom.pred, rel))
+        } else {
+            None
+        };
+        bindings = extend_bindings(lit, &bindings, rel, index, stats);
         if bindings.is_empty() {
             return;
         }
     }
+    stats.tuples_derived += bindings.len() as u64;
     for b in &bindings {
         let row: Vec<Value> = rule.head.args.iter().map(|t| instantiate(t, b)).collect();
         derived.push((rule.head.pred.clone(), Value::Tuple(row)));
@@ -358,39 +409,30 @@ fn least_fixpoint(
     rules: &[&DlRule],
     state: &mut Database,
     budget: &mut u64,
+    stats: &mut EvalStats,
 ) -> Result<(), DlError> {
+    let mut indexes = IndexSet::new();
+    let mut facts = db_facts(state);
+    stats.observe_facts(facts);
     loop {
         if *budget == 0 {
             return Err(DlError::FuelExhausted);
         }
         *budget -= 1;
+        stats.rounds += 1;
         let mut derived: Vec<(String, Value)> = Vec::new();
         for rule in rules {
-            let mut bindings = vec![HashMap::new()];
-            for lit in &rule.body {
-                bindings = extend_bindings(lit, &bindings, state);
-                if bindings.is_empty() {
-                    break;
-                }
-            }
-            for b in &bindings {
-                let row: Vec<Value> = rule
-                    .head
-                    .args
-                    .iter()
-                    .map(|t| instantiate(t, b))
-                    .collect();
-                derived.push((rule.head.pred.clone(), Value::Tuple(row)));
-            }
+            fire_rule(rule, state, &mut indexes, None, &mut derived, stats);
         }
         let mut changed = false;
         for (pred, row) in derived {
-            let mut inst = state.get(&pred);
-            if inst.insert(row) {
-                state.set(pred, inst);
+            if state.insert_row(&pred, &row) {
+                indexes.note_insert(&pred, &row);
+                facts += 1;
                 changed = true;
             }
         }
+        stats.observe_facts(facts);
         if !changed {
             return Ok(());
         }
@@ -407,38 +449,64 @@ fn instantiate(t: &DlTerm, b: &HashMap<String, Value>) -> Value {
     }
 }
 
+/// Match one relation row against the literal's argument pattern, pushing
+/// the extended binding on success.
+fn match_row(
+    args: &[DlTerm],
+    row: &Value,
+    b: &HashMap<String, Value>,
+    out: &mut Vec<HashMap<String, Value>>,
+) {
+    let Some(items) = row.as_tuple() else { return };
+    if items.len() != args.len() {
+        return;
+    }
+    let mut nb = b.clone();
+    let matched = args.iter().zip(items).all(|(t, v)| match t {
+        DlTerm::Var(name) => match nb.get(name) {
+            Some(bound) => bound == v,
+            None => {
+                nb.insert(name.clone(), v.clone());
+                true
+            }
+        },
+        DlTerm::Const(c) => c == v,
+    });
+    if matched {
+        out.push(nb);
+    }
+}
+
+/// Extend each binding through one literal evaluated against `rel`. When
+/// the literal is positive and its first argument is ground under the
+/// binding, the optional `index` answers the join with a bucket probe
+/// instead of a scan over the whole relation.
 fn extend_bindings(
     lit: &DlLiteral,
     bindings: &[HashMap<String, Value>],
-    state: &Database,
+    rel: &Instance,
+    index: Option<&ColumnIndex>,
+    stats: &mut EvalStats,
 ) -> Vec<HashMap<String, Value>> {
-    let rel = state.get(&lit.atom.pred);
     let mut out = Vec::new();
     if lit.positive {
         for b in bindings {
-            for row in rel.iter() {
-                let Some(items) = row.as_tuple() else { continue };
-                if items.len() != lit.atom.args.len() {
-                    continue;
+            let key: Option<&Value> = match lit.atom.args.first() {
+                Some(DlTerm::Const(c)) => Some(c),
+                Some(DlTerm::Var(v)) => b.get(v),
+                None => None,
+            };
+            match (index, key) {
+                (Some(idx), Some(k)) => {
+                    stats.index_probes += 1;
+                    for row in idx.probe(k) {
+                        match_row(&lit.atom.args, row, b, &mut out);
+                    }
                 }
-                let mut nb = b.clone();
-                if lit
-                    .atom
-                    .args
-                    .iter()
-                    .zip(items)
-                    .all(|(t, v)| match t {
-                        DlTerm::Var(name) => match nb.get(name) {
-                            Some(bound) => bound == v,
-                            None => {
-                                nb.insert(name.clone(), v.clone());
-                                true
-                            }
-                        },
-                        DlTerm::Const(c) => c == v,
-                    })
-                {
-                    out.push(nb);
+                _ => {
+                    for row in rel.iter() {
+                        match_row(&lit.atom.args, row, b, &mut out);
+                    }
                 }
             }
         }
@@ -535,10 +603,7 @@ mod tests {
                 (false, DlAtom::new("P", vec![v("x")])),
             ],
         )]);
-        assert!(matches!(
-            prog.stratify(),
-            Err(DlError::NotStratifiable(_))
-        ));
+        assert!(matches!(prog.stratify(), Err(DlError::NotStratifiable(_))));
         // but inflationary semantics handles it fine
         let out = prog.eval_inflationary(&path_db(3), 10_000).unwrap();
         // round 1: ¬P holds for everything, so P gets {0, 1}
@@ -595,10 +660,7 @@ mod tests {
             vec![(true, DlAtom::new("E", vec![DlTerm::Const(atom(0)), v("x")]))],
         )]);
         let out = prog.eval_stratified(&path_db(3), 100).unwrap();
-        assert_eq!(
-            out.get("P"),
-            Instance::from_rows([[atom(1)]])
-        );
+        assert_eq!(out.get("P"), Instance::from_rows([[atom(1)]]));
     }
 }
 

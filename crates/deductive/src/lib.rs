@@ -22,6 +22,10 @@ pub mod chain;
 pub mod col;
 pub mod datalog;
 
-pub use col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
-pub use col::eval::{inflationary, stratified, ColEvalError, ColState};
-pub use datalog::{DatalogProgram, DlAtom, DlLiteral, DlRule, DlTerm};
+pub use col::ast::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm};
+pub use col::eval::{
+    inflationary, inflationary_naive, inflationary_with, stratified, stratified_naive,
+    stratified_with, ColConfig, ColEvalError, ColState, ColStrategy,
+};
+pub use datalog::{DatalogProgram, DlAtom, DlError, DlLiteral, DlRule, DlTerm};
+pub use uset_object::EvalStats;

@@ -69,7 +69,9 @@ pub fn tm_to_gtm_cardinality(m: &Tm, c: Atom) -> Gtm {
     let blankp = || SymPat::Work("_".into());
 
     let mut b = GtmBuilder::new().start("s").halt("H").constants(cs);
-    b = b.states(["scan", "elem", "close", "rewind", "rewind1", "o1", "o2", "o3", "clean0", "clean"]);
+    b = b.states([
+        "scan", "elem", "close", "rewind", "rewind1", "o1", "o2", "o3", "clean0", "clean",
+    ]);
     for w in &work_names {
         b = b.work_symbol_owned(w.clone());
     }
@@ -91,24 +93,123 @@ pub fn tm_to_gtm_cardinality(m: &Tm, c: Atom) -> Gtm {
     // in `tm` satisfy this).
     b = b
         // consume '(' and step the tape-2 head onto square 1
-        .transition("s", SymPat::Work("(".into()), blankp(), "scan", keep("("), keep("_"), Move::R, Move::R)
+        .transition(
+            "s",
+            SymPat::Work("(".into()),
+            blankp(),
+            "scan",
+            keep("("),
+            keep("_"),
+            Move::R,
+            Move::R,
+        )
         // '[' starts a tuple: emit a mark on tape 2
-        .transition("scan", SymPat::Work("[".into()), blankp(), "elem", keep("["), SymOut::Work(work_name('x')), Move::R, Move::R)
+        .transition(
+            "scan",
+            SymPat::Work("[".into()),
+            blankp(),
+            "elem",
+            keep("["),
+            SymOut::Work(work_name('x')),
+            Move::R,
+            Move::R,
+        )
         // skip atoms, commas and ']' inside/between tuples
-        .transition("elem", SymPat::Alpha, blankp(), "elem", SymOut::Alpha, keep("_"), Move::R, Move::S)
-        .transition("elem", SymPat::Const(c), blankp(), "elem", SymOut::Const(c), keep("_"), Move::R, Move::S)
-        .transition("elem", SymPat::Work(",".into()), blankp(), "elem", keep(","), keep("_"), Move::R, Move::S)
-        .transition("elem", SymPat::Work("]".into()), blankp(), "close", keep("]"), keep("_"), Move::R, Move::S)
-        .transition("close", SymPat::Work(",".into()), blankp(), "scan", keep(","), keep("_"), Move::R, Move::S)
+        .transition(
+            "elem",
+            SymPat::Alpha,
+            blankp(),
+            "elem",
+            SymOut::Alpha,
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "elem",
+            SymPat::Const(c),
+            blankp(),
+            "elem",
+            SymOut::Const(c),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "elem",
+            SymPat::Work(",".into()),
+            blankp(),
+            "elem",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "elem",
+            SymPat::Work("]".into()),
+            blankp(),
+            "close",
+            keep("]"),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "close",
+            SymPat::Work(",".into()),
+            blankp(),
+            "scan",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // end of listing: rewind tape 2, then start the TM
-        .transition("close", SymPat::Work(")".into()), blankp(), "rewind", keep(")"), keep("_"), Move::S, Move::L)
-        .transition("scan", SymPat::Work(")".into()), blankp(), "rewind", keep(")"), keep("_"), Move::S, Move::L);
+        .transition(
+            "close",
+            SymPat::Work(")".into()),
+            blankp(),
+            "rewind",
+            keep(")"),
+            keep("_"),
+            Move::S,
+            Move::L,
+        )
+        .transition(
+            "scan",
+            SymPat::Work(")".into()),
+            blankp(),
+            "rewind",
+            keep(")"),
+            keep("_"),
+            Move::S,
+            Move::L,
+        );
     // rewind tape 2 left over the marks; the blank sentinel at square 0
     // terminates the sweep, after which the head steps right onto square 1
     // (the TM's start square) and phase 2 begins.
     b = b
-        .transition("rewind", SymPat::Work(")".into()), SymPat::Work(work_name('x')), "rewind", keep(")"), SymOut::Work(work_name('x')), Move::S, Move::L)
-        .transition("rewind", SymPat::Work(")".into()), blankp(), format!("q:{}", m.start), keep(")"), keep("_"), Move::S, Move::R);
+        .transition(
+            "rewind",
+            SymPat::Work(")".into()),
+            SymPat::Work(work_name('x')),
+            "rewind",
+            keep(")"),
+            SymOut::Work(work_name('x')),
+            Move::S,
+            Move::L,
+        )
+        .transition(
+            "rewind",
+            SymPat::Work(")".into()),
+            blankp(),
+            format!("q:{}", m.start),
+            keep(")"),
+            keep("_"),
+            Move::S,
+            Move::R,
+        );
 
     // Phase 2 — simulate the TM on tape 2 (tape 1 parked on ')').
     for ((from, reads), (to, writes, moves)) in &m.delta {
@@ -153,7 +254,16 @@ pub fn tm_to_gtm_cardinality(m: &Tm, c: Atom) -> Gtm {
         for t1 in &tape1_syms {
             if *t1 == SymPat::Work("(".to_owned()) {
                 // reached the left end: start writing the output
-                b = b.transition("rewind1", t1.clone(), SymPat::Work(t2.clone()), "o1", keep("("), SymOut::Work(t2.clone()), Move::R, Move::S);
+                b = b.transition(
+                    "rewind1",
+                    t1.clone(),
+                    SymPat::Work(t2.clone()),
+                    "o1",
+                    keep("("),
+                    SymOut::Work(t2.clone()),
+                    Move::R,
+                    Move::S,
+                );
             } else {
                 let w1 = match t1 {
                     SymPat::Work(w) => SymOut::Work(w.clone()),
@@ -161,7 +271,16 @@ pub fn tm_to_gtm_cardinality(m: &Tm, c: Atom) -> Gtm {
                     SymPat::Alpha => SymOut::Alpha,
                     SymPat::Beta => unreachable!("no β patterns here"),
                 };
-                b = b.transition("rewind1", t1.clone(), SymPat::Work(t2.clone()), "rewind1", w1, SymOut::Work(t2.clone()), Move::L, Move::S);
+                b = b.transition(
+                    "rewind1",
+                    t1.clone(),
+                    SymPat::Work(t2.clone()),
+                    "rewind1",
+                    w1,
+                    SymOut::Work(t2.clone()),
+                    Move::L,
+                    Move::S,
+                );
             }
         }
     }
@@ -170,18 +289,73 @@ pub fn tm_to_gtm_cardinality(m: &Tm, c: Atom) -> Gtm {
         for t1 in &tape1_syms {
             let t2p = SymPat::Work(t2.clone());
             let t2o = SymOut::Work(t2.clone());
-            b = b.transition("o1", t1.clone(), t2p.clone(), "o2", SymOut::Work("[".into()), t2o.clone(), Move::R, Move::S);
-            b = b.transition("o2", t1.clone(), t2p.clone(), "o3", SymOut::Const(c), t2o.clone(), Move::R, Move::S);
-            b = b.transition("o3", t1.clone(), t2p.clone(), "clean0", SymOut::Work("]".into()), t2o.clone(), Move::R, Move::S);
-            b = b.transition("clean0", t1.clone(), t2p.clone(), "clean", SymOut::Work(")".into()), t2o.clone(), Move::R, Move::S);
+            b = b.transition(
+                "o1",
+                t1.clone(),
+                t2p.clone(),
+                "o2",
+                SymOut::Work("[".into()),
+                t2o.clone(),
+                Move::R,
+                Move::S,
+            );
+            b = b.transition(
+                "o2",
+                t1.clone(),
+                t2p.clone(),
+                "o3",
+                SymOut::Const(c),
+                t2o.clone(),
+                Move::R,
+                Move::S,
+            );
+            b = b.transition(
+                "o3",
+                t1.clone(),
+                t2p.clone(),
+                "clean0",
+                SymOut::Work("]".into()),
+                t2o.clone(),
+                Move::R,
+                Move::S,
+            );
+            b = b.transition(
+                "clean0",
+                t1.clone(),
+                t2p.clone(),
+                "clean",
+                SymOut::Work(")".into()),
+                t2o.clone(),
+                Move::R,
+                Move::S,
+            );
             if *t1 == SymPat::Work("_".to_owned()) {
-                b = b.transition("clean", t1.clone(), t2p.clone(), "H", SymOut::Work("_".into()), t2o.clone(), Move::S, Move::S);
+                b = b.transition(
+                    "clean",
+                    t1.clone(),
+                    t2p.clone(),
+                    "H",
+                    SymOut::Work("_".into()),
+                    t2o.clone(),
+                    Move::S,
+                    Move::S,
+                );
             } else {
-                b = b.transition("clean", t1.clone(), t2p.clone(), "clean", SymOut::Work("_".into()), t2o.clone(), Move::R, Move::S);
+                b = b.transition(
+                    "clean",
+                    t1.clone(),
+                    t2p.clone(),
+                    "clean",
+                    SymOut::Work("_".into()),
+                    t2o.clone(),
+                    Move::R,
+                    Move::S,
+                );
             }
         }
     }
-    b.build().expect("cardinality compilation produces a well-formed GTM")
+    b.build()
+        .expect("cardinality compilation produces a well-formed GTM")
 }
 
 /// Witness of the GTM → conventional-TM direction: a GTM commutes with any
@@ -266,7 +440,11 @@ mod tests {
                     "n = {n}"
                 );
             } else {
-                assert_eq!(out, Err(crate::query::GtmQueryError::FuelExhausted), "n = {n}");
+                assert_eq!(
+                    out,
+                    Err(crate::query::GtmQueryError::FuelExhausted),
+                    "n = {n}"
+                );
             }
         }
     }

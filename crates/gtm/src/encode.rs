@@ -258,11 +258,11 @@ mod tests {
             encode_instance_ordered(&r, &short),
             Err(EncodeError::BadOrder)
         );
-        let dup = vec![
-            tuple([atom(1), atom(2)]),
-            tuple([atom(1), atom(2)]),
-        ];
-        assert_eq!(encode_instance_ordered(&r, &dup), Err(EncodeError::BadOrder));
+        let dup = vec![tuple([atom(1), atom(2)]), tuple([atom(1), atom(2)])];
+        assert_eq!(
+            encode_instance_ordered(&r, &dup),
+            Err(EncodeError::BadOrder)
+        );
     }
 
     #[test]

@@ -188,10 +188,7 @@ impl GtmBuilder {
     }
 
     /// Register extra working symbols.
-    pub fn work_symbols<S: Into<String>, I: IntoIterator<Item = S>>(
-        mut self,
-        names: I,
-    ) -> Self {
+    pub fn work_symbols<S: Into<String>, I: IntoIterator<Item = S>>(mut self, names: I) -> Self {
         self.work.extend(names.into_iter().map(Into::into));
         self
     }
@@ -297,12 +294,8 @@ impl GtmBuilder {
                     SymOut::Const(c) if !self.constants.contains(c) => {
                         return Err(GtmError::UnknownConst(*c))
                     }
-                    SymOut::Alpha if !alpha_bound => {
-                        return Err(GtmError::UnboundGenericWrite)
-                    }
-                    SymOut::Beta if !beta_bound => {
-                        return Err(GtmError::UnboundGenericWrite)
-                    }
+                    SymOut::Alpha if !alpha_bound => return Err(GtmError::UnboundGenericWrite),
+                    SymOut::Beta if !beta_bound => return Err(GtmError::UnboundGenericWrite),
                     _ => {}
                 }
             }
@@ -388,9 +381,7 @@ impl Gtm {
     }
 
     /// Iterate the transition templates: `((from, read1, read2), action)`.
-    pub fn transitions(
-        &self,
-    ) -> impl Iterator<Item = ((&String, &SymPat, &SymPat), &Action)> {
+    pub fn transitions(&self) -> impl Iterator<Item = ((&String, &SymPat, &SymPat), &Action)> {
         self.delta.iter().map(|((q, r1, r2), a)| ((q, r1, r2), a))
     }
 

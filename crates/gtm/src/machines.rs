@@ -185,8 +185,26 @@ pub fn nonempty_flag_gtm(c: Atom) -> Gtm {
             Move::S,
         );
     b = for_all_syms_write(b, "w2", "w3", SymOut::Const(c), Move::R, &[], &cs, &[]);
-    b = for_all_syms_write(b, "w3", "w4", SymOut::Work("]".into()), Move::R, &[], &cs, &[]);
-    b = for_all_syms_write(b, "w4", "clean", SymOut::Work(")".into()), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(
+        b,
+        "w3",
+        "w4",
+        SymOut::Work("]".into()),
+        Move::R,
+        &[],
+        &cs,
+        &[],
+    );
+    b = for_all_syms_write(
+        b,
+        "w4",
+        "clean",
+        SymOut::Work(")".into()),
+        Move::R,
+        &[],
+        &cs,
+        &[],
+    );
     // blank everything to the right, halt at the first blank
     b = for_all_syms_write(
         b,
@@ -221,8 +239,8 @@ pub fn parity_gtm(c: Atom) -> Gtm {
         .start("s")
         .halt("h")
         .states([
-            "exp_e", "in_e", "close_e", "exp_o", "in_o", "close_o", "sep_e", "sep_o",
-            "rew_e", "rew_o", "we1", "we2", "we3", "we4", "wo1", "clean",
+            "exp_e", "in_e", "close_e", "exp_o", "in_o", "close_o", "sep_e", "sep_o", "rew_e",
+            "rew_o", "we1", "we2", "we3", "we4", "wo1", "clean",
         ])
         .constants(cs)
         .transition(
@@ -237,36 +255,225 @@ pub fn parity_gtm(c: Atom) -> Gtm {
         );
     // even side: expect '[' (start a tuple) or ')' (done: even)
     b = b
-        .transition("exp_e", SymPat::Work("[".into()), blank(), "in_e", keep("["), keep("_"), Move::R, Move::S)
-        .transition("exp_e", SymPat::Work(")".into()), blank(), "rew_e", keep(")"), keep("_"), Move::L, Move::S)
-        .transition("in_e", SymPat::Alpha, blank(), "close_e", SymOut::Alpha, keep("_"), Move::R, Move::S)
-        .transition("in_e", SymPat::Const(c), blank(), "close_e", SymOut::Const(c), keep("_"), Move::R, Move::S)
-        .transition("close_e", SymPat::Work("]".into()), blank(), "sep_o", keep("]"), keep("_"), Move::R, Move::S)
+        .transition(
+            "exp_e",
+            SymPat::Work("[".into()),
+            blank(),
+            "in_e",
+            keep("["),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "exp_e",
+            SymPat::Work(")".into()),
+            blank(),
+            "rew_e",
+            keep(")"),
+            keep("_"),
+            Move::L,
+            Move::S,
+        )
+        .transition(
+            "in_e",
+            SymPat::Alpha,
+            blank(),
+            "close_e",
+            SymOut::Alpha,
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "in_e",
+            SymPat::Const(c),
+            blank(),
+            "close_e",
+            SymOut::Const(c),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "close_e",
+            SymPat::Work("]".into()),
+            blank(),
+            "sep_o",
+            keep("]"),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // after one tuple the count is odd
-        .transition("sep_o", SymPat::Work(",".into()), blank(), "exp_o", keep(","), keep("_"), Move::R, Move::S)
-        .transition("sep_o", SymPat::Work(")".into()), blank(), "rew_o", keep(")"), keep("_"), Move::L, Move::S)
+        .transition(
+            "sep_o",
+            SymPat::Work(",".into()),
+            blank(),
+            "exp_o",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "sep_o",
+            SymPat::Work(")".into()),
+            blank(),
+            "rew_o",
+            keep(")"),
+            keep("_"),
+            Move::L,
+            Move::S,
+        )
         // odd side mirrors
-        .transition("exp_o", SymPat::Work("[".into()), blank(), "in_o", keep("["), keep("_"), Move::R, Move::S)
-        .transition("in_o", SymPat::Alpha, blank(), "close_o", SymOut::Alpha, keep("_"), Move::R, Move::S)
-        .transition("in_o", SymPat::Const(c), blank(), "close_o", SymOut::Const(c), keep("_"), Move::R, Move::S)
-        .transition("close_o", SymPat::Work("]".into()), blank(), "sep_e", keep("]"), keep("_"), Move::R, Move::S)
-        .transition("sep_e", SymPat::Work(",".into()), blank(), "exp_e", keep(","), keep("_"), Move::R, Move::S)
-        .transition("sep_e", SymPat::Work(")".into()), blank(), "rew_e", keep(")"), keep("_"), Move::L, Move::S);
+        .transition(
+            "exp_o",
+            SymPat::Work("[".into()),
+            blank(),
+            "in_o",
+            keep("["),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "in_o",
+            SymPat::Alpha,
+            blank(),
+            "close_o",
+            SymOut::Alpha,
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "in_o",
+            SymPat::Const(c),
+            blank(),
+            "close_o",
+            SymOut::Const(c),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "close_o",
+            SymPat::Work("]".into()),
+            blank(),
+            "sep_e",
+            keep("]"),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "sep_e",
+            SymPat::Work(",".into()),
+            blank(),
+            "exp_e",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "sep_e",
+            SymPat::Work(")".into()),
+            blank(),
+            "rew_e",
+            keep(")"),
+            keep("_"),
+            Move::L,
+            Move::S,
+        );
     // rewind to '(' keeping symbols, then write the answer
     b = for_all_syms_keep(b, "rew_e", "rew_e", Move::L, &[], &cs, &["("]);
-    b = b.transition("rew_e", SymPat::Work("(".into()), blank(), "we1", keep("("), keep("_"), Move::R, Move::S);
+    b = b.transition(
+        "rew_e",
+        SymPat::Work("(".into()),
+        blank(),
+        "we1",
+        keep("("),
+        keep("_"),
+        Move::R,
+        Move::S,
+    );
     b = for_all_syms_keep(b, "rew_o", "rew_o", Move::L, &[], &cs, &["("]);
-    b = b.transition("rew_o", SymPat::Work("(".into()), blank(), "wo1", keep("("), keep("_"), Move::R, Move::S);
+    b = b.transition(
+        "rew_o",
+        SymPat::Work("(".into()),
+        blank(),
+        "wo1",
+        keep("("),
+        keep("_"),
+        Move::R,
+        Move::S,
+    );
     // even: ([c]) then clean
-    b = for_all_syms_write(b, "we1", "we2", SymOut::Work("[".into()), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(
+        b,
+        "we1",
+        "we2",
+        SymOut::Work("[".into()),
+        Move::R,
+        &[],
+        &cs,
+        &[],
+    );
     b = for_all_syms_write(b, "we2", "we3", SymOut::Const(c), Move::R, &[], &cs, &[]);
-    b = for_all_syms_write(b, "we3", "we4", SymOut::Work("]".into()), Move::R, &[], &cs, &[]);
-    b = for_all_syms_write(b, "we4", "clean", SymOut::Work(")".into()), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(
+        b,
+        "we3",
+        "we4",
+        SymOut::Work("]".into()),
+        Move::R,
+        &[],
+        &cs,
+        &[],
+    );
+    b = for_all_syms_write(
+        b,
+        "we4",
+        "clean",
+        SymOut::Work(")".into()),
+        Move::R,
+        &[],
+        &cs,
+        &[],
+    );
     // odd: () then clean
-    b = for_all_syms_write(b, "wo1", "clean", SymOut::Work(")".into()), Move::R, &[], &cs, &[]);
+    b = for_all_syms_write(
+        b,
+        "wo1",
+        "clean",
+        SymOut::Work(")".into()),
+        Move::R,
+        &[],
+        &cs,
+        &[],
+    );
     // clean: blank to the right, halt at the first blank
-    b = for_all_syms_write(b, "clean", "clean", SymOut::Work("_".into()), Move::R, &[], &cs, &["_"]);
-    b = b.transition("clean", blank(), blank(), "h", keep("_"), keep("_"), Move::S, Move::S);
+    b = for_all_syms_write(
+        b,
+        "clean",
+        "clean",
+        SymOut::Work("_".into()),
+        Move::R,
+        &[],
+        &cs,
+        &["_"],
+    );
+    b = b.transition(
+        "clean",
+        blank(),
+        blank(),
+        "h",
+        keep("_"),
+        keep("_"),
+        Move::S,
+        Move::S,
+    );
     b.build().expect("parity machine is well-formed")
 }
 
@@ -279,33 +486,179 @@ pub fn swap_pairs_gtm() -> Gtm {
     let b = GtmBuilder::new()
         .start("s")
         .halt("h")
-        .states(["t", "ra", "rc", "rb", "rswap", "lc", "la", "ldep", "sk1", "sk2", "sk3"])
+        .states([
+            "t", "ra", "rc", "rb", "rswap", "lc", "la", "ldep", "sk1", "sk2", "sk3",
+        ])
         // '(' → scan tuples
-        .transition("s", SymPat::Work("(".into()), blank(), "t", keep("("), keep("_"), Move::R, Move::S)
+        .transition(
+            "s",
+            SymPat::Work("(".into()),
+            blank(),
+            "t",
+            keep("("),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // 't': expect '[' (a tuple), ')' (done) or ',' (between tuples)
-        .transition("t", SymPat::Work("[".into()), blank(), "ra", keep("["), keep("_"), Move::R, Move::S)
-        .transition("t", SymPat::Work(")".into()), blank(), "h", keep(")"), keep("_"), Move::S, Move::S)
-        .transition("t", SymPat::Work(",".into()), blank(), "t", keep(","), keep("_"), Move::R, Move::S)
+        .transition(
+            "t",
+            SymPat::Work("[".into()),
+            blank(),
+            "ra",
+            keep("["),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "t",
+            SymPat::Work(")".into()),
+            blank(),
+            "h",
+            keep(")"),
+            keep("_"),
+            Move::S,
+            Move::S,
+        )
+        .transition(
+            "t",
+            SymPat::Work(",".into()),
+            blank(),
+            "t",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // 'ra': stash first component a on tape 2, step off the stash cell
-        .transition("ra", SymPat::Alpha, blank(), "rc", SymOut::Alpha, SymOut::Alpha, Move::R, Move::R)
+        .transition(
+            "ra",
+            SymPat::Alpha,
+            blank(),
+            "rc",
+            SymOut::Alpha,
+            SymOut::Alpha,
+            Move::R,
+            Move::R,
+        )
         // 'rc': cross the ','
-        .transition("rc", SymPat::Work(",".into()), blank(), "rb", keep(","), keep("_"), Move::R, Move::S)
+        .transition(
+            "rc",
+            SymPat::Work(",".into()),
+            blank(),
+            "rb",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // 'rb': tape 1 on b; bring tape 2 head back onto the stash
-        .transition("rb", SymPat::Alpha, blank(), "rswap", SymOut::Alpha, keep("_"), Move::S, Move::L)
+        .transition(
+            "rb",
+            SymPat::Alpha,
+            blank(),
+            "rswap",
+            SymOut::Alpha,
+            keep("_"),
+            Move::S,
+            Move::L,
+        )
         // 'rswap': tape1=b (α), tape2=a; write a over b, b over the stash
-        .transition("rswap", SymPat::Alpha, SymPat::Beta, "lc", SymOut::Beta, SymOut::Alpha, Move::L, Move::R)
-        .transition("rswap", SymPat::Alpha, SymPat::Alpha, "lc", SymOut::Alpha, SymOut::Alpha, Move::L, Move::R)
+        .transition(
+            "rswap",
+            SymPat::Alpha,
+            SymPat::Beta,
+            "lc",
+            SymOut::Beta,
+            SymOut::Alpha,
+            Move::L,
+            Move::R,
+        )
+        .transition(
+            "rswap",
+            SymPat::Alpha,
+            SymPat::Alpha,
+            "lc",
+            SymOut::Alpha,
+            SymOut::Alpha,
+            Move::L,
+            Move::R,
+        )
         // 'lc': cross the ',' leftwards
-        .transition("lc", SymPat::Work(",".into()), blank(), "la", keep(","), keep("_"), Move::L, Move::S)
+        .transition(
+            "lc",
+            SymPat::Work(",".into()),
+            blank(),
+            "la",
+            keep(","),
+            keep("_"),
+            Move::L,
+            Move::S,
+        )
         // 'la': tape 1 back on (old) a; dive onto the stash again
-        .transition("la", SymPat::Alpha, blank(), "ldep", SymOut::Alpha, keep("_"), Move::S, Move::L)
+        .transition(
+            "la",
+            SymPat::Alpha,
+            blank(),
+            "ldep",
+            SymOut::Alpha,
+            keep("_"),
+            Move::S,
+            Move::L,
+        )
         // 'ldep': deposit stashed b over a, erase the stash
-        .transition("ldep", SymPat::Alpha, SymPat::Beta, "sk1", SymOut::Beta, keep("_"), Move::R, Move::S)
-        .transition("ldep", SymPat::Alpha, SymPat::Alpha, "sk1", SymOut::Alpha, keep("_"), Move::R, Move::S)
+        .transition(
+            "ldep",
+            SymPat::Alpha,
+            SymPat::Beta,
+            "sk1",
+            SymOut::Beta,
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "ldep",
+            SymPat::Alpha,
+            SymPat::Alpha,
+            "sk1",
+            SymOut::Alpha,
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // skip ',', the (now first) component, and ']'
-        .transition("sk1", SymPat::Work(",".into()), blank(), "sk2", keep(","), keep("_"), Move::R, Move::S)
-        .transition("sk2", SymPat::Alpha, blank(), "sk3", SymOut::Alpha, keep("_"), Move::R, Move::S)
-        .transition("sk3", SymPat::Work("]".into()), blank(), "t", keep("]"), keep("_"), Move::R, Move::S);
+        .transition(
+            "sk1",
+            SymPat::Work(",".into()),
+            blank(),
+            "sk2",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "sk2",
+            SymPat::Alpha,
+            blank(),
+            "sk3",
+            SymOut::Alpha,
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "sk3",
+            SymPat::Work("]".into()),
+            blank(),
+            "t",
+            keep("]"),
+            keep("_"),
+            Move::R,
+            Move::S,
+        );
     b.build().expect("swap machine is well-formed")
 }
 
@@ -320,18 +673,108 @@ pub fn replace_second_gtm(c: Atom) -> Gtm {
         .halt("h")
         .states(["t", "fst", "comma", "snd", "close"])
         .constants([c])
-        .transition("s", SymPat::Work("(".into()), blank(), "t", keep("("), keep("_"), Move::R, Move::S)
-        .transition("t", SymPat::Work("[".into()), blank(), "fst", keep("["), keep("_"), Move::R, Move::S)
-        .transition("t", SymPat::Work(")".into()), blank(), "h", keep(")"), keep("_"), Move::S, Move::S)
-        .transition("t", SymPat::Work(",".into()), blank(), "t", keep(","), keep("_"), Move::R, Move::S)
+        .transition(
+            "s",
+            SymPat::Work("(".into()),
+            blank(),
+            "t",
+            keep("("),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "t",
+            SymPat::Work("[".into()),
+            blank(),
+            "fst",
+            keep("["),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "t",
+            SymPat::Work(")".into()),
+            blank(),
+            "h",
+            keep(")"),
+            keep("_"),
+            Move::S,
+            Move::S,
+        )
+        .transition(
+            "t",
+            SymPat::Work(",".into()),
+            blank(),
+            "t",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // first component passes through (generic or the constant itself)
-        .transition("fst", SymPat::Alpha, blank(), "comma", SymOut::Alpha, keep("_"), Move::R, Move::S)
-        .transition("fst", SymPat::Const(c), blank(), "comma", SymOut::Const(c), keep("_"), Move::R, Move::S)
-        .transition("comma", SymPat::Work(",".into()), blank(), "snd", keep(","), keep("_"), Move::R, Move::S)
+        .transition(
+            "fst",
+            SymPat::Alpha,
+            blank(),
+            "comma",
+            SymOut::Alpha,
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "fst",
+            SymPat::Const(c),
+            blank(),
+            "comma",
+            SymOut::Const(c),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "comma",
+            SymPat::Work(",".into()),
+            blank(),
+            "snd",
+            keep(","),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         // second component is overwritten with c
-        .transition("snd", SymPat::Alpha, blank(), "close", SymOut::Const(c), keep("_"), Move::R, Move::S)
-        .transition("snd", SymPat::Const(c), blank(), "close", SymOut::Const(c), keep("_"), Move::R, Move::S)
-        .transition("close", SymPat::Work("]".into()), blank(), "t", keep("]"), keep("_"), Move::R, Move::S)
+        .transition(
+            "snd",
+            SymPat::Alpha,
+            blank(),
+            "close",
+            SymOut::Const(c),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "snd",
+            SymPat::Const(c),
+            blank(),
+            "close",
+            SymOut::Const(c),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
+        .transition(
+            "close",
+            SymPat::Work("]".into()),
+            blank(),
+            "t",
+            keep("]"),
+            keep("_"),
+            Move::R,
+            Move::S,
+        )
         .build()
         .expect("replace-second machine is well-formed")
 }
@@ -406,7 +849,11 @@ mod tests {
         let flag = Instance::from_values([Value::Tuple(vec![Value::Atom(c)])]);
         for n in 0..6u64 {
             let inst = Instance::from_rows((0..n).map(|i| [atom(i)]));
-            let expected = if n % 2 == 0 { flag.clone() } else { Instance::empty() };
+            let expected = if n % 2 == 0 {
+                flag.clone()
+            } else {
+                Instance::empty()
+            };
             assert_eq!(run_on(&m, &inst), Some(expected), "n = {n}");
         }
     }
@@ -418,14 +865,19 @@ mod tests {
         // the flag constant itself may appear in the input domain
         let inst = Instance::from_rows([[Value::Atom(c)], [atom(1)]]);
         let inst = Instance::from_values(inst.iter().cloned());
-        assert_eq!(run_on(&m, &inst), Some(Instance::from_values([Value::Tuple(vec![Value::Atom(c)])])));
+        assert_eq!(
+            run_on(&m, &inst),
+            Some(Instance::from_values([Value::Tuple(vec![Value::Atom(c)])]))
+        );
     }
 
     #[test]
     fn swap_pairs() {
         let m = swap_pairs_gtm();
-        let inst = Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(3)], [atom(9), atom(0)]]);
-        let expected = Instance::from_rows([[atom(2), atom(1)], [atom(3), atom(3)], [atom(0), atom(9)]]);
+        let inst =
+            Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(3)], [atom(9), atom(0)]]);
+        let expected =
+            Instance::from_rows([[atom(2), atom(1)], [atom(3), atom(3)], [atom(0), atom(9)]]);
         assert_eq!(run_on(&m, &inst), Some(expected));
         assert_eq!(run_on(&m, &Instance::empty()), Some(Instance::empty()));
     }
@@ -435,18 +887,12 @@ mod tests {
         let c = Atom::named("replace-c");
         let m = replace_second_gtm(c);
         let inst = Instance::from_rows([[atom(1), atom(2)], [atom(3), atom(4)]]);
-        let expected = Instance::from_rows([
-            [atom(1), Value::Atom(c)],
-            [atom(3), Value::Atom(c)],
-        ]);
+        let expected = Instance::from_rows([[atom(1), Value::Atom(c)], [atom(3), Value::Atom(c)]]);
         assert_eq!(run_on(&m, &inst), Some(expected));
         assert_eq!(run_on(&m, &Instance::empty()), Some(Instance::empty()));
         // collapses colliding first components into one tuple
         let collide = Instance::from_rows([[atom(1), atom(2)], [atom(1), atom(9)]]);
-        assert_eq!(
-            run_on(&m, &collide).map(|i| i.len()),
-            Some(1)
-        );
+        assert_eq!(run_on(&m, &collide).map(|i| i.len()), Some(1));
         // works when the input already contains the constant
         let with_c = Instance::from_rows([[Value::Atom(c), Value::Atom(c)]]);
         assert_eq!(run_on(&m, &with_c), Some(with_c));

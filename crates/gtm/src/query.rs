@@ -43,8 +43,7 @@ pub fn run_gtm_query_ordered(
     target: &Type,
     fuel: u64,
 ) -> Result<Option<Instance>, GtmQueryError> {
-    let tape = encode_database_ordered(db, schema, orders)
-        .map_err(|_| GtmQueryError::BadInput)?;
+    let tape = encode_database_ordered(db, schema, orders).map_err(|_| GtmQueryError::BadInput)?;
     match m.run(tape, fuel) {
         RunOutcome::Halted(out) => {
             let decoded = decode_instance(&out);
@@ -102,8 +101,7 @@ pub fn check_order_independence(
     }
     let mut first: Option<Option<Instance>> = None;
     for orders in combos {
-        let out = run_gtm_query_ordered(m, db, schema, &orders, target, fuel)
-            .unwrap_or(None);
+        let out = run_gtm_query_ordered(m, db, schema, &orders, target, fuel).unwrap_or(None);
         match &first {
             None => first = Some(out),
             Some(f) if *f != out => return Err((f.clone(), out)),
@@ -122,11 +120,7 @@ mod tests {
     fn db1(rows: Vec<Vec<uset_object::Value>>, arity: usize) -> (Database, Schema, Type) {
         let mut db = Database::empty();
         db.set("R", Instance::from_rows(rows));
-        (
-            db,
-            Schema::flat([("R", arity)]),
-            Type::atomic_tuple(arity),
-        )
+        (db, Schema::flat([("R", arity)]), Type::atomic_tuple(arity))
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum TmMove {
 /// The blank symbol used by all machines in this crate.
 pub const BLANK: char = '_';
 
+/// Right-hand side of a δ entry: (next state, written symbols, moves).
+pub type TmAction = (String, Vec<char>, Vec<TmMove>);
+
+/// A transition as passed to [`Tm::new`]: `(from, reads, to, writes, moves)`.
+pub type TmTransition<'a> = (&'a str, Vec<char>, &'a str, Vec<char>, Vec<TmMove>);
+
 /// A deterministic multi-tape Turing machine.
 #[derive(Clone, Debug)]
 pub struct Tm {
@@ -34,7 +40,7 @@ pub struct Tm {
     /// Halting state (unique, by convention).
     pub halt: String,
     /// δ: (state, read symbols) → (state, written symbols, moves).
-    pub delta: HashMap<(String, Vec<char>), (String, Vec<char>, Vec<TmMove>)>,
+    pub delta: HashMap<(String, Vec<char>), TmAction>,
 }
 
 /// Outcome of a TM run.
@@ -56,22 +62,14 @@ pub enum TmOutcome {
 impl Tm {
     /// Build a machine; `transitions` entries are
     /// `(from, reads, to, writes, moves)`.
-    pub fn new(
-        tapes: usize,
-        start: &str,
-        halt: &str,
-        transitions: Vec<(&str, Vec<char>, &str, Vec<char>, Vec<TmMove>)>,
-    ) -> Tm {
+    pub fn new(tapes: usize, start: &str, halt: &str, transitions: Vec<TmTransition<'_>>) -> Tm {
         let mut delta = HashMap::new();
         for (from, reads, to, writes, moves) in transitions {
             assert_eq!(reads.len(), tapes, "read arity mismatch");
             assert_eq!(writes.len(), tapes, "write arity mismatch");
             assert_eq!(moves.len(), tapes, "move arity mismatch");
             assert_ne!(from, halt, "transition from halt state");
-            let prev = delta.insert(
-                (from.to_owned(), reads),
-                (to.to_owned(), writes, moves),
-            );
+            let prev = delta.insert((from.to_owned(), reads), (to.to_owned(), writes, moves));
             assert!(prev.is_none(), "duplicate transition");
         }
         Tm {
@@ -218,7 +216,7 @@ mod tests {
     fn always_halt_halts() {
         let m = always_halt_machine();
         for n in 0..10 {
-            let input: Vec<char> = std::iter::repeat('x').take(n).collect();
+            let input: Vec<char> = std::iter::repeat_n('x', n).collect();
             assert_eq!(m.halts_on(&input, 1000), Some(true), "n = {n}");
         }
     }
@@ -234,7 +232,7 @@ mod tests {
     fn halt_iff_even() {
         let m = halt_iff_even_machine();
         for n in 0..8 {
-            let input: Vec<char> = std::iter::repeat('x').take(n).collect();
+            let input: Vec<char> = std::iter::repeat_n('x', n).collect();
             let expected = if n % 2 == 0 { Some(true) } else { None };
             assert_eq!(m.halts_on(&input, 1000), expected, "n = {n}");
         }

@@ -46,7 +46,10 @@ impl Atom {
     /// Panics if `id` falls in the reserved named range (≥ 2⁶²); workloads
     /// have the entire range below that available.
     pub fn new(id: u64) -> Self {
-        assert!(id < NAMED_BASE, "atom id {id} is in the reserved named range");
+        assert!(
+            id < NAMED_BASE,
+            "atom id {id} is in the reserved named range"
+        );
         Atom(id)
     }
 
@@ -158,7 +161,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut v = vec![Atom::new(3), Atom::new(1), Atom::named("x"), Atom::new(2)];
+        let mut v = [Atom::new(3), Atom::new(1), Atom::named("x"), Atom::new(2)];
         v.sort();
         assert_eq!(v[0], Atom::new(1));
         assert_eq!(v[1], Atom::new(2));

@@ -31,9 +31,7 @@ fn cons_type_inner(ty: &Type, atoms: &BTreeSet<Atom>, limit: usize) -> Result<Ve
         Type::Atomic => Ok(atoms.iter().map(|a| Value::Atom(*a)).collect()),
         Type::Set(inner) => {
             let members = cons_type_inner(inner, atoms, limit)?;
-            if members.len() >= usize::BITS as usize
-                || (1usize << members.len()) > limit
-            {
+            if members.len() >= usize::BITS as usize || (1usize << members.len()) > limit {
                 return Err(ObjectError::BoundExceeded {
                     what: "cons_T powerset",
                     bound: limit,
@@ -48,12 +46,12 @@ fn cons_type_inner(ty: &Type, atoms: &BTreeSet<Atom>, limit: usize) -> Result<Ve
                 .collect::<Result<_>>()?;
             let mut total: usize = 1;
             for c in &columns {
-                total = total.checked_mul(c.len().max(1)).ok_or(
-                    ObjectError::BoundExceeded {
+                total = total
+                    .checked_mul(c.len().max(1))
+                    .ok_or(ObjectError::BoundExceeded {
                         what: "cons_T product",
                         bound: limit,
-                    },
-                )?;
+                    })?;
             }
             if total > limit {
                 return Err(ObjectError::BoundExceeded {
@@ -192,11 +190,7 @@ fn compositions(n: usize) -> Vec<Vec<usize>> {
     out
 }
 
-fn pick_values(
-    by_size: &[Vec<Value>],
-    parts: &[usize],
-    idx: usize,
-) -> Result<Vec<Vec<Value>>> {
+fn pick_values(by_size: &[Vec<Value>], parts: &[usize], idx: usize) -> Result<Vec<Vec<Value>>> {
     if idx == parts.len() {
         return Ok(vec![Vec::new()]);
     }
@@ -420,9 +414,6 @@ mod tests {
     fn compositions_of_three() {
         let mut c = compositions(3);
         c.sort();
-        assert_eq!(
-            c,
-            vec![vec![1, 1, 1], vec![1, 2], vec![2, 1], vec![3]]
-        );
+        assert_eq!(c, vec![vec![1, 1, 1], vec![1, 2], vec![2, 1], vec![3]]);
     }
 }

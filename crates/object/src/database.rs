@@ -142,9 +142,7 @@ impl Instance {
 
     /// Build an instance from a set object's members.
     pub fn from_set_value(v: &Value) -> Option<Instance> {
-        v.as_set().map(|s| Instance {
-            values: s.clone(),
-        })
+        v.as_set().map(|s| Instance { values: s.clone() })
     }
 
     /// Total structural size of all members.
@@ -235,10 +233,7 @@ impl Schema {
 
     /// Look up the rtype of a relation.
     pub fn rtype_of(&self, name: &str) -> Option<&RType> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| t)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
     }
 
     /// True iff every relation element type is flat (no set construct) —
@@ -291,6 +286,28 @@ impl Database {
     /// by the fixpoint languages).
     pub fn get(&self, name: &str) -> Instance {
         self.relations.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Borrow a relation without cloning; `None` if absent.
+    pub fn get_ref(&self, name: &str) -> Option<&Instance> {
+        self.relations.get(name)
+    }
+
+    /// Insert a single row into a relation (creating the relation if
+    /// absent); returns true if the row is new. This is the hot-path
+    /// insertion the fixpoint engines use — unlike `get`/`set` it never
+    /// clones the instance, and duplicate rows (the common case inside a
+    /// fixpoint) cost one lookup and no allocation.
+    pub fn insert_row(&mut self, name: &str, row: &Value) -> bool {
+        if let Some(rel) = self.relations.get_mut(name) {
+            if rel.contains(row) {
+                return false;
+            }
+            return rel.insert(row.clone());
+        }
+        self.relations
+            .insert(name.to_owned(), Instance::from_values([row.clone()]));
+        true
     }
 
     /// Fetch a relation, erroring if absent.

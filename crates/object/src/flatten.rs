@@ -186,9 +186,9 @@ pub fn unflatten(root: Atom, rows: &Instance) -> Result<Value> {
             )));
         }
         let get = |i: usize| -> Result<Atom> {
-            items[i].as_atom().ok_or_else(|| {
-                ObjectError::MalformedEncoding(format!("non-atomic field in {row}"))
-            })
+            items[i]
+                .as_atom()
+                .ok_or_else(|| ObjectError::MalformedEncoding(format!("non-atomic field in {row}")))
         };
         by_id
             .entry(get(0)?)
@@ -209,9 +209,9 @@ fn unflatten_rec(
             "cycle or excessive depth in encoding".to_owned(),
         ));
     }
-    let rows = by_id.get(&id).ok_or_else(|| {
-        ObjectError::MalformedEncoding(format!("no rows for node {id}"))
-    })?;
+    let rows = by_id
+        .get(&id)
+        .ok_or_else(|| ObjectError::MalformedEncoding(format!("no rows for node {id}")))?;
     let kind = rows[0].0;
     if rows.iter().any(|(k, _, _)| *k != kind) {
         return Err(ObjectError::MalformedEncoding(format!(

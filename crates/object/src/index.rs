@@ -1,0 +1,153 @@
+//! First-column hash indexes over relation instances.
+//!
+//! The deductive engines join a rule body left to right; by the time a
+//! literal `P(t1, …, tn)` is reached, `t1` is very often already ground
+//! under the current bindings (the idiomatic rule orders, e.g. transitive
+//! closure `T(x,z) ← E(x,y), T(y,z)`, guarantee it). A [`ColumnIndex`]
+//! groups a relation's tuple rows by their first component so such
+//! literals probe a hash bucket instead of scanning the whole relation —
+//! turning the inner join loop from O(|rel|) to O(matches).
+//!
+//! [`IndexSet`] caches one index per relation, built on first use and
+//! kept in sync by the engine notifying it of every inserted row. The
+//! engines only ever grow relations during a fixpoint, so no invalidation
+//! path is needed.
+
+use crate::database::Instance;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// The first column of a row, when the row is a non-empty tuple.
+///
+/// Rows that are not tuples (bare objects in unary relations) have no
+/// first column; literals of arity ≥ 2 can never match them, and unary
+/// literals with a ground argument are answered by a direct
+/// `Instance::contains` instead of an index probe.
+pub fn first_column(row: &Value) -> Option<&Value> {
+    row.as_tuple().and_then(|items| items.first())
+}
+
+/// A hash index over one relation: tuple rows grouped by first component.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnIndex {
+    by_first: HashMap<Value, Vec<Value>>,
+    rows_indexed: usize,
+}
+
+impl ColumnIndex {
+    /// Build from an instance's current rows.
+    pub fn build(inst: &Instance) -> ColumnIndex {
+        let mut idx = ColumnIndex::default();
+        for row in inst.iter() {
+            idx.insert(row);
+        }
+        idx
+    }
+
+    /// Add one row (no-op for rows without a first column).
+    pub fn insert(&mut self, row: &Value) {
+        if let Some(key) = first_column(row) {
+            self.by_first
+                .entry(key.clone())
+                .or_default()
+                .push(row.clone());
+            self.rows_indexed += 1;
+        }
+    }
+
+    /// All rows whose first component equals `key`.
+    pub fn probe(&self, key: &Value) -> &[Value] {
+        self.by_first.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of rows the index covers.
+    pub fn len(&self) -> usize {
+        self.rows_indexed
+    }
+
+    /// True if no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rows_indexed == 0
+    }
+}
+
+/// A per-relation cache of [`ColumnIndex`]es over a growing database.
+#[derive(Clone, Debug, Default)]
+pub struct IndexSet {
+    map: HashMap<String, ColumnIndex>,
+}
+
+impl IndexSet {
+    /// An empty cache.
+    pub fn new() -> IndexSet {
+        IndexSet::default()
+    }
+
+    /// The index for `name`, building it from `inst` on first use.
+    ///
+    /// The caller must pass the same live instance every time and report
+    /// subsequent insertions via [`IndexSet::note_insert`], otherwise the
+    /// cached index goes stale.
+    pub fn of(&mut self, name: &str, inst: &Instance) -> &ColumnIndex {
+        self.map
+            .entry(name.to_owned())
+            .or_insert_with(|| ColumnIndex::build(inst))
+    }
+
+    /// Record a row newly inserted into relation `name`. Relations whose
+    /// index has not been built yet are skipped — the row will be picked
+    /// up when (if ever) the index is first built.
+    pub fn note_insert(&mut self, name: &str, row: &Value) {
+        if let Some(idx) = self.map.get_mut(name) {
+            idx.insert(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, tuple};
+
+    fn rel() -> Instance {
+        Instance::from_rows([
+            [atom(1), atom(10)],
+            [atom(1), atom(11)],
+            [atom(2), atom(20)],
+        ])
+    }
+
+    #[test]
+    fn probe_groups_by_first_column() {
+        let idx = ColumnIndex::build(&rel());
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.probe(&atom(1)).len(), 2);
+        assert_eq!(idx.probe(&atom(2)), &[tuple([atom(2), atom(20)])]);
+        assert!(idx.probe(&atom(3)).is_empty());
+    }
+
+    #[test]
+    fn non_tuple_rows_are_not_indexed() {
+        let mut idx = ColumnIndex::default();
+        idx.insert(&atom(5));
+        idx.insert(&Value::Tuple(vec![]));
+        assert!(idx.is_empty());
+        assert!(idx.probe(&atom(5)).is_empty());
+    }
+
+    #[test]
+    fn index_set_stays_in_sync_with_inserts() {
+        let mut inst = rel();
+        let mut set = IndexSet::new();
+        assert_eq!(set.of("R", &inst).probe(&atom(1)).len(), 2);
+        // grow the relation and notify the cache
+        let row = tuple([atom(1), atom(12)]);
+        inst.insert(row.clone());
+        set.note_insert("R", &row);
+        assert_eq!(set.of("R", &inst).probe(&atom(1)).len(), 3);
+        // un-built relations ignore notifications, then build fresh
+        set.note_insert("S", &row);
+        let s = Instance::from_rows([[atom(9), atom(9)]]);
+        assert_eq!(set.of("S", &s).probe(&atom(9)).len(), 1);
+    }
+}

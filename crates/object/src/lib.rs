@@ -20,7 +20,10 @@
 //!   finite for types and depth-bounded for rtypes mentioning `Obj`;
 //! * LDM-style flattening of arbitrary complex objects into flat
 //!   `{[U,U,U,U]}` relations with invented surrogate identifiers
-//!   ([`flatten`]) — the representation used in the proof of Theorem 6.3.
+//!   ([`flatten`]) — the representation used in the proof of Theorem 6.3;
+//! * the evaluation substrate shared by the deductive engines:
+//!   first-column hash indexes over instances ([`index`]) and work
+//!   counters ([`stats`]).
 //!
 //! The crate is deliberately free of interior mutability and global state
 //! except for the process-wide atom name interner, which only affects
@@ -31,15 +34,19 @@ pub mod cons;
 pub mod database;
 pub mod error;
 pub mod flatten;
+pub mod index;
 pub mod lists;
 pub mod perm;
 pub mod rtype;
+pub mod stats;
 pub mod value;
 
 pub use atom::Atom;
 pub use database::{Database, Instance, Schema};
 pub use error::{ObjectError, Result};
+pub use index::{ColumnIndex, IndexSet};
 pub use rtype::{RType, Type};
+pub use stats::EvalStats;
 pub use value::Value;
 
 /// Convenience constructor: an atomic value.

@@ -173,9 +173,6 @@ mod tests {
         let sigma = Permutation::swap(Atom::new(1), Atom::new(9));
         let renamed = sigma.apply_value(&l);
         assert!(is_list(&renamed));
-        assert_eq!(
-            list_to_values(&renamed),
-            Some(vec![atom(9), atom(2)])
-        );
+        assert_eq!(list_to_values(&renamed), Some(vec![atom(9), atom(2)]));
     }
 }

@@ -225,8 +225,7 @@ mod tests {
         assert_eq!(all_permutations(&[a(1), a(2), a(3)]).len(), 6);
         // all distinct
         let perms = all_permutations(&[a(1), a(2), a(3), a(4)]);
-        let set: std::collections::BTreeSet<_> =
-            perms.iter().map(|p| format!("{p:?}")).collect();
+        let set: std::collections::BTreeSet<_> = perms.iter().map(|p| format!("{p:?}")).collect();
         assert_eq!(set.len(), 24);
     }
 
@@ -236,8 +235,7 @@ mod tests {
         let mut f = |db: &Database| Some(db.get("R"));
         let mut db = Database::empty();
         db.set("R", Instance::from_rows([[atom(1), atom(2)]]));
-        let violation =
-            find_genericity_violation(&mut f, &db, &BTreeSet::new(), &[a(10), a(11)]);
+        let violation = find_genericity_violation(&mut f, &db, &BTreeSet::new(), &[a(10), a(11)]);
         assert!(violation.is_none());
     }
 

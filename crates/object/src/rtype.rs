@@ -242,7 +242,9 @@ mod tests {
         assert!(!rel.contains(&bad));
         // the empty set inhabits every set type
         assert!(rel.contains(&Value::empty_set()));
-        assert!(Type::Set(Box::new(Type::Set(Box::new(Type::Atomic)))).contains(&Value::empty_set()));
+        assert!(
+            Type::Set(Box::new(Type::Set(Box::new(Type::Atomic)))).contains(&Value::empty_set())
+        );
     }
 
     #[test]
@@ -256,7 +258,10 @@ mod tests {
 
     #[test]
     fn rtype_embedding_roundtrip() {
-        let t = Type::Set(Box::new(Type::Tuple(vec![Type::Atomic, Type::nested_set(2)])));
+        let t = Type::Set(Box::new(Type::Tuple(vec![
+            Type::Atomic,
+            Type::nested_set(2),
+        ])));
         let r = t.to_rtype();
         assert!(r.is_strict());
         assert_eq!(r.to_type(), Some(t));

@@ -1,0 +1,91 @@
+//! Work counters for the deductive engines.
+//!
+//! Wall-clock alone cannot distinguish "the engine did less work" from
+//! "the machine was faster", so the engines in `uset-deductive` thread an
+//! [`EvalStats`] through their fixpoints and the bench harness reports
+//! these counts alongside timing. The semi-naive ablations assert on them
+//! directly: a correct semi-naive engine derives strictly fewer tuples
+//! than the naive engine on recursive workloads.
+
+/// Cumulative work counters for one evaluation (or several, when reused
+/// across strata — counters only ever accumulate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds executed.
+    pub rounds: u64,
+    /// Rule firings (one per rule × round × delta-rewriting variant).
+    pub rules_fired: u64,
+    /// Tuples derived before deduplication — the raw join output volume,
+    /// the number a semi-naive engine exists to shrink.
+    pub tuples_derived: u64,
+    /// Hash-index probes that replaced full relation scans.
+    pub index_probes: u64,
+    /// Largest total fact count observed in the evolving state.
+    pub peak_facts: usize,
+}
+
+impl EvalStats {
+    /// Record the current total fact count, keeping the running peak.
+    pub fn observe_facts(&mut self, facts: usize) {
+        self.peak_facts = self.peak_facts.max(facts);
+    }
+
+    /// Fold another evaluation's counters into this one (counts add,
+    /// peaks max) — for callers that evaluate in phases with separate
+    /// stats.
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.rounds += other.rounds;
+        self.rules_fired += other.rules_fired;
+        self.tuples_derived += other.tuples_derived;
+        self.index_probes += other.index_probes;
+        self.peak_facts = self.peak_facts.max(other.peak_facts);
+    }
+}
+
+impl std::fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} rules_fired={} tuples_derived={} index_probes={} peak_facts={}",
+            self.rounds, self.rules_fired, self.tuples_derived, self.index_probes, self.peak_facts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::EvalStats;
+
+    #[test]
+    fn absorb_adds_counts_and_maxes_peak() {
+        let mut a = EvalStats {
+            rounds: 2,
+            rules_fired: 10,
+            tuples_derived: 100,
+            index_probes: 5,
+            peak_facts: 40,
+        };
+        let b = EvalStats {
+            rounds: 3,
+            rules_fired: 1,
+            tuples_derived: 1,
+            index_probes: 1,
+            peak_facts: 7,
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.rules_fired, 11);
+        assert_eq!(a.tuples_derived, 101);
+        assert_eq!(a.index_probes, 6);
+        assert_eq!(a.peak_facts, 40);
+    }
+
+    #[test]
+    fn observe_facts_tracks_peak() {
+        let mut s = EvalStats::default();
+        s.observe_facts(3);
+        s.observe_facts(9);
+        s.observe_facts(6);
+        assert_eq!(s.peak_facts, 9);
+    }
+}

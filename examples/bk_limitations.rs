@@ -82,7 +82,10 @@ fn main() {
     assert!(!converged);
     let mut sample: Vec<&BkObject> = st["LIST"].iter().collect();
     sample.sort_by_key(|o| o.size());
-    println!("  after 5 rounds LIST holds {} facts; deepest:", sample.len());
+    println!(
+        "  after 5 rounds LIST holds {} facts; deepest:",
+        sample.len()
+    );
     for o in sample.iter().rev().take(3) {
         println!("    {o}");
     }

@@ -7,8 +7,8 @@
 //! ```
 
 use untyped_sets::calculus::{
-    eval_fi, eval_terminal, eval_with_invention, strip_invented, CalcConfig, CalcQuery,
-    CalcTerm, Formula, InventionOutcome,
+    eval_fi, eval_terminal, eval_with_invention, strip_invented, CalcConfig, CalcQuery, CalcTerm,
+    Formula, InventionOutcome,
 };
 use untyped_sets::core::halting::{f_halt_fi, f_halt_terminal, TerminalHalting};
 use untyped_sets::gtm::tm::{always_halt_machine, halt_iff_even_machine, never_halt_machine};

@@ -13,14 +13,11 @@ fn main() {
     let mut db = Database::empty();
     db.set(
         "R",
-        Instance::from_rows([
-            [atom(1), atom(2)],
-            [atom(2), atom(3)],
-            [atom(3), atom(4)],
-        ]),
+        Instance::from_rows([[atom(1), atom(2)], [atom(2), atom(3)], [atom(3), atom(4)]]),
     );
     let schema = Schema::flat([("R", 2)]);
-    db.check_schema(&schema).expect("R is a flat binary relation");
+    db.check_schema(&schema)
+        .expect("R is a flat binary relation");
     println!("input database:\n{db}");
 
     // Algebra: σ, π, × as an assignment-sequence program — compose R with

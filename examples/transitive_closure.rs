@@ -17,11 +17,7 @@ fn main() {
     let mut db = Database::empty();
     db.set(
         "R",
-        Instance::from_rows([
-            [atom(0), atom(1)],
-            [atom(1), atom(2)],
-            [atom(0), atom(2)],
-        ]),
+        Instance::from_rows([[atom(0), atom(1)], [atom(1), atom(2)], [atom(0), atom(2)]]),
     );
     println!("edges: {}", db.get("R"));
 

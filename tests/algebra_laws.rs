@@ -12,14 +12,13 @@ use untyped_sets::algebra::{eval_program, EvalConfig, Expr, Pred, Program, Stmt}
 use untyped_sets::object::{Atom, Database, Instance, Value};
 
 fn arb_flat_relation(arity: usize) -> impl Strategy<Value = Instance> {
-    prop::collection::vec(prop::collection::vec(0u64..5, arity..=arity), 0..7).prop_map(
-        |rows| {
-            Instance::from_rows(
-                rows.into_iter()
-                    .map(|r| r.into_iter().map(|i| Value::Atom(Atom::new(i))).collect::<Vec<_>>()),
-            )
-        },
-    )
+    prop::collection::vec(prop::collection::vec(0u64..5, arity..=arity), 0..7).prop_map(|rows| {
+        Instance::from_rows(rows.into_iter().map(|r| {
+            r.into_iter()
+                .map(|i| Value::Atom(Atom::new(i)))
+                .collect::<Vec<_>>()
+        }))
+    })
 }
 
 proptest! {

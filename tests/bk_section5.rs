@@ -6,8 +6,7 @@
 use std::collections::BTreeMap;
 use untyped_sets::bk::eval::{eval_fixpoint, eval_rounds, state_from, BkConfig, BkError};
 use untyped_sets::bk::limits::{
-    lower_binding_preserves_derivation, natural_join, search_join_programs,
-    transform_derivation,
+    lower_binding_preserves_derivation, natural_join, search_join_programs, transform_derivation,
 };
 use untyped_sets::bk::{BkObject, BkProgram};
 
@@ -116,12 +115,9 @@ fn monotonicity_of_bk_queries() {
     let prog = BkProgram::join_rule();
     let small = witness();
     let mut big = small.clone();
-    big.get_mut("R2").unwrap().insert(pair(
-        "B",
-        BkObject::atom(2),
-        "C",
-        BkObject::atom(9),
-    ));
+    big.get_mut("R2")
+        .unwrap()
+        .insert(pair("B", BkObject::atom(2), "C", BkObject::atom(9)));
     let (o1, _) = eval_fixpoint(&prog, &small, &BkConfig::default()).unwrap();
     let (o2, _) = eval_fixpoint(&prog, &big, &BkConfig::default()).unwrap();
     assert!(o1["R"].is_subset(&o2["R"]));

@@ -115,7 +115,11 @@ fn compiled_pipeline_is_generic() {
 fn order_independence_everywhere() {
     let m = swap_pairs_gtm();
     let (db, schema, t) = db_rows(
-        vec![vec![atom(1), atom(2)], vec![atom(3), atom(4)], vec![atom(5), atom(5)]],
+        vec![
+            vec![atom(1), atom(2)],
+            vec![atom(3), atom(4)],
+            vec![atom(5), atom(5)],
+        ],
         2,
     );
     let direct = check_order_independence(&m, &db, &schema, &t, 1_000_000)
@@ -157,10 +161,7 @@ fn tm_to_gtm_to_algebra_end_to_end() {
     let direct = run_gtm_query(&g, &db, &schema, &target, 1_000_000).unwrap();
     let alg = run_compiled(&g, &db, &schema, &target, &alg_cfg()).unwrap();
     assert_eq!(direct, alg);
-    assert_eq!(
-        alg,
-        Some(Instance::from_rows([[Value::Atom(c)]]))
-    );
+    assert_eq!(alg, Some(Instance::from_rows([[Value::Atom(c)]])));
 }
 
 /// Undefinedness (`?`) propagates identically through all paths.
@@ -172,7 +173,10 @@ fn undefined_propagates() {
         run_gtm_query(&m, &db, &schema, &t, 1_000_000).unwrap(),
         None
     );
-    assert_eq!(run_compiled(&m, &db, &schema, &t, &alg_cfg()).unwrap(), None);
+    assert_eq!(
+        run_compiled(&m, &db, &schema, &t, &alg_cfg()).unwrap(),
+        None
+    );
     assert_eq!(
         run_col_compiled(&m, &db, &schema, &t, &col_cfg()).unwrap(),
         None

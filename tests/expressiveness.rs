@@ -115,13 +115,18 @@ fn typed_untyped_classification() {
     assert_eq!(classify(&chain, &schema).unwrap(), Level::UntypedSets);
     // the compiled GTM simulation is untyped too (its CHAIN variable
     // mixes atoms and sets)
-    let compiled = untyped_sets::core::gtm_to_alg::compile_gtm(
-        &untyped_sets::gtm::machines::identity_gtm(),
-    );
+    let compiled =
+        untyped_sets::core::gtm_to_alg::compile_gtm(&untyped_sets::gtm::machines::identity_gtm());
     let input_schema = Schema::new([
-        ("T1_init".to_owned(), RType::Tuple(vec![RType::Obj, RType::Atomic])),
+        (
+            "T1_init".to_owned(),
+            RType::Tuple(vec![RType::Obj, RType::Atomic]),
+        ),
         ("CHAIN_init".to_owned(), RType::Obj),
-        ("SUCC_init".to_owned(), RType::Tuple(vec![RType::Obj, RType::Obj])),
+        (
+            "SUCC_init".to_owned(),
+            RType::Tuple(vec![RType::Obj, RType::Obj]),
+        ),
         ("LAST_init".to_owned(), RType::Obj),
     ])
     .unwrap();

@@ -11,8 +11,8 @@
 
 use std::collections::BTreeSet;
 use untyped_sets::calculus::{
-    eval_fi, eval_query, eval_terminal, eval_with_invention, strip_invented, CalcConfig,
-    CalcQuery, CalcTerm, Formula, InventionOutcome,
+    eval_fi, eval_query, eval_terminal, eval_with_invention, strip_invented, CalcConfig, CalcQuery,
+    CalcTerm, Formula, InventionOutcome,
 };
 use untyped_sets::core::halting::{f_halt_fi, f_halt_terminal, TerminalHalting};
 use untyped_sets::gtm::tm::{halt_iff_even_machine, never_halt_machine, Tm, TmMove, BLANK};
@@ -149,11 +149,7 @@ fn terminal_invention_selective_definedness() {
     let q = CalcQuery::new(
         "x",
         RType::Atomic,
-        Formula::Pred(
-            "R".into(),
-            CalcTerm::Tuple(vec![CalcTerm::var("x")]),
-        )
-        .or(Formula::Pred(
+        Formula::Pred("R".into(), CalcTerm::Tuple(vec![CalcTerm::var("x")])).or(Formula::Pred(
             "R".into(),
             CalcTerm::Tuple(vec![CalcTerm::var("y")]),
         )

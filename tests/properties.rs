@@ -17,22 +17,17 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(Value::Tuple),
-            prop::collection::vec(inner, 0..4)
-                .prop_map(|vs| Value::Set(vs.into_iter().collect())),
+            prop::collection::vec(inner, 0..4).prop_map(|vs| Value::Set(vs.into_iter().collect())),
         ]
     })
 }
 
 /// Strategy: arbitrary BK objects over a small atom pool.
 fn arb_bk() -> impl Strategy<Value = BkObject> {
-    let leaf = prop_oneof![
-        Just(BkObject::Bottom),
-        (0u64..5).prop_map(BkObject::atom),
-    ];
+    let leaf = prop_oneof![Just(BkObject::Bottom), (0u64..5).prop_map(BkObject::atom),];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            prop::collection::btree_map("[ABC]", inner.clone(), 0..3)
-                .prop_map(BkObject::Tuple),
+            prop::collection::btree_map("[ABC]", inner.clone(), 0..3).prop_map(BkObject::Tuple),
             prop::collection::vec(inner, 0..3)
                 .prop_map(|vs| BkObject::Set(vs.into_iter().collect())),
         ]

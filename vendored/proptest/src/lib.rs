@@ -1,0 +1,206 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build container has no crates.io access, so the real proptest
+//! cannot be fetched. This crate reimplements the subset of the API the
+//! workspace's property tests use, under the same paths:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! * strategies for integer ranges, 2-/3-tuples of strategies,
+//!   [`strategy::Just`], simple char-class string patterns (`"[ABC]"`),
+//!   [`collection::vec`] and [`collection::btree_map`];
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`, plus
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`];
+//! * a deterministic [`test_runner::TestRng`] so failures reproduce.
+//!
+//! **Deliberately absent:** shrinking, failure persistence, regex-general
+//! string strategies, and `any::<T>()` derivation. A failing case prints
+//! the case number and the assertion message; inputs are deterministic
+//! per test (fixed seed), so a failure reproduces by re-running the test.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`, `::btree_map`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size range for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.hi == self.lo {
+                self.lo
+            } else {
+                self.lo + (rng.next_u64() as usize) % (self.hi - self.lo + 1)
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`. Duplicate keys
+    /// collapse, so the map may be smaller than the drawn size — same
+    /// behavior as the real proptest.
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` strategy.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_nested() -> impl Strategy<Value = usize> {
+        let leaf = (1usize..4).prop_map(|n| n);
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(|vs| vs.into_iter().sum())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0u64..7, (a, b) in (0u64..5, 0u64..5)) {
+            prop_assert!(x < 7);
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn vec_sizes_respected(vs in prop::collection::vec(0u64..3, 2..5)) {
+            prop_assert!((2..5).contains(&vs.len()));
+            prop_assert!(vs.iter().all(|&v| v < 3));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(10u64), 0u64..5]) {
+            prop_assert!(v == 10 || v < 5);
+        }
+
+        #[test]
+        fn recursion_terminates(n in arb_nested()) {
+            prop_assert!(n >= 1);
+        }
+
+        #[test]
+        fn char_class_pattern(s in "[ABC]") {
+            prop_assert!(matches!(s.as_str(), "A" | "B" | "C"));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(n in 0u64..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        inner();
+    }
+}
