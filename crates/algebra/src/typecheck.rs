@@ -360,6 +360,93 @@ mod tests {
     }
 
     #[test]
+    fn arity_mismatched_union_joins_to_obj() {
+        // unioning relations of different tuple arities has no common
+        // strict shape: the join collapses to Obj, not a wider tuple
+        let schema = Schema::flat([("R", 2), ("S", 3)]);
+        let prog = Program::new(vec![Stmt::assign(
+            ANS,
+            Expr::var("R").union(Expr::var("S")),
+        )]);
+        let env = infer_types(&prog, &schema).unwrap();
+        assert_eq!(env[ANS], RType::Obj);
+        assert_eq!(classify(&prog, &schema).unwrap(), Level::UntypedSets);
+    }
+
+    #[test]
+    fn componentwise_heterogeneity_joins_inside_the_tuple() {
+        // same arity but one column differs in shape: the join stays a
+        // tuple and only the offending component widens to Obj
+        let prog = Program::new(vec![
+            Stmt::assign("g", Expr::var("R").nest([1])), // [U, {U}]
+            Stmt::assign(ANS, Expr::var("R").union(Expr::var("g"))),
+        ]);
+        let env = infer_types(&prog, &schema_r2()).unwrap();
+        assert_eq!(env[ANS], RType::Tuple(vec![RType::Atomic, RType::Obj]));
+        assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::UntypedSets);
+    }
+
+    #[test]
+    fn loop_carried_read_before_assign_detected() {
+        // the body reads `carry` before anything defines it: the first
+        // iteration would fault, and inference reports it
+        let prog = Program::new(vec![
+            Stmt::assign("d", Expr::var("R")),
+            Stmt::while_loop(
+                "out",
+                "d",
+                "d",
+                vec![
+                    Stmt::assign("x", Expr::var("carry")),
+                    Stmt::assign("carry", Expr::var("R")),
+                ],
+            ),
+            Stmt::assign(ANS, Expr::var("out")),
+        ]);
+        assert_eq!(
+            infer_types(&prog, &schema_r2()),
+            Err(TypeError::Unbound("carry".to_owned()))
+        );
+        // seeding the carried variable before the loop makes it legal
+        let seeded = Program::new(vec![
+            Stmt::assign("carry", Expr::var("R")),
+            Stmt::assign("d", Expr::var("R")),
+            Stmt::while_loop(
+                "out",
+                "d",
+                "d",
+                vec![
+                    Stmt::assign("x", Expr::var("carry")),
+                    Stmt::assign("carry", Expr::var("R")),
+                ],
+            ),
+            Stmt::assign(ANS, Expr::var("out")),
+        ]);
+        assert!(infer_types(&seeded, &schema_r2()).is_ok());
+    }
+
+    #[test]
+    fn loop_carried_widening_terminates_at_obj() {
+        // x grows a singleton level per iteration; the join lattice has
+        // bounded ascent, so the fixpoint loop must terminate — with x
+        // widened past any strict type
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R").project([0])),
+            Stmt::assign("d", Expr::var("R")),
+            Stmt::while_loop(
+                "out",
+                "x",
+                "d",
+                vec![Stmt::assign("x", Expr::var("x").singleton())],
+            ),
+            Stmt::assign(ANS, Expr::var("out")),
+        ]);
+        let env = infer_types(&prog, &schema_r2()).unwrap();
+        assert!(!env["x"].is_strict());
+        assert_eq!(classify(&prog, &schema_r2()).unwrap(), Level::UntypedSets);
+    }
+
+    #[test]
     fn constant_types_are_precise() {
         let homog = Expr::Const(Instance::from_values([atom(1), atom(2)]));
         let het = Expr::Const(Instance::from_values([atom(1), set([atom(2)])]));

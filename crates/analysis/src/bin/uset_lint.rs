@@ -1,0 +1,182 @@
+//! `uset-lint` — run every applicable analysis pass over program files or
+//! the built-in corpus.
+//!
+//! ```text
+//! uset-lint [--json] [--corpus examples|pathologies|all] [--codes] [FILE ...]
+//! ```
+//!
+//! Files are dispatched on extension: `.col` (COL) and `.bk` (BK). With no
+//! files and no `--corpus`, the examples corpus is linted. Exit status:
+//! 0 clean, 1 if any error-severity diagnostic was produced, 2 on a parse
+//! or usage error.
+
+use std::process::ExitCode;
+use uset_analysis::diag::json_escape;
+use uset_analysis::{corpus, parse_bk, parse_col, Registry, Report, ALL_CODES};
+
+struct Options {
+    json: bool,
+    codes: bool,
+    corpus: Option<String>,
+    files: Vec<String>,
+}
+
+const USAGE: &str =
+    "usage: uset-lint [--json] [--corpus examples|pathologies|all] [--codes] [FILE ...]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        codes: false,
+        corpus: None,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--codes" => opts.codes = true,
+            "--corpus" => {
+                let which = it.next().ok_or("--corpus needs an argument")?;
+                match which.as_str() {
+                    "examples" | "pathologies" | "all" => opts.corpus = Some(which.clone()),
+                    other => return Err(format!("unknown corpus {other:?}")),
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_codes(json: bool) {
+    if json {
+        let entries: Vec<String> = ALL_CODES
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"code\":\"{c}\",\"severity\":\"{}\",\"title\":\"{}\",\"citation\":\"{}\"}}",
+                    c.default_severity(),
+                    json_escape(c.title()),
+                    json_escape(c.citation()),
+                )
+            })
+            .collect();
+        println!("[{}]", entries.join(","));
+    } else {
+        for c in ALL_CODES {
+            println!(
+                "{c}  {:7}  {:28} {}",
+                c.default_severity().as_str(),
+                c.title(),
+                c.citation()
+            );
+        }
+    }
+}
+
+/// One analyzed unit: a name plus its report.
+struct Analyzed {
+    name: String,
+    report: Report,
+}
+
+fn lint_file(registry: &Registry, path: &str) -> Result<Analyzed, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let report = if path.ends_with(".col") {
+        let prog = parse_col(&src).map_err(|e| format!("{path}: {e}"))?;
+        registry.run(&uset_analysis::Target::Col(&prog))
+    } else if path.ends_with(".bk") {
+        let prog = parse_bk(&src).map_err(|e| format!("{path}: {e}"))?;
+        registry.run(&uset_analysis::Target::Bk(&prog))
+    } else {
+        return Err(format!("{path}: unknown extension (expected .col or .bk)"));
+    };
+    Ok(Analyzed {
+        name: path.to_owned(),
+        report,
+    })
+}
+
+fn lint_corpus(registry: &Registry, which: &str) -> Vec<Analyzed> {
+    let entries = match which {
+        "examples" => corpus::examples(),
+        "pathologies" => corpus::pathologies(),
+        _ => corpus::corpus(),
+    };
+    entries
+        .iter()
+        .map(|e| Analyzed {
+            name: format!("corpus:{}", e.name),
+            report: registry.run(&e.program.as_target()),
+        })
+        .collect()
+}
+
+fn render(units: &[Analyzed], json: bool) {
+    if json {
+        let objs: Vec<String> = units
+            .iter()
+            .map(|u| {
+                format!(
+                    "{{\"target\":\"{}\",\"diagnostics\":{}}}",
+                    json_escape(&u.name),
+                    u.report.to_json()
+                )
+            })
+            .collect();
+        println!("[{}]", objs.join(","));
+    } else {
+        for u in units {
+            if u.report.diagnostics.is_empty() {
+                println!("{}: clean", u.name);
+            } else {
+                println!("{}:", u.name);
+                for d in &u.report.diagnostics {
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.codes {
+        print_codes(opts.json);
+        return ExitCode::SUCCESS;
+    }
+    let registry = Registry::with_default_passes();
+    let mut units = Vec::new();
+    for file in &opts.files {
+        match lint_file(&registry, file) {
+            Ok(u) => units.push(u),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(which) = &opts.corpus {
+        units.extend(lint_corpus(&registry, which));
+    } else if opts.files.is_empty() {
+        units.extend(lint_corpus(&registry, "examples"));
+    }
+    render(&units, opts.json);
+    let has_errors = units.iter().any(|u| u.report.has_errors());
+    if has_errors {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,389 @@
+//! A built-in corpus of analyzable programs.
+//!
+//! Two groups: [`Group::Examples`] mirrors the programs the shipped
+//! `examples/` build (these must lint clean — no error-severity
+//! diagnostics), and [`Group::Pathology`] holds the paper's counterexample
+//! programs, each of which must trip its lint. The `uset-lint` CLI and the
+//! integration tests both run over this corpus.
+
+use crate::pass::Target;
+use uset_algebra::derived::{tc_powerset_program, tc_while_program};
+use uset_algebra::{Expr, Level, Pred, Program as AlgProgram, Stmt};
+use uset_bk::{BkObject, BkProgram};
+use uset_calculus::{CalcQuery, CalcTerm, Formula};
+use uset_core::gtm_to_alg::compile_gtm;
+use uset_deductive::chain::chain_rules;
+use uset_deductive::{
+    ColLiteral, ColProgram, ColRule, ColTerm, DatalogProgram, DlAtom, DlRule, DlTerm,
+};
+use uset_gtm::machines::swap_pairs_gtm;
+use uset_object::{Atom, RType, Schema, Type};
+
+/// An owned program of any of the five languages.
+pub enum OwnedProgram {
+    /// COL program.
+    Col(ColProgram),
+    /// DATALOG¬ program.
+    Datalog(DatalogProgram),
+    /// BK program.
+    Bk(BkProgram),
+    /// Algebra program with its input schema.
+    Algebra(AlgProgram, Schema),
+    /// Calculus query.
+    Calculus(CalcQuery),
+}
+
+impl OwnedProgram {
+    /// Borrow as an analysis target.
+    pub fn as_target(&self) -> Target<'_> {
+        match self {
+            OwnedProgram::Col(p) => Target::Col(p),
+            OwnedProgram::Datalog(p) => Target::Datalog(p),
+            OwnedProgram::Bk(p) => Target::Bk(p),
+            OwnedProgram::Algebra(p, s) => Target::Algebra(p, s),
+            OwnedProgram::Calculus(q) => Target::Calculus(q),
+        }
+    }
+}
+
+/// Which corpus group an entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Group {
+    /// Mirrors the shipped examples; must produce no error diagnostics.
+    Examples,
+    /// The paper's counterexamples; each must trip its lint.
+    Pathology,
+}
+
+/// One corpus entry.
+pub struct CorpusEntry {
+    /// Stable name (shown by `uset-lint --corpus`).
+    pub name: &'static str,
+    /// Group.
+    pub group: Group,
+    /// For algebra entries: the expected tsALG/ALG classification, used by
+    /// the classification round-trip test.
+    pub expected_level: Option<Level>,
+    /// The program.
+    pub program: OwnedProgram,
+}
+
+fn entry(name: &'static str, group: Group, program: OwnedProgram) -> CorpusEntry {
+    CorpusEntry {
+        name,
+        group,
+        expected_level: None,
+        program,
+    }
+}
+
+fn alg_entry(
+    name: &'static str,
+    group: Group,
+    prog: AlgProgram,
+    schema: Schema,
+    level: Level,
+) -> CorpusEntry {
+    CorpusEntry {
+        name,
+        group,
+        expected_level: Some(level),
+        program: OwnedProgram::Algebra(prog, schema),
+    }
+}
+
+fn flat_r() -> Schema {
+    Schema::flat([("R", 2)])
+}
+
+fn col_tc() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("R", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ),
+    ])
+}
+
+fn datalog_tc() -> DatalogProgram {
+    let v = DlTerm::var;
+    DatalogProgram::new(vec![
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("y")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("z")]),
+            vec![
+                (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                (true, DlAtom::new("T", vec![v("y"), v("z")])),
+            ],
+        ),
+    ])
+}
+
+fn quickstart_compose() -> AlgProgram {
+    let compose = Expr::var("R")
+        .product(Expr::var("R"))
+        .select(Pred::eq_cols(1, 2))
+        .project([0, 3]);
+    AlgProgram::new(vec![Stmt::assign("ANS", compose)])
+}
+
+fn quickstart_heterogeneous() -> AlgProgram {
+    AlgProgram::new(vec![Stmt::assign(
+        "ANS",
+        Expr::var("R").union(Expr::var("R").project([0])),
+    )])
+}
+
+fn calc_compose() -> CalcQuery {
+    let body = Formula::Eq(
+        CalcTerm::var("t"),
+        CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("z")]),
+    )
+    .and(Formula::Pred(
+        "R".into(),
+        CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+    ))
+    .and(Formula::Pred(
+        "R".into(),
+        CalcTerm::Tuple(vec![CalcTerm::var("y"), CalcTerm::var("z")]),
+    ))
+    .exists("z", RType::Atomic)
+    .exists("y", RType::Atomic)
+    .exists("x", RType::Atomic);
+    CalcQuery::new("t", Type::atomic_tuple(2).to_rtype(), body)
+}
+
+fn calc_untyped_exists() -> CalcQuery {
+    // { x/U | ∃s/Obj-set (x ∈ s ∧ R(s)) } — CALC∃, finite invention
+    CalcQuery::new(
+        "x",
+        RType::Atomic,
+        Formula::Member(CalcTerm::var("x"), CalcTerm::var("s"))
+            .and(Formula::Pred("R".into(), CalcTerm::var("s")))
+            .exists("s", RType::untyped_set()),
+    )
+}
+
+fn gtm_schema() -> Schema {
+    Schema::new(
+        ["T1_init", "CHAIN_init", "SUCC_init", "LAST_init"]
+            .into_iter()
+            .map(|n| (n.to_owned(), RType::untyped_set())),
+    )
+    .expect("distinct names")
+}
+
+fn col_strong_cycle() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred("P", vec![v("x")], vec![ColLiteral::pred("Q", vec![v("x")])]),
+        ColRule::pred(
+            "Q",
+            vec![v("x")],
+            vec![
+                ColLiteral::pred("R", vec![v("x")]),
+                ColLiteral::not_pred("P", vec![v("x")]),
+            ],
+        ),
+    ])
+}
+
+fn powerset_under_while() -> AlgProgram {
+    AlgProgram::new(vec![
+        Stmt::assign("x", Expr::var("R").powerset()),
+        Stmt::assign("y", Expr::var("R")),
+        Stmt::while_loop(
+            "z",
+            "x",
+            "y",
+            vec![Stmt::assign("y", Expr::var("y").diff(Expr::var("y")))],
+        ),
+        Stmt::assign("ANS", Expr::var("z")),
+    ])
+}
+
+fn stuck_while() -> AlgProgram {
+    AlgProgram::new(vec![
+        Stmt::assign("x", Expr::var("R")),
+        Stmt::assign("y", Expr::var("R")),
+        Stmt::while_loop("z", "x", "y", vec![Stmt::assign("x", Expr::var("x"))]),
+        Stmt::assign("ANS", Expr::var("z")),
+    ])
+}
+
+fn calc_free_variable() -> CalcQuery {
+    CalcQuery::new(
+        "x",
+        RType::Atomic,
+        Formula::Eq(CalcTerm::var("x"), CalcTerm::var("stray")),
+    )
+}
+
+/// The full corpus, examples first.
+pub fn corpus() -> Vec<CorpusEntry> {
+    vec![
+        // --- examples: must be free of error diagnostics ------------------
+        alg_entry(
+            "quickstart-compose",
+            Group::Examples,
+            quickstart_compose(),
+            flat_r(),
+            Level::TypedSets,
+        ),
+        alg_entry(
+            "quickstart-heterogeneous-union",
+            Group::Examples,
+            quickstart_heterogeneous(),
+            flat_r(),
+            Level::UntypedSets,
+        ),
+        alg_entry(
+            "tc-while",
+            Group::Examples,
+            tc_while_program("R"),
+            flat_r(),
+            Level::TypedSets,
+        ),
+        alg_entry(
+            "tc-powerset",
+            Group::Examples,
+            tc_powerset_program("R"),
+            flat_r(),
+            Level::TypedSets,
+        ),
+        alg_entry(
+            "gtm-swap-pairs-compiled",
+            Group::Examples,
+            compile_gtm(&swap_pairs_gtm()),
+            gtm_schema(),
+            Level::UntypedSets,
+        ),
+        entry("col-tc", Group::Examples, OwnedProgram::Col(col_tc())),
+        entry(
+            "col-guarded-chain",
+            Group::Examples,
+            OwnedProgram::Col(ColProgram::new(chain_rules(
+                "F",
+                Atom::named("seed"),
+                Vec::new(),
+            ))),
+        ),
+        entry(
+            "datalog-tc",
+            Group::Examples,
+            OwnedProgram::Datalog(datalog_tc()),
+        ),
+        entry(
+            "calc-compose",
+            Group::Examples,
+            OwnedProgram::Calculus(calc_compose()),
+        ),
+        entry(
+            "calc-untyped-exists",
+            Group::Examples,
+            OwnedProgram::Calculus(calc_untyped_exists()),
+        ),
+        // --- pathologies: each must trip its lint -------------------------
+        entry(
+            "bk-ex52-join",
+            Group::Pathology,
+            OwnedProgram::Bk(BkProgram::join_rule()),
+        ),
+        entry(
+            "bk-ex54-chain-to-list",
+            Group::Pathology,
+            OwnedProgram::Bk(BkProgram::chain_to_list(BkObject::atom(0))),
+        ),
+        entry(
+            "col-strong-cycle",
+            Group::Pathology,
+            OwnedProgram::Col(col_strong_cycle()),
+        ),
+        alg_entry(
+            "alg-powerset-under-while",
+            Group::Pathology,
+            powerset_under_while(),
+            flat_r(),
+            Level::TypedSets,
+        ),
+        alg_entry(
+            "alg-stuck-while",
+            Group::Pathology,
+            stuck_while(),
+            flat_r(),
+            Level::TypedSets,
+        ),
+        entry(
+            "calc-free-variable",
+            Group::Pathology,
+            OwnedProgram::Calculus(calc_free_variable()),
+        ),
+    ]
+}
+
+/// The example entries only.
+pub fn examples() -> Vec<CorpusEntry> {
+    corpus()
+        .into_iter()
+        .filter(|e| e.group == Group::Examples)
+        .collect()
+}
+
+/// The pathology entries only.
+pub fn pathologies() -> Vec<CorpusEntry> {
+    corpus()
+        .into_iter()
+        .filter(|e| e.group == Group::Pathology)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::Registry;
+
+    #[test]
+    fn corpus_names_unique() {
+        let names: Vec<&str> = corpus().iter().map(|e| e.name).collect();
+        let unique: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(names.len(), unique.len());
+    }
+
+    #[test]
+    fn example_entries_have_no_errors() {
+        let reg = Registry::with_default_passes();
+        for e in examples() {
+            let report = reg.run(&e.program.as_target());
+            assert!(!report.has_errors(), "{} has errors:\n{report}", e.name);
+        }
+    }
+
+    #[test]
+    fn every_pathology_trips_a_diagnostic() {
+        let reg = Registry::with_default_passes();
+        for e in pathologies() {
+            let report = reg.run(&e.program.as_target());
+            assert!(
+                report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.severity >= crate::diag::Severity::Warning),
+                "{} produced no warning/error",
+                e.name
+            );
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The shared diagnostic model: stable codes, severities, provenance,
+//! human-readable and JSON rendering.
+//!
+//! Every lint in the workspace reports through this module so that tools
+//! (the `uset-lint` CLI, CI, editors) see one uniform shape. Codes are
+//! **stable**: once shipped, a `U0xx` code keeps its meaning forever; new
+//! lints take fresh codes.
+
+use std::fmt;
+
+/// Stable diagnostic codes. Each code has a fixed default severity and a
+/// paper citation (see the README's diagnostic table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Code {
+    /// Negation or data-function read through recursion (COL / DATALOG¬).
+    U001,
+    /// Range restriction: head or negated-literal variable not bound by a
+    /// positive body literal.
+    U002,
+    /// Defined predicate unreachable from the program's output symbol.
+    U003,
+    /// BK ⊥-divergence: the head grows invented ⊥-structure along a
+    /// recursive dependency cycle (Example 5.4 / Proposition 5.5).
+    U010,
+    /// BK join misuse: a join variable shared across body atoms does not
+    /// reach the head, so a valuation may send it to ⊥ (Example 5.2 /
+    /// Proposition 5.3).
+    U011,
+    /// Algebra variable read before assignment.
+    U020,
+    /// The distinguished `ANS` variable is never assigned.
+    U021,
+    /// `powerset` used in a program that also uses `while` — redundant
+    /// expressive power (Theorem 4.1b).
+    U022,
+    /// A `while` loop whose condition variable is never reassigned in the
+    /// body — the loop cannot terminate unless it is empty on entry.
+    U023,
+    /// Language-level classification of an algebra program (tsALG vs ALG,
+    /// while/powerset fragments).
+    U024,
+    /// Ill-formed calculus query: free variable or quantifier shadowing.
+    U030,
+    /// Invention-depth classification of a calculus query (tsCALC,
+    /// CALC∃/tsCALC^fi, or tsCALC^ci — Theorems 6.1 and 6.3).
+    U031,
+}
+
+/// All codes, in numeric order (for `uset-lint --codes` and the README).
+pub const ALL_CODES: [Code; 12] = [
+    Code::U001,
+    Code::U002,
+    Code::U003,
+    Code::U010,
+    Code::U011,
+    Code::U020,
+    Code::U021,
+    Code::U022,
+    Code::U023,
+    Code::U024,
+    Code::U030,
+    Code::U031,
+];
+
+impl Code {
+    /// The stable textual form, e.g. `"U010"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::U001 => "U001",
+            Code::U002 => "U002",
+            Code::U003 => "U003",
+            Code::U010 => "U010",
+            Code::U011 => "U011",
+            Code::U020 => "U020",
+            Code::U021 => "U021",
+            Code::U022 => "U022",
+            Code::U023 => "U023",
+            Code::U024 => "U024",
+            Code::U030 => "U030",
+            Code::U031 => "U031",
+        }
+    }
+
+    /// Short kebab-case title.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::U001 => "not-stratifiable",
+            Code::U002 => "unsafe-rule",
+            Code::U003 => "dead-predicate",
+            Code::U010 => "bk-bottom-divergence",
+            Code::U011 => "bk-join-misuse",
+            Code::U020 => "read-before-assign",
+            Code::U021 => "missing-ans",
+            Code::U022 => "powerset-under-while",
+            Code::U023 => "while-never-terminates",
+            Code::U024 => "algebra-fragment",
+            Code::U030 => "calc-ill-formed",
+            Code::U031 => "invention-depth",
+        }
+    }
+
+    /// The default severity a lint reports this code at.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::U001 | Code::U002 | Code::U010 | Code::U020 | Code::U021 | Code::U030 => {
+                Severity::Error
+            }
+            Code::U003 | Code::U011 | Code::U022 | Code::U023 => Severity::Warning,
+            Code::U024 | Code::U031 => Severity::Info,
+        }
+    }
+
+    /// The paper result the code is derived from.
+    pub fn citation(self) -> &'static str {
+        match self {
+            Code::U001 => "Abiteboul–Grumbach stratification; Hull–Su §5 (Theorem 5.1 setting)",
+            Code::U002 => "classical range restriction; Hull–Su §5 evaluability",
+            Code::U003 => "dependency-graph reachability (engineering lint)",
+            Code::U010 => "Hull–Su Example 5.4 / Proposition 5.5",
+            Code::U011 => "Hull–Su Example 5.2 / Proposition 5.3",
+            Code::U020 => "Hull–Su §2 program well-formedness",
+            Code::U021 => "Hull–Su §2 (ANS is the query answer)",
+            Code::U022 => "Hull–Su Theorem 4.1(b)",
+            Code::U023 => "Hull–Su §2 (divergence maps to the undefined output ?)",
+            Code::U024 => "Hull–Su Theorems 2.1 / 4.1",
+            Code::U030 => "Hull–Su §2 query well-typedness",
+            Code::U031 => "Hull–Su Theorems 6.1 / 6.3",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity, ordered `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational classification, never a defect.
+    Info,
+    /// Suspicious but legal; evaluation proceeds.
+    Warning,
+    /// The program is rejected (or provably misbehaves) — CI fails on it.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points: an optional rule/statement index and an
+/// optional symbol (predicate, function, or variable).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Rule index (deductive/BK) or top-level statement index (algebra).
+    pub rule: Option<usize>,
+    /// The symbol the diagnostic is about.
+    pub symbol: Option<String>,
+}
+
+impl Provenance {
+    /// Provenance with only a symbol.
+    pub fn symbol(s: impl Into<String>) -> Provenance {
+        Provenance {
+            rule: None,
+            symbol: Some(s.into()),
+        }
+    }
+
+    /// Provenance with a rule index and a symbol.
+    pub fn rule(idx: usize, s: impl Into<String>) -> Provenance {
+        Provenance {
+            rule: Some(idx),
+            symbol: Some(s.into()),
+        }
+    }
+}
+
+/// One diagnostic: a coded finding of a single pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (usually [`Code::default_severity`]).
+    pub severity: Severity,
+    /// Name of the pass that produced it.
+    pub pass: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// What the diagnostic points at.
+    pub provenance: Provenance,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.code, self.severity, self.message)?;
+        if let Some(rule) = self.provenance.rule {
+            write!(f, " (rule #{rule}")?;
+            if let Some(sym) = &self.provenance.symbol {
+                write!(f, ", {sym}")?;
+            }
+            write!(f, ")")?;
+        } else if let Some(sym) = &self.provenance.symbol {
+            write!(f, " ({sym})")?;
+        }
+        write!(f, "  [{}]", self.pass)
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"code\":\"{}\"", self.code),
+            format!("\"severity\":\"{}\"", self.severity),
+            format!("\"pass\":\"{}\"", json_escape(self.pass)),
+            format!("\"message\":\"{}\"", json_escape(&self.message)),
+        ];
+        if let Some(rule) = self.provenance.rule {
+            fields.push(format!("\"rule\":{rule}"));
+        }
+        if let Some(sym) = &self.provenance.symbol {
+            fields.push(format!("\"symbol\":\"{}\"", json_escape(sym)));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// A collection of diagnostics from one or more passes over one target.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The diagnostics, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Add a diagnostic with the code's default severity.
+    pub fn push(
+        &mut self,
+        pass: &'static str,
+        code: Code,
+        provenance: Provenance,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: code.default_severity(),
+            pass,
+            message: message.into(),
+            provenance,
+        });
+    }
+
+    /// Number of diagnostics at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True iff any error-severity diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// All diagnostics carrying the given code.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Merge another report into this one.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Render as a JSON array of diagnostic objects.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_ordered() {
+        let strs: Vec<&str> = ALL_CODES.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort();
+        assert_eq!(strs, sorted);
+        for c in ALL_CODES {
+            assert!(c.as_str().starts_with('U'));
+            assert!(!c.title().is_empty());
+            assert!(!c.citation().is_empty());
+        }
+    }
+
+    #[test]
+    fn severity_order() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut r = Report::new();
+        r.push(
+            "test-pass",
+            Code::U010,
+            Provenance::rule(2, "LIST"),
+            "head \"grows\"\nalong a cycle",
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"code\":\"U010\""));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\\\"grows\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"rule\":2"));
+        assert!(j.contains("\"symbol\":\"LIST\""));
+    }
+
+    #[test]
+    fn report_counts() {
+        let mut r = Report::new();
+        r.push("p", Code::U024, Provenance::default(), "info");
+        r.push("p", Code::U011, Provenance::default(), "warn");
+        assert!(!r.has_errors());
+        r.push("p", Code::U001, Provenance::symbol("P"), "err");
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Info), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.with_code(Code::U011).len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # uset-analysis — unified static analysis for the untyped-sets languages
+//!
+//! One diagnostic model and one pass framework over all five languages of
+//! the reproduction (COL, DATALOG¬, BK, the algebra, the calculus), with
+//! lints derived from results of Hull & Su 1989:
+//!
+//! | Code | Lint | Paper source |
+//! |------|------|--------------|
+//! | U001 | not stratifiable | §5 stratified semantics |
+//! | U002 | unsafe rule / range restriction | §5 |
+//! | U003 | dead predicate | — (hygiene) |
+//! | U010 | BK ⊥-divergence | Ex 5.4 / Prop 5.5 |
+//! | U011 | BK join misuse | Ex 5.2 / Prop 5.3 |
+//! | U020 | read before assign | §2 scope rules |
+//! | U021 | missing ANS | §2 |
+//! | U022 | powerset under while | Thm 4.1b |
+//! | U023 | while never terminates | §2 (`?` convention) |
+//! | U024 | fragment classification (info) | Thm 2.1 / 4.1 |
+//! | U030 | ill-formed calculus query | §2 |
+//! | U031 | invention depth (info) | Thm 2.2 / 6.1 / 6.3 / 6.4 |
+//!
+//! Use [`Registry::with_default_passes`] and [`Target`] to run every
+//! applicable pass over a program; the `uset-lint` binary does this over
+//! program files (`.col`, `.bk`) and the built-in [`corpus`].
+
+pub mod corpus;
+pub mod diag;
+pub mod parse;
+pub mod pass;
+pub mod passes;
+
+pub use diag::{Code, Diagnostic, Provenance, Report, Severity, ALL_CODES};
+pub use parse::{parse_bk, parse_col, ParseError};
+pub use pass::{Language, Pass, Registry, Target};

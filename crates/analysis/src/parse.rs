@@ -1,0 +1,553 @@
+//! Small concrete syntaxes for COL and BK programs, so `uset-lint` can
+//! analyze programs from files.
+//!
+//! The `.col` syntax (one rule per line-or-lines, `%`/`#` comments):
+//!
+//! ```text
+//! T(x, z) :- E(x, y), T(y, z).
+//! ANS(x)  :- T(x, x), not BAD(x).
+//! u in F(seed).
+//! {u} in F(seed) :- u in F(seed).
+//! ```
+//!
+//! Lowercase identifiers are variables; uppercase identifiers are
+//! predicates / data functions when applied, named atom constants when
+//! bare; numbers are numbered atoms, `$name` is a named atom; `[…]` is a
+//! tuple, `{…}` a set literal; `=` / `!=` are (in)equality and `in` is
+//! membership (negated with a leading `not`).
+//!
+//! The `.bk` syntax follows the paper's tuple notation:
+//!
+//! ```text
+//! R{[A:x, C:z]} :- R1{[A:x, B:y]}, R2{[B:y, C:z]}.
+//! ```
+//!
+//! with `bot` / `top` for ⊥ / ⊤ and the same atom and set syntax.
+
+use std::fmt;
+use uset_bk::{BkObject, BkProgram, BkRule, BkTerm};
+use uset_deductive::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm};
+use uset_object::{atom, named};
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the offending token starts on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),  // lowercase-initial
+    Symbol(String), // uppercase-initial
+    Number(u64),
+    Dollar(String),
+    Punct(char), // ( ) [ ] { } , : .
+    Turnstile,   // :-
+    Eq,          // =
+    Neq,         // !=
+    In,          // keyword `in`
+    Not,         // keyword `not`
+    Bot,         // keyword `bot`
+    Top,         // keyword `top`
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) | Tok::Symbol(s) => write!(f, "{s}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Dollar(s) => write!(f, "${s}"),
+            Tok::Punct(c) => write!(f, "{c}"),
+            Tok::Turnstile => write!(f, ":-"),
+            Tok::Eq => write!(f, "="),
+            Tok::Neq => write!(f, "!="),
+            Tok::In => write!(f, "in"),
+            Tok::Not => write!(f, "not"),
+            Tok::Bot => write!(f, "bot"),
+            Tok::Top => write!(f, "top"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '%' | '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | '.' => {
+                out.push((Tok::Punct(c), line));
+                chars.next();
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    out.push((Tok::Turnstile, line));
+                } else {
+                    out.push((Tok::Punct(':'), line));
+                }
+            }
+            '=' => {
+                chars.next();
+                out.push((Tok::Eq, line));
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push((Tok::Neq, line));
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: "expected = after !".to_owned(),
+                    });
+                }
+            }
+            '$' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        message: "expected a name after $".to_owned(),
+                    });
+                }
+                out.push((Tok::Dollar(name), line));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0u64;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n.saturating_mul(10).saturating_add(u64::from(d));
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Number(n), line));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match name.as_str() {
+                    "in" => Tok::In,
+                    "not" => Tok::Not,
+                    "bot" => Tok::Bot,
+                    "top" => Tok::Top,
+                    _ if name.chars().next().is_some_and(|c| c.is_uppercase()) => Tok::Symbol(name),
+                    _ => Tok::Ident(name),
+                };
+                out.push((tok, line));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Cursor {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(got) if got == *t => Ok(()),
+            got => Err(ParseError {
+                line,
+                message: format!(
+                    "expected {t}, found {}",
+                    got.map_or("end of input".to_owned(), |g| g.to_string())
+                ),
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+}
+
+fn comma_separated<T>(
+    cur: &mut Cursor,
+    close: char,
+    mut item: impl FnMut(&mut Cursor) -> Result<T, ParseError>,
+) -> Result<Vec<T>, ParseError> {
+    let mut out = Vec::new();
+    if cur.eat(&Tok::Punct(close)) {
+        return Ok(out);
+    }
+    loop {
+        out.push(item(cur)?);
+        if cur.eat(&Tok::Punct(close)) {
+            return Ok(out);
+        }
+        cur.expect(&Tok::Punct(','))?;
+    }
+}
+
+// --- COL ----------------------------------------------------------------
+
+fn col_term(cur: &mut Cursor) -> Result<ColTerm, ParseError> {
+    match cur.next() {
+        Some(Tok::Ident(v)) => Ok(ColTerm::Var(v)),
+        Some(Tok::Number(n)) => Ok(ColTerm::Const(atom(n))),
+        Some(Tok::Dollar(name)) => Ok(ColTerm::Const(named(&name))),
+        Some(Tok::Symbol(f)) => {
+            if cur.eat(&Tok::Punct('(')) {
+                let args = comma_separated(cur, ')', col_term)?;
+                Ok(ColTerm::Apply(f, args))
+            } else {
+                Ok(ColTerm::Const(named(&f)))
+            }
+        }
+        Some(Tok::Punct('[')) => Ok(ColTerm::Tuple(comma_separated(cur, ']', col_term)?)),
+        Some(Tok::Punct('{')) => Ok(ColTerm::SetLit(comma_separated(cur, '}', col_term)?)),
+        got => {
+            let line = cur.line();
+            Err(ParseError {
+                line,
+                message: format!(
+                    "expected a term, found {}",
+                    got.map_or("end of input".to_owned(), |g| g.to_string())
+                ),
+            })
+        }
+    }
+}
+
+/// `P(args)`, `t in F(args)`, `t in s`, `t = u`, `t != u`, each optionally
+/// prefixed by `not`.
+fn col_literal(cur: &mut Cursor) -> Result<ColLiteral, ParseError> {
+    let positive = !cur.eat(&Tok::Not);
+    // predicate atom: Symbol '(' … ')' not followed by in/=,
+    // otherwise a term-leading literal
+    if let Some(Tok::Symbol(_)) = cur.peek() {
+        let mark = cur.pos;
+        if let Some(Tok::Symbol(name)) = cur.next() {
+            if cur.eat(&Tok::Punct('(')) {
+                let args = comma_separated(cur, ')', col_term)?;
+                // an application followed by in/=/!= is a term, not an atom
+                if !matches!(cur.peek(), Some(Tok::In) | Some(Tok::Eq) | Some(Tok::Neq)) {
+                    return Ok(ColLiteral::Pred {
+                        name,
+                        args,
+                        positive,
+                    });
+                }
+            }
+            cur.pos = mark;
+        }
+    }
+    let t = col_term(cur)?;
+    match cur.next() {
+        Some(Tok::In) => {
+            let set = col_term(cur)?;
+            Ok(ColLiteral::Member {
+                elem: t,
+                set,
+                positive,
+            })
+        }
+        Some(Tok::Eq) => Ok(ColLiteral::Eq {
+            left: t,
+            right: col_term(cur)?,
+            positive,
+        }),
+        Some(Tok::Neq) => Ok(ColLiteral::Eq {
+            left: t,
+            right: col_term(cur)?,
+            positive: !positive,
+        }),
+        _ => {
+            cur.pos -= 1;
+            cur.err("expected in, = or != after a term literal")
+        }
+    }
+}
+
+fn col_head(cur: &mut Cursor) -> Result<ColHead, ParseError> {
+    if let Some(Tok::Symbol(_)) = cur.peek() {
+        let mark = cur.pos;
+        if let Some(Tok::Symbol(name)) = cur.next() {
+            if cur.eat(&Tok::Punct('(')) {
+                let args = comma_separated(cur, ')', col_term)?;
+                if !matches!(cur.peek(), Some(Tok::In)) {
+                    return Ok(ColHead::Pred { name, args });
+                }
+            }
+            cur.pos = mark;
+        }
+    }
+    let elem = col_term(cur)?;
+    cur.expect(&Tok::In)?;
+    let line = cur.line();
+    match col_term(cur)? {
+        ColTerm::Apply(func, args) => Ok(ColHead::FuncMember { func, args, elem }),
+        other => Err(ParseError {
+            line,
+            message: format!("a membership head must target a data function F(…), found {other:?}"),
+        }),
+    }
+}
+
+/// Parse a `.col` program.
+pub fn parse_col(src: &str) -> Result<ColProgram, ParseError> {
+    let mut cur = Cursor {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let mut rules = Vec::new();
+    while cur.peek().is_some() {
+        let head = col_head(&mut cur)?;
+        let mut body = Vec::new();
+        if cur.eat(&Tok::Turnstile) {
+            loop {
+                body.push(col_literal(&mut cur)?);
+                if !cur.eat(&Tok::Punct(',')) {
+                    break;
+                }
+            }
+        }
+        cur.expect(&Tok::Punct('.'))?;
+        rules.push(ColRule {
+            head,
+            body,
+            types: Default::default(),
+        });
+    }
+    Ok(ColProgram::new(rules))
+}
+
+// --- BK -----------------------------------------------------------------
+
+fn bk_term(cur: &mut Cursor) -> Result<BkTerm, ParseError> {
+    match cur.next() {
+        Some(Tok::Ident(v)) => Ok(BkTerm::Var(v)),
+        Some(Tok::Number(n)) => Ok(BkTerm::Const(BkObject::atom(n))),
+        Some(Tok::Bot) => Ok(BkTerm::Const(BkObject::Bottom)),
+        Some(Tok::Top) => Ok(BkTerm::Const(BkObject::Top)),
+        Some(Tok::Punct('[')) => {
+            let pairs = comma_separated(cur, ']', |cur| {
+                let line = cur.line();
+                let attr = match cur.next() {
+                    Some(Tok::Symbol(a)) | Some(Tok::Ident(a)) => a,
+                    got => {
+                        return Err(ParseError {
+                            line,
+                            message: format!(
+                                "expected an attribute name, found {}",
+                                got.map_or("end of input".to_owned(), |g| g.to_string())
+                            ),
+                        })
+                    }
+                };
+                cur.expect(&Tok::Punct(':'))?;
+                Ok((attr, bk_term(cur)?))
+            })?;
+            Ok(BkTerm::Tuple(pairs.into_iter().collect()))
+        }
+        Some(Tok::Punct('{')) => Ok(BkTerm::Set(comma_separated(cur, '}', bk_term)?)),
+        got => {
+            let line = cur.line();
+            Err(ParseError {
+                line,
+                message: format!(
+                    "expected a BK pattern, found {}",
+                    got.map_or("end of input".to_owned(), |g| g.to_string())
+                ),
+            })
+        }
+    }
+}
+
+fn bk_atom(cur: &mut Cursor) -> Result<(String, BkTerm), ParseError> {
+    let line = cur.line();
+    let pred = match cur.next() {
+        Some(Tok::Symbol(p)) | Some(Tok::Ident(p)) => p,
+        got => {
+            return Err(ParseError {
+                line,
+                message: format!(
+                    "expected a predicate name, found {}",
+                    got.map_or("end of input".to_owned(), |g| g.to_string())
+                ),
+            })
+        }
+    };
+    cur.expect(&Tok::Punct('{'))?;
+    let pattern = bk_term(cur)?;
+    cur.expect(&Tok::Punct('}'))?;
+    Ok((pred, pattern))
+}
+
+/// Parse a `.bk` program.
+pub fn parse_bk(src: &str) -> Result<BkProgram, ParseError> {
+    let mut cur = Cursor {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let mut rules = Vec::new();
+    while cur.peek().is_some() {
+        let (head_pred, head) = bk_atom(&mut cur)?;
+        let mut body = Vec::new();
+        if cur.eat(&Tok::Turnstile) {
+            loop {
+                body.push(bk_atom(&mut cur)?);
+                if !cur.eat(&Tok::Punct(',')) {
+                    break;
+                }
+            }
+        }
+        cur.expect(&Tok::Punct('.'))?;
+        rules.push(BkRule::new(
+            &head_pred,
+            head,
+            body.iter().map(|(p, t)| (p.as_str(), t.clone())).collect(),
+        ));
+    }
+    Ok(BkProgram::new(rules))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_col_tc() {
+        let prog = parse_col(
+            "% transitive closure\n\
+             T(x, y) :- E(x, y).\n\
+             T(x, z) :- E(x, y), T(y, z).\n",
+        )
+        .unwrap();
+        assert_eq!(prog.rules.len(), 2);
+        assert_eq!(prog.rules[1].head_symbol(), "T");
+        assert_eq!(prog.rules[1].body.len(), 2);
+    }
+
+    #[test]
+    fn parse_col_membership_negation_and_constants() {
+        let prog = parse_col(
+            "u in F($seed).\n\
+             {u} in F($seed) :- u in F($seed), not BAD(u), u != 3.\n\
+             ANS(x) :- x in F($seed), x = x.\n",
+        )
+        .unwrap();
+        assert_eq!(prog.rules.len(), 3);
+        match &prog.rules[0].head {
+            ColHead::FuncMember { func, .. } => assert_eq!(func, "F"),
+            other => panic!("expected FuncMember, got {other:?}"),
+        }
+        match &prog.rules[1].body[1] {
+            ColLiteral::Pred { name, positive, .. } => {
+                assert_eq!(name, "BAD");
+                assert!(!positive);
+            }
+            other => panic!("expected negated pred, got {other:?}"),
+        }
+        match &prog.rules[1].body[2] {
+            ColLiteral::Eq { positive, .. } => assert!(!positive),
+            other => panic!("expected inequality, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_bk_join_rule_matches_builtin() {
+        let prog = parse_bk("R{[A:x, C:z]} :- R1{[A:x, B:y]}, R2{[B:y, C:z]}.").unwrap();
+        let builtin = BkProgram::join_rule();
+        assert_eq!(prog.rules, builtin.rules);
+    }
+
+    #[test]
+    fn parse_bk_constants() {
+        let prog = parse_bk("LIST{[H:x, T:0]} :- S{[A:0, B:x]}.").unwrap();
+        let builtin = BkProgram::chain_to_list(BkObject::atom(0));
+        assert_eq!(prog.rules[0], builtin.rules[0]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_col("T(x) :- E(x).\nT(x :- E(x).\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

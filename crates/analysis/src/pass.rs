@@ -1,0 +1,174 @@
+//! The pass framework: analysis targets, the [`Pass`] trait, and the
+//! [`Registry`] that runs every applicable pass over a target.
+//!
+//! A *target* is a borrowed program of one of the five languages; a *pass*
+//! is a named analysis that inspects a target and appends coded
+//! diagnostics to a [`Report`]. Passes declare which languages they apply
+//! to, so one registry serves every front end. Extension points are
+//! documented in DESIGN.md ("Static analysis").
+
+use crate::diag::{Code, Report};
+use uset_algebra::Program as AlgProgram;
+use uset_bk::BkProgram;
+use uset_calculus::CalcQuery;
+use uset_deductive::{ColProgram, DatalogProgram};
+use uset_object::Schema;
+
+/// The language a target (or pass) belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// COL with rtypes (deductive, complex objects, data functions).
+    Col,
+    /// Flat DATALOG¬.
+    Datalog,
+    /// The Bancilhon–Khoshafian calculus.
+    Bk,
+    /// The complex-object algebra with `while`.
+    Algebra,
+    /// The complex-object calculus.
+    Calculus,
+}
+
+impl Language {
+    /// Lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Language::Col => "col",
+            Language::Datalog => "datalog",
+            Language::Bk => "bk",
+            Language::Algebra => "algebra",
+            Language::Calculus => "calculus",
+        }
+    }
+}
+
+/// A borrowed analysis target.
+#[derive(Clone, Copy, Debug)]
+pub enum Target<'a> {
+    /// A COL program.
+    Col(&'a ColProgram),
+    /// A DATALOG¬ program.
+    Datalog(&'a DatalogProgram),
+    /// A BK program.
+    Bk(&'a BkProgram),
+    /// An algebra program together with its input schema.
+    Algebra(&'a AlgProgram, &'a Schema),
+    /// A calculus query.
+    Calculus(&'a CalcQuery),
+}
+
+impl Target<'_> {
+    /// The target's language.
+    pub fn language(&self) -> Language {
+        match self {
+            Target::Col(_) => Language::Col,
+            Target::Datalog(_) => Language::Datalog,
+            Target::Bk(_) => Language::Bk,
+            Target::Algebra(..) => Language::Algebra,
+            Target::Calculus(_) => Language::Calculus,
+        }
+    }
+}
+
+/// One registered analysis pass.
+pub trait Pass {
+    /// Unique pass name (kebab-case; shown in diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// The diagnostic codes this pass may emit.
+    fn codes(&self) -> &'static [Code];
+
+    /// The languages the pass applies to.
+    fn languages(&self) -> &'static [Language];
+
+    /// Run over one target, appending diagnostics to `report`. Only called
+    /// when `target.language()` is in [`Pass::languages`].
+    fn run(&self, target: &Target<'_>, report: &mut Report);
+}
+
+/// An ordered collection of passes.
+pub struct Registry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry { passes: Vec::new() }
+    }
+
+    /// The registry holding every built-in pass, in a stable order.
+    pub fn with_default_passes() -> Registry {
+        let mut r = Registry::empty();
+        for p in crate::passes::default_passes() {
+            r.register(p);
+        }
+        r
+    }
+
+    /// Add a pass (appended after the existing ones).
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        debug_assert!(
+            self.passes.iter().all(|p| p.name() != pass.name()),
+            "duplicate pass name {}",
+            pass.name()
+        );
+        self.passes.push(pass);
+    }
+
+    /// The registered passes, in run order.
+    pub fn passes(&self) -> &[Box<dyn Pass>] {
+        &self.passes
+    }
+
+    /// Run every applicable pass over the target and collect one report.
+    pub fn run(&self, target: &Target<'_>) -> Report {
+        let mut report = Report::new();
+        let lang = target.language();
+        for pass in &self.passes {
+            if pass.languages().contains(&lang) {
+                pass.run(target, &mut report);
+            }
+        }
+        report
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_default_passes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn default_registry_has_unique_names_and_covers_all_codes() {
+        let reg = Registry::with_default_passes();
+        let names: Vec<&str> = reg.passes().iter().map(|p| p.name()).collect();
+        let unique: BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(names.len(), unique.len(), "duplicate pass names");
+        let covered: BTreeSet<Code> = reg
+            .passes()
+            .iter()
+            .flat_map(|p| p.codes().iter().copied())
+            .collect();
+        for code in crate::diag::ALL_CODES {
+            assert!(covered.contains(&code), "no pass emits {code}");
+        }
+    }
+
+    #[test]
+    fn passes_filtered_by_language() {
+        let reg = Registry::with_default_passes();
+        let prog = uset_bk::BkProgram::join_rule();
+        let report = reg.run(&Target::Bk(&prog));
+        // only BK passes ran: every diagnostic came from a bk-* pass
+        for d in &report.diagnostics {
+            assert!(d.pass.starts_with("bk-"), "unexpected pass {}", d.pass);
+        }
+    }
+}

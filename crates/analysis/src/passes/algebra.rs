@@ -1,0 +1,279 @@
+//! Algebra passes: scope hygiene (U020, U021), powerset-under-while
+//! redundancy (U022, Theorem 4.1b), non-terminating `while` loops (U023),
+//! and fragment classification (U024, Theorems 2.1 / 4.1).
+
+use crate::diag::{Code, Provenance, Report};
+use crate::pass::{Language, Pass, Target};
+use uset_algebra::typecheck::classify;
+use uset_algebra::{Level, Stmt};
+
+const ALGEBRA: &[Language] = &[Language::Algebra];
+
+/// U020 / U021: every variable must be assigned (or an input relation)
+/// before it is read, and `ANS` must be assigned somewhere.
+pub struct ScopePass;
+
+impl Pass for ScopePass {
+    fn name(&self) -> &'static str {
+        "alg-scope"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U020, Code::U021]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        ALGEBRA
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Algebra(prog, schema) = target else {
+            return;
+        };
+        let inputs: Vec<&str> = schema.entries().iter().map(|(n, _)| n.as_str()).collect();
+        if let Err(var) = prog.check_def_before_use(&inputs) {
+            report.push(
+                self.name(),
+                Code::U020,
+                Provenance::symbol(var.clone()),
+                format!("variable {var} is read before it is assigned"),
+            );
+        }
+        if !prog.assigns_ans() {
+            report.push(
+                self.name(),
+                Code::U021,
+                Provenance::symbol(uset_algebra::program::ANS),
+                "program never assigns ANS, so it denotes no query",
+            );
+        }
+    }
+}
+
+/// U022: `powerset` used in a program that also has `while`. By
+/// Theorem 4.1b the operator is redundant there — ALG+while computes the
+/// same queries with or without it (though possibly slower).
+pub struct PowersetUnderWhilePass;
+
+impl Pass for PowersetUnderWhilePass {
+    fn name(&self) -> &'static str {
+        "alg-powerset-while"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U022]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        ALGEBRA
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Algebra(prog, _) = target else {
+            return;
+        };
+        if !prog.is_while_free() && !prog.is_powerset_free() {
+            report.push(
+                self.name(),
+                Code::U022,
+                Provenance::default(),
+                "program uses both powerset and while; powerset is redundant \
+                 in the presence of while (Thm 4.1b) and usually the costlier \
+                 of the two",
+            );
+        }
+    }
+}
+
+/// U023: a `while ⟨result; cond⟩` whose body never reassigns `cond`. If
+/// the loop is entered at all, the condition can never become empty, so it
+/// never terminates (the paper maps such runs to the undefined output `?`).
+pub struct WhileTerminationPass;
+
+fn check_whiles(stmts: &[Stmt], idx_path: &mut Vec<usize>, report: &mut Report) {
+    for (i, s) in stmts.iter().enumerate() {
+        if let Stmt::While { cond, body, .. } = s {
+            let mut assigned = Vec::new();
+            for b in body {
+                b.collect_assigned(&mut assigned);
+            }
+            if !assigned.iter().any(|v| v == cond) {
+                idx_path.push(i);
+                report.push(
+                    "alg-while-termination",
+                    Code::U023,
+                    Provenance::rule(idx_path[0], cond.clone()),
+                    format!(
+                        "while loop condition {cond} is never reassigned in the \
+                         loop body: if the loop is entered it cannot terminate \
+                         (the paper's convention maps such runs to ?)"
+                    ),
+                );
+                idx_path.pop();
+            }
+            idx_path.push(i);
+            check_whiles(body, idx_path, report);
+            idx_path.pop();
+        }
+    }
+}
+
+impl Pass for WhileTerminationPass {
+    fn name(&self) -> &'static str {
+        "alg-while-termination"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U023]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        ALGEBRA
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Algebra(prog, _) = target else {
+            return;
+        };
+        check_whiles(&prog.stmts, &mut Vec::new(), report);
+    }
+}
+
+/// U024 (info): which of the paper's fragments the program sits in —
+/// tsALG vs ALG by rtype inference, crossed with the while/powerset flags.
+pub struct FragmentPass;
+
+impl Pass for FragmentPass {
+    fn name(&self) -> &'static str {
+        "alg-fragment"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U024]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        ALGEBRA
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Algebra(prog, schema) = target else {
+            return;
+        };
+        // scope errors are ScopePass's to report
+        let Ok(level) = classify(prog, schema) else {
+            return;
+        };
+        let base = match level {
+            Level::TypedSets => "tsALG (all intermediates strictly typed)",
+            Level::UntypedSets => "ALG (some intermediate has rtype Obj)",
+        };
+        let (loops, equiv) = if prog.is_while_free() {
+            ("while-free", "E-equivalent, Thm 2.1 / 4.1a")
+        } else if prog.is_unnested_while() {
+            ("unnested while", "C-equivalent, Thm 4.1b")
+        } else {
+            ("nested while", "C-equivalent, Thm 4.1b")
+        };
+        let pow = if prog.is_powerset_free() {
+            "without powerset"
+        } else {
+            "with powerset"
+        };
+        report.push(
+            self.name(),
+            Code::U024,
+            Provenance::default(),
+            format!("fragment: {base}; {loops}, {pow} ({equiv})"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_algebra::{Expr, Program};
+    use uset_object::{RType, Schema};
+
+    fn schema_r() -> Schema {
+        Schema::flat([("R", 2)])
+    }
+
+    fn run_all(prog: &Program, schema: &Schema) -> Report {
+        let target = Target::Algebra(prog, schema);
+        let mut report = Report::new();
+        ScopePass.run(&target, &mut report);
+        PowersetUnderWhilePass.run(&target, &mut report);
+        WhileTerminationPass.run(&target, &mut report);
+        FragmentPass.run(&target, &mut report);
+        report
+    }
+
+    #[test]
+    fn clean_program_gets_only_fragment_info() {
+        let prog = Program::new(vec![Stmt::assign("ANS", Expr::var("R"))]);
+        let report = run_all(&prog, &schema_r());
+        assert!(!report.has_errors());
+        let infos = report.with_code(Code::U024);
+        assert_eq!(infos.len(), 1);
+        assert!(infos[0].message.contains("tsALG"));
+        assert!(infos[0].message.contains("while-free"));
+    }
+
+    #[test]
+    fn scope_and_ans_errors() {
+        let prog = Program::new(vec![Stmt::assign("x", Expr::var("NOPE"))]);
+        let report = run_all(&prog, &schema_r());
+        assert_eq!(report.with_code(Code::U020).len(), 1);
+        assert_eq!(report.with_code(Code::U021).len(), 1);
+    }
+
+    #[test]
+    fn powerset_under_while_flagged() {
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R").powerset()),
+            Stmt::assign("y", Expr::var("R")),
+            Stmt::while_loop(
+                "z",
+                "x",
+                "y",
+                vec![Stmt::assign("y", Expr::var("y").diff(Expr::var("y")))],
+            ),
+            Stmt::assign("ANS", Expr::var("z")),
+        ]);
+        let report = run_all(&prog, &schema_r());
+        assert_eq!(report.with_code(Code::U022).len(), 1);
+        assert!(report.with_code(Code::U023).is_empty());
+    }
+
+    #[test]
+    fn stuck_while_flagged() {
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign("y", Expr::var("R")),
+            Stmt::while_loop("z", "x", "y", vec![Stmt::assign("x", Expr::var("x"))]),
+            Stmt::assign("ANS", Expr::var("z")),
+        ]);
+        let report = run_all(&prog, &schema_r());
+        let hits = report.with_code(Code::U023);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].provenance.symbol.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn heterogeneous_union_classified_untyped() {
+        let schema = Schema::new([
+            ("R".to_owned(), RType::flat_relation(2)),
+            ("S".to_owned(), RType::flat_relation(3)),
+        ])
+        .unwrap();
+        let prog = Program::new(vec![Stmt::assign(
+            "ANS",
+            Expr::var("R").union(Expr::var("S")),
+        )]);
+        let report = run_all(&prog, &schema);
+        let infos = report.with_code(Code::U024);
+        assert_eq!(infos.len(), 1);
+        assert!(infos[0].message.contains("ALG (some intermediate"));
+    }
+}

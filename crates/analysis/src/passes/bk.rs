@@ -1,0 +1,235 @@
+//! BK passes: the two lints derived from the paper's §5 negative results
+//! about the Bancilhon–Khoshafian calculus.
+//!
+//! * [`BottomDivergencePass`] (U010) — Example 5.4 / Proposition 5.5: a
+//!   recursive rule whose head pattern properly contains the recursive
+//!   body pattern grows a fresh, strictly larger object on every firing;
+//!   under BK's sub-object matching the fixpoint never converges (the
+//!   chain-to-list program derives an infinite family of ⊥-padded lists).
+//! * [`JoinMisusePass`] (U011) — Example 5.2 / Proposition 5.3: a variable
+//!   shared between two body patterns but absent from the head is meant as
+//!   a join condition, but BK instantiates unbound variables to ⊥ and
+//!   matches patterns against *sub-objects*, so the "join" also fires with
+//!   the shared variable at ⊥ — deriving π₁R₁ × π₂R₂ instead.
+
+use crate::diag::{Code, Provenance, Report};
+use crate::pass::{Language, Pass, Target};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use uset_bk::{BkProgram, BkTerm};
+
+const BK: &[Language] = &[Language::Bk];
+
+/// Does `needle` occur as a *proper* subterm of `hay` (strictly inside)?
+fn occurs_properly(hay: &BkTerm, needle: &BkTerm) -> bool {
+    let children: Vec<&BkTerm> = match hay {
+        BkTerm::Var(_) | BkTerm::Const(_) => Vec::new(),
+        BkTerm::Tuple(m) => m.values().collect(),
+        BkTerm::Set(ts) => ts.iter().collect(),
+    };
+    children
+        .into_iter()
+        .any(|c| c == needle || occurs_properly(c, needle))
+}
+
+/// Predicates reachable from `start` over head → body-pred edges.
+fn reachable(prog: &BkProgram, start: &str) -> BTreeSet<String> {
+    let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for rule in &prog.rules {
+        let entry = succ.entry(rule.head_pred.as_str()).or_default();
+        entry.extend(rule.body.iter().map(|l| l.pred.as_str()));
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(cur) = queue.pop_front() {
+        for &next in succ.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+            if seen.insert(next.to_owned()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    seen
+}
+
+/// U010: ⊥-divergence. Flags rules on a recursive cycle whose head
+/// pattern properly contains the recursive body pattern — each firing
+/// derives a strictly larger object, so the fixpoint diverges.
+pub struct BottomDivergencePass;
+
+impl Pass for BottomDivergencePass {
+    fn name(&self) -> &'static str {
+        "bk-bottom-divergence"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U010]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        BK
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Bk(prog) = target else { return };
+        for (idx, rule) in prog.rules.iter().enumerate() {
+            for lit in &rule.body {
+                // recursive: firing the head can (transitively) feed the
+                // body literal again
+                let recursive = lit.pred == rule.head_pred
+                    || reachable(prog, &lit.pred).contains(&rule.head_pred);
+                if recursive && occurs_properly(&rule.head, &lit.pattern) {
+                    report.push(
+                        self.name(),
+                        Code::U010,
+                        Provenance::rule(idx, rule.head_pred.clone()),
+                        format!(
+                            "head pattern {} properly contains the recursive \
+                             body pattern {} of {}: every firing derives a \
+                             strictly larger object, so the fixpoint diverges \
+                             (Ex 5.4 / Prop 5.5)",
+                            rule.head, lit.pattern, lit.pred
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// U011: join misuse. Flags variables shared across body patterns but
+/// absent from the head: BK instantiates them to ⊥, so the intended join
+/// equality is vacuous.
+pub struct JoinMisusePass;
+
+impl Pass for JoinMisusePass {
+    fn name(&self) -> &'static str {
+        "bk-join-misuse"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U011]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        BK
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Bk(prog) = target else { return };
+        for (idx, rule) in prog.rules.iter().enumerate() {
+            if rule.body.len() < 2 {
+                continue;
+            }
+            let mut head_vars = Vec::new();
+            rule.head.collect_vars(&mut head_vars);
+            let head_vars: BTreeSet<String> = head_vars.into_iter().collect();
+            let per_literal: Vec<BTreeSet<String>> = rule
+                .body
+                .iter()
+                .map(|l| {
+                    let mut v = Vec::new();
+                    l.pattern.collect_vars(&mut v);
+                    v.into_iter().collect()
+                })
+                .collect();
+            let mut flagged: BTreeSet<&String> = BTreeSet::new();
+            for (i, a) in per_literal.iter().enumerate() {
+                for b in per_literal.iter().skip(i + 1) {
+                    for var in a.intersection(b) {
+                        if !head_vars.contains(var) && flagged.insert(var) {
+                            report.push(
+                                self.name(),
+                                Code::U011,
+                                Provenance::rule(idx, rule.head_pred.clone()),
+                                format!(
+                                    "join variable {var} is shared between body \
+                                     patterns but absent from the head: BK matches \
+                                     sub-objects and instantiates unbound variables \
+                                     to ⊥, so the rule computes a cross product of \
+                                     projections, not the join (Ex 5.2 / Prop 5.3)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_bk::{BkObject, BkRule};
+
+    #[test]
+    fn ex54_chain_to_list_flagged_as_divergent() {
+        let prog = BkProgram::chain_to_list(BkObject::atom(0));
+        let mut report = Report::new();
+        BottomDivergencePass.run(&Target::Bk(&prog), &mut report);
+        let hits = report.with_code(Code::U010);
+        assert_eq!(hits.len(), 1, "exactly the recursive rule is flagged");
+        assert_eq!(hits[0].provenance.rule, Some(1));
+        assert_eq!(hits[0].provenance.symbol.as_deref(), Some("LIST"));
+    }
+
+    #[test]
+    fn tc_shaped_recursion_not_flagged() {
+        // T{[A:x, C:z]} ← E{[A:x, C:y]}, T{[A:y, C:z]} — head does not
+        // contain the recursive pattern, so the fixpoint can converge
+        let prog = BkProgram::new(vec![BkRule::new(
+            "T",
+            BkTerm::tuple([("A", BkTerm::var("x")), ("C", BkTerm::var("z"))]),
+            vec![
+                (
+                    "E",
+                    BkTerm::tuple([("A", BkTerm::var("x")), ("C", BkTerm::var("y"))]),
+                ),
+                (
+                    "T",
+                    BkTerm::tuple([("A", BkTerm::var("y")), ("C", BkTerm::var("z"))]),
+                ),
+            ],
+        )]);
+        let mut report = Report::new();
+        BottomDivergencePass.run(&Target::Bk(&prog), &mut report);
+        assert!(report.with_code(Code::U010).is_empty());
+    }
+
+    #[test]
+    fn ex52_join_rule_flagged() {
+        let prog = BkProgram::join_rule();
+        let mut report = Report::new();
+        JoinMisusePass.run(&Target::Bk(&prog), &mut report);
+        let hits = report.with_code(Code::U011);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("join variable y"));
+    }
+
+    #[test]
+    fn head_projected_join_variable_not_flagged() {
+        // R{[A:x, B:y, C:z]} ← R1{[A:x, B:y]}, R2{[B:y, C:z]} — y kept in
+        // the head, so a ⊥-instantiation is visible in the output
+        let prog = BkProgram::new(vec![BkRule::new(
+            "R",
+            BkTerm::tuple([
+                ("A", BkTerm::var("x")),
+                ("B", BkTerm::var("y")),
+                ("C", BkTerm::var("z")),
+            ]),
+            vec![
+                (
+                    "R1",
+                    BkTerm::tuple([("A", BkTerm::var("x")), ("B", BkTerm::var("y"))]),
+                ),
+                (
+                    "R2",
+                    BkTerm::tuple([("B", BkTerm::var("y")), ("C", BkTerm::var("z"))]),
+                ),
+            ],
+        )]);
+        let mut report = Report::new();
+        JoinMisusePass.run(&Target::Bk(&prog), &mut report);
+        assert!(report.with_code(Code::U011).is_empty());
+    }
+}

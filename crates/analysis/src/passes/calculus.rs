@@ -1,0 +1,176 @@
+//! Calculus passes: well-formedness (U030, adapting the safety checker)
+//! and the invention-depth classifier (U031, Theorems 2.2 / 6.1 / 6.3).
+
+use crate::diag::{Code, Provenance, Report};
+use crate::pass::{Language, Pass, Target};
+use uset_calculus::safe::check_query;
+use uset_calculus::Formula;
+
+const CALCULUS: &[Language] = &[Language::Calculus];
+
+/// U030: the query must be hygienically well-formed (free variables,
+/// shadowing) before any semantics applies.
+pub struct WellFormednessPass;
+
+impl Pass for WellFormednessPass {
+    fn name(&self) -> &'static str {
+        "calc-well-formed"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U030]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        CALCULUS
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Calculus(q) = target else { return };
+        if let Err(e) = check_query(q) {
+            report.push(
+                self.name(),
+                Code::U030,
+                Provenance::symbol(q.var.clone()),
+                format!("query is ill-formed: {e}"),
+            );
+        }
+    }
+}
+
+/// Count quantifiers whose annotation is an rtype with `Obj` (non-strict).
+fn count_untyped_quantifiers(f: &Formula) -> usize {
+    match f {
+        Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => 0,
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            count_untyped_quantifiers(a) + count_untyped_quantifiers(b)
+        }
+        Formula::Not(g) => count_untyped_quantifiers(g),
+        Formula::Exists(_, ty, g) | Formula::Forall(_, ty, g) => {
+            usize::from(!ty.is_strict()) + count_untyped_quantifiers(g)
+        }
+    }
+}
+
+/// U031 (info): which invention regime the query needs.
+///
+/// * tsCALC — all types strict: E-equivalent under the limited
+///   interpretation (Thm 2.2); no invention.
+/// * CALC∃ — untyped quantifiers only positively-existential: finite
+///   invention `Q^fi` suffices, the query is r.e. (Thm 6.3b).
+/// * full CALC — some untyped universal (or negated existential):
+///   computable invention `Q^ci` is required and the language is not
+///   r.e. (Thm 6.1); only the terminal-invention semantics `Q^ti`
+///   restores C-equivalence (Thm 6.4).
+pub struct InventionDepthPass;
+
+impl Pass for InventionDepthPass {
+    fn name(&self) -> &'static str {
+        "calc-invention-depth"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U031]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        CALCULUS
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Calculus(q) = target else { return };
+        let untyped = count_untyped_quantifiers(&q.formula) + usize::from(!q.ty.is_strict());
+        let message = if q.is_typed() {
+            "tsCALC: every quantifier and the output strictly typed; \
+             E-equivalent under the limited interpretation (Thm 2.2)"
+                .to_owned()
+        } else if q.formula.is_calc_exists() {
+            format!(
+                "CALC∃ with {untyped} untyped position(s): finite invention \
+                 (Q^fi) suffices and the query is r.e. (Thm 6.3b)"
+            )
+        } else {
+            format!(
+                "full CALC with {untyped} untyped position(s), including a \
+                 universal over an untyped domain: requires computable \
+                 invention (Q^ci), not r.e. (Thm 6.1); use terminal invention \
+                 Q^ti for C-equivalence (Thm 6.4)"
+            )
+        };
+        report.push(
+            self.name(),
+            Code::U031,
+            Provenance::symbol(q.var.clone()),
+            message,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_calculus::{CalcQuery, CalcTerm};
+    use uset_object::RType;
+
+    fn run(q: &CalcQuery) -> Report {
+        let target = Target::Calculus(q);
+        let mut report = Report::new();
+        WellFormednessPass.run(&target, &mut report);
+        InventionDepthPass.run(&target, &mut report);
+        report
+    }
+
+    #[test]
+    fn typed_query_classified_tscalc() {
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Pred("R".into(), CalcTerm::var("x")),
+        );
+        let report = run(&q);
+        assert!(!report.has_errors());
+        let infos = report.with_code(Code::U031);
+        assert_eq!(infos.len(), 1);
+        assert!(infos[0].message.contains("tsCALC"));
+    }
+
+    #[test]
+    fn untyped_exists_classified_fi() {
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Member(CalcTerm::var("x"), CalcTerm::var("s"))
+                .exists("s", RType::untyped_set()),
+        );
+        let report = run(&q);
+        let infos = report.with_code(Code::U031);
+        assert!(infos[0].message.contains("CALC∃"));
+        assert!(infos[0].message.contains("Q^fi"));
+    }
+
+    #[test]
+    fn untyped_forall_classified_ci() {
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Member(CalcTerm::var("x"), CalcTerm::var("s"))
+                .forall("s", RType::untyped_set()),
+        );
+        let report = run(&q);
+        let infos = report.with_code(Code::U031);
+        assert!(infos[0].message.contains("Q^ci"));
+        assert!(infos[0].message.contains("Q^ti"));
+    }
+
+    #[test]
+    fn free_variable_is_error() {
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Eq(CalcTerm::var("x"), CalcTerm::var("stray")),
+        );
+        let report = run(&q);
+        assert!(report.has_errors());
+        assert_eq!(report.with_code(Code::U030).len(), 1);
+    }
+}

@@ -1,0 +1,575 @@
+//! Deductive-language passes: stratification (U001), range restriction
+//! (U002), and dead-predicate detection (U003), over both COL and flat
+//! DATALOG¬ programs.
+
+use crate::diag::{Code, Provenance, Report};
+use crate::pass::{Language, Pass, Target};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use uset_deductive::col::stratify::stratify;
+use uset_deductive::{ColHead, ColLiteral, ColProgram, ColTerm, DatalogProgram, DlTerm};
+
+const DEDUCTIVE: &[Language] = &[Language::Col, Language::Datalog];
+
+/// Dependency edges `head → body-symbol` (predicates read and functions
+/// applied), used for reachability; strength is the stratifier's concern.
+fn col_edges(prog: &ColProgram) -> BTreeSet<(String, String)> {
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for rule in &prog.rules {
+        let h = rule.head_symbol().to_owned();
+        let mut applies = Vec::new();
+        for lit in &rule.body {
+            match lit {
+                ColLiteral::Pred { name, args, .. } => {
+                    edges.insert((h.clone(), name.clone()));
+                    for t in args {
+                        t.collect_applies(&mut applies);
+                    }
+                }
+                ColLiteral::Member { elem, set, .. } => {
+                    elem.collect_applies(&mut applies);
+                    set.collect_applies(&mut applies);
+                }
+                ColLiteral::Eq { left, right, .. } => {
+                    left.collect_applies(&mut applies);
+                    right.collect_applies(&mut applies);
+                }
+            }
+        }
+        if let ColHead::FuncMember { args, elem, .. } = &rule.head {
+            elem.collect_applies(&mut applies);
+            for t in args {
+                t.collect_applies(&mut applies);
+            }
+        }
+        for f in applies {
+            edges.insert((h.clone(), f));
+        }
+    }
+    edges
+}
+
+fn datalog_edges(prog: &DatalogProgram) -> BTreeMap<(String, String), bool> {
+    let mut edges: BTreeMap<(String, String), bool> = BTreeMap::new();
+    for rule in &prog.rules {
+        for lit in &rule.body {
+            *edges
+                .entry((rule.head.pred.clone(), lit.atom.pred.clone()))
+                .or_insert(false) |= !lit.positive;
+        }
+    }
+    edges
+}
+
+/// For each strong edge `u → v`, search a path `v ⇝ u`; returns the cycle
+/// as an ordered symbol path starting at `u` (`[u]` for a self-loop).
+fn find_strong_cycle(edges: &BTreeMap<(String, String), bool>) -> Option<Vec<String>> {
+    let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (u, v) in edges.keys() {
+        succ.entry(u.as_str()).or_default().push(v.as_str());
+    }
+    for ((u, v), strong) in edges {
+        if !strong {
+            continue;
+        }
+        if u == v {
+            return Some(vec![u.clone()]);
+        }
+        // BFS from v back to u
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        queue.push_back(v.as_str());
+        parent.insert(v.as_str(), v.as_str());
+        while let Some(cur) = queue.pop_front() {
+            if cur == u {
+                let mut rev = Vec::new();
+                let mut node = cur;
+                while node != v.as_str() {
+                    node = parent[node];
+                    rev.push(node.to_owned());
+                }
+                rev.reverse(); // [v, …, predecessor-of-u]
+                let mut cycle = vec![u.clone()];
+                cycle.extend(rev);
+                return Some(cycle);
+            }
+            for &next in succ.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+                if !parent.contains_key(next) {
+                    parent.insert(next, cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn cycle_path(cycle: &[String]) -> String {
+    let mut s = cycle.join(" → ");
+    s.push_str(" → ");
+    s.push_str(&cycle[0]);
+    s
+}
+
+/// U001: stratification. Adapts [`uset_deductive::col::stratify`] for COL
+/// and runs a local strong-cycle search for DATALOG¬ so the full cycle can
+/// be reported in both cases.
+pub struct StratificationPass;
+
+impl Pass for StratificationPass {
+    fn name(&self) -> &'static str {
+        "col-stratify"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U001]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        DEDUCTIVE
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        match target {
+            Target::Col(prog) => {
+                if let Err(e) = stratify(prog) {
+                    report.push(
+                        self.name(),
+                        Code::U001,
+                        Provenance::symbol(e.symbol.clone()),
+                        format!(
+                            "program is not stratifiable: strong dependency \
+                             (negation or function read) through recursion: {}",
+                            e.cycle_path()
+                        ),
+                    );
+                }
+            }
+            Target::Datalog(prog) if prog.stratify().is_err() => {
+                let cycle =
+                    find_strong_cycle(&datalog_edges(prog)).unwrap_or_else(|| vec!["?".to_owned()]);
+                report.push(
+                    self.name(),
+                    Code::U001,
+                    Provenance::symbol(cycle[0].clone()),
+                    format!(
+                        "program is not stratifiable: negation through \
+                         recursion: {}",
+                        cycle_path(&cycle)
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Variables bound by matching this term as a pattern (everything except
+/// variables inside `Apply` arguments, which are reads).
+fn binding_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
+    match t {
+        ColTerm::Var(v) => {
+            out.insert(v.clone());
+        }
+        ColTerm::Const(_) => {}
+        ColTerm::Tuple(ts) | ColTerm::SetLit(ts) => {
+            for t in ts {
+                binding_vars(t, out);
+            }
+        }
+        ColTerm::Apply(..) => {} // evaluated, not matched
+    }
+}
+
+/// Variables this term *reads* (must be bound before it is evaluated):
+/// everything inside `Apply` arguments.
+fn read_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
+    match t {
+        ColTerm::Var(_) | ColTerm::Const(_) => {}
+        ColTerm::Tuple(ts) | ColTerm::SetLit(ts) => {
+            for t in ts {
+                read_vars(t, out);
+            }
+        }
+        ColTerm::Apply(_, ts) => {
+            for t in ts {
+                let mut all = Vec::new();
+                t.collect_vars(&mut all);
+                out.extend(all);
+                read_vars(t, out);
+            }
+        }
+    }
+}
+
+fn all_vars(t: &ColTerm) -> BTreeSet<String> {
+    let mut v = Vec::new();
+    t.collect_vars(&mut v);
+    v.into_iter().collect()
+}
+
+/// U002: range restriction. COL bodies bind left to right; every variable
+/// read by a literal (negated literal, equality side, membership set term,
+/// function argument) must be bound by an earlier positive pattern, and
+/// every head variable must be bound by the body.
+pub struct RangeRestrictionPass;
+
+impl RangeRestrictionPass {
+    fn check_col_rule(&self, idx: usize, rule: &uset_deductive::ColRule, report: &mut Report) {
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        let mut flagged: BTreeSet<String> = BTreeSet::new();
+        let sym = rule.head_symbol().to_owned();
+        let require = |vars: BTreeSet<String>,
+                       bound: &BTreeSet<String>,
+                       flagged: &mut BTreeSet<String>,
+                       report: &mut Report,
+                       what: &str| {
+            for v in vars {
+                if !bound.contains(&v) && flagged.insert(v.clone()) {
+                    report.push(
+                        "col-range-restriction",
+                        Code::U002,
+                        Provenance::rule(idx, sym.clone()),
+                        format!("variable {v} is {what} but is not bound by an earlier positive pattern"),
+                    );
+                }
+            }
+        };
+        for lit in &rule.body {
+            match lit {
+                ColLiteral::Pred { args, positive, .. } => {
+                    let mut reads = BTreeSet::new();
+                    for t in args {
+                        read_vars(t, &mut reads);
+                    }
+                    require(reads, &bound, &mut flagged, report, "a function argument");
+                    if *positive {
+                        for t in args {
+                            binding_vars(t, &mut bound);
+                        }
+                    } else {
+                        let vars: BTreeSet<String> = args.iter().flat_map(all_vars).collect();
+                        require(vars, &bound, &mut flagged, report, "in a negated literal");
+                    }
+                }
+                ColLiteral::Member {
+                    elem,
+                    set,
+                    positive,
+                } => {
+                    let mut reads = all_vars(set);
+                    read_vars(elem, &mut reads);
+                    require(reads, &bound, &mut flagged, report, "a set-side read");
+                    if *positive {
+                        binding_vars(elem, &mut bound);
+                    } else {
+                        require(
+                            all_vars(elem),
+                            &bound,
+                            &mut flagged,
+                            report,
+                            "in a negated membership",
+                        );
+                    }
+                }
+                ColLiteral::Eq { left, right, .. } => {
+                    let mut vars = all_vars(left);
+                    vars.extend(all_vars(right));
+                    require(vars, &bound, &mut flagged, report, "in an equality");
+                }
+            }
+        }
+        let head_vars: BTreeSet<String> = match &rule.head {
+            ColHead::Pred { args, .. } => args.iter().flat_map(all_vars).collect(),
+            ColHead::FuncMember { args, elem, .. } => {
+                let mut v: BTreeSet<String> = args.iter().flat_map(all_vars).collect();
+                v.extend(all_vars(elem));
+                v
+            }
+        };
+        require(head_vars, &bound, &mut flagged, report, "in the head");
+    }
+}
+
+impl Pass for RangeRestrictionPass {
+    fn name(&self) -> &'static str {
+        "col-range-restriction"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U002]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        DEDUCTIVE
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        match target {
+            Target::Col(prog) => {
+                for (idx, rule) in prog.rules.iter().enumerate() {
+                    self.check_col_rule(idx, rule, report);
+                }
+            }
+            Target::Datalog(prog) => {
+                for (idx, rule) in prog.rules.iter().enumerate() {
+                    let positive: BTreeSet<&str> = rule
+                        .body
+                        .iter()
+                        .filter(|l| l.positive)
+                        .flat_map(|l| l.atom.args.iter())
+                        .filter_map(|t| match t {
+                            DlTerm::Var(v) => Some(v.as_str()),
+                            DlTerm::Const(_) => None,
+                        })
+                        .collect();
+                    let mut flagged: BTreeSet<&str> = BTreeSet::new();
+                    let head_vars = rule.head.args.iter().filter_map(|t| match t {
+                        DlTerm::Var(v) => Some((v.as_str(), "in the head")),
+                        DlTerm::Const(_) => None,
+                    });
+                    let neg_vars = rule
+                        .body
+                        .iter()
+                        .filter(|l| !l.positive)
+                        .flat_map(|l| l.atom.args.iter())
+                        .filter_map(|t| match t {
+                            DlTerm::Var(v) => Some((v.as_str(), "in a negated literal")),
+                            DlTerm::Const(_) => None,
+                        });
+                    for (v, what) in head_vars.chain(neg_vars) {
+                        if !positive.contains(v) && flagged.insert(v) {
+                            report.push(
+                                self.name(),
+                                Code::U002,
+                                Provenance::rule(idx, rule.head.pred.clone()),
+                                format!(
+                                    "variable {v} is {what} but does not occur \
+                                     in a positive body literal"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// U003: dead predicates — defined symbols not reachable from `ANS` over
+/// the dependency graph. Skipped when the program does not define `ANS`
+/// (library fragments have no distinguished output).
+pub struct DeadPredicatePass;
+
+const ANS: &str = "ANS";
+
+fn report_dead(
+    pass: &'static str,
+    defined: &BTreeSet<String>,
+    edges: &BTreeSet<(String, String)>,
+    report: &mut Report,
+) {
+    if !defined.contains(ANS) {
+        return;
+    }
+    let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (u, v) in edges {
+        succ.entry(u.as_str()).or_default().push(v.as_str());
+    }
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    reachable.insert(ANS);
+    queue.push_back(ANS);
+    while let Some(cur) = queue.pop_front() {
+        for &next in succ.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+            if reachable.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    for sym in defined {
+        if reachable.contains(sym.as_str()) {
+            continue;
+        }
+        // does the dead symbol sit on a cycle among unreachable symbols?
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut q: VecDeque<&str> = VecDeque::new();
+        q.push_back(sym.as_str());
+        let mut cyclic = false;
+        while let Some(cur) = q.pop_front() {
+            for &next in succ.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+                if next == sym.as_str() {
+                    cyclic = true;
+                }
+                if !reachable.contains(next) && seen.insert(next) {
+                    q.push_back(next);
+                }
+            }
+        }
+        let extra = if cyclic {
+            " (part of a recursive island)"
+        } else {
+            ""
+        };
+        report.push(
+            pass,
+            Code::U003,
+            Provenance::symbol(sym.clone()),
+            format!("{sym} is defined but unreachable from {ANS}{extra}"),
+        );
+    }
+}
+
+impl Pass for DeadPredicatePass {
+    fn name(&self) -> &'static str {
+        "col-dead-predicates"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U003]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        DEDUCTIVE
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        match target {
+            Target::Col(prog) => {
+                report_dead(
+                    self.name(),
+                    &prog.defined_symbols(),
+                    &col_edges(prog),
+                    report,
+                );
+            }
+            Target::Datalog(prog) => {
+                let edges: BTreeSet<(String, String)> = datalog_edges(prog).into_keys().collect();
+                report_dead(self.name(), &prog.idb_predicates(), &edges, report);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_deductive::{ColRule, DlAtom, DlRule};
+
+    fn v(n: &str) -> ColTerm {
+        ColTerm::var(n)
+    }
+
+    #[test]
+    fn col_strong_cycle_reported_with_path() {
+        // P(x) ← Q(x);  Q(x) ← R(x), ¬P(x)
+        let prog = ColProgram::new(vec![
+            ColRule::pred("P", vec![v("x")], vec![ColLiteral::pred("Q", vec![v("x")])]),
+            ColRule::pred(
+                "Q",
+                vec![v("x")],
+                vec![
+                    ColLiteral::pred("R", vec![v("x")]),
+                    ColLiteral::not_pred("P", vec![v("x")]),
+                ],
+            ),
+        ]);
+        let mut report = Report::new();
+        StratificationPass.run(&Target::Col(&prog), &mut report);
+        assert_eq!(report.with_code(Code::U001).len(), 1);
+        assert!(report.diagnostics[0].message.contains("→"));
+    }
+
+    #[test]
+    fn datalog_negative_cycle_reported() {
+        // P(x) ← R(x), ¬P(x)
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("P", vec![DlTerm::var("x")]),
+            vec![
+                (true, DlAtom::new("R", vec![DlTerm::var("x")])),
+                (false, DlAtom::new("P", vec![DlTerm::var("x")])),
+            ],
+        )]);
+        let mut report = Report::new();
+        StratificationPass.run(&Target::Datalog(&prog), &mut report);
+        assert_eq!(report.with_code(Code::U001).len(), 1);
+        assert!(report.diagnostics[0].message.contains("P → P"));
+    }
+
+    #[test]
+    fn unsafe_head_variable_flagged() {
+        // P(x, y) ← R(x): y unbound in head
+        let prog = ColProgram::new(vec![ColRule::pred(
+            "P",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x")])],
+        )]);
+        let mut report = Report::new();
+        RangeRestrictionPass.run(&Target::Col(&prog), &mut report);
+        let hits = report.with_code(Code::U002);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains('y'));
+        assert_eq!(hits[0].provenance.rule, Some(0));
+    }
+
+    #[test]
+    fn safe_rule_clean_and_eq_read_checked() {
+        // P(x) ← R(x), x ≈ x   — fine
+        let ok = ColProgram::new(vec![ColRule::pred(
+            "P",
+            vec![v("x")],
+            vec![
+                ColLiteral::pred("R", vec![v("x")]),
+                ColLiteral::eq(v("x"), v("x")),
+            ],
+        )]);
+        let mut report = Report::new();
+        RangeRestrictionPass.run(&Target::Col(&ok), &mut report);
+        assert!(report.diagnostics.is_empty());
+
+        // P(x) ← x ≈ y, R(x)  — y read before bound (and x too)
+        let bad = ColProgram::new(vec![ColRule::pred(
+            "P",
+            vec![v("x")],
+            vec![
+                ColLiteral::eq(v("x"), v("y")),
+                ColLiteral::pred("R", vec![v("x")]),
+            ],
+        )]);
+        let mut report = Report::new();
+        RangeRestrictionPass.run(&Target::Col(&bad), &mut report);
+        assert_eq!(report.with_code(Code::U002).len(), 2);
+    }
+
+    #[test]
+    fn dead_predicate_and_recursive_island() {
+        // ANS(x) ← R(x); DEAD(x) ← DEAD(x) — island; no diagnostic without ANS
+        let prog = ColProgram::new(vec![
+            ColRule::pred(
+                "ANS",
+                vec![v("x")],
+                vec![ColLiteral::pred("R", vec![v("x")])],
+            ),
+            ColRule::pred(
+                "DEAD",
+                vec![v("x")],
+                vec![ColLiteral::pred("DEAD", vec![v("x")])],
+            ),
+        ]);
+        let mut report = Report::new();
+        DeadPredicatePass.run(&Target::Col(&prog), &mut report);
+        let hits = report.with_code(Code::U003);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("recursive island"));
+
+        let no_ans = ColProgram::new(vec![ColRule::pred(
+            "P",
+            vec![v("x")],
+            vec![ColLiteral::pred("R", vec![v("x")])],
+        )]);
+        let mut report = Report::new();
+        DeadPredicatePass.run(&Target::Col(&no_ans), &mut report);
+        assert!(report.diagnostics.is_empty());
+    }
+}

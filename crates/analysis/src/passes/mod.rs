@@ -1,0 +1,29 @@
+//! Built-in analysis passes, one module per language family.
+//!
+//! Each pass adapts an existing checker (stratification, safety, scope,
+//! type inference) or implements a lint derived from a result of the
+//! paper. [`default_passes`] lists them in registry order.
+
+pub mod algebra;
+pub mod bk;
+pub mod calculus;
+pub mod col;
+
+use crate::pass::Pass;
+
+/// Every built-in pass, in the order the default registry runs them.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(col::StratificationPass),
+        Box::new(col::RangeRestrictionPass),
+        Box::new(col::DeadPredicatePass),
+        Box::new(bk::BottomDivergencePass),
+        Box::new(bk::JoinMisusePass),
+        Box::new(algebra::ScopePass),
+        Box::new(algebra::PowersetUnderWhilePass),
+        Box::new(algebra::WhileTerminationPass),
+        Box::new(algebra::FragmentPass),
+        Box::new(calculus::WellFormednessPass),
+        Box::new(calculus::InventionDepthPass),
+    ]
+}

@@ -1,0 +1,119 @@
+//! Acceptance tests for the analysis framework: the paper's two BK
+//! counterexamples are flagged with distinct codes at the right
+//! severities, the shipped example programs lint clean, and the corpus
+//! classification annotations round-trip through the type checker.
+
+use std::path::PathBuf;
+use uset_analysis::{corpus, parse_bk, parse_col, Code, Registry, Severity, Target};
+use uset_bk::{BkObject, BkProgram};
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs")
+}
+
+fn read(name: &str) -> String {
+    let path = programs_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+#[test]
+fn ex54_divergence_flagged_as_error() {
+    let reg = Registry::with_default_passes();
+    let prog = BkProgram::chain_to_list(BkObject::atom(0));
+    let report = reg.run(&Target::Bk(&prog));
+    let hits = report.with_code(Code::U010);
+    assert_eq!(hits.len(), 1, "exactly the recursive rule:\n{report}");
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert_eq!(hits[0].provenance.rule, Some(1));
+}
+
+#[test]
+fn ex52_join_misuse_flagged_as_warning() {
+    let reg = Registry::with_default_passes();
+    let prog = BkProgram::join_rule();
+    let report = reg.run(&Target::Bk(&prog));
+    let hits = report.with_code(Code::U011);
+    assert_eq!(hits.len(), 1, "exactly the join variable:\n{report}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+    // and the two counterexamples carry *distinct* codes
+    assert_ne!(Code::U010.as_str(), Code::U011.as_str());
+    assert!(report.with_code(Code::U010).is_empty());
+}
+
+#[test]
+fn shipped_bk_files_reproduce_the_builtin_counterexamples() {
+    let reg = Registry::with_default_passes();
+
+    let join = parse_bk(&read("ex52_join.bk")).unwrap();
+    assert_eq!(join.rules, BkProgram::join_rule().rules);
+    let report = reg.run(&Target::Bk(&join));
+    assert_eq!(report.with_code(Code::U011).len(), 1);
+
+    let list = parse_bk(&read("ex54_chain_to_list.bk")).unwrap();
+    assert_eq!(
+        list.rules,
+        BkProgram::chain_to_list(BkObject::atom(0)).rules
+    );
+    let report = reg.run(&Target::Bk(&list));
+    assert_eq!(report.with_code(Code::U010).len(), 1);
+}
+
+#[test]
+fn shipped_col_files_lint_clean() {
+    let reg = Registry::with_default_passes();
+    for name in ["transitive_closure.col", "singleton_chain.col"] {
+        let prog = parse_col(&read(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = reg.run(&Target::Col(&prog));
+        assert!(!report.has_errors(), "{name} has errors:\n{report}");
+    }
+}
+
+#[test]
+fn examples_corpus_is_error_free() {
+    let reg = Registry::with_default_passes();
+    for e in corpus::examples() {
+        let report = reg.run(&e.program.as_target());
+        assert!(!report.has_errors(), "{} has errors:\n{report}", e.name);
+    }
+}
+
+#[test]
+fn classification_round_trips_on_corpus() {
+    for e in corpus::corpus() {
+        let Some(expected) = e.expected_level else {
+            continue;
+        };
+        let corpus::OwnedProgram::Algebra(prog, schema) = &e.program else {
+            panic!("{}: expected_level on a non-algebra entry", e.name);
+        };
+        let got = uset_algebra::typecheck::classify(prog, schema)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        assert_eq!(got, expected, "{} classified as {got:?}", e.name);
+        // the fragment info diagnostic agrees with the classifier
+        let reg = Registry::with_default_passes();
+        let report = reg.run(&e.program.as_target());
+        let info = report.with_code(Code::U024);
+        assert_eq!(info.len(), 1, "{}", e.name);
+        let label = match expected {
+            uset_algebra::Level::TypedSets => "tsALG",
+            uset_algebra::Level::UntypedSets => "ALG (",
+        };
+        assert!(
+            info[0].message.contains(label),
+            "{}: {}",
+            e.name,
+            info[0].message
+        );
+    }
+}
+
+#[test]
+fn json_report_is_parseable_shape() {
+    let reg = Registry::with_default_passes();
+    let prog = BkProgram::join_rule();
+    let report = reg.run(&Target::Bk(&prog));
+    let json = report.to_json();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert!(json.contains("\"code\":\"U011\""));
+    assert!(json.contains("\"severity\":\"warning\""));
+}

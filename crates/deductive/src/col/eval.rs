@@ -99,10 +99,7 @@ impl ColState {
 
     /// Insert one element into a data-function value; true if newly added.
     pub fn insert_func_member(&mut self, func: &str, args: &[Value], elem: &Value) -> bool {
-        if !self.funcs.contains_key(func) {
-            self.funcs.insert(func.to_owned(), BTreeMap::new());
-        }
-        let graph = self.funcs.get_mut(func).expect("just ensured present");
+        let graph = self.funcs.entry(func.to_owned()).or_default();
         if let Some(slot) = graph.get_mut(args) {
             if slot.contains(elem) {
                 return false;
@@ -346,12 +343,12 @@ fn extend(
                 }
             } else {
                 for b in bindings {
-                    let ground: Vec<Value> = args
+                    let mut ground: Vec<Value> = args
                         .iter()
                         .map(|t| eval_term(t, &b, state))
                         .collect::<Result<_, _>>()?;
                     let row = if ground.len() == 1 {
-                        ground.into_iter().next().expect("one argument")
+                        ground.remove(0)
                     } else {
                         Value::Tuple(ground)
                     };
@@ -491,12 +488,12 @@ fn fire_rule(
     for b in &bindings {
         match &rule.head {
             ColHead::Pred { name, args } => {
-                let ground: Vec<Value> = args
+                let mut ground: Vec<Value> = args
                     .iter()
                     .map(|t| eval_term(t, b, state))
                     .collect::<Result<_, _>>()?;
                 let row = if ground.len() == 1 {
-                    ground.into_iter().next().expect("one argument")
+                    ground.remove(0)
                 } else {
                     Value::Tuple(ground)
                 };
@@ -777,7 +774,7 @@ pub fn stratified_with(
     strategy: ColStrategy,
     stats: &mut EvalStats,
 ) -> Result<ColState, ColEvalError> {
-    let strata = stratify(prog).map_err(|e| ColEvalError::NotStratifiable(e.symbol))?;
+    let strata = stratify(prog).map_err(|e| ColEvalError::NotStratifiable(e.cycle_path()))?;
     let max = strata.values().copied().max().unwrap_or(0);
     let mut state = ColState::from_database(db);
     for s in 0..=max {

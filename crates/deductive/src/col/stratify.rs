@@ -15,16 +15,32 @@ use std::collections::BTreeMap;
 /// Stratification failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NotStratifiable {
-    /// A symbol on the offending cycle.
+    /// A symbol on the offending cycle (the source of a strong edge).
     pub symbol: String,
+    /// The full strong-dependency cycle as an ordered symbol path:
+    /// `cycle[0]` depends on `cycle[1]`, …, and the last element depends
+    /// back on `cycle[0]`. At least one of those dependencies is strong.
+    pub cycle: Vec<String>,
+}
+
+impl NotStratifiable {
+    /// The cycle rendered as `P → Q → … → P`.
+    pub fn cycle_path(&self) -> String {
+        let mut path = self.cycle.join(" → ");
+        if let Some(first) = self.cycle.first() {
+            path.push_str(" → ");
+            path.push_str(first);
+        }
+        path
+    }
 }
 
 impl std::fmt::Display for NotStratifiable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "strong dependency (negation or function read) through recursion at {}",
-            self.symbol
+            "strong dependency (negation or function read) through recursion: {}",
+            self.cycle_path()
         )
     }
 }
@@ -97,6 +113,74 @@ fn rule_dependencies(rule: &crate::col::ast::ColRule) -> Vec<(String, bool)> {
     deps
 }
 
+/// The program's dependency edges `(head, body symbol, strong?)`,
+/// restricted to defined symbols and deduplicated (a strong edge wins over
+/// a weak one between the same pair).
+fn dependency_edges(prog: &ColProgram) -> Vec<(String, String, bool)> {
+    let defined = prog.defined_symbols();
+    let mut edges: BTreeMap<(String, String), bool> = BTreeMap::new();
+    for rule in &prog.rules {
+        let h = rule.head_symbol().to_owned();
+        for (sym, strong) in rule_dependencies(rule) {
+            if !defined.contains(&sym) {
+                continue;
+            }
+            let e = edges.entry((h.clone(), sym)).or_insert(false);
+            *e |= strong;
+        }
+    }
+    edges
+        .into_iter()
+        .map(|((h, s), strong)| (h, s, strong))
+        .collect()
+}
+
+/// Find a dependency cycle through at least one strong edge, as the
+/// ordered symbol path `[u, v, …]` with the last element depending back on
+/// `u` and the `u → v` step strong.
+fn find_strong_cycle(edges: &[(String, String, bool)]) -> Option<Vec<String>> {
+    use std::collections::{HashMap, VecDeque};
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (h, s, _) in edges {
+        adj.entry(h).or_default().push(s);
+    }
+    for (u, v, strong) in edges {
+        if !strong {
+            continue;
+        }
+        if u == v {
+            return Some(vec![u.clone()]);
+        }
+        // BFS from v back to u: a path v → … → u closes the cycle u → v → … → u
+        let mut parent: HashMap<&str, &str> = HashMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::from([v.as_str()]);
+        parent.insert(v, v);
+        while let Some(cur) = queue.pop_front() {
+            if cur == u {
+                // walk parents u → … → v, then emit [u, v, …, pre-u]
+                let mut rev = vec![u.as_str()];
+                let mut node = u.as_str();
+                while node != v.as_str() {
+                    node = parent[node];
+                    rev.push(node);
+                }
+                rev.reverse(); // [v, …, u]
+                rev.pop(); // [v, …, last-before-u]
+                let mut cycle = vec![u.clone()];
+                cycle.extend(rev.into_iter().map(str::to_owned));
+                return Some(cycle);
+            }
+            for next in adj.get(cur).map(Vec::as_slice).unwrap_or(&[]) {
+                if !parent.contains_key(next) {
+                    parent.insert(next, cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Compute strata for the program's defined symbols. EDB symbols (never in
 /// a head) implicitly sit at stratum 0.
 pub fn stratify(prog: &ColProgram) -> Result<BTreeMap<String, usize>, NotStratifiable> {
@@ -122,8 +206,11 @@ pub fn stratify(prog: &ColProgram) -> Result<BTreeMap<String, usize>, NotStratif
             return Ok(stratum);
         }
         if let Some((sym, _)) = stratum.iter().find(|(_, s)| **s > bound) {
+            let cycle =
+                find_strong_cycle(&dependency_edges(prog)).unwrap_or_else(|| vec![sym.clone()]);
             return Err(NotStratifiable {
-                symbol: sym.clone(),
+                symbol: cycle.first().cloned().unwrap_or_else(|| sym.clone()),
+                cycle,
             });
         }
     }
@@ -238,6 +325,51 @@ mod tests {
                 ],
             ),
         ]);
-        assert!(stratify(&prog).is_err());
+        let err = stratify(&prog).unwrap_err();
+        // the full ordered cycle, starting at the strong edge's source
+        assert_eq!(err.cycle, vec!["Q".to_owned(), "P".to_owned()]);
+        assert_eq!(err.symbol, "Q");
+        assert_eq!(err.cycle_path(), "Q → P → Q");
+        assert!(err.to_string().contains("Q → P → Q"));
+    }
+
+    #[test]
+    fn long_cycle_reported_in_order() {
+        // A ← B; B ← C; C ← ¬A: the cycle is C → A → B → C with the
+        // strong edge at C → A
+        let prog = ColProgram::new(vec![
+            ColRule::pred("A", vec![v("x")], vec![ColLiteral::pred("B", vec![v("x")])]),
+            ColRule::pred("B", vec![v("x")], vec![ColLiteral::pred("C", vec![v("x")])]),
+            ColRule::pred(
+                "C",
+                vec![v("x")],
+                vec![
+                    ColLiteral::pred("E", vec![v("x")]),
+                    ColLiteral::not_pred("A", vec![v("x")]),
+                ],
+            ),
+        ]);
+        let err = stratify(&prog).unwrap_err();
+        assert_eq!(
+            err.cycle,
+            vec!["C".to_owned(), "A".to_owned(), "B".to_owned()]
+        );
+        assert_eq!(err.cycle_path(), "C → A → B → C");
+    }
+
+    #[test]
+    fn self_negation_cycle_is_singleton() {
+        // P(x) ← E(x), ¬P(x)
+        let prog = ColProgram::new(vec![ColRule::pred(
+            "P",
+            vec![v("x")],
+            vec![
+                ColLiteral::pred("E", vec![v("x")]),
+                ColLiteral::not_pred("P", vec![v("x")]),
+            ],
+        )]);
+        let err = stratify(&prog).unwrap_err();
+        assert_eq!(err.cycle, vec!["P".to_owned()]);
+        assert_eq!(err.cycle_path(), "P → P");
     }
 }

@@ -96,6 +96,15 @@ pub enum DlError {
     /// A head or negated variable does not occur in a positive body
     /// literal.
     Unsafe(String),
+    /// A head or negated-literal variable was still unbound when a rule
+    /// fired — only reachable if evaluation is driven without
+    /// [`DatalogProgram::check_safety`].
+    UnboundAtFiring {
+        /// The unbound variable.
+        var: String,
+        /// The predicate being instantiated (head or negated literal).
+        pred: String,
+    },
     /// The program has negation inside recursion (stratified mode only).
     NotStratifiable(String),
     /// Fuel exhausted.
@@ -106,6 +115,10 @@ impl fmt::Display for DlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DlError::Unsafe(v) => write!(f, "unsafe variable {v}"),
+            DlError::UnboundAtFiring { var, pred } => write!(
+                f,
+                "variable {var} of {pred} unbound at rule firing (rule is unsafe)"
+            ),
             DlError::NotStratifiable(p) => {
                 write!(f, "negation through recursion at predicate {p}")
             }
@@ -331,7 +344,7 @@ fn seminaive_fixpoint(
                 if !first && rec_positions.is_empty() {
                     continue;
                 }
-                fire_rule(rule, state, &mut indexes, None, &mut derived, stats);
+                fire_rule(rule, state, &mut indexes, None, &mut derived, stats)?;
             } else {
                 for &pos in &rec_positions {
                     fire_rule(
@@ -341,7 +354,7 @@ fn seminaive_fixpoint(
                         Some((&delta, pos)),
                         &mut derived,
                         stats,
-                    );
+                    )?;
                 }
             }
         }
@@ -374,35 +387,39 @@ fn fire_rule(
     delta: Option<(&BTreeMap<String, Instance>, usize)>,
     derived: &mut Vec<(String, Value)>,
     stats: &mut EvalStats,
-) {
+) -> Result<(), DlError> {
     stats.rules_fired += 1;
     let empty = Instance::empty();
     let mut bindings = vec![HashMap::new()];
     for (i, lit) in rule.body.iter().enumerate() {
-        let from_delta = matches!(delta, Some((_, pos)) if pos == i);
-        let rel = if from_delta {
-            let (d, _) = delta.expect("checked by from_delta");
-            d.get(&lit.atom.pred).unwrap_or(&empty)
-        } else {
-            state.get_ref(&lit.atom.pred).unwrap_or(&empty)
+        let rel = match delta {
+            Some((d, pos)) if pos == i => d.get(&lit.atom.pred).unwrap_or(&empty),
+            _ => state.get_ref(&lit.atom.pred).unwrap_or(&empty),
         };
         // deltas are small and short-lived: scan them; only the settled
         // state earns an index
+        let from_delta = matches!(delta, Some((_, pos)) if pos == i);
         let index = if !from_delta && lit.positive {
             Some(indexes.of(&lit.atom.pred, rel))
         } else {
             None
         };
-        bindings = extend_bindings(lit, &bindings, rel, index, stats);
+        bindings = extend_bindings(lit, &bindings, rel, index, stats)?;
         if bindings.is_empty() {
-            return;
+            return Ok(());
         }
     }
     stats.tuples_derived += bindings.len() as u64;
     for b in &bindings {
-        let row: Vec<Value> = rule.head.args.iter().map(|t| instantiate(t, b)).collect();
+        let row: Vec<Value> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| instantiate(t, b, &rule.head.pred))
+            .collect::<Result<_, _>>()?;
         derived.push((rule.head.pred.clone(), Value::Tuple(row)));
     }
+    Ok(())
 }
 
 fn least_fixpoint(
@@ -422,7 +439,7 @@ fn least_fixpoint(
         stats.rounds += 1;
         let mut derived: Vec<(String, Value)> = Vec::new();
         for rule in rules {
-            fire_rule(rule, state, &mut indexes, None, &mut derived, stats);
+            fire_rule(rule, state, &mut indexes, None, &mut derived, stats)?;
         }
         let mut changed = false;
         for (pred, row) in derived {
@@ -439,13 +456,13 @@ fn least_fixpoint(
     }
 }
 
-fn instantiate(t: &DlTerm, b: &HashMap<String, Value>) -> Value {
+fn instantiate(t: &DlTerm, b: &HashMap<String, Value>, pred: &str) -> Result<Value, DlError> {
     match t {
-        DlTerm::Var(v) => b
-            .get(v)
-            .cloned()
-            .expect("safety check guarantees bound head variables"),
-        DlTerm::Const(c) => c.clone(),
+        DlTerm::Var(v) => b.get(v).cloned().ok_or_else(|| DlError::UnboundAtFiring {
+            var: v.clone(),
+            pred: pred.to_owned(),
+        }),
+        DlTerm::Const(c) => Ok(c.clone()),
     }
 }
 
@@ -487,7 +504,7 @@ fn extend_bindings(
     rel: &Instance,
     index: Option<&ColumnIndex>,
     stats: &mut EvalStats,
-) -> Vec<HashMap<String, Value>> {
+) -> Result<Vec<HashMap<String, Value>>, DlError> {
     let mut out = Vec::new();
     if lit.positive {
         for b in bindings {
@@ -512,13 +529,18 @@ fn extend_bindings(
         }
     } else {
         for b in bindings {
-            let row: Vec<Value> = lit.atom.args.iter().map(|t| instantiate(t, b)).collect();
+            let row: Vec<Value> = lit
+                .atom
+                .args
+                .iter()
+                .map(|t| instantiate(t, b, &lit.atom.pred))
+                .collect::<Result<_, _>>()?;
             if !rel.contains(&Value::Tuple(row)) {
                 out.push(b.clone());
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -17,8 +17,11 @@
 //!   paper's *terminal invention* (Section 6).
 //! * [`core`] — the constructive content of the theorems: compilers between
 //!   the formalisms.
+//! * [`analysis`] — the unified static-analysis framework and the paper-
+//!   derived lints behind the `uset-lint` binary.
 
 pub use uset_algebra as algebra;
+pub use uset_analysis as analysis;
 pub use uset_bk as bk;
 pub use uset_calculus as calculus;
 pub use uset_core as core;
