@@ -1,20 +1,27 @@
-//! Fuel-bounded evaluation of algebra programs.
+//! Budget-governed evaluation of algebra programs.
 //!
 //! Evaluation follows §2/§4 of the paper: statements execute in order over
 //! an environment of instance-valued variables initialized from the input
 //! database; `while ⟨x;y⟩` loops run while `y` is non-empty; the program's
 //! answer is the final value of `ANS`. If `undefine` fires on an empty
-//! instance the whole query is `?` ([`EvalError::Undefined`]); a loop
-//! exceeding the configured fuel reports [`EvalError::FuelExhausted`] — the
-//! finite stand-in for the paper's non-termination-is-`?` convention (see
-//! DESIGN.md §5).
+//! instance the whole query is `?` ([`EvalError::Undefined`]); resource
+//! overruns — the step budget (the finite stand-in for the paper's
+//! non-termination-is-`?` convention, see DESIGN.md §5), the instance-size
+//! cap that converts powerset/product explosions into clean errors, a
+//! wall-clock deadline, or cooperative cancellation — all report
+//! [`EvalError::Exhausted`] through the shared [`uset_guard`] taxonomy,
+//! carrying the environment at the last completed statement boundary as a
+//! partial-result snapshot.
 
 use crate::expr::{Expr, Pred};
 use crate::program::{Program, Stmt, ANS};
-use std::collections::{BTreeSet, HashMap};
-use uset_object::{Database, Instance, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Trip};
+use uset_object::{Database, EvalStats, Instance, Value};
 
-/// Evaluation limits.
+/// Evaluation limits — a thin shim kept for source compatibility; new
+/// code should pass a [`uset_guard::Governor`] to
+/// [`eval_program_governed`] instead. Converted via [`EvalConfig::budget`].
 #[derive(Clone, Copy, Debug)]
 pub struct EvalConfig {
     /// Maximum number of statements executed (loop iterations multiply).
@@ -33,34 +40,65 @@ impl Default for EvalConfig {
     }
 }
 
+impl EvalConfig {
+    /// The equivalent shared-layer budget: `fuel` → steps,
+    /// `max_instance_len` → value size.
+    pub fn budget(&self) -> Budget {
+        Budget::unlimited()
+            .with_steps(self.fuel)
+            .with_value_size(self.max_instance_len)
+    }
+}
+
+/// The environment at the last completed statement boundary — the partial
+/// result an exhausted run surrenders instead of discarding its work.
+/// Statements mutate the environment atomically, so this snapshot is
+/// always a state some prefix of the execution legitimately reached.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartialEnv {
+    /// Variable → instance bindings (inputs plus everything assigned so
+    /// far, including loop-carried intermediates).
+    pub env: BTreeMap<String, Instance>,
+}
+
+impl PartialEnv {
+    /// The partial answer, if the program assigned `ANS` before running
+    /// out of budget.
+    pub fn ans(&self) -> Option<&Instance> {
+        self.env.get(ANS)
+    }
+}
+
+/// The algebra engine's exhaustion report.
+pub type AlgExhausted = Exhausted<PartialEnv>;
+
 /// Evaluation failure modes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EvalError {
     /// The paper's `?`: `undefine` fired on an empty instance.
     Undefined,
-    /// The fuel bound was hit (observed stand-in for non-termination).
-    FuelExhausted,
-    /// An intermediate instance exceeded the size bound.
-    InstanceTooLarge { var: String, len: usize },
+    /// A resource budget was exhausted or the run was cancelled; carries
+    /// provenance, the environment snapshot, and work counters.
+    Exhausted(Box<AlgExhausted>),
     /// A variable was read before being assigned.
     Unbound(String),
     /// The program never assigned `ANS`.
     NoAnswer,
 }
 
+impl EvalError {
+    /// True for any budget/cancellation exhaustion (the old
+    /// `FuelExhausted` and `InstanceTooLarge` conditions both map here).
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, EvalError::Exhausted(_))
+    }
+}
+
 impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::Undefined => write!(f, "query evaluated to the undefined value '?'"),
-            EvalError::FuelExhausted => {
-                write!(f, "evaluation fuel exhausted (possible divergence)")
-            }
-            EvalError::InstanceTooLarge { var, len } => {
-                write!(
-                    f,
-                    "intermediate {var} grew to {len} members, over the bound"
-                )
-            }
+            EvalError::Exhausted(e) => write!(f, "{e}"),
             EvalError::Unbound(v) => write!(f, "variable {v} read before assignment"),
             EvalError::NoAnswer => write!(f, "program did not assign ANS"),
         }
@@ -72,33 +110,39 @@ impl std::error::Error for EvalError {}
 /// Result alias for evaluation.
 pub type EvalResult<T> = Result<T, EvalError>;
 
+/// Internal error split: guard trips become [`EvalError::Exhausted`] only
+/// at the top level, where the environment snapshot is available.
+enum RunErr {
+    Trip(Trip),
+    Fail(EvalError),
+}
+
+impl From<Trip> for RunErr {
+    fn from(t: Trip) -> RunErr {
+        RunErr::Trip(t)
+    }
+}
+
+impl From<EvalError> for RunErr {
+    fn from(e: EvalError) -> RunErr {
+        RunErr::Fail(e)
+    }
+}
+
+type RunResult<T> = Result<T, RunErr>;
+
 struct Evaluator {
     env: HashMap<String, Instance>,
-    fuel: u64,
-    max_len: usize,
+    guard: Guard,
 }
 
 impl Evaluator {
-    fn spend(&mut self) -> EvalResult<()> {
-        if self.fuel == 0 {
-            return Err(EvalError::FuelExhausted);
-        }
-        self.fuel -= 1;
-        Ok(())
-    }
-
-    fn run_stmts(&mut self, stmts: &[Stmt]) -> EvalResult<()> {
+    fn run_stmts(&mut self, stmts: &[Stmt]) -> RunResult<()> {
         for s in stmts {
-            self.spend()?;
+            self.guard.step()?;
             match s {
                 Stmt::Assign(var, expr) => {
                     let v = self.eval_expr(expr)?;
-                    if v.len() > self.max_len {
-                        return Err(EvalError::InstanceTooLarge {
-                            var: var.clone(),
-                            len: v.len(),
-                        });
-                    }
                     self.env.insert(var.clone(), v);
                 }
                 Stmt::While {
@@ -112,7 +156,7 @@ impl Evaluator {
                         if c.is_empty() {
                             break;
                         }
-                        self.spend()?;
+                        self.guard.step()?;
                         self.run_stmts(body)?;
                     }
                     let r = self.lookup(result)?.clone();
@@ -129,26 +173,37 @@ impl Evaluator {
             .ok_or_else(|| EvalError::Unbound(var.to_owned()))
     }
 
-    fn eval_expr(&self, expr: &Expr) -> EvalResult<Instance> {
+    fn eval_expr(&mut self, expr: &Expr) -> RunResult<Instance> {
         let out = match expr {
             Expr::Var(v) => self.lookup(v)?.clone(),
             Expr::Const(i) => i.clone(),
-            Expr::Union(a, b) => self.eval_expr(a)?.union(&self.eval_expr(b)?),
-            Expr::Diff(a, b) => self.eval_expr(a)?.difference(&self.eval_expr(b)?),
-            Expr::Intersect(a, b) => self.eval_expr(a)?.intersection(&self.eval_expr(b)?),
-            Expr::Product(a, b) => product(&self.eval_expr(a)?, &self.eval_expr(b)?),
+            Expr::Union(a, b) => {
+                let x = self.eval_expr(a)?;
+                x.union(&self.eval_expr(b)?)
+            }
+            Expr::Diff(a, b) => {
+                let x = self.eval_expr(a)?;
+                x.difference(&self.eval_expr(b)?)
+            }
+            Expr::Intersect(a, b) => {
+                let x = self.eval_expr(a)?;
+                x.intersection(&self.eval_expr(b)?)
+            }
+            Expr::Product(a, b) => {
+                let x = self.eval_expr(a)?;
+                product(&x, &self.eval_expr(b)?)
+            }
             Expr::Select(e, p) => select(&self.eval_expr(e)?, p),
             Expr::Project(e, cols) => project(&self.eval_expr(e)?, cols),
             Expr::Nest(e, cols) => nest(&self.eval_expr(e)?, cols),
             Expr::Unnest(e, col) => unnest(&self.eval_expr(e)?, *col),
             Expr::Powerset(e) => {
                 let inst = self.eval_expr(e)?;
-                if inst.len() >= usize::BITS as usize || (1usize << inst.len()) > self.max_len {
-                    return Err(EvalError::InstanceTooLarge {
-                        var: "powerset".to_owned(),
-                        len: inst.len(),
-                    });
+                // check 2^n against the cap before materializing
+                if inst.len() >= usize::BITS as usize {
+                    self.guard.check_value(usize::MAX, None)?;
                 }
+                self.guard.check_value(1usize << inst.len(), None)?;
                 powerset(&inst)
             }
             Expr::SetCollapse(e) => set_collapse(&self.eval_expr(e)?),
@@ -158,17 +213,12 @@ impl Evaluator {
             Expr::Undefine(e) => {
                 let inst = self.eval_expr(e)?;
                 if inst.is_empty() {
-                    return Err(EvalError::Undefined);
+                    return Err(EvalError::Undefined.into());
                 }
                 inst
             }
         };
-        if out.len() > self.max_len {
-            return Err(EvalError::InstanceTooLarge {
-                var: "<expr>".to_owned(),
-                len: out.len(),
-            });
-        }
+        self.guard.check_value(out.len(), None)?;
         Ok(out)
     }
 }
@@ -215,10 +265,9 @@ pub fn project(inst: &Instance, cols: &[usize]) -> Instance {
                 None => continue 'member,
             }
         }
-        let v = if picked.len() == 1 {
-            picked.pop().expect("picked is non-empty")
-        } else {
-            Value::Tuple(picked)
+        let v = match <[Value; 1]>::try_from(picked) {
+            Ok([single]) => single,
+            Err(picked) => Value::Tuple(picked),
         };
         out.insert(v);
     }
@@ -243,10 +292,9 @@ pub fn nest(inst: &Instance, cols: &[usize]) -> Instance {
             .map(|(_, v)| v.clone())
             .collect();
         let sub: Vec<Value> = cols.iter().map(|&c| items[c].clone()).collect();
-        let sub_val = if sub.len() == 1 {
-            sub.into_iter().next().expect("one nested column")
-        } else {
-            Value::Tuple(sub)
+        let sub_val = match <[Value; 1]>::try_from(sub) {
+            Ok([single]) => single,
+            Err(sub) => Value::Tuple(sub),
         };
         groups.entry(key).or_default().insert(sub_val);
     }
@@ -316,13 +364,38 @@ pub fn unwrap_tuples(inst: &Instance) -> Instance {
 /// Evaluate a program on a database. Input relations enter the environment
 /// under their database names; the answer is the final value of `ANS`.
 pub fn eval_program(prog: &Program, db: &Database, config: &EvalConfig) -> EvalResult<Instance> {
+    eval_program_governed(prog, db, &Governor::new(config.budget()))
+}
+
+/// Evaluate a program under a shared-layer [`Governor`] (budget +
+/// cancellation + optional failpoint). On exhaustion the error carries the
+/// environment at the last completed statement boundary and work counters.
+pub fn eval_program_governed(
+    prog: &Program,
+    db: &Database,
+    governor: &Governor,
+) -> EvalResult<Instance> {
     let mut ev = Evaluator {
         env: db.iter().map(|(n, i)| (n.to_owned(), i.clone())).collect(),
-        fuel: config.fuel,
-        max_len: config.max_instance_len,
+        guard: governor.guard(EngineId::Algebra),
     };
-    ev.run_stmts(&prog.stmts)?;
-    ev.env.remove(ANS).ok_or(EvalError::NoAnswer)
+    match ev.run_stmts(&prog.stmts) {
+        Ok(()) => ev.env.remove(ANS).ok_or(EvalError::NoAnswer),
+        Err(RunErr::Fail(e)) => Err(e),
+        Err(RunErr::Trip(trip)) => {
+            let partial = PartialEnv {
+                env: ev.env.into_iter().collect(),
+            };
+            let stats = EvalStats {
+                rounds: ev.guard.steps(),
+                peak_facts: partial.env.values().map(Instance::len).max().unwrap_or(0),
+                ..EvalStats::default()
+            };
+            Err(EvalError::Exhausted(Box::new(Exhausted::new(
+                trip, partial, stats,
+            ))))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -503,10 +576,17 @@ mod tests {
             fuel: 1000,
             ..EvalConfig::default()
         };
-        assert_eq!(
-            eval_program(&prog, &db, &cfg),
-            Err(EvalError::FuelExhausted)
-        );
+        match eval_program(&prog, &db, &cfg) {
+            Err(EvalError::Exhausted(e)) => {
+                assert_eq!(e.trip.resource, uset_guard::Resource::Steps);
+                assert_eq!(e.trip.engine, EngineId::Algebra);
+                // the partial snapshot retains the loop-carried state
+                assert!(!e.partial.env.is_empty());
+                assert_eq!(e.partial.env["x"], db.get("R"));
+                assert!(e.stats.rounds > 0);
+            }
+            other => panic!("expected Exhausted(Steps), got {other:?}"),
+        }
     }
 
     #[test]
@@ -532,10 +612,34 @@ mod tests {
             max_instance_len: 1 << 16,
             ..EvalConfig::default()
         };
-        assert!(matches!(
-            eval_program(&prog, &db, &cfg),
-            Err(EvalError::InstanceTooLarge { .. })
-        ));
+        match eval_program(&prog, &db, &cfg) {
+            Err(EvalError::Exhausted(e)) => {
+                assert_eq!(e.trip.resource, uset_guard::Resource::ValueSize);
+                // inputs survive in the snapshot even though ANS never landed
+                assert!(e.partial.env.contains_key("R"));
+            }
+            other => panic!("expected Exhausted(ValueSize), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failpoint_cancels_mid_program() {
+        use uset_guard::{FailPoint, Resource};
+        let db = db_r(vec![vec![atom(1), atom(2)]]);
+        let prog = Program::new(vec![
+            Stmt::assign("x", Expr::var("R")),
+            Stmt::assign("y", Expr::var("x")),
+            Stmt::assign(ANS, Expr::var("y")),
+        ]);
+        let gov = Governor::unlimited().with_failpoint(FailPoint::cancel_at(2));
+        match eval_program_governed(&prog, &db, &gov) {
+            Err(EvalError::Exhausted(e)) => {
+                assert_eq!(e.trip.resource, Resource::Cancelled);
+                // statement 1 completed before the injected cancellation
+                assert_eq!(e.partial.env["x"], db.get("R"));
+            }
+            other => panic!("expected Exhausted(Cancelled), got {other:?}"),
+        }
     }
 
     #[test]

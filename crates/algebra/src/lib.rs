@@ -36,7 +36,10 @@ pub mod opt;
 pub mod program;
 pub mod typecheck;
 
-pub use eval::{eval_program, EvalConfig, EvalError, EvalResult};
+pub use eval::{
+    eval_program, eval_program_governed, AlgExhausted, EvalConfig, EvalError, EvalResult,
+    PartialEnv,
+};
 pub use expr::{Expr, Operand, Pred};
 pub use program::{Program, Stmt};
 pub use typecheck::{infer_types, Level, TypeError};

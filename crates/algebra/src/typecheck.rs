@@ -162,10 +162,9 @@ fn infer_expr(expr: &Expr, env: &HashMap<String, RType>) -> Result<RType, TypeEr
                         .iter()
                         .map(|&c| items.get(c).cloned().unwrap_or(RType::Obj))
                         .collect();
-                    if picked.len() == 1 {
-                        picked.into_iter().next().expect("one column")
-                    } else {
-                        RType::Tuple(picked)
+                    match <[RType; 1]>::try_from(picked) {
+                        Ok([single]) => single,
+                        Err(picked) => RType::Tuple(picked),
                     }
                 }
                 _ => RType::Obj,
@@ -179,10 +178,9 @@ fn infer_expr(expr: &Expr, env: &HashMap<String, RType>) -> Result<RType, TypeEr
                         .iter()
                         .map(|&c| items.get(c).cloned().unwrap_or(RType::Obj))
                         .collect();
-                    let inner = if nested.len() == 1 {
-                        nested.into_iter().next().expect("one column")
-                    } else {
-                        RType::Tuple(nested)
+                    let inner = match <[RType; 1]>::try_from(nested) {
+                        Ok([single]) => single,
+                        Err(nested) => RType::Tuple(nested),
                     };
                     let mut row: Vec<RType> = items
                         .iter()
@@ -224,9 +222,10 @@ fn infer_expr(expr: &Expr, env: &HashMap<String, RType>) -> Result<RType, TypeEr
         Expr::Unwrap(e) => {
             let t = infer_expr(e, env)?;
             match t {
-                RType::Tuple(items) if items.len() == 1 => {
-                    items.into_iter().next().expect("one component")
-                }
+                RType::Tuple(items) if items.len() == 1 => match <[RType; 1]>::try_from(items) {
+                    Ok([single]) => single,
+                    Err(items) => RType::Tuple(items),
+                },
                 _ => RType::Obj,
             }
         }

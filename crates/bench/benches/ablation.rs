@@ -10,7 +10,10 @@
 //!   mechanical code cleans up — measure the evaluation win);
 //! * ordinal-chain (von Neumann, doubling size) vs singleton-nesting
 //!   chain (linear size) — the index-supply representation choice that
-//!   keeps the GTM simulation polynomial.
+//!   keeps the GTM simulation polynomial;
+//! * guard overhead — the same COL semi-naive fixpoint under an unlimited
+//!   governor vs a fully budgeted one (steps + facts + value size + wall
+//!   deadline); the governance layer must cost <5% on the hot loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -19,9 +22,10 @@ use uset_algebra::{eval_program, EvalConfig};
 use uset_bench::path_graph;
 use uset_core::gtm_to_alg::{compile_gtm, prepare_gtm_input};
 use uset_deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
-use uset_deductive::col::eval::{stratified_with, ColConfig, ColStrategy};
+use uset_deductive::col::eval::{stratified_governed, stratified_with, ColConfig, ColStrategy};
 use uset_deductive::datalog::{DatalogProgram, DlAtom, DlRule, DlTerm};
 use uset_gtm::machines::swap_pairs_gtm;
+use uset_guard::{Budget, Governor};
 use uset_object::cons::{ordinal_chain, singleton_chain};
 use uset_object::EvalStats;
 use uset_object::{atom, Atom, Database, Instance, Schema, Value};
@@ -144,6 +148,50 @@ fn bench_col_naive_vs_seminaive(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_guard_overhead(c: &mut Criterion) {
+    // the cost of resource governance itself: the identical COL semi-naive
+    // TC fixpoint under an unlimited governor (checks compare against
+    // infinity) vs one enforcing every budget axis, none of which trips
+    let mut group = c.benchmark_group("ablation/guard_overhead");
+    let prog = tc_col();
+    let cfg = ColConfig::default();
+    let unguarded = Governor::unlimited();
+    let budgeted = Governor::new(
+        Budget::unlimited()
+            .with_steps(1_000_000)
+            .with_facts(1_000_000)
+            .with_value_size(1_000_000)
+            .with_wall(std::time::Duration::from_secs(3600)),
+    );
+    for n in [32u64, 64] {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        for (label, governor) in [("unguarded", &unguarded), ("budgeted", &budgeted)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        stratified_governed(
+                            &prog,
+                            &db,
+                            &cfg,
+                            ColStrategy::Seminaive,
+                            governor,
+                            &mut EvalStats::default(),
+                        )
+                        .unwrap()
+                        .pred("T")
+                        .len(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_optimizer_on_compiled_program(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/optimizer");
     group.sample_size(10);
@@ -207,6 +255,7 @@ criterion_group!(
     benches,
     bench_naive_vs_seminaive,
     bench_col_naive_vs_seminaive,
+    bench_guard_overhead,
     bench_optimizer_on_compiled_program,
     bench_chain_representations,
     bench_while_flattening_overhead

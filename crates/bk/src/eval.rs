@@ -16,14 +16,17 @@
 //!   small inputs only), for completeness experiments.
 //!
 //! BK is monotone and negation-free, so the fixpoint exists; it may be
-//! infinite (Example 5.4), which the round/size budgets convert into
-//! [`BkError::FuelExhausted`] — the observable form of "the execution of
-//! this program will not terminate, and so its output is undefined".
+//! infinite (Example 5.4), which the shared resource budgets convert into
+//! [`BkError::Exhausted`] — the observable form of "the execution of
+//! this program will not terminate, and so its output is undefined" —
+//! carrying the last consistent round's state as a partial result.
 
 use crate::object::BkObject;
 use crate::order::{subobject, subobjects};
 use crate::rules::{BkProgram, BkRule, BkTerm};
 use std::collections::{BTreeMap, BTreeSet};
+use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Resource, Trip};
+use uset_object::EvalStats;
 
 /// Candidate policy for variable instantiation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,13 +37,18 @@ pub enum BindMode {
     Exhaustive,
 }
 
-/// Evaluation budgets and policy.
+/// Evaluation budgets and policy — a thin shim over the shared
+/// [`uset_guard`] layer; new code should pass a [`Governor`] to the
+/// `_governed` entry points. Converted via [`BkConfig::budget`].
 #[derive(Clone, Copy, Debug)]
 pub struct BkConfig {
     /// Maximum fixpoint rounds.
     pub max_rounds: u64,
     /// Maximum total facts.
     pub max_facts: usize,
+    /// Maximum candidates one exhaustive sub-object enumeration may
+    /// produce (a structural cap — a looser budget does not raise it).
+    pub max_subobjects: usize,
     /// Instantiation policy.
     pub bind_mode: BindMode,
 }
@@ -50,26 +58,57 @@ impl Default for BkConfig {
         BkConfig {
             max_rounds: 1000,
             max_facts: 100_000,
+            max_subobjects: 1 << 12,
             bind_mode: BindMode::Principal,
         }
     }
 }
 
+impl BkConfig {
+    /// The equivalent shared-layer budget (`max_facts` → facts;
+    /// `max_rounds` stays a convergence bound, not a budget, so
+    /// [`eval_rounds`] can report non-convergence without erroring).
+    pub fn budget(&self) -> Budget {
+        Budget::unlimited().with_facts(self.max_facts)
+    }
+}
+
+/// The last consistent round's state, surrendered on exhaustion: mid-round
+/// insertions are rolled back so every fact here was derived by a fully
+/// completed round (or was part of the input).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BkPartial {
+    /// Predicate extents at the last completed round.
+    pub state: BkState,
+    /// Derivations recorded up to that round.
+    pub derivations: Vec<Derivation>,
+}
+
+/// The BK engine's exhaustion report.
+pub type BkExhausted = Exhausted<BkPartial>;
+
 /// Evaluation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BkError {
-    /// Budgets exhausted — the program's fixpoint is (or behaves as)
-    /// infinite; the paper's undefined output.
-    FuelExhausted,
-    /// Exhaustive sub-object enumeration overflowed.
-    SubobjectOverflow,
+    /// A resource budget was exhausted (rounds, facts, sub-object
+    /// enumeration size, deadline) or the run was cancelled — the paper's
+    /// undefined output, with the work done so far retained.
+    Exhausted(Box<BkExhausted>),
+}
+
+impl BkError {
+    /// The exhaustion report (every `BkError` carries one).
+    pub fn exhausted(&self) -> &BkExhausted {
+        match self {
+            BkError::Exhausted(e) => e,
+        }
+    }
 }
 
 impl std::fmt::Display for BkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BkError::FuelExhausted => write!(f, "BK fixpoint did not converge within budget"),
-            BkError::SubobjectOverflow => write!(f, "sub-object enumeration overflowed"),
+            BkError::Exhausted(e) => write!(f, "BK fixpoint did not converge: {e}"),
         }
     }
 }
@@ -100,8 +139,10 @@ fn match_pattern(
     pat: &BkTerm,
     target: &BkObject,
     b: &Bindings,
-    mode: BindMode,
-) -> Result<Vec<Bindings>, BkError> {
+    config: &BkConfig,
+    guard: &mut Guard,
+) -> Result<Vec<Bindings>, Trip> {
+    let mode = config.bind_mode;
     match pat {
         BkTerm::Var(v) => match b.get(v) {
             Some(bound) => {
@@ -121,7 +162,18 @@ fn match_pattern(
                         }
                     }
                     BindMode::Exhaustive => {
-                        subobjects(target, 1 << 12).ok_or(BkError::SubobjectOverflow)?
+                        let cap = config.max_subobjects;
+                        match subobjects(target, cap) {
+                            Some(cs) => {
+                                guard.check_value(cs.len(), Some(cap))?;
+                                cs
+                            }
+                            None => {
+                                // enumeration overflowed the structural cap
+                                guard.check_value(cap.saturating_add(1), Some(cap))?;
+                                unreachable!("check_value must trip past its floor")
+                            }
+                        }
                     }
                 };
                 Ok(candidates
@@ -144,20 +196,20 @@ fn match_pattern(
         BkTerm::Tuple(m) => {
             // the instantiated tuple has exactly attrs(m); it is ⊑ target
             // iff target is a tuple (or ⊤) providing each attribute above
-            let out_for_top = |b: &Bindings| -> Result<Vec<Bindings>, BkError> {
+            let out_for_top = |b: &Bindings, guard: &mut Guard| -> Result<Vec<Bindings>, Trip> {
                 // everything is ⊑ ⊤: match sub-patterns against ⊤
                 let mut acc = vec![b.clone()];
                 for t in m.values() {
                     let mut next = Vec::new();
                     for bb in &acc {
-                        next.extend(match_pattern(t, &BkObject::Top, bb, mode)?);
+                        next.extend(match_pattern(t, &BkObject::Top, bb, config, guard)?);
                     }
                     acc = next;
                 }
                 Ok(acc)
             };
             match target {
-                BkObject::Top => out_for_top(b),
+                BkObject::Top => out_for_top(b, guard),
                 BkObject::Tuple(tm) => {
                     let mut acc = vec![b.clone()];
                     for (k, t) in m {
@@ -166,7 +218,7 @@ fn match_pattern(
                         };
                         let mut next = Vec::new();
                         for bb in &acc {
-                            next.extend(match_pattern(t, tv, bb, mode)?);
+                            next.extend(match_pattern(t, tv, bb, config, guard)?);
                         }
                         acc = next;
                         if acc.is_empty() {
@@ -186,7 +238,7 @@ fn match_pattern(
                     let mut next = Vec::new();
                     for bb in &acc {
                         for member in ts {
-                            next.extend(match_pattern(item, member, bb, mode)?);
+                            next.extend(match_pattern(item, member, bb, config, guard)?);
                         }
                     }
                     acc = next;
@@ -201,7 +253,7 @@ fn match_pattern(
                 for item in items {
                     let mut next = Vec::new();
                     for bb in &acc {
-                        next.extend(match_pattern(item, &BkObject::Top, bb, mode)?);
+                        next.extend(match_pattern(item, &BkObject::Top, bb, config, guard)?);
                     }
                     acc = next;
                 }
@@ -213,14 +265,20 @@ fn match_pattern(
 }
 
 /// All valuations satisfying a rule body against the state.
-fn rule_bindings(rule: &BkRule, state: &BkState, mode: BindMode) -> Result<Vec<Bindings>, BkError> {
+fn rule_bindings(
+    rule: &BkRule,
+    state: &BkState,
+    config: &BkConfig,
+    guard: &mut Guard,
+) -> Result<Vec<Bindings>, Trip> {
     let mut acc: Vec<Bindings> = vec![Bindings::new()];
     for lit in &rule.body {
+        guard.check_point()?;
         let extent = state.get(&lit.pred).cloned().unwrap_or_default();
         let mut next = Vec::new();
         for b in &acc {
             for target in &extent {
-                next.extend(match_pattern(&lit.pattern, target, b, mode)?);
+                next.extend(match_pattern(&lit.pattern, target, b, config, guard)?);
             }
         }
         // dedup to keep the frontier small
@@ -234,39 +292,108 @@ fn rule_bindings(rule: &BkRule, state: &BkState, mode: BindMode) -> Result<Vec<B
     Ok(acc)
 }
 
+fn exhaust(trip: Trip, state: BkState, derivations: Vec<Derivation>, stats: EvalStats) -> BkError {
+    BkError::Exhausted(Box::new(Exhausted::new(
+        trip,
+        BkPartial { state, derivations },
+        stats,
+    )))
+}
+
 /// Run at most `config.max_rounds` rounds of the monotone operator.
 /// Returns the reached state, the recorded derivations, and whether the
-/// fixpoint converged within the budget. `Err` only on sub-object
-/// enumeration overflow or fact-count overflow.
+/// fixpoint converged within the round bound. `Err` on budget exhaustion
+/// or cancellation; the error's partial snapshot is the state at the last
+/// completed round (a trip mid-round rolls that round's insertions back).
 pub fn eval_rounds(
     prog: &BkProgram,
     input: &BkState,
     config: &BkConfig,
 ) -> Result<(BkState, Vec<Derivation>, bool), BkError> {
+    eval_rounds_governed(prog, input, config, &Governor::new(config.budget()))
+}
+
+/// [`eval_rounds`] under a shared-layer [`Governor`] (budget +
+/// cancellation + optional failpoint); `config` keeps the round bound and
+/// the instantiation policy.
+pub fn eval_rounds_governed(
+    prog: &BkProgram,
+    input: &BkState,
+    config: &BkConfig,
+    governor: &Governor,
+) -> Result<(BkState, Vec<Derivation>, bool), BkError> {
+    let mut stats = EvalStats::default();
+    eval_rounds_with(prog, input, config, governor, &mut stats)
+}
+
+/// [`eval_rounds_governed`] accumulating work counters into `stats`
+/// (counters are also embedded in the error on exhaustion).
+pub fn eval_rounds_with(
+    prog: &BkProgram,
+    input: &BkState,
+    config: &BkConfig,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<(BkState, Vec<Derivation>, bool), BkError> {
+    let mut guard = governor.guard(EngineId::Bk);
     let mut state = input.clone();
-    let mut derivations = Vec::new();
+    let mut derivations: Vec<Derivation> = Vec::new();
+    let base: usize = state.values().map(BTreeSet::len).sum();
+    stats.observe_facts(base);
+    if let Err(trip) = guard.set_fact_base(base) {
+        return Err(exhaust(trip, state, derivations, *stats));
+    }
     for _ in 0..config.max_rounds {
+        if let Err(trip) = guard.step() {
+            return Err(exhaust(trip, state, derivations, *stats));
+        }
+        stats.rounds += 1;
         let mut changed = false;
         let snapshot = state.clone();
-        for (idx, rule) in prog.rules.iter().enumerate() {
-            for b in rule_bindings(rule, &snapshot, config.bind_mode)? {
-                let fact = rule.head.instantiate(&b);
-                let extent = state.entry(rule.head_pred.clone()).or_default();
-                if extent.insert(fact.clone()) {
-                    changed = true;
-                    derivations.push(Derivation {
-                        rule: idx,
-                        bindings: b,
-                        pred: rule.head_pred.clone(),
-                        fact,
-                    });
+        let round_start = derivations.len();
+        let round = |state: &mut BkState,
+                     derivations: &mut Vec<Derivation>,
+                     stats: &mut EvalStats,
+                     guard: &mut Guard,
+                     changed: &mut bool|
+         -> Result<(), Trip> {
+            for (idx, rule) in prog.rules.iter().enumerate() {
+                let bindings = rule_bindings(rule, &snapshot, config, guard)?;
+                stats.rules_fired += 1;
+                for b in bindings {
+                    let fact = rule.head.instantiate(&b);
+                    stats.tuples_derived += 1;
+                    let extent = state.entry(rule.head_pred.clone()).or_default();
+                    if extent.insert(fact.clone()) {
+                        guard.add_fact()?;
+                        *changed = true;
+                        derivations.push(Derivation {
+                            rule: idx,
+                            bindings: b,
+                            pred: rule.head_pred.clone(),
+                            fact,
+                        });
+                    }
                 }
             }
+            Ok(())
+        };
+        if let Err(trip) = round(
+            &mut state,
+            &mut derivations,
+            stats,
+            &mut guard,
+            &mut changed,
+        ) {
+            // roll the incomplete round back to the last consistent state
+            for d in derivations.drain(round_start..) {
+                if let Some(extent) = state.get_mut(&d.pred) {
+                    extent.remove(&d.fact);
+                }
+            }
+            return Err(exhaust(trip, state, derivations, *stats));
         }
-        let total: usize = state.values().map(BTreeSet::len).sum();
-        if total > config.max_facts {
-            return Err(BkError::FuelExhausted);
-        }
+        stats.observe_facts(state.values().map(BTreeSet::len).sum());
         if !changed {
             return Ok((state, derivations, true));
         }
@@ -276,15 +403,37 @@ pub fn eval_rounds(
 
 /// Run the monotone fixpoint to convergence. Returns the final state and
 /// the full list of recorded derivations; non-convergence within the
-/// budget is the paper's undefined output.
+/// budget is the paper's undefined output, reported as
+/// [`BkError::Exhausted`] with the reached state as the partial result.
 pub fn eval_fixpoint(
     prog: &BkProgram,
     input: &BkState,
     config: &BkConfig,
 ) -> Result<(BkState, Vec<Derivation>), BkError> {
-    match eval_rounds(prog, input, config)? {
+    eval_fixpoint_governed(prog, input, config, &Governor::new(config.budget()))
+}
+
+/// [`eval_fixpoint`] under a shared-layer [`Governor`].
+pub fn eval_fixpoint_governed(
+    prog: &BkProgram,
+    input: &BkState,
+    config: &BkConfig,
+    governor: &Governor,
+) -> Result<(BkState, Vec<Derivation>), BkError> {
+    let mut stats = EvalStats::default();
+    match eval_rounds_with(prog, input, config, governor, &mut stats)? {
         (state, derivations, true) => Ok((state, derivations)),
-        _ => Err(BkError::FuelExhausted),
+        (state, derivations, false) => Err(exhaust(
+            Trip {
+                engine: EngineId::Bk,
+                resource: Resource::Steps,
+                consumed: config.max_rounds,
+                limit: config.max_rounds,
+            },
+            state,
+            derivations,
+            stats,
+        )),
     }
 }
 
@@ -364,9 +513,14 @@ mod tests {
         let cfg = BkConfig {
             max_rounds: 100,
             max_facts: 5000,
-            bind_mode: BindMode::Principal,
+            ..BkConfig::default()
         };
-        assert_eq!(eval_fixpoint(&prog, &st, &cfg), Err(BkError::FuelExhausted));
+        let err = eval_fixpoint(&prog, &st, &cfg).unwrap_err();
+        let e = err.exhausted();
+        assert_eq!(e.engine(), uset_guard::EngineId::Bk);
+        // the partial snapshot retains the ⊥-lists derived before the trip
+        assert!(!e.partial.state["LIST"].is_empty());
+        assert!(e.stats.rounds > 0);
     }
 
     #[test]
@@ -380,7 +534,7 @@ mod tests {
         let cfg = BkConfig {
             max_rounds: 4,
             max_facts: 100_000,
-            bind_mode: BindMode::Principal,
+            ..BkConfig::default()
         };
         let (state, _, converged) = eval_rounds(&prog, &st, &cfg).unwrap();
         assert!(!converged, "Example 5.4 must not converge");

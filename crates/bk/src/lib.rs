@@ -27,7 +27,10 @@ pub mod object;
 pub mod order;
 pub mod rules;
 
-pub use eval::{eval_fixpoint, BkConfig, BkError, BkState, Derivation};
+pub use eval::{
+    eval_fixpoint, eval_fixpoint_governed, eval_rounds, eval_rounds_governed, BkConfig, BkError,
+    BkExhausted, BkPartial, BkState, Derivation,
+};
 pub use object::BkObject;
 pub use order::{lub, subobject};
 pub use rules::{BkProgram, BkRule, BkTerm};

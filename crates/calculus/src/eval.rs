@@ -32,6 +32,22 @@ impl Default for CalcConfig {
     }
 }
 
+impl CalcConfig {
+    /// The [`uset_guard::Budget`] equivalent of this config's knobs:
+    /// `cons_limit` caps the size of any single enumerated domain or
+    /// per-level answer, so it maps to `max_value_size`. `obj_size_bound`
+    /// is a structural bound on object construction, not a resource limit,
+    /// and stays out of the budget.
+    pub fn budget(&self) -> uset_guard::Budget {
+        uset_guard::Budget::unlimited().with_value_size(self.cons_limit)
+    }
+}
+
+/// The calculus engine's exhaustion report (see
+/// [`crate::invention::InventionPartial`] for the snapshot the invention
+/// loops surrender).
+pub type CalcExhausted = uset_guard::Exhausted<crate::invention::InventionPartial>;
+
 /// Evaluation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CalcError {
@@ -39,6 +55,20 @@ pub enum CalcError {
     DomainTooLarge(String),
     /// A free variable was not the query variable.
     UnboundVariable(String),
+    /// A resource budget was exhausted or the run was cancelled during an
+    /// invention enumeration; carries the union accumulated over the
+    /// completed invention levels.
+    Exhausted(Box<CalcExhausted>),
+}
+
+impl CalcError {
+    /// The exhaustion report, if this is a budget/cancellation error.
+    pub fn exhausted(&self) -> Option<&CalcExhausted> {
+        match self {
+            CalcError::Exhausted(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for CalcError {
@@ -48,6 +78,7 @@ impl std::fmt::Display for CalcError {
                 write!(f, "constructive domain too large: {what}")
             }
             CalcError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            CalcError::Exhausted(e) => write!(f, "calculus evaluation exhausted: {e}"),
         }
     }
 }

@@ -21,8 +21,31 @@
 use crate::ast::CalcQuery;
 use crate::eval::{eval_query_over, extended_adom, CalcConfig, CalcError};
 use std::collections::BTreeSet;
+use uset_guard::{EngineId, Governor, Guard, Trip};
 use uset_object::flatten::Inventor;
-use uset_object::{Atom, Database, Instance};
+use uset_object::{Atom, Database, EvalStats, Instance};
+
+/// What an interrupted invention enumeration surrenders: the union of the
+/// stripped per-level answers over the invention levels that ran to
+/// completion. Each `Q|_i[d]` is computed atomically, so the snapshot is
+/// always a finite under-approximation of `Q^fi[d]` (for [`eval_fi`]) or
+/// of the levels searched so far (for [`eval_terminal`], where no witness
+/// had been found yet).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InventionPartial {
+    /// Union of `Q|_i[d]` over completed levels `i < levels_done`.
+    pub union: Instance,
+    /// Number of invention levels that completed before the trip.
+    pub levels_done: usize,
+}
+
+fn exhaust(trip: Trip, union: Instance, levels_done: usize, stats: EvalStats) -> CalcError {
+    CalcError::Exhausted(Box::new(uset_guard::Exhausted::new(
+        trip,
+        InventionPartial { union, levels_done },
+        stats,
+    )))
+}
 
 /// Deterministically produce `i` invented atoms (disjoint from workload
 /// atoms and named constants; recognized by [`Inventor::is_invented`]).
@@ -62,12 +85,48 @@ pub fn eval_fi(
     budget: usize,
     config: &CalcConfig,
 ) -> Result<Instance, CalcError> {
+    eval_fi_governed(q, db, budget, config, &Governor::new(config.budget()))
+}
+
+/// [`eval_fi`] under a [`Governor`]: each invention level is one step, and
+/// a trip mid-enumeration surrenders the union over the completed levels
+/// (an under-approximation of `Q^fi[d]`) instead of discarding it.
+pub fn eval_fi_governed(
+    q: &CalcQuery,
+    db: &Database,
+    budget: usize,
+    config: &CalcConfig,
+    governor: &Governor,
+) -> Result<Instance, CalcError> {
+    let mut guard = governor.guard(EngineId::Calculus);
+    let mut stats = EvalStats::default();
     let mut out = Instance::empty();
     for i in 0..=budget {
+        if let Err(trip) = level_step(&mut guard, &mut stats, out.len()) {
+            return Err(exhaust(trip, out, i, stats));
+        }
         let raw = eval_with_invention(q, db, i, config)?;
+        stats.tuples_derived += raw.len() as u64;
         out = out.union(&strip_invented(&raw));
+        if let Err(trip) = guard.check_value(out.len(), None) {
+            // the union itself blew the size cap: the last fully-completed
+            // level is i, and the (oversized) union is still a sound
+            // under-approximation, so surrender it
+            stats.rounds += 1;
+            stats.observe_facts(out.len());
+            return Err(exhaust(trip, out, i + 1, stats));
+        }
+        stats.rounds += 1;
+        stats.observe_facts(out.len());
     }
     Ok(out)
+}
+
+/// Charge one invention level against the guard (a step plus a
+/// cooperative checkpoint for cancellation/deadline).
+fn level_step(guard: &mut Guard, stats: &mut EvalStats, current: usize) -> Result<(), Trip> {
+    stats.observe_facts(current);
+    guard.step()
 }
 
 /// Outcome of terminal-invention evaluation.
@@ -93,8 +152,30 @@ pub fn eval_terminal(
     cap: usize,
     config: &CalcConfig,
 ) -> Result<InventionOutcome, CalcError> {
+    eval_terminal_governed(q, db, cap, config, &Governor::new(config.budget()))
+}
+
+/// [`eval_terminal`] under a [`Governor`]: each candidate `n` is one step.
+/// A trip mid-search reports how many levels were ruled out (the partial
+/// union is empty — terminal invention accumulates nothing until its
+/// witness level).
+pub fn eval_terminal_governed(
+    q: &CalcQuery,
+    db: &Database,
+    cap: usize,
+    config: &CalcConfig,
+    governor: &Governor,
+) -> Result<InventionOutcome, CalcError> {
+    let mut guard = governor.guard(EngineId::Calculus);
+    let mut stats = EvalStats::default();
     for n in 0..=cap {
+        if let Err(trip) = guard.step() {
+            return Err(exhaust(trip, Instance::empty(), n, stats));
+        }
         let raw = eval_with_invention(q, db, n, config)?;
+        stats.rounds += 1;
+        stats.tuples_derived += raw.len() as u64;
+        stats.observe_facts(raw.len());
         let has_invented = raw
             .iter()
             .any(|v| v.adom().iter().any(|a| Inventor::is_invented(*a)));
@@ -215,6 +296,44 @@ mod tests {
             eval_terminal(&q, &nonempty, 5, &cfg).unwrap(),
             InventionOutcome::Undefined
         );
+    }
+
+    #[test]
+    fn fi_budget_trips_with_partial_union() {
+        let db = unary_db(&[1, 2]);
+        let q = all_atoms_query();
+        let cfg = CalcConfig::default();
+        let gov = Governor::new(uset_guard::Budget::unlimited().with_steps(2));
+        let err = eval_fi_governed(&q, &db, 10, &cfg, &gov).unwrap_err();
+        let e = err.exhausted().expect("budget trip");
+        assert_eq!(e.engine(), EngineId::Calculus);
+        assert_eq!(e.resource(), uset_guard::Resource::Steps);
+        // levels 0 and 1 completed; their stripped union is the base answer
+        assert_eq!(e.partial.levels_done, 2);
+        assert_eq!(
+            e.partial.union,
+            eval_fi(&q, &db, 1, &cfg).expect("unbudgeted prefix")
+        );
+        assert_eq!(e.stats.rounds, 2);
+    }
+
+    #[test]
+    fn terminal_search_cancelled_by_failpoint() {
+        // a query that never invents, so the search would run to the cap
+        let db = unary_db(&[1]);
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Pred("R".into(), CalcTerm::var("x")),
+        );
+        let cfg = CalcConfig::default();
+        let gov = Governor::new(cfg.budget()).with_failpoint(uset_guard::FailPoint::cancel_at(2));
+        let err = eval_terminal_governed(&q, &db, 5, &cfg, &gov).unwrap_err();
+        let e = err.exhausted().expect("cancellation trip");
+        assert_eq!(e.resource(), uset_guard::Resource::Cancelled);
+        // exactly one level was ruled out before the cancel landed
+        assert_eq!(e.partial.levels_done, 1);
+        assert!(e.partial.union.is_empty());
     }
 
     #[test]

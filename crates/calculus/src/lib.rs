@@ -24,7 +24,8 @@ pub mod invention;
 pub mod safe;
 
 pub use ast::{CalcQuery, CalcTerm, Formula};
-pub use eval::{eval_query, CalcConfig, CalcError};
+pub use eval::{eval_query, CalcConfig, CalcError, CalcExhausted};
 pub use invention::{
-    eval_fi, eval_terminal, eval_with_invention, strip_invented, InventionOutcome,
+    eval_fi, eval_fi_governed, eval_terminal, eval_terminal_governed, eval_with_invention,
+    strip_invented, InventionOutcome, InventionPartial,
 };

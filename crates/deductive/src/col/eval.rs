@@ -25,16 +25,20 @@
 //! scanning, and every engine threads an [`EvalStats`] of work counters.
 //!
 //! Untyped COL programs can diverge — e.g. the chain rules of Theorem 5.1
-//! without a guard — so the engine is bounded by a round budget and a
-//! total-fact budget, the latter enforced at every insertion (a single
-//! round can derive quadratically many facts, so checking between rounds
-//! would let the state overshoot arbitrarily). Exceeding either budget
-//! reports [`ColEvalError::FuelExhausted`], the observable stand-in for
-//! the paper's undefined output `?`.
+//! without a guard — so the engine runs under the shared [`uset_guard`]
+//! layer: a round budget and a total-fact budget, the latter enforced at
+//! every insertion (a single round can derive quadratically many facts,
+//! so checking between rounds would let the state overshoot arbitrarily),
+//! plus cooperative cancellation and wall-clock deadlines. Exceeding any
+//! budget reports [`ColEvalError::Exhausted`] — the observable stand-in
+//! for the paper's undefined output `?` — carrying the state at the last
+//! completed round (a trip mid-round rolls that round's insertions back,
+//! so the snapshot is always a state both strategies agree on).
 
 use crate::col::ast::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm};
 use crate::col::stratify::stratify;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Resource, Trip};
 use uset_object::{Database, EvalStats, IndexSet, Instance, Value};
 
 /// Evaluation state: predicate extents and data-function graphs.
@@ -111,22 +115,36 @@ impl ColState {
     }
 }
 
+/// The COL engine's exhaustion report: the snapshot is the full
+/// [`ColState`] at the last completed round.
+pub type ColExhausted = Exhausted<ColState>;
+
 /// Evaluation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ColEvalError {
-    /// The round or size budget was exhausted (possible divergence — the
-    /// paper's `?`).
-    FuelExhausted,
+    /// A resource budget was exhausted or the run was cancelled (possible
+    /// divergence — the paper's `?`); carries the last consistent state.
+    Exhausted(Box<ColExhausted>),
     /// A term that had to be ground still contained unbound variables.
     NonGround(String),
     /// The program is not stratifiable (stratified semantics only).
     NotStratifiable(String),
 }
 
+impl ColEvalError {
+    /// The exhaustion report, if this is a budget/cancellation error.
+    pub fn exhausted(&self) -> Option<&ColExhausted> {
+        match self {
+            ColEvalError::Exhausted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for ColEvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ColEvalError::FuelExhausted => write!(f, "COL evaluation fuel exhausted"),
+            ColEvalError::Exhausted(e) => write!(f, "COL evaluation exhausted: {e}"),
             ColEvalError::NonGround(v) => {
                 write!(f, "variable {v} unbound where a ground term was required")
             }
@@ -139,10 +157,14 @@ impl std::fmt::Display for ColEvalError {
 
 impl std::error::Error for ColEvalError {}
 
-/// Budgets for COL evaluation.
+/// Budgets for COL evaluation — a thin shim over the shared
+/// [`uset_guard`] layer; new code should pass a [`Governor`] to the
+/// `_governed` entry points.
 #[derive(Clone, Copy, Debug)]
 pub struct ColConfig {
-    /// Maximum fixpoint rounds per engine run.
+    /// Maximum fixpoint rounds per engine run (per stratum under
+    /// stratified semantics, matching the historical behaviour; a
+    /// [`Budget::max_steps`] limit instead bounds rounds across strata).
     pub max_rounds: u64,
     /// Maximum total facts across the state, enforced at every insertion.
     pub max_facts: usize,
@@ -154,6 +176,14 @@ impl Default for ColConfig {
             max_rounds: 100_000,
             max_facts: 1_000_000,
         }
+    }
+}
+
+impl ColConfig {
+    /// The equivalent shared-layer budget (`max_facts` → facts;
+    /// `max_rounds` stays a per-run convergence bound in the config).
+    pub fn budget(&self) -> Budget {
+        Budget::unlimited().with_facts(self.max_facts)
     }
 }
 
@@ -634,7 +664,38 @@ fn run_engine(
     config: &ColConfig,
     strategy: ColStrategy,
     stats: &mut EvalStats,
+    guard: &mut Guard,
 ) -> Result<(), ColEvalError> {
+    // package the current state + counters into the shared error taxonomy
+    fn exhaust(trip: Trip, state: &mut ColState, stats: &EvalStats) -> ColEvalError {
+        ColEvalError::Exhausted(Box::new(Exhausted::new(
+            trip,
+            std::mem::take(state),
+            *stats,
+        )))
+    }
+    // undo an incomplete round so the surrendered snapshot is the state at
+    // the last round boundary
+    fn rollback(state: &mut ColState, round: &ColDelta) {
+        for (name, rows) in &round.preds {
+            if let Some(rel) = state.preds.get_mut(name) {
+                for row in rows.iter() {
+                    rel.remove(row);
+                }
+            }
+        }
+        for (func, graph) in &round.funcs {
+            if let Some(g) = state.funcs.get_mut(func) {
+                for (args, elems) in graph {
+                    if let Some(slot) = g.get_mut(args) {
+                        for e in elems {
+                            slot.remove(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
     let classes: Vec<RuleClass> = match strategy {
         ColStrategy::Naive => vec![RuleClass::Snapshot; rules.len()],
         ColStrategy::Seminaive => {
@@ -645,17 +706,23 @@ fn run_engine(
     let mut indexes = IndexSet::new();
     let mut facts = state.total_facts();
     stats.observe_facts(facts);
-    if facts > config.max_facts {
-        return Err(ColEvalError::FuelExhausted);
+    if let Err(trip) = guard.set_fact_base(facts) {
+        return Err(exhaust(trip, state, stats));
     }
-    let record_delta = strategy == ColStrategy::Seminaive;
     let mut delta = ColDelta::default();
     let mut first = true;
     for _ in 0..config.max_rounds {
+        if let Err(trip) = guard.step() {
+            return Err(exhaust(trip, state, stats));
+        }
         stats.rounds += 1;
-        // phase 1: derive from the pre-round state
+        // phase 1: derive from the pre-round state (one cooperative
+        // checkpoint per rule, so cancellation lands mid-round)
         let mut derived: Vec<Derived> = Vec::new();
         for (rule, class) in rules.iter().zip(&classes) {
+            if let Err(trip) = guard.check_point() {
+                return Err(exhaust(trip, state, stats));
+            }
             match class {
                 RuleClass::Constant => {
                     if first {
@@ -683,23 +750,23 @@ fn run_engine(
                 }
             }
         }
-        // phase 2: insert, recording deltas and checking the fact budget
+        // phase 2: insert, recording the round's delta (also the rollback
+        // log for mid-round exhaustion) and charging the fact budget
         let mut new_delta = ColDelta::default();
         let mut changed = false;
         for d in derived {
-            match d {
+            let charged = match d {
                 Derived::Pred { name, row } => {
                     if state.insert_pred_row(&name, &row) {
                         indexes.note_insert(&name, &row);
                         changed = true;
                         facts += 1;
                         stats.observe_facts(facts);
-                        if facts > config.max_facts {
-                            return Err(ColEvalError::FuelExhausted);
-                        }
-                        if record_delta {
-                            new_delta.preds.entry(name).or_default().insert(row);
-                        }
+                        let charged = guard.add_fact();
+                        new_delta.preds.entry(name).or_default().insert(row);
+                        charged
+                    } else {
+                        Ok(())
                     }
                 }
                 Derived::Func { func, args, elem } => {
@@ -707,20 +774,23 @@ fn run_engine(
                         changed = true;
                         facts += 1;
                         stats.observe_facts(facts);
-                        if facts > config.max_facts {
-                            return Err(ColEvalError::FuelExhausted);
-                        }
-                        if record_delta {
-                            new_delta
-                                .funcs
-                                .entry(func)
-                                .or_default()
-                                .entry(args)
-                                .or_default()
-                                .insert(elem);
-                        }
+                        let charged = guard.add_fact();
+                        new_delta
+                            .funcs
+                            .entry(func)
+                            .or_default()
+                            .entry(args)
+                            .or_default()
+                            .insert(elem);
+                        charged
+                    } else {
+                        Ok(())
                     }
                 }
+            };
+            if let Err(trip) = charged {
+                rollback(state, &new_delta);
+                return Err(exhaust(trip, state, stats));
             }
         }
         delta = new_delta;
@@ -729,7 +799,13 @@ fn run_engine(
             return Ok(());
         }
     }
-    Err(ColEvalError::FuelExhausted)
+    let trip = Trip {
+        engine: EngineId::Col,
+        resource: Resource::Steps,
+        consumed: config.max_rounds,
+        limit: config.max_rounds,
+    };
+    Err(exhaust(trip, state, stats))
 }
 
 /// Stratified semantics: strata evaluated bottom-up, each to its least
@@ -774,8 +850,31 @@ pub fn stratified_with(
     strategy: ColStrategy,
     stats: &mut EvalStats,
 ) -> Result<ColState, ColEvalError> {
+    stratified_governed(
+        prog,
+        db,
+        config,
+        strategy,
+        &Governor::new(config.budget()),
+        stats,
+    )
+}
+
+/// Stratified semantics under a shared-layer [`Governor`] (one guard for
+/// the whole run: the step budget bounds rounds summed across strata).
+/// On exhaustion the error carries the state at the last completed round,
+/// including every fully evaluated lower stratum.
+pub fn stratified_governed(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+    strategy: ColStrategy,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<ColState, ColEvalError> {
     let strata = stratify(prog).map_err(|e| ColEvalError::NotStratifiable(e.cycle_path()))?;
     let max = strata.values().copied().max().unwrap_or(0);
+    let mut guard = governor.guard(EngineId::Col);
     let mut state = ColState::from_database(db);
     for s in 0..=max {
         let rules: Vec<&ColRule> = prog
@@ -783,7 +882,7 @@ pub fn stratified_with(
             .iter()
             .filter(|r| strata[r.head_symbol()] == s)
             .collect();
-        run_engine(&rules, &mut state, config, strategy, stats)?;
+        run_engine(&rules, &mut state, config, strategy, stats, &mut guard)?;
     }
     Ok(state)
 }
@@ -830,9 +929,29 @@ pub fn inflationary_with(
     strategy: ColStrategy,
     stats: &mut EvalStats,
 ) -> Result<ColState, ColEvalError> {
+    inflationary_governed(
+        prog,
+        db,
+        config,
+        strategy,
+        &Governor::new(config.budget()),
+        stats,
+    )
+}
+
+/// Inflationary semantics under a shared-layer [`Governor`].
+pub fn inflationary_governed(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+    strategy: ColStrategy,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<ColState, ColEvalError> {
     let rules: Vec<&ColRule> = prog.rules.iter().collect();
+    let mut guard = governor.guard(EngineId::Col);
     let mut state = ColState::from_database(db);
-    run_engine(&rules, &mut state, config, strategy, stats)?;
+    run_engine(&rules, &mut state, config, strategy, stats, &mut guard)?;
     Ok(state)
 }
 
@@ -941,7 +1060,11 @@ mod tests {
             max_facts: 10_000,
         };
         let err = stratified(&prog, &Database::empty(), &cfg).unwrap_err();
-        assert_eq!(err, ColEvalError::FuelExhausted);
+        let e = err.exhausted().expect("budget exhaustion");
+        assert_eq!(e.engine(), EngineId::Col);
+        assert_eq!(e.resource(), Resource::Steps);
+        // the partial state retains the chain built so far
+        assert!(!e.partial.func("F", &[atom(0)]).is_empty());
     }
 
     #[test]
@@ -1126,12 +1249,16 @@ mod tests {
         for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
             let mut stats = EvalStats::default();
             let err = inflationary_with(&prog, &db, &cfg, strategy, &mut stats).unwrap_err();
-            assert_eq!(err, ColEvalError::FuelExhausted, "{strategy:?}");
+            let e = err.exhausted().unwrap_or_else(|| panic!("{strategy:?}"));
+            assert_eq!(e.resource(), Resource::Facts, "{strategy:?}");
             assert!(
                 stats.peak_facts <= cfg.max_facts + 1,
                 "{strategy:?}: budget must bound mid-round growth, saw peak_facts={}",
                 stats.peak_facts
             );
+            // the incomplete round was rolled back, so the snapshot
+            // respects the budget and matches a round boundary
+            assert!(e.partial.total_facts() <= cfg.max_facts, "{strategy:?}");
         }
     }
 

@@ -15,6 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Trip};
 use uset_object::{ColumnIndex, Database, EvalStats, IndexSet, Instance, Value};
 
 /// A term: a variable or a constant atom value.
@@ -90,6 +91,10 @@ pub struct DatalogProgram {
     pub rules: Vec<DlRule>,
 }
 
+/// The DATALOG¬ engine's exhaustion report: the snapshot is the database
+/// (EDB + IDB derived so far) at the last completed round.
+pub type DlExhausted = Exhausted<Database>;
+
 /// Errors from DATALOG evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DlError {
@@ -107,8 +112,19 @@ pub enum DlError {
     },
     /// The program has negation inside recursion (stratified mode only).
     NotStratifiable(String),
-    /// Fuel exhausted.
-    FuelExhausted,
+    /// A resource budget was exhausted or the run was cancelled; carries
+    /// the database at the last completed round.
+    Exhausted(Box<DlExhausted>),
+}
+
+impl DlError {
+    /// The exhaustion report, if this is a budget/cancellation error.
+    pub fn exhausted(&self) -> Option<&DlExhausted> {
+        match self {
+            DlError::Exhausted(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for DlError {
@@ -122,12 +138,21 @@ impl fmt::Display for DlError {
             DlError::NotStratifiable(p) => {
                 write!(f, "negation through recursion at predicate {p}")
             }
-            DlError::FuelExhausted => write!(f, "datalog fuel exhausted"),
+            DlError::Exhausted(e) => write!(f, "datalog evaluation exhausted: {e}"),
         }
     }
 }
 
 impl std::error::Error for DlError {}
+
+/// Package the current state + counters into the shared error taxonomy.
+fn dl_exhaust(trip: Trip, state: &mut Database, stats: &EvalStats) -> DlError {
+    DlError::Exhausted(Box::new(Exhausted::new(
+        trip,
+        std::mem::take(state),
+        *stats,
+    )))
+}
 
 impl DatalogProgram {
     /// Build from rules.
@@ -227,18 +252,31 @@ impl DatalogProgram {
         fuel: u64,
         stats: &mut EvalStats,
     ) -> Result<Database, DlError> {
+        self.eval_stratified_governed(db, &Governor::new(fuel_budget(fuel)), stats)
+    }
+
+    /// Stratified evaluation under a shared-layer [`Governor`] (one guard
+    /// for the whole run: the step budget bounds rounds summed across
+    /// strata). On exhaustion the error carries the database at the last
+    /// completed round.
+    pub fn eval_stratified_governed(
+        &self,
+        db: &Database,
+        governor: &Governor,
+        stats: &mut EvalStats,
+    ) -> Result<Database, DlError> {
         self.check_safety()?;
         let strata = self.stratify()?;
         let max = strata.values().copied().max().unwrap_or(0);
+        let mut guard = governor.guard(EngineId::Datalog);
         let mut state = db.clone();
-        let mut budget = fuel;
         for s in 0..=max {
             let rules: Vec<&DlRule> = self
                 .rules
                 .iter()
                 .filter(|r| strata[&r.head.pred] == s)
                 .collect();
-            least_fixpoint(&rules, &mut state, &mut budget, stats)?;
+            least_fixpoint(&rules, &mut state, &mut guard, stats)?;
         }
         Ok(state)
     }
@@ -256,11 +294,21 @@ impl DatalogProgram {
         fuel: u64,
         stats: &mut EvalStats,
     ) -> Result<Database, DlError> {
+        self.eval_inflationary_governed(db, &Governor::new(fuel_budget(fuel)), stats)
+    }
+
+    /// Inflationary evaluation under a shared-layer [`Governor`].
+    pub fn eval_inflationary_governed(
+        &self,
+        db: &Database,
+        governor: &Governor,
+        stats: &mut EvalStats,
+    ) -> Result<Database, DlError> {
         self.check_safety()?;
         let rules: Vec<&DlRule> = self.rules.iter().collect();
+        let mut guard = governor.guard(EngineId::Datalog);
         let mut state = db.clone();
-        let mut budget = fuel;
-        least_fixpoint(&rules, &mut state, &mut budget, stats)?;
+        least_fixpoint(&rules, &mut state, &mut guard, stats)?;
         Ok(state)
     }
 
@@ -282,11 +330,21 @@ impl DatalogProgram {
         fuel: u64,
         stats: &mut EvalStats,
     ) -> Result<Database, DlError> {
+        self.eval_stratified_seminaive_governed(db, &Governor::new(fuel_budget(fuel)), stats)
+    }
+
+    /// Semi-naive stratified evaluation under a shared-layer [`Governor`].
+    pub fn eval_stratified_seminaive_governed(
+        &self,
+        db: &Database,
+        governor: &Governor,
+        stats: &mut EvalStats,
+    ) -> Result<Database, DlError> {
         self.check_safety()?;
         let strata = self.stratify()?;
         let max = strata.values().copied().max().unwrap_or(0);
+        let mut guard = governor.guard(EngineId::Datalog);
         let mut state = db.clone();
-        let mut budget = fuel;
         for s in 0..=max {
             let rules: Vec<&DlRule> = self
                 .rules
@@ -294,10 +352,15 @@ impl DatalogProgram {
                 .filter(|r| strata[&r.head.pred] == s)
                 .collect();
             let recursive: BTreeSet<String> = rules.iter().map(|r| r.head.pred.clone()).collect();
-            seminaive_fixpoint(&rules, &recursive, &mut state, &mut budget, stats)?;
+            seminaive_fixpoint(&rules, &recursive, &mut state, &mut guard, stats)?;
         }
         Ok(state)
     }
+}
+
+/// The budget equivalent of the historical `fuel` knob (rounds only).
+fn fuel_budget(fuel: u64) -> Budget {
+    Budget::unlimited().with_steps(fuel)
 }
 
 /// Total rows across all relations of a database.
@@ -312,21 +375,23 @@ fn seminaive_fixpoint(
     rules: &[&DlRule],
     recursive: &BTreeSet<String>,
     state: &mut Database,
-    budget: &mut u64,
+    guard: &mut Guard,
     stats: &mut EvalStats,
 ) -> Result<(), DlError> {
     let mut indexes = IndexSet::new();
     let mut facts = db_facts(state);
     stats.observe_facts(facts);
+    if let Err(trip) = guard.set_fact_base(facts) {
+        return Err(dl_exhaust(trip, state, stats));
+    }
     // deltas per recursive predicate
     let mut delta: BTreeMap<String, Instance> = BTreeMap::new();
     // round 0: naive over the initial state
     let mut first = true;
     loop {
-        if *budget == 0 {
-            return Err(DlError::FuelExhausted);
+        if let Err(trip) = guard.step() {
+            return Err(dl_exhaust(trip, state, stats));
         }
-        *budget -= 1;
         stats.rounds += 1;
         let mut derived: Vec<(String, Value)> = Vec::new();
         for rule in rules {
@@ -364,8 +429,19 @@ fn seminaive_fixpoint(
             if state.insert_row(&pred, &row) {
                 indexes.note_insert(&pred, &row);
                 facts += 1;
+                let charged = guard.add_fact();
                 new_delta.entry(pred).or_default().insert(row);
                 changed = true;
+                if let Err(trip) = charged {
+                    // the round's delta doubles as the rollback log
+                    for (p, rows) in &new_delta {
+                        for r in rows.iter() {
+                            state.remove_row(p, r);
+                        }
+                    }
+                    stats.observe_facts(facts);
+                    return Err(dl_exhaust(trip, state, stats));
+                }
             }
         }
         stats.observe_facts(facts);
@@ -425,28 +501,42 @@ fn fire_rule(
 fn least_fixpoint(
     rules: &[&DlRule],
     state: &mut Database,
-    budget: &mut u64,
+    guard: &mut Guard,
     stats: &mut EvalStats,
 ) -> Result<(), DlError> {
     let mut indexes = IndexSet::new();
     let mut facts = db_facts(state);
     stats.observe_facts(facts);
+    if let Err(trip) = guard.set_fact_base(facts) {
+        return Err(dl_exhaust(trip, state, stats));
+    }
     loop {
-        if *budget == 0 {
-            return Err(DlError::FuelExhausted);
+        if let Err(trip) = guard.step() {
+            return Err(dl_exhaust(trip, state, stats));
         }
-        *budget -= 1;
         stats.rounds += 1;
         let mut derived: Vec<(String, Value)> = Vec::new();
         for rule in rules {
             fire_rule(rule, state, &mut indexes, None, &mut derived, stats)?;
         }
         let mut changed = false;
+        let mut inserted: Vec<(String, Value)> = Vec::new();
         for (pred, row) in derived {
             if state.insert_row(&pred, &row) {
                 indexes.note_insert(&pred, &row);
                 facts += 1;
                 changed = true;
+                let charged = guard.add_fact();
+                inserted.push((pred, row));
+                if let Err(trip) = charged {
+                    // roll the incomplete round back to the last
+                    // consistent state
+                    for (p, r) in &inserted {
+                        state.remove_row(p, r);
+                    }
+                    stats.observe_facts(facts);
+                    return Err(dl_exhaust(trip, state, stats));
+                }
             }
         }
         stats.observe_facts(facts);

@@ -11,7 +11,8 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use uset_object::Atom;
+use uset_guard::{Budget, EngineId, Exhausted, Governor};
+use uset_object::{Atom, EvalStats};
 
 /// A concrete tape symbol: a working symbol or a domain element.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -334,8 +335,13 @@ pub enum RunOutcome {
     FuelExhausted,
 }
 
+/// The GTM engine's exhaustion report: the partial result is the full
+/// machine [`Config`] at the trip point, from which the run can be
+/// inspected (or resumed by stepping manually).
+pub type GtmExhausted = Exhausted<Config>;
+
 /// A machine configuration during simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Config {
     /// Current state.
     pub state: String,
@@ -397,31 +403,54 @@ impl Gtm {
     }
 
     /// Run from tape-1 contents until halt/stuck/fuel.
+    ///
+    /// Thin shim over [`Gtm::run_governed`] with a steps-only budget; a
+    /// budget trip maps back to [`RunOutcome::FuelExhausted`].
     pub fn run(&self, tape1: Vec<TapeSym>, fuel: u64) -> RunOutcome {
+        let governor = Governor::new(Budget::unlimited().with_steps(fuel));
+        match self.run_governed(tape1, &governor) {
+            Ok(outcome) => outcome,
+            Err(_) => RunOutcome::FuelExhausted,
+        }
+    }
+
+    /// Run under a [`Governor`]: each machine step charges one budget step
+    /// and the larger tape length is checked against the value-size cap. A
+    /// trip surrenders the exact machine [`Config`] at the trip point plus
+    /// run statistics.
+    pub fn run_governed(
+        &self,
+        tape1: Vec<TapeSym>,
+        governor: &Governor,
+    ) -> Result<RunOutcome, Box<GtmExhausted>> {
+        let mut guard = governor.guard(EngineId::Gtm);
+        let mut stats = EvalStats::default();
         let mut cfg = self.initial_config(tape1);
-        for steps in 0..fuel {
+        let mut steps: u64 = 0;
+        loop {
             if cfg.state == self.halt {
                 let mut out = cfg.tape1;
                 while out.last() == Some(&TapeSym::blank()) {
                     out.pop();
                 }
-                return RunOutcome::Halted(out);
+                return Ok(RunOutcome::Halted(out));
+            }
+            stats.observe_facts(cfg.tape1.len().max(cfg.tape2.len()));
+            let charged = guard
+                .step()
+                .and_then(|()| guard.check_value(cfg.tape1.len().max(cfg.tape2.len()), None));
+            if let Err(trip) = charged {
+                return Err(Box::new(Exhausted::new(trip, cfg, stats)));
             }
             if !self.step(&mut cfg) {
-                return RunOutcome::Stuck {
+                return Ok(RunOutcome::Stuck {
                     state: cfg.state,
                     steps,
-                };
+                });
             }
+            steps += 1;
+            stats.rounds += 1;
         }
-        if cfg.state == self.halt {
-            let mut out = cfg.tape1;
-            while out.last() == Some(&TapeSym::blank()) {
-                out.pop();
-            }
-            return RunOutcome::Halted(out);
-        }
-        RunOutcome::FuelExhausted
     }
 
     /// Execute one step; false if no transition applies.
@@ -695,6 +724,45 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(m.run(vec![], 100), RunOutcome::FuelExhausted);
+    }
+
+    #[test]
+    fn governed_run_surrenders_config_on_trip() {
+        // the spinning machine from fuel_exhaustion_detected, governed
+        let m = GtmBuilder::new()
+            .start("s")
+            .halt("h")
+            .transition(
+                "s",
+                SymPat::Work("_".into()),
+                SymPat::Work("_".into()),
+                "s",
+                SymOut::Work("_".into()),
+                SymOut::Work("_".into()),
+                Move::S,
+                Move::S,
+            )
+            .build()
+            .unwrap();
+        let gov = Governor::new(Budget::unlimited().with_steps(10));
+        let e = m.run_governed(vec![], &gov).unwrap_err();
+        assert_eq!(e.engine(), EngineId::Gtm);
+        assert_eq!(e.resource(), uset_guard::Resource::Steps);
+        assert_eq!(e.partial.state, "s");
+        assert_eq!(e.stats.rounds, 10);
+    }
+
+    #[test]
+    fn failpoint_cancels_run_mid_tape() {
+        let c = Atom::named("gtm-fp-c");
+        let m = overwrite_machine(c);
+        let tape = vec![TapeSym::dom(a(1)), TapeSym::dom(a(2)), TapeSym::dom(a(3))];
+        let gov = Governor::unlimited().with_failpoint(uset_guard::FailPoint::cancel_at(2));
+        let e = m.run_governed(tape, &gov).unwrap_err();
+        assert_eq!(e.resource(), uset_guard::Resource::Cancelled);
+        // exactly one overwrite step completed before the cancel landed
+        assert_eq!(e.partial.tape1[0], TapeSym::dom(c));
+        assert_eq!(e.partial.tape1[1], TapeSym::dom(a(2)));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! the input order."
 
 use crate::encode::{all_orders, decode_instance, encode_database_ordered};
-use crate::gtm::{Gtm, RunOutcome};
+use crate::gtm::{Gtm, GtmExhausted, RunOutcome};
+use uset_guard::{Budget, Governor};
 use uset_object::{Database, Instance, Schema, Type};
 
 /// Failure modes of a GTM query run.
@@ -19,6 +20,19 @@ pub enum GtmQueryError {
     BadInput,
     /// The step bound was exhausted before halting.
     FuelExhausted,
+    /// A resource budget was exhausted or the run was cancelled; carries
+    /// the machine configuration at the trip point.
+    Exhausted(Box<GtmExhausted>),
+}
+
+impl GtmQueryError {
+    /// The exhaustion report, if this is a budget/cancellation error.
+    pub fn exhausted(&self) -> Option<&GtmExhausted> {
+        match self {
+            GtmQueryError::Exhausted(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for GtmQueryError {
@@ -26,6 +40,7 @@ impl std::fmt::Display for GtmQueryError {
         match self {
             GtmQueryError::BadInput => write!(f, "input is not a flat instance of the schema"),
             GtmQueryError::FuelExhausted => write!(f, "GTM fuel exhausted"),
+            GtmQueryError::Exhausted(e) => write!(f, "GTM query exhausted: {e}"),
         }
     }
 }
@@ -35,6 +50,9 @@ impl std::error::Error for GtmQueryError {}
 /// Run the GTM on a database under a specific per-relation enumeration
 /// order. `Ok(None)` is the paper's undefined output (machine stuck, or
 /// halting tape unparsable / not an instance of the target type).
+///
+/// Thin shim over [`run_gtm_query_ordered_governed`] with a steps-only
+/// budget; a trip maps back to [`GtmQueryError::FuelExhausted`].
 pub fn run_gtm_query_ordered(
     m: &Gtm,
     db: &Database,
@@ -43,14 +61,36 @@ pub fn run_gtm_query_ordered(
     target: &Type,
     fuel: u64,
 ) -> Result<Option<Instance>, GtmQueryError> {
+    let governor = Governor::new(Budget::unlimited().with_steps(fuel));
+    run_gtm_query_ordered_governed(m, db, schema, orders, target, &governor).map_err(|e| match e {
+        GtmQueryError::Exhausted(_) => GtmQueryError::FuelExhausted,
+        other => other,
+    })
+}
+
+/// [`run_gtm_query_ordered`] under a [`Governor`]: the machine run charges
+/// one step per transition and checks tape growth against the value-size
+/// cap; a trip surrenders the machine [`crate::gtm::Config`] at the trip
+/// point inside [`GtmQueryError::Exhausted`].
+pub fn run_gtm_query_ordered_governed(
+    m: &Gtm,
+    db: &Database,
+    schema: &Schema,
+    orders: &[Vec<uset_object::Value>],
+    target: &Type,
+    governor: &Governor,
+) -> Result<Option<Instance>, GtmQueryError> {
     let tape = encode_database_ordered(db, schema, orders).map_err(|_| GtmQueryError::BadInput)?;
-    match m.run(tape, fuel) {
-        RunOutcome::Halted(out) => {
+    match m.run_governed(tape, governor) {
+        Ok(RunOutcome::Halted(out)) => {
             let decoded = decode_instance(&out);
             Ok(decoded.filter(|inst| inst.check_rtype(&target.to_rtype()).is_ok()))
         }
-        RunOutcome::Stuck { .. } => Ok(None),
-        RunOutcome::FuelExhausted => Err(GtmQueryError::FuelExhausted),
+        Ok(RunOutcome::Stuck { .. }) => Ok(None),
+        // run_governed never reports fuel itself (the budget does), but
+        // keep the mapping total for robustness
+        Ok(RunOutcome::FuelExhausted) => Err(GtmQueryError::FuelExhausted),
+        Err(e) => Err(GtmQueryError::Exhausted(e)),
     }
 }
 
@@ -68,6 +108,22 @@ pub fn run_gtm_query(
         .map(|(name, _)| db.get(name).iter().cloned().collect())
         .collect();
     run_gtm_query_ordered(m, db, schema, &orders, target, fuel)
+}
+
+/// [`run_gtm_query`] under a [`Governor`].
+pub fn run_gtm_query_governed(
+    m: &Gtm,
+    db: &Database,
+    schema: &Schema,
+    target: &Type,
+    governor: &Governor,
+) -> Result<Option<Instance>, GtmQueryError> {
+    let orders: Vec<Vec<uset_object::Value>> = schema
+        .entries()
+        .iter()
+        .map(|(name, _)| db.get(name).iter().cloned().collect())
+        .collect();
+    run_gtm_query_ordered_governed(m, db, schema, &orders, target, governor)
 }
 
 /// Exhaustively check input-order independence of `m` on `db`: run under

@@ -1,0 +1,705 @@
+//! Unified resource governance for every untyped-sets engine.
+//!
+//! The paper's languages are C-complete (Theorems 4.1b and 5.1), so
+//! legitimate programs diverge: Example 5.4's chain-to-list BK program
+//! grows ⊥-lists forever, powerset under `while` is hyper-exponential,
+//! and tsCALC enumeration is elementary-complete (Theorem 2.2). The
+//! runtime therefore treats exhaustion as a *structured outcome*, not a
+//! panic: every engine runs under one shared [`Budget`] and cooperative
+//! [`CancelToken`], and reports overruns through one [`Exhausted`]
+//! taxonomy carrying provenance (which engine, which resource, how much
+//! was consumed) plus a **partial-result snapshot** — the last consistent
+//! round's state and its [`EvalStats`] — so exhausted fixpoints degrade
+//! gracefully instead of discarding work.
+//!
+//! The pieces:
+//!
+//! * [`Budget`] — declarative limits: steps/rounds, derived facts, value
+//!   size, wall-clock. `None` means unlimited. [`Budget::from_env`] reads
+//!   the `USET_MAX_*` variables so binaries and CI can impose budgets
+//!   without code changes.
+//! * [`CancelToken`] — cooperative cancellation, safe to clone across
+//!   threads; engines poll it at every progress tick.
+//! * [`Governor`] — one shareable bundle of budget + token + failpoint
+//!   that callers thread through an evaluation; each engine derives its
+//!   own [`Guard`] meter from it.
+//! * [`Guard`] — the per-run meter the engine hot loops charge
+//!   ([`Guard::step`], [`Guard::add_fact`], [`Guard::check_point`]);
+//!   returns a [`Trip`] the moment any limit is crossed.
+//! * [`Exhausted`] — `Trip` + partial snapshot + stats; each engine wraps
+//!   it in its error enum with its own snapshot type.
+//! * [`FailPoint`] — deterministic fault injection: trip an arbitrary
+//!   resource (or cancellation) at the N-th progress tick, so tests can
+//!   exercise mid-round exhaustion and recovery without racing timers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uset_object::EvalStats;
+
+/// Which engine tripped the budget (error provenance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EngineId {
+    /// The ALG/tsALG evaluator (`uset-algebra`).
+    Algebra,
+    /// Flat DATALOG¬ (`uset-deductive::datalog`).
+    Datalog,
+    /// The COL engine (`uset-deductive::col`).
+    Col,
+    /// The Bancilhon–Khoshafian engine (`uset-bk`).
+    Bk,
+    /// Calculus / invention enumeration (`uset-calculus`).
+    Calculus,
+    /// The generic Turing machine simulator (`uset-gtm`).
+    Gtm,
+}
+
+impl std::fmt::Display for EngineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EngineId::Algebra => "algebra",
+            EngineId::Datalog => "datalog",
+            EngineId::Col => "col",
+            EngineId::Bk => "bk",
+            EngineId::Calculus => "calculus",
+            EngineId::Gtm => "gtm",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Which resource ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// Steps / rounds / fuel.
+    Steps,
+    /// Total stored or derived facts.
+    Facts,
+    /// A single value / instance / enumeration grew past its cap.
+    ValueSize,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Resource::Steps => "steps",
+            Resource::Facts => "facts",
+            Resource::ValueSize => "value-size",
+            Resource::Deadline => "deadline",
+            Resource::Cancelled => "cancelled",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Declarative resource limits; `None` means unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum engine steps (fixpoint rounds, statements, machine steps,
+    /// invention levels — each engine documents its unit).
+    pub max_steps: Option<u64>,
+    /// Maximum total facts (tuples, set members, derived objects).
+    pub max_facts: Option<usize>,
+    /// Maximum size of any single value / intermediate instance /
+    /// enumeration the engine checks against [`Guard::check_value`].
+    pub max_value_size: Option<usize>,
+    /// Wall-clock limit, measured from [`Guard`] creation.
+    pub max_wall: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits at all (every check passes).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Set the step limit.
+    pub fn with_steps(mut self, n: u64) -> Budget {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Set the fact limit.
+    pub fn with_facts(mut self, n: usize) -> Budget {
+        self.max_facts = Some(n);
+        self
+    }
+
+    /// Set the single-value size limit.
+    pub fn with_value_size(mut self, n: usize) -> Budget {
+        self.max_value_size = Some(n);
+        self
+    }
+
+    /// Set the wall-clock limit.
+    pub fn with_wall(mut self, d: Duration) -> Budget {
+        self.max_wall = Some(d);
+        self
+    }
+
+    /// Read limits from the environment: `USET_MAX_STEPS`,
+    /// `USET_MAX_FACTS`, `USET_MAX_VALUE_SIZE`, `USET_MAX_WALL_MS`.
+    /// Unset or unparsable variables leave that resource unlimited. This
+    /// is how the CI tiny-budget smoke job imposes budgets on the example
+    /// binaries without code changes.
+    pub fn from_env() -> Budget {
+        fn get<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        }
+        Budget {
+            max_steps: get("USET_MAX_STEPS"),
+            max_facts: get("USET_MAX_FACTS"),
+            max_value_size: get("USET_MAX_VALUE_SIZE"),
+            max_wall: get::<u64>("USET_MAX_WALL_MS").map(Duration::from_millis),
+        }
+    }
+
+    /// True if no limit is set (a guard over this budget still honours
+    /// cancellation and failpoints).
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::default()
+    }
+
+    /// Keep the tighter limit of each resource (missing = unlimited).
+    pub fn min(self, other: Budget) -> Budget {
+        fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Budget {
+            max_steps: tighter(self.max_steps, other.max_steps),
+            max_facts: tighter(self.max_facts, other.max_facts),
+            max_value_size: tighter(self.max_value_size, other.max_value_size),
+            max_wall: tighter(self.max_wall, other.max_wall),
+        }
+    }
+}
+
+/// Cooperative cancellation flag, cheap to clone and poll.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation; every guard polling this token trips at its
+    /// next progress tick.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// What a failpoint injects when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Behave as if the [`CancelToken`] fired.
+    Cancel,
+    /// Behave as if the given resource ran out.
+    Exhaust(Resource),
+}
+
+/// Deterministic fault injection: fire `action` at the `at_tick`-th
+/// progress tick of the guard (ticks count every [`Guard::step`],
+/// [`Guard::add_fact`] and [`Guard::check_point`] call, in engine order,
+/// so a given program + failpoint always fails at the same place).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailPoint {
+    /// The 1-based tick at which to fire.
+    pub at_tick: u64,
+    /// What to inject.
+    pub action: FailAction,
+}
+
+impl FailPoint {
+    /// Inject a cancellation at tick `n`.
+    pub fn cancel_at(n: u64) -> FailPoint {
+        FailPoint {
+            at_tick: n,
+            action: FailAction::Cancel,
+        }
+    }
+
+    /// Inject exhaustion of `r` at tick `n`.
+    pub fn exhaust_at(n: u64, r: Resource) -> FailPoint {
+        FailPoint {
+            at_tick: n,
+            action: FailAction::Exhaust(r),
+        }
+    }
+}
+
+/// The shareable governance bundle callers thread through evaluations:
+/// a budget, a cancellation token, and an optional failpoint. Engines
+/// derive a per-run [`Guard`] from it via [`Governor::guard`].
+#[derive(Clone, Debug, Default)]
+pub struct Governor {
+    /// Resource limits.
+    pub budget: Budget,
+    /// Cooperative cancellation.
+    pub cancel: CancelToken,
+    /// Optional deterministic fault injection.
+    pub failpoint: Option<FailPoint>,
+}
+
+impl Governor {
+    /// Governor with no limits (still cancellable).
+    pub fn unlimited() -> Governor {
+        Governor::default()
+    }
+
+    /// Governor over the given budget with a fresh token.
+    pub fn new(budget: Budget) -> Governor {
+        Governor {
+            budget,
+            ..Governor::default()
+        }
+    }
+
+    /// Attach a cancellation token (shared with the caller).
+    pub fn with_cancel(mut self, token: CancelToken) -> Governor {
+        self.cancel = token;
+        self
+    }
+
+    /// Attach a failpoint.
+    pub fn with_failpoint(mut self, fp: FailPoint) -> Governor {
+        self.failpoint = Some(fp);
+        self
+    }
+
+    /// Derive the per-run meter an engine charges against.
+    pub fn guard(&self, engine: EngineId) -> Guard {
+        Guard {
+            engine,
+            budget: self.budget,
+            cancel: self.cancel.clone(),
+            failpoint: self.failpoint,
+            steps: 0,
+            facts: 0,
+            ticks: 0,
+            started: self.budget.max_wall.map(|_| Instant::now()),
+        }
+    }
+}
+
+impl From<Budget> for Governor {
+    fn from(budget: Budget) -> Governor {
+        Governor::new(budget)
+    }
+}
+
+/// The moment a limit was crossed: which engine, which resource, how much
+/// was consumed against which limit. [`Exhausted`] pairs this with the
+/// partial state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trip {
+    /// The engine that tripped.
+    pub engine: EngineId,
+    /// The resource that ran out.
+    pub resource: Resource,
+    /// Amount consumed when the trip fired (ticks for
+    /// cancellation/deadline, units of the resource otherwise).
+    pub consumed: u64,
+    /// The configured limit (0 when the resource has no numeric limit,
+    /// e.g. cancellation).
+    pub limit: u64,
+}
+
+impl std::fmt::Display for Trip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.resource {
+            Resource::Cancelled => {
+                write!(
+                    f,
+                    "{} engine cancelled after {} ticks",
+                    self.engine, self.consumed
+                )
+            }
+            Resource::Deadline => {
+                write!(
+                    f,
+                    "{} engine passed its deadline after {} ticks",
+                    self.engine, self.consumed
+                )
+            }
+            _ => write!(
+                f,
+                "{} engine exhausted its {} budget ({} consumed, limit {})",
+                self.engine, self.resource, self.consumed, self.limit
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Trip {}
+
+/// Structured exhaustion: the trip, the last consistent partial state the
+/// engine reached, and its work counters. Engines wrap this (boxed) in
+/// their error enums with their own snapshot type `S`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exhausted<S> {
+    /// What tripped, where.
+    pub trip: Trip,
+    /// The last consistent state (engine-specific snapshot); exhausted
+    /// fixpoints surrender their work here instead of discarding it.
+    pub partial: S,
+    /// Work counters at the moment of the trip.
+    pub stats: EvalStats,
+}
+
+impl<S> Exhausted<S> {
+    /// Build from a trip.
+    pub fn new(trip: Trip, partial: S, stats: EvalStats) -> Exhausted<S> {
+        Exhausted {
+            trip,
+            partial,
+            stats,
+        }
+    }
+
+    /// The resource that ran out.
+    pub fn resource(&self) -> Resource {
+        self.trip.resource
+    }
+
+    /// The engine that reported.
+    pub fn engine(&self) -> EngineId {
+        self.trip.engine
+    }
+
+    /// Re-wrap the snapshot (e.g. project a full state down to one
+    /// relation) while keeping provenance and stats.
+    pub fn map_partial<T>(self, f: impl FnOnce(S) -> T) -> Exhausted<T> {
+        Exhausted {
+            trip: self.trip,
+            partial: f(self.partial),
+            stats: self.stats,
+        }
+    }
+}
+
+impl<S> std::fmt::Display for Exhausted<S> {
+    // no bound on S: the snapshot is summarized by the stats, not printed
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [partial state retained; {}]", self.trip, self.stats)
+    }
+}
+
+impl<S: std::fmt::Debug> std::error::Error for Exhausted<S> {}
+
+/// How many ticks pass between wall-clock checks once a run is warm (an
+/// `Instant::now()` call is far cheaper than a fixpoint round, but the
+/// GTM charges per machine step, so the steady-state deadline poll is
+/// strided). The first `DEADLINE_STRIDE` ticks are always checked:
+/// engines that tick once per *round* can do exponential work between
+/// ticks (powerset-under-while doubles its state each round), and a
+/// purely strided poll would let them blow memory long before tick 64.
+const DEADLINE_STRIDE: u64 = 64;
+
+/// The per-run meter. Engine hot loops charge it; the first crossed
+/// limit returns a [`Trip`] and the engine converts that into its
+/// [`Exhausted`] error with a snapshot.
+#[derive(Clone, Debug)]
+pub struct Guard {
+    engine: EngineId,
+    budget: Budget,
+    cancel: CancelToken,
+    failpoint: Option<FailPoint>,
+    steps: u64,
+    facts: usize,
+    ticks: u64,
+    started: Option<Instant>,
+}
+
+impl Guard {
+    /// A guard with no governor (unlimited; useful for shims and tests).
+    pub fn unlimited(engine: EngineId) -> Guard {
+        Governor::unlimited().guard(engine)
+    }
+
+    /// Steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Facts currently accounted.
+    pub fn facts(&self) -> usize {
+        self.facts
+    }
+
+    /// The engine this guard meters.
+    pub fn engine(&self) -> EngineId {
+        self.engine
+    }
+
+    fn trip(&self, resource: Resource, consumed: u64, limit: u64) -> Trip {
+        Trip {
+            engine: self.engine,
+            resource,
+            consumed,
+            limit,
+        }
+    }
+
+    /// One progress tick: failpoint, cancellation, and (strided)
+    /// deadline checks. Called by every charging method.
+    fn tick(&mut self) -> Result<(), Trip> {
+        self.ticks += 1;
+        if let Some(fp) = self.failpoint {
+            if self.ticks == fp.at_tick {
+                return Err(match fp.action {
+                    FailAction::Cancel => self.trip(Resource::Cancelled, self.ticks, 0),
+                    FailAction::Exhaust(r) => {
+                        let (consumed, limit) = match r {
+                            Resource::Steps => {
+                                (self.steps, self.budget.max_steps.unwrap_or(self.steps))
+                            }
+                            Resource::Facts => (
+                                self.facts as u64,
+                                self.budget.max_facts.unwrap_or(self.facts) as u64,
+                            ),
+                            _ => (self.ticks, 0),
+                        };
+                        self.trip(r, consumed, limit)
+                    }
+                });
+            }
+        }
+        if self.cancel.is_cancelled() {
+            return Err(self.trip(Resource::Cancelled, self.ticks, 0));
+        }
+        if let (Some(max), Some(start)) = (self.budget.max_wall, self.started) {
+            let poll = self.ticks <= DEADLINE_STRIDE || self.ticks.is_multiple_of(DEADLINE_STRIDE);
+            if poll && start.elapsed() > max {
+                return Err(self.trip(Resource::Deadline, self.ticks, max.as_millis() as u64));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge one step (round, statement, machine step, level).
+    pub fn step(&mut self) -> Result<(), Trip> {
+        self.steps += 1;
+        if let Some(max) = self.budget.max_steps {
+            if self.steps > max {
+                return Err(self.trip(Resource::Steps, self.steps, max));
+            }
+        }
+        self.tick()
+    }
+
+    /// Charge one newly stored fact.
+    pub fn add_fact(&mut self) -> Result<(), Trip> {
+        self.facts += 1;
+        if let Some(max) = self.budget.max_facts {
+            if self.facts > max {
+                return Err(self.trip(Resource::Facts, self.facts as u64, max as u64));
+            }
+        }
+        self.tick()
+    }
+
+    /// Seed the fact counter with pre-existing facts (input state) so the
+    /// budget covers totals, not just newly derived facts. Trips
+    /// immediately if the base already exceeds the limit.
+    pub fn set_fact_base(&mut self, n: usize) -> Result<(), Trip> {
+        self.facts = n;
+        if let Some(max) = self.budget.max_facts {
+            if n > max {
+                return Err(self.trip(Resource::Facts, n as u64, max as u64));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check one value/instance/enumeration size against the cap.
+    /// `floor` lets engines keep a structural minimum cap (e.g. the BK
+    /// sub-object enumeration cap) that a looser budget does not raise.
+    pub fn check_value(&mut self, size: usize, floor: Option<usize>) -> Result<(), Trip> {
+        let cap = match (self.budget.max_value_size, floor) {
+            (Some(b), Some(f)) => Some(b.min(f)),
+            (Some(b), None) => Some(b),
+            (None, f) => f,
+        };
+        if let Some(max) = cap {
+            if size > max {
+                return Err(self.trip(Resource::ValueSize, size as u64, max as u64));
+            }
+        }
+        Ok(())
+    }
+
+    /// A pure cooperative checkpoint (cancellation / deadline /
+    /// failpoint) for loops that have no natural step or fact to charge.
+    pub fn check_point(&mut self) -> Result<(), Trip> {
+        self.tick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips_on_work() {
+        let mut g = Guard::unlimited(EngineId::Col);
+        for _ in 0..10_000 {
+            g.step().unwrap();
+            g.add_fact().unwrap();
+        }
+        assert_eq!(g.steps(), 10_000);
+        assert_eq!(g.facts(), 10_000);
+    }
+
+    #[test]
+    fn step_budget_trips_with_provenance() {
+        let gov = Governor::new(Budget::unlimited().with_steps(3));
+        let mut g = gov.guard(EngineId::Bk);
+        g.step().unwrap();
+        g.step().unwrap();
+        g.step().unwrap();
+        let trip = g.step().unwrap_err();
+        assert_eq!(trip.engine, EngineId::Bk);
+        assert_eq!(trip.resource, Resource::Steps);
+        assert_eq!(trip.consumed, 4);
+        assert_eq!(trip.limit, 3);
+    }
+
+    #[test]
+    fn fact_budget_counts_base_facts() {
+        let gov = Governor::new(Budget::unlimited().with_facts(5));
+        let mut g = gov.guard(EngineId::Datalog);
+        g.set_fact_base(4).unwrap();
+        g.add_fact().unwrap();
+        let trip = g.add_fact().unwrap_err();
+        assert_eq!(trip.resource, Resource::Facts);
+        assert_eq!(trip.consumed, 6);
+        // a base already over the limit trips immediately
+        let mut g2 = gov.guard(EngineId::Datalog);
+        assert!(g2.set_fact_base(9).is_err());
+    }
+
+    #[test]
+    fn value_size_uses_tighter_of_budget_and_floor() {
+        let gov = Governor::new(Budget::unlimited().with_value_size(100));
+        let mut g = gov.guard(EngineId::Algebra);
+        g.check_value(99, None).unwrap();
+        assert!(g.check_value(101, None).is_err());
+        // the structural floor wins when tighter
+        assert!(g.check_value(51, Some(50)).is_err());
+        // no budget, floor only
+        let mut g2 = Guard::unlimited(EngineId::Bk);
+        g2.check_value(10_000, None).unwrap();
+        assert!(g2.check_value(51, Some(50)).is_err());
+    }
+
+    #[test]
+    fn cancellation_observed_at_next_tick() {
+        let token = CancelToken::new();
+        let gov = Governor::unlimited().with_cancel(token.clone());
+        let mut g = gov.guard(EngineId::Gtm);
+        g.step().unwrap();
+        token.cancel();
+        let trip = g.step().unwrap_err();
+        assert_eq!(trip.resource, Resource::Cancelled);
+        assert_eq!(trip.engine, EngineId::Gtm);
+    }
+
+    #[test]
+    fn deadline_trips_on_strided_check() {
+        let gov = Governor::new(Budget::unlimited().with_wall(Duration::from_millis(0)));
+        let mut g = gov.guard(EngineId::Calculus);
+        std::thread::sleep(Duration::from_millis(2));
+        let mut tripped = None;
+        for _ in 0..(DEADLINE_STRIDE + 1) {
+            if let Err(t) = g.step() {
+                tripped = Some(t);
+                break;
+            }
+        }
+        let trip = tripped.expect("deadline must trip within one stride");
+        assert_eq!(trip.resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn deadline_polled_on_every_early_tick() {
+        // a round-granular engine can do exponential work per tick, so
+        // the very first tick past the deadline must trip — no stride
+        let gov = Governor::new(Budget::unlimited().with_wall(Duration::ZERO));
+        let mut g = gov.guard(EngineId::Algebra);
+        std::thread::sleep(Duration::from_millis(1));
+        let trip = g.step().unwrap_err();
+        assert_eq!(trip.resource, Resource::Deadline);
+        assert_eq!(g.steps(), 1);
+    }
+
+    #[test]
+    fn failpoint_fires_deterministically() {
+        let gov = Governor::unlimited().with_failpoint(FailPoint::cancel_at(5));
+        for _ in 0..3 {
+            let mut g = gov.guard(EngineId::Col);
+            let mut survived = 0;
+            let trip = loop {
+                match g.step() {
+                    Ok(()) => survived += 1,
+                    Err(t) => break t,
+                }
+            };
+            assert_eq!(survived, 4);
+            assert_eq!(trip.resource, Resource::Cancelled);
+        }
+        // exhaust-flavoured injection reports the requested resource
+        let gov = Governor::unlimited().with_failpoint(FailPoint::exhaust_at(2, Resource::Facts));
+        let mut g = gov.guard(EngineId::Col);
+        g.add_fact().unwrap();
+        assert_eq!(g.add_fact().unwrap_err().resource, Resource::Facts);
+    }
+
+    #[test]
+    fn budget_min_keeps_tighter_limits() {
+        let a = Budget::unlimited().with_steps(10).with_facts(100);
+        let b = Budget::unlimited().with_steps(50).with_value_size(7);
+        let m = a.min(b);
+        assert_eq!(m.max_steps, Some(10));
+        assert_eq!(m.max_facts, Some(100));
+        assert_eq!(m.max_value_size, Some(7));
+        assert_eq!(m.max_wall, None);
+    }
+
+    #[test]
+    fn exhausted_display_carries_provenance_and_stats() {
+        let trip = Trip {
+            engine: EngineId::Bk,
+            resource: Resource::Facts,
+            consumed: 5001,
+            limit: 5000,
+        };
+        let e = Exhausted::new(trip, "snapshot", EvalStats::default());
+        let msg = e.to_string();
+        assert!(msg.contains("bk"), "{msg}");
+        assert!(msg.contains("facts"), "{msg}");
+        assert!(msg.contains("5001"), "{msg}");
+        assert!(msg.contains("partial state retained"), "{msg}");
+        let mapped = e.map_partial(|s| s.len());
+        assert_eq!(mapped.partial, 8);
+        assert_eq!(mapped.resource(), Resource::Facts);
+        assert_eq!(mapped.engine(), EngineId::Bk);
+    }
+}

@@ -310,6 +310,17 @@ impl Database {
         true
     }
 
+    /// Remove a single row from a relation; returns true if it was
+    /// present. The inverse of [`Database::insert_row`] — the fixpoint
+    /// engines use it to roll an incomplete round back to the last
+    /// consistent state when a resource budget trips mid-round.
+    pub fn remove_row(&mut self, name: &str, row: &Value) -> bool {
+        self.relations
+            .get_mut(name)
+            .map(|rel| rel.remove(row))
+            .unwrap_or(false)
+    }
+
     /// Fetch a relation, erroring if absent.
     pub fn get_required(&self, name: &str) -> Result<&Instance> {
         self.relations

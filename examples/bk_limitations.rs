@@ -8,12 +8,22 @@
 //! ```
 
 use std::collections::BTreeMap;
-use untyped_sets::bk::eval::{eval_fixpoint, eval_rounds, state_from, BkConfig};
+use untyped_sets::bk::eval::{
+    eval_fixpoint_governed, eval_rounds_governed, state_from, BkConfig, BkError,
+};
 use untyped_sets::bk::limits::{natural_join, search_join_programs, transform_derivation};
 use untyped_sets::bk::{BkObject, BkProgram};
+use untyped_sets::guard::{Budget, Governor};
 
 fn pair(a: &'static str, x: BkObject, b: &'static str, y: BkObject) -> BkObject {
     BkObject::tuple([(a, x), (b, y)])
+}
+
+/// Exit cleanly with the structured exhaustion report when an env budget
+/// (`USET_MAX_*`) trips — the CI tiny-budget smoke job asserts this path.
+fn governed_exit(report: impl std::fmt::Display) -> ! {
+    println!("resource-governed exit: {report}");
+    std::process::exit(0)
 }
 
 fn main() {
@@ -32,7 +42,12 @@ fn main() {
         ),
     ]);
     let prog = BkProgram::join_rule();
-    let (out, derivations) = eval_fixpoint(&prog, &state, &BkConfig::default()).unwrap();
+    let cfg = BkConfig::default();
+    let governor = Governor::new(Budget::from_env().min(cfg.budget()));
+    let (out, derivations) = match eval_fixpoint_governed(&prog, &state, &cfg, &governor) {
+        Ok(r) => r,
+        Err(BkError::Exhausted(report)) => governed_exit(report),
+    };
     println!("Example 5.2 — R{{[A:x,C:z]}} ← R1{{[A:x,B:y]}}, R2{{[B:y,C:z]}}");
     println!("  derived R:");
     for o in &out["R"] {
@@ -78,7 +93,12 @@ fn main() {
         max_facts: 100_000,
         ..BkConfig::default()
     };
-    let (st, _, converged) = eval_rounds(&chain_prog, &chain_state, &cfg).unwrap();
+    let governor = Governor::new(Budget::from_env().min(cfg.budget()));
+    let (st, _, converged) = match eval_rounds_governed(&chain_prog, &chain_state, &cfg, &governor)
+    {
+        Ok(r) => r,
+        Err(BkError::Exhausted(report)) => governed_exit(report),
+    };
     assert!(!converged);
     let mut sample: Vec<&BkObject> = st["LIST"].iter().collect();
     sample.sort_by_key(|o| o.size());

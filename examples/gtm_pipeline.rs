@@ -12,8 +12,16 @@ use untyped_sets::core::gtm_to_alg::{compile_gtm, run_compiled, run_compiled_all
 use untyped_sets::core::gtm_to_col::run_col_compiled;
 use untyped_sets::deductive::col::eval::ColConfig;
 use untyped_sets::gtm::machines::swap_pairs_gtm;
-use untyped_sets::gtm::query::run_gtm_query;
+use untyped_sets::gtm::query::{run_gtm_query_governed, GtmQueryError};
+use untyped_sets::guard::{Budget, Governor};
 use untyped_sets::object::{atom, Database, Instance, Schema, Type};
+
+/// Exit cleanly with the structured exhaustion report when an env budget
+/// (`USET_MAX_*`) trips — the CI tiny-budget smoke job asserts this path.
+fn governed_exit(report: impl std::fmt::Display) -> ! {
+    println!("resource-governed exit: {report}");
+    std::process::exit(0)
+}
 
 fn main() {
     // The pair-swap machine: {[a,b]} ↦ {[b,a]}, a real user of the
@@ -35,9 +43,12 @@ fn main() {
     println!("input R = {}", db.get("R"));
 
     // 1. direct GTM execution over the encoded listing
-    let direct = run_gtm_query(&m, &db, &schema, &target, 100_000)
-        .unwrap()
-        .expect("swap halts");
+    let governor = Governor::new(Budget::from_env().min(Budget::unlimited().with_steps(100_000)));
+    let direct = match run_gtm_query_governed(&m, &db, &schema, &target, &governor) {
+        Ok(out) => out.expect("swap halts"),
+        Err(GtmQueryError::Exhausted(report)) => governed_exit(report),
+        Err(e) => panic!("{e}"),
+    };
     println!("direct GTM run:        {direct}");
 
     // 2. Theorem 4.1(b): the machine compiled into ALG+while

@@ -7,12 +7,20 @@
 //! ```
 
 use untyped_sets::calculus::{
-    eval_fi, eval_terminal, eval_with_invention, strip_invented, CalcConfig, CalcQuery, CalcTerm,
-    Formula, InventionOutcome,
+    eval_fi_governed, eval_terminal_governed, eval_with_invention, strip_invented, CalcConfig,
+    CalcError, CalcQuery, CalcTerm, Formula, InventionOutcome,
 };
 use untyped_sets::core::halting::{f_halt_fi, f_halt_terminal, TerminalHalting};
 use untyped_sets::gtm::tm::{always_halt_machine, halt_iff_even_machine, never_halt_machine};
+use untyped_sets::guard::{Budget, Governor};
 use untyped_sets::object::{atom, Atom, Database, Instance, RType};
+
+/// Exit cleanly with the structured exhaustion report when an env budget
+/// (`USET_MAX_*`) trips — the CI tiny-budget smoke job asserts this path.
+fn governed_exit(report: impl std::fmt::Display) -> ! {
+    println!("resource-governed exit: {report}");
+    std::process::exit(0)
+}
 
 fn db_of_size(n: u64) -> Database {
     let mut db = Database::empty();
@@ -39,13 +47,22 @@ fn main() {
             strip_invented(&raw).len()
         );
     }
-    let fi = eval_fi(&q, &db, 3, &cfg).unwrap();
+    let governor = Governor::new(Budget::from_env().min(cfg.budget()));
+    let fi = match eval_fi_governed(&q, &db, 3, &cfg, &governor) {
+        Ok(fi) => fi,
+        Err(CalcError::Exhausted(report)) => governed_exit(report),
+        Err(e) => panic!("{e}"),
+    };
     println!("Q^fi (budget 3) = {fi}");
-    match eval_terminal(&q, &db, 5, &cfg).unwrap() {
-        InventionOutcome::Defined { n, answer } => {
-            println!("Q^ti defined at n = {n}, answer {answer}\n")
-        }
-        InventionOutcome::Undefined => println!("Q^ti undefined\n"),
+    match eval_terminal_governed(&q, &db, 5, &cfg, &governor) {
+        Err(CalcError::Exhausted(report)) => governed_exit(report),
+        Err(e) => panic!("{e}"),
+        Ok(outcome) => match outcome {
+            InventionOutcome::Defined { n, answer } => {
+                println!("Q^ti defined at n = {n}, answer {answer}\n")
+            }
+            InventionOutcome::Undefined => println!("Q^ti undefined\n"),
+        },
     }
 
     // --- Example 6.2: f_halt under finite invention -------------------------

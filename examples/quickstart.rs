@@ -4,9 +4,28 @@
 //! cargo run --example quickstart
 //! ```
 
-use untyped_sets::algebra::{eval_program, EvalConfig, Expr, Pred, Program, Stmt};
+use untyped_sets::algebra::{
+    eval_program_governed, EvalConfig, EvalError, Expr, Pred, Program, Stmt,
+};
 use untyped_sets::calculus::{eval_query, CalcConfig, CalcQuery, CalcTerm, Formula};
+use untyped_sets::guard::{Budget, Governor};
 use untyped_sets::object::{atom, Database, Instance, RType, Schema, Type};
+
+/// Exit cleanly with the structured exhaustion report when an env budget
+/// (`USET_MAX_*`) trips — the CI tiny-budget smoke job asserts this path.
+fn governed_exit(report: impl std::fmt::Display) -> ! {
+    println!("resource-governed exit: {report}");
+    std::process::exit(0)
+}
+
+fn eval_alg(prog: &Program, db: &Database) -> Instance {
+    let governor = Governor::new(Budget::from_env().min(EvalConfig::default().budget()));
+    match eval_program_governed(prog, db, &governor) {
+        Ok(out) => out,
+        Err(EvalError::Exhausted(report)) => governed_exit(report),
+        Err(e) => panic!("{e}"),
+    }
+}
 
 fn main() {
     // A flat binary relation R over the atomic domain U.
@@ -27,7 +46,7 @@ fn main() {
         .select(Pred::eq_cols(1, 2))
         .project([0, 3]);
     let prog = Program::new(vec![Stmt::assign("ANS", compose)]);
-    let out = eval_program(&prog, &db, &EvalConfig::default()).unwrap();
+    let out = eval_alg(&prog, &db);
     println!("algebra R∘R      = {out}");
 
     // The same query in the calculus:
@@ -58,6 +77,6 @@ fn main() {
         "ANS",
         Expr::var("R").union(Expr::var("R").project([0])),
     )]);
-    let het = eval_program(&heterogeneous, &db, &EvalConfig::default()).unwrap();
+    let het = eval_alg(&heterogeneous, &db);
     println!("R ∪ π₀(R)        = {het}   (a heterogeneous instance of Obj)");
 }

@@ -7,10 +7,29 @@
 //! ```
 
 use untyped_sets::algebra::derived::{tc_powerset_program, tc_while_program};
-use untyped_sets::algebra::{eval_program, EvalConfig};
+use untyped_sets::algebra::{eval_program_governed, EvalConfig, EvalError, Program};
 use untyped_sets::deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
-use untyped_sets::deductive::col::eval::{stratified, ColConfig};
-use untyped_sets::object::{atom, Database, Instance};
+use untyped_sets::deductive::col::eval::{
+    stratified_governed, ColConfig, ColEvalError, ColStrategy,
+};
+use untyped_sets::guard::{Budget, Governor};
+use untyped_sets::object::{atom, Database, EvalStats, Instance};
+
+/// Exit cleanly with the structured exhaustion report when an env budget
+/// (`USET_MAX_*`) trips — the CI tiny-budget smoke job asserts this path.
+fn governed_exit(report: impl std::fmt::Display) -> ! {
+    println!("resource-governed exit: {report}");
+    std::process::exit(0)
+}
+
+fn eval_alg(prog: &Program, db: &Database, cfg: &EvalConfig) -> Instance {
+    let governor = Governor::new(Budget::from_env().min(cfg.budget()));
+    match eval_program_governed(prog, db, &governor) {
+        Ok(out) => out,
+        Err(EvalError::Exhausted(report)) => governed_exit(report),
+        Err(e) => panic!("{e}"),
+    }
+}
 
 fn main() {
     // a path 0 → 1 → 2 plus a side edge
@@ -24,7 +43,7 @@ fn main() {
     // 1. ALG+while (powerset-free, the Theorem 4.1(b) fragment)
     let while_prog = tc_while_program("R");
     assert!(while_prog.is_powerset_free() && while_prog.is_unnested_while());
-    let via_while = eval_program(&while_prog, &db, &EvalConfig::default()).unwrap();
+    let via_while = eval_alg(&while_prog, &db, &EvalConfig::default());
     println!("TC via while:    {via_while}");
 
     // 2. powerset algebra, while-free: TC = the intersection of all
@@ -32,15 +51,14 @@ fn main() {
     //    candidate relations, the hyper-exponential price of Theorem 2.2
     let pow_prog = tc_powerset_program("R");
     assert!(pow_prog.is_while_free() && !pow_prog.is_powerset_free());
-    let via_powerset = eval_program(
+    let via_powerset = eval_alg(
         &pow_prog,
         &db,
         &EvalConfig {
             fuel: 1_000_000,
             max_instance_len: 10_000_000,
         },
-    )
-    .unwrap();
+    );
     println!("TC via powerset: {via_powerset}");
 
     // 3. COL: the classic recursive rules
@@ -60,9 +78,20 @@ fn main() {
             ],
         ),
     ]);
-    let via_col = stratified(&col, &db, &ColConfig::default())
-        .unwrap()
-        .pred("T");
+    let col_cfg = ColConfig::default();
+    let governor = Governor::new(Budget::from_env().min(col_cfg.budget()));
+    let via_col = match stratified_governed(
+        &col,
+        &db,
+        &col_cfg,
+        ColStrategy::Seminaive,
+        &governor,
+        &mut EvalStats::default(),
+    ) {
+        Ok(state) => state.pred("T"),
+        Err(ColEvalError::Exhausted(report)) => governed_exit(report),
+        Err(e) => panic!("{e}"),
+    };
     println!("TC via COL:      {via_col}");
 
     assert_eq!(via_while, via_powerset);

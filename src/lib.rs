@@ -19,6 +19,8 @@
 //!   the formalisms.
 //! * [`analysis`] — the unified static-analysis framework and the paper-
 //!   derived lints behind the `uset-lint` binary.
+//! * [`guard`] — the unified resource-governance layer ([`guard::Budget`],
+//!   [`guard::CancelToken`], [`guard::Exhausted`]) shared by every engine.
 
 pub use uset_algebra as algebra;
 pub use uset_analysis as analysis;
@@ -27,6 +29,7 @@ pub use uset_calculus as calculus;
 pub use uset_core as core;
 pub use uset_deductive as deductive;
 pub use uset_gtm as gtm;
+pub use uset_guard as guard;
 pub use uset_object as object;
 
 /// Crate version, for examples that print provenance.

@@ -82,7 +82,16 @@ fn example_54_divergence_with_real_chain() {
         max_facts: 20_000,
         ..BkConfig::default()
     };
-    assert_eq!(eval_fixpoint(&prog, &st, &cfg), Err(BkError::FuelExhausted));
+    // acceptance: the divergent run ends in a structured exhaustion report
+    // carrying a non-empty partial state and stats — never a panic or OOM
+    let err = eval_fixpoint(&prog, &st, &cfg).unwrap_err();
+    let BkError::Exhausted(report) = &err;
+    assert_eq!(report.engine(), untyped_sets::guard::EngineId::Bk);
+    assert!(
+        !report.partial.state["LIST"].is_empty(),
+        "partial snapshot must carry the lists derived so far"
+    );
+    assert!(report.stats.rounds > 0 && report.stats.tuples_derived > 0);
 
     // Proposition 5.5's shape: among the partial facts are the ever-deeper
     // ⊥-lists that prevent any chain→list BK query from existing

@@ -1,0 +1,317 @@
+//! Integration tests for the unified resource-governance layer: the
+//! acceptance scenarios from the paper (Example 5.4 divergence lives in
+//! `bk_section5.rs`; powerset-under-while here), deterministic mid-round
+//! cancellation via failpoints for each engine, and a property test that a
+//! budget-exhausted COL run's partial snapshot is consistent with (a
+//! subset of) the unbudgeted fixpoint under both evaluation strategies.
+
+use proptest::prelude::*;
+use untyped_sets::algebra::{eval_program, eval_program_governed, EvalConfig, EvalError};
+use untyped_sets::bk::eval::state_from;
+use untyped_sets::bk::{eval_rounds_governed, BkConfig, BkError, BkObject, BkProgram};
+use untyped_sets::core::powerset_via_while_program;
+use untyped_sets::deductive::{
+    stratified, stratified_governed, ColConfig, ColEvalError, ColLiteral, ColProgram, ColRule,
+    ColState, ColStrategy, ColTerm, DatalogProgram, DlAtom, DlRule, DlTerm,
+};
+use untyped_sets::guard::{Budget, CancelToken, EngineId, FailPoint, Governor, Resource};
+use untyped_sets::object::{atom, Atom, Database, EvalStats, Instance};
+
+fn dv(name: &str) -> DlTerm {
+    DlTerm::var(name)
+}
+
+fn cv(name: &str) -> ColTerm {
+    ColTerm::var(name)
+}
+
+fn path_db(n: u64) -> Database {
+    let mut db = Database::empty();
+    db.set(
+        "E",
+        Instance::from_rows((0..n.saturating_sub(1)).map(|i| [atom(i), atom(i + 1)])),
+    );
+    db
+}
+
+fn col_tc() -> ColProgram {
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![cv("x"), cv("y")],
+            vec![ColLiteral::pred("E", vec![cv("x"), cv("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![cv("x"), cv("z")],
+            vec![
+                ColLiteral::pred("E", vec![cv("x"), cv("y")]),
+                ColLiteral::pred("T", vec![cv("y"), cv("z")]),
+            ],
+        ),
+    ])
+}
+
+fn dl_tc() -> DatalogProgram {
+    DatalogProgram::new(vec![
+        DlRule::new(
+            DlAtom::new("T", vec![dv("x"), dv("y")]),
+            vec![(true, DlAtom::new("E", vec![dv("x"), dv("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("T", vec![dv("x"), dv("z")]),
+            vec![
+                (true, DlAtom::new("E", vec![dv("x"), dv("y")])),
+                (true, DlAtom::new("T", vec![dv("y"), dv("z")])),
+            ],
+        ),
+    ])
+}
+
+/// Acceptance: powerset-under-while against a budget terminates with a
+/// structured exhaustion report carrying a non-empty partial environment
+/// and stats — never a panic or OOM.
+#[test]
+fn powerset_under_while_exhausts_cleanly() {
+    let mut db = Database::empty();
+    db.set("R", Instance::from_values((0..20).map(atom)));
+    // 2^20 subsets cannot fit under a 5000-member instance cap: the
+    // accumulator blows the value-size budget mid-saturation
+    let cfg = EvalConfig {
+        fuel: 10_000,
+        max_instance_len: 5_000,
+    };
+    let err = eval_program(&powerset_via_while_program("R"), &db, &cfg).unwrap_err();
+    let EvalError::Exhausted(report) = &err else {
+        panic!("expected Exhausted, got {err:?}");
+    };
+    assert_eq!(report.engine(), EngineId::Algebra);
+    assert_eq!(report.resource(), Resource::ValueSize);
+    assert!(
+        !report.partial.env.is_empty(),
+        "partial snapshot must carry the environment built so far"
+    );
+    // the accumulator so far is a genuine partial result: a non-trivial
+    // family of subsets of R
+    let acc = report
+        .partial
+        .env
+        .get("ps_acc")
+        .expect("accumulator present in snapshot");
+    assert!(acc.len() > 1);
+    assert!(report.stats.rounds > 0);
+}
+
+/// The same program under an explicit governor with a wall-clock budget of
+/// zero trips on the deadline instead of a size cap.
+#[test]
+fn powerset_under_while_respects_deadline() {
+    let mut db = Database::empty();
+    db.set("R", Instance::from_values((0..20).map(atom)));
+    let governor = Governor::new(Budget::unlimited().with_wall(std::time::Duration::ZERO));
+    let err = eval_program_governed(&powerset_via_while_program("R"), &db, &governor).unwrap_err();
+    let EvalError::Exhausted(report) = &err else {
+        panic!("expected Exhausted, got {err:?}");
+    };
+    assert_eq!(report.resource(), Resource::Deadline);
+}
+
+/// BK: a failpoint-injected cancellation mid-run surrenders a snapshot at
+/// the last consistent round boundary (input facts always present).
+#[test]
+fn bk_failpoint_cancels_mid_round() {
+    let dollar = BkObject::Atom(Atom::named("gov-$"));
+    let prog = BkProgram::chain_to_list(dollar.clone());
+    let st = state_from([(
+        "S",
+        vec![BkObject::tuple([
+            ("A", dollar.clone()),
+            ("B", BkObject::atom(1)),
+        ])],
+    )]);
+    let governor = Governor::unlimited().with_failpoint(FailPoint::cancel_at(3));
+    let err = eval_rounds_governed(&prog, &st, &BkConfig::default(), &governor).unwrap_err();
+    let BkError::Exhausted(report) = &err;
+    assert_eq!(report.engine(), EngineId::Bk);
+    assert_eq!(report.resource(), Resource::Cancelled);
+    // rollback keeps the snapshot at a round boundary: the input relation
+    // is intact and anything derived is from fully completed rounds only
+    assert!(!report.partial.state["S"].is_empty());
+}
+
+/// COL: failpoint cancellation mid-round rolls back to a round boundary,
+/// so the snapshot is a subset of the unbudgeted fixpoint.
+#[test]
+fn col_failpoint_cancels_mid_round() {
+    let db = path_db(8);
+    let cfg = ColConfig {
+        max_rounds: 100,
+        max_facts: 100_000,
+    };
+    let full = stratified(&col_tc(), &db, &cfg).expect("unbudgeted fixpoint");
+    for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+        let governor = Governor::unlimited().with_failpoint(FailPoint::cancel_at(9));
+        let mut stats = EvalStats::default();
+        let err =
+            stratified_governed(&col_tc(), &db, &cfg, strategy, &governor, &mut stats).unwrap_err();
+        let report = err.exhausted().expect("cancellation report");
+        assert_eq!(report.engine(), EngineId::Col);
+        assert_eq!(report.resource(), Resource::Cancelled);
+        assert!(report.partial.pred("T").is_subset(&full.pred("T")));
+        assert!(db.get("E").is_subset(&report.partial.pred("E")));
+    }
+}
+
+/// DATALOG¬: failpoint cancellation surrenders the database at the last
+/// completed round, a subset of the full fixpoint.
+#[test]
+fn datalog_failpoint_cancels_mid_round() {
+    let db = path_db(8);
+    let prog = dl_tc();
+    let full = prog.eval_stratified(&db, 10_000).expect("full fixpoint");
+    let governor = Governor::unlimited().with_failpoint(FailPoint::cancel_at(6));
+    let mut stats = EvalStats::default();
+    let err = prog
+        .eval_stratified_governed(&db, &governor, &mut stats)
+        .unwrap_err();
+    let report = err.exhausted().expect("cancellation report");
+    assert_eq!(report.engine(), EngineId::Datalog);
+    assert_eq!(report.resource(), Resource::Cancelled);
+    assert!(report.partial.get("T").is_subset(&full.get("T")));
+    assert!(db.get("E").is_subset(&report.partial.get("E")));
+}
+
+/// A pre-cancelled [`CancelToken`] stops any engine on its first
+/// checkpoint; the same token can govern several engines.
+#[test]
+fn shared_cancel_token_stops_engines_immediately() {
+    let token = CancelToken::new();
+    token.cancel();
+    let db = path_db(5);
+    let mut stats = EvalStats::default();
+    let governor = Governor::unlimited().with_cancel(token.clone());
+    let dl_err = dl_tc()
+        .eval_stratified_governed(&db, &governor, &mut stats)
+        .unwrap_err();
+    assert_eq!(
+        dl_err.exhausted().expect("cancelled").resource(),
+        Resource::Cancelled
+    );
+    let cfg = ColConfig {
+        max_rounds: 100,
+        max_facts: 100_000,
+    };
+    let col_err = stratified_governed(
+        &col_tc(),
+        &db,
+        &cfg,
+        ColStrategy::Seminaive,
+        &governor,
+        &mut stats,
+    )
+    .unwrap_err();
+    assert_eq!(
+        col_err.exhausted().expect("cancelled").resource(),
+        Resource::Cancelled
+    );
+}
+
+fn col_state_is_subset(partial: &ColState, full: &ColState) -> bool {
+    partial
+        .preds
+        .iter()
+        .all(|(name, inst)| inst.is_subset(&full.pred(name)))
+        && partial.funcs.iter().all(|(name, by_args)| {
+            by_args
+                .iter()
+                .all(|(args, set)| set.is_subset(&full.func(name, args)))
+        })
+}
+
+fn edges_db(pairs: &[(u64, u64)]) -> Database {
+    let mut db = Database::empty();
+    db.set(
+        "E",
+        Instance::from_rows(pairs.iter().map(|&(a, b)| [atom(a), atom(b)])),
+    );
+    db
+}
+
+proptest! {
+    /// A budget-exhausted COL run's partial snapshot is consistent with
+    /// the unbudgeted fixpoint — for the step budget, under both the naive
+    /// and the semi-naive strategy. If the budget suffices, the governed
+    /// result must equal the unbudgeted one exactly.
+    #[test]
+    fn col_partial_snapshot_subset_of_fixpoint_steps(
+        pairs in prop::collection::vec((0u64..6, 0u64..6), 0..10),
+        max_steps in 1u64..6,
+    ) {
+        let db = edges_db(&pairs);
+        let cfg = ColConfig { max_rounds: 100, max_facts: 100_000 };
+        let full = stratified(&col_tc(), &db, &cfg).expect("unbudgeted fixpoint");
+        for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+            let governor = Governor::new(Budget::unlimited().with_steps(max_steps));
+            let mut stats = EvalStats::default();
+            match stratified_governed(&col_tc(), &db, &cfg, strategy, &governor, &mut stats) {
+                Ok(state) => prop_assert_eq!(&state, &full),
+                Err(ColEvalError::Exhausted(report)) => {
+                    prop_assert_eq!(report.resource(), Resource::Steps);
+                    prop_assert!(col_state_is_subset(&report.partial, &full));
+                    // base facts survive in every snapshot
+                    prop_assert!(db.get("E").is_subset(&report.partial.pred("E")));
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+    }
+
+    /// Same consistency property for the fact budget, which can trip in
+    /// the middle of a round: rollback must restore the last round
+    /// boundary, so the snapshot both respects the budget and stays a
+    /// subset of the fixpoint.
+    #[test]
+    fn col_partial_snapshot_subset_of_fixpoint_facts(
+        pairs in prop::collection::vec((0u64..6, 0u64..6), 1..10),
+        budget_slack in 0usize..12,
+    ) {
+        let db = edges_db(&pairs);
+        let base = db.get("E").len();
+        let cfg = ColConfig { max_rounds: 100, max_facts: 100_000 };
+        let full = stratified(&col_tc(), &db, &cfg).expect("unbudgeted fixpoint");
+        for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+            let governor = Governor::new(Budget::unlimited().with_facts(base + budget_slack));
+            let mut stats = EvalStats::default();
+            match stratified_governed(&col_tc(), &db, &cfg, strategy, &governor, &mut stats) {
+                Ok(state) => prop_assert_eq!(&state, &full),
+                Err(ColEvalError::Exhausted(report)) => {
+                    prop_assert_eq!(report.resource(), Resource::Facts);
+                    prop_assert!(col_state_is_subset(&report.partial, &full));
+                    prop_assert!(report.partial.total_facts() <= base + budget_slack);
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+    }
+
+    /// Genericity of governance: for any algebra expression program built
+    /// from union/product over a random relation, a tripped run never
+    /// panics and always reports provenance naming the algebra engine.
+    #[test]
+    fn algebra_trips_carry_provenance(
+        rows in prop::collection::vec((0u64..5, 0u64..5), 1..8),
+        fuel in 1u64..4,
+    ) {
+        let mut db = Database::empty();
+        db.set("R", Instance::from_rows(rows.iter().map(|&(a, b)| [atom(a), atom(b)])));
+        let governor = Governor::new(Budget::unlimited().with_steps(fuel));
+        match eval_program_governed(&powerset_via_while_program("R"), &db, &governor) {
+            Ok(ans) => prop_assert!(!ans.is_empty()),
+            Err(EvalError::Exhausted(report)) => {
+                prop_assert_eq!(report.engine(), EngineId::Algebra);
+                prop_assert_eq!(report.resource(), Resource::Steps);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+}
