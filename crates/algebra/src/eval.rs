@@ -16,8 +16,14 @@
 use crate::expr::{Expr, Pred};
 use crate::program::{Program, Stmt, ANS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+use uset_guard::trace::span::{engine_end, engine_start};
+use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Trip};
 use uset_object::{Database, EvalStats, Instance, Value};
+
+/// Engine label carried by every algebra trace event.
+const ENGINE: &str = "algebra";
 
 /// Evaluation limits — a thin shim kept for source compatibility; new
 /// code should pass a [`uset_guard::Governor`] to
@@ -151,13 +157,33 @@ impl Evaluator {
                     cond,
                     body,
                 } => {
+                    // each iteration is one "round" in the trace: the
+                    // condition's size plays the role of the delta
                     loop {
                         let c = self.lookup(cond)?;
                         if c.is_empty() {
                             break;
                         }
+                        let delta = c.len() as u64;
                         self.guard.step()?;
+                        let round = self.guard.steps();
+                        let round_t0 = self.guard.trace().enabled().then(Instant::now);
+                        self.guard.trace().emit(|| TraceEvent::RoundStart {
+                            engine: ENGINE.into(),
+                            round,
+                            delta,
+                        });
                         self.run_stmts(body)?;
+                        let env = &self.env;
+                        let value_hwm = self.guard.value_hwm() as u64;
+                        self.guard.trace().emit(|| TraceEvent::RoundEnd {
+                            engine: ENGINE.into(),
+                            round,
+                            delta,
+                            facts: env.values().map(Instance::len).sum::<usize>() as u64,
+                            value_hwm,
+                            wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                        });
                     }
                     let r = self.lookup(result)?.clone();
                     self.env.insert(out.clone(), r);
@@ -199,11 +225,14 @@ impl Evaluator {
             Expr::Unnest(e, col) => unnest(&self.eval_expr(e)?, *col),
             Expr::Powerset(e) => {
                 let inst = self.eval_expr(e)?;
-                // check 2^n against the cap before materializing
-                if inst.len() >= usize::BITS as usize {
-                    self.guard.check_value(usize::MAX, None)?;
-                }
-                self.guard.check_value(1usize << inst.len(), None)?;
+                // charge 2^n against the cap before materializing; n at or
+                // past the word width saturates instead of shifting out of
+                // range (a 63-member instance already predicts 2^63)
+                let predicted = match inst.len() {
+                    n if n >= usize::BITS as usize => usize::MAX,
+                    n => 1usize << n,
+                };
+                self.guard.check_value(predicted, None)?;
                 powerset(&inst)
             }
             Expr::SetCollapse(e) => set_collapse(&self.eval_expr(e)?),
@@ -379,8 +408,12 @@ pub fn eval_program_governed(
         env: db.iter().map(|(n, i)| (n.to_owned(), i.clone())).collect(),
         guard: governor.guard(EngineId::Algebra),
     };
+    let run_start = engine_start(ENGINE, &governor.trace);
     match ev.run_stmts(&prog.stmts) {
-        Ok(()) => ev.env.remove(ANS).ok_or(EvalError::NoAnswer),
+        Ok(()) => {
+            engine_end(ENGINE, &governor.trace, ev.guard.steps(), run_start);
+            ev.env.remove(ANS).ok_or(EvalError::NoAnswer)
+        }
         Err(RunErr::Fail(e)) => Err(e),
         Err(RunErr::Trip(trip)) => {
             let partial = PartialEnv {

@@ -20,6 +20,9 @@ pub enum Code {
     U002,
     /// Defined predicate unreachable from the program's output symbol.
     U003,
+    /// The program defines nothing at all (empty or comments only) — the
+    /// query it denotes is the constant empty answer.
+    U004,
     /// BK ⊥-divergence: the head grows invented ⊥-structure along a
     /// recursive dependency cycle (Example 5.4 / Proposition 5.5).
     U010,
@@ -48,10 +51,11 @@ pub enum Code {
 }
 
 /// All codes, in numeric order (for `uset-lint --codes` and the README).
-pub const ALL_CODES: [Code; 12] = [
+pub const ALL_CODES: [Code; 13] = [
     Code::U001,
     Code::U002,
     Code::U003,
+    Code::U004,
     Code::U010,
     Code::U011,
     Code::U020,
@@ -70,6 +74,7 @@ impl Code {
             Code::U001 => "U001",
             Code::U002 => "U002",
             Code::U003 => "U003",
+            Code::U004 => "U004",
             Code::U010 => "U010",
             Code::U011 => "U011",
             Code::U020 => "U020",
@@ -88,6 +93,7 @@ impl Code {
             Code::U001 => "not-stratifiable",
             Code::U002 => "unsafe-rule",
             Code::U003 => "dead-predicate",
+            Code::U004 => "empty-program",
             Code::U010 => "bk-bottom-divergence",
             Code::U011 => "bk-join-misuse",
             Code::U020 => "read-before-assign",
@@ -107,7 +113,7 @@ impl Code {
                 Severity::Error
             }
             Code::U003 | Code::U011 | Code::U022 | Code::U023 => Severity::Warning,
-            Code::U024 | Code::U031 => Severity::Info,
+            Code::U004 | Code::U024 | Code::U031 => Severity::Info,
         }
     }
 
@@ -117,6 +123,7 @@ impl Code {
             Code::U001 => "Abiteboul–Grumbach stratification; Hull–Su §5 (Theorem 5.1 setting)",
             Code::U002 => "classical range restriction; Hull–Su §5 evaluability",
             Code::U003 => "dependency-graph reachability (engineering lint)",
+            Code::U004 => "Hull–Su §2 (the everywhere-empty query is computable but rarely meant)",
             Code::U010 => "Hull–Su Example 5.4 / Proposition 5.5",
             Code::U011 => "Hull–Su Example 5.2 / Proposition 5.3",
             Code::U020 => "Hull–Su §2 program well-formedness",

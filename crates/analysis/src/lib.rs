@@ -9,6 +9,7 @@
 //! | U001 | not stratifiable | §5 stratified semantics |
 //! | U002 | unsafe rule / range restriction | §5 |
 //! | U003 | dead predicate | — (hygiene) |
+//! | U004 | empty program (info) | — (hygiene) |
 //! | U010 | BK ⊥-divergence | Ex 5.4 / Prop 5.5 |
 //! | U011 | BK join misuse | Ex 5.2 / Prop 5.3 |
 //! | U020 | read before assign | §2 scope rules |

@@ -1,0 +1,133 @@
+//! U004: the program defines nothing at all.
+//!
+//! An empty rule list (COL, DATALOG¬, BK), an empty statement list
+//! (algebra), or a calculus formula that never consults a database
+//! predicate all denote a *constant* query — computable (Hull–Su §2 admits
+//! it), but almost always an authoring accident such as a file of comments
+//! that parsed to nothing. Info severity: the program is legal and CI must
+//! not fail on it.
+
+use crate::diag::{Code, Provenance, Report};
+use crate::pass::{Language, Pass, Target};
+use uset_calculus::Formula;
+
+/// Emits [`Code::U004`] for programs that define nothing.
+pub struct EmptyProgramPass;
+
+const NAME: &str = "empty-program";
+
+impl Pass for EmptyProgramPass {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U004]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        &[
+            Language::Col,
+            Language::Datalog,
+            Language::Bk,
+            Language::Algebra,
+            Language::Calculus,
+        ]
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let message = match target {
+            Target::Col(p) if p.rules.is_empty() => {
+                Some("COL program has no rules; every defined symbol stays empty")
+            }
+            Target::Datalog(p) if p.rules.is_empty() => {
+                Some("DATALOG¬ program has no rules; the answer is empty on every database")
+            }
+            Target::Bk(p) if p.rules.is_empty() => {
+                Some("BK program has no rules; the fixpoint is the input database")
+            }
+            Target::Algebra(p, _) if p.stmts.is_empty() => {
+                Some("algebra program has no statements; ANS can never be assigned")
+            }
+            Target::Calculus(q) if !mentions_predicate(&q.formula) => {
+                Some("calculus query consults no database predicate; it denotes a constant query")
+            }
+            _ => None,
+        };
+        if let Some(message) = message {
+            report.push(NAME, Code::U004, Provenance::default(), message);
+        }
+    }
+}
+
+/// True iff the formula contains at least one `P(u)` database-predicate
+/// literal (under any connective or quantifier).
+fn mentions_predicate(f: &Formula) -> bool {
+    match f {
+        Formula::Pred(..) => true,
+        Formula::Eq(..) | Formula::Member(..) => false,
+        Formula::Not(g) | Formula::Exists(_, _, g) | Formula::Forall(_, _, g) => {
+            mentions_predicate(g)
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => mentions_predicate(a) || mentions_predicate(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_algebra::Program as AlgProgram;
+    use uset_bk::BkProgram;
+    use uset_calculus::{CalcQuery, CalcTerm};
+    use uset_deductive::{ColProgram, DatalogProgram};
+    use uset_object::{RType, Schema};
+
+    fn run(target: &Target<'_>) -> Report {
+        let mut r = Report::new();
+        EmptyProgramPass.run(target, &mut r);
+        r
+    }
+
+    #[test]
+    fn empty_programs_get_u004_info() {
+        let col = ColProgram { rules: vec![] };
+        let dl = DatalogProgram { rules: vec![] };
+        let bk = BkProgram { rules: vec![] };
+        let alg = AlgProgram::default();
+        let schema = Schema::default();
+        for target in [
+            Target::Col(&col),
+            Target::Datalog(&dl),
+            Target::Bk(&bk),
+            Target::Algebra(&alg, &schema),
+        ] {
+            let r = run(&target);
+            assert_eq!(r.diagnostics.len(), 1, "{:?}", target.language());
+            let d = &r.diagnostics[0];
+            assert_eq!(d.code, Code::U004);
+            assert_eq!(d.severity, crate::diag::Severity::Info);
+        }
+    }
+
+    #[test]
+    fn constant_calculus_query_is_flagged_but_real_one_is_not() {
+        let constant = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Eq(CalcTerm::var("x"), CalcTerm::var("x")),
+        );
+        assert_eq!(run(&Target::Calculus(&constant)).diagnostics.len(), 1);
+        let real = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Pred("R".to_owned(), CalcTerm::var("x")),
+        );
+        assert!(run(&Target::Calculus(&real)).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn non_empty_programs_are_silent() {
+        let bk = BkProgram::join_rule();
+        assert!(run(&Target::Bk(&bk)).diagnostics.is_empty());
+    }
+}

@@ -8,12 +8,14 @@ pub mod algebra;
 pub mod bk;
 pub mod calculus;
 pub mod col;
+pub mod empty;
 
 use crate::pass::Pass;
 
 /// Every built-in pass, in the order the default registry runs them.
 pub fn default_passes() -> Vec<Box<dyn Pass>> {
     vec![
+        Box::new(empty::EmptyProgramPass),
         Box::new(col::StratificationPass),
         Box::new(col::RangeRestrictionPass),
         Box::new(col::DeadPredicatePass),

@@ -25,8 +25,20 @@ use crate::object::BkObject;
 use crate::order::{subobject, subobjects};
 use crate::rules::{BkProgram, BkRule, BkTerm};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
+use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Resource, Trip};
 use uset_object::EvalStats;
+
+/// Engine label carried by every BK trace event.
+const ENGINE: &str = "bk";
+
+/// Canonical rendering of a BK fact for provenance events and the
+/// `why(fact)` API: `pred(object)`.
+pub fn render_bk_fact(pred: &str, obj: &BkObject) -> String {
+    format!("{pred}({obj})")
+}
 
 /// Candidate policy for variable instantiation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -336,6 +348,9 @@ pub fn eval_rounds_with(
     stats: &mut EvalStats,
 ) -> Result<(BkState, Vec<Derivation>, bool), BkError> {
     let mut guard = governor.guard(EngineId::Bk);
+    let trace = governor.trace.clone();
+    let mut ctx = RuleFirings::new(ENGINE, &trace);
+    let run_start = engine_start(ENGINE, &trace);
     let mut state = input.clone();
     let mut derivations: Vec<Derivation> = Vec::new();
     let base: usize = state.values().map(BTreeSet::len).sum();
@@ -348,18 +363,31 @@ pub fn eval_rounds_with(
             return Err(exhaust(trip, state, derivations, *stats));
         }
         stats.rounds += 1;
+        let round_no = guard.steps();
+        let round_t0 = trace.enabled().then(Instant::now);
+        trace.emit(|| TraceEvent::RoundStart {
+            engine: ENGINE.into(),
+            round: round_no,
+            delta: 0,
+        });
+        ctx.clear();
         let mut changed = false;
+        let mut new_per_rule: BTreeMap<usize, u64> = BTreeMap::new();
         let snapshot = state.clone();
         let round_start = derivations.len();
         let round = |state: &mut BkState,
                      derivations: &mut Vec<Derivation>,
                      stats: &mut EvalStats,
                      guard: &mut Guard,
-                     changed: &mut bool|
+                     changed: &mut bool,
+                     ctx: &mut RuleFirings,
+                     new_per_rule: &mut BTreeMap<usize, u64>|
          -> Result<(), Trip> {
             for (idx, rule) in prog.rules.iter().enumerate() {
+                let fire_t0 = ctx.enabled().then(Instant::now);
                 let bindings = rule_bindings(rule, &snapshot, config, guard)?;
                 stats.rules_fired += 1;
+                let produced = bindings.len() as u64;
                 for b in bindings {
                     let fact = rule.head.instantiate(&b);
                     stats.tuples_derived += 1;
@@ -367,6 +395,24 @@ pub fn eval_rounds_with(
                     if extent.insert(fact.clone()) {
                         guard.add_fact()?;
                         *changed = true;
+                        if ctx.enabled() {
+                            *new_per_rule.entry(idx).or_default() += 1;
+                        }
+                        if ctx.want_provenance() {
+                            let rendered = render_bk_fact(&rule.head_pred, &fact);
+                            let parents: Vec<String> = rule
+                                .body
+                                .iter()
+                                .map(|lit| render_bk_fact(&lit.pred, &lit.pattern.instantiate(&b)))
+                                .collect();
+                            trace.emit(move || TraceEvent::Derivation {
+                                engine: ENGINE.into(),
+                                round: round_no,
+                                rule: idx,
+                                fact: rendered,
+                                parents,
+                            });
+                        }
                         derivations.push(Derivation {
                             rule: idx,
                             bindings: b,
@@ -374,6 +420,9 @@ pub fn eval_rounds_with(
                             fact,
                         });
                     }
+                }
+                if let Some(t0) = fire_t0 {
+                    ctx.record(idx, produced, t0.elapsed().as_micros() as u64);
                 }
             }
             Ok(())
@@ -384,6 +433,8 @@ pub fn eval_rounds_with(
             stats,
             &mut guard,
             &mut changed,
+            &mut ctx,
+            &mut new_per_rule,
         ) {
             // roll the incomplete round back to the last consistent state
             for d in derivations.drain(round_start..) {
@@ -393,11 +444,22 @@ pub fn eval_rounds_with(
             }
             return Err(exhaust(trip, state, derivations, *stats));
         }
-        stats.observe_facts(state.values().map(BTreeSet::len).sum());
+        let facts: usize = state.values().map(BTreeSet::len).sum();
+        stats.observe_facts(facts);
+        ctx.emit_round(
+            &trace,
+            round_no,
+            &new_per_rule,
+            facts as u64,
+            guard.value_hwm() as u64,
+            round_t0,
+        );
         if !changed {
+            engine_end(ENGINE, &trace, guard.steps(), run_start);
             return Ok((state, derivations, true));
         }
     }
+    engine_end(ENGINE, &trace, guard.steps(), run_start);
     Ok((state, derivations, false))
 }
 

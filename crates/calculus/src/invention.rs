@@ -21,9 +21,17 @@
 use crate::ast::CalcQuery;
 use crate::eval::{eval_query_over, extended_adom, CalcConfig, CalcError};
 use std::collections::BTreeSet;
+use std::time::Instant;
+use uset_guard::trace::span::{engine_end, engine_start};
+use uset_guard::trace::TraceEvent;
 use uset_guard::{EngineId, Governor, Guard, Trip};
 use uset_object::flatten::Inventor;
 use uset_object::{Atom, Database, EvalStats, Instance};
+
+/// Engine label carried by every invention trace event. Rounds are
+/// invention levels: `RoundStart::delta` is the level index `i`, and
+/// `RoundEnd::delta` is what level `i` added to the accumulated answer.
+const ENGINE: &str = "calculus";
 
 /// What an interrupted invention enumeration surrenders: the union of the
 /// stripped per-level answers over the invention levels that ran to
@@ -99,15 +107,27 @@ pub fn eval_fi_governed(
     governor: &Governor,
 ) -> Result<Instance, CalcError> {
     let mut guard = governor.guard(EngineId::Calculus);
+    let trace = governor.trace.clone();
+    let run_start = engine_start(ENGINE, &trace);
     let mut stats = EvalStats::default();
     let mut out = Instance::empty();
     for i in 0..=budget {
         if let Err(trip) = level_step(&mut guard, &mut stats, out.len()) {
             return Err(exhaust(trip, out, i, stats));
         }
+        let round = guard.steps();
+        let round_t0 = trace.enabled().then(Instant::now);
+        trace.emit(|| TraceEvent::RoundStart {
+            engine: ENGINE.into(),
+            round,
+            delta: i as u64,
+        });
         let raw = eval_with_invention(q, db, i, config)?;
         stats.tuples_derived += raw.len() as u64;
+        let before = out.len();
         out = out.union(&strip_invented(&raw));
+        let added = (out.len() - before) as u64;
+        let facts = out.len() as u64;
         if let Err(trip) = guard.check_value(out.len(), None) {
             // the union itself blew the size cap: the last fully-completed
             // level is i, and the (oversized) union is still a sound
@@ -118,7 +138,17 @@ pub fn eval_fi_governed(
         }
         stats.rounds += 1;
         stats.observe_facts(out.len());
+        let value_hwm = guard.value_hwm() as u64;
+        trace.emit(|| TraceEvent::RoundEnd {
+            engine: ENGINE.into(),
+            round,
+            delta: added,
+            facts,
+            value_hwm,
+            wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+        });
     }
+    engine_end(ENGINE, &trace, guard.steps(), run_start);
     Ok(out)
 }
 
@@ -167,25 +197,46 @@ pub fn eval_terminal_governed(
     governor: &Governor,
 ) -> Result<InventionOutcome, CalcError> {
     let mut guard = governor.guard(EngineId::Calculus);
+    let trace = governor.trace.clone();
+    let run_start = engine_start(ENGINE, &trace);
     let mut stats = EvalStats::default();
     for n in 0..=cap {
         if let Err(trip) = guard.step() {
             return Err(exhaust(trip, Instance::empty(), n, stats));
         }
+        let round = guard.steps();
+        let round_t0 = trace.enabled().then(Instant::now);
+        trace.emit(|| TraceEvent::RoundStart {
+            engine: ENGINE.into(),
+            round,
+            delta: n as u64,
+        });
         let raw = eval_with_invention(q, db, n, config)?;
         stats.rounds += 1;
         stats.tuples_derived += raw.len() as u64;
         stats.observe_facts(raw.len());
+        let facts = raw.len() as u64;
+        let value_hwm = guard.value_hwm() as u64;
+        trace.emit(|| TraceEvent::RoundEnd {
+            engine: ENGINE.into(),
+            round,
+            delta: 0,
+            facts,
+            value_hwm,
+            wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+        });
         let has_invented = raw
             .iter()
             .any(|v| v.adom().iter().any(|a| Inventor::is_invented(*a)));
         if has_invented {
+            engine_end(ENGINE, &trace, guard.steps(), run_start);
             return Ok(InventionOutcome::Defined {
                 n,
                 answer: strip_invented(&raw),
             });
         }
     }
+    engine_end(ENGINE, &trace, guard.steps(), run_start);
     Ok(InventionOutcome::Undefined)
 }
 

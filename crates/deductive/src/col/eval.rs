@@ -38,6 +38,9 @@
 use crate::col::ast::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm};
 use crate::col::stratify::stratify;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
+use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Resource, Trip};
 use uset_object::{Database, EvalStats, IndexSet, Instance, Value};
 
@@ -479,8 +482,37 @@ fn extend(
     Ok(out)
 }
 
-/// One fact derived by a rule firing, before insertion.
-enum Derived {
+/// Engine label carried by every COL trace event.
+const ENGINE: &str = "col";
+
+/// Canonical rendering of a predicate fact for provenance events and the
+/// `why(fact)` API: `name(row)` for unary predicates (which store bare
+/// objects), `name` followed by the stored tuple otherwise.
+pub fn render_pred_fact(name: &str, row: &Value) -> String {
+    match row {
+        Value::Tuple(_) => format!("{name}{row}"),
+        _ => format!("{name}({row})"),
+    }
+}
+
+/// Canonical rendering of a data-function membership fact
+/// (`elem ∈ func(args…)`).
+pub fn render_func_fact(func: &str, args: &[Value], elem: &Value) -> String {
+    let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+    format!("{elem} ∈ {func}({})", args.join(", "))
+}
+
+/// One fact derived by a rule firing, before insertion. `rule` is the
+/// program index of the firing rule; `parents` carries the instantiated
+/// supporting body facts when the attached tracer wants provenance.
+struct Derived {
+    fact: DerivedFact,
+    rule: usize,
+    parents: Option<Vec<String>>,
+}
+
+/// The fact itself: a predicate row or a data-function membership.
+enum DerivedFact {
     Pred {
         name: String,
         row: Value,
@@ -492,17 +524,69 @@ enum Derived {
     },
 }
 
+/// The instantiated supporting body facts of one firing — the parents of
+/// the head fact the binding derives. Predicate reads and data-function
+/// memberships are stored facts and appear here; plain memberships in a
+/// bound set value and (in)equalities are constraints on already-listed
+/// facts, so they do not.
+fn parent_facts(
+    rule: &ColRule,
+    b: &Bindings,
+    state: &ColState,
+) -> Result<Vec<String>, ColEvalError> {
+    let mut out = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            ColLiteral::Pred {
+                name,
+                args,
+                positive: true,
+            } => {
+                let mut ground: Vec<Value> = args
+                    .iter()
+                    .map(|t| eval_term(t, b, state))
+                    .collect::<Result<_, _>>()?;
+                let row = if ground.len() == 1 {
+                    ground.remove(0)
+                } else {
+                    Value::Tuple(ground)
+                };
+                out.push(render_pred_fact(name, &row));
+            }
+            ColLiteral::Member {
+                elem,
+                set: ColTerm::Apply(f, fargs),
+                positive: true,
+            } => {
+                let e = eval_term(elem, b, state)?;
+                let fa: Vec<Value> = fargs
+                    .iter()
+                    .map(|t| eval_term(t, b, state))
+                    .collect::<Result<_, _>>()?;
+                out.push(render_func_fact(f, &fa, &e));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
 /// Derive all facts of one rule against the state. If `delta` carries a
 /// body position, that literal reads the previous round's delta.
+#[allow(clippy::too_many_arguments)]
 fn fire_rule(
     rule: &ColRule,
+    rule_idx: usize,
     state: &ColState,
     delta: Option<(&ColDelta, usize)>,
     indexes: &mut IndexSet,
     stats: &mut EvalStats,
     out: &mut Vec<Derived>,
+    ctx: &mut RuleFirings,
 ) -> Result<(), ColEvalError> {
     stats.rules_fired += 1;
+    let fire_start = ctx.enabled().then(Instant::now);
+    let before = out.len();
     let mut bindings = vec![Bindings::new()];
     for (i, lit) in rule.body.iter().enumerate() {
         let delta_read = match delta {
@@ -511,12 +595,17 @@ fn fire_rule(
         };
         bindings = extend(lit, bindings, rule, state, delta_read, indexes, stats)?;
         if bindings.is_empty() {
-            return Ok(());
+            break;
         }
     }
     stats.tuples_derived += bindings.len() as u64;
     for b in &bindings {
-        match &rule.head {
+        let parents = if ctx.want_provenance() {
+            Some(parent_facts(rule, b, state)?)
+        } else {
+            None
+        };
+        let fact = match &rule.head {
             ColHead::Pred { name, args } => {
                 let mut ground: Vec<Value> = args
                     .iter()
@@ -527,10 +616,10 @@ fn fire_rule(
                 } else {
                     Value::Tuple(ground)
                 };
-                out.push(Derived::Pred {
+                DerivedFact::Pred {
                     name: name.clone(),
                     row,
-                });
+                }
             }
             ColHead::FuncMember { func, args, elem } => {
                 let ground: Vec<Value> = args
@@ -538,13 +627,25 @@ fn fire_rule(
                     .map(|t| eval_term(t, b, state))
                     .collect::<Result<_, _>>()?;
                 let e = eval_term(elem, b, state)?;
-                out.push(Derived::Func {
+                DerivedFact::Func {
                     func: func.clone(),
                     args: ground,
                     elem: e,
-                });
+                }
             }
-        }
+        };
+        out.push(Derived {
+            fact,
+            rule: rule_idx,
+            parents,
+        });
+    }
+    if let Some(t0) = fire_start {
+        ctx.record(
+            rule_idx,
+            (out.len() - before) as u64,
+            t0.elapsed().as_micros() as u64,
+        );
     }
     Ok(())
 }
@@ -658,8 +759,20 @@ fn classify(rule: &ColRule, run_symbols: &BTreeSet<&str>) -> RuleClass {
 /// strategies produce identical states. The fact budget is enforced at
 /// every insertion; the state never exceeds `max_facts` by more than the
 /// one fact that trips the error.
+/// Total facts carried by a round delta (for `RoundStart` events).
+fn delta_size(d: &ColDelta) -> u64 {
+    let p: u64 = d.preds.values().map(|i| i.len() as u64).sum();
+    let f: u64 = d
+        .funcs
+        .values()
+        .flat_map(|g| g.values())
+        .map(|s| s.len() as u64)
+        .sum();
+    p + f
+}
+
 fn run_engine(
-    rules: &[&ColRule],
+    rules: &[(usize, &ColRule)],
     state: &mut ColState,
     config: &ColConfig,
     strategy: ColStrategy,
@@ -699,10 +812,15 @@ fn run_engine(
     let classes: Vec<RuleClass> = match strategy {
         ColStrategy::Naive => vec![RuleClass::Snapshot; rules.len()],
         ColStrategy::Seminaive => {
-            let run_symbols: BTreeSet<&str> = rules.iter().map(|r| r.head_symbol()).collect();
-            rules.iter().map(|r| classify(r, &run_symbols)).collect()
+            let run_symbols: BTreeSet<&str> = rules.iter().map(|(_, r)| r.head_symbol()).collect();
+            rules
+                .iter()
+                .map(|(_, r)| classify(r, &run_symbols))
+                .collect()
         }
     };
+    let trace = guard.trace().clone();
+    let mut ctx = RuleFirings::new(ENGINE, &trace);
     let mut indexes = IndexSet::new();
     let mut facts = state.total_facts();
     stats.observe_facts(facts);
@@ -716,65 +834,136 @@ fn run_engine(
             return Err(exhaust(trip, state, stats));
         }
         stats.rounds += 1;
+        let round = guard.steps();
+        let round_start = trace.enabled().then(Instant::now);
+        trace.emit(|| TraceEvent::RoundStart {
+            engine: ENGINE.into(),
+            round,
+            delta: delta_size(&delta),
+        });
+        ctx.clear();
         // phase 1: derive from the pre-round state (one cooperative
         // checkpoint per rule, so cancellation lands mid-round)
         let mut derived: Vec<Derived> = Vec::new();
-        for (rule, class) in rules.iter().zip(&classes) {
+        for (&(idx, rule), class) in rules.iter().zip(&classes) {
             if let Err(trip) = guard.check_point() {
                 return Err(exhaust(trip, state, stats));
             }
             match class {
                 RuleClass::Constant => {
                     if first {
-                        fire_rule(rule, state, None, &mut indexes, stats, &mut derived)?;
+                        fire_rule(
+                            rule,
+                            idx,
+                            state,
+                            None,
+                            &mut indexes,
+                            stats,
+                            &mut derived,
+                            &mut ctx,
+                        )?;
                     }
                 }
                 RuleClass::Seminaive(positions) => {
                     if first {
-                        fire_rule(rule, state, None, &mut indexes, stats, &mut derived)?;
+                        fire_rule(
+                            rule,
+                            idx,
+                            state,
+                            None,
+                            &mut indexes,
+                            stats,
+                            &mut derived,
+                            &mut ctx,
+                        )?;
                     } else {
                         for &pos in positions {
                             fire_rule(
                                 rule,
+                                idx,
                                 state,
                                 Some((&delta, pos)),
                                 &mut indexes,
                                 stats,
                                 &mut derived,
+                                &mut ctx,
                             )?;
                         }
                     }
                 }
                 RuleClass::Snapshot => {
-                    fire_rule(rule, state, None, &mut indexes, stats, &mut derived)?;
+                    fire_rule(
+                        rule,
+                        idx,
+                        state,
+                        None,
+                        &mut indexes,
+                        stats,
+                        &mut derived,
+                        &mut ctx,
+                    )?;
                 }
             }
         }
         // phase 2: insert, recording the round's delta (also the rollback
         // log for mid-round exhaustion) and charging the fact budget
         let mut new_delta = ColDelta::default();
+        let mut new_per_rule: BTreeMap<usize, u64> = BTreeMap::new();
         let mut changed = false;
         for d in derived {
-            let charged = match d {
-                Derived::Pred { name, row } => {
+            let Derived {
+                fact,
+                rule,
+                parents,
+            } = d;
+            let charged = match fact {
+                DerivedFact::Pred { name, row } => {
                     if state.insert_pred_row(&name, &row) {
                         indexes.note_insert(&name, &row);
                         changed = true;
                         facts += 1;
                         stats.observe_facts(facts);
                         let charged = guard.add_fact();
+                        if ctx.enabled() {
+                            *new_per_rule.entry(rule).or_default() += 1;
+                        }
+                        if ctx.want_provenance() {
+                            let fact = render_pred_fact(&name, &row);
+                            let parents = parents.unwrap_or_default();
+                            trace.emit(move || TraceEvent::Derivation {
+                                engine: ENGINE.into(),
+                                round,
+                                rule,
+                                fact,
+                                parents,
+                            });
+                        }
                         new_delta.preds.entry(name).or_default().insert(row);
                         charged
                     } else {
                         Ok(())
                     }
                 }
-                Derived::Func { func, args, elem } => {
+                DerivedFact::Func { func, args, elem } => {
                     if state.insert_func_member(&func, &args, &elem) {
                         changed = true;
                         facts += 1;
                         stats.observe_facts(facts);
                         let charged = guard.add_fact();
+                        if ctx.enabled() {
+                            *new_per_rule.entry(rule).or_default() += 1;
+                        }
+                        if ctx.want_provenance() {
+                            let fact = render_func_fact(&func, &args, &elem);
+                            let parents = parents.unwrap_or_default();
+                            trace.emit(move || TraceEvent::Derivation {
+                                engine: ENGINE.into(),
+                                round,
+                                rule,
+                                fact,
+                                parents,
+                            });
+                        }
                         new_delta
                             .funcs
                             .entry(func)
@@ -793,6 +982,14 @@ fn run_engine(
                 return Err(exhaust(trip, state, stats));
             }
         }
+        ctx.emit_round(
+            &trace,
+            round,
+            &new_per_rule,
+            facts as u64,
+            guard.value_hwm() as u64,
+            round_start,
+        );
         delta = new_delta;
         first = false;
         if !changed {
@@ -875,15 +1072,18 @@ pub fn stratified_governed(
     let strata = stratify(prog).map_err(|e| ColEvalError::NotStratifiable(e.cycle_path()))?;
     let max = strata.values().copied().max().unwrap_or(0);
     let mut guard = governor.guard(EngineId::Col);
+    let run_start = engine_start(ENGINE, &governor.trace);
     let mut state = ColState::from_database(db);
     for s in 0..=max {
-        let rules: Vec<&ColRule> = prog
+        let rules: Vec<(usize, &ColRule)> = prog
             .rules
             .iter()
-            .filter(|r| strata[r.head_symbol()] == s)
+            .enumerate()
+            .filter(|(_, r)| strata[r.head_symbol()] == s)
             .collect();
         run_engine(&rules, &mut state, config, strategy, stats, &mut guard)?;
     }
+    engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
     Ok(state)
 }
 
@@ -948,10 +1148,12 @@ pub fn inflationary_governed(
     governor: &Governor,
     stats: &mut EvalStats,
 ) -> Result<ColState, ColEvalError> {
-    let rules: Vec<&ColRule> = prog.rules.iter().collect();
+    let rules: Vec<(usize, &ColRule)> = prog.rules.iter().enumerate().collect();
     let mut guard = governor.guard(EngineId::Col);
+    let run_start = engine_start(ENGINE, &governor.trace);
     let mut state = ColState::from_database(db);
     run_engine(&rules, &mut state, config, strategy, stats, &mut guard)?;
+    engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
     Ok(state)
 }
 

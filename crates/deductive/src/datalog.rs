@@ -15,6 +15,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::time::Instant;
+use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
+use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Trip};
 use uset_object::{ColumnIndex, Database, EvalStats, IndexSet, Instance, Value};
 
@@ -154,6 +157,25 @@ fn dl_exhaust(trip: Trip, state: &mut Database, stats: &EvalStats) -> DlError {
     )))
 }
 
+/// Engine label carried by every DATALOG¬ trace event.
+const ENGINE: &str = "datalog";
+
+/// Canonical fact rendering shared by provenance events and the
+/// `why(fact)` API: predicate name followed by the stored row value.
+pub fn render_fact(pred: &str, row: &Value) -> String {
+    format!("{pred}{row}")
+}
+
+/// One tuple produced by a rule firing, waiting for the round's
+/// deduplicating insertion phase. `parents` carries the instantiated
+/// positive body facts when the attached tracer wants provenance.
+struct DerivedFact {
+    pred: String,
+    row: Value,
+    rule: usize,
+    parents: Option<Vec<String>>,
+}
+
 impl DatalogProgram {
     /// Build from rules.
     pub fn new(rules: Vec<DlRule>) -> DatalogProgram {
@@ -269,15 +291,18 @@ impl DatalogProgram {
         let strata = self.stratify()?;
         let max = strata.values().copied().max().unwrap_or(0);
         let mut guard = governor.guard(EngineId::Datalog);
+        let run_start = engine_start(ENGINE, &governor.trace);
         let mut state = db.clone();
         for s in 0..=max {
-            let rules: Vec<&DlRule> = self
+            let rules: Vec<(usize, &DlRule)> = self
                 .rules
                 .iter()
-                .filter(|r| strata[&r.head.pred] == s)
+                .enumerate()
+                .filter(|(_, r)| strata[&r.head.pred] == s)
                 .collect();
             least_fixpoint(&rules, &mut state, &mut guard, stats)?;
         }
+        engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
         Ok(state)
     }
 
@@ -305,10 +330,12 @@ impl DatalogProgram {
         stats: &mut EvalStats,
     ) -> Result<Database, DlError> {
         self.check_safety()?;
-        let rules: Vec<&DlRule> = self.rules.iter().collect();
+        let rules: Vec<(usize, &DlRule)> = self.rules.iter().enumerate().collect();
         let mut guard = governor.guard(EngineId::Datalog);
+        let run_start = engine_start(ENGINE, &governor.trace);
         let mut state = db.clone();
         least_fixpoint(&rules, &mut state, &mut guard, stats)?;
+        engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
         Ok(state)
     }
 
@@ -344,16 +371,20 @@ impl DatalogProgram {
         let strata = self.stratify()?;
         let max = strata.values().copied().max().unwrap_or(0);
         let mut guard = governor.guard(EngineId::Datalog);
+        let run_start = engine_start(ENGINE, &governor.trace);
         let mut state = db.clone();
         for s in 0..=max {
-            let rules: Vec<&DlRule> = self
+            let rules: Vec<(usize, &DlRule)> = self
                 .rules
                 .iter()
-                .filter(|r| strata[&r.head.pred] == s)
+                .enumerate()
+                .filter(|(_, r)| strata[&r.head.pred] == s)
                 .collect();
-            let recursive: BTreeSet<String> = rules.iter().map(|r| r.head.pred.clone()).collect();
+            let recursive: BTreeSet<String> =
+                rules.iter().map(|(_, r)| r.head.pred.clone()).collect();
             seminaive_fixpoint(&rules, &recursive, &mut state, &mut guard, stats)?;
         }
+        engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
         Ok(state)
     }
 }
@@ -370,14 +401,20 @@ fn db_facts(db: &Database) -> usize {
 
 /// Semi-naive least fixpoint for one stratum: the first round runs naive
 /// to seed the deltas; afterwards each rule fires once per positive
-/// recursive literal bound to the delta.
+/// recursive literal bound to the delta. Rules that read a recursive
+/// predicate through **negation** (only reachable when the caller feeds
+/// this engine an unstratified stratum) never qualify for delta
+/// restriction: their support is not monotone in the delta, so they
+/// re-fire from the full snapshot every round.
 fn seminaive_fixpoint(
-    rules: &[&DlRule],
+    rules: &[(usize, &DlRule)],
     recursive: &BTreeSet<String>,
     state: &mut Database,
     guard: &mut Guard,
     stats: &mut EvalStats,
 ) -> Result<(), DlError> {
+    let trace = guard.trace().clone();
+    let mut ctx = RuleFirings::new(ENGINE, &trace);
     let mut indexes = IndexSet::new();
     let mut facts = db_facts(state);
     stats.observe_facts(facts);
@@ -393,8 +430,16 @@ fn seminaive_fixpoint(
             return Err(dl_exhaust(trip, state, stats));
         }
         stats.rounds += 1;
-        let mut derived: Vec<(String, Value)> = Vec::new();
-        for rule in rules {
+        let round = guard.steps();
+        let round_start = trace.enabled().then(Instant::now);
+        trace.emit(|| TraceEvent::RoundStart {
+            engine: ENGINE.into(),
+            round,
+            delta: delta.values().map(|d| d.len() as u64).sum(),
+        });
+        ctx.clear();
+        let mut derived: Vec<DerivedFact> = Vec::new();
+        for &(idx, rule) in rules {
             // which body positions are positive recursive literals?
             let rec_positions: Vec<usize> = rule
                 .body
@@ -403,33 +448,72 @@ fn seminaive_fixpoint(
                 .filter(|(_, l)| l.positive && recursive.contains(&l.atom.pred))
                 .map(|(i, _)| i)
                 .collect();
-            if first || rec_positions.is_empty() {
+            // a negated recursive literal makes the rule's support
+            // non-monotone: delta-restricted refiring is unsound for it
+            let negates_recursive = rule
+                .body
+                .iter()
+                .any(|l| !l.positive && recursive.contains(&l.atom.pred));
+            if first || rec_positions.is_empty() || negates_recursive {
                 // non-recursive rules have constant support after round 0,
-                // so they only run in the first round
-                if !first && rec_positions.is_empty() {
+                // so they only run in the first round; snapshot-class
+                // rules (negated recursive read) run every round
+                if !first && rec_positions.is_empty() && !negates_recursive {
                     continue;
                 }
-                fire_rule(rule, state, &mut indexes, None, &mut derived, stats)?;
+                fire_rule(
+                    rule,
+                    idx,
+                    state,
+                    &mut indexes,
+                    None,
+                    &mut derived,
+                    stats,
+                    &mut ctx,
+                )?;
             } else {
                 for &pos in &rec_positions {
                     fire_rule(
                         rule,
+                        idx,
                         state,
                         &mut indexes,
                         Some((&delta, pos)),
                         &mut derived,
                         stats,
+                        &mut ctx,
                     )?;
                 }
             }
         }
         let mut new_delta: BTreeMap<String, Instance> = BTreeMap::new();
+        let mut new_per_rule: BTreeMap<usize, u64> = BTreeMap::new();
         let mut changed = false;
-        for (pred, row) in derived {
+        for df in derived {
+            let DerivedFact {
+                pred,
+                row,
+                rule,
+                parents,
+            } = df;
             if state.insert_row(&pred, &row) {
                 indexes.note_insert(&pred, &row);
                 facts += 1;
                 let charged = guard.add_fact();
+                if trace.enabled() {
+                    *new_per_rule.entry(rule).or_default() += 1;
+                }
+                if ctx.want_provenance() {
+                    let fact = render_fact(&pred, &row);
+                    let parents = parents.unwrap_or_default();
+                    trace.emit(move || TraceEvent::Derivation {
+                        engine: ENGINE.into(),
+                        round,
+                        rule,
+                        fact,
+                        parents,
+                    });
+                }
                 new_delta.entry(pred).or_default().insert(row);
                 changed = true;
                 if let Err(trip) = charged {
@@ -445,6 +529,14 @@ fn seminaive_fixpoint(
             }
         }
         stats.observe_facts(facts);
+        ctx.emit_round(
+            &trace,
+            round,
+            &new_per_rule,
+            facts as u64,
+            guard.value_hwm() as u64,
+            round_start,
+        );
         delta = new_delta;
         first = false;
         if !changed {
@@ -453,18 +545,39 @@ fn seminaive_fixpoint(
     }
 }
 
+/// The instantiated positive body facts of one firing — the parents of
+/// every head fact the binding derives.
+fn parent_facts(rule: &DlRule, b: &HashMap<String, Value>) -> Result<Vec<String>, DlError> {
+    let mut out = Vec::new();
+    for lit in rule.body.iter().filter(|l| l.positive) {
+        let row: Vec<Value> = lit
+            .atom
+            .args
+            .iter()
+            .map(|t| instantiate(t, b, &lit.atom.pred))
+            .collect::<Result<_, _>>()?;
+        out.push(render_fact(&lit.atom.pred, &Value::Tuple(row)));
+    }
+    Ok(out)
+}
+
 /// Evaluate one rule; if `delta` carries a body position, that literal is
 /// evaluated directly against the per-predicate delta relation (no scoped
 /// database is materialized) instead of the full state.
+#[allow(clippy::too_many_arguments)]
 fn fire_rule(
     rule: &DlRule,
+    rule_idx: usize,
     state: &Database,
     indexes: &mut IndexSet,
     delta: Option<(&BTreeMap<String, Instance>, usize)>,
-    derived: &mut Vec<(String, Value)>,
+    derived: &mut Vec<DerivedFact>,
     stats: &mut EvalStats,
+    ctx: &mut RuleFirings,
 ) -> Result<(), DlError> {
     stats.rules_fired += 1;
+    let fire_start = ctx.enabled().then(Instant::now);
+    let before = derived.len();
     let empty = Instance::empty();
     let mut bindings = vec![HashMap::new()];
     for (i, lit) in rule.body.iter().enumerate() {
@@ -482,7 +595,7 @@ fn fire_rule(
         };
         bindings = extend_bindings(lit, &bindings, rel, index, stats)?;
         if bindings.is_empty() {
-            return Ok(());
+            break;
         }
     }
     stats.tuples_derived += bindings.len() as u64;
@@ -493,17 +606,36 @@ fn fire_rule(
             .iter()
             .map(|t| instantiate(t, b, &rule.head.pred))
             .collect::<Result<_, _>>()?;
-        derived.push((rule.head.pred.clone(), Value::Tuple(row)));
+        let parents = if ctx.want_provenance() {
+            Some(parent_facts(rule, b)?)
+        } else {
+            None
+        };
+        derived.push(DerivedFact {
+            pred: rule.head.pred.clone(),
+            row: Value::Tuple(row),
+            rule: rule_idx,
+            parents,
+        });
+    }
+    if let Some(t0) = fire_start {
+        ctx.record(
+            rule_idx,
+            (derived.len() - before) as u64,
+            t0.elapsed().as_micros() as u64,
+        );
     }
     Ok(())
 }
 
 fn least_fixpoint(
-    rules: &[&DlRule],
+    rules: &[(usize, &DlRule)],
     state: &mut Database,
     guard: &mut Guard,
     stats: &mut EvalStats,
 ) -> Result<(), DlError> {
+    let trace = guard.trace().clone();
+    let mut ctx = RuleFirings::new(ENGINE, &trace);
     let mut indexes = IndexSet::new();
     let mut facts = db_facts(state);
     stats.observe_facts(facts);
@@ -515,18 +647,56 @@ fn least_fixpoint(
             return Err(dl_exhaust(trip, state, stats));
         }
         stats.rounds += 1;
-        let mut derived: Vec<(String, Value)> = Vec::new();
-        for rule in rules {
-            fire_rule(rule, state, &mut indexes, None, &mut derived, stats)?;
+        let round = guard.steps();
+        let round_start = trace.enabled().then(Instant::now);
+        trace.emit(|| TraceEvent::RoundStart {
+            engine: ENGINE.into(),
+            round,
+            delta: 0,
+        });
+        ctx.clear();
+        let mut derived: Vec<DerivedFact> = Vec::new();
+        for &(idx, rule) in rules {
+            fire_rule(
+                rule,
+                idx,
+                state,
+                &mut indexes,
+                None,
+                &mut derived,
+                stats,
+                &mut ctx,
+            )?;
         }
         let mut changed = false;
         let mut inserted: Vec<(String, Value)> = Vec::new();
-        for (pred, row) in derived {
+        let mut new_per_rule: BTreeMap<usize, u64> = BTreeMap::new();
+        for df in derived {
+            let DerivedFact {
+                pred,
+                row,
+                rule,
+                parents,
+            } = df;
             if state.insert_row(&pred, &row) {
                 indexes.note_insert(&pred, &row);
                 facts += 1;
                 changed = true;
                 let charged = guard.add_fact();
+                if trace.enabled() {
+                    *new_per_rule.entry(rule).or_default() += 1;
+                }
+                if ctx.want_provenance() {
+                    let fact = render_fact(&pred, &row);
+                    let parents = parents.unwrap_or_default();
+                    trace.emit(move || TraceEvent::Derivation {
+                        engine: ENGINE.into(),
+                        round,
+                        rule,
+                        fact,
+                        parents,
+                    });
+                }
                 inserted.push((pred, row));
                 if let Err(trip) = charged {
                     // roll the incomplete round back to the last
@@ -540,6 +710,14 @@ fn least_fixpoint(
             }
         }
         stats.observe_facts(facts);
+        ctx.emit_round(
+            &trace,
+            round,
+            &new_per_rule,
+            facts as u64,
+            guard.value_hwm() as u64,
+            round_start,
+        );
         if !changed {
             return Ok(());
         }

@@ -11,8 +11,22 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use uset_guard::trace::span::{engine_end, engine_start};
+use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor};
 use uset_object::{Atom, EvalStats};
+
+/// Engine label carried by every GTM trace event.
+///
+/// Machine steps are far too fine-grained to trace one-by-one, so
+/// [`Gtm::run_governed`] emits one `RoundEnd` every
+/// [`TRACE_STRIDE`] steps (and none in between): `round` is the
+/// cumulative step count and `facts` is the longer tape's length —
+/// the same quantity the value-size cap governs.
+const ENGINE: &str = "gtm";
+
+/// Machine steps between strided `RoundEnd` trace events.
+const TRACE_STRIDE: u64 = 1024;
 
 /// A concrete tape symbol: a working symbol or a domain element.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -424,6 +438,8 @@ impl Gtm {
         governor: &Governor,
     ) -> Result<RunOutcome, Box<GtmExhausted>> {
         let mut guard = governor.guard(EngineId::Gtm);
+        let trace = governor.trace.clone();
+        let run_start = engine_start(ENGINE, &trace);
         let mut stats = EvalStats::default();
         let mut cfg = self.initial_config(tape1);
         let mut steps: u64 = 0;
@@ -433,6 +449,7 @@ impl Gtm {
                 while out.last() == Some(&TapeSym::blank()) {
                     out.pop();
                 }
+                engine_end(ENGINE, &trace, guard.steps(), run_start);
                 return Ok(RunOutcome::Halted(out));
             }
             stats.observe_facts(cfg.tape1.len().max(cfg.tape2.len()));
@@ -443,6 +460,7 @@ impl Gtm {
                 return Err(Box::new(Exhausted::new(trip, cfg, stats)));
             }
             if !self.step(&mut cfg) {
+                engine_end(ENGINE, &trace, guard.steps(), run_start);
                 return Ok(RunOutcome::Stuck {
                     state: cfg.state,
                     steps,
@@ -450,6 +468,19 @@ impl Gtm {
             }
             steps += 1;
             stats.rounds += 1;
+            if steps.is_multiple_of(TRACE_STRIDE) {
+                let round = guard.steps();
+                let tape = cfg.tape1.len().max(cfg.tape2.len()) as u64;
+                let value_hwm = guard.value_hwm() as u64;
+                trace.emit(|| TraceEvent::RoundEnd {
+                    engine: ENGINE.into(),
+                    round,
+                    delta: TRACE_STRIDE,
+                    facts: tape,
+                    value_hwm,
+                    wall_micros: 0,
+                });
+            }
         }
     }
 

@@ -31,11 +31,22 @@
 //! * [`FailPoint`] — deterministic fault injection: trip an arbitrary
 //!   resource (or cancellation) at the N-th progress tick, so tests can
 //!   exercise mid-round exhaustion and recovery without racing timers.
+//!
+//! The governor also carries the observability layer: a
+//! [`TraceHandle`] (from `uset-trace`, re-exported here as [`trace`])
+//! rides inside every [`Guard`], which is how all five engines receive a
+//! tracer without any entry-point signature changes. The guard itself
+//! emits the final [`trace::TraceEvent::GuardTrip`] event the moment a
+//! budget trips, and tracks the value-size high-water mark engines report
+//! through [`Guard::check_value`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uset_object::EvalStats;
+pub use uset_trace as trace;
+use uset_trace::TraceEvent;
+pub use uset_trace::TraceHandle;
 
 /// Which engine tripped the budget (error provenance).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,17 +65,23 @@ pub enum EngineId {
     Gtm,
 }
 
-impl std::fmt::Display for EngineId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl EngineId {
+    /// Lowercase label, also used as the `engine` field of trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
             EngineId::Algebra => "algebra",
             EngineId::Datalog => "datalog",
             EngineId::Col => "col",
             EngineId::Bk => "bk",
             EngineId::Calculus => "calculus",
             EngineId::Gtm => "gtm",
-        };
-        write!(f, "{s}")
+        }
+    }
+}
+
+impl std::fmt::Display for EngineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -256,6 +273,8 @@ pub struct Governor {
     pub cancel: CancelToken,
     /// Optional deterministic fault injection.
     pub failpoint: Option<FailPoint>,
+    /// Observability sink; the default is disabled (zero-cost).
+    pub trace: TraceHandle,
 }
 
 impl Governor {
@@ -284,6 +303,13 @@ impl Governor {
         self
     }
 
+    /// Attach a trace handle (e.g. [`TraceHandle::from_env`]); every
+    /// engine run governed by this governor reports to it.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Governor {
+        self.trace = trace;
+        self
+    }
+
     /// Derive the per-run meter an engine charges against.
     pub fn guard(&self, engine: EngineId) -> Guard {
         Guard {
@@ -291,9 +317,11 @@ impl Governor {
             budget: self.budget,
             cancel: self.cancel.clone(),
             failpoint: self.failpoint,
+            trace: self.trace.clone(),
             steps: 0,
             facts: 0,
             ticks: 0,
+            value_hwm: 0,
             started: self.budget.max_wall.map(|_| Instant::now()),
         }
     }
@@ -422,9 +450,11 @@ pub struct Guard {
     budget: Budget,
     cancel: CancelToken,
     failpoint: Option<FailPoint>,
+    trace: TraceHandle,
     steps: u64,
     facts: usize,
     ticks: u64,
+    value_hwm: usize,
     started: Option<Instant>,
 }
 
@@ -449,7 +479,28 @@ impl Guard {
         self.engine
     }
 
+    /// The trace handle riding with this guard; engines clone it once per
+    /// run and emit their span events through it.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// The largest value size reported through [`Guard::check_value`] so
+    /// far (0 if none was reported) — the per-run high-water mark trace
+    /// events carry.
+    pub fn value_hwm(&self) -> usize {
+        self.value_hwm
+    }
+
     fn trip(&self, resource: Resource, consumed: u64, limit: u64) -> Trip {
+        // the trip is the last thing a governed run observes, so it is
+        // also the final event of a traced run that exhausts
+        self.trace.emit(|| TraceEvent::GuardTrip {
+            engine: self.engine.as_str().to_owned(),
+            resource: resource.to_string(),
+            consumed,
+            limit,
+        });
         Trip {
             engine: self.engine,
             resource,
@@ -533,6 +584,7 @@ impl Guard {
     /// `floor` lets engines keep a structural minimum cap (e.g. the BK
     /// sub-object enumeration cap) that a looser budget does not raise.
     pub fn check_value(&mut self, size: usize, floor: Option<usize>) -> Result<(), Trip> {
+        self.value_hwm = self.value_hwm.max(size);
         let cap = match (self.budget.max_value_size, floor) {
             (Some(b), Some(f)) => Some(b.min(f)),
             (Some(b), None) => Some(b),
@@ -681,6 +733,54 @@ mod tests {
         assert_eq!(m.max_facts, Some(100));
         assert_eq!(m.max_value_size, Some(7));
         assert_eq!(m.max_wall, None);
+    }
+
+    #[test]
+    fn guard_emits_guard_trip_event_on_any_trip() {
+        let (handle, mem) = TraceHandle::mem();
+        let gov = Governor::new(Budget::unlimited().with_steps(2)).with_trace(handle);
+        let mut g = gov.guard(EngineId::Col);
+        g.step().unwrap();
+        g.step().unwrap();
+        let trip = g.step().unwrap_err();
+        assert_eq!(trip.resource, Resource::Steps);
+        let events = mem.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            TraceEvent::GuardTrip {
+                engine,
+                resource,
+                consumed,
+                limit,
+            } => {
+                assert_eq!(engine, "col");
+                assert_eq!(resource, "steps");
+                assert_eq!(*consumed, 3);
+                assert_eq!(*limit, 2);
+            }
+            other => panic!("expected GuardTrip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_tracks_value_high_water_mark() {
+        let mut g = Guard::unlimited(EngineId::Algebra);
+        assert_eq!(g.value_hwm(), 0);
+        g.check_value(10, None).unwrap();
+        g.check_value(3, None).unwrap();
+        assert_eq!(g.value_hwm(), 10);
+        // the mark records even a tripping check
+        let gov = Governor::new(Budget::unlimited().with_value_size(5));
+        let mut g2 = gov.guard(EngineId::Algebra);
+        assert!(g2.check_value(7, None).is_err());
+        assert_eq!(g2.value_hwm(), 7);
+    }
+
+    #[test]
+    fn ungoverned_guard_trace_is_disabled() {
+        let g = Guard::unlimited(EngineId::Bk);
+        assert!(!g.trace().enabled());
+        assert!(!g.trace().provenance());
     }
 
     #[test]

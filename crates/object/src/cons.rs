@@ -31,7 +31,11 @@ fn cons_type_inner(ty: &Type, atoms: &BTreeSet<Atom>, limit: usize) -> Result<Ve
         Type::Atomic => Ok(atoms.iter().map(|a| Value::Atom(*a)).collect()),
         Type::Set(inner) => {
             let members = cons_type_inner(inner, atoms, limit)?;
-            if members.len() >= usize::BITS as usize || (1usize << members.len()) > limit {
+            // predict 2^n in u128 so the check itself cannot overflow; a
+            // member count ≥ 128 (unshiftable even in u128) is certainly
+            // over any materializable limit
+            let predicted = 1u128.checked_shl(members.len() as u32);
+            if predicted.is_none_or(|p| p > limit as u128) {
                 return Err(ObjectError::BoundExceeded {
                     what: "cons_T powerset",
                     bound: limit,
@@ -65,9 +69,20 @@ fn cons_type_inner(ty: &Type, atoms: &BTreeSet<Atom>, limit: usize) -> Result<Ve
 }
 
 /// All subsets of `members`, as canonical set values.
+///
+/// # Panics
+///
+/// Panics if `members.len() ≥ usize::BITS`: the 2^n subsets could not be
+/// indexed by a machine-word mask, let alone materialized. Callers that
+/// take untrusted sizes should pre-check with [`cons_type_size`] (or go
+/// through [`cons_type`], which bounds the prediction in `u128`).
 pub fn powerset(members: &[Value]) -> Vec<Value> {
     let n = members.len();
-    let mut out = Vec::with_capacity(1 << n);
+    assert!(
+        n < usize::BITS as usize,
+        "powerset of {n} members cannot be enumerated with a word-sized mask"
+    );
+    let mut out = Vec::with_capacity(1usize << n);
     for mask in 0..(1usize << n) {
         let mut s = BTreeSet::new();
         for (i, m) in members.iter().enumerate() {
@@ -103,10 +118,10 @@ pub fn cons_type_size(ty: &Type, atom_count: u64) -> Option<u64> {
         Type::Atomic => Some(atom_count),
         Type::Set(inner) => {
             let n = cons_type_size(inner, atom_count)?;
-            if n >= 63 {
-                return None;
-            }
-            Some(1u64 << n)
+            // 2^n fits in u64 exactly when n ≤ 63; the old `n >= 63` cutoff
+            // wrongly reported the representable 2^63 as an overflow
+            let shift = u32::try_from(n).ok()?;
+            1u64.checked_shl(shift)
         }
         Type::Tuple(items) => {
             let mut total: u64 = 1;
@@ -326,6 +341,41 @@ mod tests {
         assert_eq!(cons_type_size(&Type::nested_set(3), 4), None);
         let err = cons_type(&Type::nested_set(3), &atoms(5), 1 << 20).unwrap_err();
         assert!(matches!(err, ObjectError::BoundExceeded { .. }));
+    }
+
+    #[test]
+    fn cons_size_word_width_boundary() {
+        let ty = Type::Set(Box::new(Type::Atomic));
+        // 2^63 is representable in u64 — the predictor must not reject it
+        assert_eq!(cons_type_size(&ty, 63), Some(1u64 << 63));
+        // 2^64 is not
+        assert_eq!(cons_type_size(&ty, 64), None);
+        assert_eq!(cons_type_size(&ty, u64::MAX), None);
+    }
+
+    #[test]
+    fn cons_powerset_guard_rejects_word_width_without_overflow() {
+        // with 63 or 64 inner members the 1<<n prediction used to overflow
+        // the word-sized shift; it must now fail cleanly even at the
+        // largest possible limit
+        let ty = Type::Set(Box::new(Type::Atomic));
+        // n = 63: 2^63 is a valid word-sized prediction, just over any
+        // sane limit
+        let err = cons_type(&ty, &atoms(63), 1 << 30).unwrap_err();
+        assert!(matches!(err, ObjectError::BoundExceeded { .. }));
+        // n = 64, 65: the word-sized shift itself used to be the hazard;
+        // even limit = usize::MAX must reject (2^64 > usize::MAX)
+        for n in [64, 65] {
+            let err = cons_type(&ty, &atoms(n), usize::MAX).unwrap_err();
+            assert!(matches!(err, ObjectError::BoundExceeded { .. }), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word-sized mask")]
+    fn powerset_panics_at_word_width() {
+        let members: Vec<Value> = (0..64).map(atom).collect();
+        let _ = powerset(&members);
     }
 
     #[test]

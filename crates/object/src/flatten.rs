@@ -245,7 +245,16 @@ fn unflatten_rec(
                 .ok_or_else(|| {
                     ObjectError::MalformedEncoding(format!("bad position {pos_name}"))
                 })?;
-            by_pos.insert(k, *child);
+            // a position may be witnessed by several identical rows, but
+            // two different children for one slot is an ambiguous encoding,
+            // not something to resolve by row order
+            if let Some(prev) = by_pos.insert(k, *child) {
+                if prev != *child {
+                    return Err(ObjectError::MalformedEncoding(format!(
+                        "conflicting children {prev} and {child} at position {k} in node {id}"
+                    )));
+                }
+            }
         }
         let mut items = Vec::with_capacity(by_pos.len());
         for k in 0..by_pos.len() {
@@ -346,6 +355,32 @@ mod tests {
             Value::Atom(id),
         ])]);
         assert!(unflatten(id, &cyc).is_err());
+    }
+
+    #[test]
+    fn unflatten_rejects_ambiguous_tuple_position() {
+        // node 10 is a tuple whose position 0 is claimed by two different
+        // atom children — decoding must refuse rather than pick one
+        let node = Atom::new(10);
+        let (c1, c2) = (Atom::new(11), Atom::new(12));
+        let mut rows = Vec::new();
+        for child in [c1, c2] {
+            rows.push(tuple([
+                Value::Atom(node),
+                Value::Atom(kind_tuple()),
+                Value::Atom(position(0)),
+                Value::Atom(child),
+            ]));
+            rows.push(tuple([
+                Value::Atom(child),
+                Value::Atom(kind_atom()),
+                atom(1),
+                atom(1),
+            ]));
+        }
+        let err = unflatten(node, &Instance::from_values(rows)).unwrap_err();
+        assert!(matches!(err, ObjectError::MalformedEncoding(_)));
+        assert!(err.to_string().contains("position 0"), "{err}");
     }
 
     #[test]

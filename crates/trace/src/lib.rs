@@ -1,0 +1,1073 @@
+//! Structured tracing, metrics, and derivation provenance for the
+//! untyped-sets engines.
+//!
+//! The hyper-exponential fragments of the paper (tsALG's powerset under
+//! `while`, Theorem 2.2; invention levels, Theorems 6.3/6.4) blow up in
+//! ways the aggregate [`EvalStats`]-style counters cannot explain: *which
+//! rule* in *which round* derived the flood of tuples, and *why* is a
+//! particular fact in the fixpoint at all? This crate answers both with a
+//! zero-cost-when-disabled event layer:
+//!
+//! * [`TraceEvent`] — span-style events at engine, round, and rule
+//!   granularity (delta sizes, tuples derived/deduplicated, value-size
+//!   high-water mark, wall time), plus optional per-fact [`TraceEvent::Derivation`]
+//!   provenance records;
+//! * [`Tracer`] — the sink trait, with two shipped implementations:
+//!   [`MemTracer`] (bounded in-memory ring + provenance index + per-rule
+//!   metrics, including the [`MemTracer::why`] derivation-tree API) and
+//!   [`JsonlTracer`] (one flushed JSON object per line, safe to read even
+//!   after a mid-round budget trip);
+//! * [`TraceHandle`] — the cheap clonable handle engines carry. A
+//!   disabled handle is a `None`; every emission site is a closure that
+//!   is never run, so the hot loops pay one branch;
+//! * [`span`] — engine-side bookkeeping (run brackets, per-round
+//!   aggregation of rule firings) so all five engines emit a uniform
+//!   event shape.
+//!
+//! Sinks are selected at runtime via the `USET_TRACE` environment
+//! variable (`json:<path>`, `mem`, or `off`); see [`TraceHandle::from_env`].
+//!
+//! The crate is dependency-free and knows nothing about the engines; the
+//! governance layer (`uset-guard`) re-exports it and carries the handle
+//! inside every `Guard`, which is how all five engines receive it without
+//! any signature changes.
+//!
+//! [`EvalStats`]: https://docs.rs/uset-object
+
+pub mod span;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Default capacity of the [`MemTracer`] event ring.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One structured trace event. All payloads are plain strings and
+/// integers so every sink (and the line-JSON encoding) stays trivial.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An engine run began.
+    EngineStart {
+        /// Engine label (`"algebra"`, `"datalog"`, `"col"`, `"bk"`,
+        /// `"calculus"`, `"gtm"`).
+        engine: String,
+    },
+    /// A fixpoint round (or invention level, or machine-step stride)
+    /// began.
+    RoundStart {
+        /// Engine label.
+        engine: String,
+        /// 1-based round number.
+        round: u64,
+        /// Size of the delta feeding this round (0 when the strategy has
+        /// no delta, e.g. naive evaluation or round 1).
+        delta: u64,
+    },
+    /// One rule finished firing within a round.
+    RuleFired {
+        /// Engine label.
+        engine: String,
+        /// Round the firing belongs to.
+        round: u64,
+        /// Rule index within the program.
+        rule: usize,
+        /// Tuples the firing produced that were new.
+        derived: u64,
+        /// Tuples the firing produced that were already known
+        /// (deduplicated away).
+        deduped: u64,
+        /// Wall time of the firing in microseconds (0 if the engine does
+        /// not time individual firings).
+        wall_micros: u64,
+    },
+    /// A fixpoint round ended.
+    RoundEnd {
+        /// Engine label.
+        engine: String,
+        /// 1-based round number.
+        round: u64,
+        /// New facts this round contributed.
+        delta: u64,
+        /// Total facts in the state after the round.
+        facts: u64,
+        /// Largest value size observed by the guard so far (0 when no
+        /// value was measured).
+        value_hwm: u64,
+        /// Wall time of the round in microseconds.
+        wall_micros: u64,
+    },
+    /// Provenance for one derived fact: the rule and round that produced
+    /// it and the (rendered) parent facts the firing consumed. Only
+    /// emitted when the sink asks for it ([`Tracer::wants_provenance`]).
+    Derivation {
+        /// Engine label.
+        engine: String,
+        /// Round the fact was derived in.
+        round: u64,
+        /// Rule index that derived it.
+        rule: usize,
+        /// The derived fact, rendered.
+        fact: String,
+        /// The instantiated positive body facts the firing consumed.
+        parents: Vec<String>,
+    },
+    /// The resource governor tripped a budget; this is always the last
+    /// event of a governed run that exhausts.
+    GuardTrip {
+        /// Engine label.
+        engine: String,
+        /// The exhausted resource (`"steps"`, `"facts"`, …).
+        resource: String,
+        /// Amount consumed when the trip fired.
+        consumed: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An engine run ended (successfully or after a trip).
+    EngineEnd {
+        /// Engine label.
+        engine: String,
+        /// Rounds completed.
+        rounds: u64,
+        /// Total wall time in microseconds.
+        wall_micros: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The engine label the event belongs to.
+    pub fn engine(&self) -> &str {
+        match self {
+            TraceEvent::EngineStart { engine }
+            | TraceEvent::RoundStart { engine, .. }
+            | TraceEvent::RuleFired { engine, .. }
+            | TraceEvent::RoundEnd { engine, .. }
+            | TraceEvent::Derivation { engine, .. }
+            | TraceEvent::GuardTrip { engine, .. }
+            | TraceEvent::EngineEnd { engine, .. } => engine,
+        }
+    }
+
+    /// The event's kind tag as used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::EngineStart { .. } => "engine_start",
+            TraceEvent::RoundStart { .. } => "round_start",
+            TraceEvent::RuleFired { .. } => "rule_fired",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::Derivation { .. } => "derivation",
+            TraceEvent::GuardTrip { .. } => "guard_trip",
+            TraceEvent::EngineEnd { .. } => "engine_end",
+        }
+    }
+
+    /// Render as a single-line JSON object (the `jsonl` wire format).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"ev\":\"{}\",\"engine\":\"{}\"",
+            self.kind(),
+            json_escape(self.engine())
+        );
+        match self {
+            TraceEvent::EngineStart { .. } => {}
+            TraceEvent::RoundStart { round, delta, .. } => {
+                s.push_str(&format!(",\"round\":{round},\"delta\":{delta}"));
+            }
+            TraceEvent::RuleFired {
+                round,
+                rule,
+                derived,
+                deduped,
+                wall_micros,
+                ..
+            } => {
+                s.push_str(&format!(
+                    ",\"round\":{round},\"rule\":{rule},\"derived\":{derived},\"deduped\":{deduped},\"wall_us\":{wall_micros}"
+                ));
+            }
+            TraceEvent::RoundEnd {
+                round,
+                delta,
+                facts,
+                value_hwm,
+                wall_micros,
+                ..
+            } => {
+                s.push_str(&format!(
+                    ",\"round\":{round},\"delta\":{delta},\"facts\":{facts},\"value_hwm\":{value_hwm},\"wall_us\":{wall_micros}"
+                ));
+            }
+            TraceEvent::Derivation {
+                round,
+                rule,
+                fact,
+                parents,
+                ..
+            } => {
+                let parents: Vec<String> = parents
+                    .iter()
+                    .map(|p| format!("\"{}\"", json_escape(p)))
+                    .collect();
+                s.push_str(&format!(
+                    ",\"round\":{round},\"rule\":{rule},\"fact\":\"{}\",\"parents\":[{}]",
+                    json_escape(fact),
+                    parents.join(",")
+                ));
+            }
+            TraceEvent::GuardTrip {
+                resource,
+                consumed,
+                limit,
+                ..
+            } => {
+                s.push_str(&format!(
+                    ",\"resource\":\"{}\",\"consumed\":{consumed},\"limit\":{limit}",
+                    json_escape(resource)
+                ));
+            }
+            TraceEvent::EngineEnd {
+                rounds,
+                wall_micros,
+                ..
+            } => {
+                s.push_str(&format!(",\"rounds\":{rounds},\"wall_us\":{wall_micros}"));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A trace sink. Implementations must be cheap to call and internally
+/// synchronized — one sink may receive events from several engines.
+pub trait Tracer: Send + Sync + fmt::Debug {
+    /// Receive one event.
+    fn emit(&self, event: &TraceEvent);
+
+    /// Whether the sink wants per-fact [`TraceEvent::Derivation`] events.
+    /// Provenance is the only event class with a per-tuple cost, so
+    /// engines skip building it for sinks that return `false`.
+    fn wants_provenance(&self) -> bool {
+        false
+    }
+
+    /// Downcast hook for the in-memory collector (the only sink with a
+    /// query API). Returns `None` for every other sink.
+    fn as_mem(&self) -> Option<&MemTracer> {
+        None
+    }
+}
+
+/// The handle engines carry: a clonable, optionally-empty reference to a
+/// shared sink. The disabled handle ([`TraceHandle::off`], also the
+/// `Default`) makes every emission site a single never-taken branch.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHandle(Option<Arc<dyn Tracer>>);
+
+impl TraceHandle {
+    /// The disabled handle: no sink, every emission is a no-op.
+    pub fn off() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// A handle delivering to the given sink.
+    pub fn new(sink: Arc<dyn Tracer>) -> TraceHandle {
+        TraceHandle(Some(sink))
+    }
+
+    /// A handle backed by a fresh [`MemTracer`] with the default ring
+    /// capacity; also returns the collector for querying afterwards.
+    pub fn mem() -> (TraceHandle, Arc<MemTracer>) {
+        let mem = Arc::new(MemTracer::default());
+        (TraceHandle(Some(mem.clone())), mem)
+    }
+
+    /// Whether a sink is attached. `#[inline]` so disabled-handle checks
+    /// compile to a null test on the hot paths.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Whether the attached sink wants per-fact provenance events.
+    #[inline]
+    pub fn provenance(&self) -> bool {
+        self.0.as_ref().is_some_and(|t| t.wants_provenance())
+    }
+
+    /// Emit one event. The closure is only invoked when a sink is
+    /// attached, so building the event costs nothing when disabled.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.emit(&build());
+        }
+    }
+
+    /// The in-memory collector behind this handle, if that is the sink.
+    pub fn mem_tracer(&self) -> Option<&MemTracer> {
+        self.0.as_deref().and_then(Tracer::as_mem)
+    }
+
+    /// Build a handle from the `USET_TRACE` environment variable:
+    /// `off` (or unset/empty) disables tracing, `mem` attaches an
+    /// in-memory collector, `json:<path>` attaches a line-JSON writer.
+    /// An unusable spec (unknown word, unwritable path) degrades to the
+    /// disabled handle with a note on stderr — tracing must never turn a
+    /// working run into a failing one.
+    pub fn from_env() -> TraceHandle {
+        match std::env::var("USET_TRACE") {
+            Ok(spec) => match TraceHandle::from_spec(&spec) {
+                Ok(handle) => handle,
+                Err(err) => {
+                    eprintln!("uset-trace: ignoring USET_TRACE={spec:?}: {err}");
+                    TraceHandle::off()
+                }
+            },
+            Err(_) => TraceHandle::off(),
+        }
+    }
+
+    /// Parse a `USET_TRACE`-style spec. See [`TraceHandle::from_env`].
+    pub fn from_spec(spec: &str) -> Result<TraceHandle, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "off" || spec == "0" {
+            return Ok(TraceHandle::off());
+        }
+        if spec == "mem" {
+            return Ok(TraceHandle::mem().0);
+        }
+        if let Some(path) = spec.strip_prefix("json:") {
+            if path.is_empty() {
+                return Err("json sink needs a path (USET_TRACE=json:/tmp/t.jsonl)".into());
+            }
+            let sink = JsonlTracer::create(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            return Ok(TraceHandle::new(Arc::new(sink)));
+        }
+        Err(format!(
+            "unknown trace spec {spec:?} (expected off | mem | json:<path>)"
+        ))
+    }
+}
+
+/// Per-rule aggregate metrics collected by [`MemTracer`] from
+/// [`TraceEvent::RuleFired`] events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Number of firings.
+    pub firings: u64,
+    /// New tuples derived across all firings.
+    pub derived: u64,
+    /// Already-known tuples deduplicated across all firings.
+    pub deduped: u64,
+    /// Total firing wall time in microseconds (0 when the engine does
+    /// not time firings).
+    pub wall_micros: u64,
+}
+
+/// One node of a derivation tree reconstructed by [`MemTracer::why`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivationTree {
+    /// The fact, rendered.
+    pub fact: String,
+    /// The rule that derived it; `None` for input facts (leaves with no
+    /// recorded derivation).
+    pub rule: Option<usize>,
+    /// The round it was derived in (0 for input facts).
+    pub round: u64,
+    /// Sub-derivations of the parent facts.
+    pub premises: Vec<DerivationTree>,
+}
+
+impl DerivationTree {
+    /// True iff this node is an input fact (no recorded derivation).
+    pub fn is_input(&self) -> bool {
+        self.rule.is_none()
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        1 + self.premises.iter().map(DerivationTree::len).sum::<usize>()
+    }
+
+    /// Always false — a tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let indent = "  ".repeat(depth);
+        match self.rule {
+            Some(rule) => writeln!(
+                f,
+                "{indent}{}  ← rule {rule} @ round {}",
+                self.fact, self.round
+            )?,
+            None => writeln!(f, "{indent}{}  (input)", self.fact)?,
+        }
+        for p in &self.premises {
+            p.render(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DerivationTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ProvRecord {
+    rule: usize,
+    round: u64,
+    parents: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    prov: BTreeMap<String, ProvRecord>,
+    rules: BTreeMap<(String, usize), RuleStats>,
+}
+
+/// The in-memory collector: a bounded ring of recent events, a
+/// first-derivation provenance index powering [`MemTracer::why`], and
+/// per-rule aggregate metrics powering [`MemTracer::report`].
+#[derive(Debug)]
+pub struct MemTracer {
+    cap: usize,
+    inner: Mutex<MemInner>,
+}
+
+impl Default for MemTracer {
+    fn default() -> Self {
+        MemTracer::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl MemTracer {
+    /// A collector whose event ring keeps at most `cap` recent events
+    /// (older events are dropped and counted; provenance and rule metrics
+    /// are aggregates and never dropped).
+    pub fn with_capacity(cap: usize) -> MemTracer {
+        MemTracer {
+            cap: cap.max(1),
+            inner: Mutex::new(MemInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
+        // a poisoned collector only means a panicking engine mid-emit;
+        // the data is still the best available evidence
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Aggregate metrics per `(engine, rule)` pair.
+    pub fn rule_stats(&self) -> BTreeMap<(String, usize), RuleStats> {
+        self.lock().rules.clone()
+    }
+
+    /// Reconstruct the derivation tree of a (rendered) fact from the
+    /// provenance index. Facts without a recorded derivation — input
+    /// facts, or facts derived while provenance was off — come back as
+    /// input leaves. A fact reached twice along one path (impossible for
+    /// the round-based engines, whose parents always precede their
+    /// children, but cheap to guard) is cut off as an input leaf.
+    pub fn why(&self, fact: &str) -> DerivationTree {
+        let inner = self.lock();
+        let mut path = BTreeSet::new();
+        why_rec(&inner.prov, fact, &mut path)
+    }
+
+    /// Whether any derivation was recorded for the fact.
+    pub fn has_derivation(&self, fact: &str) -> bool {
+        self.lock().prov.contains_key(fact)
+    }
+
+    /// Render the per-rule summary table: one line per `(engine, rule)`
+    /// with firings, tuples derived/deduplicated, and firing wall time.
+    pub fn report(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("engine    rule  firings   derived   deduped   wall_us\n");
+        for ((engine, rule), st) in &inner.rules {
+            out.push_str(&format!(
+                "{engine:<9} {rule:>4}  {:>7}   {:>7}   {:>7}   {:>7}\n",
+                st.firings, st.derived, st.deduped, st.wall_micros
+            ));
+        }
+        if inner.rules.is_empty() {
+            out.push_str("(no rule firings recorded)\n");
+        }
+        out
+    }
+}
+
+fn why_rec(
+    prov: &BTreeMap<String, ProvRecord>,
+    fact: &str,
+    path: &mut BTreeSet<String>,
+) -> DerivationTree {
+    match prov.get(fact) {
+        Some(rec) if !path.contains(fact) => {
+            path.insert(fact.to_owned());
+            let premises = rec.parents.iter().map(|p| why_rec(prov, p, path)).collect();
+            path.remove(fact);
+            DerivationTree {
+                fact: fact.to_owned(),
+                rule: Some(rec.rule),
+                round: rec.round,
+                premises,
+            }
+        }
+        _ => DerivationTree {
+            fact: fact.to_owned(),
+            rule: None,
+            round: 0,
+            premises: Vec::new(),
+        },
+    }
+}
+
+impl Tracer for MemTracer {
+    fn emit(&self, event: &TraceEvent) {
+        let mut inner = self.lock();
+        match event {
+            TraceEvent::RuleFired {
+                engine,
+                rule,
+                derived,
+                deduped,
+                wall_micros,
+                ..
+            } => {
+                let st = inner.rules.entry((engine.clone(), *rule)).or_default();
+                st.firings += 1;
+                st.derived += derived;
+                st.deduped += deduped;
+                st.wall_micros += wall_micros;
+            }
+            TraceEvent::Derivation {
+                round,
+                rule,
+                fact,
+                parents,
+                ..
+            } => {
+                // first derivation wins: engines emit one record per
+                // newly inserted fact, so a second record for the same
+                // fact is a re-derivation and not the canonical proof
+                inner.prov.entry(fact.clone()).or_insert(ProvRecord {
+                    rule: *rule,
+                    round: *round,
+                    parents: parents.clone(),
+                });
+            }
+            _ => {}
+        }
+        if inner.events.len() == self.cap {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event.clone());
+    }
+
+    fn wants_provenance(&self) -> bool {
+        true
+    }
+
+    fn as_mem(&self) -> Option<&MemTracer> {
+        Some(self)
+    }
+}
+
+/// The line-JSON sink: every event becomes one JSON object on its own
+/// line, written and flushed atomically under a lock — a consumer never
+/// sees a truncated line, even when the run is killed by a budget trip
+/// right after the event.
+#[derive(Debug)]
+pub struct JsonlTracer {
+    file: Mutex<File>,
+    provenance: bool,
+}
+
+impl JsonlTracer {
+    /// Create (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlTracer> {
+        Ok(JsonlTracer {
+            file: Mutex::new(File::create(path)?),
+            provenance: false,
+        })
+    }
+
+    /// Also write per-fact [`TraceEvent::Derivation`] events (off by
+    /// default — they are the only per-tuple event class).
+    pub fn with_provenance(mut self, on: bool) -> JsonlTracer {
+        self.provenance = on;
+        self
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn emit(&self, event: &TraceEvent) {
+        let line = event.to_json();
+        if let Ok(mut f) = self.file.lock() {
+            // one write_all per line keeps lines whole; flush is cheap on
+            // an unbuffered File and future-proofs a buffered swap
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+    }
+
+    fn wants_provenance(&self) -> bool {
+        self.provenance
+    }
+}
+
+/// Validate that `s` is one complete JSON value — a dependency-free
+/// checker for trace consumers and tests asserting that every `jsonl`
+/// line is well formed.
+pub fn is_valid_json(s: &str) -> bool {
+    let mut p = JsonParser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    if !p.value() {
+        return false;
+    }
+    p.skip_ws();
+    p.i == p.b.len()
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> bool {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        self.i += 1; // '{'
+        self.skip_ws();
+        if self.eat(b'}') {
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.string() {
+                return false;
+            }
+            self.skip_ws();
+            if !self.eat(b':') || !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b'}') {
+                return true;
+            }
+            if !self.eat(b',') {
+                return false;
+            }
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        self.i += 1; // '['
+        self.skip_ws();
+        if self.eat(b']') {
+            return true;
+        }
+        loop {
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b']') {
+                return true;
+            }
+            if !self.eat(b',') {
+                return false;
+            }
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return true,
+                b'\\' => {
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                if !matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                                    return false;
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return false,
+                    };
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) -> bool {
+        self.eat(b'-');
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return false;
+        }
+        if self.eat(b'.') {
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return false;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_rule(engine: &str, round: u64, rule: usize, derived: u64, deduped: u64) -> TraceEvent {
+        TraceEvent::RuleFired {
+            engine: engine.into(),
+            round,
+            rule,
+            derived,
+            deduped,
+            wall_micros: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_builds_events() {
+        let handle = TraceHandle::off();
+        assert!(!handle.enabled());
+        assert!(!handle.provenance());
+        handle.emit(|| unreachable!("closure must not run on a disabled handle"));
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert!(!TraceHandle::from_spec("").unwrap().enabled());
+        assert!(!TraceHandle::from_spec("off").unwrap().enabled());
+        assert!(!TraceHandle::from_spec("0").unwrap().enabled());
+        let mem = TraceHandle::from_spec("mem").unwrap();
+        assert!(mem.enabled() && mem.provenance());
+        assert!(mem.mem_tracer().is_some());
+        assert!(TraceHandle::from_spec("json:").is_err());
+        assert!(TraceHandle::from_spec("nonsense").is_err());
+        let path = std::env::temp_dir().join("uset-trace-spec-test.jsonl");
+        let json = TraceHandle::from_spec(&format!("json:{}", path.display())).unwrap();
+        assert!(json.enabled() && !json.provenance());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_ring_caps_and_counts_drops() {
+        let mem = MemTracer::with_capacity(3);
+        for i in 0..5 {
+            mem.emit(&TraceEvent::RoundStart {
+                engine: "col".into(),
+                round: i,
+                delta: 0,
+            });
+        }
+        let events = mem.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(mem.dropped(), 2);
+        assert!(matches!(events[0], TraceEvent::RoundStart { round: 2, .. }));
+    }
+
+    #[test]
+    fn rule_stats_aggregate_across_firings() {
+        let mem = MemTracer::default();
+        mem.emit(&ev_rule("col", 1, 0, 5, 1));
+        mem.emit(&ev_rule("col", 2, 0, 3, 4));
+        mem.emit(&ev_rule("datalog", 1, 1, 7, 0));
+        let stats = mem.rule_stats();
+        let col0 = stats[&("col".to_owned(), 0)];
+        assert_eq!(col0.firings, 2);
+        assert_eq!(col0.derived, 8);
+        assert_eq!(col0.deduped, 5);
+        let report = mem.report();
+        assert!(report.contains("col"));
+        assert!(report.contains("datalog"));
+    }
+
+    #[test]
+    fn why_reconstructs_a_tree_with_input_leaves() {
+        let mem = MemTracer::default();
+        mem.emit(&TraceEvent::Derivation {
+            engine: "datalog".into(),
+            round: 2,
+            rule: 1,
+            fact: "T(0,2)".into(),
+            parents: vec!["E(0,1)".into(), "T(1,2)".into()],
+        });
+        mem.emit(&TraceEvent::Derivation {
+            engine: "datalog".into(),
+            round: 1,
+            rule: 0,
+            fact: "T(1,2)".into(),
+            parents: vec!["E(1,2)".into()],
+        });
+        let tree = mem.why("T(0,2)");
+        assert_eq!(tree.rule, Some(1));
+        assert_eq!(tree.round, 2);
+        assert_eq!(tree.premises.len(), 2);
+        assert!(tree.premises[0].is_input());
+        assert_eq!(tree.premises[1].rule, Some(0));
+        assert_eq!(tree.premises[1].premises.len(), 1);
+        assert_eq!(tree.len(), 4);
+        let rendered = tree.to_string();
+        assert!(rendered.contains("rule 1 @ round 2"));
+        assert!(rendered.contains("(input)"));
+        // unknown facts come back as input leaves, never panic
+        assert!(mem.why("nothing").is_input());
+    }
+
+    #[test]
+    fn why_survives_a_provenance_cycle() {
+        let mem = MemTracer::default();
+        mem.emit(&TraceEvent::Derivation {
+            engine: "col".into(),
+            round: 1,
+            rule: 0,
+            fact: "a".into(),
+            parents: vec!["b".into()],
+        });
+        mem.emit(&TraceEvent::Derivation {
+            engine: "col".into(),
+            round: 1,
+            rule: 0,
+            fact: "b".into(),
+            parents: vec!["a".into()],
+        });
+        let tree = mem.why("a");
+        // the cycle is cut: b's parent "a" becomes an input leaf
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    fn first_derivation_wins() {
+        let mem = MemTracer::default();
+        mem.emit(&TraceEvent::Derivation {
+            engine: "col".into(),
+            round: 1,
+            rule: 0,
+            fact: "f".into(),
+            parents: vec![],
+        });
+        mem.emit(&TraceEvent::Derivation {
+            engine: "col".into(),
+            round: 5,
+            rule: 3,
+            fact: "f".into(),
+            parents: vec!["g".into()],
+        });
+        let tree = mem.why("f");
+        assert_eq!(tree.rule, Some(0));
+        assert_eq!(tree.round, 1);
+    }
+
+    #[test]
+    fn every_event_kind_serializes_to_valid_json() {
+        let events = [
+            TraceEvent::EngineStart {
+                engine: "col".into(),
+            },
+            TraceEvent::RoundStart {
+                engine: "col".into(),
+                round: 1,
+                delta: 4,
+            },
+            ev_rule("col", 1, 0, 9, 2),
+            TraceEvent::RoundEnd {
+                engine: "col".into(),
+                round: 1,
+                delta: 9,
+                facts: 13,
+                value_hwm: 3,
+                wall_micros: 42,
+            },
+            TraceEvent::Derivation {
+                engine: "bk".into(),
+                round: 1,
+                rule: 0,
+                fact: "weird \"fact\"\nwith newline".into(),
+                parents: vec!["p\\1".into(), "p2".into()],
+            },
+            TraceEvent::GuardTrip {
+                engine: "gtm".into(),
+                resource: "steps".into(),
+                consumed: 100,
+                limit: 100,
+            },
+            TraceEvent::EngineEnd {
+                engine: "algebra".into(),
+                rounds: 7,
+                wall_micros: 1000,
+            },
+        ];
+        for ev in &events {
+            let line = ev.to_json();
+            assert!(is_valid_json(&line), "invalid JSON: {line}");
+            assert!(line.contains(&format!("\"ev\":\"{}\"", ev.kind())));
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_valid_line_per_event() {
+        let path = std::env::temp_dir().join("uset-trace-jsonl-test.jsonl");
+        let sink = JsonlTracer::create(&path).unwrap().with_provenance(true);
+        assert!(sink.wants_provenance());
+        sink.emit(&TraceEvent::EngineStart {
+            engine: "col".into(),
+        });
+        sink.emit(&ev_rule("col", 1, 0, 2, 0));
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(is_valid_json(line), "invalid JSON line: {line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "{\"a\":1,\"b\":[true,false,null],\"c\":\"x\\n\"}",
+            "-1.5e+10",
+            "\"\\u00e9\"",
+        ] {
+            assert!(is_valid_json(ok), "should accept {ok}");
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1} trailing",
+            "nul",
+        ] {
+            assert!(!is_valid_json(bad), "should reject {bad}");
+        }
+    }
+}

@@ -4,6 +4,9 @@
 //!
 //! ```sh
 //! cargo run --example transitive_closure
+//! # with a structured trace of every engine's rounds and rule firings:
+//! USET_TRACE=json:/tmp/tc.jsonl cargo run --example transitive_closure
+//! USET_TRACE=mem cargo run --example transitive_closure   # prints a report
 //! ```
 
 use untyped_sets::algebra::derived::{tc_powerset_program, tc_while_program};
@@ -14,6 +17,7 @@ use untyped_sets::deductive::col::eval::{
 };
 use untyped_sets::guard::{Budget, Governor};
 use untyped_sets::object::{atom, Database, EvalStats, Instance};
+use untyped_sets::trace::TraceHandle;
 
 /// Exit cleanly with the structured exhaustion report when an env budget
 /// (`USET_MAX_*`) trips — the CI tiny-budget smoke job asserts this path.
@@ -22,8 +26,8 @@ fn governed_exit(report: impl std::fmt::Display) -> ! {
     std::process::exit(0)
 }
 
-fn eval_alg(prog: &Program, db: &Database, cfg: &EvalConfig) -> Instance {
-    let governor = Governor::new(Budget::from_env().min(cfg.budget()));
+fn eval_alg(prog: &Program, db: &Database, cfg: &EvalConfig, trace: &TraceHandle) -> Instance {
+    let governor = Governor::new(Budget::from_env().min(cfg.budget())).with_trace(trace.clone());
     match eval_program_governed(prog, db, &governor) {
         Ok(out) => out,
         Err(EvalError::Exhausted(report)) => governed_exit(report),
@@ -32,6 +36,8 @@ fn eval_alg(prog: &Program, db: &Database, cfg: &EvalConfig) -> Instance {
 }
 
 fn main() {
+    // one shared sink for all three engines: USET_TRACE=off|mem|json:<path>
+    let trace = TraceHandle::from_env();
     // a path 0 → 1 → 2 plus a side edge
     let mut db = Database::empty();
     db.set(
@@ -43,7 +49,7 @@ fn main() {
     // 1. ALG+while (powerset-free, the Theorem 4.1(b) fragment)
     let while_prog = tc_while_program("R");
     assert!(while_prog.is_powerset_free() && while_prog.is_unnested_while());
-    let via_while = eval_alg(&while_prog, &db, &EvalConfig::default());
+    let via_while = eval_alg(&while_prog, &db, &EvalConfig::default(), &trace);
     println!("TC via while:    {via_while}");
 
     // 2. powerset algebra, while-free: TC = the intersection of all
@@ -58,6 +64,7 @@ fn main() {
             fuel: 1_000_000,
             max_instance_len: 10_000_000,
         },
+        &trace,
     );
     println!("TC via powerset: {via_powerset}");
 
@@ -79,7 +86,8 @@ fn main() {
         ),
     ]);
     let col_cfg = ColConfig::default();
-    let governor = Governor::new(Budget::from_env().min(col_cfg.budget()));
+    let governor =
+        Governor::new(Budget::from_env().min(col_cfg.budget())).with_trace(trace.clone());
     let via_col = match stratified_governed(
         &col,
         &db,
@@ -97,4 +105,9 @@ fn main() {
     assert_eq!(via_while, via_powerset);
     assert_eq!(via_while, via_col);
     println!("all three agree — the Theorem 2.1/4.1 equivalences, live");
+
+    if let Some(mem) = trace.mem_tracer() {
+        println!("\n--- trace report (USET_TRACE=mem) ---");
+        print!("{}", mem.report());
+    }
 }

@@ -21,6 +21,9 @@
 //!   derived lints behind the `uset-lint` binary.
 //! * [`guard`] — the unified resource-governance layer ([`guard::Budget`],
 //!   [`guard::CancelToken`], [`guard::Exhausted`]) shared by every engine.
+//! * [`trace`] — structured tracing, per-rule metrics, and derivation
+//!   provenance ([`trace::TraceHandle`], [`trace::MemTracer::why`]),
+//!   carried into every engine by the governor.
 
 pub use uset_algebra as algebra;
 pub use uset_analysis as analysis;
@@ -31,6 +34,7 @@ pub use uset_deductive as deductive;
 pub use uset_gtm as gtm;
 pub use uset_guard as guard;
 pub use uset_object as object;
+pub use uset_trace as trace;
 
 /// Crate version, for examples that print provenance.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

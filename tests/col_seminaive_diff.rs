@@ -126,6 +126,38 @@ fn win_prog() -> ColProgram {
     )])
 }
 
+/// Rules whose bodies read the same recursive predicate **both positively
+/// and negatively** — the delta-classification hazard from the semi-naive
+/// audit. The positive `T` occurrence makes each rule look delta-drivable,
+/// but as `T` grows the negative `T` occurrence *invalidates* bindings that
+/// an old delta already fired on, so the engine must re-fire the rule from
+/// a full snapshot rather than from deltas alone.
+fn pos_neg_same_pred_prog() -> ColProgram {
+    let v = ColTerm::var;
+    let mut rules = tc_prog().rules;
+    // one-way reachability: T(x,y) holds but not T(y,x)
+    rules.push(ColRule::pred(
+        "A",
+        vec![v("x"), v("y")],
+        vec![
+            ColLiteral::pred("T", vec![v("x"), v("y")]),
+            ColLiteral::not_pred("T", vec![v("y"), v("x")]),
+        ],
+    ));
+    // and its transitive extension, recursing through A while still
+    // reading T with both signs
+    rules.push(ColRule::pred(
+        "A",
+        vec![v("x"), v("z")],
+        vec![
+            ColLiteral::pred("A", vec![v("x"), v("y")]),
+            ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ColLiteral::not_pred("T", vec![v("z"), v("y")]),
+        ],
+    ));
+    ColProgram::new(rules)
+}
+
 fn both_semantics_agree(prog: &ColProgram, db: &Database) -> Result<(), TestCaseError> {
     let cfg = ColConfig::default();
     let naive = stratified_with(
@@ -193,6 +225,16 @@ proptest! {
         let mut db = db;
         db.set("Seed", Instance::from_values(seeds.into_iter().map(a)));
         both_semantics_agree(&function_prog(), &db)?;
+    }
+
+    /// Rules reading the same recursive predicate positively *and*
+    /// negatively in one body: under inflationary semantics every rule
+    /// shares one run with `T`, so the semi-naive engine may not treat
+    /// these rules as delta-drivable — snapshot re-firing must keep it
+    /// identical to naive (and stratified evaluation must agree too).
+    #[test]
+    fn seminaive_matches_naive_with_pos_and_neg_of_same_pred(db in arb_graph()) {
+        both_semantics_agree(&pos_neg_same_pred_prog(), &db)?;
     }
 
     /// The unstratifiable win-move rule under inflationary semantics: the

@@ -315,3 +315,52 @@ proptest! {
         }
     }
 }
+
+/// Governance × tracing: a budget trip mid-run must leave a well-formed
+/// JSONL trace — every line individually valid JSON, flushed through the
+/// final `guard_trip` event — so a post-mortem can always be read off the
+/// file even though the run died. (The `JsonlTracer` flushes per event
+/// precisely for this.)
+#[test]
+fn budget_trip_mid_round_flushes_well_formed_trace() {
+    use untyped_sets::trace::{is_valid_json, JsonlTracer, TraceHandle};
+
+    let path = std::env::temp_dir().join(format!("uset-trip-trace-{}.jsonl", std::process::id()));
+    {
+        let sink = JsonlTracer::create(&path).expect("create trace file");
+        let governor = Governor::new(Budget::unlimited().with_steps(3))
+            .with_trace(TraceHandle::new(std::sync::Arc::new(sink)));
+        let cfg = ColConfig::default();
+        let mut stats = EvalStats::default();
+        let err = stratified_governed(
+            &col_tc(),
+            &path_db(64),
+            &cfg,
+            ColStrategy::Seminaive,
+            &governor,
+            &mut stats,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ColEvalError::Exhausted(_)));
+    }
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "trip must not leave an empty trace");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(is_valid_json(line), "line {i} is not valid JSON: {line}");
+    }
+    // the run started, did some rounds, and ended with the trip — never an
+    // engine_end (that marks success)
+    assert!(lines[0].contains("\"ev\":\"engine_start\""));
+    assert!(lines.iter().any(|l| l.contains("\"ev\":\"round_end\"")));
+    let last = lines.last().unwrap();
+    assert!(
+        last.contains("\"ev\":\"guard_trip\"") && last.contains("\"resource\":\"steps\""),
+        "final event must be the trip: {last}"
+    );
+    assert!(
+        !text.contains("\"ev\":\"engine_end\""),
+        "an exhausted run must not claim an orderly engine end"
+    );
+}
