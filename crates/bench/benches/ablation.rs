@@ -13,7 +13,11 @@
 //!   keeps the GTM simulation polynomial;
 //! * guard overhead — the same COL semi-naive fixpoint under an unlimited
 //!   governor vs a fully budgeted one (steps + facts + value size + wall
-//!   deadline); the governance layer must cost <5% on the hot loop.
+//!   deadline); the governance layer must cost <5% on the hot loop;
+//! * parallel speedup — the identical fixpoint at 1 vs N workers
+//!   (`uset-par` round fan-out); states and `EvalStats` work counts are
+//!   asserted bit-identical across widths before timing, so the only
+//!   thing the width may move is wall-clock.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -241,6 +245,154 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// A set-heavy COL program: TC plus reachability *sets* built by a
+/// data-function membership head, plus tuples materializing those sets as
+/// values. Each round's phase 1 is dominated by set-valued work — the COL
+/// analogue of the powerset stress, kept finite by the path topology.
+fn setheavy_col() -> ColProgram {
+    let v = ColTerm::var;
+    let mut rules = tc_col().rules;
+    rules.push(ColRule::func_member(
+        "F",
+        vec![v("x")],
+        v("y"),
+        vec![ColLiteral::pred("T", vec![v("x"), v("y")])],
+    ));
+    rules.push(ColRule::pred(
+        "P",
+        vec![ColTerm::Tuple(vec![
+            v("x"),
+            ColTerm::Apply("F".into(), vec![v("x")]),
+        ])],
+        vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+    ));
+    ColProgram::new(rules)
+}
+
+/// Parallel fixpoint ablation: wall-clock at widths 1/2/4/8 over
+/// *verified-identical* work (the one-off asserts below fail the whole
+/// bench if any width changes the final state or the `EvalStats`
+/// counters). Interpreting the numbers requires the printed core count:
+/// speedup is bounded by `min(workers, cores)` and by how fat each
+/// round's delta is — path graphs maximize round *count* (good for the
+/// parity check) at the cost of per-round width, so on few-core hosts
+/// the per-round fan-out cost can fully absorb the gain.
+fn bench_par_speedup(c: &mut Criterion) {
+    use uset_par::ParConfig;
+    let mut group = c.benchmark_group("ablation/par_speedup");
+    group.sample_size(10);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("par_speedup host parallelism: {cores} core(s)");
+
+    // path-256 transitive closure, DATALOG¬ semi-naive rounds
+    let prog = tc_datalog();
+    let mut db = Database::empty();
+    db.set(
+        "E",
+        Instance::from_rows((0..255u64).map(|i| [atom(i), atom(i + 1)])),
+    );
+    // one-off: widths must not change the state or the work counters —
+    // the bench compares wall-clock for *identical* work
+    let mut seq_stats = EvalStats::default();
+    let seq = prog
+        .eval_stratified_seminaive_governed(&db, &Governor::unlimited(), &mut seq_stats)
+        .unwrap();
+    for verify_width in [2usize, 4] {
+        let gov = Governor::unlimited().with_par(ParConfig::workers(verify_width));
+        let mut stats = EvalStats::default();
+        let par = prog
+            .eval_stratified_seminaive_governed(&db, &gov, &mut stats)
+            .unwrap();
+        assert_eq!(par, seq, "state differs at width {verify_width}");
+        assert_eq!(
+            stats, seq_stats,
+            "work counters differ at width {verify_width}"
+        );
+    }
+    println!("datalog tc path-256 work (any width): {seq_stats}");
+    for workers in [1usize, 2, 4, 8] {
+        let governor = Governor::unlimited().with_par(ParConfig::workers(workers));
+        group.bench_with_input(
+            BenchmarkId::new("datalog_tc_path256", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        prog.eval_stratified_seminaive_governed(
+                            &db,
+                            &governor,
+                            &mut EvalStats::default(),
+                        )
+                        .unwrap()
+                        .get("T")
+                        .len(),
+                    )
+                })
+            },
+        );
+    }
+
+    // set-heavy COL fixpoint (reachability sets via data functions)
+    let col_prog = setheavy_col();
+    let col_cfg = ColConfig::default();
+    let mut db = Database::empty();
+    db.set(
+        "E",
+        Instance::from_rows((0..95u64).map(|i| [atom(i), atom(i + 1)])),
+    );
+    let mut seq_stats = EvalStats::default();
+    let seq = stratified_governed(
+        &col_prog,
+        &db,
+        &col_cfg,
+        ColStrategy::Seminaive,
+        &Governor::unlimited(),
+        &mut seq_stats,
+    )
+    .unwrap();
+    {
+        let gov = Governor::unlimited().with_par(ParConfig::workers(4));
+        let mut stats = EvalStats::default();
+        let par = stratified_governed(
+            &col_prog,
+            &db,
+            &col_cfg,
+            ColStrategy::Seminaive,
+            &gov,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(par, seq, "col state differs at width 4");
+        assert_eq!(stats, seq_stats, "col work counters differ at width 4");
+    }
+    println!("col set-heavy path-96 work (any width): {seq_stats}");
+    for workers in [1usize, 2, 4, 8] {
+        let governor = Governor::unlimited().with_par(ParConfig::workers(workers));
+        group.bench_with_input(
+            BenchmarkId::new("col_setheavy_path96", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        stratified_governed(
+                            &col_prog,
+                            &db,
+                            &col_cfg,
+                            ColStrategy::Seminaive,
+                            &governor,
+                            &mut EvalStats::default(),
+                        )
+                        .unwrap()
+                        .pred("T")
+                        .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_optimizer_on_compiled_program(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/optimizer");
     group.sample_size(10);
@@ -306,6 +458,7 @@ criterion_group!(
     bench_col_naive_vs_seminaive,
     bench_guard_overhead,
     bench_trace_overhead,
+    bench_par_speedup,
     bench_optimizer_on_compiled_program,
     bench_chain_representations,
     bench_while_flattening_overhead

@@ -28,8 +28,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
 use uset_guard::trace::TraceEvent;
-use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Resource, Trip};
+use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, ParBrake, Resource, Trip};
 use uset_object::EvalStats;
+use uset_par::par_map;
 
 /// Engine label carried by every BK trace event.
 const ENGINE: &str = "bk";
@@ -145,14 +146,78 @@ pub struct Derivation {
 
 type Bindings = BTreeMap<String, BkObject>;
 
+/// The budget checks a binding search performs — the real [`Guard`] on
+/// the sequential path, a worker-local relay in parallel rounds (workers
+/// cannot touch the single-threaded guard; the main thread replays their
+/// observations against it in rule order, so trips and the value
+/// high-water mark stay authoritative and deterministic).
+trait BkCheck {
+    /// Cooperative cancellation point.
+    fn check_point(&mut self) -> Result<(), Trip>;
+    /// Report one enumeration's size against the structural cap.
+    fn check_value(&mut self, size: usize, floor: Option<usize>) -> Result<(), Trip>;
+}
+
+impl BkCheck for Guard {
+    fn check_point(&mut self) -> Result<(), Trip> {
+        Guard::check_point(self)
+    }
+
+    fn check_value(&mut self, size: usize, floor: Option<usize>) -> Result<(), Trip> {
+        Guard::check_value(self, size, floor)
+    }
+}
+
+/// Worker-local checker: polls the shared [`ParBrake`] for cancellation
+/// and enforces only the *structural* floor locally (the floor is a hard
+/// cap independent of budgets, so tripping it early on the worker is
+/// sound). Everything observed is replayed against the real guard at
+/// merge time; a worker-built [`Trip`] is never surfaced to the caller.
+struct WorkerCheck<'a> {
+    brake: &'a ParBrake,
+    value_hwm: usize,
+    checked: bool,
+}
+
+impl BkCheck for WorkerCheck<'_> {
+    fn check_point(&mut self) -> Result<(), Trip> {
+        if self.brake.should_stop() {
+            Err(Trip {
+                engine: EngineId::Bk,
+                resource: Resource::Cancelled,
+                consumed: 0,
+                limit: 0,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_value(&mut self, size: usize, floor: Option<usize>) -> Result<(), Trip> {
+        self.checked = true;
+        self.value_hwm = self.value_hwm.max(size);
+        if let Some(f) = floor {
+            if size > f {
+                return Err(Trip {
+                    engine: EngineId::Bk,
+                    resource: Resource::ValueSize,
+                    consumed: size as u64,
+                    limit: f as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// All extensions of `b` making `pat` instantiate to a sub-object of
 /// `target`.
-fn match_pattern(
+fn match_pattern<C: BkCheck>(
     pat: &BkTerm,
     target: &BkObject,
     b: &Bindings,
     config: &BkConfig,
-    guard: &mut Guard,
+    guard: &mut C,
 ) -> Result<Vec<Bindings>, Trip> {
     let mode = config.bind_mode;
     match pat {
@@ -208,7 +273,7 @@ fn match_pattern(
         BkTerm::Tuple(m) => {
             // the instantiated tuple has exactly attrs(m); it is ⊑ target
             // iff target is a tuple (or ⊤) providing each attribute above
-            let out_for_top = |b: &Bindings, guard: &mut Guard| -> Result<Vec<Bindings>, Trip> {
+            let out_for_top = |b: &Bindings, guard: &mut C| -> Result<Vec<Bindings>, Trip> {
                 // everything is ⊑ ⊤: match sub-patterns against ⊤
                 let mut acc = vec![b.clone()];
                 for t in m.values() {
@@ -277,11 +342,11 @@ fn match_pattern(
 }
 
 /// All valuations satisfying a rule body against the state.
-fn rule_bindings(
+fn rule_bindings<C: BkCheck>(
     rule: &BkRule,
     state: &BkState,
     config: &BkConfig,
-    guard: &mut Guard,
+    guard: &mut C,
 ) -> Result<Vec<Bindings>, Trip> {
     let mut acc: Vec<Bindings> = vec![Bindings::new()];
     for lit in &rule.body {
@@ -375,6 +440,129 @@ pub fn eval_rounds_with(
         let mut new_per_rule: BTreeMap<usize, u64> = BTreeMap::new();
         let snapshot = state.clone();
         let round_start = derivations.len();
+        let workers = guard.workers();
+        if workers > 1 {
+            // phase 1, parallel: every rule's binding search runs against
+            // the shared pre-round snapshot on the worker pool; budget
+            // observations are replayed against the real guard in rule
+            // order below, so trips and traces stay deterministic
+            let brake = guard.par_brake();
+            let rule_list: Vec<(usize, &BkRule)> = prog.rules.iter().enumerate().collect();
+            let timed = ctx.enabled();
+            let outputs = par_map(workers, &rule_list, |_, &(_, rule)| {
+                let t0 = timed.then(Instant::now);
+                let mut check = WorkerCheck {
+                    brake: &brake,
+                    value_hwm: 0,
+                    checked: false,
+                };
+                let res = rule_bindings(rule, &snapshot, config, &mut check);
+                if let Ok(bs) = &res {
+                    brake.charge(bs.len() as u64);
+                }
+                let wall = t0.map_or(0, |t| t.elapsed().as_micros() as u64);
+                (res, check.value_hwm, check.checked, wall)
+            });
+            if brake.engaged() {
+                // a worker overran the derivation allowance mid-round:
+                // nothing was inserted yet, so the state is exactly the
+                // last completed round's snapshot
+                let trip = guard.brake_trip();
+                return Err(exhaust(trip, state, derivations, *stats));
+            }
+            // phase 2: replay each worker's budget observations against
+            // the real guard and insert, in rule order
+            let merge = |state: &mut BkState,
+                         derivations: &mut Vec<Derivation>,
+                         stats: &mut EvalStats,
+                         guard: &mut Guard,
+                         changed: &mut bool,
+                         ctx: &mut RuleFirings,
+                         new_per_rule: &mut BTreeMap<usize, u64>|
+             -> Result<(), Trip> {
+                for (&(idx, rule), (res, hwm, checked, wall)) in rule_list.iter().zip(outputs) {
+                    guard.check_point()?;
+                    if checked {
+                        guard.check_value(hwm, Some(config.max_subobjects))?;
+                    }
+                    stats.rules_fired += 1;
+                    let bindings = res.unwrap_or_default();
+                    let produced = bindings.len() as u64;
+                    for b in bindings {
+                        let fact = rule.head.instantiate(&b);
+                        stats.tuples_derived += 1;
+                        let extent = state.entry(rule.head_pred.clone()).or_default();
+                        if extent.insert(fact.clone()) {
+                            guard.add_fact()?;
+                            *changed = true;
+                            if ctx.enabled() {
+                                *new_per_rule.entry(idx).or_default() += 1;
+                            }
+                            if ctx.want_provenance() {
+                                let rendered = render_bk_fact(&rule.head_pred, &fact);
+                                let parents: Vec<String> = rule
+                                    .body
+                                    .iter()
+                                    .map(|lit| {
+                                        render_bk_fact(&lit.pred, &lit.pattern.instantiate(&b))
+                                    })
+                                    .collect();
+                                trace.emit(move || TraceEvent::Derivation {
+                                    engine: ENGINE.into(),
+                                    round: round_no,
+                                    rule: idx,
+                                    fact: rendered,
+                                    parents,
+                                });
+                            }
+                            derivations.push(Derivation {
+                                rule: idx,
+                                bindings: b,
+                                pred: rule.head_pred.clone(),
+                                fact,
+                            });
+                        }
+                    }
+                    if timed {
+                        ctx.record(idx, produced, wall);
+                    }
+                }
+                Ok(())
+            };
+            if let Err(trip) = merge(
+                &mut state,
+                &mut derivations,
+                stats,
+                &mut guard,
+                &mut changed,
+                &mut ctx,
+                &mut new_per_rule,
+            ) {
+                // roll the incomplete round back to the last consistent
+                // state
+                for d in derivations.drain(round_start..) {
+                    if let Some(extent) = state.get_mut(&d.pred) {
+                        extent.remove(&d.fact);
+                    }
+                }
+                return Err(exhaust(trip, state, derivations, *stats));
+            }
+            let facts: usize = state.values().map(BTreeSet::len).sum();
+            stats.observe_facts(facts);
+            ctx.emit_round(
+                &trace,
+                round_no,
+                &new_per_rule,
+                facts as u64,
+                guard.value_hwm() as u64,
+                round_t0,
+            );
+            if !changed {
+                engine_end(ENGINE, &trace, guard.steps(), run_start);
+                return Ok((state, derivations, true));
+            }
+            continue;
+        }
         let round = |state: &mut BkState,
                      derivations: &mut Vec<Derivation>,
                      stats: &mut EvalStats,
@@ -666,5 +854,88 @@ mod tests {
         let (state, _) = eval_fixpoint(&prog, &example_52_state(), &BkConfig::default()).unwrap();
         // w is unbound in the body → instantiates to ⊥
         assert_eq!(state["Out"], [O::Bottom].into_iter().collect());
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+    use crate::object::BkObject as O;
+    use uset_guard::ParConfig;
+
+    fn pair(a: &'static str, x: O, b: &'static str, y: O) -> O {
+        O::tuple([(a, x), (b, y)])
+    }
+
+    fn example_state() -> BkState {
+        state_from([
+            (
+                "R1",
+                vec![
+                    pair("A", O::atom(1), "B", O::atom(2)),
+                    pair("A", O::atom(7), "B", O::atom(8)),
+                ],
+            ),
+            (
+                "R2",
+                vec![
+                    pair("B", O::atom(2), "C", O::atom(3)),
+                    pair("B", O::atom(4), "C", O::atom(5)),
+                ],
+            ),
+        ])
+    }
+
+    fn governor(workers: usize) -> Governor {
+        Governor::unlimited().with_par(ParConfig::workers(workers))
+    }
+
+    #[test]
+    fn parallel_matches_sequential_in_both_bind_modes() {
+        for mode in [BindMode::Principal, BindMode::Exhaustive] {
+            let cfg = BkConfig {
+                bind_mode: mode,
+                ..BkConfig::default()
+            };
+            let prog = BkProgram::join_rule();
+            let st = example_state();
+            let mut seq_stats = EvalStats::default();
+            let seq = eval_rounds_with(&prog, &st, &cfg, &governor(1), &mut seq_stats).unwrap();
+            for workers in [2usize, 4] {
+                let mut par_stats = EvalStats::default();
+                let par =
+                    eval_rounds_with(&prog, &st, &cfg, &governor(workers), &mut par_stats).unwrap();
+                // states, convergence, the full derivation log, and every
+                // work counter are bit-identical
+                assert_eq!(seq, par, "{mode:?} at {workers} workers");
+                assert_eq!(seq_stats, par_stats, "{mode:?} stats at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_divergent_program_trips_at_round_boundary() {
+        let dollar = O::Atom(uset_object::Atom::named("$"));
+        let prog = BkProgram::chain_to_list(dollar.clone());
+        let st = state_from([("S", vec![pair("A", dollar.clone(), "B", O::atom(1))])]);
+        let cfg = BkConfig {
+            max_rounds: 100,
+            max_facts: 40,
+            ..BkConfig::default()
+        };
+        let governor =
+            Governor::new(Budget::unlimited().with_facts(40)).with_par(ParConfig::workers(4));
+        let err = eval_rounds_governed(&prog, &st, &cfg, &governor).unwrap_err();
+        let e = err.exhausted();
+        assert_eq!(e.engine(), EngineId::Bk);
+        // every retained fact was derived by a completed round (or was
+        // input) and the derivation log matches the retained state
+        assert!(!e.partial.state["LIST"].is_empty());
+        for d in &e.partial.derivations {
+            assert!(
+                e.partial.state[&d.pred].contains(&d.fact),
+                "derivation log lists a fact missing from the snapshot"
+            );
+        }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::ast::{CalcQuery, CalcTerm, Formula};
 use std::collections::{BTreeSet, HashMap};
-use uset_object::cons::{cons_obj_bounded, cons_type};
+use uset_object::cons::{cons_obj_bounded, cons_type_par};
 use uset_object::{Atom, Database, Instance, ObjectError, RType, Value};
 
 /// Evaluation bounds.
@@ -21,6 +21,12 @@ pub struct CalcConfig {
     pub cons_limit: usize,
     /// Size bound for enumerating `cons_Obj` (rtypes mentioning `Obj`).
     pub obj_size_bound: usize,
+    /// Worker threads for splitting `cons_T(X)` candidate spaces
+    /// (`1` = sequential; the enumeration order is identical at every
+    /// width). The governed invention loops set this from their
+    /// [`uset_guard::Governor`]'s parallelism policy; direct callers can
+    /// pin it explicitly.
+    pub workers: usize,
 }
 
 impl Default for CalcConfig {
@@ -28,6 +34,7 @@ impl Default for CalcConfig {
         CalcConfig {
             cons_limit: 1 << 20,
             obj_size_bound: 4,
+            workers: 1,
         }
     }
 }
@@ -92,7 +99,7 @@ pub fn enumerate_rtype(
     config: &CalcConfig,
 ) -> Result<Vec<Value>, CalcError> {
     if let Some(strict) = ty.to_type() {
-        cons_type(&strict, atoms, config.cons_limit).map_err(describe)
+        cons_type_par(&strict, atoms, config.cons_limit, config.workers).map_err(describe)
     } else {
         // rtype mentions Obj: enumerate all bounded objects, filter to the
         // rtype (bounded stand-in for the infinite domain)
@@ -347,6 +354,34 @@ mod tests {
             out,
             Instance::from_values([Value::empty_set(), set([atom(1)])])
         );
+    }
+
+    #[test]
+    fn cons_splitting_workers_do_not_change_answers() {
+        // same query as `set_typed_quantifier_ranges_over_powerset`, with
+        // the powerset enumeration split across workers: the answer (and
+        // its canonical order) must be identical at every width
+        let db = pair_db(&[(1, 2)]);
+        let member_implies = Formula::Member(CalcTerm::var("x"), CalcTerm::var("s"))
+            .not()
+            .or(Formula::Pred(
+                "R".into(),
+                CalcTerm::Tuple(vec![CalcTerm::var("x"), CalcTerm::var("y")]),
+            )
+            .exists("y", t_u()));
+        let q = CalcQuery::new(
+            "s",
+            RType::Set(Box::new(RType::Atomic)),
+            member_implies.forall("x", t_u()),
+        );
+        let seq = eval_query(&q, &db, &CalcConfig::default()).unwrap();
+        for workers in [2, 4, 7] {
+            let cfg = CalcConfig {
+                workers,
+                ..CalcConfig::default()
+            };
+            assert_eq!(eval_query(&q, &db, &cfg).unwrap(), seq, "workers {workers}");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ use uset_guard::trace::TraceEvent;
 use uset_guard::{EngineId, Governor, Guard, Trip};
 use uset_object::flatten::Inventor;
 use uset_object::{Atom, Database, EvalStats, Instance};
+use uset_par::par_map;
 
 /// Engine label carried by every invention trace event. Rounds are
 /// invention levels: `RoundStart::delta` is the level index `i`, and
@@ -111,45 +112,91 @@ pub fn eval_fi_governed(
     let run_start = engine_start(ENGINE, &trace);
     let mut stats = EvalStats::default();
     let mut out = Instance::empty();
-    for i in 0..=budget {
-        if let Err(trip) = level_step(&mut guard, &mut stats, out.len()) {
-            return Err(exhaust(trip, out, i, stats));
-        }
-        let round = guard.steps();
-        let round_t0 = trace.enabled().then(Instant::now);
-        trace.emit(|| TraceEvent::RoundStart {
-            engine: ENGINE.into(),
-            round,
-            delta: i as u64,
+    let workers = guard.workers();
+    let mut level = 0usize;
+    while level <= budget {
+        let (levels, level_cfg) = level_chunk(level, budget - level + 1, workers, config);
+        let raws = par_map(workers, &levels, |_, &i| {
+            eval_with_invention(q, db, i, &level_cfg)
         });
-        let raw = eval_with_invention(q, db, i, config)?;
-        stats.tuples_derived += raw.len() as u64;
-        let before = out.len();
-        out = out.union(&strip_invented(&raw));
-        let added = (out.len() - before) as u64;
-        let facts = out.len() as u64;
-        if let Err(trip) = guard.check_value(out.len(), None) {
-            // the union itself blew the size cap: the last fully-completed
-            // level is i, and the (oversized) union is still a sound
-            // under-approximation, so surrender it
+        for (i, raw) in levels.iter().copied().zip(raws) {
+            // the guard is consulted in the exact sequential order, so a
+            // trip lands on the same level at every width; speculative
+            // evals past the trip are simply dropped
+            if let Err(trip) = level_step(&mut guard, &mut stats, out.len()) {
+                return Err(exhaust(trip, out, i, stats));
+            }
+            let round = guard.steps();
+            let round_t0 = trace.enabled().then(Instant::now);
+            trace.emit(|| TraceEvent::RoundStart {
+                engine: ENGINE.into(),
+                round,
+                delta: i as u64,
+            });
+            let raw = raw?;
+            stats.tuples_derived += raw.len() as u64;
+            let before = out.len();
+            out = out.union(&strip_invented(&raw));
+            let added = (out.len() - before) as u64;
+            let facts = out.len() as u64;
+            if let Err(trip) = guard.check_value(out.len(), None) {
+                // the union itself blew the size cap: the last
+                // fully-completed level is i, and the (oversized) union is
+                // still a sound under-approximation, so surrender it
+                stats.rounds += 1;
+                stats.observe_facts(out.len());
+                return Err(exhaust(trip, out, i + 1, stats));
+            }
             stats.rounds += 1;
             stats.observe_facts(out.len());
-            return Err(exhaust(trip, out, i + 1, stats));
+            let value_hwm = guard.value_hwm() as u64;
+            trace.emit(|| TraceEvent::RoundEnd {
+                engine: ENGINE.into(),
+                round,
+                delta: added,
+                facts,
+                value_hwm,
+                wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+            });
         }
-        stats.rounds += 1;
-        stats.observe_facts(out.len());
-        let value_hwm = guard.value_hwm() as u64;
-        trace.emit(|| TraceEvent::RoundEnd {
-            engine: ENGINE.into(),
-            round,
-            delta: added,
-            facts,
-            value_hwm,
-            wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
-        });
+        level += levels.len();
     }
     engine_end(ENGINE, &trace, guard.steps(), run_start);
     Ok(out)
+}
+
+/// The next chunk of invention levels to evaluate speculatively, plus the
+/// per-level config. With several levels left, the levels themselves are
+/// the candidate space: up to `workers` of them evaluate concurrently
+/// (each level sequential inside — the level fan-out already fills the
+/// pool). With a single level left or a sequential policy, the level runs
+/// alone and its `cons_T(X)` enumerations are split instead. Either way
+/// each `Q|ⁱ[d]` is a pure function of `i`, so results are independent of
+/// the split.
+fn level_chunk(
+    start: usize,
+    remaining: usize,
+    workers: usize,
+    config: &CalcConfig,
+) -> (Vec<usize>, CalcConfig) {
+    if workers > 1 && remaining > 1 {
+        let chunk = workers.min(remaining);
+        (
+            (start..start + chunk).collect(),
+            CalcConfig {
+                workers: 1,
+                ..*config
+            },
+        )
+    } else {
+        (
+            vec![start],
+            CalcConfig {
+                workers: workers.max(config.workers),
+                ..*config
+            },
+        )
+    }
 }
 
 /// Charge one invention level against the guard (a step plus a
@@ -200,41 +247,53 @@ pub fn eval_terminal_governed(
     let trace = governor.trace.clone();
     let run_start = engine_start(ENGINE, &trace);
     let mut stats = EvalStats::default();
-    for n in 0..=cap {
-        if let Err(trip) = guard.step() {
-            return Err(exhaust(trip, Instance::empty(), n, stats));
-        }
-        let round = guard.steps();
-        let round_t0 = trace.enabled().then(Instant::now);
-        trace.emit(|| TraceEvent::RoundStart {
-            engine: ENGINE.into(),
-            round,
-            delta: n as u64,
+    let workers = guard.workers();
+    let mut next = 0usize;
+    while next <= cap {
+        let (levels, level_cfg) = level_chunk(next, cap - next + 1, workers, config);
+        let raws = par_map(workers, &levels, |_, &n| {
+            eval_with_invention(q, db, n, &level_cfg)
         });
-        let raw = eval_with_invention(q, db, n, config)?;
-        stats.rounds += 1;
-        stats.tuples_derived += raw.len() as u64;
-        stats.observe_facts(raw.len());
-        let facts = raw.len() as u64;
-        let value_hwm = guard.value_hwm() as u64;
-        trace.emit(|| TraceEvent::RoundEnd {
-            engine: ENGINE.into(),
-            round,
-            delta: 0,
-            facts,
-            value_hwm,
-            wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
-        });
-        let has_invented = raw
-            .iter()
-            .any(|v| v.adom().iter().any(|a| Inventor::is_invented(*a)));
-        if has_invented {
-            engine_end(ENGINE, &trace, guard.steps(), run_start);
-            return Ok(InventionOutcome::Defined {
-                n,
-                answer: strip_invented(&raw),
+        for (n, raw) in levels.iter().copied().zip(raws) {
+            // as in [`eval_fi_governed`]: guard order is sequential, and a
+            // witness found mid-chunk discards the later speculative levels
+            // exactly as the sequential search never runs them
+            if let Err(trip) = guard.step() {
+                return Err(exhaust(trip, Instance::empty(), n, stats));
+            }
+            let round = guard.steps();
+            let round_t0 = trace.enabled().then(Instant::now);
+            trace.emit(|| TraceEvent::RoundStart {
+                engine: ENGINE.into(),
+                round,
+                delta: n as u64,
             });
+            let raw = raw?;
+            stats.rounds += 1;
+            stats.tuples_derived += raw.len() as u64;
+            stats.observe_facts(raw.len());
+            let facts = raw.len() as u64;
+            let value_hwm = guard.value_hwm() as u64;
+            trace.emit(|| TraceEvent::RoundEnd {
+                engine: ENGINE.into(),
+                round,
+                delta: 0,
+                facts,
+                value_hwm,
+                wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+            });
+            let has_invented = raw
+                .iter()
+                .any(|v| v.adom().iter().any(|a| Inventor::is_invented(*a)));
+            if has_invented {
+                engine_end(ENGINE, &trace, guard.steps(), run_start);
+                return Ok(InventionOutcome::Defined {
+                    n,
+                    answer: strip_invented(&raw),
+                });
+            }
         }
+        next += levels.len();
     }
     engine_end(ENGINE, &trace, guard.steps(), run_start);
     Ok(InventionOutcome::Undefined)
@@ -383,6 +442,94 @@ mod tests {
         let e = err.exhausted().expect("cancellation trip");
         assert_eq!(e.resource(), uset_guard::Resource::Cancelled);
         // exactly one level was ruled out before the cancel landed
+        assert_eq!(e.partial.levels_done, 1);
+        assert!(e.partial.union.is_empty());
+    }
+
+    #[test]
+    fn parallel_fi_matches_sequential_exactly() {
+        let db = unary_db(&[1, 2, 3]);
+        let q = all_atoms_query();
+        let cfg = CalcConfig::default();
+        let seq = eval_fi(&q, &db, 6, &cfg).unwrap();
+        for workers in [2, 4, 7] {
+            let gov = Governor::new(cfg.budget()).with_par(uset_par::ParConfig::workers(workers));
+            let par = eval_fi_governed(&q, &db, 6, &cfg, &gov).unwrap();
+            assert_eq!(par, seq, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_fi_trips_on_the_same_level_with_identical_partial() {
+        let db = unary_db(&[1, 2]);
+        let q = all_atoms_query();
+        let cfg = CalcConfig::default();
+        let budget = || uset_guard::Budget::unlimited().with_steps(2);
+        let seq_err = eval_fi_governed(&q, &db, 10, &cfg, &Governor::new(budget())).unwrap_err();
+        let seq = seq_err.exhausted().expect("sequential trip");
+        for workers in [2, 4] {
+            let gov = Governor::new(budget()).with_par(uset_par::ParConfig::workers(workers));
+            let err = eval_fi_governed(&q, &db, 10, &cfg, &gov).unwrap_err();
+            let e = err.exhausted().expect("parallel trip");
+            // the guard is stepped in sequential order inside the chunk
+            // fold, so the trip level, partial union, and stats are
+            // bit-identical to the sequential run
+            assert_eq!(e.resource(), uset_guard::Resource::Steps);
+            assert_eq!(e.partial, seq.partial, "workers {workers}");
+            assert_eq!(e.stats, seq.stats, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_terminal_matches_sequential_in_both_outcomes() {
+        let cfg = CalcConfig::default();
+        // defined at n = 1: a witness mid-chunk discards the speculative tail
+        let db = unary_db(&[1, 2]);
+        let q = all_atoms_query();
+        let seq = eval_terminal(&q, &db, 5, &cfg).unwrap();
+        assert!(matches!(seq, InventionOutcome::Defined { n: 1, .. }));
+        // undefined: the whole search space is chunked through
+        let bound_q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Pred("R".into(), CalcTerm::var("x")),
+        );
+        let seq_undef = eval_terminal(&bound_q, &db, 5, &cfg).unwrap();
+        assert_eq!(seq_undef, InventionOutcome::Undefined);
+        for workers in [2, 4] {
+            let gov =
+                || Governor::new(cfg.budget()).with_par(uset_par::ParConfig::workers(workers));
+            assert_eq!(
+                eval_terminal_governed(&q, &db, 5, &cfg, &gov()).unwrap(),
+                seq,
+                "workers {workers}"
+            );
+            assert_eq!(
+                eval_terminal_governed(&bound_q, &db, 5, &cfg, &gov()).unwrap(),
+                seq_undef,
+                "workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_terminal_failpoint_cancels_on_the_same_level() {
+        // `terminal_search_cancelled_by_failpoint` at width 4: guard.step()
+        // is called once per level in level order regardless of width, so
+        // the cancel lands on the same level as the sequential run
+        let db = unary_db(&[1]);
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Pred("R".into(), CalcTerm::var("x")),
+        );
+        let cfg = CalcConfig::default();
+        let gov = Governor::new(cfg.budget())
+            .with_failpoint(uset_guard::FailPoint::cancel_at(2))
+            .with_par(uset_par::ParConfig::workers(4));
+        let err = eval_terminal_governed(&q, &db, 5, &cfg, &gov).unwrap_err();
+        let e = err.exhausted().expect("cancellation trip");
+        assert_eq!(e.resource(), uset_guard::Resource::Cancelled);
         assert_eq!(e.partial.levels_done, 1);
         assert!(e.partial.union.is_empty());
     }

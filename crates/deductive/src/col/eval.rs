@@ -41,8 +41,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
 use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
 use uset_guard::trace::TraceEvent;
-use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Resource, Trip};
+use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, ParBrake, Resource, Trip};
 use uset_object::{Database, EvalStats, IndexSet, Instance, Value};
+use uset_par::{par_map, shard_of};
 
 /// Evaluation state: predicate extents and data-function graphs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -313,6 +314,16 @@ struct ColDelta {
     funcs: BTreeMap<String, BTreeMap<Vec<Value>, BTreeSet<Value>>>,
 }
 
+/// How a firing reaches the shared index cache: the sequential engine
+/// builds indexes lazily on first probe; parallel workers share the cache
+/// read-only and may only use what the round prebuilt.
+enum IndexAccess<'a> {
+    /// Build-on-demand (sequential path).
+    Build(&'a mut IndexSet),
+    /// Prebuilt, read-only (parallel workers).
+    Prebuilt(&'a IndexSet),
+}
+
 /// Extend a set of bindings through one body literal.
 ///
 /// When `delta_read` is set, this literal's top-level symbol (a positive
@@ -325,7 +336,7 @@ fn extend(
     rule: &ColRule,
     state: &ColState,
     delta_read: Option<&ColDelta>,
-    indexes: &mut IndexSet,
+    access: &mut IndexAccess<'_>,
     stats: &mut EvalStats,
 ) -> Result<Vec<Bindings>, ColEvalError> {
     let mut out = Vec::new();
@@ -345,9 +356,13 @@ fn extend(
                     if args.len() == 1 {
                         // a fully ground unary pattern is a membership
                         // test, not a scan (sound because rtype checks
-                        // only guard fresh variable bindings)
+                        // only guard fresh variable bindings); only reads
+                        // of the settled state count as probes — a delta
+                        // lookup is by-design cheap, not a replaced scan
                         if let Ok(v) = eval_term(&args[0], &b, state) {
-                            stats.index_probes += 1;
+                            if delta_read.is_none() {
+                                stats.index_probes += 1;
+                            }
                             if rel.contains(&v) {
                                 out.push(b);
                             }
@@ -362,10 +377,23 @@ fn extend(
                         // (deltas are small and short-lived — scan them)
                         let key = eval_term(&args[0], &b, state).ok();
                         if let (None, Some(k)) = (delta_read, key.as_ref()) {
-                            let idx = indexes.of(name, rel);
-                            stats.index_probes += 1;
-                            for row in idx.probe(k) {
-                                match_pred_row(args, row, &b, rule, state, &mut out)?;
+                            let index = match &mut *access {
+                                IndexAccess::Build(set) => Some(set.of(name, rel)),
+                                IndexAccess::Prebuilt(set) => set.get(name, 0, rel.len()),
+                            };
+                            if let Some(idx) = index {
+                                stats.index_probes += 1;
+                                for row in idx.probe(k) {
+                                    match_pred_row(args, row, &b, rule, state, &mut out)?;
+                                }
+                            } else {
+                                // a prebuilt cache without this relation:
+                                // ground key, no usable index — a real
+                                // missed-index scan
+                                stats.scan_fallbacks += 1;
+                                for row in rel.iter() {
+                                    match_pred_row(args, row, &b, rule, state, &mut out)?;
+                                }
                             }
                         } else {
                             for row in rel.iter() {
@@ -572,35 +600,57 @@ fn parent_facts(
 }
 
 /// Derive all facts of one rule against the state. If `delta` carries a
-/// body position, that literal reads the previous round's delta.
+/// body position, that literal reads the previous round's delta (or, in a
+/// parallel round, a hash shard of it). `count_prefix` routes work
+/// counters for literals before the delta position: those evaluate
+/// identically in every shard of one firing, so exactly one shard counts
+/// them and merged totals equal a sequential firing's. A `brake`, when
+/// present, is charged with the firing's derivation volume; once engaged
+/// the unit returns early with a truncated buffer (the caller ends the
+/// round, so truncation is never observable in a completed fixpoint).
 #[allow(clippy::too_many_arguments)]
-fn fire_rule(
+fn fire_rule_core(
     rule: &ColRule,
     rule_idx: usize,
     state: &ColState,
     delta: Option<(&ColDelta, usize)>,
-    indexes: &mut IndexSet,
+    count_prefix: bool,
+    want_prov: bool,
+    access: &mut IndexAccess<'_>,
     stats: &mut EvalStats,
     out: &mut Vec<Derived>,
-    ctx: &mut RuleFirings,
+    brake: Option<&ParBrake>,
 ) -> Result<(), ColEvalError> {
-    stats.rules_fired += 1;
-    let fire_start = ctx.enabled().then(Instant::now);
-    let before = out.len();
+    let shard_pos = delta.map(|(_, pos)| pos);
+    let mut scratch = EvalStats::default();
     let mut bindings = vec![Bindings::new()];
     for (i, lit) in rule.body.iter().enumerate() {
+        if brake.is_some_and(ParBrake::should_stop) {
+            return Ok(());
+        }
         let delta_read = match delta {
             Some((d, pos)) if pos == i => Some(d),
             _ => None,
         };
-        bindings = extend(lit, bindings, rule, state, delta_read, indexes, stats)?;
+        let st: &mut EvalStats = if count_prefix || shard_pos.is_none_or(|pos| i >= pos) {
+            stats
+        } else {
+            &mut scratch
+        };
+        bindings = extend(lit, bindings, rule, state, delta_read, access, st)?;
         if bindings.is_empty() {
             break;
         }
     }
-    stats.tuples_derived += bindings.len() as u64;
+    let produced = bindings.len() as u64;
+    stats.tuples_derived += produced;
+    if let Some(br) = brake {
+        if !br.charge(produced) {
+            return Ok(());
+        }
+    }
     for b in &bindings {
-        let parents = if ctx.want_provenance() {
+        let parents = if want_prov {
             Some(parent_facts(rule, b, state)?)
         } else {
             None
@@ -640,6 +690,37 @@ fn fire_rule(
             parents,
         });
     }
+    Ok(())
+}
+
+/// Sequential firing: one call = one recorded firing, indexes built on
+/// demand.
+#[allow(clippy::too_many_arguments)]
+fn fire_rule(
+    rule: &ColRule,
+    rule_idx: usize,
+    state: &ColState,
+    delta: Option<(&ColDelta, usize)>,
+    indexes: &mut IndexSet,
+    stats: &mut EvalStats,
+    out: &mut Vec<Derived>,
+    ctx: &mut RuleFirings,
+) -> Result<(), ColEvalError> {
+    stats.rules_fired += 1;
+    let fire_start = ctx.enabled().then(Instant::now);
+    let before = out.len();
+    fire_rule_core(
+        rule,
+        rule_idx,
+        state,
+        delta,
+        true,
+        ctx.want_provenance(),
+        &mut IndexAccess::Build(indexes),
+        stats,
+        out,
+        None,
+    )?;
     if let Some(t0) = fire_start {
         ctx.record(
             rule_idx,
@@ -648,6 +729,160 @@ fn fire_rule(
         );
     }
     Ok(())
+}
+
+/// One parallel phase-1 work unit: rule `idx` fired either from the full
+/// state (`delta: None`) or with body position `pos` restricted to a hash
+/// shard of the round's delta. Units sharing a `group` correspond to one
+/// sequential `fire_rule` call; the merge counts the group as a single
+/// firing and concatenates its shard buffers in shard order.
+struct FireUnit<'a> {
+    group: usize,
+    idx: usize,
+    rule: &'a ColRule,
+    delta: Option<(ColDelta, usize)>,
+    count_prefix: bool,
+}
+
+/// Shard the symbol read at body position `pos` of `rule` across
+/// `workers` single-symbol deltas, partitioned by stable fact hash.
+/// Returns an empty vector when the relevant delta slice is empty (the
+/// caller then keeps one empty-shard unit so the firing — and its prefix
+/// work — is still counted, as the sequential engine would).
+fn shard_delta(rule: &ColRule, pos: usize, delta: &ColDelta, workers: usize) -> Vec<ColDelta> {
+    match &rule.body[pos] {
+        ColLiteral::Pred { name, .. } => {
+            let Some(rows) = delta.preds.get(name) else {
+                return Vec::new();
+            };
+            let mut shards: Vec<Instance> = (0..workers).map(|_| Instance::empty()).collect();
+            for row in rows.iter() {
+                shards[shard_of(row, workers)].insert(row.clone());
+            }
+            shards
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .map(|s| ColDelta {
+                    preds: BTreeMap::from([(name.clone(), s)]),
+                    funcs: BTreeMap::new(),
+                })
+                .collect()
+        }
+        ColLiteral::Member {
+            set: ColTerm::Apply(f, _),
+            ..
+        } => {
+            let Some(graph) = delta.funcs.get(f) else {
+                return Vec::new();
+            };
+            let mut shards: Vec<BTreeMap<Vec<Value>, BTreeSet<Value>>> =
+                (0..workers).map(|_| BTreeMap::new()).collect();
+            for (args, elems) in graph {
+                for e in elems {
+                    shards[shard_of(&(args, e), workers)]
+                        .entry(args.clone())
+                        .or_default()
+                        .insert(e.clone());
+                }
+            }
+            shards
+                .into_iter()
+                .filter(|g| !g.is_empty())
+                .map(|g| ColDelta {
+                    preds: BTreeMap::new(),
+                    funcs: BTreeMap::from([(f.clone(), g)]),
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Prebuild, on the main thread, every first-column index a parallel
+/// round's units can probe, so workers find a fresh read-only cache.
+/// Missing relations get an (empty) index too: a probe against an empty
+/// relation must still count as a probe for sequential/parallel parity.
+fn prebuild_indexes(units: &[FireUnit<'_>], state: &ColState, indexes: &mut IndexSet) {
+    let empty = Instance::empty();
+    let mut done: BTreeSet<usize> = BTreeSet::new();
+    for unit in units {
+        if !done.insert(unit.idx) {
+            continue;
+        }
+        for lit in &unit.rule.body {
+            if let ColLiteral::Pred {
+                name,
+                args,
+                positive: true,
+            } = lit
+            {
+                if args.len() > 1 {
+                    let rel = state.preds.get(name).unwrap_or(&empty);
+                    indexes.of(name, rel);
+                }
+            }
+        }
+    }
+}
+
+/// Fan one round's firing units across `workers` threads and merge the
+/// per-worker buffers in canonical (group, shard) order. Group-level
+/// firing counts and timings land in `stats`/`ctx` exactly as the
+/// sequential path records them; worker-local counters are summed in.
+fn fire_units_parallel(
+    units: &[FireUnit<'_>],
+    state: &ColState,
+    indexes: &IndexSet,
+    workers: usize,
+    brake: &ParBrake,
+    stats: &mut EvalStats,
+    ctx: &mut RuleFirings,
+) -> Result<Vec<Derived>, ColEvalError> {
+    let want_prov = ctx.want_provenance();
+    let timed = ctx.enabled();
+    let outputs = par_map(workers, units, |_, unit| {
+        let t0 = timed.then(Instant::now);
+        let mut derived = Vec::new();
+        let mut local = EvalStats::default();
+        let res = fire_rule_core(
+            unit.rule,
+            unit.idx,
+            state,
+            unit.delta.as_ref().map(|(d, pos)| (d, *pos)),
+            unit.count_prefix,
+            want_prov,
+            &mut IndexAccess::Prebuilt(indexes),
+            &mut local,
+            &mut derived,
+            Some(brake),
+        );
+        let wall = t0.map_or(0, |t0| t0.elapsed().as_micros() as u64);
+        res.map(|()| (derived, local, wall))
+    });
+    let mut derived = Vec::new();
+    let mut current: Option<(usize, usize, u64, u64)> = None; // (group, idx, produced, wall)
+    for (unit, res) in units.iter().zip(outputs) {
+        let (buf, local, wall) = res?;
+        match &mut current {
+            Some((group, _, produced, acc)) if *group == unit.group => {
+                *produced += buf.len() as u64;
+                *acc += wall;
+            }
+            _ => {
+                if let Some((_, idx, produced, acc)) = current.take() {
+                    ctx.record(idx, produced, acc);
+                }
+                stats.rules_fired += 1;
+                current = Some((unit.group, unit.idx, buf.len() as u64, wall));
+            }
+        }
+        stats.absorb(&local);
+        derived.extend(buf);
+    }
+    if let Some((_, idx, produced, acc)) = current {
+        ctx.record(idx, produced, acc);
+    }
+    Ok(derived)
 }
 
 /// How one rule participates in a semi-naive engine run.
@@ -844,45 +1079,89 @@ fn run_engine(
         ctx.clear();
         // phase 1: derive from the pre-round state (one cooperative
         // checkpoint per rule, so cancellation lands mid-round)
+        let workers = guard.workers();
         let mut derived: Vec<Derived> = Vec::new();
-        for (&(idx, rule), class) in rules.iter().zip(&classes) {
-            if let Err(trip) = guard.check_point() {
-                return Err(exhaust(trip, state, stats));
-            }
-            match class {
-                RuleClass::Constant => {
-                    if first {
-                        fire_rule(
-                            rule,
-                            idx,
-                            state,
-                            None,
-                            &mut indexes,
-                            stats,
-                            &mut derived,
-                            &mut ctx,
-                        )?;
+        if workers > 1 {
+            // parallel: build the round's firing units (sharding the
+            // delta by fact hash), checkpoint once per rule on the main
+            // thread, then fan the units across the pool — the state and
+            // its indexes are read-only until phase 2
+            let mut units: Vec<FireUnit<'_>> = Vec::new();
+            let mut group = 0usize;
+            for (&(idx, rule), class) in rules.iter().zip(&classes) {
+                if let Err(trip) = guard.check_point() {
+                    return Err(exhaust(trip, state, stats));
+                }
+                let full_state = match class {
+                    RuleClass::Constant | RuleClass::Seminaive(_) => first,
+                    RuleClass::Snapshot => true,
+                };
+                if full_state {
+                    units.push(FireUnit {
+                        group,
+                        idx,
+                        rule,
+                        delta: None,
+                        count_prefix: true,
+                    });
+                    group += 1;
+                } else if let RuleClass::Seminaive(positions) = class {
+                    for &pos in positions {
+                        let shards = shard_delta(rule, pos, &delta, workers);
+                        if shards.is_empty() {
+                            units.push(FireUnit {
+                                group,
+                                idx,
+                                rule,
+                                delta: Some((ColDelta::default(), pos)),
+                                count_prefix: true,
+                            });
+                        } else {
+                            for (k, d) in shards.into_iter().enumerate() {
+                                units.push(FireUnit {
+                                    group,
+                                    idx,
+                                    rule,
+                                    delta: Some((d, pos)),
+                                    count_prefix: k == 0,
+                                });
+                            }
+                        }
+                        group += 1;
                     }
                 }
-                RuleClass::Seminaive(positions) => {
-                    if first {
-                        fire_rule(
-                            rule,
-                            idx,
-                            state,
-                            None,
-                            &mut indexes,
-                            stats,
-                            &mut derived,
-                            &mut ctx,
-                        )?;
-                    } else {
-                        for &pos in positions {
+            }
+            prebuild_indexes(&units, state, &mut indexes);
+            let brake = guard.par_brake();
+            derived =
+                fire_units_parallel(&units, state, &indexes, workers, &brake, stats, &mut ctx)?;
+            if brake.should_stop() {
+                // a worker tripped the budget (or an external cancel
+                // landed) mid-round: nothing was inserted yet, so the
+                // state is exactly the last completed round's snapshot
+                let trip = if brake.engaged() {
+                    guard.brake_trip()
+                } else {
+                    match guard.check_point() {
+                        Err(trip) => trip,
+                        Ok(()) => guard.brake_trip(),
+                    }
+                };
+                return Err(exhaust(trip, state, stats));
+            }
+        } else {
+            for (&(idx, rule), class) in rules.iter().zip(&classes) {
+                if let Err(trip) = guard.check_point() {
+                    return Err(exhaust(trip, state, stats));
+                }
+                match class {
+                    RuleClass::Constant => {
+                        if first {
                             fire_rule(
                                 rule,
                                 idx,
                                 state,
-                                Some((&delta, pos)),
+                                None,
                                 &mut indexes,
                                 stats,
                                 &mut derived,
@@ -890,18 +1169,45 @@ fn run_engine(
                             )?;
                         }
                     }
-                }
-                RuleClass::Snapshot => {
-                    fire_rule(
-                        rule,
-                        idx,
-                        state,
-                        None,
-                        &mut indexes,
-                        stats,
-                        &mut derived,
-                        &mut ctx,
-                    )?;
+                    RuleClass::Seminaive(positions) => {
+                        if first {
+                            fire_rule(
+                                rule,
+                                idx,
+                                state,
+                                None,
+                                &mut indexes,
+                                stats,
+                                &mut derived,
+                                &mut ctx,
+                            )?;
+                        } else {
+                            for &pos in positions {
+                                fire_rule(
+                                    rule,
+                                    idx,
+                                    state,
+                                    Some((&delta, pos)),
+                                    &mut indexes,
+                                    stats,
+                                    &mut derived,
+                                    &mut ctx,
+                                )?;
+                            }
+                        }
+                    }
+                    RuleClass::Snapshot => {
+                        fire_rule(
+                            rule,
+                            idx,
+                            state,
+                            None,
+                            &mut indexes,
+                            stats,
+                            &mut derived,
+                            &mut ctx,
+                        )?;
+                    }
                 }
             }
         }
@@ -1479,5 +1785,152 @@ mod tests {
         );
         assert!(semi.index_probes > 0);
         assert_eq!(semi.peak_facts, naive.peak_facts);
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+    use crate::col::ast::{ColLiteral, ColRule, ColTerm};
+    use uset_guard::ParConfig;
+    use uset_object::atom;
+
+    fn v(n: &str) -> ColTerm {
+        ColTerm::var(n)
+    }
+
+    fn path_db(n: u64) -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        db
+    }
+
+    fn tc_prog() -> ColProgram {
+        ColProgram::new(vec![
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("y")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("z")],
+                vec![
+                    ColLiteral::pred("E", vec![v("x"), v("y")]),
+                    ColLiteral::pred("T", vec![v("y"), v("z")]),
+                ],
+            ),
+        ])
+    }
+
+    fn nest_prog() -> ColProgram {
+        // F(x) ∋ z ← E(x,y), T(y,z) — exercises function deltas too
+        let mut rules = tc_prog().rules;
+        rules.push(ColRule::func_member(
+            "F",
+            vec![v("x")],
+            v("z"),
+            vec![
+                ColLiteral::pred("E", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ));
+        rules.push(ColRule::func_member(
+            "G",
+            vec![v("x")],
+            v("z"),
+            vec![
+                ColLiteral::pred("E", vec![v("x"), v("y")]),
+                ColLiteral::member(v("z"), ColTerm::Apply("F".into(), vec![v("y")])),
+            ],
+        ));
+        ColProgram::new(rules)
+    }
+
+    fn governor(workers: usize) -> Governor {
+        Governor::unlimited().with_par(ParConfig::workers(workers))
+    }
+
+    #[test]
+    fn parallel_matches_sequential_both_strategies_and_semantics() {
+        let db = path_db(16);
+        let cfg = ColConfig::default();
+        for prog in [tc_prog(), nest_prog()] {
+            for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+                let mut seq_stats = EvalStats::default();
+                let seq =
+                    stratified_governed(&prog, &db, &cfg, strategy, &governor(1), &mut seq_stats)
+                        .unwrap();
+                for workers in [2usize, 4] {
+                    let mut par_stats = EvalStats::default();
+                    let par = stratified_governed(
+                        &prog,
+                        &db,
+                        &cfg,
+                        strategy,
+                        &governor(workers),
+                        &mut par_stats,
+                    )
+                    .unwrap();
+                    assert_eq!(seq, par, "{strategy:?} state at {workers} workers");
+                    assert_eq!(
+                        seq_stats, par_stats,
+                        "{strategy:?} stats at {workers} workers"
+                    );
+                }
+                let mut seq_stats_i = EvalStats::default();
+                let seq_i = inflationary_governed(
+                    &prog,
+                    &db,
+                    &cfg,
+                    strategy,
+                    &governor(1),
+                    &mut seq_stats_i,
+                )
+                .unwrap();
+                let mut par_stats_i = EvalStats::default();
+                let par_i = inflationary_governed(
+                    &prog,
+                    &db,
+                    &cfg,
+                    strategy,
+                    &governor(4),
+                    &mut par_stats_i,
+                )
+                .unwrap();
+                assert_eq!(seq_i, par_i, "{strategy:?} inflationary state");
+                assert_eq!(seq_stats_i, par_stats_i, "{strategy:?} inflationary stats");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_facts_budget_yields_round_consistent_partial() {
+        let db = path_db(16);
+        let cfg = ColConfig::default();
+        let governor =
+            Governor::new(Budget::unlimited().with_facts(30)).with_par(ParConfig::workers(4));
+        let mut stats = EvalStats::default();
+        let err = stratified_governed(
+            &tc_prog(),
+            &db,
+            &cfg,
+            ColStrategy::Seminaive,
+            &governor,
+            &mut stats,
+        )
+        .unwrap_err();
+        let e = err.exhausted().expect("budget exhaustion");
+        // the partial snapshot sits at a round boundary: a prefix of the
+        // true fixpoint, never exceeding the budget by a full round
+        let full = stratified(&tc_prog(), &db, &cfg).unwrap();
+        assert!(e.partial.total_facts() <= 30 + 1);
+        for row in e.partial.pred("T").iter() {
+            assert!(full.pred("T").contains(row));
+        }
+        assert_eq!(e.partial.pred("E"), full.pred("E"));
     }
 }

@@ -9,7 +9,7 @@
 //! other domain element matches `α`; on tape 2, the same element as tape 1
 //! matches `α` and a different one matches `β`).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use uset_guard::trace::span::{engine_end, engine_start};
 use uset_guard::trace::TraceEvent;
@@ -165,7 +165,7 @@ pub struct Gtm {
     constants: BTreeSet<Atom>,
     start: String,
     halt: String,
-    delta: HashMap<(String, SymPat, SymPat), Action>,
+    delta: BTreeMap<(String, SymPat, SymPat), Action>,
 }
 
 /// Builder for [`Gtm`], performing the paper's well-formedness checks.
@@ -264,7 +264,7 @@ impl GtmBuilder {
     pub fn build(self) -> Result<Gtm, GtmError> {
         let start = self.start.ok_or(GtmError::UnknownState("<start>".into()))?;
         let halt = self.halt.ok_or(GtmError::UnknownState("<halt>".into()))?;
-        let mut delta = HashMap::new();
+        let mut delta = BTreeMap::new();
         for ((from, r1, r2), action) in self.delta {
             if !self.states.contains(&from) {
                 return Err(GtmError::UnknownState(from));
@@ -400,7 +400,10 @@ impl Gtm {
         self.delta.len()
     }
 
-    /// Iterate the transition templates: `((from, read1, read2), action)`.
+    /// Iterate the transition templates `((from, read1, read2), action)`
+    /// in sorted key order. Determinism matters here: the simulations turn
+    /// templates into rules, so template order becomes rule-index order in
+    /// traces and provenance.
     pub fn transitions(&self) -> impl Iterator<Item = ((&String, &SymPat, &SymPat), &Action)> {
         self.delta.iter().map(|((q, r1, r2), a)| ((q, r1, r2), a))
     }

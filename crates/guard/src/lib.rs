@@ -40,10 +40,11 @@
 //! budget trips, and tracks the value-size high-water mark engines report
 //! through [`Guard::check_value`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uset_object::EvalStats;
+pub use uset_par::ParConfig;
 pub use uset_trace as trace;
 use uset_trace::TraceEvent;
 pub use uset_trace::TraceHandle;
@@ -275,6 +276,10 @@ pub struct Governor {
     pub failpoint: Option<FailPoint>,
     /// Observability sink; the default is disabled (zero-cost).
     pub trace: TraceHandle,
+    /// Worker-pool width for the engines' parallel phases. The default
+    /// defers to `USET_THREADS` (itself defaulting to sequential); tests
+    /// should pin [`ParConfig::off`]/[`ParConfig::workers`] explicitly.
+    pub par: ParConfig,
 }
 
 impl Governor {
@@ -310,7 +315,16 @@ impl Governor {
         self
     }
 
-    /// Derive the per-run meter an engine charges against.
+    /// Pin the worker-pool width for parallel phases (overriding the
+    /// `USET_THREADS` environment default).
+    pub fn with_par(mut self, par: ParConfig) -> Governor {
+        self.par = par;
+        self
+    }
+
+    /// Derive the per-run meter an engine charges against. The parallel
+    /// width is resolved here — once per run — so a mid-run change of
+    /// `USET_THREADS` cannot skew a fixpoint.
     pub fn guard(&self, engine: EngineId) -> Guard {
         Guard {
             engine,
@@ -318,6 +332,7 @@ impl Governor {
             cancel: self.cancel.clone(),
             failpoint: self.failpoint,
             trace: self.trace.clone(),
+            workers: self.par.resolve(),
             steps: 0,
             facts: 0,
             ticks: 0,
@@ -451,6 +466,7 @@ pub struct Guard {
     cancel: CancelToken,
     failpoint: Option<FailPoint>,
     trace: TraceHandle,
+    workers: usize,
     steps: u64,
     facts: usize,
     ticks: u64,
@@ -602,6 +618,95 @@ impl Guard {
     /// failpoint) for loops that have no natural step or fact to charge.
     pub fn check_point(&mut self) -> Result<(), Trip> {
         self.tick()
+    }
+
+    /// The worker-pool width this run resolved at guard creation
+    /// (1 = sequential). Engines consult this before fanning a phase out.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A shared brake for one parallel derivation phase.
+    ///
+    /// Workers cannot charge the real (single-threaded, deterministic)
+    /// budget, but an unbraked phase 1 could materialize unbounded
+    /// candidate buffers a finite fact budget was supposed to prevent.
+    /// The brake gives workers an atomically debited allowance derived
+    /// from the facts *remaining* in this guard's budget, with slack for
+    /// deduplication (most raw derivations are duplicates of existing
+    /// facts): 4× the remaining headroom plus 1024. Under an unlimited
+    /// fact budget the allowance is unlimited and the brake only relays
+    /// cancellation. When the brake trips, the engine must surface it via
+    /// [`Guard::brake_trip`] — a truncated candidate buffer is not a
+    /// fixpoint, so evaluation cannot simply continue.
+    pub fn par_brake(&self) -> ParBrake {
+        let allowance = self
+            .budget
+            .max_facts
+            .map(|max| (max.saturating_sub(self.facts) as u64).saturating_mul(4) + 1024);
+        ParBrake {
+            consumed: AtomicU64::new(0),
+            allowance,
+            tripped: AtomicBool::new(false),
+            cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Convert an engaged [`ParBrake`] into an authoritative facts trip
+    /// (emitting the usual `GuardTrip` event). The brake's allowance is a
+    /// multiple of the remaining fact headroom, so an engaged brake means
+    /// the round's raw derivations alone overran the budget; the caller
+    /// rolls the round back first and then reports through this, exactly
+    /// as if phase 2 had charged the facts one by one.
+    pub fn brake_trip(&mut self) -> Trip {
+        let limit = self.budget.max_facts.unwrap_or(self.facts) as u64;
+        self.trip(Resource::Facts, self.facts as u64, limit)
+    }
+}
+
+/// Shared work allowance for one parallel phase: a lock-free counter the
+/// workers debit, plus the run's [`CancelToken`]. See
+/// [`Guard::par_brake`]. Workers poll [`ParBrake::should_stop`] between
+/// units and abandon their buffers when it fires; determinism is
+/// unaffected because an engaged brake always ends the run (via
+/// [`Guard::brake_trip`]) rather than feeding a truncated buffer onward.
+#[derive(Debug)]
+pub struct ParBrake {
+    consumed: AtomicU64,
+    allowance: Option<u64>,
+    tripped: AtomicBool,
+    cancel: CancelToken,
+}
+
+impl ParBrake {
+    /// Debit `n` derived candidates. Returns `false` once the allowance
+    /// is overdrawn — the worker should stop deriving.
+    pub fn charge(&self, n: u64) -> bool {
+        if let Some(allowance) = self.allowance {
+            let before = self.consumed.fetch_add(n, Ordering::Relaxed);
+            if before.saturating_add(n) > allowance {
+                self.tripped.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True once the allowance is overdrawn or the run is cancelled —
+    /// workers poll this between work units.
+    pub fn should_stop(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed) || self.cancel.is_cancelled()
+    }
+
+    /// True if the allowance was overdrawn (as opposed to cancellation,
+    /// which the guard's own next tick reports with better provenance).
+    pub fn engaged(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Total candidates debited so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
     }
 }
 
@@ -781,6 +886,62 @@ mod tests {
         let g = Guard::unlimited(EngineId::Bk);
         assert!(!g.trace().enabled());
         assert!(!g.trace().provenance());
+    }
+
+    #[test]
+    fn guard_resolves_workers_once_per_run() {
+        let gov = Governor::unlimited().with_par(ParConfig::workers(4));
+        assert_eq!(gov.guard(EngineId::Datalog).workers(), 4);
+        let off = Governor::unlimited().with_par(ParConfig::off());
+        assert_eq!(off.guard(EngineId::Datalog).workers(), 1);
+    }
+
+    #[test]
+    fn par_brake_unlimited_budget_never_engages() {
+        let g = Guard::unlimited(EngineId::Col);
+        let brake = g.par_brake();
+        assert!(brake.charge(u64::MAX / 2));
+        assert!(brake.charge(u64::MAX / 2));
+        assert!(!brake.should_stop());
+        assert!(!brake.engaged());
+    }
+
+    #[test]
+    fn par_brake_engages_past_allowance_and_relays_cancel() {
+        let gov = Governor::new(Budget::unlimited().with_facts(10));
+        let g = gov.guard(EngineId::Datalog);
+        let brake = g.par_brake();
+        // allowance = 10 * 4 + 1024 = 1064
+        assert!(brake.charge(1064));
+        assert!(!brake.should_stop());
+        assert!(!brake.charge(1));
+        assert!(brake.should_stop());
+        assert!(brake.engaged());
+        assert_eq!(brake.consumed(), 1065);
+        // cancellation stops workers without marking the brake engaged
+        let token = CancelToken::new();
+        let gov2 = Governor::unlimited().with_cancel(token.clone());
+        let brake2 = gov2.guard(EngineId::Col).par_brake();
+        assert!(!brake2.should_stop());
+        token.cancel();
+        assert!(brake2.should_stop());
+        assert!(!brake2.engaged());
+    }
+
+    #[test]
+    fn brake_trip_reports_facts_with_trace() {
+        let (handle, mem) = TraceHandle::mem();
+        let gov = Governor::new(Budget::unlimited().with_facts(10)).with_trace(handle);
+        let mut g = gov.guard(EngineId::Datalog);
+        g.set_fact_base(7).unwrap();
+        let trip = g.brake_trip();
+        assert_eq!(trip.resource, Resource::Facts);
+        assert_eq!(trip.consumed, 7);
+        assert_eq!(trip.limit, 10);
+        assert!(matches!(
+            mem.events().as_slice(),
+            [TraceEvent::GuardTrip { .. }]
+        ));
     }
 
     #[test]

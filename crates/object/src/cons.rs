@@ -18,12 +18,72 @@ use crate::error::{ObjectError, Result};
 use crate::rtype::Type;
 use crate::value::Value;
 use std::collections::BTreeSet;
+use uset_par::{par_map, split_range};
 
 /// Enumerate `cons_T(X)` for a strict type, failing if the result would
 /// exceed `limit` elements (the sizes involved are hyper-exponential).
 pub fn cons_type(ty: &Type, atoms: &BTreeSet<Atom>, limit: usize) -> Result<Vec<Value>> {
     let out = cons_type_inner(ty, atoms, limit)?;
     Ok(out)
+}
+
+/// [`cons_type`] with the outermost constructor's candidate space split
+/// across `workers` threads.
+///
+/// The outermost set or tuple constructor dominates the enumeration (each
+/// nesting level squares-or-worse the count), so only it is parallelized:
+/// its index space — subset masks for a set, mixed-radix row indexes for a
+/// tuple — is split into contiguous ranges via [`split_range`] and each
+/// worker materializes its range in order. Concatenating the ranges
+/// reproduces the sequential enumeration order exactly, so the result is
+/// identical to [`cons_type`] at every width (including the error cases:
+/// all size prediction happens before any fan-out). `workers <= 1` *is*
+/// the sequential path.
+pub fn cons_type_par(
+    ty: &Type,
+    atoms: &BTreeSet<Atom>,
+    limit: usize,
+    workers: usize,
+) -> Result<Vec<Value>> {
+    if workers <= 1 {
+        return cons_type(ty, atoms, limit);
+    }
+    match ty {
+        Type::Atomic => cons_type(ty, atoms, limit),
+        Type::Set(inner) => {
+            let members = cons_type_inner(inner, atoms, limit)?;
+            let predicted = 1u128.checked_shl(members.len() as u32);
+            if predicted.is_none_or(|p| p > limit as u128) {
+                return Err(ObjectError::BoundExceeded {
+                    what: "cons_T powerset",
+                    bound: limit,
+                });
+            }
+            Ok(powerset_par(&members, workers))
+        }
+        Type::Tuple(items) => {
+            let columns: Vec<Vec<Value>> = items
+                .iter()
+                .map(|t| cons_type_inner(t, atoms, limit))
+                .collect::<Result<_>>()?;
+            let mut total: usize = 1;
+            for c in &columns {
+                total = total
+                    .checked_mul(c.len().max(1))
+                    .ok_or(ObjectError::BoundExceeded {
+                        what: "cons_T product",
+                        bound: limit,
+                    })?;
+            }
+            if total > limit {
+                return Err(ObjectError::BoundExceeded {
+                    what: "cons_T product",
+                    bound: limit,
+                });
+            }
+            Ok(cartesian_par(&columns, workers))
+        }
+    }
 }
 
 fn cons_type_inner(ty: &Type, atoms: &BTreeSet<Atom>, limit: usize) -> Result<Vec<Value>> {
@@ -95,6 +155,37 @@ pub fn powerset(members: &[Value]) -> Vec<Value> {
     out
 }
 
+/// [`powerset`] with the `2^n` subset masks split into contiguous ranges
+/// across `workers` threads. Each worker enumerates its mask range in
+/// ascending order, so concatenating the per-range outputs yields exactly
+/// the sequential enumeration. Same panic condition as [`powerset`].
+pub fn powerset_par(members: &[Value], workers: usize) -> Vec<Value> {
+    let n = members.len();
+    assert!(
+        n < usize::BITS as usize,
+        "powerset of {n} members cannot be enumerated with a word-sized mask"
+    );
+    if workers <= 1 {
+        return powerset(members);
+    }
+    let total = 1usize << n;
+    let ranges = split_range(total, workers);
+    let chunks = par_map(workers, &ranges, |_, range| {
+        let mut out = Vec::with_capacity(range.len());
+        for mask in range.clone() {
+            let mut s = BTreeSet::new();
+            for (i, m) in members.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert(m.clone());
+                }
+            }
+            out.push(Value::Set(s));
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
+}
+
 /// Cartesian product of value columns, as tuples.
 pub fn cartesian(columns: &[Vec<Value>]) -> Vec<Value> {
     let mut out: Vec<Vec<Value>> = vec![Vec::new()];
@@ -110,6 +201,40 @@ pub fn cartesian(columns: &[Vec<Value>]) -> Vec<Value> {
         out = next;
     }
     out.into_iter().map(Value::Tuple).collect()
+}
+
+/// [`cartesian`] with the row-index space split into contiguous ranges
+/// across `workers` threads.
+///
+/// The sequential product is row-major (the last column varies fastest),
+/// so row `i` is recovered independently by mixed-radix decomposition of
+/// `i` over the column lengths; each worker materializes a contiguous
+/// index range and concatenation reproduces the sequential order exactly.
+/// Callers must have pre-checked that the product size fits in `usize`
+/// (as [`cons_type_par`] does).
+pub fn cartesian_par(columns: &[Vec<Value>], workers: usize) -> Vec<Value> {
+    if workers <= 1 {
+        return cartesian(columns);
+    }
+    let total: usize = columns.iter().map(Vec::len).product();
+    if total == 0 {
+        return Vec::new();
+    }
+    let ranges = split_range(total, workers);
+    let chunks = par_map(workers, &ranges, |_, range| {
+        let mut out = Vec::with_capacity(range.len());
+        for idx in range.clone() {
+            let mut row = vec![Value::empty_set(); columns.len()];
+            let mut rem = idx;
+            for (j, col) in columns.iter().enumerate().rev() {
+                row[j] = col[rem % col.len()].clone();
+                rem /= col.len();
+            }
+            out.push(Value::Tuple(row));
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 /// The size of `cons_T(X)` without materializing it, or `None` on overflow.
@@ -458,6 +583,61 @@ mod tests {
             assert_eq!(v.size(), k + 1, "linear growth");
             assert_eq!(v.adom().len(), 1, "no invention");
         }
+    }
+
+    #[test]
+    fn powerset_par_matches_sequential_at_every_width() {
+        for n in 0..9usize {
+            let members: Vec<Value> = (0..n as u64).map(atom).collect();
+            let expect = powerset(&members);
+            for workers in [1, 2, 3, 4, 7] {
+                assert_eq!(powerset_par(&members, workers), expect, "n={n} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn cartesian_par_matches_sequential_at_every_width() {
+        let cases: Vec<Vec<Vec<Value>>> = vec![
+            vec![],
+            vec![vec![atom(0), atom(1)]],
+            vec![vec![atom(0), atom(1)], vec![]],
+            vec![
+                (0..5u64).map(atom).collect(),
+                (0..3u64).map(atom).collect(),
+                vec![atom(9), set([atom(1)])],
+            ],
+        ];
+        for cols in &cases {
+            let expect = cartesian(cols);
+            for workers in [1, 2, 3, 4, 7] {
+                assert_eq!(cartesian_par(cols, workers), expect, "w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn cons_type_par_matches_sequential_including_errors() {
+        let types = [
+            Type::Atomic,
+            Type::Set(Box::new(Type::Atomic)),
+            Type::nested_set(2),
+            Type::Tuple(vec![Type::Atomic, Type::Set(Box::new(Type::Atomic))]),
+        ];
+        for ty in &types {
+            let expect = cons_type(ty, &atoms(3), 1 << 20);
+            for workers in [1, 2, 4] {
+                let got = cons_type_par(ty, &atoms(3), 1 << 20, workers);
+                match (&expect, &got) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "{ty:?} w={workers}"),
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("{ty:?} w={workers}: par/seq disagree on success"),
+                }
+            }
+        }
+        // oversized enumerations fail identically before any fan-out
+        let err = cons_type_par(&Type::nested_set(3), &atoms(5), 1 << 20, 4).unwrap_err();
+        assert!(matches!(err, ObjectError::BoundExceeded { .. }));
     }
 
     #[test]

@@ -1,53 +1,84 @@
-//! First-column hash indexes over relation instances.
+//! Per-column hash indexes over relation instances.
 //!
 //! The deductive engines join a rule body left to right; by the time a
-//! literal `P(t1, …, tn)` is reached, `t1` is very often already ground
-//! under the current bindings (the idiomatic rule orders, e.g. transitive
-//! closure `T(x,z) ← E(x,y), T(y,z)`, guarantee it). A [`ColumnIndex`]
-//! groups a relation's tuple rows by their first component so such
+//! literal `P(t1, …, tn)` is reached, some `ti` is very often already
+//! ground under the current bindings (the idiomatic rule orders, e.g.
+//! transitive closure `T(x,z) ← E(x,y), T(y,z)`, ground the first
+//! position, but programs are under no obligation to). A [`ColumnIndex`]
+//! groups a relation's tuple rows by one chosen component so such
 //! literals probe a hash bucket instead of scanning the whole relation —
 //! turning the inner join loop from O(|rel|) to O(matches).
 //!
-//! [`IndexSet`] caches one index per relation, built on first use and
-//! kept in sync by the engine notifying it of every inserted row. The
-//! engines only ever grow relations during a fixpoint, so no invalidation
-//! path is needed.
+//! [`IndexSet`] caches indexes per `(relation, column)`, built on first
+//! use and kept in sync by the engine notifying it of every inserted row.
+//! Because the cache is only *advisory* — a probe answers the same
+//! question a scan would — it also defends itself against the one way the
+//! notify protocol can be violated: every index carries a count of the
+//! rows it has seen ([`ColumnIndex::rows_seen`]), and [`IndexSet::of_col`]
+//! compares it against the live instance's length, rebuilding on any
+//! mismatch. A call site that mutates a relation after its index was
+//! built (in either direction — un-notified insertion *or* rollback
+//! removal) therefore gets a fresh index on the next access instead of a
+//! stale join snapshot.
 
 use crate::database::Instance;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The first column of a row, when the row is a non-empty tuple.
-///
-/// Rows that are not tuples (bare objects in unary relations) have no
-/// first column; literals of arity ≥ 2 can never match them, and unary
-/// literals with a ground argument are answered by a direct
-/// `Instance::contains` instead of an index probe.
 pub fn first_column(row: &Value) -> Option<&Value> {
-    row.as_tuple().and_then(|items| items.first())
+    nth_column(row, 0)
 }
 
-/// A hash index over one relation: tuple rows grouped by first component.
+/// Column `col` of a row, when the row is a tuple of arity > `col`.
+///
+/// Rows that are not tuples (bare objects in unary relations) have no
+/// columns; literals of arity ≥ 2 can never match them, and unary
+/// literals with a ground argument are answered by a direct
+/// `Instance::contains` instead of an index probe.
+pub fn nth_column(row: &Value, col: usize) -> Option<&Value> {
+    row.as_tuple().and_then(|items| items.get(col))
+}
+
+/// A hash index over one relation: tuple rows grouped by one component.
 #[derive(Clone, Debug, Default)]
 pub struct ColumnIndex {
-    by_first: HashMap<Value, Vec<Value>>,
+    key_col: usize,
+    buckets: HashMap<Value, Vec<Value>>,
     rows_indexed: usize,
+    rows_seen: usize,
 }
 
 impl ColumnIndex {
-    /// Build from an instance's current rows.
+    /// Build a first-column index from an instance's current rows.
     pub fn build(inst: &Instance) -> ColumnIndex {
-        let mut idx = ColumnIndex::default();
+        ColumnIndex::build_on(inst, 0)
+    }
+
+    /// Build an index keyed on column `col` from an instance's rows.
+    pub fn build_on(inst: &Instance, col: usize) -> ColumnIndex {
+        let mut idx = ColumnIndex {
+            key_col: col,
+            ..ColumnIndex::default()
+        };
         for row in inst.iter() {
             idx.insert(row);
         }
         idx
     }
 
-    /// Add one row (no-op for rows without a first column).
+    /// The column this index is keyed on.
+    pub fn key_col(&self) -> usize {
+        self.key_col
+    }
+
+    /// Add one row. Rows without the keyed column (non-tuples, short
+    /// tuples) still count toward [`ColumnIndex::rows_seen`] so the
+    /// staleness stamp tracks the instance's length exactly.
     pub fn insert(&mut self, row: &Value) {
-        if let Some(key) = first_column(row) {
-            self.by_first
+        self.rows_seen += 1;
+        if let Some(key) = nth_column(row, self.key_col) {
+            self.buckets
                 .entry(key.clone())
                 .or_default()
                 .push(row.clone());
@@ -55,12 +86,12 @@ impl ColumnIndex {
         }
     }
 
-    /// All rows whose first component equals `key`.
+    /// All rows whose keyed component equals `key`.
     pub fn probe(&self, key: &Value) -> &[Value] {
-        self.by_first.get(key).map_or(&[], Vec::as_slice)
+        self.buckets.get(key).map_or(&[], Vec::as_slice)
     }
 
-    /// Number of rows the index covers.
+    /// Number of rows the index covers (rows that have the keyed column).
     pub fn len(&self) -> usize {
         self.rows_indexed
     }
@@ -69,12 +100,20 @@ impl ColumnIndex {
     pub fn is_empty(&self) -> bool {
         self.rows_indexed == 0
     }
+
+    /// Total rows this index has been shown, indexable or not — the
+    /// version stamp [`IndexSet::of_col`] compares against the live
+    /// instance's length to detect un-notified mutation.
+    pub fn rows_seen(&self) -> usize {
+        self.rows_seen
+    }
 }
 
-/// A per-relation cache of [`ColumnIndex`]es over a growing database.
+/// A cache of [`ColumnIndex`]es per `(relation, column)` over a growing
+/// database.
 #[derive(Clone, Debug, Default)]
 pub struct IndexSet {
-    map: HashMap<String, ColumnIndex>,
+    map: HashMap<String, BTreeMap<usize, ColumnIndex>>,
 }
 
 impl IndexSet {
@@ -83,24 +122,61 @@ impl IndexSet {
         IndexSet::default()
     }
 
-    /// The index for `name`, building it from `inst` on first use.
-    ///
-    /// The caller must pass the same live instance every time and report
-    /// subsequent insertions via [`IndexSet::note_insert`], otherwise the
-    /// cached index goes stale.
+    /// The first-column index for `name`, building it from `inst` on
+    /// first use. Shorthand for [`IndexSet::of_col`] with column 0.
     pub fn of(&mut self, name: &str, inst: &Instance) -> &ColumnIndex {
-        self.map
-            .entry(name.to_owned())
-            .or_insert_with(|| ColumnIndex::build(inst))
+        self.of_col(name, 0, inst)
     }
 
-    /// Record a row newly inserted into relation `name`. Relations whose
-    /// index has not been built yet are skipped — the row will be picked
-    /// up when (if ever) the index is first built.
-    pub fn note_insert(&mut self, name: &str, row: &Value) {
-        if let Some(idx) = self.map.get_mut(name) {
-            idx.insert(row);
+    /// The column-`col` index for `name`, building it from `inst` on
+    /// first use.
+    ///
+    /// Callers should report insertions via [`IndexSet::note_insert`];
+    /// if a relation was nonetheless mutated behind the cache's back
+    /// (detected by comparing the index's row count against the live
+    /// instance), the stale index is discarded and rebuilt here rather
+    /// than served.
+    pub fn of_col(&mut self, name: &str, col: usize, inst: &Instance) -> &ColumnIndex {
+        let by_col = self.map.entry(name.to_owned()).or_default();
+        let entry = by_col
+            .entry(col)
+            .or_insert_with(|| ColumnIndex::build_on(inst, col));
+        if entry.rows_seen() != inst.len() {
+            *entry = ColumnIndex::build_on(inst, col);
         }
+        entry
+    }
+
+    /// The column-`col` index for `name` if it is already built **and**
+    /// fresh — the read-only lookup parallel workers use against a
+    /// prebuilt cache (workers share `&IndexSet` and cannot build).
+    /// `inst_len` is the probed relation's current length; a stale entry
+    /// returns `None` so the caller falls back to a scan instead of
+    /// joining against a stale snapshot.
+    pub fn get(&self, name: &str, col: usize, inst_len: usize) -> Option<&ColumnIndex> {
+        self.map
+            .get(name)
+            .and_then(|by_col| by_col.get(&col))
+            .filter(|idx| idx.rows_seen() == inst_len)
+    }
+
+    /// Record a row newly inserted into relation `name`, updating every
+    /// built column index for it. Relations with no built index are
+    /// skipped — rows are picked up when (if ever) an index is first
+    /// built.
+    pub fn note_insert(&mut self, name: &str, row: &Value) {
+        if let Some(by_col) = self.map.get_mut(name) {
+            for idx in by_col.values_mut() {
+                idx.insert(row);
+            }
+        }
+    }
+
+    /// Drop every cached index for `name` (e.g. after a rollback that
+    /// removed rows). Cheaper than letting each next access detect the
+    /// mismatch and rebuild one column at a time.
+    pub fn invalidate(&mut self, name: &str) {
+        self.map.remove(name);
     }
 }
 
@@ -127,12 +203,34 @@ mod tests {
     }
 
     #[test]
-    fn non_tuple_rows_are_not_indexed() {
+    fn probe_on_second_column() {
+        let mut inst = rel();
+        inst.insert(tuple([atom(3), atom(10)]));
+        let idx = ColumnIndex::build_on(&inst, 1);
+        assert_eq!(idx.key_col(), 1);
+        assert_eq!(idx.probe(&atom(10)).len(), 2);
+        assert_eq!(idx.probe(&atom(20)), &[tuple([atom(2), atom(20)])]);
+        assert!(idx.probe(&atom(1)).is_empty(), "keys are column 1 values");
+    }
+
+    #[test]
+    fn non_tuple_rows_are_not_indexed_but_are_counted() {
         let mut idx = ColumnIndex::default();
         idx.insert(&atom(5));
         idx.insert(&Value::Tuple(vec![]));
         assert!(idx.is_empty());
         assert!(idx.probe(&atom(5)).is_empty());
+        // the staleness stamp still tracks both rows
+        assert_eq!(idx.rows_seen(), 2);
+    }
+
+    #[test]
+    fn short_tuples_are_skipped_by_higher_columns() {
+        let mut inst = Instance::from_rows([[atom(1), atom(2)]]);
+        inst.insert(tuple([atom(9)])); // arity 1: no column 1
+        let idx = ColumnIndex::build_on(&inst, 1);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.rows_seen(), 2);
     }
 
     #[test]
@@ -149,5 +247,67 @@ mod tests {
         set.note_insert("S", &row);
         let s = Instance::from_rows([[atom(9), atom(9)]]);
         assert_eq!(set.of("S", &s).probe(&atom(9)).len(), 1);
+    }
+
+    #[test]
+    fn note_insert_updates_every_built_column() {
+        let mut inst = rel();
+        let mut set = IndexSet::new();
+        set.of_col("R", 0, &inst);
+        set.of_col("R", 1, &inst);
+        let row = tuple([atom(7), atom(10)]);
+        inst.insert(row.clone());
+        set.note_insert("R", &row);
+        assert_eq!(set.of_col("R", 0, &inst).probe(&atom(7)).len(), 1);
+        assert_eq!(set.of_col("R", 1, &inst).probe(&atom(10)).len(), 2);
+    }
+
+    /// Regression test for the staleness hazard: mutate the relation
+    /// *without* calling `note_insert` (the bug pattern an engine hits if
+    /// any insertion path forgets the notify step) and demand that the
+    /// next access still answers from fresh data. On the pre-version-stamp
+    /// implementation, the second `of()` returned the cached index and
+    /// this probe missed the new row.
+    #[test]
+    fn unnotified_mutation_is_healed_on_next_access() {
+        let mut inst = rel();
+        let mut set = IndexSet::new();
+        assert_eq!(set.of("R", &inst).probe(&atom(2)).len(), 1);
+        // mutate behind the cache's back — no note_insert
+        inst.insert(tuple([atom(2), atom(21)]));
+        assert_eq!(
+            set.of("R", &inst).probe(&atom(2)).len(),
+            2,
+            "stale index must be rebuilt, not served"
+        );
+        // removal (the rollback direction) is healed the same way
+        inst.remove(&tuple([atom(2), atom(21)]));
+        assert_eq!(set.of("R", &inst).probe(&atom(2)).len(), 1);
+    }
+
+    #[test]
+    fn read_only_get_refuses_stale_entries() {
+        let mut inst = rel();
+        let mut set = IndexSet::new();
+        assert!(set.get("R", 0, inst.len()).is_none(), "nothing built yet");
+        set.of_col("R", 0, &inst);
+        assert!(set.get("R", 0, inst.len()).is_some());
+        assert!(set.get("R", 1, inst.len()).is_none(), "column not built");
+        inst.insert(tuple([atom(4), atom(40)]));
+        assert!(
+            set.get("R", 0, inst.len()).is_none(),
+            "stale entry must not be served to read-only probers"
+        );
+    }
+
+    #[test]
+    fn invalidate_drops_all_columns() {
+        let inst = rel();
+        let mut set = IndexSet::new();
+        set.of_col("R", 0, &inst);
+        set.of_col("R", 1, &inst);
+        set.invalidate("R");
+        assert!(set.get("R", 0, inst.len()).is_none());
+        assert!(set.get("R", 1, inst.len()).is_none());
     }
 }

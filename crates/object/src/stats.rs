@@ -20,6 +20,10 @@ pub struct EvalStats {
     pub tuples_derived: u64,
     /// Hash-index probes that replaced full relation scans.
     pub index_probes: u64,
+    /// Join literals that had a ground column available but still fell
+    /// back to a full relation scan (no usable index at that position) —
+    /// the benchable signal that an indexing opportunity was missed.
+    pub scan_fallbacks: u64,
     /// Largest total fact count observed in the evolving state.
     pub peak_facts: usize,
 }
@@ -38,6 +42,7 @@ impl EvalStats {
         self.rules_fired += other.rules_fired;
         self.tuples_derived += other.tuples_derived;
         self.index_probes += other.index_probes;
+        self.scan_fallbacks += other.scan_fallbacks;
         self.peak_facts = self.peak_facts.max(other.peak_facts);
     }
 }
@@ -46,8 +51,13 @@ impl std::fmt::Display for EvalStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "rounds={} rules_fired={} tuples_derived={} index_probes={} peak_facts={}",
-            self.rounds, self.rules_fired, self.tuples_derived, self.index_probes, self.peak_facts
+            "rounds={} rules_fired={} tuples_derived={} index_probes={} scan_fallbacks={} peak_facts={}",
+            self.rounds,
+            self.rules_fired,
+            self.tuples_derived,
+            self.index_probes,
+            self.scan_fallbacks,
+            self.peak_facts
         )
     }
 }
@@ -63,6 +73,7 @@ mod tests {
             rules_fired: 10,
             tuples_derived: 100,
             index_probes: 5,
+            scan_fallbacks: 2,
             peak_facts: 40,
         };
         let b = EvalStats {
@@ -70,6 +81,7 @@ mod tests {
             rules_fired: 1,
             tuples_derived: 1,
             index_probes: 1,
+            scan_fallbacks: 1,
             peak_facts: 7,
         };
         a.absorb(&b);
@@ -77,6 +89,7 @@ mod tests {
         assert_eq!(a.rules_fired, 11);
         assert_eq!(a.tuples_derived, 101);
         assert_eq!(a.index_probes, 6);
+        assert_eq!(a.scan_fallbacks, 3);
         assert_eq!(a.peak_facts, 40);
     }
 

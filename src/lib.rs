@@ -24,6 +24,10 @@
 //! * [`trace`] — structured tracing, per-rule metrics, and derivation
 //!   provenance ([`trace::TraceHandle`], [`trace::MemTracer::why`]),
 //!   carried into every engine by the governor.
+//! * [`par`] — the deterministic scoped worker pool ([`par::ParConfig`],
+//!   [`par::par_map`]) behind `USET_THREADS`; every engine's parallel
+//!   rounds merge worker output so results are bit-identical to
+//!   sequential evaluation.
 
 pub use uset_algebra as algebra;
 pub use uset_analysis as analysis;
@@ -34,6 +38,7 @@ pub use uset_deductive as deductive;
 pub use uset_gtm as gtm;
 pub use uset_guard as guard;
 pub use uset_object as object;
+pub use uset_par as par;
 pub use uset_trace as trace;
 
 /// Crate version, for examples that print provenance.

@@ -316,6 +316,119 @@ proptest! {
     }
 }
 
+/// Governance × parallelism: the failpoint cancellations again, with a
+/// four-worker policy — the pinned equivalent of `USET_THREADS=4` (tests
+/// pin an explicit [`untyped_sets::par::ParConfig`] because the process
+/// environment is global and racy under a parallel test harness). A trip
+/// while a round's phase 1 is fanned out across threads must still leave
+/// the documented round-consistent partial snapshot: input facts intact,
+/// derived facts a subset of the unbudgeted fixpoint, never a torn round.
+/// Failpoint *tick positions* may differ from the sequential run (workers
+/// poll a shared brake instead of ticking the guard), so these tests
+/// assert the snapshot invariants, not tick-for-tick parity.
+mod parallel_governance {
+    use super::*;
+    use untyped_sets::calculus::invention::eval_fi_governed;
+    use untyped_sets::calculus::{eval_fi, CalcConfig, CalcQuery, CalcTerm, Formula};
+    use untyped_sets::object::RType;
+    use untyped_sets::par::ParConfig;
+
+    fn par4() -> ParConfig {
+        ParConfig::workers(4)
+    }
+
+    #[test]
+    fn datalog_failpoint_cancels_mid_round_at_width_4() {
+        let db = path_db(16);
+        let prog = dl_tc();
+        let full = prog.eval_stratified(&db, 10_000).expect("full fixpoint");
+        let governor = Governor::unlimited()
+            .with_failpoint(FailPoint::cancel_at(6))
+            .with_par(par4());
+        let mut stats = EvalStats::default();
+        let err = prog
+            .eval_stratified_governed(&db, &governor, &mut stats)
+            .unwrap_err();
+        let report = err.exhausted().expect("cancellation report");
+        assert_eq!(report.engine(), EngineId::Datalog);
+        assert_eq!(report.resource(), Resource::Cancelled);
+        assert!(report.partial.get("T").is_subset(&full.get("T")));
+        assert!(db.get("E").is_subset(&report.partial.get("E")));
+    }
+
+    #[test]
+    fn col_failpoint_cancels_mid_round_at_width_4() {
+        let db = path_db(16);
+        let cfg = ColConfig {
+            max_rounds: 100,
+            max_facts: 100_000,
+        };
+        let full = stratified(&col_tc(), &db, &cfg).expect("unbudgeted fixpoint");
+        for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+            let governor = Governor::unlimited()
+                .with_failpoint(FailPoint::cancel_at(9))
+                .with_par(par4());
+            let mut stats = EvalStats::default();
+            let err = stratified_governed(&col_tc(), &db, &cfg, strategy, &governor, &mut stats)
+                .unwrap_err();
+            let report = err.exhausted().expect("cancellation report");
+            assert_eq!(report.engine(), EngineId::Col);
+            assert_eq!(report.resource(), Resource::Cancelled);
+            assert!(report.partial.pred("T").is_subset(&full.pred("T")));
+            assert!(db.get("E").is_subset(&report.partial.pred("E")));
+        }
+    }
+
+    #[test]
+    fn bk_failpoint_cancels_mid_round_at_width_4() {
+        let dollar = BkObject::Atom(Atom::named("gov-par-$"));
+        let prog = BkProgram::chain_to_list(dollar.clone());
+        let st = state_from([(
+            "S",
+            vec![BkObject::tuple([
+                ("A", dollar.clone()),
+                ("B", BkObject::atom(1)),
+            ])],
+        )]);
+        let governor = Governor::unlimited()
+            .with_failpoint(FailPoint::cancel_at(3))
+            .with_par(par4());
+        let err = eval_rounds_governed(&prog, &st, &BkConfig::default(), &governor).unwrap_err();
+        let BkError::Exhausted(report) = &err;
+        assert_eq!(report.engine(), EngineId::Bk);
+        assert_eq!(report.resource(), Resource::Cancelled);
+        assert!(!report.partial.state["S"].is_empty());
+    }
+
+    #[test]
+    fn calculus_failpoint_cancels_between_levels_at_width_4() {
+        // the all-atoms query; each invention level is one guard step, and
+        // steps are charged in level order even when levels evaluate
+        // speculatively in parallel — so the cancel lands between the same
+        // levels as a sequential run and the union is an exact level prefix
+        let mut db = Database::empty();
+        db.set("R", Instance::from_values([atom(1), atom(2)]));
+        let q = CalcQuery::new(
+            "x",
+            RType::Atomic,
+            Formula::Eq(CalcTerm::var("x"), CalcTerm::var("x")),
+        );
+        let cfg = CalcConfig::default();
+        let governor = Governor::new(cfg.budget())
+            .with_failpoint(FailPoint::cancel_at(2))
+            .with_par(par4());
+        let err = eval_fi_governed(&q, &db, 10, &cfg, &governor).unwrap_err();
+        let report = err.exhausted().expect("cancellation report");
+        assert_eq!(report.engine(), EngineId::Calculus);
+        assert_eq!(report.resource(), Resource::Cancelled);
+        assert_eq!(report.partial.levels_done, 1);
+        assert_eq!(
+            report.partial.union,
+            eval_fi(&q, &db, 0, &cfg).expect("level-0 prefix")
+        );
+    }
+}
+
 /// Governance × tracing: a budget trip mid-run must leave a well-formed
 /// JSONL trace — every line individually valid JSON, flushed through the
 /// final `guard_trip` event — so a post-mortem can always be read off the

@@ -69,7 +69,7 @@ fn untyped_quantifier_answers_grow_with_bound() {
     for bound in [2usize, 3, 4, 5] {
         let cfg = CalcConfig {
             obj_size_bound: bound,
-            cons_limit: 1 << 20,
+            ..CalcConfig::default()
         };
         let out = eval_query(&q, &db, &cfg).unwrap();
         assert!(out.len() > last, "bound {bound} must add answers");

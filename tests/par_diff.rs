@@ -1,0 +1,238 @@
+//! Differential suite for parallel fixpoint evaluation: on random
+//! programs, an engine run at width N must produce a final state
+//! **bit-identical** to the sequential run — same predicate extents, same
+//! function graphs — and identical `EvalStats` work counts
+//! (`tuples_derived`, `rules_fired`, probe/fallback counters). This is the
+//! acceptance property for `uset-par`: phase 1 of every round fans out
+//! over read-only snapshots and the per-worker buffers merge in canonical
+//! order, so parallelism must be observationally invisible.
+//!
+//! Widths are pinned via [`ParConfig::workers`] rather than
+//! `USET_THREADS` because the process environment is global and racy
+//! under a parallel test harness.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use untyped_sets::deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
+use untyped_sets::deductive::col::eval::{
+    inflationary_governed, stratified_governed, ColConfig, ColStrategy,
+};
+use untyped_sets::deductive::{DatalogProgram, DlAtom, DlRule, DlTerm};
+use untyped_sets::guard::Governor;
+use untyped_sets::object::{Atom, Database, EvalStats, Instance, Value};
+use untyped_sets::par::ParConfig;
+
+const WIDTHS: [usize; 3] = [2, 4, 7];
+
+fn a(id: u64) -> Value {
+    Value::Atom(Atom::new(id))
+}
+
+fn arb_graph() -> impl Strategy<Value = Database> {
+    prop::collection::vec((0u64..6, 0u64..6), 0..12).prop_map(|edges| {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows(edges.into_iter().map(|(x, y)| [a(x), a(y)])),
+        );
+        db
+    })
+}
+
+fn governor(workers: usize) -> Governor {
+    Governor::unlimited().with_par(ParConfig::workers(workers))
+}
+
+// ---------------------------------------------------------------- datalog
+
+fn dl_tc_neg_prog() -> DatalogProgram {
+    let v = DlTerm::var;
+    DatalogProgram::new(vec![
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("y")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("z")]),
+            vec![
+                (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                (true, DlAtom::new("T", vec![v("y"), v("z")])),
+            ],
+        ),
+        // complement stratum: node pairs not connected by T
+        DlRule::new(
+            DlAtom::new("N", vec![v("x")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("N", vec![v("y")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("NT", vec![v("x"), v("y")]),
+            vec![
+                (true, DlAtom::new("N", vec![v("x")])),
+                (true, DlAtom::new("N", vec![v("y")])),
+                (false, DlAtom::new("T", vec![v("x"), v("y")])),
+            ],
+        ),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DATALOG¬ stratified semi-naive: parallel ≡ sequential on random
+    /// graphs, states and stats both.
+    #[test]
+    fn datalog_stratified_parallel_matches_sequential(db in arb_graph()) {
+        let prog = dl_tc_neg_prog();
+        let mut seq_stats = EvalStats::default();
+        let seq = prog
+            .eval_stratified_governed(&db, &governor(1), &mut seq_stats)
+            .unwrap();
+        for workers in WIDTHS {
+            let mut stats = EvalStats::default();
+            let par = prog
+                .eval_stratified_governed(&db, &governor(workers), &mut stats)
+                .unwrap();
+            assert_eq!(&par, &seq, "state at width {}", workers);
+            assert_eq!(&stats, &seq_stats, "stats at width {}", workers);
+        }
+    }
+
+    /// DATALOG¬ inflationary (naive rounds): parallel ≡ sequential.
+    #[test]
+    fn datalog_inflationary_parallel_matches_sequential(db in arb_graph()) {
+        let v = DlTerm::var;
+        // win-move is unstratifiable; inflationary semantics accepts it
+        let prog = DatalogProgram::new(vec![
+            DlRule::new(
+                DlAtom::new("W", vec![v("x")]),
+                vec![
+                    (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                    (false, DlAtom::new("W", vec![v("y")])),
+                ],
+            ),
+        ]);
+        let mut seq_stats = EvalStats::default();
+        let seq = prog
+            .eval_inflationary_governed(&db, &governor(1), &mut seq_stats)
+            .unwrap();
+        for workers in WIDTHS {
+            let mut stats = EvalStats::default();
+            let par = prog
+                .eval_inflationary_governed(&db, &governor(workers), &mut stats)
+                .unwrap();
+            assert_eq!(&par, &seq, "state at width {}", workers);
+            assert_eq!(&stats, &seq_stats, "stats at width {}", workers);
+        }
+    }
+}
+
+// -------------------------------------------------------------------- col
+
+fn col_tc_neg_prog() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("R", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ),
+        ColRule::pred(
+            "N",
+            vec![v("x")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "NT",
+            vec![v("x"), v("y")],
+            vec![
+                ColLiteral::pred("N", vec![v("x")]),
+                ColLiteral::pred("N", vec![v("y")]),
+                ColLiteral::not_pred("T", vec![v("x"), v("y")]),
+            ],
+        ),
+    ])
+}
+
+/// Data functions: membership heads build F's sets; G reads an applied
+/// value — exercises the function-delta sharding path.
+fn col_func_prog() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::func_member(
+            "F",
+            vec![v("x")],
+            v("y"),
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "G",
+            vec![ColTerm::Tuple(vec![
+                v("x"),
+                ColTerm::Apply("F".into(), vec![v("x")]),
+            ])],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+    ])
+}
+
+fn col_parallel_matches(prog: &ColProgram, db: &Database) -> Result<(), TestCaseError> {
+    let cfg = ColConfig::default();
+    for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+        let mut seq_stats = EvalStats::default();
+        let seq =
+            stratified_governed(prog, db, &cfg, strategy, &governor(1), &mut seq_stats).unwrap();
+        for workers in WIDTHS {
+            let mut stats = EvalStats::default();
+            let par = stratified_governed(prog, db, &cfg, strategy, &governor(workers), &mut stats)
+                .unwrap();
+            assert_eq!(&par, &seq, "state {:?} width {}", strategy, workers);
+            assert_eq!(&stats, &seq_stats, "stats {:?} width {}", strategy, workers);
+        }
+        let mut seq_stats = EvalStats::default();
+        let seq =
+            inflationary_governed(prog, db, &cfg, strategy, &governor(1), &mut seq_stats).unwrap();
+        for workers in WIDTHS {
+            let mut stats = EvalStats::default();
+            let par =
+                inflationary_governed(prog, db, &cfg, strategy, &governor(workers), &mut stats)
+                    .unwrap();
+            assert_eq!(&par, &seq, "infl state {:?} width {}", strategy, workers);
+            assert_eq!(
+                &stats, &seq_stats,
+                "infl stats {:?} width {}",
+                strategy, workers
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// COL with negation strata: parallel ≡ sequential under both
+    /// strategies and both semantics.
+    #[test]
+    fn col_negation_parallel_matches_sequential(db in arb_graph()) {
+        col_parallel_matches(&col_tc_neg_prog(), &db)?;
+    }
+
+    /// COL with data functions: identical predicate extents *and*
+    /// function graphs at every width.
+    #[test]
+    fn col_functions_parallel_matches_sequential(db in arb_graph()) {
+        col_parallel_matches(&col_func_prog(), &db)?;
+    }
+}

@@ -206,6 +206,63 @@ fn jsonl_trace_of_successful_run_is_well_formed() {
     assert!(lines.iter().any(|l| l.contains("\"ev\":\"rule_fired\"")));
 }
 
+/// Scrub wall-clock fields (`wall_us`, `wall_micros`) from a JSONL trace:
+/// timing is the only field allowed to vary between reruns.
+fn scrub_wall(text: &str) -> String {
+    let mut s = text.to_owned();
+    for key in ["\"wall_us\":", "\"wall_micros\":"] {
+        let mut from = 0;
+        while let Some(rel) = s[from..].find(key) {
+            let start = from + rel + key.len();
+            let end = s[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(s.len(), |e| start + e);
+            s.replace_range(start..end, "0");
+            from = start + 1;
+        }
+    }
+    s
+}
+
+/// Iteration-order determinism: rerunning the same traced program yields a
+/// byte-identical JSONL stream (modulo wall-clock fields), sequentially
+/// and at width 4. Derivation order feeds the trace, so any hash-order
+/// iteration leaking into the engines would show up here.
+#[test]
+fn jsonl_traces_are_byte_identical_across_reruns() {
+    let run = |workers: usize, tag: u32| -> String {
+        let path = std::env::temp_dir().join(format!(
+            "uset-det-trace-{}-{workers}-{tag}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = JsonlTracer::create(&path).expect("create trace file");
+            let governor = Governor::unlimited()
+                .with_trace(TraceHandle::new(Arc::new(sink)))
+                .with_par(untyped_sets::par::ParConfig::workers(workers));
+            let mut stats = EvalStats::default();
+            stratified_governed(
+                &col_tc(),
+                &path_db(12),
+                &ColConfig::default(),
+                ColStrategy::Seminaive,
+                &governor,
+                &mut stats,
+            )
+            .unwrap();
+        }
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        std::fs::remove_file(&path).ok();
+        scrub_wall(&text)
+    };
+    for workers in [1, 4] {
+        let first = run(workers, 0);
+        let second = run(workers, 1);
+        assert_eq!(first, second, "workers {workers}: trace must be stable");
+        assert!(first.contains("\"ev\":\"rule_fired\""));
+    }
+}
+
 /// The report renders per-rule aggregates after a traced run.
 #[test]
 fn mem_report_summarizes_rule_work() {
