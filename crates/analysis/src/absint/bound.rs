@@ -1,0 +1,183 @@
+//! The boundness domain: constant propagation per predicate position.
+//!
+//! For every predicate of exact arity, each argument position is
+//! abstracted to [`Abs::Bot`] (no fact reaches it), a single known
+//! constant, or [`Abs::Top`]. Database columns seed the analysis; rule
+//! heads propagate through a per-rule variable environment (a variable
+//! matched against a `Const` position is that constant everywhere). A
+//! `Const` position is *ground given the EDB* — the adornment-style
+//! information the `uset-opt` reorderer and magic-set transformation
+//! rank probe positions with.
+
+use super::{Ctx, SymbolKind};
+use crate::absint::shape::Arity;
+use std::collections::BTreeMap;
+use uset_deductive::{ColHead, ColLiteral, ColRule, ColTerm};
+use uset_object::Value;
+
+/// Abstract value of one predicate argument position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Abs {
+    /// No fact reaches this position.
+    Bot,
+    /// Every fact carries exactly this constant here.
+    Const(Value),
+    /// Unknown / varying.
+    Top,
+}
+
+impl Abs {
+    /// Least upper bound over fact sources.
+    pub fn join(self, other: Abs) -> Abs {
+        match (self, other) {
+            (Abs::Bot, x) | (x, Abs::Bot) => x,
+            (Abs::Const(a), Abs::Const(b)) if a == b => Abs::Const(a),
+            _ => Abs::Top,
+        }
+    }
+
+    /// Greatest lower bound — how constraints on one variable combine
+    /// (the variable's true values lie in the intersection).
+    pub fn meet(self, other: Abs) -> Abs {
+        match (self, other) {
+            (Abs::Top, x) | (x, Abs::Top) => x,
+            (Abs::Const(a), Abs::Const(b)) if a == b => Abs::Const(a),
+            _ => Abs::Bot,
+        }
+    }
+}
+
+/// Per-position constant abstraction for every predicate of exact arity.
+pub(crate) fn infer(
+    ctx: &Ctx<'_>,
+    arities: &BTreeMap<String, Arity>,
+) -> BTreeMap<String, Vec<Abs>> {
+    let mut out: BTreeMap<String, Vec<Abs>> = BTreeMap::new();
+    for (sym, kind) in ctx.kinds {
+        if *kind != SymbolKind::Pred {
+            continue;
+        }
+        let Some(&Arity::Exact(n)) = arities.get(sym) else {
+            continue;
+        };
+        let mut cols = vec![Abs::Bot; n];
+        match ctx.db {
+            Some(db) => {
+                if let Some(inst) = db.get_ref(sym) {
+                    for row in inst.iter() {
+                        if let Some(items) = row.as_tuple() {
+                            if items.len() == n {
+                                for (c, v) in cols.iter_mut().zip(items) {
+                                    *c = c.clone().join(Abs::Const(v.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // no database: EDB contents are unknown
+            None if !ctx.defined.contains(sym) => cols.fill(Abs::Top),
+            None => {}
+        }
+        out.insert(sym.clone(), cols);
+    }
+    for scc in ctx.sccs {
+        let rules: Vec<&ColRule> = scc
+            .iter()
+            .flat_map(|s| ctx.rules_of.get(s).into_iter().flatten())
+            .map(|&i| &ctx.prog.rules[i])
+            .collect();
+        // each position can climb at most Bot → Const → Top, so the
+        // loop is bounded by the component's total position count and
+        // needs no widening (the widened value would be Top anyway)
+        loop {
+            let mut changed = false;
+            for rule in &rules {
+                changed |= apply_rule(rule, &mut out);
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Propagate one rule head through the current map; true if it grew.
+fn apply_rule(rule: &ColRule, out: &mut BTreeMap<String, Vec<Abs>>) -> bool {
+    let ColHead::Pred { name, args } = &rule.head else {
+        return false;
+    };
+    if !out.contains_key(name) {
+        return false;
+    }
+    // variable environment: the meet of every positive source (a
+    // variable matched twice must satisfy both)
+    let mut env: BTreeMap<&str, Abs> = BTreeMap::new();
+    for lit in &rule.body {
+        if let ColLiteral::Pred {
+            name: src,
+            args,
+            positive: true,
+        } = lit
+        {
+            let cols = out.get(src).cloned();
+            for (i, t) in args.iter().enumerate() {
+                if let ColTerm::Var(v) = t {
+                    let abs = cols
+                        .as_ref()
+                        .and_then(|c| c.get(i).cloned())
+                        .unwrap_or(Abs::Top);
+                    let e = env.entry(v.as_str()).or_insert(Abs::Top);
+                    *e = e.clone().meet(abs);
+                }
+            }
+        }
+    }
+    // a Bot-valued variable proves the body unsatisfiable: contribute
+    // nothing (the head position stays whatever other rules made it)
+    if env.values().any(|a| *a == Abs::Bot) {
+        return false;
+    }
+    let contribution: Vec<Abs> = args
+        .iter()
+        .map(|t| match t {
+            ColTerm::Var(v) => env.get(v.as_str()).cloned().unwrap_or(Abs::Top),
+            ColTerm::Const(c) => Abs::Const(c.clone()),
+            _ => Abs::Top,
+        })
+        .collect();
+    let cols = out.get_mut(name).expect("checked above");
+    if cols.len() != contribution.len() {
+        // head written at a different arity than the tracked one
+        return false;
+    }
+    let mut changed = false;
+    for (c, n) in cols.iter_mut().zip(contribution) {
+        let joined = c.clone().join(n);
+        if joined != *c {
+            *c = joined;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_object::atom;
+
+    #[test]
+    fn join_and_meet_are_flat_lattice_ops() {
+        let a = || Abs::Const(atom(1));
+        let b = || Abs::Const(atom(2));
+        assert_eq!(Abs::Bot.join(a()), a());
+        assert_eq!(a().join(a()), a());
+        assert_eq!(a().join(b()), Abs::Top);
+        assert_eq!(Abs::Top.meet(a()), a());
+        assert_eq!(a().meet(a()), a());
+        assert_eq!(a().meet(b()), Abs::Bot);
+        assert_eq!(Abs::Bot.meet(Abs::Top), Abs::Bot);
+    }
+}

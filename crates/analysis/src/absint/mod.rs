@@ -1,0 +1,558 @@
+//! Abstract interpretation over deductive programs.
+//!
+//! Three abstract domains are run to fixpoint over the program's
+//! predicate-dependency condensation (strongly connected components of
+//! the `head → body-symbol` graph, processed callees-first):
+//!
+//! * **shape/arity** ([`shape`]) — tuple arity per symbol plus a bound on
+//!   the set-nesting depth of the values a symbol can hold. The height
+//!   lattice distinguishes *finite with a known bound*, *finite with no
+//!   bound* (EDB data is always finite), and *provably unbounded* — the
+//!   last arises exactly when invention (COL set construction or data
+//!   functions) recurses with no EDB guard, the divergence of
+//!   Theorems 2.2/6.1.
+//! * **boundness** ([`bound`]) — constant propagation per predicate
+//!   argument position: which positions are ground (a single known
+//!   constant) given the EDB, the adornment-style information demand
+//!   transformations key on.
+//! * **cardinality** ([`card`]) — interval estimates `[lo, hi]` per
+//!   symbol, seeded from EDB sizes and combined through rule bodies by
+//!   the product rule a join admits; `hi = 0` proves a symbol empty and
+//!   a rule dead.
+//!
+//! Both DATALOG¬ and COL are analyzed through one implementation:
+//! DATALOG¬ is the flat sub-language of COL, so [`analyze_datalog`]
+//! embeds the program via [`datalog_to_col`] and shares every transfer
+//! function. All results are *sound upper approximations*: the analyses
+//! may say `Finite`/`Top`/`∞` when a tighter answer exists, but a `0`
+//! cardinality, an `Exact` arity, or an `Unbounded` height is a proof.
+//! The `uset-opt` crate consumes the same results to rewrite programs;
+//! the lint passes surface them as diagnostics (U006/U007/U008).
+
+pub mod bound;
+pub mod card;
+pub mod shape;
+
+pub use bound::Abs;
+pub use card::Card;
+pub use shape::{Arity, Height};
+
+use crate::passes::col::col_edges;
+use std::collections::{BTreeMap, BTreeSet};
+use uset_deductive::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm, DatalogProgram};
+use uset_object::Database;
+
+/// How many plain fixpoint iterations a component gets before the
+/// domains widen (heights to `Unbounded`/`Finite`, cardinalities to ∞).
+pub(crate) const WIDEN_AFTER: usize = 6;
+
+/// What a symbol denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// A predicate (a relation of tuples).
+    Pred,
+    /// A data function (argument tuples to invented sets).
+    Func,
+}
+
+/// Everything the three domains inferred about one symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymbolInfo {
+    /// Predicate or data function.
+    pub kind: SymbolKind,
+    /// Tuple arity (argument count for functions).
+    pub arity: Arity,
+    /// Set-nesting height bound: for predicates, over row components;
+    /// for functions, over the *members* of the invented sets.
+    pub height: Height,
+    /// Per-position constant abstraction (empty unless the symbol is a
+    /// predicate of exact arity).
+    pub bound: Vec<Abs>,
+    /// Cardinality interval: rows for predicates, `(args, member)` pairs
+    /// for functions.
+    pub card: Card,
+}
+
+/// A body literal whose argument count contradicts the symbol's defined
+/// arity — the literal can never match a derived fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Rule index the literal occurs in.
+    pub rule: usize,
+    /// The symbol used at the wrong arity.
+    pub symbol: String,
+    /// Arity every defining rule gives the symbol.
+    pub expected: usize,
+    /// Arity at the use site.
+    pub got: usize,
+}
+
+/// The combined result of all three domains over one program.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Per-symbol facts (defined and referenced symbols).
+    pub symbols: BTreeMap<String, SymbolInfo>,
+    /// Condensation order the fixpoints ran in: strongly connected
+    /// components of the dependency graph, callees before callers,
+    /// symbols within a component sorted.
+    pub sccs: Vec<Vec<String>>,
+    /// Arity-contradicting body literals (see [`Mismatch`]).
+    pub mismatches: Vec<Mismatch>,
+    /// Symbols defined by at least one rule head.
+    pub defined: BTreeSet<String>,
+    /// Per-rule upper bound on how many bindings the body admits per
+    /// run; `Some(0)` proves the rule can never fire.
+    pub rule_hi: Vec<Option<u64>>,
+}
+
+impl Analysis {
+    /// The inferred facts for `sym`, if it occurs in the program.
+    pub fn info(&self, sym: &str) -> Option<&SymbolInfo> {
+        self.symbols.get(sym)
+    }
+
+    /// True if `sym` is defined by rules yet provably derives nothing
+    /// (cardinality upper bound 0). Without a database this assumes the
+    /// symbol is not independently EDB-seeded.
+    pub fn guaranteed_empty(&self, sym: &str) -> bool {
+        self.defined.contains(sym) && self.symbols.get(sym).is_some_and(|i| i.card.hi == Some(0))
+    }
+
+    /// True if `sym`'s set-nesting height is provably unbounded — the
+    /// symbol's fixpoint invents ever-deeper sets with no EDB guard.
+    pub fn unbounded_height(&self, sym: &str) -> bool {
+        self.symbols
+            .get(sym)
+            .is_some_and(|i| i.height == Height::Unbounded)
+    }
+}
+
+/// Embed a flat DATALOG¬ program into COL (its superset language): atoms
+/// become predicate literals over variable/constant terms.
+pub fn datalog_to_col(prog: &DatalogProgram) -> ColProgram {
+    fn term(t: &uset_deductive::DlTerm) -> ColTerm {
+        match t {
+            uset_deductive::DlTerm::Var(v) => ColTerm::Var(v.clone()),
+            uset_deductive::DlTerm::Const(c) => ColTerm::Const(c.clone()),
+        }
+    }
+    let rules = prog
+        .rules
+        .iter()
+        .map(|r| {
+            let body = r
+                .body
+                .iter()
+                .map(|l| ColLiteral::Pred {
+                    name: l.atom.pred.clone(),
+                    args: l.atom.args.iter().map(term).collect(),
+                    positive: l.positive,
+                })
+                .collect();
+            ColRule::pred(&r.head.pred, r.head.args.iter().map(term).collect(), body)
+        })
+        .collect();
+    ColProgram::new(rules)
+}
+
+/// Run all three domains over a DATALOG¬ program (via the COL embedding).
+pub fn analyze_datalog(prog: &DatalogProgram, db: Option<&Database>) -> Analysis {
+    analyze_col(&datalog_to_col(prog), db)
+}
+
+/// Shared inputs the domain fixpoints read.
+pub(crate) struct Ctx<'a> {
+    pub prog: &'a ColProgram,
+    pub db: Option<&'a Database>,
+    pub defined: &'a BTreeSet<String>,
+    pub kinds: &'a BTreeMap<String, SymbolKind>,
+    pub sccs: &'a [Vec<String>],
+    /// Rule indices per head symbol.
+    pub rules_of: &'a BTreeMap<String, Vec<usize>>,
+}
+
+/// Run all three domains over a COL program. Passing the database the
+/// program will be evaluated against tightens every domain (EDB sizes,
+/// constants, row heights); without it, EDB symbols are approximated as
+/// finite-but-unknown.
+pub fn analyze_col(prog: &ColProgram, db: Option<&Database>) -> Analysis {
+    let defined = prog.defined_symbols();
+    let kinds = symbol_kinds(prog);
+    let sccs = condensation(&kinds, &col_edges(prog));
+    let mut rules_of: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, rule) in prog.rules.iter().enumerate() {
+        rules_of
+            .entry(rule.head_symbol().to_owned())
+            .or_default()
+            .push(idx);
+    }
+    let ctx = Ctx {
+        prog,
+        db,
+        defined: &defined,
+        kinds: &kinds,
+        sccs: &sccs,
+        rules_of: &rules_of,
+    };
+    let arities = shape::arities(&ctx);
+    let mismatches = arity_mismatches(prog, &arities, &defined);
+    let heights = shape::heights(&ctx);
+    let bounds = bound::infer(&ctx, &arities);
+    let (cards, rule_hi) = card::infer(&ctx);
+    let symbols = kinds
+        .iter()
+        .map(|(sym, &kind)| {
+            let info = SymbolInfo {
+                kind,
+                arity: arities.get(sym).copied().unwrap_or(Arity::Bot),
+                height: heights.get(sym).copied().unwrap_or(Height::Bot),
+                bound: bounds.get(sym).cloned().unwrap_or_default(),
+                card: cards.get(sym).copied().unwrap_or(Card::EMPTY),
+            };
+            (sym.clone(), info)
+        })
+        .collect();
+    Analysis {
+        symbols,
+        sccs,
+        mismatches,
+        defined,
+        rule_hi,
+    }
+}
+
+/// Classify every symbol occurring in the program. A symbol is a
+/// function if it is ever applied or heads a function-membership rule;
+/// everything else is a predicate.
+fn symbol_kinds(prog: &ColProgram) -> BTreeMap<String, SymbolKind> {
+    let mut kinds: BTreeMap<String, SymbolKind> = BTreeMap::new();
+    let func = |name: &str, kinds: &mut BTreeMap<String, SymbolKind>| {
+        kinds.insert(name.to_owned(), SymbolKind::Func);
+    };
+    let pred = |name: &str, kinds: &mut BTreeMap<String, SymbolKind>| {
+        kinds.entry(name.to_owned()).or_insert(SymbolKind::Pred);
+    };
+    for rule in &prog.rules {
+        let mut applies = Vec::new();
+        match &rule.head {
+            ColHead::Pred { name, args } => {
+                pred(name, &mut kinds);
+                for t in args {
+                    t.collect_applies(&mut applies);
+                }
+            }
+            ColHead::FuncMember {
+                func: f,
+                args,
+                elem,
+            } => {
+                func(f, &mut kinds);
+                elem.collect_applies(&mut applies);
+                for t in args {
+                    t.collect_applies(&mut applies);
+                }
+            }
+        }
+        for lit in &rule.body {
+            match lit {
+                ColLiteral::Pred { name, args, .. } => {
+                    pred(name, &mut kinds);
+                    for t in args {
+                        t.collect_applies(&mut applies);
+                    }
+                }
+                ColLiteral::Member { elem, set, .. } => {
+                    elem.collect_applies(&mut applies);
+                    set.collect_applies(&mut applies);
+                }
+                ColLiteral::Eq { left, right, .. } => {
+                    left.collect_applies(&mut applies);
+                    right.collect_applies(&mut applies);
+                }
+            }
+        }
+        for f in applies {
+            func(&f, &mut kinds);
+        }
+    }
+    kinds
+}
+
+/// Strongly connected components of the dependency graph in callee-first
+/// topological order (Tarjan emits a component only once everything it
+/// reaches is emitted, which is exactly the order a bottom-up analysis
+/// wants). Symbols within a component are sorted for determinism.
+fn condensation(
+    kinds: &BTreeMap<String, SymbolKind>,
+    edges: &BTreeSet<(String, String)>,
+) -> Vec<Vec<String>> {
+    let nodes: Vec<&str> = kinds.keys().map(String::as_str).collect();
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (u, v) in edges {
+        if let (Some(&ui), Some(&vi)) = (index_of.get(u.as_str()), index_of.get(v.as_str())) {
+            succ[ui].push(vi);
+        }
+    }
+    // iterative Tarjan
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; nodes.len()];
+    let mut low = vec![0usize; nodes.len()];
+    let mut on_stack = vec![false; nodes.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<String>> = Vec::new();
+    for root in 0..nodes.len() {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        // (node, next-successor position) call frames
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succ[v].get(*pos) {
+                *pos += 1;
+                if index[w] == UNSEEN {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(nodes[w].to_owned());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Body uses of a defined symbol at an arity contradicting every
+/// defining rule.
+fn arity_mismatches(
+    prog: &ColProgram,
+    arities: &BTreeMap<String, Arity>,
+    defined: &BTreeSet<String>,
+) -> Vec<Mismatch> {
+    let expected = |sym: &str| match arities.get(sym) {
+        Some(&Arity::Exact(n)) if defined.contains(sym) => Some(n),
+        _ => None,
+    };
+    let mut out = Vec::new();
+    for (idx, rule) in prog.rules.iter().enumerate() {
+        let check = |sym: &str, got: usize, out: &mut Vec<Mismatch>| {
+            if let Some(n) = expected(sym) {
+                if n != got {
+                    out.push(Mismatch {
+                        rule: idx,
+                        symbol: sym.to_owned(),
+                        expected: n,
+                        got,
+                    });
+                }
+            }
+        };
+        let check_term = |t: &ColTerm, out: &mut Vec<Mismatch>| {
+            let mut stack = vec![t];
+            while let Some(t) = stack.pop() {
+                match t {
+                    ColTerm::Var(_) | ColTerm::Const(_) => {}
+                    ColTerm::Tuple(ts) | ColTerm::SetLit(ts) => stack.extend(ts),
+                    ColTerm::Apply(f, ts) => {
+                        if let Some(n) = expected(f) {
+                            if n != ts.len() {
+                                out.push(Mismatch {
+                                    rule: idx,
+                                    symbol: f.clone(),
+                                    expected: n,
+                                    got: ts.len(),
+                                });
+                            }
+                        }
+                        stack.extend(ts);
+                    }
+                }
+            }
+        };
+        for lit in &rule.body {
+            match lit {
+                ColLiteral::Pred { name, args, .. } => {
+                    check(name, args.len(), &mut out);
+                    for t in args {
+                        check_term(t, &mut out);
+                    }
+                }
+                ColLiteral::Member { elem, set, .. } => {
+                    check_term(elem, &mut out);
+                    check_term(set, &mut out);
+                }
+                ColLiteral::Eq { left, right, .. } => {
+                    check_term(left, &mut out);
+                    check_term(right, &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_deductive::{DlAtom, DlRule, DlTerm};
+    use uset_object::{atom, Database, Instance};
+
+    fn v(n: &str) -> ColTerm {
+        ColTerm::var(n)
+    }
+
+    fn edge_db(pairs: &[(u64, u64)]) -> Database {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows(pairs.iter().map(|&(a, b)| [atom(a), atom(b)])),
+        );
+        db
+    }
+
+    #[test]
+    fn condensation_orders_callees_first() {
+        // T depends on E; E must be emitted before T's component
+        let prog = datalog_to_col(&tc());
+        let a = analyze_col(&prog, None);
+        let pos = |sym: &str| {
+            a.sccs
+                .iter()
+                .position(|c| c.iter().any(|s| s == sym))
+                .expect("symbol in some scc")
+        };
+        assert!(pos("E") < pos("T"));
+        // T is recursive: its component is exactly {T}
+        assert_eq!(a.sccs[pos("T")], vec!["T".to_owned()]);
+    }
+
+    fn tc() -> DatalogProgram {
+        DatalogProgram::new(vec![
+            DlRule::new(
+                DlAtom::new("T", vec![DlTerm::var("x"), DlTerm::var("y")]),
+                vec![(
+                    true,
+                    DlAtom::new("E", vec![DlTerm::var("x"), DlTerm::var("y")]),
+                )],
+            ),
+            DlRule::new(
+                DlAtom::new("T", vec![DlTerm::var("x"), DlTerm::var("z")]),
+                vec![
+                    (
+                        true,
+                        DlAtom::new("E", vec![DlTerm::var("x"), DlTerm::var("y")]),
+                    ),
+                    (
+                        true,
+                        DlAtom::new("T", vec![DlTerm::var("y"), DlTerm::var("z")]),
+                    ),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_is_flat_and_bounded() {
+        let db = edge_db(&[(0, 1), (1, 2), (2, 3)]);
+        let a = analyze_datalog(&tc(), Some(&db));
+        let t = a.info("T").expect("T analyzed");
+        assert_eq!(t.arity, Arity::Exact(2));
+        assert_eq!(t.height, Height::AtMost(0), "flat atoms only");
+        assert_eq!(t.card.lo, 0);
+        assert!(
+            t.card.hi.is_none_or(|h| h >= 6),
+            "TC of a 3-path has 6 pairs"
+        );
+        assert!(!a.guaranteed_empty("T"));
+        assert!(!a.unbounded_height("T"));
+    }
+
+    #[test]
+    fn seedless_recursive_island_is_guaranteed_empty() {
+        // P(x) ← Q(x); Q(x) ← P(x): no base case anywhere
+        let prog = ColProgram::new(vec![
+            ColRule::pred("P", vec![v("x")], vec![ColLiteral::pred("Q", vec![v("x")])]),
+            ColRule::pred("Q", vec![v("x")], vec![ColLiteral::pred("P", vec![v("x")])]),
+        ]);
+        let a = analyze_col(&prog, None);
+        assert!(a.guaranteed_empty("P"));
+        assert!(a.guaranteed_empty("Q"));
+        assert_eq!(a.rule_hi, vec![Some(0), Some(0)]);
+        // seeding P through the database lifts the proof
+        let mut db = Database::empty();
+        db.set("P", Instance::from_rows([[atom(1)]]));
+        let a = analyze_col(&prog, Some(&db));
+        assert!(!a.guaranteed_empty("P"));
+        assert!(!a.guaranteed_empty("Q"));
+    }
+
+    #[test]
+    fn arity_mismatch_detected_against_defined_symbols() {
+        // T defined at arity 2, used at arity 3; E is EDB so never flagged
+        let prog = ColProgram::new(vec![
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("y")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "A",
+                vec![v("x")],
+                vec![
+                    ColLiteral::pred("T", vec![v("x"), v("y"), v("z")]),
+                    ColLiteral::pred("E", vec![v("x")]),
+                ],
+            ),
+        ]);
+        let a = analyze_col(&prog, None);
+        assert_eq!(a.mismatches.len(), 1);
+        assert_eq!(a.mismatches[0].symbol, "T");
+        assert_eq!(a.mismatches[0].expected, 2);
+        assert_eq!(a.mismatches[0].got, 3);
+        assert_eq!(a.mismatches[0].rule, 1);
+    }
+
+    #[test]
+    fn unguarded_chain_widens_to_unbounded_but_guarded_stays_finite() {
+        use uset_deductive::chain::chain_rules;
+        use uset_object::Atom;
+        // unguarded: {u} ∈ F(a) ← u ∈ F(a) — invention diverges
+        let unguarded = ColProgram::new(chain_rules("F", Atom::named("seed"), Vec::new()));
+        let a = analyze_col(&unguarded, None);
+        assert!(a.unbounded_height("F"));
+        // guarded by an EDB predicate: the chain is bounded by finite data
+        let guarded = ColProgram::new(chain_rules(
+            "F",
+            Atom::named("seed"),
+            vec![ColLiteral::pred("Allowed", vec![v("u")])],
+        ));
+        let a = analyze_col(&guarded, None);
+        assert!(!a.unbounded_height("F"), "got {:?}", a.info("F"));
+        assert_eq!(a.info("F").expect("F analyzed").height, Height::Finite);
+    }
+}

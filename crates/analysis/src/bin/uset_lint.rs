@@ -9,10 +9,16 @@
 //! files and no `--corpus`, the examples corpus is linted. Exit status:
 //! 0 clean, 1 if any error-severity diagnostic was produced, 2 on a parse
 //! or usage error.
+//!
+//! `--json` prints JSON Lines: one standalone object per target, then a
+//! final `{"summary":{...}}` object carrying the target count, the number
+//! of registered passes, the count of clean targets, per-severity totals,
+//! and the exit code — so `tail -1` always yields the run's verdict and
+//! every line parses on its own.
 
 use std::process::ExitCode;
 use uset_analysis::diag::json_escape;
-use uset_analysis::{corpus, parse_bk, parse_col, Registry, Report, ALL_CODES};
+use uset_analysis::{corpus, parse_bk, parse_col, Registry, Report, Severity, ALL_CODES};
 
 struct Options {
     json: bool,
@@ -116,19 +122,28 @@ fn lint_corpus(registry: &Registry, which: &str) -> Vec<Analyzed> {
         .collect()
 }
 
-fn render(units: &[Analyzed], json: bool) {
+fn render(units: &[Analyzed], json: bool, passes_run: usize, exit: u8) {
     if json {
-        let objs: Vec<String> = units
+        for u in units {
+            println!(
+                "{{\"target\":\"{}\",\"diagnostics\":{}}}",
+                json_escape(&u.name),
+                u.report.to_json()
+            );
+        }
+        let count = |sev| units.iter().map(|u| u.report.count(sev)).sum::<usize>();
+        let clean = units
             .iter()
-            .map(|u| {
-                format!(
-                    "{{\"target\":\"{}\",\"diagnostics\":{}}}",
-                    json_escape(&u.name),
-                    u.report.to_json()
-                )
-            })
-            .collect();
-        println!("[{}]", objs.join(","));
+            .filter(|u| u.report.diagnostics.is_empty())
+            .count();
+        println!(
+            "{{\"summary\":{{\"targets\":{},\"passes_run\":{passes_run},\"clean\":{clean},\
+             \"info\":{},\"warning\":{},\"error\":{},\"exit\":{exit}}}}}",
+            units.len(),
+            count(Severity::Info),
+            count(Severity::Warning),
+            count(Severity::Error),
+        );
     } else {
         for u in units {
             if u.report.diagnostics.is_empty() {
@@ -172,11 +187,8 @@ fn main() -> ExitCode {
     } else if opts.files.is_empty() {
         units.extend(lint_corpus(&registry, "examples"));
     }
-    render(&units, opts.json);
     let has_errors = units.iter().any(|u| u.report.has_errors());
-    if has_errors {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    }
+    let exit = u8::from(has_errors);
+    render(&units, opts.json, registry.passes().len(), exit);
+    ExitCode::from(exit)
 }

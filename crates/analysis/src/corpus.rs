@@ -224,6 +224,54 @@ fn stuck_while() -> AlgProgram {
     ])
 }
 
+fn col_singleton_var() -> ColProgram {
+    // u was almost certainly meant to be y — the join never happens (U005)
+    let v = ColTerm::var;
+    ColProgram::new(vec![ColRule::pred(
+        "T",
+        vec![v("x"), v("z")],
+        vec![
+            ColLiteral::pred("R", vec![v("x"), v("y")]),
+            ColLiteral::pred("T", vec![v("u"), v("z")]),
+        ],
+    )])
+}
+
+fn datalog_singleton_var() -> DatalogProgram {
+    // same typo in the flat language (U005)
+    let v = DlTerm::var;
+    DatalogProgram::new(vec![DlRule::new(
+        DlAtom::new("A", vec![v("x")]),
+        vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+    )])
+}
+
+fn col_seedless_island() -> ColProgram {
+    // mutual recursion with no base case: provably empty fixpoint (U006)
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred("P", vec![v("x")], vec![ColLiteral::pred("Q", vec![v("x")])]),
+        ColRule::pred("Q", vec![v("x")], vec![ColLiteral::pred("P", vec![v("x")])]),
+    ])
+}
+
+fn col_arity_mismatch() -> ColProgram {
+    // T is defined binary but used ternary: the literal never matches (U007)
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "A",
+            vec![v("x")],
+            vec![ColLiteral::pred("T", vec![v("x"), v("x"), v("x")])],
+        ),
+    ])
+}
+
 fn calc_free_variable() -> CalcQuery {
     CalcQuery::new(
         "x",
@@ -278,7 +326,7 @@ pub fn corpus() -> Vec<CorpusEntry> {
             OwnedProgram::Col(ColProgram::new(chain_rules(
                 "F",
                 Atom::named("seed"),
-                Vec::new(),
+                vec![ColLiteral::pred("Allowed", vec![ColTerm::var("u")])],
             ))),
         ),
         entry(
@@ -330,6 +378,35 @@ pub fn corpus() -> Vec<CorpusEntry> {
             "calc-free-variable",
             Group::Pathology,
             OwnedProgram::Calculus(calc_free_variable()),
+        ),
+        entry(
+            "col-unbounded-chain",
+            Group::Pathology,
+            OwnedProgram::Col(ColProgram::new(chain_rules(
+                "F",
+                Atom::named("seed"),
+                Vec::new(),
+            ))),
+        ),
+        entry(
+            "col-singleton-var",
+            Group::Pathology,
+            OwnedProgram::Col(col_singleton_var()),
+        ),
+        entry(
+            "datalog-singleton-var",
+            Group::Pathology,
+            OwnedProgram::Datalog(datalog_singleton_var()),
+        ),
+        entry(
+            "col-seedless-island",
+            Group::Pathology,
+            OwnedProgram::Col(col_seedless_island()),
+        ),
+        entry(
+            "col-arity-mismatch",
+            Group::Pathology,
+            OwnedProgram::Col(col_arity_mismatch()),
         ),
     ]
 }

@@ -23,6 +23,18 @@ pub enum Code {
     /// The program defines nothing at all (empty or comments only) — the
     /// query it denotes is the constant empty answer.
     U004,
+    /// A variable occurring exactly once in a rule — usually a typo for a
+    /// shared join variable (prefix with `_` to silence).
+    U005,
+    /// Abstract interpretation proves the symbol's fixpoint empty: no
+    /// database seeding and every defining rule has a dead body.
+    U006,
+    /// A body literal uses a defined symbol at an arity no rule or fact
+    /// provides — it can never be satisfied.
+    U007,
+    /// Invention (set construction) along a recursive cycle with no
+    /// finite guard: the nesting height is provably unbounded.
+    U008,
     /// BK ⊥-divergence: the head grows invented ⊥-structure along a
     /// recursive dependency cycle (Example 5.4 / Proposition 5.5).
     U010,
@@ -51,11 +63,15 @@ pub enum Code {
 }
 
 /// All codes, in numeric order (for `uset-lint --codes` and the README).
-pub const ALL_CODES: [Code; 13] = [
+pub const ALL_CODES: [Code; 17] = [
     Code::U001,
     Code::U002,
     Code::U003,
     Code::U004,
+    Code::U005,
+    Code::U006,
+    Code::U007,
+    Code::U008,
     Code::U010,
     Code::U011,
     Code::U020,
@@ -75,6 +91,10 @@ impl Code {
             Code::U002 => "U002",
             Code::U003 => "U003",
             Code::U004 => "U004",
+            Code::U005 => "U005",
+            Code::U006 => "U006",
+            Code::U007 => "U007",
+            Code::U008 => "U008",
             Code::U010 => "U010",
             Code::U011 => "U011",
             Code::U020 => "U020",
@@ -94,6 +114,10 @@ impl Code {
             Code::U002 => "unsafe-rule",
             Code::U003 => "dead-predicate",
             Code::U004 => "empty-program",
+            Code::U005 => "singleton-variable",
+            Code::U006 => "guaranteed-empty",
+            Code::U007 => "arity-mismatch",
+            Code::U008 => "unbounded-invention",
             Code::U010 => "bk-bottom-divergence",
             Code::U011 => "bk-join-misuse",
             Code::U020 => "read-before-assign",
@@ -112,7 +136,14 @@ impl Code {
             Code::U001 | Code::U002 | Code::U010 | Code::U020 | Code::U021 | Code::U030 => {
                 Severity::Error
             }
-            Code::U003 | Code::U011 | Code::U022 | Code::U023 => Severity::Warning,
+            Code::U003
+            | Code::U005
+            | Code::U006
+            | Code::U007
+            | Code::U008
+            | Code::U011
+            | Code::U022
+            | Code::U023 => Severity::Warning,
             Code::U004 | Code::U024 | Code::U031 => Severity::Info,
         }
     }
@@ -124,6 +155,10 @@ impl Code {
             Code::U002 => "classical range restriction; Hull–Su §5 evaluability",
             Code::U003 => "dependency-graph reachability (engineering lint)",
             Code::U004 => "Hull–Su §2 (the everywhere-empty query is computable but rarely meant)",
+            Code::U005 => "classical lint; join variables carry Hull–Su §5 rule semantics",
+            Code::U006 => "abstract interpretation over Hull–Su §5 fixpoint semantics",
+            Code::U007 => "abstract interpretation over Hull–Su §5 fixpoint semantics",
+            Code::U008 => "Hull–Su §3 invention; finite guards bound construction depth",
             Code::U010 => "Hull–Su Example 5.4 / Proposition 5.5",
             Code::U011 => "Hull–Su Example 5.2 / Proposition 5.3",
             Code::U020 => "Hull–Su §2 program well-formedness",

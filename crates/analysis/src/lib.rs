@@ -10,6 +10,10 @@
 //! | U002 | unsafe rule / range restriction | §5 |
 //! | U003 | dead predicate | — (hygiene) |
 //! | U004 | empty program (info) | — (hygiene) |
+//! | U005 | singleton variable | — (hygiene) |
+//! | U006 | guaranteed-empty symbol | §5 fixpoint semantics (absint) |
+//! | U007 | arity-mismatched literal | §5 fixpoint semantics (absint) |
+//! | U008 | unbounded invention depth | §3 invention (absint) |
 //! | U010 | BK ⊥-divergence | Ex 5.4 / Prop 5.5 |
 //! | U011 | BK join misuse | Ex 5.2 / Prop 5.3 |
 //! | U020 | read before assign | §2 scope rules |
@@ -24,12 +28,14 @@
 //! applicable pass over a program; the `uset-lint` binary does this over
 //! program files (`.col`, `.bk`) and the built-in [`corpus`].
 
+pub mod absint;
 pub mod corpus;
 pub mod diag;
 pub mod parse;
 pub mod pass;
 pub mod passes;
 
+pub use absint::{analyze_col, analyze_datalog, Analysis};
 pub use diag::{Code, Diagnostic, Provenance, Report, Severity, ALL_CODES};
 pub use parse::{parse_bk, parse_col, ParseError};
 pub use pass::{Language, Pass, Registry, Target};

@@ -550,4 +550,40 @@ mod tests {
         let err = parse_col("T(x) :- E(x).\nT(x :- E(x).\n").unwrap_err();
         assert_eq!(err.line, 2);
     }
+
+    #[test]
+    fn unterminated_tuple_reports_end_of_input_with_line() {
+        let err = parse_col("T(x) :- E(x).\nA([1, 2").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn unexpected_character_is_a_lex_error_with_line() {
+        let err = parse_col("T(x) :- E(x) @ F(x).").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unexpected character"), "{err}");
+        let err = parse_bk("R{[A:x]} :- ?").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unexpected character"), "{err}");
+    }
+
+    #[test]
+    fn empty_body_after_turnstile_is_rejected() {
+        let err = parse_col("T(x) :- .").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected a term"), "{err}");
+        let err = parse_bk("R{[A:x]} :- .").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected a predicate name"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_set_and_bad_membership_head_report_lines() {
+        let err = parse_col("{u in F(a).").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_col("u in s :- P(u).").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("data function"), "{err}");
+    }
 }

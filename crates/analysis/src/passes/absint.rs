@@ -1,0 +1,154 @@
+//! U006/U007/U008: lints backed by the abstract-interpretation engine.
+//!
+//! One pass runs [`crate::absint::analyze_col`] (or the DATALOG¬
+//! embedding) without a database and surfaces the proofs it lands:
+//!
+//! * **U006 guaranteed-empty** — a defined symbol whose cardinality upper
+//!   bound is 0: no database seeding and every defining rule has a body
+//!   that provably admits no bindings (e.g. a seedless recursive island).
+//! * **U007 arity-mismatch** — a body literal uses a defined symbol at an
+//!   arity no defining rule provides, so it can never be satisfied.
+//! * **U008 unbounded-invention** — invention (set construction or data
+//!   functions) recurses with no finite guard; the set-nesting height of
+//!   the symbol's fixpoint has no finite bound (the Theorem 2.2/6.1
+//!   divergence shape).
+//!
+//! All three are warnings: the analysis is sound (it only reports what it
+//! can prove), but the program is still legal input to the engines.
+
+use crate::absint::{self, Analysis};
+use crate::diag::{Code, Provenance, Report};
+use crate::pass::{Language, Pass, Target};
+
+/// Emits [`Code::U006`], [`Code::U007`], and [`Code::U008`] from the
+/// abstract-interpretation results.
+pub struct AbsintPass;
+
+const NAME: &str = "col-absint";
+
+impl Pass for AbsintPass {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U006, Code::U007, Code::U008]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        &[Language::Col, Language::Datalog]
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let analysis = match target {
+            Target::Col(p) => absint::analyze_col(p, None),
+            Target::Datalog(p) => absint::analyze_datalog(p, None),
+            _ => return,
+        };
+        emit(&analysis, report);
+    }
+}
+
+fn emit(a: &Analysis, report: &mut Report) {
+    for sym in &a.defined {
+        if a.guaranteed_empty(sym) {
+            report.push(
+                NAME,
+                Code::U006,
+                Provenance::symbol(sym.clone()),
+                format!(
+                    "{sym} is guaranteed empty: no database seeding reaches it \
+                     and every defining rule body admits zero bindings"
+                ),
+            );
+        }
+        if a.unbounded_height(sym) {
+            report.push(
+                NAME,
+                Code::U008,
+                Provenance::symbol(sym.clone()),
+                format!(
+                    "{sym} invents sets of provably unbounded nesting height: \
+                     recursive set construction with no finite guard"
+                ),
+            );
+        }
+    }
+    for m in &a.mismatches {
+        report.push(
+            NAME,
+            Code::U007,
+            Provenance::rule(m.rule, m.symbol.clone()),
+            format!(
+                "{} is used at arity {} but every defining rule gives it arity {}; \
+                 the literal can never be satisfied",
+                m.symbol, m.got, m.expected
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use uset_deductive::chain::chain_rules;
+    use uset_deductive::{ColLiteral, ColProgram, ColRule, ColTerm};
+    use uset_object::Atom;
+
+    fn run(prog: &ColProgram) -> Report {
+        let mut r = Report::new();
+        AbsintPass.run(&Target::Col(prog), &mut r);
+        r
+    }
+
+    #[test]
+    fn seedless_island_warns_u006() {
+        let v = |n: &str| ColTerm::var(n);
+        let prog = ColProgram::new(vec![
+            ColRule::pred("P", vec![v("x")], vec![ColLiteral::pred("Q", vec![v("x")])]),
+            ColRule::pred("Q", vec![v("x")], vec![ColLiteral::pred("P", vec![v("x")])]),
+        ]);
+        let r = run(&prog);
+        assert_eq!(r.with_code(Code::U006).len(), 2);
+        assert!(r
+            .diagnostics
+            .iter()
+            .all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn unguarded_chain_warns_u008_guarded_does_not() {
+        let unguarded = ColProgram::new(chain_rules("F", Atom::named("seed"), Vec::new()));
+        let r = run(&unguarded);
+        assert_eq!(r.with_code(Code::U008).len(), 1);
+        let guarded = ColProgram::new(chain_rules(
+            "F",
+            Atom::named("seed"),
+            vec![ColLiteral::pred("Allowed", vec![ColTerm::var("u")])],
+        ));
+        assert!(run(&guarded).with_code(Code::U008).is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_warns_u007_with_rule_provenance() {
+        let v = |n: &str| ColTerm::var(n);
+        let prog = ColProgram::new(vec![
+            ColRule::pred(
+                "T",
+                vec![v("x"), v("y")],
+                vec![ColLiteral::pred("E", vec![v("x"), v("y")])],
+            ),
+            ColRule::pred(
+                "A",
+                vec![v("x")],
+                vec![ColLiteral::pred("T", vec![v("x"), v("y"), v("z")])],
+            ),
+        ]);
+        let r = run(&prog);
+        let found = r.with_code(Code::U007);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].provenance.rule, Some(1));
+        assert_eq!(found[0].provenance.symbol.as_deref(), Some("T"));
+    }
+}

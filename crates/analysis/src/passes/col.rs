@@ -12,7 +12,7 @@ const DEDUCTIVE: &[Language] = &[Language::Col, Language::Datalog];
 
 /// Dependency edges `head → body-symbol` (predicates read and functions
 /// applied), used for reachability; strength is the stratifier's concern.
-fn col_edges(prog: &ColProgram) -> BTreeSet<(String, String)> {
+pub(crate) fn col_edges(prog: &ColProgram) -> BTreeSet<(String, String)> {
     let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
     for rule in &prog.rules {
         let h = rule.head_symbol().to_owned();
@@ -165,7 +165,7 @@ impl Pass for StratificationPass {
 
 /// Variables bound by matching this term as a pattern (everything except
 /// variables inside `Apply` arguments, which are reads).
-fn binding_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
+pub(crate) fn binding_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
     match t {
         ColTerm::Var(v) => {
             out.insert(v.clone());
@@ -182,7 +182,7 @@ fn binding_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
 
 /// Variables this term *reads* (must be bound before it is evaluated):
 /// everything inside `Apply` arguments.
-fn read_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
+pub(crate) fn read_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
     match t {
         ColTerm::Var(_) | ColTerm::Const(_) => {}
         ColTerm::Tuple(ts) | ColTerm::SetLit(ts) => {
@@ -201,7 +201,7 @@ fn read_vars(t: &ColTerm, out: &mut BTreeSet<String>) {
     }
 }
 
-fn all_vars(t: &ColTerm) -> BTreeSet<String> {
+pub(crate) fn all_vars(t: &ColTerm) -> BTreeSet<String> {
     let mut v = Vec::new();
     t.collect_vars(&mut v);
     v.into_iter().collect()

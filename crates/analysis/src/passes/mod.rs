@@ -4,11 +4,13 @@
 //! type inference) or implements a lint derived from a result of the
 //! paper. [`default_passes`] lists them in registry order.
 
+pub mod absint;
 pub mod algebra;
 pub mod bk;
 pub mod calculus;
 pub mod col;
 pub mod empty;
+pub mod singleton;
 
 use crate::pass::Pass;
 
@@ -19,6 +21,8 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(col::StratificationPass),
         Box::new(col::RangeRestrictionPass),
         Box::new(col::DeadPredicatePass),
+        Box::new(singleton::SingletonVarPass),
+        Box::new(absint::AbsintPass),
         Box::new(bk::BottomDivergencePass),
         Box::new(bk::JoinMisusePass),
         Box::new(algebra::ScopePass),

@@ -1,0 +1,199 @@
+//! U005: a variable occurring exactly once in a rule.
+//!
+//! In deductive rules, variables carry meaning by *co-occurrence*: a
+//! variable appearing twice is a join, once in the body and once in the
+//! head is projection. A variable that appears exactly once does neither
+//! — it is usually a typo for a shared variable (e.g. `T(x, z) ← E(x, y),
+//! T(u, z)` where `u` was meant to be `y`). Prefix the name with `_` to
+//! state the wildcard intent and silence the lint.
+
+use crate::diag::{Code, Provenance, Report};
+use crate::pass::{Language, Pass, Target};
+use std::collections::BTreeMap;
+use uset_deductive::{ColHead, ColLiteral, ColRule, DatalogProgram, DlRule, DlTerm};
+
+/// Emits [`Code::U005`] for single-occurrence variables per rule.
+pub struct SingletonVarPass;
+
+const NAME: &str = "col-singleton-var";
+
+impl Pass for SingletonVarPass {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::U005]
+    }
+
+    fn languages(&self) -> &'static [Language] {
+        &[Language::Col, Language::Datalog]
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        match target {
+            Target::Col(p) => {
+                for (idx, rule) in p.rules.iter().enumerate() {
+                    emit(report, idx, col_occurrences(rule));
+                }
+            }
+            Target::Datalog(p) => run_datalog(p, report),
+            _ => {}
+        }
+    }
+}
+
+fn run_datalog(prog: &DatalogProgram, report: &mut Report) {
+    for (idx, rule) in prog.rules.iter().enumerate() {
+        emit(report, idx, datalog_occurrences(rule));
+    }
+}
+
+/// Report every tracked variable that occurred exactly once.
+fn emit(report: &mut Report, rule_idx: usize, occurrences: BTreeMap<String, usize>) {
+    for (var, count) in occurrences {
+        if count == 1 && !var.starts_with('_') {
+            report.push(
+                NAME,
+                Code::U005,
+                Provenance::rule(rule_idx, var.clone()),
+                format!(
+                    "variable {var} occurs exactly once in this rule; \
+                     a join variable was probably meant (prefix with _ to silence)"
+                ),
+            );
+        }
+    }
+}
+
+/// Occurrence counts over every term position of a COL rule.
+fn col_occurrences(rule: &ColRule) -> BTreeMap<String, usize> {
+    let mut vars: Vec<String> = Vec::new();
+    match &rule.head {
+        ColHead::Pred { args, .. } => {
+            for t in args {
+                t.collect_vars(&mut vars);
+            }
+        }
+        ColHead::FuncMember { args, elem, .. } => {
+            for t in args {
+                t.collect_vars(&mut vars);
+            }
+            elem.collect_vars(&mut vars);
+        }
+    }
+    for lit in &rule.body {
+        match lit {
+            ColLiteral::Pred { args, .. } => {
+                for t in args {
+                    t.collect_vars(&mut vars);
+                }
+            }
+            ColLiteral::Member { elem, set, .. } => {
+                elem.collect_vars(&mut vars);
+                set.collect_vars(&mut vars);
+            }
+            ColLiteral::Eq { left, right, .. } => {
+                left.collect_vars(&mut vars);
+                right.collect_vars(&mut vars);
+            }
+        }
+    }
+    count(vars)
+}
+
+/// Occurrence counts over a flat DATALOG¬ rule.
+fn datalog_occurrences(rule: &DlRule) -> BTreeMap<String, usize> {
+    let mut vars: Vec<String> = Vec::new();
+    let mut atom = |args: &[DlTerm]| {
+        for t in args {
+            if let DlTerm::Var(v) = t {
+                vars.push(v.clone());
+            }
+        }
+    };
+    atom(&rule.head.args);
+    for lit in &rule.body {
+        atom(&lit.atom.args);
+    }
+    count(vars)
+}
+
+fn count(vars: Vec<String>) -> BTreeMap<String, usize> {
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for v in vars {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_deductive::{ColProgram, ColTerm, DlAtom};
+
+    fn v(n: &str) -> ColTerm {
+        ColTerm::var(n)
+    }
+
+    #[test]
+    fn singleton_flagged_join_and_underscore_are_not() {
+        // u occurs once (typo for y); _w occurs once but is a declared wildcard
+        let prog = ColProgram::new(vec![ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("E", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("u"), v("z")]),
+                ColLiteral::pred("G", vec![v("y"), v("_w")]),
+            ],
+        )]);
+        let mut r = Report::new();
+        SingletonVarPass.run(&Target::Col(&prog), &mut r);
+        let found = r.with_code(Code::U005);
+        assert_eq!(found.len(), 1, "{r}");
+        assert_eq!(found[0].provenance.symbol.as_deref(), Some("u"));
+        assert_eq!(found[0].provenance.rule, Some(0));
+    }
+
+    #[test]
+    fn datalog_rules_are_checked_too() {
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("A", vec![uset_deductive::DlTerm::var("x")]),
+            vec![(
+                true,
+                DlAtom::new(
+                    "E",
+                    vec![
+                        uset_deductive::DlTerm::var("x"),
+                        uset_deductive::DlTerm::var("y"),
+                    ],
+                ),
+            )],
+        )]);
+        let mut r = Report::new();
+        SingletonVarPass.run(&Target::Datalog(&prog), &mut r);
+        assert_eq!(r.with_code(Code::U005).len(), 1);
+        assert_eq!(
+            r.with_code(Code::U005)[0].provenance.symbol.as_deref(),
+            Some("y")
+        );
+    }
+
+    #[test]
+    fn set_literal_and_member_positions_count_as_occurrences() {
+        // u appears in both the head set literal and the member read: no lint
+        let prog = ColProgram::new(vec![ColRule::func_member(
+            "F",
+            vec![v("a")],
+            ColTerm::SetLit(vec![v("u")]),
+            vec![ColLiteral::member(
+                v("u"),
+                ColTerm::Apply("F".to_owned(), vec![v("a")]),
+            )],
+        )]);
+        let mut r = Report::new();
+        SingletonVarPass.run(&Target::Col(&prog), &mut r);
+        assert!(r.with_code(Code::U005).is_empty(), "{r}");
+    }
+}

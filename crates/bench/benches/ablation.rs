@@ -11,6 +11,10 @@
 //! * ordinal-chain (von Neumann, doubling size) vs singleton-nesting
 //!   chain (linear size) — the index-supply representation choice that
 //!   keeps the GTM simulation polynomial;
+//! * analysis-driven optimizer (`uset-opt`) off vs on — dead/duplicate
+//!   rule chaff stripped before evaluation, and the goal-directed
+//!   magic-set query path against full-evaluate-then-filter (states
+//!   asserted identical, derived tuples asserted at least halved);
 //! * guard overhead — the same COL semi-naive fixpoint under an unlimited
 //!   governor vs a fully budgeted one (steps + facts + value size + wall
 //!   deadline); the governance layer must cost <5% on the hot loop;
@@ -420,6 +424,134 @@ fn bench_optimizer_on_compiled_program(c: &mut Criterion) {
     group.finish();
 }
 
+/// Analysis-driven optimizer ablation (`uset-opt`, DESIGN.md §12): the
+/// same DATALOG¬ fixpoint with `USET_OPT` off vs on, on a program
+/// carrying the chaff the optimizer exists to strip (an α-equivalent
+/// duplicate of the recursive rule and a rule over a provably empty
+/// relation), plus the goal-directed magic-set path against
+/// full-evaluate-then-filter. One-off asserts pin the contract before
+/// timing: identical final states, and the magic query deriving at most
+/// half the tuples of the full evaluation — the numbers EXPERIMENTS.md
+/// reports.
+fn bench_opt_speedup(c: &mut Criterion) {
+    use uset_guard::OptConfig;
+    use uset_opt::{eval_stratified_seminaive, query_datalog, Goal};
+    let mut group = c.benchmark_group("ablation/opt_speedup");
+    group.sample_size(10);
+
+    // chaff program: TC + α-duplicate recursive rule + dead rule
+    let v = DlTerm::var;
+    let mut rules = tc_datalog().rules;
+    rules.push(DlRule::new(
+        DlAtom::new("T", vec![v("p"), v("q")]),
+        vec![
+            (true, DlAtom::new("E", vec![v("p"), v("r")])),
+            (true, DlAtom::new("T", vec![v("r"), v("q")])),
+        ],
+    ));
+    rules.push(DlRule::new(
+        DlAtom::new("Dead", vec![v("x")]),
+        vec![
+            (true, DlAtom::new("T", vec![v("x"), v("y")])),
+            (true, DlAtom::new("Never", vec![v("y")])),
+        ],
+    ));
+    let chaff = DatalogProgram::new(rules);
+    let off = Governor::unlimited().with_opt(OptConfig::Off);
+    let on = Governor::unlimited().with_opt(OptConfig::On);
+    for n in [32u64, 64] {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n).map(|i| [atom(i), atom(i + 1)])),
+        );
+        // one-off: the knob must not change the state, only the work
+        let mut s_off = EvalStats::default();
+        let mut s_on = EvalStats::default();
+        let r_off = eval_stratified_seminaive(&chaff, &db, &off, &mut s_off).unwrap();
+        let r_on = eval_stratified_seminaive(&chaff, &db, &on, &mut s_on).unwrap();
+        assert_eq!(r_off, r_on, "USET_OPT changed the final state");
+        assert!(s_on.tuples_derived <= s_off.tuples_derived);
+        if n == 64 {
+            println!("datalog tc+chaff path-{n} USET_OPT=off: {s_off}");
+            println!("datalog tc+chaff path-{n} USET_OPT=on:  {s_on}");
+        }
+        for (label, governor) in [("unopt", &off), ("opt", &on)] {
+            group.bench_with_input(BenchmarkId::new(format!("chaff_{label}"), n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        eval_stratified_seminaive(&chaff, &db, governor, &mut EvalStats::default())
+                            .unwrap()
+                            .get("T")
+                            .len(),
+                    )
+                })
+            });
+        }
+    }
+
+    // goal-directed: "who reaches the last node" on a path — the bound
+    // second argument lets the magic transformation restrict derivation
+    // to the single relevant column
+    let prog = tc_datalog();
+    for n in [64u64, 128] {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n).map(|i| [atom(i), atom(i + 1)])),
+        );
+        let goal = Goal::new("T", vec![None, Some(Value::Atom(Atom::new(n)))]);
+        let unlimited = Governor::unlimited();
+        // one-off: same rows, at most half the derived tuples
+        let mut full_stats = EvalStats::default();
+        let full = prog
+            .eval_stratified_seminaive_governed(&db, &unlimited, &mut full_stats)
+            .unwrap();
+        let mut magic_stats = EvalStats::default();
+        let answer = query_datalog(&prog, &db, &goal, &unlimited, &mut magic_stats).unwrap();
+        assert_eq!(answer.len() as u64, n, "goal answer row count");
+        assert!(
+            magic_stats.tuples_derived * 2 <= full_stats.tuples_derived,
+            "magic must at least halve derived tuples: {} vs {}",
+            magic_stats.tuples_derived,
+            full_stats.tuples_derived
+        );
+        if n == 128 {
+            println!("datalog tc path-{n} full eval:   {full_stats}");
+            println!("datalog tc path-{n} magic query: {magic_stats}");
+            println!(
+                "magic derived-tuple reduction: {:.1}x",
+                full_stats.tuples_derived as f64 / magic_stats.tuples_derived.max(1) as f64
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("full_eval_filter", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    prog.eval_stratified_seminaive_governed(
+                        &db,
+                        &unlimited,
+                        &mut EvalStats::default(),
+                    )
+                    .unwrap()
+                    .get("T")
+                    .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("magic_query", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    query_datalog(&prog, &db, &goal, &unlimited, &mut EvalStats::default())
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+        let _ = full;
+    }
+    group.finish();
+}
+
 fn bench_chain_representations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/chain_representation");
     for len in [8usize, 12, 16] {
@@ -460,6 +592,7 @@ criterion_group!(
     bench_trace_overhead,
     bench_par_speedup,
     bench_optimizer_on_compiled_program,
+    bench_opt_speedup,
     bench_chain_representations,
     bench_while_flattening_overhead
 );

@@ -239,7 +239,7 @@ impl ColRule {
 }
 
 /// A COL program.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ColProgram {
     /// The rules.
     pub rules: Vec<ColRule>,

@@ -89,7 +89,7 @@ impl DlRule {
 }
 
 /// A DATALOG¬ program.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DatalogProgram {
     /// The rules.
     pub rules: Vec<DlRule>,

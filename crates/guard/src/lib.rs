@@ -263,6 +263,37 @@ impl FailPoint {
     }
 }
 
+/// Whether the analysis-driven optimizer pre-pass (`uset-opt`) runs
+/// before evaluation. Mirrors [`ParConfig`]: the default defers to the
+/// environment (`USET_OPT=off|on`, off when unset), while tests pin
+/// [`OptConfig::On`]/[`OptConfig::Off`] explicitly — env vars are global
+/// and racy under a parallel test harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OptConfig {
+    /// Defer to `USET_OPT` at resolution time (off when unset).
+    #[default]
+    Env,
+    /// Never optimize.
+    Off,
+    /// Always optimize.
+    On,
+}
+
+impl OptConfig {
+    /// Resolve to a concrete decision. `USET_OPT=on|1|true` enables the
+    /// pre-pass; anything else (including unset) leaves it off.
+    pub fn resolve(self) -> bool {
+        match self {
+            OptConfig::Off => false,
+            OptConfig::On => true,
+            OptConfig::Env => matches!(
+                std::env::var("USET_OPT").ok().as_deref(),
+                Some("on") | Some("1") | Some("true")
+            ),
+        }
+    }
+}
+
 /// The shareable governance bundle callers thread through evaluations:
 /// a budget, a cancellation token, and an optional failpoint. Engines
 /// derive a per-run [`Guard`] from it via [`Governor::guard`].
@@ -280,6 +311,10 @@ pub struct Governor {
     /// defers to `USET_THREADS` (itself defaulting to sequential); tests
     /// should pin [`ParConfig::off`]/[`ParConfig::workers`] explicitly.
     pub par: ParConfig,
+    /// Whether the `uset-opt` pre-pass rewrites programs before they are
+    /// evaluated. The default defers to `USET_OPT` (itself defaulting to
+    /// off); tests should pin [`OptConfig::On`]/[`OptConfig::Off`].
+    pub opt: OptConfig,
 }
 
 impl Governor {
@@ -319,6 +354,15 @@ impl Governor {
     /// `USET_THREADS` environment default).
     pub fn with_par(mut self, par: ParConfig) -> Governor {
         self.par = par;
+        self
+    }
+
+    /// Enable or disable the `uset-opt` pre-pass (overriding the
+    /// `USET_OPT` environment default). The governor only carries the
+    /// knob; the `uset-opt` crate's wrapper entry points consult it —
+    /// the engines themselves stay optimizer-agnostic.
+    pub fn with_opt(mut self, opt: OptConfig) -> Governor {
+        self.opt = opt;
         self
     }
 
@@ -894,6 +938,18 @@ mod tests {
         assert_eq!(gov.guard(EngineId::Datalog).workers(), 4);
         let off = Governor::unlimited().with_par(ParConfig::off());
         assert_eq!(off.guard(EngineId::Datalog).workers(), 1);
+    }
+
+    #[test]
+    fn opt_config_pins_override_env() {
+        // Off/On never consult the environment, so they are test-safe
+        assert!(!OptConfig::Off.resolve());
+        assert!(OptConfig::On.resolve());
+        assert_eq!(Governor::unlimited().opt, OptConfig::Env);
+        assert_eq!(
+            Governor::unlimited().with_opt(OptConfig::On).opt,
+            OptConfig::On
+        );
     }
 
     #[test]

@@ -101,6 +101,25 @@ impl ColumnIndex {
         self.rows_indexed == 0
     }
 
+    /// Number of distinct key values in the index — the denominator of
+    /// the classic `|rel| / distinct(col)` selectivity estimate the
+    /// optimizer's cardinality domain uses to rank probe columns. An
+    /// empty index reports 0 distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Average bucket depth (`len / distinct_keys`, 0 for an empty
+    /// index): the expected number of rows a ground probe on the keyed
+    /// column returns — lower is more selective.
+    pub fn avg_bucket_depth(&self) -> usize {
+        if self.buckets.is_empty() {
+            0
+        } else {
+            self.rows_indexed.div_ceil(self.buckets.len())
+        }
+    }
+
     /// Total rows this index has been shown, indexable or not — the
     /// version stamp [`IndexSet::of_col`] compares against the live
     /// instance's length to detect un-notified mutation.
@@ -211,6 +230,17 @@ mod tests {
         assert_eq!(idx.probe(&atom(10)).len(), 2);
         assert_eq!(idx.probe(&atom(20)), &[tuple([atom(2), atom(20)])]);
         assert!(idx.probe(&atom(1)).is_empty(), "keys are column 1 values");
+    }
+
+    #[test]
+    fn selectivity_accessors_report_distinct_keys_and_depth() {
+        let idx = ColumnIndex::build(&rel());
+        // keys 1 and 2; key 1 holds two rows
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.avg_bucket_depth(), 2, "ceil(3 rows / 2 keys)");
+        let empty = ColumnIndex::default();
+        assert_eq!(empty.distinct_keys(), 0);
+        assert_eq!(empty.avg_bucket_depth(), 0);
     }
 
     #[test]

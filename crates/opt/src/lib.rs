@@ -1,0 +1,184 @@
+//! # uset-opt — analysis-driven program optimization for the deductive engines
+//!
+//! An opt-in pre-pass that rewrites DATALOG¬ and COL programs using the
+//! proofs landed by `uset-analysis`'s abstract-interpretation engine
+//! ([`uset_analysis::absint`]), plus a magic-set-style demand restriction
+//! for single-goal queries. Three kinds of entry point:
+//!
+//! * [`optimize_datalog`] / [`optimize_col`] — **state-preserving**
+//!   rewrites: dead-rule elimination (a rule whose body provably admits
+//!   zero bindings), removal of always-true negated literals (negation on
+//!   a provably empty relation), α-equivalent duplicate-rule removal, and
+//!   selectivity-guided body reordering. Evaluating the optimized program
+//!   produces a final state **bit-identical** to the original's and never
+//!   derives more tuples (`EvalStats::tuples_derived` is ≤; see
+//!   `tests/opt_diff.rs` and DESIGN.md §12 for the safety argument).
+//! * [`query_datalog`] — a goal-directed query path: for a single
+//!   [`Goal`], applies the magic-set transformation (left-to-right
+//!   sideways information passing, one adornment per predicate) when the
+//!   goal-reachable fragment uses negation only on EDB relations, and
+//!   falls back to reachability pruning otherwise. Only the **goal
+//!   relation** is preserved, restricted to the goal's bound constants.
+//! * engine wrappers ([`eval_stratified`], [`eval_stratified_seminaive`],
+//!   [`eval_inflationary`], [`col_stratified`], [`col_inflationary`]) —
+//!   drop-in front doors that consult [`uset_guard::OptConfig`] on the
+//!   governor (`USET_OPT=on|off`, default off) and run the
+//!   state-preserving optimizer before delegating to the engines. The
+//!   engines themselves stay optimizer-agnostic.
+//!
+//! The optimizer assumes programs that pass the engines' own well-
+//! formedness checks; the DATALOG¬ wrappers re-run [`check_safety`]
+//! first so an unsafe program is rejected identically with the knob on
+//! or off.
+//!
+//! [`check_safety`]: uset_deductive::DatalogProgram::check_safety
+
+pub mod col;
+pub mod datalog;
+pub mod magic;
+
+pub use col::optimize_col;
+pub use datalog::optimize_datalog;
+pub use magic::{query_datalog, Goal};
+
+use uset_deductive::col::eval as col_eval;
+use uset_deductive::{
+    ColConfig, ColEvalError, ColProgram, ColState, ColStrategy, DatalogProgram, DlError,
+};
+use uset_guard::Governor;
+use uset_object::{Database, EvalStats};
+
+/// Stratified DATALOG¬ evaluation; optimizes first when the governor's
+/// [`uset_guard::OptConfig`] resolves to on.
+pub fn eval_stratified(
+    prog: &DatalogProgram,
+    db: &Database,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<Database, DlError> {
+    if governor.opt.resolve() {
+        prog.check_safety()?;
+        optimize_datalog(prog, Some(db)).eval_stratified_governed(db, governor, stats)
+    } else {
+        prog.eval_stratified_governed(db, governor, stats)
+    }
+}
+
+/// Semi-naive stratified DATALOG¬ evaluation behind the opt knob.
+pub fn eval_stratified_seminaive(
+    prog: &DatalogProgram,
+    db: &Database,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<Database, DlError> {
+    if governor.opt.resolve() {
+        prog.check_safety()?;
+        optimize_datalog(prog, Some(db)).eval_stratified_seminaive_governed(db, governor, stats)
+    } else {
+        prog.eval_stratified_seminaive_governed(db, governor, stats)
+    }
+}
+
+/// Inflationary DATALOG¬ evaluation behind the opt knob.
+pub fn eval_inflationary(
+    prog: &DatalogProgram,
+    db: &Database,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<Database, DlError> {
+    if governor.opt.resolve() {
+        prog.check_safety()?;
+        optimize_datalog(prog, Some(db)).eval_inflationary_governed(db, governor, stats)
+    } else {
+        prog.eval_inflationary_governed(db, governor, stats)
+    }
+}
+
+/// Stratified COL evaluation behind the opt knob.
+pub fn col_stratified(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+    strategy: ColStrategy,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<ColState, ColEvalError> {
+    if governor.opt.resolve() {
+        let optimized = optimize_col(prog, Some(db));
+        col_eval::stratified_governed(&optimized, db, config, strategy, governor, stats)
+    } else {
+        col_eval::stratified_governed(prog, db, config, strategy, governor, stats)
+    }
+}
+
+/// Inflationary COL evaluation behind the opt knob.
+pub fn col_inflationary(
+    prog: &ColProgram,
+    db: &Database,
+    config: &ColConfig,
+    strategy: ColStrategy,
+    governor: &Governor,
+    stats: &mut EvalStats,
+) -> Result<ColState, ColEvalError> {
+    if governor.opt.resolve() {
+        let optimized = optimize_col(prog, Some(db));
+        col_eval::inflationary_governed(&optimized, db, config, strategy, governor, stats)
+    } else {
+        col_eval::inflationary_governed(prog, db, config, strategy, governor, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_deductive::{DlAtom, DlRule, DlTerm};
+    use uset_guard::OptConfig;
+    use uset_object::{atom, Instance};
+
+    fn tc() -> DatalogProgram {
+        let v = DlTerm::var;
+        DatalogProgram::new(vec![
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("y")]),
+                vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+            ),
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("z")]),
+                vec![
+                    (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                    (true, DlAtom::new("T", vec![v("y"), v("z")])),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn knob_off_and_on_agree_on_final_state() {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows((0u64..5).map(|i| [atom(i), atom(i + 1)])),
+        );
+        let prog = tc();
+        let off = Governor::unlimited().with_opt(OptConfig::Off);
+        let on = Governor::unlimited().with_opt(OptConfig::On);
+        let mut s_off = EvalStats::default();
+        let mut s_on = EvalStats::default();
+        let r_off = eval_stratified_seminaive(&prog, &db, &off, &mut s_off).unwrap();
+        let r_on = eval_stratified_seminaive(&prog, &db, &on, &mut s_on).unwrap();
+        assert_eq!(r_off, r_on);
+        assert!(s_on.tuples_derived <= s_off.tuples_derived);
+    }
+
+    #[test]
+    fn unsafe_program_rejected_identically_under_both_knobs() {
+        let v = DlTerm::var;
+        let prog = DatalogProgram::new(vec![DlRule::new(DlAtom::new("A", vec![v("x")]), vec![])]);
+        let db = Database::empty();
+        for cfg in [OptConfig::Off, OptConfig::On] {
+            let gov = Governor::unlimited().with_opt(cfg);
+            let err = eval_stratified(&prog, &db, &gov, &mut EvalStats::default()).unwrap_err();
+            assert!(matches!(err, DlError::Unsafe(_)), "{cfg:?}: {err}");
+        }
+    }
+}

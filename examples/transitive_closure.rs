@@ -12,11 +12,10 @@
 use untyped_sets::algebra::derived::{tc_powerset_program, tc_while_program};
 use untyped_sets::algebra::{eval_program_governed, EvalConfig, EvalError, Program};
 use untyped_sets::deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
-use untyped_sets::deductive::col::eval::{
-    stratified_governed, ColConfig, ColEvalError, ColStrategy,
-};
+use untyped_sets::deductive::col::eval::{ColConfig, ColEvalError, ColStrategy};
 use untyped_sets::guard::{Budget, Governor};
 use untyped_sets::object::{atom, Database, EvalStats, Instance};
+use untyped_sets::opt::col_stratified;
 use untyped_sets::trace::TraceHandle;
 
 /// Exit cleanly with the structured exhaustion report when an env budget
@@ -85,22 +84,31 @@ fn main() {
             ],
         ),
     ]);
+    // the opt wrapper consults USET_OPT (off|on, default off) and runs
+    // the analysis-driven optimizer before delegating to the engine
     let col_cfg = ColConfig::default();
     let governor =
         Governor::new(Budget::from_env().min(col_cfg.budget())).with_trace(trace.clone());
-    let via_col = match stratified_governed(
+    let mut col_stats = EvalStats::default();
+    let via_col = match col_stratified(
         &col,
         &db,
         &col_cfg,
         ColStrategy::Seminaive,
         &governor,
-        &mut EvalStats::default(),
+        &mut col_stats,
     ) {
         Ok(state) => state.pred("T"),
         Err(ColEvalError::Exhausted(report)) => governed_exit(report),
         Err(e) => panic!("{e}"),
     };
     println!("TC via COL:      {via_col}");
+    println!(
+        "COL work: {} tuples derived over {} rounds (USET_OPT={})",
+        col_stats.tuples_derived,
+        col_stats.rounds,
+        if governor.opt.resolve() { "on" } else { "off" },
+    );
 
     assert_eq!(via_while, via_powerset);
     assert_eq!(via_while, via_col);

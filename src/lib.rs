@@ -19,6 +19,11 @@
 //!   the formalisms.
 //! * [`analysis`] — the unified static-analysis framework and the paper-
 //!   derived lints behind the `uset-lint` binary.
+//! * [`opt`] — the analysis-driven program optimizer: state-preserving
+//!   dead-rule elimination, body reordering, and duplicate removal for
+//!   DATALOG¬ and COL behind the governor's `USET_OPT` knob, plus
+//!   magic-set demand restriction for single-goal queries
+//!   ([`opt::query_datalog`]).
 //! * [`guard`] — the unified resource-governance layer ([`guard::Budget`],
 //!   [`guard::CancelToken`], [`guard::Exhausted`]) shared by every engine.
 //! * [`trace`] — structured tracing, per-rule metrics, and derivation
@@ -38,6 +43,7 @@ pub use uset_deductive as deductive;
 pub use uset_gtm as gtm;
 pub use uset_guard as guard;
 pub use uset_object as object;
+pub use uset_opt as opt;
 pub use uset_par as par;
 pub use uset_trace as trace;
 

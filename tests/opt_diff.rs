@@ -1,0 +1,426 @@
+//! Differential suite for the analysis-driven optimizer (`uset-opt`): on
+//! random programs, evaluating with `USET_OPT=on` must produce a final
+//! state **bit-identical** to the unoptimized run and never derive more
+//! tuples (`EvalStats::tuples_derived` is ≤ — probe/fallback counters
+//! legitimately shift under body reordering, so full stats equality is
+//! not required). The goal-directed path (`query_datalog`) must return
+//! exactly the rows a full evaluation followed by a filter would.
+//!
+//! Knob settings are pinned via [`OptConfig::Off`]/[`OptConfig::On`]
+//! rather than `USET_OPT` because the process environment is global and
+//! racy under a parallel test harness.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use untyped_sets::deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
+use untyped_sets::deductive::col::eval::{ColConfig, ColStrategy};
+use untyped_sets::deductive::{DatalogProgram, DlAtom, DlRule, DlTerm};
+use untyped_sets::guard::{Governor, OptConfig};
+use untyped_sets::object::{Atom, Database, EvalStats, Instance, Value};
+use untyped_sets::opt::{
+    col_inflationary, col_stratified, eval_inflationary, eval_stratified,
+    eval_stratified_seminaive, query_datalog, Goal,
+};
+
+fn a(id: u64) -> Value {
+    Value::Atom(Atom::new(id))
+}
+
+fn arb_graph() -> impl Strategy<Value = Database> {
+    prop::collection::vec((0u64..6, 0u64..6), 0..12).prop_map(|edges| {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows(edges.into_iter().map(|(x, y)| [a(x), a(y)])),
+        );
+        db
+    })
+}
+
+fn governor(opt: OptConfig) -> Governor {
+    Governor::unlimited().with_opt(opt)
+}
+
+// ---------------------------------------------------------------- datalog
+
+/// TC plus a negation stratum, plus chaff the optimizer should strip: an
+/// α-equivalent duplicate of the recursive rule and a rule over a
+/// provably empty relation.
+fn dl_prog() -> DatalogProgram {
+    let v = DlTerm::var;
+    DatalogProgram::new(vec![
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("y")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("z")]),
+            vec![
+                (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                (true, DlAtom::new("T", vec![v("y"), v("z")])),
+            ],
+        ),
+        // α-equivalent duplicate of the recursive rule
+        DlRule::new(
+            DlAtom::new("T", vec![v("p"), v("q")]),
+            vec![
+                (true, DlAtom::new("R", vec![v("p"), v("r")])),
+                (true, DlAtom::new("T", vec![v("r"), v("q")])),
+            ],
+        ),
+        // dead: Never has no rules and no seeding
+        DlRule::new(
+            DlAtom::new("Dead", vec![v("x")]),
+            vec![
+                (true, DlAtom::new("T", vec![v("x"), v("y")])),
+                (true, DlAtom::new("Never", vec![v("y")])),
+            ],
+        ),
+        DlRule::new(
+            DlAtom::new("N", vec![v("x")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("N", vec![v("y")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("NT", vec![v("x"), v("y")]),
+            vec![
+                (true, DlAtom::new("N", vec![v("x")])),
+                (true, DlAtom::new("N", vec![v("y")])),
+                (false, DlAtom::new("T", vec![v("x"), v("y")])),
+            ],
+        ),
+    ])
+}
+
+type DlEval = fn(
+    &DatalogProgram,
+    &Database,
+    &Governor,
+    &mut EvalStats,
+) -> Result<Database, untyped_sets::deductive::DlError>;
+
+fn dl_knob_matches(prog: &DatalogProgram, db: &Database) -> Result<(), TestCaseError> {
+    let semantics: [(&str, DlEval); 3] = [
+        ("stratified", eval_stratified),
+        ("seminaive", eval_stratified_seminaive),
+        ("inflationary", eval_inflationary),
+    ];
+    for (name, eval) in semantics {
+        let mut s_off = EvalStats::default();
+        let mut s_on = EvalStats::default();
+        let off = eval(prog, db, &governor(OptConfig::Off), &mut s_off).unwrap();
+        let on = eval(prog, db, &governor(OptConfig::On), &mut s_on).unwrap();
+        assert_eq!(&on, &off, "state under {}", name);
+        assert!(
+            s_on.tuples_derived <= s_off.tuples_derived,
+            "{}: optimized derived {} > unoptimized {}",
+            name,
+            s_on.tuples_derived,
+            s_off.tuples_derived
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DATALOG¬ under all three semantics: optimized ≡ unoptimized on
+    /// random graphs, never deriving more tuples.
+    #[test]
+    fn datalog_opt_matches_unoptimized(db in arb_graph()) {
+        dl_knob_matches(&dl_prog(), &db)?;
+    }
+
+    /// The unstratifiable win-move program under inflationary semantics:
+    /// negation on an IDB predicate must survive optimization untouched.
+    #[test]
+    fn datalog_win_move_opt_matches_unoptimized(db in arb_graph()) {
+        let v = DlTerm::var;
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("W", vec![v("x")]),
+            vec![
+                (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                (false, DlAtom::new("W", vec![v("y")])),
+            ],
+        )]);
+        let mut s_off = EvalStats::default();
+        let mut s_on = EvalStats::default();
+        let off = eval_inflationary(&prog, &db, &governor(OptConfig::Off), &mut s_off).unwrap();
+        let on = eval_inflationary(&prog, &db, &governor(OptConfig::On), &mut s_on).unwrap();
+        assert_eq!(&on, &off);
+        assert!(s_on.tuples_derived <= s_off.tuples_derived);
+    }
+
+    /// Goal-directed queries: `query_datalog` returns exactly the rows a
+    /// full evaluation followed by a filter would, for every goal shape
+    /// over the queried predicate.
+    #[test]
+    fn magic_query_matches_filtered_full_eval(db in arb_graph(), k in 0u64..6) {
+        let prog = dl_prog();
+        let goals = [
+            Goal::new("T", vec![None, Some(a(k))]),
+            Goal::new("T", vec![Some(a(k)), None]),
+            Goal::new("T", vec![Some(a(k)), Some(a((k + 1) % 6))]),
+            // NT's fragment negates an IDB predicate → fallback path
+            Goal::new("NT", vec![Some(a(k)), None]),
+            // EDB goal → direct filter, no evaluation
+            Goal::new("R", vec![None, Some(a(k))]),
+        ];
+        let full = prog
+            .eval_stratified_seminaive_governed(&db, &Governor::unlimited(), &mut EvalStats::default())
+            .unwrap();
+        for goal in goals {
+            let mut stats = EvalStats::default();
+            let got = query_datalog(&prog, &db, &goal, &Governor::unlimited(), &mut stats).unwrap();
+            let want: Instance = Instance::from_values(full.get(&goal.pred).iter().filter(|row| {
+                row.as_tuple().is_some_and(|items| {
+                    items.len() == goal.bound.len()
+                        && goal
+                            .bound
+                            .iter()
+                            .zip(items)
+                            .all(|(b, v)| b.as_ref().is_none_or(|b| b == v))
+                })
+            }).cloned());
+            assert_eq!(&got, &want, "goal {:?}", &goal.pred);
+        }
+    }
+}
+
+/// The chaff in `dl_prog` (duplicate + dead rule) must buy a *strict*
+/// reduction in derived tuples on a graph with a real transitive chain.
+#[test]
+fn duplicate_and_dead_rules_strictly_reduce_work() {
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows((0u64..8).map(|i| [a(i), a(i + 1)])),
+    );
+    let prog = dl_prog();
+    let mut s_off = EvalStats::default();
+    let mut s_on = EvalStats::default();
+    let off = eval_stratified_seminaive(&prog, &db, &governor(OptConfig::Off), &mut s_off).unwrap();
+    let on = eval_stratified_seminaive(&prog, &db, &governor(OptConfig::On), &mut s_on).unwrap();
+    assert_eq!(on, off);
+    assert!(
+        s_on.tuples_derived < s_off.tuples_derived,
+        "expected strict reduction: on={} off={}",
+        s_on.tuples_derived,
+        s_off.tuples_derived
+    );
+}
+
+/// The acceptance benchmark in miniature: on a 64-edge path, asking "who
+/// reaches node 64" through the magic-set path must derive at most half
+/// the tuples of a full TC evaluation (the ablation bench reports the
+/// full-size numbers in EXPERIMENTS.md).
+#[test]
+fn magic_halves_derived_tuples_on_path_query() {
+    let v = DlTerm::var;
+    let prog = DatalogProgram::new(vec![
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("y")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("z")]),
+            vec![
+                (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                (true, DlAtom::new("T", vec![v("y"), v("z")])),
+            ],
+        ),
+    ]);
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows((0u64..64).map(|i| [a(i), a(i + 1)])),
+    );
+    let goal = Goal::new("T", vec![None, Some(a(64))]);
+
+    let mut full_stats = EvalStats::default();
+    let full = prog
+        .eval_stratified_seminaive_governed(&db, &Governor::unlimited(), &mut full_stats)
+        .unwrap();
+    let mut stats = EvalStats::default();
+    let got = query_datalog(&prog, &db, &goal, &Governor::unlimited(), &mut stats).unwrap();
+
+    let want: Instance = Instance::from_values(
+        full.get("T")
+            .iter()
+            .filter(|row| {
+                row.as_tuple()
+                    .is_some_and(|items| items.get(1) == Some(&a(64)))
+            })
+            .cloned(),
+    );
+    assert_eq!(got, want);
+    assert_eq!(got.len(), 64);
+    assert!(
+        stats.tuples_derived * 2 <= full_stats.tuples_derived,
+        "magic derived {} vs full {}",
+        stats.tuples_derived,
+        full_stats.tuples_derived
+    );
+}
+
+// -------------------------------------------------------------------- col
+
+/// TC with a negation stratum plus chaff: an α-duplicate recursive rule
+/// and a rule guarded by membership in a provably empty function.
+fn col_prog() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("R", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ),
+        // α-equivalent duplicate of the recursive rule
+        ColRule::pred(
+            "T",
+            vec![v("p"), v("q")],
+            vec![
+                ColLiteral::pred("R", vec![v("p"), v("r")]),
+                ColLiteral::pred("T", vec![v("r"), v("q")]),
+            ],
+        ),
+        // dead: Never is an undefined predicate with no seeding
+        ColRule::pred(
+            "Dead",
+            vec![v("x")],
+            vec![
+                ColLiteral::pred("T", vec![v("x"), v("y")]),
+                ColLiteral::pred("Never", vec![v("y")]),
+            ],
+        ),
+        ColRule::pred(
+            "N",
+            vec![v("x")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "NT",
+            vec![v("x"), v("y")],
+            vec![
+                ColLiteral::pred("N", vec![v("x")]),
+                ColLiteral::pred("N", vec![v("y")]),
+                ColLiteral::not_pred("T", vec![v("x"), v("y")]),
+            ],
+        ),
+    ])
+}
+
+/// Data functions: membership heads build F's sets; G reads an applied
+/// value — the optimizer must respect COL's moding constraints.
+fn col_func_prog() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::func_member(
+            "F",
+            vec![v("x")],
+            v("y"),
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "G",
+            vec![ColTerm::Tuple(vec![
+                v("x"),
+                ColTerm::Apply("F".into(), vec![v("x")]),
+            ])],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+    ])
+}
+
+fn col_knob_matches(prog: &ColProgram, db: &Database) -> Result<(), TestCaseError> {
+    let cfg = ColConfig::default();
+    for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+        let mut s_off = EvalStats::default();
+        let mut s_on = EvalStats::default();
+        let off = col_stratified(
+            prog,
+            db,
+            &cfg,
+            strategy,
+            &governor(OptConfig::Off),
+            &mut s_off,
+        )
+        .unwrap();
+        let on = col_stratified(
+            prog,
+            db,
+            &cfg,
+            strategy,
+            &governor(OptConfig::On),
+            &mut s_on,
+        )
+        .unwrap();
+        assert_eq!(&on, &off, "stratified state {:?}", strategy);
+        assert!(
+            s_on.tuples_derived <= s_off.tuples_derived,
+            "stratified {:?}: on={} off={}",
+            strategy,
+            s_on.tuples_derived,
+            s_off.tuples_derived
+        );
+        let mut s_off = EvalStats::default();
+        let mut s_on = EvalStats::default();
+        let off = col_inflationary(
+            prog,
+            db,
+            &cfg,
+            strategy,
+            &governor(OptConfig::Off),
+            &mut s_off,
+        )
+        .unwrap();
+        let on = col_inflationary(
+            prog,
+            db,
+            &cfg,
+            strategy,
+            &governor(OptConfig::On),
+            &mut s_on,
+        )
+        .unwrap();
+        assert_eq!(&on, &off, "inflationary state {:?}", strategy);
+        assert!(
+            s_on.tuples_derived <= s_off.tuples_derived,
+            "inflationary {:?}: on={} off={}",
+            strategy,
+            s_on.tuples_derived,
+            s_off.tuples_derived
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// COL with negation strata and chaff rules: optimized ≡ unoptimized
+    /// under both strategies and both semantics.
+    #[test]
+    fn col_negation_opt_matches_unoptimized(db in arb_graph()) {
+        col_knob_matches(&col_prog(), &db)?;
+    }
+
+    /// COL with data functions: identical predicate extents *and*
+    /// function graphs with the knob on.
+    #[test]
+    fn col_functions_opt_matches_unoptimized(db in arb_graph()) {
+        col_knob_matches(&col_func_prog(), &db)?;
+    }
+}
