@@ -17,6 +17,7 @@ use crate::expr::{Expr, Pred};
 use crate::program::{Program, Stmt, ANS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
+use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, Trip};
@@ -137,12 +138,138 @@ impl From<EvalError> for RunErr {
 
 type RunResult<T> = Result<T, RunErr>;
 
+/// The loop state an algebra checkpoint restores: the index of the next
+/// top-level statement, whether execution stopped *inside* that
+/// statement's `while` loop (the loop is condition-driven, so the
+/// restored environment alone determines the remaining iterations), and
+/// the environment itself. Commits happen at top-level statement and
+/// top-level while-iteration boundaries; statements nested in a loop
+/// body execute atomically between commits.
+struct AlgResume {
+    pc: usize,
+    in_while: bool,
+    env: BTreeMap<String, Instance>,
+}
+
+fn alg_fingerprint(prog: &Program, db: &Database) -> u64 {
+    let mut e = ckpt::Enc::new();
+    e.put_str(ENGINE);
+    e.put_str(&format!("{prog:?}"));
+    e.put_database(db);
+    ckpt::fnv64(&e.finish())
+}
+
+fn alg_encode(pc: usize, in_while: bool, env: &BTreeMap<String, Instance>) -> Vec<u8> {
+    let mut e = ckpt::Enc::new();
+    e.put_u64(pc as u64);
+    e.put_u8(in_while as u8);
+    e.put_instance_map(env);
+    e.finish()
+}
+
+fn alg_decode(payload: &[u8]) -> Option<AlgResume> {
+    let mut d = ckpt::Dec::new(payload);
+    let pc = d.u64().ok()? as usize;
+    let in_while = d.u8().ok()? != 0;
+    let env = d.instance_map().ok()?;
+    d.done().then_some(AlgResume { pc, in_while, env })
+}
+
 struct Evaluator {
     env: HashMap<String, Instance>,
     guard: Guard,
+    session: Option<ckpt::Session>,
+    /// Commit sequence number, the durable round id: a statement boundary
+    /// and the last iteration of its `while` can share a step count, so
+    /// the strictly-monotone round id is a plain counter.
+    commits: u64,
 }
 
 impl Evaluator {
+    /// Commit the environment at a top-level boundary. `pc` is the next
+    /// top-level statement to run; `in_while` resumes inside `pc`'s loop
+    /// instead of at its entry (skipping the statement-entry step charge
+    /// that was already paid before the first committed iteration).
+    fn commit_top(&mut self, pc: usize, in_while: bool) {
+        if self.session.is_none() {
+            return;
+        }
+        self.commits += 1;
+        let env: BTreeMap<String, Instance> = self
+            .env
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let stats = EvalStats {
+            rounds: self.guard.steps(),
+            peak_facts: env.values().map(Instance::len).max().unwrap_or(0),
+            ..EvalStats::default()
+        };
+        let payload = alg_encode(pc, in_while, &env);
+        let rc = self.guard.round_ckpt(self.commits, &stats, payload);
+        if let Some(sess) = self.session.as_mut() {
+            sess.commit(&rc);
+        }
+    }
+
+    /// Top-level statement driver: [`Evaluator::run_stmts`] plus a resume
+    /// point and a durable commit after every statement and every
+    /// top-level `while` iteration. Loop bodies still run through
+    /// [`Evaluator::run_stmts`] and commit nothing mid-flight.
+    fn run_top(&mut self, stmts: &[Stmt], start: usize, mut mid_while: bool) -> RunResult<()> {
+        for (pc, s) in stmts.iter().enumerate().skip(start) {
+            let resumed_mid = std::mem::take(&mut mid_while);
+            if !resumed_mid {
+                self.guard.step()?;
+            }
+            match s {
+                Stmt::Assign(var, expr) => {
+                    let v = self.eval_expr(expr)?;
+                    self.env.insert(var.clone(), v);
+                    self.commit_top(pc + 1, false);
+                }
+                Stmt::While {
+                    out,
+                    result,
+                    cond,
+                    body,
+                } => {
+                    loop {
+                        let c = self.lookup(cond)?;
+                        if c.is_empty() {
+                            break;
+                        }
+                        let delta = c.len() as u64;
+                        self.guard.step()?;
+                        let round = self.guard.steps();
+                        let round_t0 = self.guard.trace().enabled().then(Instant::now);
+                        self.guard.trace().emit(|| TraceEvent::RoundStart {
+                            engine: ENGINE.into(),
+                            round,
+                            delta,
+                        });
+                        self.run_stmts(body)?;
+                        let env = &self.env;
+                        let value_hwm = self.guard.value_hwm() as u64;
+                        self.guard.trace().emit(|| TraceEvent::RoundEnd {
+                            engine: ENGINE.into(),
+                            round,
+                            delta,
+                            facts: env.values().map(Instance::len).sum::<usize>() as u64,
+                            value_hwm,
+                            wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                        });
+                        self.commit_top(pc, true);
+                    }
+                    let r = self.lookup(result)?.clone();
+                    self.env.insert(out.clone(), r);
+                    self.commit_top(pc + 1, false);
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn run_stmts(&mut self, stmts: &[Stmt]) -> RunResult<()> {
         for s in stmts {
             self.guard.step()?;
@@ -404,14 +531,40 @@ pub fn eval_program_governed(
     db: &Database,
     governor: &Governor,
 ) -> EvalResult<Instance> {
-    let mut ev = Evaluator {
-        env: db.iter().map(|(n, i)| (n.to_owned(), i.clone())).collect(),
-        guard: governor.guard(EngineId::Algebra),
-    };
+    let mut guard = governor.guard(EngineId::Algebra);
     let run_start = engine_start(ENGINE, &governor.trace);
-    match ev.run_stmts(&prog.stmts) {
+    let mut session = guard.ckpt_session(alg_fingerprint(prog, db));
+    let mut start = 0usize;
+    let mut mid_while = false;
+    let mut env: HashMap<String, Instance> =
+        db.iter().map(|(n, i)| (n.to_owned(), i.clone())).collect();
+    let mut commits = 0u64;
+    if let Some(sess) = session.as_mut() {
+        if let Some(rec) = sess.recover() {
+            if let Some(r) = alg_decode(&rec.payload) {
+                // algebra synthesizes its stats from the guard meters, so
+                // recovery only needs the meters restored
+                let mut stats = EvalStats::default();
+                guard.adopt_recovery(&rec, &mut stats);
+                start = r.pc;
+                mid_while = r.in_while;
+                env = r.env.into_iter().collect();
+                commits = rec.round;
+            }
+        }
+    }
+    let mut ev = Evaluator {
+        env,
+        guard,
+        session,
+        commits,
+    };
+    match ev.run_top(&prog.stmts, start, mid_while) {
         Ok(()) => {
             engine_end(ENGINE, &governor.trace, ev.guard.steps(), run_start);
+            if let Some(sess) = ev.session.as_mut() {
+                sess.finish();
+            }
             ev.env.remove(ANS).ok_or(EvalError::NoAnswer)
         }
         Err(RunErr::Fail(e)) => Err(e),

@@ -33,7 +33,8 @@ use uset_deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
 use uset_deductive::col::eval::{stratified_governed, stratified_with, ColConfig, ColStrategy};
 use uset_deductive::datalog::{DatalogProgram, DlAtom, DlRule, DlTerm};
 use uset_gtm::machines::swap_pairs_gtm;
-use uset_guard::{Budget, Governor};
+use uset_guard::ckpt::Spec;
+use uset_guard::{Budget, CkptConfig, Governor};
 use uset_object::cons::{ordinal_chain, singleton_chain};
 use uset_object::EvalStats;
 use uset_object::{atom, Atom, Database, Instance, Schema, Value};
@@ -246,6 +247,52 @@ fn bench_trace_overhead(c: &mut Criterion) {
             });
         }
     }
+    group.finish();
+}
+
+fn bench_ckpt_overhead(c: &mut Criterion) {
+    // the cost of durable checkpointing: the identical DATALOG¬
+    // semi-naive TC fixpoint with the knob off vs committing a snapshot
+    // every 16 rounds (WAL deltas in between) into a temp directory; the
+    // acceptance bar is <10% at every=16 on the path-64 closure
+    let mut group = c.benchmark_group("ablation/ckpt_overhead");
+    let prog = tc_datalog();
+    let dir = std::env::temp_dir().join("uset-ckpt-bench");
+    for n in [64u64] {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+        );
+        for every in [0u64, 16] {
+            let label = if every == 0 {
+                "off".to_string()
+            } else {
+                format!("every{every}")
+            };
+            let ckpt = if every == 0 {
+                CkptConfig::Off
+            } else {
+                CkptConfig::Spec(Spec::new(&dir).with_every(every))
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let governor = Governor::unlimited().with_ckpt_config(ckpt.clone());
+                    black_box(
+                        prog.eval_stratified_seminaive_governed(
+                            &db,
+                            &governor,
+                            &mut EvalStats::default(),
+                        )
+                        .unwrap()
+                        .get("T")
+                        .len(),
+                    )
+                })
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
     group.finish();
 }
 
@@ -590,6 +637,7 @@ criterion_group!(
     bench_col_naive_vs_seminaive,
     bench_guard_overhead,
     bench_trace_overhead,
+    bench_ckpt_overhead,
     bench_par_speedup,
     bench_optimizer_on_compiled_program,
     bench_opt_speedup,

@@ -26,11 +26,12 @@ use crate::order::{subobject, subobjects};
 use crate::rules::{BkProgram, BkRule, BkTerm};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
+use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, ParBrake, Resource, Trip};
 use uset_object::EvalStats;
-use uset_par::par_map;
+use uset_par::try_par_map;
 
 /// Engine label carried by every BK trace event.
 const ENGINE: &str = "bk";
@@ -369,6 +370,148 @@ fn rule_bindings<C: BkCheck>(
     Ok(acc)
 }
 
+fn put_bk_object(e: &mut ckpt::Enc, o: &BkObject) {
+    match o {
+        BkObject::Bottom => e.put_u8(0),
+        BkObject::Top => e.put_u8(1),
+        BkObject::Atom(a) => {
+            e.put_u8(2);
+            e.put_atom(*a);
+        }
+        BkObject::Tuple(m) => {
+            e.put_u8(3);
+            e.put_usize(m.len());
+            for (k, v) in m {
+                e.put_str(k);
+                put_bk_object(e, v);
+            }
+        }
+        BkObject::Set(s) => {
+            e.put_u8(4);
+            e.put_usize(s.len());
+            for v in s {
+                put_bk_object(e, v);
+            }
+        }
+    }
+}
+
+fn take_bk_object(d: &mut ckpt::Dec<'_>) -> Result<BkObject, ckpt::CodecError> {
+    match d.u8()? {
+        0 => Ok(BkObject::Bottom),
+        1 => Ok(BkObject::Top),
+        2 => Ok(BkObject::Atom(d.atom()?)),
+        3 => {
+            let mut m = BTreeMap::new();
+            for _ in 0..d.len_prefix()? {
+                let k = d.str()?;
+                m.insert(k, take_bk_object(d)?);
+            }
+            Ok(BkObject::Tuple(m))
+        }
+        4 => {
+            let mut s = BTreeSet::new();
+            for _ in 0..d.len_prefix()? {
+                s.insert(take_bk_object(d)?);
+            }
+            Ok(BkObject::Set(s))
+        }
+        _ => Err(ckpt::CodecError {
+            at: 0,
+            expected: "bk object tag",
+        }),
+    }
+}
+
+/// The loop state a BK checkpoint restores: rounds of the `max_rounds`
+/// allowance spent, the predicate extents, and the derivation log.
+struct BkResume {
+    rounds_in_run: u64,
+    state: BkState,
+    derivations: Vec<Derivation>,
+}
+
+fn bk_encode(rounds_in_run: u64, state: &BkState, derivations: &[Derivation]) -> Vec<u8> {
+    let mut e = ckpt::Enc::new();
+    e.put_u64(rounds_in_run);
+    e.put_usize(state.len());
+    for (pred, extent) in state {
+        e.put_str(pred);
+        e.put_usize(extent.len());
+        for o in extent {
+            put_bk_object(&mut e, o);
+        }
+    }
+    e.put_usize(derivations.len());
+    for d in derivations {
+        e.put_u64(d.rule as u64);
+        e.put_usize(d.bindings.len());
+        for (var, obj) in &d.bindings {
+            e.put_str(var);
+            put_bk_object(&mut e, obj);
+        }
+        e.put_str(&d.pred);
+        put_bk_object(&mut e, &d.fact);
+    }
+    e.finish()
+}
+
+fn bk_decode(payload: &[u8]) -> Option<BkResume> {
+    let mut d = ckpt::Dec::new(payload);
+    let rounds_in_run = d.u64().ok()?;
+    let mut state = BkState::new();
+    for _ in 0..d.len_prefix().ok()? {
+        let pred = d.str().ok()?;
+        let mut extent = BTreeSet::new();
+        for _ in 0..d.len_prefix().ok()? {
+            extent.insert(take_bk_object(&mut d).ok()?);
+        }
+        state.insert(pred, extent);
+    }
+    let mut derivations = Vec::new();
+    for _ in 0..d.len_prefix().ok()? {
+        let rule = d.u64().ok()? as usize;
+        let mut bindings = Bindings::new();
+        for _ in 0..d.len_prefix().ok()? {
+            let var = d.str().ok()?;
+            bindings.insert(var, take_bk_object(&mut d).ok()?);
+        }
+        let pred = d.str().ok()?;
+        let fact = take_bk_object(&mut d).ok()?;
+        derivations.push(Derivation {
+            rule,
+            bindings,
+            pred,
+            fact,
+        });
+    }
+    d.done().then_some(BkResume {
+        rounds_in_run,
+        state,
+        derivations,
+    })
+}
+
+/// Fingerprint of one governed BK computation: program, input state,
+/// and the config knobs that shape rounds (bind mode and the
+/// enumeration cap both change what a round derives).
+fn bk_fingerprint(prog: &BkProgram, input: &BkState, config: &BkConfig) -> u64 {
+    let mut e = ckpt::Enc::new();
+    e.put_str(ENGINE);
+    e.put_str(&format!("{:?}", prog.rules));
+    e.put_str(&format!("{:?}", config.bind_mode));
+    e.put_u64(config.max_subobjects as u64);
+    e.put_usize(input.len());
+    for (pred, extent) in input {
+        e.put_str(pred);
+        e.put_usize(extent.len());
+        for o in extent {
+            put_bk_object(&mut e, o);
+        }
+    }
+    ckpt::fnv64(&e.finish())
+}
+
 fn exhaust(trip: Trip, state: BkState, derivations: Vec<Derivation>, stats: EvalStats) -> BkError {
     BkError::Exhausted(Box::new(Exhausted::new(
         trip,
@@ -418,12 +561,26 @@ pub fn eval_rounds_with(
     let run_start = engine_start(ENGINE, &trace);
     let mut state = input.clone();
     let mut derivations: Vec<Derivation> = Vec::new();
+    // recover the last durable round of a matching interrupted run, if
+    // the governor configured a checkpoint directory
+    let mut session = guard.ckpt_session(bk_fingerprint(prog, input, config));
+    let mut start_round = 0;
+    if let Some(sess) = session.as_mut() {
+        if let Some(rec) = sess.recover() {
+            if let Some(r) = bk_decode(&rec.payload) {
+                guard.adopt_recovery(&rec, stats);
+                start_round = r.rounds_in_run;
+                state = r.state;
+                derivations = r.derivations;
+            }
+        }
+    }
     let base: usize = state.values().map(BTreeSet::len).sum();
     stats.observe_facts(base);
     if let Err(trip) = guard.set_fact_base(base) {
         return Err(exhaust(trip, state, derivations, *stats));
     }
-    for _ in 0..config.max_rounds {
+    for done_rounds in start_round..config.max_rounds {
         if let Err(trip) = guard.step() {
             return Err(exhaust(trip, state, derivations, *stats));
         }
@@ -449,7 +606,7 @@ pub fn eval_rounds_with(
             let brake = guard.par_brake();
             let rule_list: Vec<(usize, &BkRule)> = prog.rules.iter().enumerate().collect();
             let timed = ctx.enabled();
-            let outputs = par_map(workers, &rule_list, |_, &(_, rule)| {
+            let fired = try_par_map(workers, &rule_list, |_, &(_, rule)| {
                 let t0 = timed.then(Instant::now);
                 let mut check = WorkerCheck {
                     brake: &brake,
@@ -463,6 +620,17 @@ pub fn eval_rounds_with(
                 let wall = t0.map_or(0, |t| t.elapsed().as_micros() as u64);
                 (res, check.value_hwm, check.checked, wall)
             });
+            let outputs = match fired {
+                Ok(o) => o,
+                Err(_panic) => {
+                    // a rule's binding search panicked on a worker: the
+                    // pool drained cleanly and nothing was inserted, so
+                    // the state is still the last completed round's —
+                    // surface a structured trip instead of unwinding
+                    let trip = guard.panic_trip();
+                    return Err(exhaust(trip, state, derivations, *stats));
+                }
+            };
             if brake.engaged() {
                 // a worker overran the derivation allowance mid-round:
                 // nothing was inserted yet, so the state is exactly the
@@ -559,7 +727,16 @@ pub fn eval_rounds_with(
             );
             if !changed {
                 engine_end(ENGINE, &trace, guard.steps(), run_start);
+                if let Some(sess) = session.as_mut() {
+                    sess.finish();
+                }
                 return Ok((state, derivations, true));
+            }
+            // the quiescent round is never committed: a resume replays
+            // it from the previous commit and recharges identically
+            if let Some(sess) = session.as_mut() {
+                let payload = bk_encode(done_rounds + 1, &state, &derivations);
+                sess.commit(&guard.round_ckpt(round_no, stats, payload));
             }
             continue;
         }
@@ -644,10 +821,20 @@ pub fn eval_rounds_with(
         );
         if !changed {
             engine_end(ENGINE, &trace, guard.steps(), run_start);
+            if let Some(sess) = session.as_mut() {
+                sess.finish();
+            }
             return Ok((state, derivations, true));
+        }
+        if let Some(sess) = session.as_mut() {
+            let payload = bk_encode(done_rounds + 1, &state, &derivations);
+            sess.commit(&guard.round_ckpt(round_no, stats, payload));
         }
     }
     engine_end(ENGINE, &trace, guard.steps(), run_start);
+    if let Some(sess) = session.as_mut() {
+        sess.finish();
+    }
     Ok((state, derivations, false))
 }
 

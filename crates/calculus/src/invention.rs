@@ -22,12 +22,13 @@ use crate::ast::CalcQuery;
 use crate::eval::{eval_query_over, extended_adom, CalcConfig, CalcError};
 use std::collections::BTreeSet;
 use std::time::Instant;
+use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{EngineId, Governor, Guard, Trip};
 use uset_object::flatten::Inventor;
 use uset_object::{Atom, Database, EvalStats, Instance};
-use uset_par::par_map;
+use uset_par::try_par_map;
 
 /// Engine label carried by every invention trace event. Rounds are
 /// invention levels: `RoundStart::delta` is the level index `i`, and
@@ -54,6 +55,62 @@ fn exhaust(trip: Trip, union: Instance, levels_done: usize, stats: EvalStats) ->
         InventionPartial { union, levels_done },
         stats,
     )))
+}
+
+/// The loop state a calculus checkpoint restores. For [`eval_fi`] this is
+/// the next invention level plus the union over completed levels; for
+/// [`eval_terminal`] only the next candidate level (the search
+/// accumulates nothing before its witness, so `union` stays empty). A
+/// `next` past the cap marks "search complete, crash landed before
+/// cleanup".
+struct CalcResume {
+    next: usize,
+    union: Instance,
+}
+
+fn calc_fingerprint(kind: &str, q: &CalcQuery, cap: usize, db: &Database) -> u64 {
+    let mut e = ckpt::Enc::new();
+    e.put_str(ENGINE);
+    e.put_str(kind);
+    e.put_str(&format!("{q:?}"));
+    e.put_u64(cap as u64);
+    e.put_database(db);
+    ckpt::fnv64(&e.finish())
+}
+
+fn calc_encode(next: usize, union: &Instance) -> Vec<u8> {
+    let mut e = ckpt::Enc::new();
+    e.put_u64(next as u64);
+    e.put_instance(union);
+    e.finish()
+}
+
+fn calc_decode(payload: &[u8]) -> Option<CalcResume> {
+    let mut d = ckpt::Dec::new(payload);
+    let next = d.u64().ok()? as usize;
+    let union = d.instance().ok()?;
+    d.done().then_some(CalcResume { next, union })
+}
+
+fn calc_open_ckpt(
+    guard: &mut Guard,
+    stats: &mut EvalStats,
+    kind: &str,
+    q: &CalcQuery,
+    cap: usize,
+    db: &Database,
+) -> (Option<ckpt::Session>, Option<CalcResume>) {
+    let mut session = guard.ckpt_session(calc_fingerprint(kind, q, cap, db));
+    let mut resume = None;
+    if let Some(sess) = session.as_mut() {
+        if let Some(rec) = sess.recover() {
+            if let Some(r) = calc_decode(&rec.payload) {
+                guard.adopt_recovery(&rec, stats);
+                resume = Some(r);
+            }
+        }
+    }
+    (session, resume)
 }
 
 /// Deterministically produce `i` invented atoms (disjoint from workload
@@ -112,13 +169,26 @@ pub fn eval_fi_governed(
     let run_start = engine_start(ENGINE, &trace);
     let mut stats = EvalStats::default();
     let mut out = Instance::empty();
-    let workers = guard.workers();
+    let (mut session, resume) = calc_open_ckpt(&mut guard, &mut stats, "fi", q, budget, db);
     let mut level = 0usize;
+    if let Some(r) = resume {
+        level = r.next;
+        out = r.union;
+    }
+    let workers = guard.workers();
     while level <= budget {
         let (levels, level_cfg) = level_chunk(level, budget - level + 1, workers, config);
-        let raws = par_map(workers, &levels, |_, &i| {
+        let raws = match try_par_map(workers, &levels, |_, &i| {
             eval_with_invention(q, db, i, &level_cfg)
-        });
+        }) {
+            Ok(raws) => raws,
+            Err(_panic) => {
+                // a speculative level panicked on a worker: the pool
+                // drained cleanly; the union of fully-completed levels is
+                // still a sound under-approximation, so surrender it
+                return Err(exhaust(guard.panic_trip(), out, level, stats));
+            }
+        };
         for (i, raw) in levels.iter().copied().zip(raws) {
             // the guard is consulted in the exact sequential order, so a
             // trip lands on the same level at every width; speculative
@@ -158,10 +228,16 @@ pub fn eval_fi_governed(
                 value_hwm,
                 wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
             });
+            if let Some(sess) = session.as_mut() {
+                sess.commit(&guard.round_ckpt(round, &stats, calc_encode(i + 1, &out)));
+            }
         }
         level += levels.len();
     }
     engine_end(ENGINE, &trace, guard.steps(), run_start);
+    if let Some(sess) = session.as_mut() {
+        sess.finish();
+    }
     Ok(out)
 }
 
@@ -247,13 +323,24 @@ pub fn eval_terminal_governed(
     let trace = governor.trace.clone();
     let run_start = engine_start(ENGINE, &trace);
     let mut stats = EvalStats::default();
+    let (mut session, resume) = calc_open_ckpt(&mut guard, &mut stats, "terminal", q, cap, db);
     let workers = guard.workers();
     let mut next = 0usize;
+    if let Some(r) = resume {
+        next = r.next;
+    }
     while next <= cap {
         let (levels, level_cfg) = level_chunk(next, cap - next + 1, workers, config);
-        let raws = par_map(workers, &levels, |_, &n| {
+        let raws = match try_par_map(workers, &levels, |_, &n| {
             eval_with_invention(q, db, n, &level_cfg)
-        });
+        }) {
+            Ok(raws) => raws,
+            Err(_panic) => {
+                // a speculative level panicked on a worker: the pool
+                // drained cleanly; `next` levels were ruled out so far
+                return Err(exhaust(guard.panic_trip(), Instance::empty(), next, stats));
+            }
+        };
         for (n, raw) in levels.iter().copied().zip(raws) {
             // as in [`eval_fi_governed`]: guard order is sequential, and a
             // witness found mid-chunk discards the later speculative levels
@@ -287,15 +374,30 @@ pub fn eval_terminal_governed(
                 .any(|v| v.adom().iter().any(|a| Inventor::is_invented(*a)));
             if has_invented {
                 engine_end(ENGINE, &trace, guard.steps(), run_start);
+                if let Some(sess) = session.as_mut() {
+                    sess.finish();
+                }
                 return Ok(InventionOutcome::Defined {
                     n,
                     answer: strip_invented(&raw),
                 });
             }
+            // only ruled-out levels commit: the witness level is
+            // re-searched on resume and recharges identically
+            if let Some(sess) = session.as_mut() {
+                sess.commit(&guard.round_ckpt(
+                    round,
+                    &stats,
+                    calc_encode(n + 1, &Instance::empty()),
+                ));
+            }
         }
         next += levels.len();
     }
     engine_end(ENGINE, &trace, guard.steps(), run_start);
+    if let Some(sess) = session.as_mut() {
+        sess.finish();
+    }
     Ok(InventionOutcome::Undefined)
 }
 

@@ -1,0 +1,528 @@
+//! Deterministic byte codec for checkpoint payloads.
+//!
+//! Everything a checkpoint stores is reduced to bytes through this module
+//! so the durability layer ([`crate::Session`]) can stay agnostic of what
+//! it persists. Two properties matter more than compactness:
+//!
+//! 1. **Determinism** — the same logical state encodes to the same bytes
+//!    in every process. All engine states are ordered containers
+//!    (`BTreeMap`/`BTreeSet`), so iteration order is canonical; the only
+//!    hazard is [`Atom`]: named atoms carry *process-local* interner ids
+//!    assigned in first-use order, so they are encoded **by name** and
+//!    re-interned on decode. Anonymous (invented) atoms are encoded by
+//!    raw id, which is stable because invention is deterministic.
+//! 2. **Fail-closed decoding** — a decoder never panics and never reads
+//!    past its input; every malformed prefix surfaces as a
+//!    [`CodecError`]. Corruption is normally caught by the record CRC
+//!    first, but the decoder is the second line of defense.
+//!
+//! Integers are fixed-width little-endian (`u64`), strings and byte
+//! blobs are length-prefixed. No varints: the payloads are dwarfed by
+//! the states they encode, and fixed widths keep torn-record detection
+//! trivial.
+
+use std::collections::{BTreeMap, BTreeSet};
+use uset_object::{Atom, Database, EvalStats, Instance, Value};
+
+/// A decoding failure: offset and a static description of what was
+/// expected. The byte offset points at the first unreadable position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset at which decoding failed.
+    pub at: usize,
+    /// What the decoder was trying to read.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint decode: {} at byte {}",
+            self.expected, self.at
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Byte-appending encoder. All `put_*` methods are infallible.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Fixed-width little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` widened to u64.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// An [`Atom`]: named atoms by name (process-portable), anonymous
+    /// atoms by raw id.
+    pub fn put_atom(&mut self, a: Atom) {
+        match a.name() {
+            Some(name) => {
+                self.put_u8(1);
+                self.put_str(&name);
+            }
+            None => {
+                self.put_u8(0);
+                self.put_u64(a.id());
+            }
+        }
+    }
+
+    /// A [`Value`] tree.
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Atom(a) => {
+                self.put_u8(0);
+                self.put_atom(*a);
+            }
+            Value::Tuple(items) => {
+                self.put_u8(1);
+                self.put_usize(items.len());
+                for item in items {
+                    self.put_value(item);
+                }
+            }
+            Value::Set(items) => {
+                self.put_u8(2);
+                self.put_usize(items.len());
+                for item in items {
+                    self.put_value(item);
+                }
+            }
+        }
+    }
+
+    /// An [`Instance`] (ordered set of values).
+    pub fn put_instance(&mut self, inst: &Instance) {
+        self.put_usize(inst.len());
+        for v in inst.iter() {
+            self.put_value(v);
+        }
+    }
+
+    /// A whole [`Database`] (ordered relation name → instance map).
+    pub fn put_database(&mut self, db: &Database) {
+        let rels: Vec<_> = db.iter().collect();
+        self.put_usize(rels.len());
+        for (name, inst) in rels {
+            self.put_str(name);
+            self.put_instance(inst);
+        }
+    }
+
+    /// A name → instance map (the shape of strata deltas and algebra
+    /// environments).
+    pub fn put_instance_map(&mut self, m: &BTreeMap<String, Instance>) {
+        self.put_usize(m.len());
+        for (name, inst) in m {
+            self.put_str(name);
+            self.put_instance(inst);
+        }
+    }
+
+    /// [`EvalStats`] work counters.
+    pub fn put_stats(&mut self, s: &EvalStats) {
+        self.put_u64(s.rounds);
+        self.put_u64(s.rules_fired);
+        self.put_u64(s.tuples_derived);
+        self.put_u64(s.index_probes);
+        self.put_u64(s.scan_fallbacks);
+        self.put_usize(s.peak_facts);
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decoder over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { b: bytes, i: 0 }
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.i
+    }
+
+    /// True when every byte was consumed (complete decodes should end
+    /// here; trailing garbage means a mismatched payload).
+    pub fn done(&self) -> bool {
+        self.i == self.b.len()
+    }
+
+    fn err(&self, expected: &'static str) -> CodecError {
+        CodecError {
+            at: self.i,
+            expected,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.i.checked_add(n).ok_or_else(|| self.err(what))?;
+        if end > self.b.len() {
+            return Err(self.err(what));
+        }
+        let s = &self.b[self.i..end];
+        self.i = end;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Fixed-width little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// A u64 narrowed to usize, rejecting values that cannot fit (or are
+    /// implausibly larger than the remaining input, which catches
+    /// corrupted length prefixes before they drive huge allocations).
+    pub fn len_prefix(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        let n = usize::try_from(v).map_err(|_| self.err("length prefix"))?;
+        // any honest length-prefixed collection needs ≥1 byte per element
+        if n > self.b.len() - self.i.min(self.b.len()) {
+            return Err(self.err("length prefix"));
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.len_prefix()?;
+        self.take(n, "bytes")
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| self.err("utf-8 string"))
+    }
+
+    /// An [`Atom`]; named atoms are re-interned in this process.
+    pub fn atom(&mut self) -> Result<Atom, CodecError> {
+        match self.u8()? {
+            1 => Ok(Atom::named(&self.str()?)),
+            0 => Ok(Atom::from_raw(self.u64()?)),
+            _ => Err(self.err("atom tag")),
+        }
+    }
+
+    /// A [`Value`] tree.
+    pub fn value(&mut self) -> Result<Value, CodecError> {
+        match self.u8()? {
+            0 => Ok(Value::Atom(self.atom()?)),
+            1 => {
+                let n = self.len_prefix()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::Tuple(items))
+            }
+            2 => {
+                let n = self.len_prefix()?;
+                let mut items = BTreeSet::new();
+                for _ in 0..n {
+                    items.insert(self.value()?);
+                }
+                Ok(Value::Set(items))
+            }
+            _ => Err(self.err("value tag")),
+        }
+    }
+
+    /// An [`Instance`].
+    pub fn instance(&mut self) -> Result<Instance, CodecError> {
+        let n = self.len_prefix()?;
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            vals.push(self.value()?);
+        }
+        Ok(Instance::from_values(vals))
+    }
+
+    /// A [`Database`].
+    pub fn database(&mut self) -> Result<Database, CodecError> {
+        let n = self.len_prefix()?;
+        let mut db = Database::empty();
+        for _ in 0..n {
+            let name = self.str()?;
+            let inst = self.instance()?;
+            db.set(&name, inst);
+        }
+        Ok(db)
+    }
+
+    /// A name → instance map.
+    pub fn instance_map(&mut self) -> Result<BTreeMap<String, Instance>, CodecError> {
+        let n = self.len_prefix()?;
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            let name = self.str()?;
+            let inst = self.instance()?;
+            m.insert(name, inst);
+        }
+        Ok(m)
+    }
+
+    /// [`EvalStats`] work counters.
+    pub fn stats(&mut self) -> Result<EvalStats, CodecError> {
+        Ok(EvalStats {
+            rounds: self.u64()?,
+            rules_fired: self.u64()?,
+            tuples_derived: self.u64()?,
+            index_probes: self.u64()?,
+            scan_fallbacks: self.u64()?,
+            peak_facts: usize::try_from(self.u64()?).map_err(|_| self.err("peak_facts"))?,
+        })
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven, hand-rolled —
+/// the durability layer must not pull in an external hash crate. Uses
+/// slicing-by-8 so checksumming a snapshot stays well under the commit
+/// budget that the `ablation/ckpt_overhead` bench enforces.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const T: [[u32; 256]; 8] = crc32_tables();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(c[4..].try_into().expect("4 bytes"));
+        crc = T[7][(lo & 0xFF) as usize]
+            ^ T[6][((lo >> 8) & 0xFF) as usize]
+            ^ T[5][((lo >> 16) & 0xFF) as usize]
+            ^ T[4][(lo >> 24) as usize]
+            ^ T[3][(hi & 0xFF) as usize]
+            ^ T[2][((hi >> 8) & 0xFF) as usize]
+            ^ T[1][((hi >> 16) & 0xFF) as usize]
+            ^ T[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ T[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[0][n] = c;
+        n += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut n = 0;
+        while n < 256 {
+            t[k][n] = (t[k - 1][n] >> 8) ^ t[0][(t[k - 1][n] & 0xFF) as usize];
+            n += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// FNV-1a 64-bit hash — used for run *fingerprints* (does this
+/// checkpoint dir belong to the computation now starting?), not for
+/// integrity (that is [`crc32`]'s job).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_object::atom;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // standard IEEE CRC-32 check values
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_sliced_matches_bytewise_reference_at_every_length() {
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut crc: u32 = 0xFFFF_FFFF;
+            for &b in bytes {
+                let mut c = (crc ^ b as u32) & 0xFF;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
+                }
+                crc = (crc >> 8) ^ c;
+            }
+            !crc
+        }
+        // a bytewise model double-checks the slicing-by-8 fast path,
+        // including every remainder length 0..8
+        let data: Vec<u8> = (0u32..64)
+            .map(|i| (i.wrapping_mul(37) ^ 0x5A) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn value_roundtrip_including_named_atoms() {
+        let v = Value::Set(
+            [
+                Value::Atom(Atom::named("alpha")),
+                Value::Tuple(vec![atom(3), Value::Atom(Atom::named("beta"))]),
+                Value::Set([atom(1), atom(2)].into_iter().collect()),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let mut e = Enc::new();
+        e.put_value(&v);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.value().unwrap(), v);
+        assert!(d.done());
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let mut db = Database::empty();
+        db.set(
+            "E",
+            Instance::from_rows((0..5u64).map(|i| [atom(i), atom(i + 1)])),
+        );
+        db.set(
+            "N",
+            Instance::from_values(vec![Value::Atom(Atom::named("x"))]),
+        );
+        let mut e = Enc::new();
+        e.put_database(&db);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.database().unwrap(), db);
+        assert!(d.done());
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let s = EvalStats {
+            rounds: 1,
+            rules_fired: 2,
+            tuples_derived: 3,
+            index_probes: 4,
+            scan_fallbacks: 5,
+            peak_facts: 6,
+        };
+        let mut e = Enc::new();
+        e.put_stats(&s);
+        let bytes = e.finish();
+        assert_eq!(Dec::new(&bytes).stats().unwrap(), s);
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_at_every_boundary() {
+        let mut e = Enc::new();
+        e.put_value(&Value::Tuple(vec![
+            Value::Atom(Atom::named("long-ish-name")),
+            atom(7),
+        ]));
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.value().is_err(), "cut at {cut} must not decode");
+        }
+        // and the full input decodes
+        assert!(Dec::new(&bytes).value().is_ok());
+    }
+
+    #[test]
+    fn decoder_rejects_bad_tags_and_absurd_lengths() {
+        let mut d = Dec::new(&[9]);
+        assert!(d.value().is_err());
+        // a length prefix larger than the remaining input is rejected
+        // before any allocation
+        let mut e = Enc::new();
+        e.put_u64(u64::MAX);
+        let bytes = e.finish();
+        assert!(Dec::new(&bytes).len_prefix().is_err());
+    }
+}

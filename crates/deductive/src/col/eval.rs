@@ -39,11 +39,12 @@ use crate::col::ast::{ColHead, ColLiteral, ColProgram, ColRule, ColTerm};
 use crate::col::stratify::stratify;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
+use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, ParBrake, Resource, Trip};
 use uset_object::{Database, EvalStats, IndexSet, Instance, Value};
-use uset_par::{par_map, shard_of};
+use uset_par::{shard_of, try_par_map};
 
 /// Evaluation state: predicate extents and data-function graphs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -829,18 +830,20 @@ fn prebuild_indexes(units: &[FireUnit<'_>], state: &ColState, indexes: &mut Inde
 /// per-worker buffers in canonical (group, shard) order. Group-level
 /// firing counts and timings land in `stats`/`ctx` exactly as the
 /// sequential path records them; worker-local counters are summed in.
+#[allow(clippy::too_many_arguments)]
 fn fire_units_parallel(
     units: &[FireUnit<'_>],
     state: &ColState,
     indexes: &IndexSet,
     workers: usize,
     brake: &ParBrake,
+    guard: &Guard,
     stats: &mut EvalStats,
     ctx: &mut RuleFirings,
 ) -> Result<Vec<Derived>, ColEvalError> {
     let want_prov = ctx.want_provenance();
     let timed = ctx.enabled();
-    let outputs = par_map(workers, units, |_, unit| {
+    let fired = try_par_map(workers, units, |_, unit| {
         let t0 = timed.then(Instant::now);
         let mut derived = Vec::new();
         let mut local = EvalStats::default();
@@ -859,6 +862,19 @@ fn fire_units_parallel(
         let wall = t0.map_or(0, |t0| t0.elapsed().as_micros() as u64);
         res.map(|()| (derived, local, wall))
     });
+    let outputs = match fired {
+        Ok(o) => o,
+        Err(_panic) => {
+            // a worker unit panicked: the pool drained cleanly, nothing
+            // was merged into the state — report a structured trip with
+            // the round-start snapshot instead of unwinding
+            return Err(ColEvalError::Exhausted(Box::new(Exhausted::new(
+                guard.panic_trip(),
+                state.clone(),
+                *stats,
+            ))));
+        }
+    };
     let mut derived = Vec::new();
     let mut current: Option<(usize, usize, u64, u64)> = None; // (group, idx, produced, wall)
     for (unit, res) in units.iter().zip(outputs) {
@@ -1006,6 +1022,156 @@ fn delta_size(d: &ColDelta) -> u64 {
     p + f
 }
 
+type FuncGraphs = BTreeMap<String, BTreeMap<Vec<Value>, BTreeSet<Value>>>;
+
+fn put_funcs(e: &mut ckpt::Enc, funcs: &FuncGraphs) {
+    e.put_usize(funcs.len());
+    for (name, graph) in funcs {
+        e.put_str(name);
+        e.put_usize(graph.len());
+        for (args, elems) in graph {
+            e.put_usize(args.len());
+            for a in args {
+                e.put_value(a);
+            }
+            e.put_usize(elems.len());
+            for el in elems {
+                e.put_value(el);
+            }
+        }
+    }
+}
+
+fn take_funcs(d: &mut ckpt::Dec<'_>) -> Result<FuncGraphs, ckpt::CodecError> {
+    let mut funcs = FuncGraphs::new();
+    for _ in 0..d.len_prefix()? {
+        let name = d.str()?;
+        let mut graph = BTreeMap::new();
+        for _ in 0..d.len_prefix()? {
+            let mut args = Vec::new();
+            for _ in 0..d.len_prefix()? {
+                args.push(d.value()?);
+            }
+            let mut elems = BTreeSet::new();
+            for _ in 0..d.len_prefix()? {
+                elems.insert(d.value()?);
+            }
+            graph.insert(args, elems);
+        }
+        funcs.insert(name, graph);
+    }
+    Ok(funcs)
+}
+
+/// The loop state a COL checkpoint restores: the stratum, how many
+/// rounds of the stratum's `max_rounds` allowance are spent, the
+/// semi-naive flags, and the full state at the last completed round.
+struct ColResume {
+    stratum: usize,
+    rounds_in_run: u64,
+    first: bool,
+    delta: ColDelta,
+    state: ColState,
+}
+
+fn col_encode(
+    stratum: usize,
+    rounds_in_run: u64,
+    first: bool,
+    delta: &ColDelta,
+    state: &ColState,
+) -> Vec<u8> {
+    let mut e = ckpt::Enc::new();
+    e.put_u64(stratum as u64);
+    e.put_u64(rounds_in_run);
+    e.put_u8(first as u8);
+    e.put_instance_map(&delta.preds);
+    put_funcs(&mut e, &delta.funcs);
+    e.put_instance_map(&state.preds);
+    put_funcs(&mut e, &state.funcs);
+    e.finish()
+}
+
+fn col_decode(payload: &[u8]) -> Option<ColResume> {
+    let mut d = ckpt::Dec::new(payload);
+    let stratum = d.u64().ok()? as usize;
+    let rounds_in_run = d.u64().ok()?;
+    let first = d.u8().ok()? != 0;
+    let delta = ColDelta {
+        preds: d.instance_map().ok()?,
+        funcs: take_funcs(&mut d).ok()?,
+    };
+    let state = ColState {
+        preds: d.instance_map().ok()?,
+        funcs: take_funcs(&mut d).ok()?,
+    };
+    d.done().then_some(ColResume {
+        stratum,
+        rounds_in_run,
+        first,
+        delta,
+        state,
+    })
+}
+
+/// Fingerprint of one governed COL computation: semantics kind,
+/// strategy (naive and semi-naive rounds are not interchangeable),
+/// program, and input database.
+fn col_fingerprint(kind: &str, strategy: ColStrategy, prog: &ColProgram, db: &Database) -> u64 {
+    let mut e = ckpt::Enc::new();
+    e.put_str(ENGINE);
+    e.put_str(kind);
+    e.put_str(&format!("{strategy:?}"));
+    e.put_str(&format!("{:?}", prog.rules));
+    e.put_database(db);
+    ckpt::fnv64(&e.finish())
+}
+
+/// Open the guard's checkpoint session (if configured) and recover the
+/// last durable round of a matching interrupted run; guard meters and
+/// `stats` are rewound when recovery succeeds.
+fn col_open_ckpt(
+    guard: &mut Guard,
+    stats: &mut EvalStats,
+    kind: &str,
+    strategy: ColStrategy,
+    prog: &ColProgram,
+    db: &Database,
+) -> (Option<ckpt::Session>, Option<ColResume>) {
+    let mut session = guard.ckpt_session(col_fingerprint(kind, strategy, prog, db));
+    let mut resume = None;
+    if let Some(sess) = session.as_mut() {
+        if let Some(rec) = sess.recover() {
+            if let Some(r) = col_decode(&rec.payload) {
+                guard.adopt_recovery(&rec, stats);
+                resume = Some(r);
+            }
+        }
+    }
+    (session, resume)
+}
+
+/// Commit one completed round. A quiescent round commits the next
+/// stratum's entry state so a resume never replays the no-op round.
+#[allow(clippy::too_many_arguments)]
+fn col_commit(
+    session: &mut Option<ckpt::Session>,
+    guard: &Guard,
+    stats: &EvalStats,
+    round: u64,
+    stratum: usize,
+    rounds_in_run: u64,
+    first: bool,
+    delta: &ColDelta,
+    state: &ColState,
+) {
+    if let Some(sess) = session.as_mut() {
+        let payload = col_encode(stratum, rounds_in_run, first, delta, state);
+        sess.commit(&guard.round_ckpt(round, stats, payload));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_engine(
     rules: &[(usize, &ColRule)],
     state: &mut ColState,
@@ -1013,6 +1179,9 @@ fn run_engine(
     strategy: ColStrategy,
     stats: &mut EvalStats,
     guard: &mut Guard,
+    session: &mut Option<ckpt::Session>,
+    stratum: usize,
+    mid: Option<(u64, bool, ColDelta)>,
 ) -> Result<(), ColEvalError> {
     // package the current state + counters into the shared error taxonomy
     fn exhaust(trip: Trip, state: &mut ColState, stats: &EvalStats) -> ColEvalError {
@@ -1062,9 +1231,14 @@ fn run_engine(
     if let Err(trip) = guard.set_fact_base(facts) {
         return Err(exhaust(trip, state, stats));
     }
-    let mut delta = ColDelta::default();
-    let mut first = true;
-    for _ in 0..config.max_rounds {
+    // a recovered run re-enters mid-stratum with the checkpointed round
+    // flags — including how much of this run's `max_rounds` allowance
+    // the interrupted run had already spent
+    let (start_round, mut first, mut delta) = match mid {
+        Some((r, f, d)) => (r, f, d),
+        None => (0, true, ColDelta::default()),
+    };
+    for done_rounds in start_round..config.max_rounds {
         if let Err(trip) = guard.step() {
             return Err(exhaust(trip, state, stats));
         }
@@ -1133,8 +1307,9 @@ fn run_engine(
             }
             prebuild_indexes(&units, state, &mut indexes);
             let brake = guard.par_brake();
-            derived =
-                fire_units_parallel(&units, state, &indexes, workers, &brake, stats, &mut ctx)?;
+            derived = fire_units_parallel(
+                &units, state, &indexes, workers, &brake, guard, stats, &mut ctx,
+            )?;
             if brake.should_stop() {
                 // a worker tripped the budget (or an external cancel
                 // landed) mid-round: nothing was inserted yet, so the
@@ -1299,8 +1474,30 @@ fn run_engine(
         delta = new_delta;
         first = false;
         if !changed {
+            col_commit(
+                session,
+                guard,
+                stats,
+                round,
+                stratum + 1,
+                0,
+                true,
+                &ColDelta::default(),
+                state,
+            );
             return Ok(());
         }
+        col_commit(
+            session,
+            guard,
+            stats,
+            round,
+            stratum,
+            done_rounds + 1,
+            false,
+            &delta,
+            state,
+        );
     }
     let trip = Trip {
         engine: EngineId::Col,
@@ -1379,17 +1576,38 @@ pub fn stratified_governed(
     let max = strata.values().copied().max().unwrap_or(0);
     let mut guard = governor.guard(EngineId::Col);
     let run_start = engine_start(ENGINE, &governor.trace);
-    let mut state = ColState::from_database(db);
-    for s in 0..=max {
+    let (mut session, resume) = col_open_ckpt(&mut guard, stats, "stratified", strategy, prog, db);
+    let (mut state, start, mut mid) = match resume {
+        Some(r) => (
+            r.state,
+            r.stratum,
+            Some((r.rounds_in_run, r.first, r.delta)),
+        ),
+        None => (ColState::from_database(db), 0, None),
+    };
+    for s in start..=max {
         let rules: Vec<(usize, &ColRule)> = prog
             .rules
             .iter()
             .enumerate()
             .filter(|(_, r)| strata[r.head_symbol()] == s)
             .collect();
-        run_engine(&rules, &mut state, config, strategy, stats, &mut guard)?;
+        run_engine(
+            &rules,
+            &mut state,
+            config,
+            strategy,
+            stats,
+            &mut guard,
+            &mut session,
+            s,
+            mid.take(),
+        )?;
     }
     engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+    if let Some(sess) = session.as_mut() {
+        sess.finish();
+    }
     Ok(state)
 }
 
@@ -1457,9 +1675,35 @@ pub fn inflationary_governed(
     let rules: Vec<(usize, &ColRule)> = prog.rules.iter().enumerate().collect();
     let mut guard = governor.guard(EngineId::Col);
     let run_start = engine_start(ENGINE, &governor.trace);
-    let mut state = ColState::from_database(db);
-    run_engine(&rules, &mut state, config, strategy, stats, &mut guard)?;
+    let (mut session, resume) =
+        col_open_ckpt(&mut guard, stats, "inflationary", strategy, prog, db);
+    // stratum 1 marks "the single fixpoint already converged": the crash
+    // landed between the final commit and cleanup
+    let (mut state, done, mid) = match resume {
+        Some(r) => (
+            r.state,
+            r.stratum > 0,
+            Some((r.rounds_in_run, r.first, r.delta)),
+        ),
+        None => (ColState::from_database(db), false, None),
+    };
+    if !done {
+        run_engine(
+            &rules,
+            &mut state,
+            config,
+            strategy,
+            stats,
+            &mut guard,
+            &mut session,
+            0,
+            mid,
+        )?;
+    }
     engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+    if let Some(sess) = session.as_mut() {
+        sess.finish();
+    }
     Ok(state)
 }
 

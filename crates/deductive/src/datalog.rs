@@ -16,11 +16,12 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::time::Instant;
+use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, ParBrake, Trip};
 use uset_object::{ColumnIndex, Database, EvalStats, IndexSet, Instance, Value};
-use uset_par::{par_map, shard_by_hash};
+use uset_par::{shard_by_hash, try_par_map};
 
 /// A term: a variable or a constant atom value.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -293,17 +294,24 @@ impl DatalogProgram {
         let max = strata.values().copied().max().unwrap_or(0);
         let mut guard = governor.guard(EngineId::Datalog);
         let run_start = engine_start(ENGINE, &governor.trace);
-        let mut state = db.clone();
-        for s in 0..=max {
+        let (mut session, resume) = dl_open_ckpt(&mut guard, stats, "stratified", &self.rules, db);
+        let (mut state, start) = match resume {
+            Some(r) => (r.state, r.stratum),
+            None => (db.clone(), 0),
+        };
+        for s in start..=max {
             let rules: Vec<(usize, &DlRule)> = self
                 .rules
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| strata[&r.head.pred] == s)
                 .collect();
-            least_fixpoint(&rules, &mut state, &mut guard, stats)?;
+            least_fixpoint(&rules, &mut state, &mut guard, stats, &mut session, s)?;
         }
         engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+        if let Some(sess) = session.as_mut() {
+            sess.finish();
+        }
         Ok(state)
     }
 
@@ -334,9 +342,21 @@ impl DatalogProgram {
         let rules: Vec<(usize, &DlRule)> = self.rules.iter().enumerate().collect();
         let mut guard = governor.guard(EngineId::Datalog);
         let run_start = engine_start(ENGINE, &governor.trace);
-        let mut state = db.clone();
-        least_fixpoint(&rules, &mut state, &mut guard, stats)?;
+        let (mut session, resume) =
+            dl_open_ckpt(&mut guard, stats, "inflationary", &self.rules, db);
+        let (mut state, done) = match resume {
+            // stratum 1 marks "the single fixpoint already converged":
+            // the crash landed between the final commit and cleanup
+            Some(r) => (r.state, r.stratum > 0),
+            None => (db.clone(), false),
+        };
+        if !done {
+            least_fixpoint(&rules, &mut state, &mut guard, stats, &mut session, 0)?;
+        }
         engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+        if let Some(sess) = session.as_mut() {
+            sess.finish();
+        }
         Ok(state)
     }
 
@@ -373,8 +393,12 @@ impl DatalogProgram {
         let max = strata.values().copied().max().unwrap_or(0);
         let mut guard = governor.guard(EngineId::Datalog);
         let run_start = engine_start(ENGINE, &governor.trace);
-        let mut state = db.clone();
-        for s in 0..=max {
+        let (mut session, resume) = dl_open_ckpt(&mut guard, stats, "seminaive", &self.rules, db);
+        let (mut state, start, mut mid) = match resume {
+            Some(r) => (r.state, r.stratum, Some((r.first, r.delta))),
+            None => (db.clone(), 0, None),
+        };
+        for s in start..=max {
             let rules: Vec<(usize, &DlRule)> = self
                 .rules
                 .iter()
@@ -383,9 +407,21 @@ impl DatalogProgram {
                 .collect();
             let recursive: BTreeSet<String> =
                 rules.iter().map(|(_, r)| r.head.pred.clone()).collect();
-            seminaive_fixpoint(&rules, &recursive, &mut state, &mut guard, stats)?;
+            seminaive_fixpoint(
+                &rules,
+                &recursive,
+                &mut state,
+                &mut guard,
+                stats,
+                &mut session,
+                s,
+                mid.take(),
+            )?;
         }
         engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+        if let Some(sess) = session.as_mut() {
+            sess.finish();
+        }
         Ok(state)
     }
 }
@@ -400,6 +436,174 @@ fn db_facts(db: &Database) -> usize {
     db.iter().map(|(_, inst)| inst.len()).sum()
 }
 
+/// The loop state a DATALOG¬ checkpoint restores: which stratum was
+/// running, the semi-naive round flags, and the full database at the
+/// last completed round. The naive fixpoint stores the same shape with
+/// an always-empty delta.
+struct DlResume {
+    stratum: usize,
+    first: bool,
+    delta: BTreeMap<String, Instance>,
+    state: Database,
+}
+
+/// Fingerprint of one governed computation — semantics kind, program,
+/// and input database — so a shared checkpoint directory never resumes
+/// a *different* computation's state.
+fn dl_fingerprint(kind: &str, rules: &[DlRule], db: &Database) -> u64 {
+    let mut e = ckpt::Enc::new();
+    e.put_str(ENGINE);
+    e.put_str(kind);
+    e.put_str(&format!("{rules:?}"));
+    e.put_database(db);
+    ckpt::fnv64(&e.finish())
+}
+
+fn dl_encode(
+    stratum: usize,
+    first: bool,
+    delta: &BTreeMap<String, Instance>,
+    state: &Database,
+) -> Vec<u8> {
+    let mut e = ckpt::Enc::new();
+    e.put_u64(stratum as u64);
+    e.put_u8(first as u8);
+    e.put_instance_map(delta);
+    e.put_database(state);
+    e.finish()
+}
+
+fn dl_decode(payload: &[u8]) -> Option<DlResume> {
+    let mut d = ckpt::Dec::new(payload);
+    let stratum = d.u64().ok()? as usize;
+    let first = d.u8().ok()? != 0;
+    let delta = d.instance_map().ok()?;
+    let state = d.database().ok()?;
+    d.done().then_some(DlResume {
+        stratum,
+        first,
+        delta,
+        state,
+    })
+}
+
+/// WAL-record payload for one round: the loop flags, the semi-naive
+/// delta, and — when it differs from the delta — the set of facts the
+/// round inserted into the state. Committing only the round's change
+/// keeps a cheap round's checkpoint cost O(delta) instead of O(state)
+/// (the `ablation/ckpt_overhead` bench holds this under 10%).
+fn dl_encode_delta(
+    stratum: usize,
+    first: bool,
+    delta: &BTreeMap<String, Instance>,
+    added: Option<&BTreeMap<String, Instance>>,
+) -> Vec<u8> {
+    let mut e = ckpt::Enc::new();
+    e.put_u64(stratum as u64);
+    e.put_u8(first as u8);
+    match added {
+        // the delta doubles as the round's insertions (semi-naive)
+        None => {
+            e.put_u8(1);
+            e.put_instance_map(delta);
+        }
+        // naive rounds keep an empty delta but still insert facts
+        Some(a) => {
+            e.put_u8(0);
+            e.put_instance_map(delta);
+            e.put_instance_map(a);
+        }
+    }
+    e.finish()
+}
+
+/// Rebuild the last durable loop state from a recovered snapshot plus
+/// the engine-delta records committed after it: each record's inserted
+/// facts fold into the database (exactly the rows `insert_row` admitted
+/// in that round, so the fold reproduces the uninterrupted state bit for
+/// bit) and its flags replace the loop flags.
+fn dl_fold(rec: &ckpt::Recovered) -> Option<DlResume> {
+    let mut r = dl_decode(&rec.payload)?;
+    for dp in &rec.deltas {
+        let mut d = ckpt::Dec::new(dp);
+        let stratum = d.u64().ok()? as usize;
+        let first = d.u8().ok()? != 0;
+        let same = match d.u8().ok()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let delta = d.instance_map().ok()?;
+        let added = if same {
+            None
+        } else {
+            Some(d.instance_map().ok()?)
+        };
+        d.done().then_some(())?;
+        for (pred, rows) in added.as_ref().unwrap_or(&delta) {
+            for row in rows.iter() {
+                r.state.insert_row(pred, row);
+            }
+        }
+        r.stratum = stratum;
+        r.first = first;
+        r.delta = delta;
+    }
+    Some(r)
+}
+
+/// Open the guard's checkpoint session (if the governor configured one)
+/// and recover the last durable round of a matching interrupted run.
+/// When recovery succeeds the guard meters and `stats` are rewound to
+/// that round and the decoded loop state is returned for the caller to
+/// fast-forward into.
+fn dl_open_ckpt(
+    guard: &mut Guard,
+    stats: &mut EvalStats,
+    kind: &str,
+    rules: &[DlRule],
+    db: &Database,
+) -> (Option<ckpt::Session>, Option<DlResume>) {
+    let mut session = guard.ckpt_session(dl_fingerprint(kind, rules, db));
+    let mut resume = None;
+    if let Some(sess) = session.as_mut() {
+        if let Some(rec) = sess.recover() {
+            if let Some(r) = dl_fold(&rec) {
+                guard.adopt_recovery(&rec, stats);
+                resume = Some(r);
+            }
+        }
+    }
+    (session, resume)
+}
+
+/// Commit one completed round as an engine-level delta record (the full
+/// state is only serialized on the session's snapshot rounds). `added`
+/// carries the round's insertions when they differ from `delta`; `None`
+/// means the delta *is* the insertion set. A quiescent round (fixpoint
+/// reached) commits the *next* stratum's entry state so a resume never
+/// replays the no-op round — that replay would drift `stats.rounds` and
+/// the step meter away from the uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+fn dl_commit(
+    session: &mut Option<ckpt::Session>,
+    guard: &Guard,
+    stats: &EvalStats,
+    round: u64,
+    stratum: usize,
+    first: bool,
+    delta: &BTreeMap<String, Instance>,
+    added: Option<&BTreeMap<String, Instance>>,
+    state: &Database,
+) {
+    if let Some(sess) = session.as_mut() {
+        let wal = dl_encode_delta(stratum, first, delta, added);
+        sess.commit_delta(&guard.round_ckpt(round, stats, wal), || {
+            dl_encode(stratum, first, delta, state)
+        });
+    }
+}
+
 /// Semi-naive least fixpoint for one stratum: the first round runs naive
 /// to seed the deltas; afterwards each rule fires once per positive
 /// recursive literal bound to the delta. Rules that read a recursive
@@ -407,12 +611,16 @@ fn db_facts(db: &Database) -> usize {
 /// this engine an unstratified stratum) never qualify for delta
 /// restriction: their support is not monotone in the delta, so they
 /// re-fire from the full snapshot every round.
+#[allow(clippy::too_many_arguments)]
 fn seminaive_fixpoint(
     rules: &[(usize, &DlRule)],
     recursive: &BTreeSet<String>,
     state: &mut Database,
     guard: &mut Guard,
     stats: &mut EvalStats,
+    session: &mut Option<ckpt::Session>,
+    stratum: usize,
+    mid: Option<(bool, BTreeMap<String, Instance>)>,
 ) -> Result<(), DlError> {
     let trace = guard.trace().clone();
     let mut ctx = RuleFirings::new(ENGINE, &trace);
@@ -422,10 +630,11 @@ fn seminaive_fixpoint(
     if let Err(trip) = guard.set_fact_base(facts) {
         return Err(dl_exhaust(trip, state, stats));
     }
-    // deltas per recursive predicate
-    let mut delta: BTreeMap<String, Instance> = BTreeMap::new();
-    // round 0: naive over the initial state
-    let mut first = true;
+    // deltas per recursive predicate; round 0 runs naive over the
+    // initial state. A recovered run re-enters mid-stratum with the
+    // checkpointed flags instead.
+    let (mut first, mut delta): (bool, BTreeMap<String, Instance>) =
+        mid.unwrap_or((true, BTreeMap::new()));
     loop {
         if let Err(trip) = guard.step() {
             return Err(dl_exhaust(trip, state, stats));
@@ -479,8 +688,9 @@ fn seminaive_fixpoint(
             }
             prebuild_indexes(&units, state, &mut indexes);
             let brake = guard.par_brake();
-            derived =
-                fire_units_parallel(&units, state, &indexes, workers, &brake, stats, &mut ctx)?;
+            derived = fire_units_parallel(
+                &units, state, &indexes, workers, &brake, guard, stats, &mut ctx,
+            )?;
             if brake.should_stop() {
                 // a worker tripped the budget (or an external cancel
                 // landed) mid-round: nothing was inserted yet, so the
@@ -599,8 +809,23 @@ fn seminaive_fixpoint(
         delta = new_delta;
         first = false;
         if !changed {
+            dl_commit(
+                session,
+                guard,
+                stats,
+                round,
+                stratum + 1,
+                true,
+                &BTreeMap::new(),
+                None,
+                state,
+            );
             return Ok(());
         }
+        // the semi-naive delta is exactly the round's insertion set
+        dl_commit(
+            session, guard, stats, round, stratum, first, &delta, None, state,
+        );
     }
 }
 
@@ -832,18 +1057,27 @@ fn prebuild_indexes(units: &[FireUnit<'_>], state: &Database, indexes: &mut Inde
 /// per-worker buffers in canonical (group, shard) order. Group-level
 /// firing counts and timings land in `stats`/`ctx` exactly as the
 /// sequential path records them; worker-local counters are summed in.
+#[allow(clippy::too_many_arguments)]
 fn fire_units_parallel(
     units: &[FireUnit<'_>],
     state: &Database,
     indexes: &IndexSet,
     workers: usize,
     brake: &ParBrake,
+    guard: &Guard,
     stats: &mut EvalStats,
     ctx: &mut RuleFirings,
 ) -> Result<Vec<DerivedFact>, DlError> {
     let want_prov = ctx.want_provenance();
     let timed = ctx.enabled();
-    let outputs = par_map(workers, units, |_, unit| {
+    let fired = try_par_map(workers, units, |_, unit| {
+        // test-only panic injection: a rule whose head uses this reserved
+        // name simulates a buggy rule implementation blowing up on a
+        // worker, so the structured-error path is testable end to end
+        #[cfg(test)]
+        if unit.rule.head.pred == "panic-inject!" {
+            panic!("injected rule panic");
+        }
         let t0 = timed.then(Instant::now);
         let mut out = UnitOutput {
             derived: Vec::new(),
@@ -868,6 +1102,19 @@ fn fire_units_parallel(
         }
         res.map(|()| out)
     });
+    let outputs = match fired {
+        Ok(o) => o,
+        Err(_panic) => {
+            // a worker unit panicked: the pool drained cleanly, nothing
+            // was merged into the state — report a structured trip with
+            // the round-start snapshot instead of unwinding
+            return Err(DlError::Exhausted(Box::new(Exhausted::new(
+                guard.panic_trip(),
+                state.clone(),
+                *stats,
+            ))));
+        }
+    };
     let mut derived = Vec::new();
     let mut current: Option<(usize, usize, u64, u64)> = None; // (group, idx, produced, wall)
     for (unit, res) in units.iter().zip(outputs) {
@@ -941,6 +1188,8 @@ fn least_fixpoint(
     state: &mut Database,
     guard: &mut Guard,
     stats: &mut EvalStats,
+    session: &mut Option<ckpt::Session>,
+    stratum: usize,
 ) -> Result<(), DlError> {
     let trace = guard.trace().clone();
     let mut ctx = RuleFirings::new(ENGINE, &trace);
@@ -982,8 +1231,9 @@ fn least_fixpoint(
                 .collect();
             prebuild_indexes(&units, state, &mut indexes);
             let brake = guard.par_brake();
-            derived =
-                fire_units_parallel(&units, state, &indexes, workers, &brake, stats, &mut ctx)?;
+            derived = fire_units_parallel(
+                &units, state, &indexes, workers, &brake, guard, stats, &mut ctx,
+            )?;
             if brake.should_stop() {
                 let trip = if brake.engaged() {
                     guard.brake_trip()
@@ -1060,8 +1310,41 @@ fn least_fixpoint(
             round_start,
         );
         if !changed {
+            dl_commit(
+                session,
+                guard,
+                stats,
+                round,
+                stratum + 1,
+                true,
+                &BTreeMap::new(),
+                None,
+                state,
+            );
             return Ok(());
         }
+        // naive rounds carry no delta, so the round's insertions ride
+        // in the checkpoint record separately
+        let added: BTreeMap<String, Instance> = if session.is_some() {
+            let mut m = BTreeMap::<String, Instance>::new();
+            for (p, r) in inserted {
+                m.entry(p).or_default().insert(r);
+            }
+            m
+        } else {
+            BTreeMap::new()
+        };
+        dl_commit(
+            session,
+            guard,
+            stats,
+            round,
+            stratum,
+            false,
+            &BTreeMap::new(),
+            Some(&added),
+            state,
+        );
     }
 }
 
@@ -1509,6 +1792,37 @@ mod par_tests {
             .unwrap();
         assert_eq!(seq, par);
         assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn parallel_panicking_rule_is_structured_error() {
+        // a rule that panics on a worker must come back as a structured
+        // Exhausted(Panicked) error, not unwind through the pool or hang
+        let prog = DatalogProgram {
+            rules: vec![
+                DlRule::new(
+                    DlAtom::new("T", vec![v("x"), v("y")]),
+                    vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+                ),
+                DlRule::new(
+                    DlAtom::new("panic-inject!", vec![v("x")]),
+                    vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+                ),
+            ],
+        };
+        let db = path_db(8);
+        let mut stats = EvalStats::default();
+        let err = prog
+            .eval_stratified_seminaive_governed(&db, &governor(4), &mut stats)
+            .unwrap_err();
+        let DlError::Exhausted(ex) = err else {
+            panic!("expected structured exhaustion, got {err:?}");
+        };
+        assert_eq!(ex.trip.resource, uset_guard::Resource::Panicked);
+        assert_eq!(ex.trip.engine, EngineId::Datalog);
+        // nothing from the panicking round was merged: the snapshot is
+        // the round-start state, which still holds the EDB intact
+        assert_eq!(ex.partial.get("E"), db.get("E"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor};
@@ -369,6 +370,85 @@ pub struct Config {
     pub head2: usize,
 }
 
+fn put_tape_sym(e: &mut ckpt::Enc, s: &TapeSym) {
+    match s {
+        TapeSym::Work(w) => {
+            e.put_u8(0);
+            e.put_str(w);
+        }
+        TapeSym::Dom(a) => {
+            e.put_u8(1);
+            e.put_atom(*a);
+        }
+    }
+}
+
+fn take_tape_sym(d: &mut ckpt::Dec<'_>) -> Result<TapeSym, ckpt::CodecError> {
+    match d.u8()? {
+        0 => Ok(TapeSym::Work(d.str()?)),
+        1 => Ok(TapeSym::Dom(d.atom()?)),
+        _ => Err(ckpt::CodecError {
+            at: 0,
+            expected: "tape symbol tag",
+        }),
+    }
+}
+
+fn put_tape(e: &mut ckpt::Enc, tape: &[TapeSym]) {
+    e.put_usize(tape.len());
+    for s in tape {
+        put_tape_sym(e, s);
+    }
+}
+
+fn take_tape(d: &mut ckpt::Dec<'_>) -> Result<Vec<TapeSym>, ckpt::CodecError> {
+    let n = d.len_prefix()?;
+    let mut tape = Vec::with_capacity(n);
+    for _ in 0..n {
+        tape.push(take_tape_sym(d)?);
+    }
+    Ok(tape)
+}
+
+/// The loop state a GTM checkpoint restores: the machine [`Config`] plus
+/// the step counter, committed every [`TRACE_STRIDE`] machine steps
+/// (per-step commits would dominate the run).
+struct GtmResume {
+    cfg: Config,
+    steps: u64,
+}
+
+fn gtm_encode(cfg: &Config, steps: u64) -> Vec<u8> {
+    let mut e = ckpt::Enc::new();
+    e.put_u64(steps);
+    e.put_str(&cfg.state);
+    put_tape(&mut e, &cfg.tape1);
+    put_tape(&mut e, &cfg.tape2);
+    e.put_u64(cfg.head1 as u64);
+    e.put_u64(cfg.head2 as u64);
+    e.finish()
+}
+
+fn gtm_decode(payload: &[u8]) -> Option<GtmResume> {
+    let mut d = ckpt::Dec::new(payload);
+    let steps = d.u64().ok()?;
+    let state = d.str().ok()?;
+    let tape1 = take_tape(&mut d).ok()?;
+    let tape2 = take_tape(&mut d).ok()?;
+    let head1 = d.u64().ok()? as usize;
+    let head2 = d.u64().ok()? as usize;
+    d.done().then_some(GtmResume {
+        cfg: Config {
+            state,
+            tape1,
+            tape2,
+            head1,
+            head2,
+        },
+        steps,
+    })
+}
+
 impl Gtm {
     /// The start state.
     pub fn start_state(&self) -> &str {
@@ -446,6 +526,16 @@ impl Gtm {
         let mut stats = EvalStats::default();
         let mut cfg = self.initial_config(tape1);
         let mut steps: u64 = 0;
+        let mut session = guard.ckpt_session(self.fingerprint(&cfg.tape1));
+        if let Some(sess) = session.as_mut() {
+            if let Some(rec) = sess.recover() {
+                if let Some(r) = gtm_decode(&rec.payload) {
+                    guard.adopt_recovery(&rec, &mut stats);
+                    cfg = r.cfg;
+                    steps = r.steps;
+                }
+            }
+        }
         loop {
             if cfg.state == self.halt {
                 let mut out = cfg.tape1;
@@ -453,6 +543,9 @@ impl Gtm {
                     out.pop();
                 }
                 engine_end(ENGINE, &trace, guard.steps(), run_start);
+                if let Some(sess) = session.as_mut() {
+                    sess.finish();
+                }
                 return Ok(RunOutcome::Halted(out));
             }
             stats.observe_facts(cfg.tape1.len().max(cfg.tape2.len()));
@@ -464,6 +557,9 @@ impl Gtm {
             }
             if !self.step(&mut cfg) {
                 engine_end(ENGINE, &trace, guard.steps(), run_start);
+                if let Some(sess) = session.as_mut() {
+                    sess.finish();
+                }
                 return Ok(RunOutcome::Stuck {
                     state: cfg.state,
                     steps,
@@ -483,8 +579,22 @@ impl Gtm {
                     value_hwm,
                     wall_micros: 0,
                 });
+                if let Some(sess) = session.as_mut() {
+                    sess.commit(&guard.round_ckpt(steps, &stats, gtm_encode(&cfg, steps)));
+                }
             }
         }
+    }
+
+    /// Run fingerprint tying a checkpoint directory to this machine and
+    /// its input tape: δ, K, W, C, start/halt, and the initial tape-1
+    /// contents all participate.
+    fn fingerprint(&self, tape1: &[TapeSym]) -> u64 {
+        let mut e = ckpt::Enc::new();
+        e.put_str(ENGINE);
+        e.put_str(&format!("{self:?}"));
+        put_tape(&mut e, tape1);
+        ckpt::fnv64(&e.finish())
     }
 
     /// Execute one step; false if no transition applies.

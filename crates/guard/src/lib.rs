@@ -43,6 +43,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+pub use uset_ckpt as ckpt;
 use uset_object::EvalStats;
 pub use uset_par::ParConfig;
 pub use uset_trace as trace;
@@ -99,6 +100,12 @@ pub enum Resource {
     Deadline,
     /// The [`CancelToken`] was triggered.
     Cancelled,
+    /// A crash-style failpoint ([`FailPoint::die_at`]) fired: the run is
+    /// treated as a process death for chaos-testing checkpoint recovery.
+    Died,
+    /// A parallel worker unit panicked; the pool was drained cleanly and
+    /// the panic surfaced as a structured trip instead of unwinding.
+    Panicked,
 }
 
 impl std::fmt::Display for Resource {
@@ -109,6 +116,8 @@ impl std::fmt::Display for Resource {
             Resource::ValueSize => "value-size",
             Resource::Deadline => "deadline",
             Resource::Cancelled => "cancelled",
+            Resource::Died => "died",
+            Resource::Panicked => "panicked",
         };
         write!(f, "{s}")
     }
@@ -231,6 +240,11 @@ pub enum FailAction {
     Cancel,
     /// Behave as if the given resource ran out.
     Exhaust(Resource),
+    /// Simulate a process crash: the run aborts with [`Resource::Died`]
+    /// and nothing after the last completed round is durable — the
+    /// deterministic stand-in for `kill -9` that the checkpoint recovery
+    /// tests are built on.
+    Die,
 }
 
 /// Deterministic fault injection: fire `action` at the `at_tick`-th
@@ -259,6 +273,14 @@ impl FailPoint {
         FailPoint {
             at_tick: n,
             action: FailAction::Exhaust(r),
+        }
+    }
+
+    /// Simulate a process death at tick `n` (see [`FailAction::Die`]).
+    pub fn die_at(n: u64) -> FailPoint {
+        FailPoint {
+            at_tick: n,
+            action: FailAction::Die,
         }
     }
 }
@@ -294,6 +316,32 @@ impl OptConfig {
     }
 }
 
+/// Whether (and where) engines persist durable checkpoints (`uset-ckpt`).
+/// Mirrors [`OptConfig`]: the default defers to the environment
+/// (`USET_CKPT=dir:<path>[,every=N]`, off when unset), while tests pin
+/// [`CkptConfig::Off`]/[`CkptConfig::Spec`] explicitly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CkptConfig {
+    /// Defer to `USET_CKPT` at resolution time (off when unset).
+    #[default]
+    Env,
+    /// Never checkpoint.
+    Off,
+    /// Checkpoint under this spec.
+    Spec(ckpt::Spec),
+}
+
+impl CkptConfig {
+    /// Resolve to a concrete spec (or `None` = no checkpointing).
+    pub fn resolve(&self) -> Option<ckpt::Spec> {
+        match self {
+            CkptConfig::Off => None,
+            CkptConfig::Spec(spec) => Some(spec.clone()),
+            CkptConfig::Env => ckpt::Spec::from_env(),
+        }
+    }
+}
+
 /// The shareable governance bundle callers thread through evaluations:
 /// a budget, a cancellation token, and an optional failpoint. Engines
 /// derive a per-run [`Guard`] from it via [`Governor::guard`].
@@ -315,6 +363,11 @@ pub struct Governor {
     /// evaluated. The default defers to `USET_OPT` (itself defaulting to
     /// off); tests should pin [`OptConfig::On`]/[`OptConfig::Off`].
     pub opt: OptConfig,
+    /// Whether engines persist durable checkpoints and resume from them
+    /// (`uset-ckpt`). The default defers to `USET_CKPT` (itself
+    /// defaulting to off); tests should pin
+    /// [`CkptConfig::Spec`]/[`CkptConfig::Off`].
+    pub ckpt: CkptConfig,
 }
 
 impl Governor {
@@ -366,6 +419,23 @@ impl Governor {
         self
     }
 
+    /// Persist durable checkpoints under `spec` (overriding the
+    /// `USET_CKPT` environment default). Every round-structured engine
+    /// governed by this governor writes round-consistent checkpoints
+    /// and, on its next run over the same program and input, resumes
+    /// from the last durable round.
+    pub fn with_ckpt(mut self, spec: ckpt::Spec) -> Governor {
+        self.ckpt = CkptConfig::Spec(spec);
+        self
+    }
+
+    /// Pin the checkpoint knob explicitly (e.g. [`CkptConfig::Off`] in
+    /// tests that must not consult the environment).
+    pub fn with_ckpt_config(mut self, ckpt: CkptConfig) -> Governor {
+        self.ckpt = ckpt;
+        self
+    }
+
     /// Derive the per-run meter an engine charges against. The parallel
     /// width is resolved here — once per run — so a mid-run change of
     /// `USET_THREADS` cannot skew a fixpoint.
@@ -377,11 +447,13 @@ impl Governor {
             failpoint: self.failpoint,
             trace: self.trace.clone(),
             workers: self.par.resolve(),
+            ckpt_spec: self.ckpt.resolve(),
             steps: 0,
             facts: 0,
             ticks: 0,
             value_hwm: 0,
-            started: self.budget.max_wall.map(|_| Instant::now()),
+            started: Instant::now(),
+            elapsed_base: Duration::ZERO,
         }
     }
 }
@@ -423,6 +495,20 @@ impl std::fmt::Display for Trip {
                 write!(
                     f,
                     "{} engine passed its deadline after {} ticks",
+                    self.engine, self.consumed
+                )
+            }
+            Resource::Died => {
+                write!(
+                    f,
+                    "{} engine died (injected crash) after {} ticks",
+                    self.engine, self.consumed
+                )
+            }
+            Resource::Panicked => {
+                write!(
+                    f,
+                    "{} engine worker panicked after {} ticks",
                     self.engine, self.consumed
                 )
             }
@@ -511,11 +597,16 @@ pub struct Guard {
     failpoint: Option<FailPoint>,
     trace: TraceHandle,
     workers: usize,
+    ckpt_spec: Option<ckpt::Spec>,
     steps: u64,
     facts: usize,
     ticks: u64,
     value_hwm: usize,
-    started: Option<Instant>,
+    started: Instant,
+    /// Wall-clock consumed before this process's run began — restored
+    /// from a checkpoint so a resumed run debits the *remaining* wall
+    /// budget instead of restarting the clock.
+    elapsed_base: Duration,
 }
 
 impl Guard {
@@ -552,6 +643,64 @@ impl Guard {
         self.value_hwm
     }
 
+    /// Progress ticks charged so far (the failpoint clock).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Wall-clock consumed by this computation, *including* time spent
+    /// by an interrupted run this one resumed from (see
+    /// [`Guard::adopt_recovery`]).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed_base + self.started.elapsed()
+    }
+
+    /// Open this run's durable checkpoint session, if the governor asked
+    /// for one. `fingerprint` identifies the computation (hash program +
+    /// input with [`ckpt::fnv64`]) so a shared directory never resumes a
+    /// *different* computation's state. Engines call
+    /// [`ckpt::Session::recover`] next, then [`Guard::adopt_recovery`]
+    /// once the recovered payload decodes.
+    pub fn ckpt_session(&self, fingerprint: u64) -> Option<ckpt::Session> {
+        let spec = self.ckpt_spec.as_ref()?;
+        ckpt::Session::open(spec, self.engine.as_str(), fingerprint)
+    }
+
+    /// Adopt a recovered checkpoint: restore the meter counters and work
+    /// stats to what the interrupted run had consumed — so budgets
+    /// (steps, facts, ticks, and the wall clock) debit the *remainder*,
+    /// not a fresh allowance — and emit the `resume` trace event that
+    /// makes post-crash traces self-describing.
+    pub fn adopt_recovery(&mut self, rec: &ckpt::Recovered, stats: &mut EvalStats) {
+        *stats = rec.stats;
+        self.steps = rec.steps;
+        self.facts = rec.facts as usize;
+        self.ticks = rec.ticks;
+        self.value_hwm = rec.value_hwm as usize;
+        self.elapsed_base = Duration::from_micros(rec.elapsed_micros);
+        self.started = Instant::now();
+        self.trace.emit(|| TraceEvent::Resume {
+            engine: self.engine.as_str().to_owned(),
+            round: rec.round,
+        });
+    }
+
+    /// Package one completed round for [`ckpt::Session::commit`]: the
+    /// engine supplies its round id and serialized loop state, the guard
+    /// supplies the meter counters that make the round resumable.
+    pub fn round_ckpt(&self, round: u64, stats: &EvalStats, payload: Vec<u8>) -> ckpt::RoundCkpt {
+        ckpt::RoundCkpt {
+            round,
+            stats: *stats,
+            steps: self.steps,
+            facts: self.facts as u64,
+            ticks: self.ticks,
+            value_hwm: self.value_hwm as u64,
+            elapsed_micros: self.elapsed().as_micros() as u64,
+            payload,
+        }
+    }
+
     fn trip(&self, resource: Resource, consumed: u64, limit: u64) -> Trip {
         // the trip is the last thing a governed run observes, so it is
         // also the final event of a traced run that exhausts
@@ -569,6 +718,14 @@ impl Guard {
         }
     }
 
+    /// Build a [`Resource::Panicked`] trip for a parallel worker panic
+    /// caught by the engine (via `uset_par::try_par_map`). Emits the
+    /// usual `GuardTrip` trace event so a panicking run still closes its
+    /// trace stream with a structured final event.
+    pub fn panic_trip(&self) -> Trip {
+        self.trip(Resource::Panicked, self.ticks, 0)
+    }
+
     /// One progress tick: failpoint, cancellation, and (strided)
     /// deadline checks. Called by every charging method.
     fn tick(&mut self) -> Result<(), Trip> {
@@ -577,6 +734,7 @@ impl Guard {
             if self.ticks == fp.at_tick {
                 return Err(match fp.action {
                     FailAction::Cancel => self.trip(Resource::Cancelled, self.ticks, 0),
+                    FailAction::Die => self.trip(Resource::Died, self.ticks, 0),
                     FailAction::Exhaust(r) => {
                         let (consumed, limit) = match r {
                             Resource::Steps => {
@@ -596,9 +754,9 @@ impl Guard {
         if self.cancel.is_cancelled() {
             return Err(self.trip(Resource::Cancelled, self.ticks, 0));
         }
-        if let (Some(max), Some(start)) = (self.budget.max_wall, self.started) {
+        if let Some(max) = self.budget.max_wall {
             let poll = self.ticks <= DEADLINE_STRIDE || self.ticks.is_multiple_of(DEADLINE_STRIDE);
-            if poll && start.elapsed() > max {
+            if poll && self.elapsed() > max {
                 return Err(self.trip(Resource::Deadline, self.ticks, max.as_millis() as u64));
             }
         }
@@ -871,6 +1029,20 @@ mod tests {
         let mut g = gov.guard(EngineId::Col);
         g.add_fact().unwrap();
         assert_eq!(g.add_fact().unwrap_err().resource, Resource::Facts);
+    }
+
+    #[test]
+    fn panic_trip_reports_panicked_resource() {
+        let gov = Governor::unlimited();
+        let mut g = gov.guard(EngineId::Datalog);
+        g.step().unwrap();
+        g.step().unwrap();
+        let trip = g.panic_trip();
+        assert_eq!(trip.resource, Resource::Panicked);
+        assert_eq!(trip.engine, EngineId::Datalog);
+        assert_eq!(trip.consumed, 2);
+        assert!(trip.to_string().contains("worker panicked"));
+        assert_eq!(Resource::Panicked.to_string(), "panicked");
     }
 
     #[test]

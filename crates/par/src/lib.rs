@@ -166,6 +166,132 @@ where
     pairs.into_iter().map(|(_, r)| r).collect()
 }
 
+/// A worker unit panicked inside [`try_par_map`].
+///
+/// Carries the lowest panicking unit index (deterministic no matter which
+/// worker hit it first) and the panic payload rendered as a string when it
+/// was a `&str` or `String` — the two shapes `panic!` produces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParPanic {
+    /// Input index of the panicking unit (lowest, if several panicked).
+    pub unit: usize,
+    /// Panic payload as text, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker unit {} panicked: {}", self.unit, self.message)
+    }
+}
+
+impl std::error::Error for ParPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-isolating variant of [`par_map`]: each unit runs under
+/// `catch_unwind`, and a panicking unit becomes a structured
+/// [`ParPanic`] error instead of unwinding through the pool.
+///
+/// On the first caught panic the next-index counter is saturated so the
+/// remaining workers drain without starting new units; the pool always
+/// joins cleanly — no hung threads, no poisoned state. When several units
+/// panic (possible with concurrent workers), the *lowest* unit index is
+/// reported, so the error is deterministic regardless of schedule.
+///
+/// On success the result is identical to `par_map` — same order, same
+/// inline fast path at width 1.
+pub fn try_par_map<T, R, F>(workers: usize, items: &[T], f: F) -> Result<Vec<R>, ParPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for (i, t) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => out.push(r),
+                Err(p) => {
+                    return Err(ParPanic {
+                        unit: i,
+                        message: panic_message(p.as_ref()),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+    let width = workers.min(n).min(MAX_WORKERS);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let (mut pairs, panics): (Vec<(usize, R)>, Vec<ParPanic>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut tripped: Option<ParPanic> = None;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(p) => {
+                                tripped = Some(ParPanic {
+                                    unit: i,
+                                    message: panic_message(p.as_ref()),
+                                });
+                                // Push the counter past the end so the
+                                // other workers stop claiming units and
+                                // the scope joins promptly. (`n`, not
+                                // `usize::MAX`: fetch_add wraps, and a
+                                // wrapped counter would hand out unit 0
+                                // again.)
+                                next.store(n, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    (local, tripped)
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        let mut panics = Vec::new();
+        for h in handles {
+            // The closures only run under catch_unwind, so join can only
+            // fail on a panic in this harness itself; propagate those.
+            match h.join() {
+                Ok((local, tripped)) => {
+                    out.extend(local);
+                    panics.extend(tripped);
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        (out, panics)
+    });
+    if let Some(p) = panics.into_iter().min_by_key(|p| p.unit) {
+        return Err(p);
+    }
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n);
+    Ok(pairs.into_iter().map(|(_, r)| r).collect())
+}
+
 /// Stable shard assignment for a hashable fact: `shard_of(v, k) ∈ 0..k`.
 ///
 /// Uses [`std::collections::hash_map::DefaultHasher`] *constructed
@@ -268,6 +394,61 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_on_success() {
+        let items: Vec<u64> = (0..64).collect();
+        for workers in [1, 2, 4, 8] {
+            let got = try_par_map(workers, &items, |i, &x| x * 2 + i as u64).unwrap();
+            let want = par_map(workers, &items, |i, &x| x * 2 + i as u64);
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_surfaces_panicking_unit_as_error() {
+        // deliberately panicking injected task: the pool must join
+        // cleanly and hand back a structured error, not unwind or hang
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 4] {
+            let err = try_par_map(workers, &items, |i, _| {
+                if i == 13 {
+                    panic!("unit 13 blew up");
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.unit, 13, "workers={workers}");
+            assert_eq!(err.message, "unit 13 blew up");
+            assert!(err.to_string().contains("unit 13"));
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_panicking_unit() {
+        // several units panic; the reported index must be deterministic
+        // (the lowest) no matter which worker tripped first
+        let items: Vec<usize> = (0..64).collect();
+        let err = try_par_map(4, &items, |i, _| {
+            if i % 7 == 3 {
+                panic!("boom at {i}");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.unit, 3);
+        assert_eq!(err.message, "boom at 3");
+    }
+
+    #[test]
+    fn try_par_map_non_string_payload_gets_placeholder() {
+        let items: Vec<usize> = vec![0];
+        let err = try_par_map(1, &items, |_, _| -> usize {
+            std::panic::panic_any(42u32);
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "non-string panic payload");
     }
 
     #[test]

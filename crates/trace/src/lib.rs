@@ -115,6 +115,15 @@ pub enum TraceEvent {
         /// The instantiated positive body facts the firing consumed.
         parents: Vec<String>,
     },
+    /// An engine resumed from a durable checkpoint (`uset-ckpt`): the
+    /// run did not start from round 1 but from the recovered round, so
+    /// post-crash traces are self-describing.
+    Resume {
+        /// Engine label.
+        engine: String,
+        /// The recovered round; evaluation continues after it.
+        round: u64,
+    },
     /// The resource governor tripped a budget; this is always the last
     /// event of a governed run that exhausts.
     GuardTrip {
@@ -147,6 +156,7 @@ impl TraceEvent {
             | TraceEvent::RuleFired { engine, .. }
             | TraceEvent::RoundEnd { engine, .. }
             | TraceEvent::Derivation { engine, .. }
+            | TraceEvent::Resume { engine, .. }
             | TraceEvent::GuardTrip { engine, .. }
             | TraceEvent::EngineEnd { engine, .. } => engine,
         }
@@ -160,6 +170,7 @@ impl TraceEvent {
             TraceEvent::RuleFired { .. } => "rule_fired",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::Derivation { .. } => "derivation",
+            TraceEvent::Resume { .. } => "resume",
             TraceEvent::GuardTrip { .. } => "guard_trip",
             TraceEvent::EngineEnd { .. } => "engine_end",
         }
@@ -217,6 +228,9 @@ impl TraceEvent {
                     json_escape(fact),
                     parents.join(",")
                 ));
+            }
+            TraceEvent::Resume { round, .. } => {
+                s.push_str(&format!(",\"round\":{round}"));
             }
             TraceEvent::GuardTrip {
                 resource,
@@ -649,11 +663,25 @@ impl Tracer for JsonlTracer {
             // an unbuffered File and future-proofs a buffered swap
             let _ = writeln!(f, "{line}");
             let _ = f.flush();
+            // a guard trip is the last thing a dying run may ever write,
+            // and post-crash forensics depend on it surviving the crash
+            if matches!(event, TraceEvent::GuardTrip { .. }) {
+                let _ = f.sync_all();
+            }
         }
     }
 
     fn wants_provenance(&self) -> bool {
         self.provenance
+    }
+}
+
+impl Drop for JsonlTracer {
+    fn drop(&mut self) {
+        // durable shutdown: whatever reached the OS reaches the disk
+        if let Ok(f) = self.file.lock() {
+            let _ = f.sync_all();
+        }
     }
 }
 
@@ -1008,6 +1036,10 @@ mod tests {
                 rule: 0,
                 fact: "weird \"fact\"\nwith newline".into(),
                 parents: vec!["p\\1".into(), "p2".into()],
+            },
+            TraceEvent::Resume {
+                engine: "datalog".into(),
+                round: 17,
             },
             TraceEvent::GuardTrip {
                 engine: "gtm".into(),

@@ -33,11 +33,16 @@
 //!   [`par::par_map`]) behind `USET_THREADS`; every engine's parallel
 //!   rounds merge worker output so results are bit-identical to
 //!   sequential evaluation.
+//! * [`ckpt`] — durable checkpoints and write-ahead round logs
+//!   ([`ckpt::Spec`], [`ckpt::Session`]) behind the governor's
+//!   `USET_CKPT` knob; an interrupted governed run resumes from its last
+//!   durable round bit-identically to the uninterrupted run.
 
 pub use uset_algebra as algebra;
 pub use uset_analysis as analysis;
 pub use uset_bk as bk;
 pub use uset_calculus as calculus;
+pub use uset_ckpt as ckpt;
 pub use uset_core as core;
 pub use uset_deductive as deductive;
 pub use uset_gtm as gtm;
