@@ -599,6 +599,92 @@ fn bench_opt_speedup(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental view maintenance ablation (`uset-ivm`, DESIGN.md §14): a
+/// long-lived [`uset_ivm::DatalogSession`] absorbing a 1-edge retraction
+/// (then the matching re-insertion, so the session is steady across
+/// iterations) vs from-scratch re-evaluation after each delta, on the
+/// path-128 transitive closure. One-off asserts pin the contract before
+/// timing: the maintained state is bit-identical to recomputing on the
+/// updated EDB, and maintenance derives at least 5× fewer tuples than
+/// the from-scratch engine — the numbers EXPERIMENTS.md reports.
+fn bench_ivm_speedup(c: &mut Criterion) {
+    use uset_ivm::{DatalogSession, DeltaBatch, IvmMode, Semantics};
+    let mut group = c.benchmark_group("ablation/ivm_speedup");
+    group.sample_size(10);
+    let prog = tc_datalog();
+    let n = 128u64;
+    let mut db = Database::empty();
+    db.set(
+        "E",
+        Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
+    );
+    let tail = Value::Tuple(vec![atom(n - 2), atom(n - 1)]);
+    let retract = DeltaBatch::new().retract("E", tail.clone());
+    let insert = DeltaBatch::new().insert("E", tail.clone());
+    let gov = Governor::unlimited();
+
+    // one-off: maintained ≡ recomputed, at ≥5× fewer derived tuples
+    let mut sess = DatalogSession::with_mode(
+        prog.clone(),
+        &db,
+        Semantics::StratifiedSeminaive,
+        &gov,
+        IvmMode::Auto,
+    )
+    .unwrap();
+    let maintain = sess.apply(&retract).unwrap();
+    assert!(!maintain.fallback, "path TC must maintain incrementally");
+    let mut recompute_stats = EvalStats::default();
+    let fresh =
+        uset_opt::eval_stratified_seminaive(&prog, sess.edb(), &gov, &mut recompute_stats).unwrap();
+    assert_eq!(
+        sess.state(),
+        &fresh,
+        "maintained state differs from recompute"
+    );
+    println!("ivm tc path-{n} retract-1 maintain:  {}", maintain.stats);
+    println!("ivm tc path-{n} retract-1 recompute: {recompute_stats}");
+    println!(
+        "ivm derived-tuple reduction: {:.1}x",
+        recompute_stats.tuples_derived as f64 / maintain.stats.tuples_derived.max(1) as f64
+    );
+    assert!(
+        maintain.stats.tuples_derived * 5 <= recompute_stats.tuples_derived,
+        "maintenance must derive at least 5x fewer tuples: {} vs {}",
+        maintain.stats.tuples_derived,
+        recompute_stats.tuples_derived
+    );
+    sess.apply(&insert).unwrap();
+
+    // timing: one retract+insert round-trip per iteration, session vs
+    // two from-scratch evaluations (one per delta, as a recompute-only
+    // engine would pay)
+    group.bench_function("maintain_path128", |b| {
+        b.iter(|| {
+            sess.apply(&retract).unwrap();
+            black_box(sess.apply(&insert).unwrap().idb_added)
+        })
+    });
+    let mut db_short = db.clone();
+    db_short.remove_row("E", &tail);
+    group.bench_function("recompute_path128", |b| {
+        b.iter(|| {
+            let short = uset_opt::eval_stratified_seminaive(
+                &prog,
+                &db_short,
+                &gov,
+                &mut EvalStats::default(),
+            )
+            .unwrap();
+            let full =
+                uset_opt::eval_stratified_seminaive(&prog, &db, &gov, &mut EvalStats::default())
+                    .unwrap();
+            black_box(short.get("T").len() + full.get("T").len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_chain_representations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/chain_representation");
     for len in [8usize, 12, 16] {
@@ -641,6 +727,7 @@ criterion_group!(
     bench_par_speedup,
     bench_optimizer_on_compiled_program,
     bench_opt_speedup,
+    bench_ivm_speedup,
     bench_chain_representations,
     bench_while_flattening_overhead
 );

@@ -106,6 +106,22 @@ impl ColState {
         true
     }
 
+    /// Remove one row from a predicate extent; true if it was present.
+    /// The inverse of [`ColState::insert_pred_row`]; a predicate whose
+    /// last row is removed is dropped entirely, matching the pruning
+    /// convention of [`Database::remove_row`] so states that gain and
+    /// lose rows compare equal to states that never saw them.
+    pub fn remove_pred_row(&mut self, name: &str, row: &Value) -> bool {
+        let Some(rel) = self.preds.get_mut(name) else {
+            return false;
+        };
+        let removed = rel.remove(row);
+        if removed && rel.is_empty() {
+            self.preds.remove(name);
+        }
+        removed
+    }
+
     /// Insert one element into a data-function value; true if newly added.
     pub fn insert_func_member(&mut self, func: &str, args: &[Value], elem: &Value) -> bool {
         let graph = self.funcs.entry(func.to_owned()).or_default();
@@ -380,7 +396,7 @@ fn extend(
                         if let (None, Some(k)) = (delta_read, key.as_ref()) {
                             let index = match &mut *access {
                                 IndexAccess::Build(set) => Some(set.of(name, rel)),
-                                IndexAccess::Prebuilt(set) => set.get(name, 0, rel.len()),
+                                IndexAccess::Prebuilt(set) => set.get(name, 0, rel.version()),
                             };
                             if let Some(idx) = index {
                                 stats.index_probes += 1;
@@ -1400,7 +1416,9 @@ fn run_engine(
             let charged = match fact {
                 DerivedFact::Pred { name, row } => {
                     if state.insert_pred_row(&name, &row) {
-                        indexes.note_insert(&name, &row);
+                        if let Some(inst) = state.preds.get(&name) {
+                            indexes.note_insert(&name, &row, inst);
+                        }
                         changed = true;
                         facts += 1;
                         stats.observe_facts(facts);

@@ -766,7 +766,9 @@ fn seminaive_fixpoint(
                 parents,
             } = df;
             if state.insert_row(&pred, &row) {
-                indexes.note_insert(&pred, &row);
+                if let Some(inst) = state.get_ref(&pred) {
+                    indexes.note_insert(&pred, &row, inst);
+                }
                 facts += 1;
                 let charged = guard.add_fact();
                 if trace.enabled() {
@@ -786,7 +788,10 @@ fn seminaive_fixpoint(
                 new_delta.entry(pred).or_default().insert(row);
                 changed = true;
                 if let Err(trip) = charged {
-                    // the round's delta doubles as the rollback log
+                    // the round's delta doubles as the rollback log; the
+                    // removals bump each instance's mutation version, so
+                    // any index built this round is detected as stale on
+                    // its next access rather than served
                     for (p, rows) in &new_delta {
                         for r in rows.iter() {
                             state.remove_row(p, r);
@@ -928,7 +933,7 @@ fn fire_rule_core(
         };
         let index = match (probe_col, &mut *access) {
             (Some(col), IndexAccess::Build(set)) => Some(set.of_col(&lit.atom.pred, col, rel)),
-            (Some(col), IndexAccess::Prebuilt(set)) => set.get(&lit.atom.pred, col, rel.len()),
+            (Some(col), IndexAccess::Prebuilt(set)) => set.get(&lit.atom.pred, col, rel.version()),
             _ => None,
         };
         let st: &mut EvalStats = if count_prefix || shard_pos.is_none_or(|pos| i >= pos) {
@@ -1270,7 +1275,9 @@ fn least_fixpoint(
                 parents,
             } = df;
             if state.insert_row(&pred, &row) {
-                indexes.note_insert(&pred, &row);
+                if let Some(inst) = state.get_ref(&pred) {
+                    indexes.note_insert(&pred, &row, inst);
+                }
                 facts += 1;
                 changed = true;
                 let charged = guard.add_fact();
@@ -1348,7 +1355,11 @@ fn least_fixpoint(
     }
 }
 
-fn instantiate(t: &DlTerm, b: &HashMap<String, Value>, pred: &str) -> Result<Value, DlError> {
+/// Ground one term under a binding, erroring (with the offending
+/// predicate for context) if a variable is unbound. Shared with the
+/// maintenance engine (`uset-ivm`), whose delta-rule firings must ground
+/// heads and negated literals exactly as the from-scratch engine does.
+pub fn instantiate(t: &DlTerm, b: &HashMap<String, Value>, pred: &str) -> Result<Value, DlError> {
     match t {
         DlTerm::Var(v) => b.get(v).cloned().ok_or_else(|| DlError::UnboundAtFiring {
             var: v.clone(),
@@ -1358,9 +1369,21 @@ fn instantiate(t: &DlTerm, b: &HashMap<String, Value>, pred: &str) -> Result<Val
     }
 }
 
+/// Unify a rule head's argument pattern against a stored fact row,
+/// returning the binding of the head's variables when they match. This
+/// is how the maintenance engine turns an over-deleted fact back into a
+/// query: bind the head against the fact, then re-evaluate the body
+/// under that partial binding to ask whether any derivation survives.
+pub fn head_binding(head: &DlAtom, row: &Value) -> Option<HashMap<String, Value>> {
+    let mut out = Vec::new();
+    match_row(&head.args, row, &HashMap::new(), &mut out);
+    out.pop()
+}
+
 /// Match one relation row against the literal's argument pattern, pushing
-/// the extended binding on success.
-fn match_row(
+/// the extended binding on success. Shared with the maintenance engine's
+/// delta-rule join loop.
+pub fn match_row(
     args: &[DlTerm],
     row: &Value,
     b: &HashMap<String, Value>,

@@ -65,6 +65,8 @@ pub enum EngineId {
     Calculus,
     /// The generic Turing machine simulator (`uset-gtm`).
     Gtm,
+    /// Incremental view maintenance sessions (`uset-ivm`).
+    Ivm,
 }
 
 impl EngineId {
@@ -77,6 +79,7 @@ impl EngineId {
             EngineId::Bk => "bk",
             EngineId::Calculus => "calculus",
             EngineId::Gtm => "gtm",
+            EngineId::Ivm => "ivm",
         }
     }
 }
@@ -785,6 +788,20 @@ impl Guard {
         self.tick()
     }
 
+    /// Credit one retracted fact back to the meter. The counterpart of
+    /// [`Guard::add_fact`] for long-lived computations that shrink as
+    /// well as grow (the maintenance engine retracting facts): without
+    /// it the facts meter ratchets upward and a session that repeatedly
+    /// inserts and retracts would trip a budget its live state never
+    /// approaches. Still charges one progress tick — removal is work —
+    /// so deterministic failpoints and cancellation observe retraction
+    /// passes too. Saturates at zero rather than underflowing if a
+    /// caller retracts facts it never charged.
+    pub fn remove_fact(&mut self) -> Result<(), Trip> {
+        self.facts = self.facts.saturating_sub(1);
+        self.tick()
+    }
+
     /// Seed the fact counter with pre-existing facts (input state) so the
     /// budget covers totals, not just newly derived facts. Trips
     /// immediately if the base already exceeds the limit.
@@ -967,6 +984,27 @@ mod tests {
         let mut g2 = Guard::unlimited(EngineId::Bk);
         g2.check_value(10_000, None).unwrap();
         assert!(g2.check_value(51, Some(50)).is_err());
+    }
+
+    #[test]
+    fn remove_fact_credits_the_meter() {
+        let gov = Governor::new(Budget::unlimited().with_facts(2));
+        let mut g = gov.guard(EngineId::Ivm);
+        g.add_fact().unwrap();
+        g.add_fact().unwrap();
+        // churn at the limit: retract + insert must not ratchet upward
+        for _ in 0..5 {
+            g.remove_fact().unwrap();
+            g.add_fact().unwrap();
+        }
+        assert_eq!(g.facts(), 2);
+        let trip = g.add_fact().unwrap_err();
+        assert_eq!(trip.resource, Resource::Facts);
+        // saturates at zero instead of underflowing
+        let gov = Governor::unlimited();
+        let mut g = gov.guard(EngineId::Ivm);
+        g.remove_fact().unwrap();
+        assert_eq!(g.facts(), 0);
     }
 
     #[test]

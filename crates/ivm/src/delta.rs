@@ -1,0 +1,246 @@
+//! EDB delta batches: what a maintenance session consumes.
+//!
+//! A [`DeltaBatch`] is a set of insertions and retractions against the
+//! extensional database. Batches are *requests*; before maintenance runs
+//! they are normalized against the current EDB into a [`NormalBatch`]
+//! whose rows are guaranteed effective — insertions of rows already
+//! present and retractions of rows already absent are dropped, and a row
+//! both retracted and inserted in the same batch nets to "present"
+//! (insertions win, matching `new = (old − retracts) ∪ inserts`).
+//!
+//! [`DeltaLog`] is the *internal* ledger of what a batch has changed so
+//! far — EDB rows first, then each settled stratum's IDB churn. It is
+//! what lets later strata reconstruct the pre-batch ("old") value of any
+//! relation without keeping a full copy of the previous state: `old =
+//! new − added + removed`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use uset_guard::ckpt::codec::{Dec, Enc};
+use uset_object::{Database, Instance, Value};
+
+/// A batch of EDB insertions and retractions, built fluently:
+///
+/// ```
+/// use uset_ivm::DeltaBatch;
+/// use uset_object::{atom, Value};
+/// let edge = |a: u64, b: u64| Value::Tuple(vec![atom(a), atom(b)]);
+/// let batch = DeltaBatch::new().insert("E", edge(0, 1)).retract("E", edge(1, 2));
+/// assert!(!batch.is_empty());
+/// ```
+///
+/// The batch semantics are `new = (old − retracts) ∪ inserts`: a row
+/// that appears on both sides ends up present.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    inserts: BTreeMap<String, BTreeSet<Value>>,
+    retracts: BTreeMap<String, BTreeSet<Value>>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> DeltaBatch {
+        DeltaBatch::default()
+    }
+
+    /// Request insertion of `row` into relation `rel`.
+    pub fn insert(mut self, rel: &str, row: Value) -> DeltaBatch {
+        self.inserts.entry(rel.to_owned()).or_default().insert(row);
+        self
+    }
+
+    /// Request retraction of `row` from relation `rel`.
+    pub fn retract(mut self, rel: &str, row: Value) -> DeltaBatch {
+        self.retracts.entry(rel.to_owned()).or_default().insert(row);
+        self
+    }
+
+    /// True when the batch requests nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+
+    /// Every relation the batch touches.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        self.inserts
+            .keys()
+            .chain(self.retracts.keys())
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Normalize against the current EDB: keep only effective rows.
+    pub(crate) fn normalize(&self, edb: &Database) -> NormalBatch {
+        let mut added: BTreeMap<String, Instance> = BTreeMap::new();
+        let mut removed: BTreeMap<String, Instance> = BTreeMap::new();
+        for (rel, rows) in &self.inserts {
+            let current = edb.get_ref(rel);
+            for row in rows {
+                if !current.is_some_and(|i| i.contains(row)) {
+                    added.entry(rel.clone()).or_default().insert(row.clone());
+                }
+            }
+        }
+        for (rel, rows) in &self.retracts {
+            let Some(current) = edb.get_ref(rel) else {
+                continue;
+            };
+            let wins = self.inserts.get(rel);
+            for row in rows {
+                if current.contains(row) && !wins.is_some_and(|w| w.contains(row)) {
+                    removed.entry(rel.clone()).or_default().insert(row.clone());
+                }
+            }
+        }
+        NormalBatch { added, removed }
+    }
+}
+
+/// A batch normalized against a concrete EDB: `added` rows are absent
+/// from it, `removed` rows are present in it, and the two are disjoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NormalBatch {
+    /// Effective insertions per relation.
+    pub added: BTreeMap<String, Instance>,
+    /// Effective retractions per relation.
+    pub removed: BTreeMap<String, Instance>,
+}
+
+impl NormalBatch {
+    /// Total effective insertions.
+    pub fn inserted(&self) -> u64 {
+        self.added.values().map(|i| i.len() as u64).sum()
+    }
+
+    /// Total effective retractions.
+    pub fn retracted(&self) -> u64 {
+        self.removed.values().map(|i| i.len() as u64).sum()
+    }
+
+    /// True when nothing effective remains after normalization.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Replay the batch onto an EDB (recovery folds the journal this way).
+    pub(crate) fn apply_to(&self, edb: &mut Database) {
+        for (rel, rows) in &self.removed {
+            for row in rows.iter() {
+                edb.remove_row(rel, row);
+            }
+        }
+        for (rel, rows) in &self.added {
+            for row in rows.iter() {
+                edb.insert_row(rel, row);
+            }
+        }
+    }
+
+    /// Serialize for the checkpoint journal's delta records.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_instance_map(&self.added);
+        e.put_instance_map(&self.removed);
+        e.finish()
+    }
+
+    /// Decode a journal delta record.
+    pub(crate) fn decode(bytes: &[u8]) -> Option<NormalBatch> {
+        let mut d = Dec::new(bytes);
+        let added = d.instance_map().ok()?;
+        let removed = d.instance_map().ok()?;
+        Some(NormalBatch { added, removed })
+    }
+}
+
+/// Net change to one relation within the current batch.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RelDelta {
+    /// Rows present now that were absent before the batch.
+    pub added: BTreeSet<Value>,
+    /// Rows absent now that were present before the batch.
+    pub removed: BTreeSet<Value>,
+}
+
+/// The ledger of everything the current batch has changed so far, EDB
+/// and settled-strata IDB alike. `added` and `removed` stay disjoint: a
+/// remove of a row noted as added cancels (and vice versa), so the
+/// ledger always describes the *net* difference from the pre-batch
+/// state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DeltaLog {
+    pub rels: BTreeMap<String, RelDelta>,
+}
+
+impl DeltaLog {
+    /// Note that `row` was inserted into `rel`.
+    pub fn note_add(&mut self, rel: &str, row: Value) {
+        let d = self.rels.entry(rel.to_owned()).or_default();
+        if !d.removed.remove(&row) {
+            d.added.insert(row);
+        }
+    }
+
+    /// Note that `row` was removed from `rel`.
+    pub fn note_remove(&mut self, rel: &str, row: Value) {
+        let d = self.rels.entry(rel.to_owned()).or_default();
+        if !d.added.remove(&row) {
+            d.removed.insert(row);
+        }
+    }
+
+    /// The net delta for `rel`, if any.
+    pub fn delta(&self, rel: &str) -> Option<&RelDelta> {
+        self.rels
+            .get(rel)
+            .filter(|d| !(d.added.is_empty() && d.removed.is_empty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_object::atom;
+
+    fn edge(a: u64, b: u64) -> Value {
+        Value::Tuple(vec![atom(a), atom(b)])
+    }
+
+    #[test]
+    fn normalization_drops_ineffective_rows_and_lets_inserts_win() {
+        let mut edb = Database::empty();
+        edb.set("E", Instance::from_rows([[atom(0u64), atom(1u64)]]));
+        let batch = DeltaBatch::new()
+            .insert("E", edge(0, 1)) // already present: dropped
+            .insert("E", edge(1, 2)) // effective
+            .retract("E", edge(1, 2)) // also inserted: insert wins
+            .retract("E", edge(5, 6)) // absent: dropped
+            .retract("E", edge(0, 1)); // present AND not re-inserted? it IS inserted above
+        let norm = batch.normalize(&edb);
+        assert_eq!(norm.inserted(), 1);
+        assert_eq!(norm.retracted(), 0, "insert wins over retract of (0,1)");
+        assert!(norm.added["E"].contains(&edge(1, 2)));
+    }
+
+    #[test]
+    fn normalized_batch_roundtrips_through_the_codec() {
+        let mut edb = Database::empty();
+        edb.set("E", Instance::from_rows([[atom(0u64), atom(1u64)]]));
+        let norm = DeltaBatch::new()
+            .insert("E", edge(3, 4))
+            .retract("E", edge(0, 1))
+            .normalize(&edb);
+        let decoded = NormalBatch::decode(&norm.encode()).expect("roundtrip");
+        assert_eq!(decoded, norm);
+    }
+
+    #[test]
+    fn delta_log_cancels_opposing_notes() {
+        let mut log = DeltaLog::default();
+        log.note_remove("T", edge(1, 2));
+        log.note_add("T", edge(1, 2)); // reinsertion cancels the removal
+        assert!(log.delta("T").is_none());
+        log.note_add("T", edge(3, 4));
+        let d = log.delta("T").unwrap();
+        assert!(d.added.contains(&edge(3, 4)) && d.removed.is_empty());
+    }
+}

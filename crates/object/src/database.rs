@@ -11,11 +11,66 @@ use crate::rtype::{RType, Type};
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global source of instance mutation stamps. Every constructed
+/// or mutated [`Instance`] takes a fresh stamp, so two instances (or two
+/// successive states of one instance) never share a version unless one is
+/// an unmutated clone of the other — which is exactly the case where
+/// serving a cached index built against the older one is still correct.
+static INSTANCE_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    INSTANCE_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An instance of a type: a finite set of objects.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+///
+/// Besides its members, an instance carries a *mutation version*
+/// ([`Instance::version`]): an opaque stamp renewed (from a process-global
+/// counter) by every mutating operation. Caches keyed on an instance's
+/// contents — notably [`crate::IndexSet`] — remember the stamp they were
+/// built against and rebuild on any mismatch. Unlike the length stamp it
+/// replaced, the version cannot collide across a `remove` + `insert` pair
+/// that leaves the cardinality unchanged. The version is identity
+/// metadata, not content: equality, ordering, and hashing ignore it.
+// The derived `Default` gives pristine empty instances the shared
+// version 0: the fixpoint engines materialize a fresh default for every
+// read of an absent relation, and those reads must agree on a stamp for
+// index caches to work. This is sound because version 0 is *only*
+// reachable empty — every constructor with contents and every
+// successful mutation takes a fresh nonzero stamp — so any cache
+// stamped 0 describes the empty relation correctly.
+#[derive(Clone, Debug, Default)]
 pub struct Instance {
     values: BTreeSet<Value>,
+    version: u64,
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Instance) -> bool {
+        self.values == other.values
+    }
+}
+
+impl Eq for Instance {}
+
+impl PartialOrd for Instance {
+    fn partial_cmp(&self, other: &Instance) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instance {
+    fn cmp(&self, other: &Instance) -> std::cmp::Ordering {
+        self.values.cmp(&other.values)
+    }
+}
+
+impl std::hash::Hash for Instance {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.values.hash(state);
+    }
 }
 
 impl Instance {
@@ -28,6 +83,7 @@ impl Instance {
     pub fn from_values<I: IntoIterator<Item = Value>>(items: I) -> Self {
         Instance {
             values: items.into_iter().collect(),
+            version: next_version(),
         }
     }
 
@@ -42,7 +98,17 @@ impl Instance {
                 .into_iter()
                 .map(|r| Value::Tuple(r.into_iter().collect()))
                 .collect(),
+            version: next_version(),
         }
+    }
+
+    /// The instance's current mutation version: an opaque stamp that
+    /// changes on every mutation and never repeats across distinct
+    /// logical states in one process. Two reads returning the same stamp
+    /// guarantee the contents did not change in between; a cache holding
+    /// data derived from this instance is stale iff the stamp moved.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The member objects, in canonical order.
@@ -62,12 +128,20 @@ impl Instance {
 
     /// Insert an object; returns true if newly added.
     pub fn insert(&mut self, v: Value) -> bool {
-        self.values.insert(v)
+        let added = self.values.insert(v);
+        if added {
+            self.version = next_version();
+        }
+        added
     }
 
     /// Remove an object; returns true if it was present.
     pub fn remove(&mut self, v: &Value) -> bool {
-        self.values.remove(v)
+        let removed = self.values.remove(v);
+        if removed {
+            self.version = next_version();
+        }
+        removed
     }
 
     /// Membership test.
@@ -84,6 +158,7 @@ impl Instance {
     pub fn union(&self, other: &Instance) -> Instance {
         Instance {
             values: self.values.union(&other.values).cloned().collect(),
+            version: next_version(),
         }
     }
 
@@ -91,6 +166,7 @@ impl Instance {
     pub fn difference(&self, other: &Instance) -> Instance {
         Instance {
             values: self.values.difference(&other.values).cloned().collect(),
+            version: next_version(),
         }
     }
 
@@ -98,6 +174,7 @@ impl Instance {
     pub fn intersection(&self, other: &Instance) -> Instance {
         Instance {
             values: self.values.intersection(&other.values).cloned().collect(),
+            version: next_version(),
         }
     }
 
@@ -132,6 +209,7 @@ impl Instance {
     pub fn map_atoms(&self, f: &mut impl FnMut(Atom) -> Atom) -> Instance {
         Instance {
             values: self.values.iter().map(|v| v.map_atoms(f)).collect(),
+            version: next_version(),
         }
     }
 
@@ -142,7 +220,10 @@ impl Instance {
 
     /// Build an instance from a set object's members.
     pub fn from_set_value(v: &Value) -> Option<Instance> {
-        v.as_set().map(|s| Instance { values: s.clone() })
+        v.as_set().map(|s| Instance {
+            values: s.clone(),
+            version: next_version(),
+        })
     }
 
     /// Total structural size of all members.
@@ -313,12 +394,21 @@ impl Database {
     /// Remove a single row from a relation; returns true if it was
     /// present. The inverse of [`Database::insert_row`] — the fixpoint
     /// engines use it to roll an incomplete round back to the last
-    /// consistent state when a resource budget trips mid-round.
+    /// consistent state when a resource budget trips mid-round, and the
+    /// maintenance engine uses it to retract facts. A relation whose last
+    /// row is removed is dropped entirely, so a database that gains and
+    /// then loses rows compares equal to one that never saw them
+    /// (`Database::PartialEq` distinguishes present-but-empty from
+    /// absent).
     pub fn remove_row(&mut self, name: &str, row: &Value) -> bool {
-        self.relations
-            .get_mut(name)
-            .map(|rel| rel.remove(row))
-            .unwrap_or(false)
+        let Some(rel) = self.relations.get_mut(name) else {
+            return false;
+        };
+        let removed = rel.remove(row);
+        if removed && rel.is_empty() {
+            self.relations.remove(name);
+        }
+        removed
     }
 
     /// Fetch a relation, erroring if absent.
@@ -505,6 +595,50 @@ mod tests {
         let v = inst.to_set_value();
         assert_eq!(Instance::from_set_value(&v), Some(inst));
         assert_eq!(Instance::from_set_value(&atom(1)), None);
+    }
+
+    #[test]
+    fn version_moves_on_every_mutation_even_at_equal_len() {
+        let mut inst = Instance::from_values([atom(1), atom(2)]);
+        let v0 = inst.version();
+        // A remove + insert that restores the cardinality must still be
+        // observable through the stamp — this is the collision the old
+        // length-based staleness check could not see.
+        assert!(inst.remove(&atom(2)));
+        let v1 = inst.version();
+        assert_ne!(v0, v1);
+        assert!(inst.insert(atom(3)));
+        let v2 = inst.version();
+        assert_ne!(v1, v2);
+        assert_eq!(inst.len(), 2);
+        // No-op mutations leave the stamp alone.
+        assert!(!inst.insert(atom(3)));
+        assert!(!inst.remove(&atom(99)));
+        assert_eq!(inst.version(), v2);
+    }
+
+    #[test]
+    fn version_is_identity_not_content() {
+        let a = Instance::from_values([atom(1)]);
+        let b = Instance::from_values([atom(1)]);
+        assert_ne!(a.version(), b.version());
+        assert_eq!(a, b); // equality ignores the stamp
+        let c = a.clone();
+        assert_eq!(a.version(), c.version()); // unmutated clone shares it
+    }
+
+    #[test]
+    fn remove_row_prunes_empty_relation() {
+        let mut db = Database::empty();
+        db.insert_row("R", &tuple([atom(1), atom(2)]));
+        assert!(db.contains_relation("R"));
+        assert!(db.remove_row("R", &tuple([atom(1), atom(2)])));
+        // The emptied relation disappears, so this database compares
+        // equal to one that never held the row.
+        assert!(!db.contains_relation("R"));
+        assert_eq!(db, Database::empty());
+        // Removing from an absent relation is a clean no-op.
+        assert!(!db.remove_row("R", &tuple([atom(1), atom(2)])));
     }
 
     #[test]

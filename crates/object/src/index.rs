@@ -10,16 +10,19 @@
 //! turning the inner join loop from O(|rel|) to O(matches).
 //!
 //! [`IndexSet`] caches indexes per `(relation, column)`, built on first
-//! use and kept in sync by the engine notifying it of every inserted row.
-//! Because the cache is only *advisory* — a probe answers the same
-//! question a scan would — it also defends itself against the one way the
-//! notify protocol can be violated: every index carries a count of the
-//! rows it has seen ([`ColumnIndex::rows_seen`]), and [`IndexSet::of_col`]
-//! compares it against the live instance's length, rebuilding on any
-//! mismatch. A call site that mutates a relation after its index was
-//! built (in either direction — un-notified insertion *or* rollback
-//! removal) therefore gets a fresh index on the next access instead of a
-//! stale join snapshot.
+//! use and kept in sync by the engine notifying it of every inserted or
+//! removed row. Because the cache is only *advisory* — a probe answers
+//! the same question a scan would — it also defends itself against the
+//! one way the notify protocol can be violated: every index carries the
+//! mutation-version stamp ([`Instance::version`]) of the instance state
+//! it reflects, and [`IndexSet::of_col`] compares it against the live
+//! instance's stamp, rebuilding on any mismatch. The stamp is renewed by
+//! *every* mutation, so unlike the row-count stamp it replaced it cannot
+//! be fooled by a `remove_row` + `insert_row` pair that leaves the
+//! cardinality unchanged — the exact pattern a maintenance engine
+//! applying a retraction batch produces. A call site that mutates a
+//! relation after its index was built therefore gets a fresh index on
+//! the next access instead of a stale join snapshot.
 
 use crate::database::Instance;
 use crate::value::Value;
@@ -46,7 +49,7 @@ pub struct ColumnIndex {
     key_col: usize,
     buckets: HashMap<Value, Vec<Value>>,
     rows_indexed: usize,
-    rows_seen: usize,
+    stamp: u64,
 }
 
 impl ColumnIndex {
@@ -59,6 +62,7 @@ impl ColumnIndex {
     pub fn build_on(inst: &Instance, col: usize) -> ColumnIndex {
         let mut idx = ColumnIndex {
             key_col: col,
+            stamp: inst.version(),
             ..ColumnIndex::default()
         };
         for row in inst.iter() {
@@ -72,17 +76,34 @@ impl ColumnIndex {
         self.key_col
     }
 
-    /// Add one row. Rows without the keyed column (non-tuples, short
-    /// tuples) still count toward [`ColumnIndex::rows_seen`] so the
-    /// staleness stamp tracks the instance's length exactly.
+    /// Add one row to the buckets. Rows without the keyed column
+    /// (non-tuples, short tuples) are skipped. This updates contents
+    /// only; adopting the instance's new stamp is the caller's job
+    /// (see [`IndexSet::note_insert`]).
     pub fn insert(&mut self, row: &Value) {
-        self.rows_seen += 1;
         if let Some(key) = nth_column(row, self.key_col) {
             self.buckets
                 .entry(key.clone())
                 .or_default()
                 .push(row.clone());
             self.rows_indexed += 1;
+        }
+    }
+
+    /// Remove one row from the buckets (the inverse of
+    /// [`ColumnIndex::insert`]); a no-op for rows that were never
+    /// indexable. Contents only — stamp adoption is the caller's job.
+    pub fn remove(&mut self, row: &Value) {
+        if let Some(key) = nth_column(row, self.key_col) {
+            if let Some(bucket) = self.buckets.get_mut(key) {
+                if let Some(pos) = bucket.iter().position(|r| r == row) {
+                    bucket.swap_remove(pos);
+                    self.rows_indexed -= 1;
+                    if bucket.is_empty() {
+                        self.buckets.remove(key);
+                    }
+                }
+            }
         }
     }
 
@@ -120,15 +141,23 @@ impl ColumnIndex {
         }
     }
 
-    /// Total rows this index has been shown, indexable or not — the
-    /// version stamp [`IndexSet::of_col`] compares against the live
-    /// instance's length to detect un-notified mutation.
-    pub fn rows_seen(&self) -> usize {
-        self.rows_seen
+    /// The [`Instance::version`] stamp of the instance state this index
+    /// reflects. [`IndexSet::of_col`] compares it against the live
+    /// instance to detect un-notified mutation in either direction. A
+    /// default-constructed index carries stamp 0, which only
+    /// pristine-empty instances have — and matching those is correct,
+    /// since both sides are empty.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Adopt the stamp of the instance state the index now reflects.
+    pub fn set_stamp(&mut self, stamp: u64) {
+        self.stamp = stamp;
     }
 }
 
-/// A cache of [`ColumnIndex`]es per `(relation, column)` over a growing
+/// A cache of [`ColumnIndex`]es per `(relation, column)` over a mutating
 /// database.
 #[derive(Clone, Debug, Default)]
 pub struct IndexSet {
@@ -150,17 +179,17 @@ impl IndexSet {
     /// The column-`col` index for `name`, building it from `inst` on
     /// first use.
     ///
-    /// Callers should report insertions via [`IndexSet::note_insert`];
-    /// if a relation was nonetheless mutated behind the cache's back
-    /// (detected by comparing the index's row count against the live
-    /// instance), the stale index is discarded and rebuilt here rather
-    /// than served.
+    /// Callers should report mutations via [`IndexSet::note_insert`] /
+    /// [`IndexSet::note_remove`]; if a relation was nonetheless mutated
+    /// behind the cache's back (detected by comparing the index's stamp
+    /// against the live instance's mutation version), the stale index is
+    /// discarded and rebuilt here rather than served.
     pub fn of_col(&mut self, name: &str, col: usize, inst: &Instance) -> &ColumnIndex {
         let by_col = self.map.entry(name.to_owned()).or_default();
         let entry = by_col
             .entry(col)
             .or_insert_with(|| ColumnIndex::build_on(inst, col));
-        if entry.rows_seen() != inst.len() {
+        if entry.stamp() != inst.version() {
             *entry = ColumnIndex::build_on(inst, col);
         }
         entry
@@ -169,31 +198,47 @@ impl IndexSet {
     /// The column-`col` index for `name` if it is already built **and**
     /// fresh — the read-only lookup parallel workers use against a
     /// prebuilt cache (workers share `&IndexSet` and cannot build).
-    /// `inst_len` is the probed relation's current length; a stale entry
-    /// returns `None` so the caller falls back to a scan instead of
-    /// joining against a stale snapshot.
-    pub fn get(&self, name: &str, col: usize, inst_len: usize) -> Option<&ColumnIndex> {
+    /// `stamp` is the probed relation's current mutation version
+    /// ([`Instance::version`]); a stale entry returns `None` so the
+    /// caller falls back to a scan instead of joining against a stale
+    /// snapshot.
+    pub fn get(&self, name: &str, col: usize, stamp: u64) -> Option<&ColumnIndex> {
         self.map
             .get(name)
             .and_then(|by_col| by_col.get(&col))
-            .filter(|idx| idx.rows_seen() == inst_len)
+            .filter(|idx| idx.stamp() == stamp)
     }
 
     /// Record a row newly inserted into relation `name`, updating every
-    /// built column index for it. Relations with no built index are
-    /// skipped — rows are picked up when (if ever) an index is first
-    /// built.
-    pub fn note_insert(&mut self, name: &str, row: &Value) {
+    /// built column index for it and adopting the mutated instance's
+    /// fresh stamp. Relations with no built index are skipped — rows are
+    /// picked up when (if ever) an index is first built.
+    pub fn note_insert(&mut self, name: &str, row: &Value, inst: &Instance) {
         if let Some(by_col) = self.map.get_mut(name) {
             for idx in by_col.values_mut() {
                 idx.insert(row);
+                idx.set_stamp(inst.version());
+            }
+        }
+    }
+
+    /// Record a row removed from relation `name`, updating every built
+    /// column index and adopting the mutated instance's fresh stamp —
+    /// the retraction counterpart of [`IndexSet::note_insert`], cheaper
+    /// than [`IndexSet::invalidate`] when only a few rows leave a large
+    /// relation.
+    pub fn note_remove(&mut self, name: &str, row: &Value, inst: &Instance) {
+        if let Some(by_col) = self.map.get_mut(name) {
+            for idx in by_col.values_mut() {
+                idx.remove(row);
+                idx.set_stamp(inst.version());
             }
         }
     }
 
     /// Drop every cached index for `name` (e.g. after a rollback that
-    /// removed rows). Cheaper than letting each next access detect the
-    /// mismatch and rebuild one column at a time.
+    /// removed many rows). Cheaper than letting each next access detect
+    /// the mismatch and rebuild one column at a time.
     pub fn invalidate(&mut self, name: &str) {
         self.map.remove(name);
     }
@@ -244,14 +289,27 @@ mod tests {
     }
 
     #[test]
-    fn non_tuple_rows_are_not_indexed_but_are_counted() {
+    fn non_tuple_rows_are_not_indexed() {
         let mut idx = ColumnIndex::default();
         idx.insert(&atom(5));
         idx.insert(&Value::Tuple(vec![]));
         assert!(idx.is_empty());
         assert!(idx.probe(&atom(5)).is_empty());
-        // the staleness stamp still tracks both rows
-        assert_eq!(idx.rows_seen(), 2);
+    }
+
+    #[test]
+    fn remove_is_the_inverse_of_insert() {
+        let mut idx = ColumnIndex::build(&rel());
+        idx.remove(&tuple([atom(1), atom(10)]));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.probe(&atom(1)), &[tuple([atom(1), atom(11)])]);
+        // removing the last row of a key drops its bucket
+        idx.remove(&tuple([atom(2), atom(20)]));
+        assert_eq!(idx.distinct_keys(), 1);
+        // unknown and non-tuple rows are clean no-ops
+        idx.remove(&tuple([atom(9), atom(9)]));
+        idx.remove(&atom(5));
+        assert_eq!(idx.len(), 1);
     }
 
     #[test]
@@ -260,7 +318,6 @@ mod tests {
         inst.insert(tuple([atom(9)])); // arity 1: no column 1
         let idx = ColumnIndex::build_on(&inst, 1);
         assert_eq!(idx.len(), 1);
-        assert_eq!(idx.rows_seen(), 2);
     }
 
     #[test]
@@ -271,11 +328,11 @@ mod tests {
         // grow the relation and notify the cache
         let row = tuple([atom(1), atom(12)]);
         inst.insert(row.clone());
-        set.note_insert("R", &row);
+        set.note_insert("R", &row, &inst);
         assert_eq!(set.of("R", &inst).probe(&atom(1)).len(), 3);
         // un-built relations ignore notifications, then build fresh
-        set.note_insert("S", &row);
         let s = Instance::from_rows([[atom(9), atom(9)]]);
+        set.note_insert("S", &row, &s);
         assert_eq!(set.of("S", &s).probe(&atom(9)).len(), 1);
     }
 
@@ -287,14 +344,29 @@ mod tests {
         set.of_col("R", 1, &inst);
         let row = tuple([atom(7), atom(10)]);
         inst.insert(row.clone());
-        set.note_insert("R", &row);
+        set.note_insert("R", &row, &inst);
         assert_eq!(set.of_col("R", 0, &inst).probe(&atom(7)).len(), 1);
         assert_eq!(set.of_col("R", 1, &inst).probe(&atom(10)).len(), 2);
     }
 
+    #[test]
+    fn note_remove_updates_every_built_column() {
+        let mut inst = rel();
+        let mut set = IndexSet::new();
+        set.of_col("R", 0, &inst);
+        set.of_col("R", 1, &inst);
+        let row = tuple([atom(1), atom(10)]);
+        inst.remove(&row);
+        set.note_remove("R", &row, &inst);
+        assert_eq!(set.of_col("R", 0, &inst).probe(&atom(1)).len(), 1);
+        assert!(set.of_col("R", 1, &inst).probe(&atom(10)).is_empty());
+        // the notified entries are fresh: read-only probers accept them
+        assert!(set.get("R", 0, inst.version()).is_some());
+    }
+
     /// Regression test for the staleness hazard: mutate the relation
-    /// *without* calling `note_insert` (the bug pattern an engine hits if
-    /// any insertion path forgets the notify step) and demand that the
+    /// *without* notifying the cache (the bug pattern an engine hits if
+    /// any mutation path forgets the notify step) and demand that the
     /// next access still answers from fresh data. On the pre-version-stamp
     /// implementation, the second `of()` returned the cached index and
     /// this probe missed the new row.
@@ -315,17 +387,55 @@ mod tests {
         assert_eq!(set.of("R", &inst).probe(&atom(2)).len(), 1);
     }
 
+    /// Regression test for the length-stamp collision the version stamp
+    /// fixes: a remove + insert pair that leaves `len()` unchanged. The
+    /// old implementation compared `rows_seen == inst.len()`, judged the
+    /// cached index fresh, and served rows that were no longer in the
+    /// relation (and missed rows that were).
+    #[test]
+    fn remove_plus_insert_at_equal_count_is_detected() {
+        let mut inst = rel();
+        let mut set = IndexSet::new();
+        assert_eq!(set.of("R", &inst).probe(&atom(2)).len(), 1);
+        let before = inst.len();
+        // swap one row for another without notifying — same cardinality
+        inst.remove(&tuple([atom(2), atom(20)]));
+        inst.insert(tuple([atom(3), atom(30)]));
+        assert_eq!(inst.len(), before, "the collision the bug needs");
+        let idx = set.of("R", &inst);
+        assert!(
+            idx.probe(&atom(2)).is_empty(),
+            "retracted row must not be served from a stale snapshot"
+        );
+        assert_eq!(idx.probe(&atom(3)).len(), 1, "new row must be visible");
+        // the read-only path refuses the stale entry for the same reason
+        let mut set2 = IndexSet::new();
+        set2.of("R", &inst);
+        inst.remove(&tuple([atom(3), atom(30)]));
+        inst.insert(tuple([atom(4), atom(40)]));
+        assert!(
+            set2.get("R", 0, inst.version()).is_none(),
+            "read-only probe must fall back to a scan, not a stale index"
+        );
+    }
+
     #[test]
     fn read_only_get_refuses_stale_entries() {
         let mut inst = rel();
         let mut set = IndexSet::new();
-        assert!(set.get("R", 0, inst.len()).is_none(), "nothing built yet");
+        assert!(
+            set.get("R", 0, inst.version()).is_none(),
+            "nothing built yet"
+        );
         set.of_col("R", 0, &inst);
-        assert!(set.get("R", 0, inst.len()).is_some());
-        assert!(set.get("R", 1, inst.len()).is_none(), "column not built");
+        assert!(set.get("R", 0, inst.version()).is_some());
+        assert!(
+            set.get("R", 1, inst.version()).is_none(),
+            "column not built"
+        );
         inst.insert(tuple([atom(4), atom(40)]));
         assert!(
-            set.get("R", 0, inst.len()).is_none(),
+            set.get("R", 0, inst.version()).is_none(),
             "stale entry must not be served to read-only probers"
         );
     }
@@ -337,7 +447,7 @@ mod tests {
         set.of_col("R", 0, &inst);
         set.of_col("R", 1, &inst);
         set.invalidate("R");
-        assert!(set.get("R", 0, inst.len()).is_none());
-        assert!(set.get("R", 1, inst.len()).is_none());
+        assert!(set.get("R", 0, inst.version()).is_none());
+        assert!(set.get("R", 1, inst.version()).is_none());
     }
 }

@@ -36,10 +36,12 @@
 pub mod col;
 pub mod datalog;
 pub mod magic;
+pub mod plan;
 
 pub use col::optimize_col;
 pub use datalog::optimize_datalog;
 pub use magic::{query_datalog, Goal};
+pub use plan::{maintenance_plan, MaintPlan, MaintStratum, StratumPlan};
 
 use uset_deductive::col::eval as col_eval;
 use uset_deductive::{

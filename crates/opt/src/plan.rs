@@ -1,0 +1,318 @@
+//! Maintenance planning: which incremental algorithm fits each stratum.
+//!
+//! The maintenance engine (`uset-ivm`) keeps a materialized DATALOG¬
+//! fixpoint in sync with EDB deltas. Two classical algorithms divide the
+//! work, and the split is a *static* property of the program's dependency
+//! graph — exactly the kind of proof this crate's analysis layer exists
+//! to land before evaluation starts:
+//!
+//! * **Counting** (nonrecursive strata): when a predicate never depends
+//!   on itself, every derivation of one of its facts consumes only facts
+//!   from strictly lower strata, so an exact support count per fact is
+//!   finite and cheap to maintain — retraction is a decrement, and a fact
+//!   dies exactly when its count reaches zero. Counting is unsound for
+//!   recursive predicates, whose counts can be infinite (a cycle derives
+//!   its members from each other).
+//! * **Delete-and-rederive** (DRed, recursive strata): over-delete
+//!   everything the retracted facts could have supported, then rederive
+//!   what still has an independent proof, then apply insertions. Sound
+//!   for recursion at the price of touching the over-deletion set twice.
+//!
+//! [`maintenance_plan`] condenses the IDB dependency graph into strongly
+//! connected components, orders them topologically (the same order a
+//! stratified evaluation settles them in), and tags each with the
+//! cheapest sound algorithm. Programs with no stratification at all
+//! (negation through recursion) get a [`MaintPlan::Recompute`] verdict so
+//! the session falls back to from-scratch evaluation instead of running
+//! an unsound maintenance pass.
+
+use std::collections::{BTreeMap, BTreeSet};
+use uset_deductive::DatalogProgram;
+
+/// The maintenance algorithm chosen for one stratum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StratumPlan {
+    /// Exact per-fact support counts; retraction decrements. Sound only
+    /// for non-recursive strata.
+    Counting,
+    /// Delete-and-rederive. Sound for recursive strata.
+    DRed,
+}
+
+/// One maintenance stratum: a strongly connected component of the IDB
+/// dependency graph, the rules that define it, and the algorithm that
+/// maintains it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaintStratum {
+    /// The IDB predicates of this component.
+    pub preds: BTreeSet<String>,
+    /// Indices (into the program's rule list) of the rules whose head is
+    /// in this component.
+    pub rules: Vec<usize>,
+    /// The chosen algorithm.
+    pub plan: StratumPlan,
+}
+
+/// The static maintenance plan for a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaintPlan {
+    /// Incremental maintenance is sound: strata in dependency order
+    /// (every stratum's lower dependencies precede it).
+    Incremental(Vec<MaintStratum>),
+    /// Incremental maintenance is not supported for this program; the
+    /// string says why. The session recomputes from scratch instead.
+    Recompute(String),
+}
+
+impl MaintPlan {
+    /// The strata, when the plan is incremental.
+    pub fn strata(&self) -> Option<&[MaintStratum]> {
+        match self {
+            MaintPlan::Incremental(s) => Some(s),
+            MaintPlan::Recompute(_) => None,
+        }
+    }
+}
+
+/// Compute the maintenance plan: SCC-condense the IDB dependency graph,
+/// order components topologically, and pick counting for non-recursive
+/// components and DRed for recursive ones. Unstratifiable programs (the
+/// ones [`DatalogProgram::stratify`] rejects) report
+/// [`MaintPlan::Recompute`] — under stratified semantics they have no
+/// meaning to maintain, and under inflationary semantics the fixpoint is
+/// not change-monotone, so the caller falls back either way.
+pub fn maintenance_plan(prog: &DatalogProgram) -> MaintPlan {
+    if let Err(e) = prog.stratify() {
+        return MaintPlan::Recompute(format!("not stratifiable: {e}"));
+    }
+    let idb = prog.idb_predicates();
+    // dependency edges head → body-pred, restricted to IDB predicates
+    // (EDB dependencies never create recursion and are handled as the
+    // delta source, not as graph nodes)
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for p in &idb {
+        succ.entry(p).or_default();
+    }
+    for rule in &prog.rules {
+        for lit in &rule.body {
+            if idb.contains(&lit.atom.pred) {
+                succ.entry(&rule.head.pred)
+                    .or_default()
+                    .insert(&lit.atom.pred);
+            }
+        }
+    }
+    let components = tarjan(&succ);
+    let mut strata = Vec::with_capacity(components.len());
+    for comp in components {
+        let preds: BTreeSet<String> = comp.iter().map(|p| (*p).to_owned()).collect();
+        let rules: Vec<usize> = prog
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| preds.contains(&r.head.pred))
+            .map(|(i, _)| i)
+            .collect();
+        // recursive iff some defining rule consumes a predicate of the
+        // same component (covers singleton self-loops and larger cycles)
+        let recursive = rules.iter().any(|&i| {
+            prog.rules[i]
+                .body
+                .iter()
+                .any(|lit| preds.contains(&lit.atom.pred))
+        });
+        strata.push(MaintStratum {
+            preds,
+            rules,
+            plan: if recursive {
+                StratumPlan::DRed
+            } else {
+                StratumPlan::Counting
+            },
+        });
+    }
+    MaintPlan::Incremental(strata)
+}
+
+/// Tarjan's SCC algorithm over the `head → body` graph. With edges
+/// pointing at dependencies, components are emitted dependencies-first —
+/// exactly the order maintenance must settle strata in. Node iteration
+/// is over a `BTreeMap`, so the emission order is deterministic.
+fn tarjan<'a>(succ: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Vec<Vec<&'a str>> {
+    struct State<'a> {
+        index: BTreeMap<&'a str, usize>,
+        lowlink: BTreeMap<&'a str, usize>,
+        on_stack: BTreeSet<&'a str>,
+        stack: Vec<&'a str>,
+        next: usize,
+        out: Vec<Vec<&'a str>>,
+    }
+    fn visit<'a>(v: &'a str, succ: &BTreeMap<&'a str, BTreeSet<&'a str>>, st: &mut State<'a>) {
+        st.index.insert(v, st.next);
+        st.lowlink.insert(v, st.next);
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack.insert(v);
+        if let Some(ws) = succ.get(v) {
+            for &w in ws {
+                if !st.index.contains_key(w) {
+                    visit(w, succ, st);
+                    let wl = st.lowlink[w];
+                    let vl = st.lowlink.get_mut(v).unwrap();
+                    *vl = (*vl).min(wl);
+                } else if st.on_stack.contains(w) {
+                    let wi = st.index[w];
+                    let vl = st.lowlink.get_mut(v).unwrap();
+                    *vl = (*vl).min(wi);
+                }
+            }
+        }
+        if st.lowlink[v] == st.index[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = st.stack.pop() {
+                st.on_stack.remove(w);
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            st.out.push(comp);
+        }
+    }
+    let mut st = State {
+        index: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for &v in succ.keys() {
+        if !st.index.contains_key(v) {
+            visit(v, succ, &mut st);
+        }
+    }
+    st.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uset_deductive::{DlAtom, DlRule, DlTerm};
+
+    fn v(name: &str) -> DlTerm {
+        DlTerm::var(name)
+    }
+
+    fn tc() -> DatalogProgram {
+        DatalogProgram::new(vec![
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("y")]),
+                vec![(true, DlAtom::new("E", vec![v("x"), v("y")]))],
+            ),
+            DlRule::new(
+                DlAtom::new("T", vec![v("x"), v("z")]),
+                vec![
+                    (true, DlAtom::new("E", vec![v("x"), v("y")])),
+                    (true, DlAtom::new("T", vec![v("y"), v("z")])),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_is_one_dred_stratum() {
+        let plan = maintenance_plan(&tc());
+        let strata = plan.strata().expect("stratifiable");
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0].plan, StratumPlan::DRed);
+        assert_eq!(strata[0].rules, vec![0, 1]);
+        assert!(strata[0].preds.contains("T"));
+    }
+
+    #[test]
+    fn nonrecursive_join_gets_counting() {
+        // J(x,z) ← A(x,y), B(y,z): no IDB in any body
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("J", vec![v("x"), v("z")]),
+            vec![
+                (true, DlAtom::new("A", vec![v("x"), v("y")])),
+                (true, DlAtom::new("B", vec![v("y"), v("z")])),
+            ],
+        )]);
+        let plan = maintenance_plan(&prog);
+        let strata = plan.strata().unwrap();
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0].plan, StratumPlan::Counting);
+    }
+
+    #[test]
+    fn strata_come_out_in_dependency_order() {
+        // T recursive over E; Top(x) ← T(x,y), ¬Bad(x); Bad nonrecursive.
+        let mut rules = tc().rules.clone();
+        rules.push(DlRule::new(
+            DlAtom::new("Bad", vec![v("x")]),
+            vec![(true, DlAtom::new("Block", vec![v("x")]))],
+        ));
+        rules.push(DlRule::new(
+            DlAtom::new("Top", vec![v("x")]),
+            vec![
+                (true, DlAtom::new("T", vec![v("x"), v("y")])),
+                (false, DlAtom::new("Bad", vec![v("x")])),
+            ],
+        ));
+        let prog = DatalogProgram::new(rules);
+        let plan = maintenance_plan(&prog);
+        let strata = plan.strata().unwrap();
+        assert_eq!(strata.len(), 3);
+        let pos = |p: &str| {
+            strata
+                .iter()
+                .position(|s| s.preds.contains(p))
+                .unwrap_or_else(|| panic!("{p} missing"))
+        };
+        assert!(pos("T") < pos("Top"), "dependencies settle first");
+        assert!(pos("Bad") < pos("Top"));
+        assert_eq!(strata[pos("T")].plan, StratumPlan::DRed);
+        assert_eq!(strata[pos("Bad")].plan, StratumPlan::Counting);
+        assert_eq!(strata[pos("Top")].plan, StratumPlan::Counting);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_dred_component() {
+        // P ← Q, Q ← P: a 2-cycle must come out as one DRed component
+        let prog = DatalogProgram::new(vec![
+            DlRule::new(
+                DlAtom::new("P", vec![v("x")]),
+                vec![(true, DlAtom::new("Q", vec![v("x")]))],
+            ),
+            DlRule::new(
+                DlAtom::new("Q", vec![v("x")]),
+                vec![(true, DlAtom::new("R", vec![v("x")]))],
+            ),
+            DlRule::new(
+                DlAtom::new("Q", vec![v("x")]),
+                vec![(true, DlAtom::new("P", vec![v("x")]))],
+            ),
+        ]);
+        let plan = maintenance_plan(&prog);
+        let strata = plan.strata().unwrap();
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0].plan, StratumPlan::DRed);
+        assert_eq!(strata[0].preds.len(), 2);
+        assert_eq!(strata[0].rules, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unstratifiable_routes_to_recompute() {
+        // P(x) ← E(x), ¬P(x): negation through recursion
+        let prog = DatalogProgram::new(vec![DlRule::new(
+            DlAtom::new("P", vec![v("x")]),
+            vec![
+                (true, DlAtom::new("E", vec![v("x")])),
+                (false, DlAtom::new("P", vec![v("x")])),
+            ],
+        )]);
+        assert!(matches!(maintenance_plan(&prog), MaintPlan::Recompute(_)));
+    }
+}

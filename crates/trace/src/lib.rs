@@ -145,6 +145,40 @@ pub enum TraceEvent {
         /// Total wall time in microseconds.
         wall_micros: u64,
     },
+    /// A maintenance session (`uset-ivm`) finished applying one EDB delta
+    /// batch: the batch size in, the materialized-state churn out.
+    DeltaApplied {
+        /// Engine label (`"ivm"`).
+        engine: String,
+        /// 1-based batch number within the session.
+        batch: u64,
+        /// EDB rows inserted by the batch (after normalization).
+        inserted: u64,
+        /// EDB rows retracted by the batch (after normalization).
+        retracted: u64,
+        /// IDB facts the maintenance pass added.
+        idb_added: u64,
+        /// IDB facts the maintenance pass removed.
+        idb_removed: u64,
+        /// True when the batch was absorbed by full recomputation
+        /// instead of incremental maintenance (unsupported shape).
+        fallback: bool,
+    },
+    /// One recursive stratum finished a delete-and-rederive pass: how
+    /// far the over-deletion reached and how much of it survived.
+    Rederived {
+        /// Engine label (`"ivm"`).
+        engine: String,
+        /// Stratum index the pass maintained.
+        stratum: usize,
+        /// Facts the over-deletion phase removed.
+        overdeleted: u64,
+        /// Facts found to still have a derivation from the new state.
+        rederived: u64,
+        /// Facts re-inserted by the insertion phase (rederived facts
+        /// plus genuinely new consequences of the batch).
+        reinserted: u64,
+    },
 }
 
 impl TraceEvent {
@@ -158,7 +192,9 @@ impl TraceEvent {
             | TraceEvent::Derivation { engine, .. }
             | TraceEvent::Resume { engine, .. }
             | TraceEvent::GuardTrip { engine, .. }
-            | TraceEvent::EngineEnd { engine, .. } => engine,
+            | TraceEvent::EngineEnd { engine, .. }
+            | TraceEvent::DeltaApplied { engine, .. }
+            | TraceEvent::Rederived { engine, .. } => engine,
         }
     }
 
@@ -173,6 +209,8 @@ impl TraceEvent {
             TraceEvent::Resume { .. } => "resume",
             TraceEvent::GuardTrip { .. } => "guard_trip",
             TraceEvent::EngineEnd { .. } => "engine_end",
+            TraceEvent::DeltaApplied { .. } => "delta_applied",
+            TraceEvent::Rederived { .. } => "rederived",
         }
     }
 
@@ -249,6 +287,30 @@ impl TraceEvent {
                 ..
             } => {
                 s.push_str(&format!(",\"rounds\":{rounds},\"wall_us\":{wall_micros}"));
+            }
+            TraceEvent::DeltaApplied {
+                batch,
+                inserted,
+                retracted,
+                idb_added,
+                idb_removed,
+                fallback,
+                ..
+            } => {
+                s.push_str(&format!(
+                    ",\"batch\":{batch},\"inserted\":{inserted},\"retracted\":{retracted},\"idb_added\":{idb_added},\"idb_removed\":{idb_removed},\"fallback\":{fallback}"
+                ));
+            }
+            TraceEvent::Rederived {
+                stratum,
+                overdeleted,
+                rederived,
+                reinserted,
+                ..
+            } => {
+                s.push_str(&format!(
+                    ",\"stratum\":{stratum},\"overdeleted\":{overdeleted},\"rederived\":{rederived},\"reinserted\":{reinserted}"
+                ));
             }
         }
         s.push('}');
@@ -1051,6 +1113,22 @@ mod tests {
                 engine: "algebra".into(),
                 rounds: 7,
                 wall_micros: 1000,
+            },
+            TraceEvent::DeltaApplied {
+                engine: "ivm".into(),
+                batch: 3,
+                inserted: 2,
+                retracted: 1,
+                idb_added: 5,
+                idb_removed: 4,
+                fallback: false,
+            },
+            TraceEvent::Rederived {
+                engine: "ivm".into(),
+                stratum: 1,
+                overdeleted: 12,
+                rederived: 9,
+                reinserted: 10,
             },
         ];
         for ev in &events {

@@ -37,6 +37,11 @@
 //!   ([`ckpt::Spec`], [`ckpt::Session`]) behind the governor's
 //!   `USET_CKPT` knob; an interrupted governed run resumes from its last
 //!   durable round bit-identically to the uninterrupted run.
+//! * [`ivm`] — incremental view maintenance ([`ivm::MaterializedSession`],
+//!   [`ivm::DeltaBatch`]): long-lived materialized DATALOG¬/COL fixpoints
+//!   that absorb EDB insertions *and retractions* by counting and
+//!   delete-and-rederive instead of from-scratch recomputation, behind
+//!   the `USET_IVM` knob.
 
 pub use uset_algebra as algebra;
 pub use uset_analysis as analysis;
@@ -47,6 +52,7 @@ pub use uset_core as core;
 pub use uset_deductive as deductive;
 pub use uset_gtm as gtm;
 pub use uset_guard as guard;
+pub use uset_ivm as ivm;
 pub use uset_object as object;
 pub use uset_opt as opt;
 pub use uset_par as par;
