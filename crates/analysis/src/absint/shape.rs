@@ -17,6 +17,7 @@ use super::{Ctx, SymbolKind, WIDEN_AFTER};
 use crate::passes::col::binding_vars;
 use std::collections::{BTreeMap, BTreeSet};
 use uset_deductive::{ColHead, ColLiteral, ColRule, ColTerm};
+use uset_object::intern;
 
 /// Abstract tuple arity of a symbol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -242,9 +243,15 @@ fn db_height(ctx: &Ctx<'_>, sym: &str) -> Option<Height> {
     let inst = ctx.db?.get_ref(sym)?;
     let mut out = Height::Bot;
     for row in inst.iter() {
+        // the per-row depth query is the U031 lint's hot loop: with the
+        // pool on it reads cached node metadata instead of re-walking
         let d = match row.as_tuple() {
-            Some(items) => items.iter().map(|v| v.set_depth()).max().unwrap_or(0),
-            None => row.set_depth(),
+            Some(items) => items
+                .iter()
+                .map(intern::fast_set_depth)
+                .max()
+                .unwrap_or(0),
+            None => intern::fast_set_depth(row),
         };
         out = out.join(Height::AtMost(d.min(u32::MAX as usize) as u32));
     }
@@ -320,7 +327,9 @@ fn apply_rule(
         ) -> Height {
             match t {
                 ColTerm::Var(v) => var_bound.get(v).copied().unwrap_or(Height::Unbounded),
-                ColTerm::Const(c) => Height::AtMost(c.set_depth().min(u32::MAX as usize) as u32),
+                ColTerm::Const(c) => {
+                    Height::AtMost(intern::fast_set_depth(c).min(u32::MAX as usize) as u32)
+                }
                 ColTerm::Tuple(ts) => ts
                     .iter()
                     .map(|t| go(t, var_bound, src))

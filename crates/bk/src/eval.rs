@@ -660,7 +660,11 @@ pub fn eval_rounds_with(
                         let fact = rule.head.instantiate(&b);
                         stats.tuples_derived += 1;
                         let extent = state.entry(rule.head_pred.clone()).or_default();
-                        if extent.insert(fact.clone()) {
+                        // probe before cloning: re-derivations (the common
+                        // case once the fixpoint nears) pay one lookup and
+                        // no deep copy of the fact
+                        if !extent.contains(&fact) {
+                            extent.insert(fact.clone());
                             guard.add_fact()?;
                             *changed = true;
                             if ctx.enabled() {
@@ -757,7 +761,9 @@ pub fn eval_rounds_with(
                     let fact = rule.head.instantiate(&b);
                     stats.tuples_derived += 1;
                     let extent = state.entry(rule.head_pred.clone()).or_default();
-                    if extent.insert(fact.clone()) {
+                    // probe before cloning, as in the parallel merge above
+                    if !extent.contains(&fact) {
+                        extent.insert(fact.clone());
                         guard.add_fact()?;
                         *changed = true;
                         if ctx.enabled() {

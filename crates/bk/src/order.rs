@@ -58,7 +58,19 @@ pub fn lub(a: &BkObject, b: &BkObject) -> BkObject {
             }
             BkObject::Tuple(out)
         }
-        (BkObject::Set(sa), BkObject::Set(sb)) => BkObject::Set(sa.union(sb).cloned().collect()),
+        (BkObject::Set(sa), BkObject::Set(sb)) => {
+            // merge into a clone of the larger side instead of collecting
+            // both into a fresh set: tree-insert work is proportional to
+            // the smaller operand (the BK analog of `Value::union_into`)
+            let (big, small) = if sa.len() >= sb.len() {
+                (sa, sb)
+            } else {
+                (sb, sa)
+            };
+            let mut out = big.clone();
+            out.extend(small.iter().cloned());
+            BkObject::Set(out)
+        }
         _ => BkObject::Top,
     }
 }

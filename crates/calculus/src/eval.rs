@@ -10,9 +10,11 @@
 //! documented substitution for the provably non-computable full semantics.
 
 use crate::ast::{CalcQuery, CalcTerm, Formula};
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
 use uset_object::cons::{cons_obj_bounded, cons_type_par};
-use uset_object::{Atom, Database, Instance, ObjectError, RType, Value};
+use uset_object::{intern, Atom, Database, Instance, ObjectError, RType, Value};
 
 /// Evaluation bounds.
 #[derive(Clone, Copy, Debug)]
@@ -113,25 +115,66 @@ fn describe(e: ObjectError) -> CalcError {
     CalcError::DomainTooLarge(e.to_string())
 }
 
-type Bindings = HashMap<String, Value>;
+/// Quantifier loops rebind the same variable once per (often deeply
+/// nested) domain element; holding `Rc<Value>` makes each rebind a
+/// pointer bump instead of a deep tree clone.
+type Bindings = HashMap<String, Rc<Value>>;
 
-fn eval_term(t: &CalcTerm, b: &Bindings) -> Result<Value, CalcError> {
+/// Per-evaluation memo of quantifier domains, keyed by annotation rtype.
+/// Within one [`eval_query_over`] the atom universe is fixed, so a
+/// quantifier nested under `k` enclosing binding loops re-enumerates the
+/// *identical* (often exponential) constructive domain once per
+/// enclosing combination — the memo collapses that to once per rtype.
+/// Active only while the `USET_INTERN` layer is on, so the knob cleanly
+/// isolates every representation/caching change; with it off the
+/// pre-caching enumeration behavior is preserved exactly.
+#[derive(Default)]
+struct DomainCache {
+    domains: HashMap<RType, Rc<Vec<Rc<Value>>>>,
+}
+
+impl DomainCache {
+    /// The quantifier domain for `ty`, memoized when interning is on.
+    fn domain(
+        &mut self,
+        ty: &RType,
+        atoms: &BTreeSet<Atom>,
+        config: &CalcConfig,
+    ) -> Result<Rc<Vec<Rc<Value>>>, CalcError> {
+        let wrap = |vs: Vec<Value>| Rc::new(vs.into_iter().map(Rc::new).collect());
+        if !intern::enabled() {
+            return Ok(wrap(enumerate_rtype(ty, atoms, config)?));
+        }
+        if let Some(d) = self.domains.get(ty) {
+            return Ok(Rc::clone(d));
+        }
+        let d = wrap(enumerate_rtype(ty, atoms, config)?);
+        self.domains.insert(ty.clone(), Rc::clone(&d));
+        Ok(d)
+    }
+}
+
+/// Evaluate a term to a value, borrowing when the term is a variable or
+/// constant — the atomic formulas only need `&Value` to compare or
+/// probe, so a `Var` probe must not re-materialize the (possibly huge)
+/// bound object. Only constructed terms allocate.
+fn eval_term<'a>(t: &'a CalcTerm, b: &'a Bindings) -> Result<Cow<'a, Value>, CalcError> {
     match t {
         CalcTerm::Var(v) => b
             .get(v)
-            .cloned()
+            .map(|rc| Cow::Borrowed(rc.as_ref()))
             .ok_or_else(|| CalcError::UnboundVariable(v.clone())),
-        CalcTerm::Const(c) => Ok(c.clone()),
-        CalcTerm::Tuple(ts) => Ok(Value::Tuple(
+        CalcTerm::Const(c) => Ok(Cow::Borrowed(c)),
+        CalcTerm::Tuple(ts) => Ok(Cow::Owned(Value::Tuple(
             ts.iter()
-                .map(|t| eval_term(t, b))
+                .map(|t| eval_term(t, b).map(Cow::into_owned))
                 .collect::<Result<_, _>>()?,
-        )),
-        CalcTerm::SetEnum(ts) => Ok(Value::Set(
+        ))),
+        CalcTerm::SetEnum(ts) => Ok(Cow::Owned(Value::Set(
             ts.iter()
-                .map(|t| eval_term(t, b))
+                .map(|t| eval_term(t, b).map(Cow::into_owned))
                 .collect::<Result<_, _>>()?,
-        )),
+        ))),
     }
 }
 
@@ -141,32 +184,33 @@ fn eval_formula(
     atoms: &BTreeSet<Atom>,
     b: &mut Bindings,
     config: &CalcConfig,
+    cache: &mut DomainCache,
 ) -> Result<bool, CalcError> {
     match f {
         Formula::Eq(x, y) => Ok(eval_term(x, b)? == eval_term(y, b)?),
         Formula::Member(x, y) => {
             let xv = eval_term(x, b)?;
             let yv = eval_term(y, b)?;
-            Ok(yv.as_set().is_some_and(|s| s.contains(&xv)))
+            Ok(yv.as_set().is_some_and(|s| s.contains(xv.as_ref())))
         }
         Formula::Pred(p, t) => {
             let v = eval_term(t, b)?;
-            Ok(db.get(p).contains(&v))
+            // borrow the relation — an absent one reads empty, exactly
+            // like the owning `get`, without cloning the instance per test
+            Ok(db.get_ref(p).is_some_and(|rel| rel.contains(v.as_ref())))
         }
-        Formula::And(x, y) => {
-            Ok(eval_formula(x, db, atoms, b, config)? && eval_formula(y, db, atoms, b, config)?)
-        }
-        Formula::Or(x, y) => {
-            Ok(eval_formula(x, db, atoms, b, config)? || eval_formula(y, db, atoms, b, config)?)
-        }
-        Formula::Not(g) => Ok(!eval_formula(g, db, atoms, b, config)?),
+        Formula::And(x, y) => Ok(eval_formula(x, db, atoms, b, config, cache)?
+            && eval_formula(y, db, atoms, b, config, cache)?),
+        Formula::Or(x, y) => Ok(eval_formula(x, db, atoms, b, config, cache)?
+            || eval_formula(y, db, atoms, b, config, cache)?),
+        Formula::Not(g) => Ok(!eval_formula(g, db, atoms, b, config, cache)?),
         Formula::Exists(x, ty, g) => {
-            let domain = enumerate_rtype(ty, atoms, config)?;
+            let domain = cache.domain(ty, atoms, config)?;
             let saved = b.get(x).cloned();
             let mut found = false;
-            for v in domain {
-                b.insert(x.clone(), v);
-                if eval_formula(g, db, atoms, b, config)? {
+            for v in domain.iter() {
+                b.insert(x.clone(), Rc::clone(v));
+                if eval_formula(g, db, atoms, b, config, cache)? {
                     found = true;
                     break;
                 }
@@ -175,12 +219,12 @@ fn eval_formula(
             Ok(found)
         }
         Formula::Forall(x, ty, g) => {
-            let domain = enumerate_rtype(ty, atoms, config)?;
+            let domain = cache.domain(ty, atoms, config)?;
             let saved = b.get(x).cloned();
             let mut all = true;
-            for v in domain {
-                b.insert(x.clone(), v);
-                if !eval_formula(g, db, atoms, b, config)? {
+            for v in domain.iter() {
+                b.insert(x.clone(), Rc::clone(v));
+                if !eval_formula(g, db, atoms, b, config, cache)? {
                     all = false;
                     break;
                 }
@@ -191,7 +235,7 @@ fn eval_formula(
     }
 }
 
-fn restore(b: &mut Bindings, x: &str, saved: Option<Value>) {
+fn restore(b: &mut Bindings, x: &str, saved: Option<Rc<Value>>) {
     match saved {
         Some(v) => {
             b.insert(x.to_owned(), v);
@@ -222,10 +266,16 @@ pub fn eval_query_over(
     let candidates = enumerate_rtype(&q.ty, atoms, config)?;
     let mut out = Instance::empty();
     let mut b = Bindings::new();
+    let mut cache = DomainCache::default();
     for v in candidates {
-        b.insert(q.var.clone(), v.clone());
-        if eval_formula(&q.formula, db, atoms, &mut b, config)? {
-            out.insert(v);
+        let rc = Rc::new(v);
+        b.insert(q.var.clone(), Rc::clone(&rc));
+        let pass = eval_formula(&q.formula, db, atoms, &mut b, config, &mut cache)?;
+        // drop the binding before unwrapping: quantifier save/restore
+        // keeps `b` balanced, so `rc` is the sole owner again here
+        b.remove(&q.var);
+        if pass {
+            out.insert(Rc::try_unwrap(rc).expect("candidate binding released"));
         }
     }
     Ok(out)

@@ -27,7 +27,7 @@ use uset_guard::trace::span::{engine_end, engine_start};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{EngineId, Governor, Guard, Trip};
 use uset_object::flatten::Inventor;
-use uset_object::{Atom, Database, EvalStats, Instance};
+use uset_object::{intern, Atom, Database, EvalStats, Instance};
 use uset_par::try_par_map;
 
 /// Engine label carried by every invention trace event. Rounds are
@@ -133,10 +133,12 @@ pub fn eval_with_invention(
     eval_query_over(q, db, &atoms, config)
 }
 
-/// Delete objects containing invented values (the `Q|_i` step).
+/// Delete objects containing invented values (the `Q|_i` step). With the
+/// pool enabled the per-object test reads the cached `invented` bit off
+/// the interned node instead of materializing `adom()`.
 pub fn strip_invented(inst: &Instance) -> Instance {
     inst.iter()
-        .filter(|v| !v.adom().iter().any(|a| Inventor::is_invented(*a)))
+        .filter(|v| !intern::fast_has_invented(v))
         .cloned()
         .collect()
 }
@@ -206,7 +208,7 @@ pub fn eval_fi_governed(
             let raw = raw?;
             stats.tuples_derived += raw.len() as u64;
             let before = out.len();
-            out = out.union(&strip_invented(&raw));
+            out.absorb(strip_invented(&raw));
             let added = (out.len() - before) as u64;
             let facts = out.len() as u64;
             if let Err(trip) = guard.check_value(out.len(), None) {
@@ -369,9 +371,7 @@ pub fn eval_terminal_governed(
                 value_hwm,
                 wall_micros: round_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
             });
-            let has_invented = raw
-                .iter()
-                .any(|v| v.adom().iter().any(|a| Inventor::is_invented(*a)));
+            let has_invented = raw.iter().any(intern::fast_has_invented);
             if has_invented {
                 engine_end(ENGINE, &trace, guard.steps(), run_start);
                 if let Some(sess) = session.as_mut() {

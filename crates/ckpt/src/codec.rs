@@ -21,8 +21,26 @@
 //! the states they encode, and fixed widths keep torn-record detection
 //! trivial.
 
-use std::collections::{BTreeMap, BTreeSet};
-use uset_object::{Atom, Database, EvalStats, Instance, Value};
+//! **Structural sharing** (PR 10): when the `USET_INTERN` layer is on,
+//! an encoder deduplicates repeated subtrees — the first occurrence of a
+//! large node (structural size ≥ [`SHARE_MIN_SIZE`]) is written in full
+//! and assigned the next *post-order sequence number*; later occurrences
+//! write tag 3 + that number. The numbering depends only on structural
+//! content and encode order (pool ids are **never** written), so the
+//! bytes stay deterministic across processes and parallel widths.
+//! Decoders always accept tag 3 regardless of the knob, so payloads are
+//! knob-portable; with the knob off an encoder emits exactly the
+//! pre-sharing byte stream.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use uset_object::intern::{self, FxBuildHasher};
+use uset_object::{Atom, Database, EvalStats, Instance, ObjRef, Pool, Value};
+
+/// Minimum structural size ([`Value::size`]) for a subtree to join the
+/// sharing table. Small nodes (atoms, short flat tuples) cost more to
+/// track than a backref saves, and keeping the table sparse bounds the
+/// decoder's bookkeeping.
+const SHARE_MIN_SIZE: u64 = 8;
 
 /// A decoding failure: offset and a static description of what was
 /// expected. The byte offset points at the first unreadable position.
@@ -47,9 +65,23 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Byte-appending encoder. All `put_*` methods are infallible.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Enc {
     buf: Vec<u8>,
+    /// Subtree-sharing table, present iff interning was on when this
+    /// encoder was created (snapshotted once so a mid-encode knob flip
+    /// cannot produce a mixed stream). Maps pool id → post-order
+    /// sequence number of the node's first occurrence in this stream.
+    share: Option<HashMap<ObjRef, u64, FxBuildHasher>>,
+}
+
+impl Default for Enc {
+    fn default() -> Enc {
+        Enc {
+            buf: Vec::new(),
+            share: intern::enabled().then(HashMap::default),
+        }
+    }
 }
 
 impl Enc {
@@ -114,8 +146,18 @@ impl Enc {
         }
     }
 
-    /// A [`Value`] tree.
+    /// A [`Value`] tree (a DAG on the wire when sharing is on).
     pub fn put_value(&mut self, v: &Value) {
+        if self.share.is_some() {
+            self.put_value_shared(v);
+        } else {
+            self.put_value_plain(v);
+        }
+    }
+
+    /// The pre-sharing encoding: a pure tree walk, byte-for-byte the
+    /// `USET_INTERN=off` stream.
+    fn put_value_plain(&mut self, v: &Value) {
         match v {
             Value::Atom(a) => {
                 self.put_u8(0);
@@ -125,16 +167,61 @@ impl Enc {
                 self.put_u8(1);
                 self.put_usize(items.len());
                 for item in items {
-                    self.put_value(item);
+                    self.put_value_plain(item);
                 }
             }
             Value::Set(items) => {
                 self.put_u8(2);
                 self.put_usize(items.len());
                 for item in items {
-                    self.put_value(item);
+                    self.put_value_plain(item);
                 }
             }
+        }
+    }
+
+    /// Sharing encoding: each distinct subtree of size ≥
+    /// [`SHARE_MIN_SIZE`] is written once; repeats become tag-3
+    /// backrefs to its post-order sequence number.
+    fn put_value_shared(&mut self, v: &Value) {
+        let pool = Pool::global();
+        let id = pool.intern(v);
+        let shareable = pool.meta(id).size >= SHARE_MIN_SIZE;
+        if shareable {
+            let table = self.share.as_ref().expect("shared path implies table");
+            if let Some(&seq) = table.get(&id) {
+                self.put_u8(3);
+                self.put_u64(seq);
+                return;
+            }
+        }
+        match v {
+            Value::Atom(a) => {
+                self.put_u8(0);
+                self.put_atom(*a);
+            }
+            Value::Tuple(items) => {
+                self.put_u8(1);
+                self.put_usize(items.len());
+                for item in items {
+                    self.put_value_shared(item);
+                }
+            }
+            Value::Set(items) => {
+                self.put_u8(2);
+                self.put_usize(items.len());
+                for item in items {
+                    self.put_value_shared(item);
+                }
+            }
+        }
+        if shareable {
+            // Post-order numbering: children (encoded just above) took
+            // earlier numbers, exactly mirroring the decoder, which can
+            // only record a node after constructing it.
+            let table = self.share.as_mut().expect("shared path implies table");
+            let seq = table.len() as u64;
+            table.insert(id, seq);
         }
     }
 
@@ -182,12 +269,21 @@ impl Enc {
 pub struct Dec<'a> {
     b: &'a [u8],
     i: usize,
+    /// Decoded subtrees of size ≥ [`SHARE_MIN_SIZE`] in post-order —
+    /// the mirror of the encoder's sharing table, maintained
+    /// unconditionally so any decoder accepts tag-3 backrefs no matter
+    /// which knob setting wrote the payload.
+    seen: Vec<Value>,
 }
 
 impl<'a> Dec<'a> {
     /// Decoder over `bytes`, positioned at the start.
     pub fn new(bytes: &'a [u8]) -> Dec<'a> {
-        Dec { b: bytes, i: 0 }
+        Dec {
+            b: bytes,
+            i: 0,
+            seen: Vec::new(),
+        }
     }
 
     /// Current read offset.
@@ -263,7 +359,16 @@ impl<'a> Dec<'a> {
         }
     }
 
-    /// A [`Value`] tree.
+    /// Record a constructed node in the sharing table iff the encoder
+    /// would have (same size criterion, same post-order) — keeping both
+    /// numberings aligned without any table data on the wire.
+    fn record_shared(&mut self, v: &Value) {
+        if v.size() as u64 >= SHARE_MIN_SIZE {
+            self.seen.push(v.clone());
+        }
+    }
+
+    /// A [`Value`] tree (or DAG via tag-3 backrefs).
     pub fn value(&mut self) -> Result<Value, CodecError> {
         match self.u8()? {
             0 => Ok(Value::Atom(self.atom()?)),
@@ -273,7 +378,9 @@ impl<'a> Dec<'a> {
                 for _ in 0..n {
                     items.push(self.value()?);
                 }
-                Ok(Value::Tuple(items))
+                let v = Value::Tuple(items);
+                self.record_shared(&v);
+                Ok(v)
             }
             2 => {
                 let n = self.len_prefix()?;
@@ -281,7 +388,19 @@ impl<'a> Dec<'a> {
                 for _ in 0..n {
                     items.insert(self.value()?);
                 }
-                Ok(Value::Set(items))
+                let v = Value::Set(items);
+                self.record_shared(&v);
+                Ok(v)
+            }
+            3 => {
+                // A backref resolves to an already-decoded subtree; it
+                // is *not* re-recorded (the encoder inserts each node
+                // only once). An out-of-range number is corruption.
+                let seq = self.u64()?;
+                usize::try_from(seq)
+                    .ok()
+                    .and_then(|k| self.seen.get(k).cloned())
+                    .ok_or_else(|| self.err("backref"))
             }
             _ => Err(self.err("value tag")),
         }
@@ -321,7 +440,10 @@ impl<'a> Dec<'a> {
         Ok(m)
     }
 
-    /// [`EvalStats`] work counters.
+    /// [`EvalStats`] work counters. Only the six work counters are
+    /// persisted: the advisory `intern_*` attribution legitimately
+    /// differs between a killed and a resumed process (the pool
+    /// re-warms), so a resumed run reconstructs it as zero.
     pub fn stats(&mut self) -> Result<EvalStats, CodecError> {
         Ok(EvalStats {
             rounds: self.u64()?,
@@ -330,6 +452,7 @@ impl<'a> Dec<'a> {
             index_probes: self.u64()?,
             scan_fallbacks: self.u64()?,
             peak_facts: usize::try_from(self.u64()?).map_err(|_| self.err("peak_facts"))?,
+            ..EvalStats::default()
         })
     }
 }
@@ -491,6 +614,7 @@ mod tests {
             index_probes: 4,
             scan_fallbacks: 5,
             peak_facts: 6,
+            ..EvalStats::default()
         };
         let mut e = Enc::new();
         e.put_stats(&s);
@@ -524,5 +648,102 @@ mod tests {
         e.put_u64(u64::MAX);
         let bytes = e.finish();
         assert!(Dec::new(&bytes).len_prefix().is_err());
+    }
+
+    /// A value whose subtrees repeat (the powerset shape): the shared
+    /// encoding must be smaller than the plain one, decode to the same
+    /// value through either knob, and the plain stream must be
+    /// byte-identical to the pre-sharing format.
+    #[test]
+    fn shared_encoding_roundtrips_and_dedups() {
+        use uset_object::{set, tuple};
+        let big = tuple([
+            atom(1),
+            atom(2),
+            atom(3),
+            atom(4),
+            set([atom(5), atom(6), atom(7)]),
+        ]);
+        // the same big subtree appears three times
+        let v = Value::Set(
+            [
+                tuple([atom(0), big.clone()]),
+                tuple([atom(9), big.clone()]),
+                big.clone(),
+            ]
+            .into_iter()
+            .collect(),
+        );
+
+        let was = uset_object::intern::enabled();
+        uset_object::intern::set_enabled(false);
+        let mut plain = Enc::new();
+        plain.put_value(&v);
+        let plain_bytes = plain.finish();
+
+        uset_object::intern::set_enabled(true);
+        let mut shared = Enc::new();
+        shared.put_value(&v);
+        let shared_bytes = shared.finish();
+        uset_object::intern::set_enabled(was);
+
+        assert!(
+            shared_bytes.len() < plain_bytes.len(),
+            "sharing must shrink a repeat-heavy payload ({} vs {})",
+            shared_bytes.len(),
+            plain_bytes.len()
+        );
+        // both streams decode to the same value, with any decoder
+        let mut d1 = Dec::new(&plain_bytes);
+        assert_eq!(d1.value().unwrap(), v);
+        assert!(d1.done());
+        let mut d2 = Dec::new(&shared_bytes);
+        assert_eq!(d2.value().unwrap(), v);
+        assert!(d2.done());
+    }
+
+    /// A backref pointing past the table (corruption) fails closed.
+    #[test]
+    fn decoder_rejects_dangling_backref() {
+        let mut e = Enc::new();
+        e.put_u8(3);
+        e.put_u64(0); // nothing recorded yet: dangling
+        let bytes = e.finish();
+        assert!(Dec::new(&bytes).value().is_err());
+    }
+
+    /// Instances and databases dedup across members/relations too (one
+    /// shared table per encoder, not per value).
+    #[test]
+    fn shared_encoding_spans_containers() {
+        use uset_object::set;
+        let member = set([
+            atom(1),
+            atom(2),
+            atom(3),
+            atom(4),
+            atom(5),
+            atom(6),
+            atom(7),
+        ]);
+        let inst = Instance::from_values([
+            Value::Tuple(vec![atom(1), member.clone()]),
+            Value::Tuple(vec![atom(2), member.clone()]),
+            Value::Tuple(vec![atom(3), member.clone()]),
+        ]);
+        let was = uset_object::intern::enabled();
+        uset_object::intern::set_enabled(true);
+        let mut e = Enc::new();
+        e.put_instance(&inst);
+        let bytes = e.finish();
+        uset_object::intern::set_enabled(false);
+        let mut plain = Enc::new();
+        plain.put_instance(&inst);
+        let plain_bytes = plain.finish();
+        uset_object::intern::set_enabled(was);
+        assert!(bytes.len() < plain_bytes.len());
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.instance().unwrap(), inst);
+        assert!(d.done());
     }
 }

@@ -831,6 +831,7 @@ mod tests {
                 index_probes: 0,
                 scan_fallbacks: 0,
                 peak_facts: payload.len(),
+                ..EvalStats::default()
             },
             steps: round,
             facts: round * 10,

@@ -402,7 +402,7 @@ pub fn run_compiled_ordered(
 /// The harness-level `PERMS` construction: run the compiled program under
 /// *every* enumeration order and require agreement. Factorial cost — small
 /// inputs only.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::result_large_err)]
 pub fn run_compiled_all_orders(
     m: &Gtm,
     db: &Database,

@@ -43,7 +43,7 @@ use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, ParBrake, Resource, Trip};
-use uset_object::{Database, EvalStats, IndexSet, Instance, Value};
+use uset_object::{intern, Database, EvalStats, IndexSet, Instance, Pool, Value};
 use uset_par::{shard_of, try_par_map};
 
 /// Evaluation state: predicate extents and data-function graphs.
@@ -324,6 +324,20 @@ fn match_pred_row(
     Ok(())
 }
 
+/// Probe `[ground…] ∈ rel` for a negated n-ary literal without
+/// materializing the probe tuple: with the pool on and the relation's id
+/// sidecar current, the ground argument values intern to an [`ObjRef`]
+/// and membership is a hash-set lookup. `None` means a fast-path
+/// precondition failed and the caller must build the tuple.
+///
+/// [`ObjRef`]: uset_object::ObjRef
+fn negated_tuple_probe(rel: &Instance, ground: &[Value]) -> Option<bool> {
+    if !intern::enabled() {
+        return None;
+    }
+    rel.contains_ref(Pool::global().intern_tuple_slice(ground))
+}
+
 /// Per-round delta: facts newly inserted in the previous round.
 #[derive(Debug, Default)]
 struct ColDelta {
@@ -421,16 +435,22 @@ fn extend(
                 }
             } else {
                 for b in bindings {
-                    let mut ground: Vec<Value> = args
+                    let ground: Vec<Value> = args
                         .iter()
                         .map(|t| eval_term(t, &b, state))
                         .collect::<Result<_, _>>()?;
-                    let row = if ground.len() == 1 {
-                        ground.remove(0)
+                    let present = if ground.len() == 1 {
+                        rel.contains(&ground[0])
                     } else {
-                        Value::Tuple(ground)
+                        // with the pool on and the relation's id sidecar
+                        // current, probe by ObjRef instead of building
+                        // the tuple just to hash it and throw it away
+                        match negated_tuple_probe(rel, &ground) {
+                            Some(hit) => hit,
+                            None => rel.contains(&Value::Tuple(ground)),
+                        }
                     };
-                    if !rel.contains(&row) {
+                    if !present {
                         out.push(b);
                     }
                 }
@@ -1593,6 +1613,7 @@ pub fn stratified_governed(
     let strata = stratify(prog).map_err(|e| ColEvalError::NotStratifiable(e.cycle_path()))?;
     let max = strata.values().copied().max().unwrap_or(0);
     let mut guard = governor.guard(EngineId::Col);
+    let pool_t0 = Pool::global().stats();
     let run_start = engine_start(ENGINE, &governor.trace);
     let (mut session, resume) = col_open_ckpt(&mut guard, stats, "stratified", strategy, prog, db);
     let (mut state, start, mut mid) = match resume {
@@ -1623,6 +1644,7 @@ pub fn stratified_governed(
         )?;
     }
     engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+    stats.note_intern(&Pool::global().stats().delta_since(&pool_t0));
     if let Some(sess) = session.as_mut() {
         sess.finish();
     }
@@ -1692,6 +1714,7 @@ pub fn inflationary_governed(
 ) -> Result<ColState, ColEvalError> {
     let rules: Vec<(usize, &ColRule)> = prog.rules.iter().enumerate().collect();
     let mut guard = governor.guard(EngineId::Col);
+    let pool_t0 = Pool::global().stats();
     let run_start = engine_start(ENGINE, &governor.trace);
     let (mut session, resume) =
         col_open_ckpt(&mut guard, stats, "inflationary", strategy, prog, db);
@@ -1719,6 +1742,7 @@ pub fn inflationary_governed(
         )?;
     }
     engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+    stats.note_intern(&Pool::global().stats().delta_since(&pool_t0));
     if let Some(sess) = session.as_mut() {
         sess.finish();
     }

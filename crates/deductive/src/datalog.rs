@@ -15,12 +15,15 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::rc::Rc;
 use std::time::Instant;
 use uset_guard::ckpt;
 use uset_guard::trace::span::{engine_end, engine_start, RuleFirings};
 use uset_guard::trace::TraceEvent;
 use uset_guard::{Budget, EngineId, Exhausted, Governor, Guard, ParBrake, Trip};
-use uset_object::{ColumnIndex, Database, EvalStats, IndexSet, Instance, Value};
+use uset_object::{
+    intern, ColumnIndex, Database, EvalStats, IndexSet, Instance, ObjRef, Pool, Value,
+};
 use uset_par::{shard_by_hash, try_par_map};
 
 /// A term: a variable or a constant atom value.
@@ -293,6 +296,7 @@ impl DatalogProgram {
         let strata = self.stratify()?;
         let max = strata.values().copied().max().unwrap_or(0);
         let mut guard = governor.guard(EngineId::Datalog);
+        let pool_t0 = Pool::global().stats();
         let run_start = engine_start(ENGINE, &governor.trace);
         let (mut session, resume) = dl_open_ckpt(&mut guard, stats, "stratified", &self.rules, db);
         let (mut state, start) = match resume {
@@ -309,6 +313,7 @@ impl DatalogProgram {
             least_fixpoint(&rules, &mut state, &mut guard, stats, &mut session, s)?;
         }
         engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+        stats.note_intern(&Pool::global().stats().delta_since(&pool_t0));
         if let Some(sess) = session.as_mut() {
             sess.finish();
         }
@@ -341,6 +346,7 @@ impl DatalogProgram {
         self.check_safety()?;
         let rules: Vec<(usize, &DlRule)> = self.rules.iter().enumerate().collect();
         let mut guard = governor.guard(EngineId::Datalog);
+        let pool_t0 = Pool::global().stats();
         let run_start = engine_start(ENGINE, &governor.trace);
         let (mut session, resume) =
             dl_open_ckpt(&mut guard, stats, "inflationary", &self.rules, db);
@@ -354,6 +360,7 @@ impl DatalogProgram {
             least_fixpoint(&rules, &mut state, &mut guard, stats, &mut session, 0)?;
         }
         engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+        stats.note_intern(&Pool::global().stats().delta_since(&pool_t0));
         if let Some(sess) = session.as_mut() {
             sess.finish();
         }
@@ -392,6 +399,7 @@ impl DatalogProgram {
         let strata = self.stratify()?;
         let max = strata.values().copied().max().unwrap_or(0);
         let mut guard = governor.guard(EngineId::Datalog);
+        let pool_t0 = Pool::global().stats();
         let run_start = engine_start(ENGINE, &governor.trace);
         let (mut session, resume) = dl_open_ckpt(&mut guard, stats, "seminaive", &self.rules, db);
         let (mut state, start, mut mid) = match resume {
@@ -419,6 +427,7 @@ impl DatalogProgram {
             )?;
         }
         engine_end(ENGINE, &governor.trace, guard.steps(), run_start);
+        stats.note_intern(&Pool::global().stats().delta_since(&pool_t0));
         if let Some(sess) = session.as_mut() {
             sess.finish();
         }
@@ -836,7 +845,7 @@ fn seminaive_fixpoint(
 
 /// The instantiated positive body facts of one firing — the parents of
 /// every head fact the binding derives.
-fn parent_facts(rule: &DlRule, b: &HashMap<String, Value>) -> Result<Vec<String>, DlError> {
+fn parent_facts(rule: &DlRule, b: &DlBindings) -> Result<Vec<String>, DlError> {
     let mut out = Vec::new();
     for lit in rule.body.iter().filter(|l| l.positive) {
         let row: Vec<Value> = lit
@@ -953,7 +962,11 @@ fn fire_rule_core(
             return Ok(());
         }
     }
+    let head_rel = state.get_ref(&rule.head.pred);
     for b in &bindings {
+        if settled_dup_probe(&rule.head, b, head_rel) {
+            continue;
+        }
         let row: Vec<Value> = rule
             .head
             .args
@@ -973,6 +986,38 @@ fn fire_rule_core(
         });
     }
     Ok(())
+}
+
+/// A head fact already present in the settled state has no observable
+/// effect downstream: the apply loop's `insert_row` returns false and
+/// takes no branch — no fact count, no guard charge, no trace or
+/// provenance event. When the pool is on and the head relation's id
+/// sidecar can answer membership, detect that case from the *borrowed*
+/// binding values and skip materializing the row (and its provenance)
+/// entirely — in a saturating fixpoint most firings re-derive settled
+/// facts, and building each as a fresh tuple tree dominated the round.
+/// The state only grows between firing and apply, so a hit here is
+/// always a genuine duplicate; within-round duplicates still materialize
+/// and are deduplicated by `insert_row` exactly as before. An unbound
+/// head variable falls through so the materializing path raises the
+/// same safety error it always did.
+fn settled_dup_probe(head: &DlAtom, b: &DlBindings, rel: Option<&Instance>) -> bool {
+    if !intern::enabled() {
+        return false;
+    }
+    let Some(rel) = rel else { return false };
+    let mut refs: Vec<ObjRef> = Vec::with_capacity(head.args.len());
+    for t in &head.args {
+        match t {
+            DlTerm::Var(v) => match b.get(v) {
+                Some(val) => refs.push(val.obj_ref()),
+                None => return false,
+            },
+            DlTerm::Const(c) => refs.push(Pool::global().intern(c)),
+        }
+    }
+    rel.contains_ref(Pool::global().tuple_of(&refs))
+        .unwrap_or(false)
 }
 
 /// Sequential firing: one call = one recorded firing, indexes built on
@@ -1355,16 +1400,67 @@ fn least_fixpoint(
     }
 }
 
+/// A join binding's value: the tree-form value plus a lazily computed
+/// canonical pool id. The row cache hands the *same* `Rc` to every
+/// binding one row element extends, so the id is computed at most once
+/// per distinct element per join loop — a saturating fixpoint that
+/// dup-probes the same element thousands of times pays one deep hash
+/// instead of one per probe. The cell is only filled when the pool knob
+/// is on; plain runs never touch it.
+#[derive(Debug)]
+pub struct BoundVal {
+    v: Value,
+    r: std::cell::OnceCell<ObjRef>,
+}
+
+// the cached id is derived state: equality is equality of the values
+impl PartialEq for BoundVal {
+    fn eq(&self, other: &Self) -> bool {
+        self.v == other.v
+    }
+}
+impl Eq for BoundVal {}
+
+impl BoundVal {
+    pub fn new(v: Value) -> Self {
+        Self {
+            v,
+            r: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// The tree-form value.
+    pub fn value(&self) -> &Value {
+        &self.v
+    }
+
+    /// The value's canonical pool id, interned on first use and cached
+    /// for every binding sharing this allocation.
+    pub fn obj_ref(&self) -> ObjRef {
+        *self.r.get_or_init(|| Pool::global().intern(&self.v))
+    }
+}
+
+/// A join binding: variable name → bound value. Values are `Rc`-shared
+/// so extending a binding through a literal (which clones the map once
+/// per matched row) copies pointers, not object trees — with deeply
+/// nested set values the per-candidate tree clones dominated the join.
+pub type DlBindings = HashMap<String, Rc<BoundVal>>;
+
 /// Ground one term under a binding, erroring (with the offending
 /// predicate for context) if a variable is unbound. Shared with the
 /// maintenance engine (`uset-ivm`), whose delta-rule firings must ground
 /// heads and negated literals exactly as the from-scratch engine does.
-pub fn instantiate(t: &DlTerm, b: &HashMap<String, Value>, pred: &str) -> Result<Value, DlError> {
+pub fn instantiate(t: &DlTerm, b: &DlBindings, pred: &str) -> Result<Value, DlError> {
     match t {
-        DlTerm::Var(v) => b.get(v).cloned().ok_or_else(|| DlError::UnboundAtFiring {
-            var: v.clone(),
-            pred: pred.to_owned(),
-        }),
+        DlTerm::Var(v) => {
+            b.get(v)
+                .map(|rc| rc.value().clone())
+                .ok_or_else(|| DlError::UnboundAtFiring {
+                    var: v.clone(),
+                    pred: pred.to_owned(),
+                })
+        }
         DlTerm::Const(c) => Ok(c.clone()),
     }
 }
@@ -1374,39 +1470,75 @@ pub fn instantiate(t: &DlTerm, b: &HashMap<String, Value>, pred: &str) -> Result
 /// is how the maintenance engine turns an over-deleted fact back into a
 /// query: bind the head against the fact, then re-evaluate the body
 /// under that partial binding to ask whether any derivation survives.
-pub fn head_binding(head: &DlAtom, row: &Value) -> Option<HashMap<String, Value>> {
+pub fn head_binding(head: &DlAtom, row: &Value) -> Option<DlBindings> {
     let mut out = Vec::new();
     match_row(&head.args, row, &HashMap::new(), &mut out);
     out.pop()
 }
 
+/// Per-join cache of `Rc`-wrapped row elements keyed by their address
+/// inside the borrowed relation, so a row element that extends many
+/// bindings is deep-cloned once instead of once per binding. Addresses
+/// are only stable while the relation borrow is alive: build a fresh
+/// cache per join loop and drop it with the borrow.
+pub type RowCache = HashMap<usize, Rc<BoundVal>>;
+
 /// Match one relation row against the literal's argument pattern, pushing
 /// the extended binding on success. Shared with the maintenance engine's
 /// delta-rule join loop.
-pub fn match_row(
+pub fn match_row(args: &[DlTerm], row: &Value, b: &DlBindings, out: &mut Vec<DlBindings>) {
+    let mut cache = RowCache::new();
+    match_row_cached(args, row, b, out, &mut cache);
+}
+
+/// [`match_row`] with a caller-held [`RowCache`] amortising the clone of
+/// row elements across the bindings of one join loop.
+pub fn match_row_cached(
     args: &[DlTerm],
     row: &Value,
-    b: &HashMap<String, Value>,
-    out: &mut Vec<HashMap<String, Value>>,
+    b: &DlBindings,
+    out: &mut Vec<DlBindings>,
+    cache: &mut RowCache,
 ) {
     let Some(items) = row.as_tuple() else { return };
     if items.len() != args.len() {
         return;
     }
-    let mut nb = b.clone();
-    let matched = args.iter().zip(items).all(|(t, v)| match t {
-        DlTerm::Var(name) => match nb.get(name) {
-            Some(bound) => bound == v,
-            None => {
-                nb.insert(name.clone(), v.clone());
-                true
+    // Reject on constants, already-bound variables, and inconsistent
+    // repeats of fresh variables *before* paying for the binding clone:
+    // in a selective join most candidate rows fail here, and cloning the
+    // whole binding map per candidate dominated the join cost.
+    let mut fresh: Vec<(&str, &Value)> = Vec::new();
+    for (t, v) in args.iter().zip(items) {
+        match t {
+            DlTerm::Var(name) => {
+                if let Some(bound) = b.get(name) {
+                    if bound.value() != v {
+                        return;
+                    }
+                } else if let Some((_, prev)) = fresh.iter().find(|(n, _)| *n == name.as_str()) {
+                    if *prev != v {
+                        return;
+                    }
+                } else {
+                    fresh.push((name, v));
+                }
             }
-        },
-        DlTerm::Const(c) => c == v,
-    });
-    if matched {
-        out.push(nb);
+            DlTerm::Const(c) => {
+                if c != v {
+                    return;
+                }
+            }
+        }
     }
+    let mut nb = b.clone();
+    for (name, v) in fresh {
+        let rc = cache
+            .entry(v as *const Value as usize)
+            .or_insert_with(|| Rc::new(BoundVal::new(v.clone())));
+        nb.insert(name.to_owned(), Rc::clone(rc));
+    }
+    out.push(nb);
 }
 
 /// Extend each binding through one literal evaluated against `rel`. When
@@ -1417,52 +1549,81 @@ pub fn match_row(
 fn extend_bindings(
     lit: &DlLiteral,
     probe_col: Option<usize>,
-    bindings: &[HashMap<String, Value>],
+    bindings: &[DlBindings],
     rel: &Instance,
     index: Option<&ColumnIndex>,
     stats: &mut EvalStats,
-) -> Result<Vec<HashMap<String, Value>>, DlError> {
+) -> Result<Vec<DlBindings>, DlError> {
     let mut out = Vec::new();
     if lit.positive {
+        let mut cache = RowCache::new();
         for b in bindings {
             let key: Option<&Value> = probe_col.and_then(|c| match &lit.atom.args[c] {
                 DlTerm::Const(cv) => Some(cv),
-                DlTerm::Var(v) => b.get(v),
+                DlTerm::Var(v) => b.get(v).map(|rc| rc.value()),
             });
             match (index, key) {
                 (Some(idx), Some(k)) => {
                     stats.index_probes += 1;
                     for row in idx.probe(k) {
-                        match_row(&lit.atom.args, row, b, &mut out);
+                        match_row_cached(&lit.atom.args, row, b, &mut out, &mut cache);
                     }
                 }
                 (None, Some(_)) => {
                     stats.scan_fallbacks += 1;
                     for row in rel.iter() {
-                        match_row(&lit.atom.args, row, b, &mut out);
+                        match_row_cached(&lit.atom.args, row, b, &mut out, &mut cache);
                     }
                 }
                 _ => {
                     for row in rel.iter() {
-                        match_row(&lit.atom.args, row, b, &mut out);
+                        match_row_cached(&lit.atom.args, row, b, &mut out, &mut cache);
                     }
                 }
             }
         }
     } else {
         for b in bindings {
-            let row: Vec<Value> = lit
-                .atom
-                .args
-                .iter()
-                .map(|t| instantiate(t, b, &lit.atom.pred))
-                .collect::<Result<_, _>>()?;
-            if !rel.contains(&Value::Tuple(row)) {
+            // Borrow the ground argument values; an unbound variable is
+            // the same safety error the materializing path raised.
+            let mut vals: Vec<&Value> = Vec::with_capacity(lit.atom.args.len());
+            for t in &lit.atom.args {
+                vals.push(match t {
+                    DlTerm::Var(v) => {
+                        b.get(v)
+                            .map(|rc| rc.value())
+                            .ok_or_else(|| DlError::UnboundAtFiring {
+                                var: v.clone(),
+                                pred: lit.atom.pred.clone(),
+                            })?
+                    }
+                    DlTerm::Const(c) => c,
+                });
+            }
+            let present = match negated_probe(rel, &vals) {
+                Some(hit) => hit,
+                None => rel.contains(&Value::Tuple(vals.iter().map(|&v| v.clone()).collect())),
+            };
+            if !present {
                 out.push(b.clone());
             }
         }
     }
     Ok(out)
+}
+
+/// Probe `[vals…] ∈ rel` for a negated literal without materializing the
+/// tuple: when the pool is on and the relation's id sidecar is current,
+/// the borrowed argument values intern straight to an [`ObjRef`] and
+/// membership is a hash-set lookup. `None` means a fast-path precondition
+/// failed and the caller must fall back to building the tuple.
+///
+/// [`ObjRef`]: uset_object::ObjRef
+fn negated_probe(rel: &Instance, vals: &[&Value]) -> Option<bool> {
+    if !intern::enabled() {
+        return None;
+    }
+    rel.contains_ref(Pool::global().intern_tuple_slice(vals.iter().copied()))
 }
 
 #[cfg(test)]
@@ -1497,6 +1658,48 @@ mod tests {
             Instance::from_rows((0..n - 1).map(|i| [atom(i), atom(i + 1)])),
         );
         db
+    }
+
+    #[test]
+    fn extend_bindings_counter_contract_is_knob_independent() {
+        // `scan_fallbacks` fires only when a probe column is ground but no
+        // index is usable (a `IndexAccess::Prebuilt` cache miss); the
+        // governed engines prebuild every probe column, so end-to-end runs
+        // keep it at 0. Pin the counting contract at the source instead:
+        // one index hit counts one probe, a ground column without an index
+        // counts one fallback, plain scans and negated membership probes
+        // count nothing — identically with the pool on and off, since the
+        // interned negated-probe path must be observationally invisible.
+        let rel = Instance::from_rows((0..8u64).map(|i| [atom(i), atom(i + 1)]));
+        let lit = DlLiteral {
+            positive: true,
+            atom: DlAtom::new("E", vec![DlTerm::Const(atom(3)), v("y")]),
+        };
+        let neg = DlLiteral {
+            positive: false,
+            atom: DlAtom::new("E", vec![DlTerm::Const(atom(3)), DlTerm::Const(atom(4))]),
+        };
+        let bindings = vec![HashMap::new()];
+        let idx = ColumnIndex::build_on(&rel, 0);
+
+        let mut runs = Vec::new();
+        for on in [true, false] {
+            intern::set_enabled(on);
+            let mut stats = EvalStats::default();
+            let hit =
+                extend_bindings(&lit, Some(0), &bindings, &rel, Some(&idx), &mut stats).unwrap();
+            let scan = extend_bindings(&lit, Some(0), &bindings, &rel, None, &mut stats).unwrap();
+            let plain = extend_bindings(&lit, None, &bindings, &rel, None, &mut stats).unwrap();
+            let negated = extend_bindings(&neg, None, &bindings, &rel, None, &mut stats).unwrap();
+            assert_eq!(stats.index_probes, 1, "one bucket probe (knob={on})");
+            assert_eq!(stats.scan_fallbacks, 1, "one scan fallback (knob={on})");
+            assert_eq!(hit, scan, "probe and fallback agree on bindings");
+            assert_eq!(scan, plain);
+            assert!(negated.is_empty(), "E(3,4) holds, so ¬E(3,4) filters");
+            runs.push((hit, negated, stats));
+        }
+        intern::set_enabled(true);
+        assert_eq!(runs[0], runs[1], "pooled and plain runs are identical");
     }
 
     #[test]

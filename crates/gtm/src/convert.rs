@@ -362,7 +362,7 @@ pub fn tm_to_gtm_cardinality(m: &Tm, c: Atom) -> Gtm {
 /// renaming of non-constant atoms. Returns `Ok(())` if running `m` on the
 /// σ-renamed input and applying σ⁻¹ to the output reproduces the direct
 /// run; `Err` carries the differing outputs.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::result_large_err)]
 pub fn renaming_invariance(
     m: &Gtm,
     db: &Database,

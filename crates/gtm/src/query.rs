@@ -130,7 +130,7 @@ pub fn run_gtm_query_governed(
 /// every combination of per-relation enumeration orders and compare.
 /// Factorial cost — small inputs only. Returns the common output if
 /// independent, or `Err` with two differing outputs.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::result_large_err)]
 pub fn check_order_independence(
     m: &Gtm,
     db: &Database,

@@ -23,7 +23,7 @@
 //! unbound-variable errors from scratch fires identically here.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use uset_deductive::datalog::{instantiate, match_row};
+use uset_deductive::datalog::{instantiate, match_row_cached, DlBindings, RowCache};
 use uset_deductive::{DlError, DlRule};
 use uset_object::{Database, EvalStats, Instance, Value};
 
@@ -84,8 +84,8 @@ pub(crate) fn delta_bindings(
     log: &DeltaLog,
     cache: &mut BTreeMap<String, Instance>,
     stats: &mut EvalStats,
-) -> Result<Vec<HashMap<String, Value>>, DlError> {
-    let mut bindings: Vec<HashMap<String, Value>> = vec![HashMap::new()];
+) -> Result<Vec<DlBindings>, DlError> {
+    let mut bindings: Vec<DlBindings> = vec![HashMap::new()];
     for (i, lit) in rule.body.iter().enumerate() {
         if bindings.is_empty() {
             break;
@@ -93,9 +93,10 @@ pub(crate) fn delta_bindings(
         let mut out = Vec::new();
         if i == pos {
             if lit.positive {
+                let mut rc_cache = RowCache::new();
                 for b in &bindings {
                     for row in delta_rows {
-                        match_row(&lit.atom.args, row, b, &mut out);
+                        match_row_cached(&lit.atom.args, row, b, &mut out, &mut rc_cache);
                     }
                 }
             } else {
@@ -115,9 +116,10 @@ pub(crate) fn delta_bindings(
             let view = if i < pos { left } else { right };
             if lit.positive {
                 if let Some(inst) = view_instance(&lit.atom.pred, view, state, log, cache) {
+                    let mut rc_cache = RowCache::new();
                     for b in &bindings {
                         for row in inst.iter() {
-                            match_row(&lit.atom.args, row, b, &mut out);
+                            match_row_cached(&lit.atom.args, row, b, &mut out, &mut rc_cache);
                         }
                     }
                 }
@@ -151,14 +153,14 @@ pub(crate) fn delta_bindings(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn body_bindings(
     rule: &DlRule,
-    seed: &HashMap<String, Value>,
+    seed: &DlBindings,
     view: View,
     state: &Database,
     log: &DeltaLog,
     cache: &mut BTreeMap<String, Instance>,
     stats: &mut EvalStats,
-) -> Result<Vec<HashMap<String, Value>>, DlError> {
-    let mut bindings: Vec<HashMap<String, Value>> = vec![seed.clone()];
+) -> Result<Vec<DlBindings>, DlError> {
+    let mut bindings: Vec<DlBindings> = vec![seed.clone()];
     for lit in &rule.body {
         if bindings.is_empty() {
             break;
@@ -166,9 +168,10 @@ pub(crate) fn body_bindings(
         let mut out = Vec::new();
         if lit.positive {
             if let Some(inst) = view_instance(&lit.atom.pred, view, state, log, cache) {
+                let mut rc_cache = RowCache::new();
                 for b in &bindings {
                     for row in inst.iter() {
-                        match_row(&lit.atom.args, row, b, &mut out);
+                        match_row_cached(&lit.atom.args, row, b, &mut out, &mut rc_cache);
                     }
                 }
             }
@@ -196,7 +199,7 @@ pub(crate) fn body_bindings(
 }
 
 /// Ground a rule's head under a final binding.
-pub(crate) fn head_row(rule: &DlRule, b: &HashMap<String, Value>) -> Result<Value, DlError> {
+pub(crate) fn head_row(rule: &DlRule, b: &DlBindings) -> Result<Value, DlError> {
     let vals: Vec<Value> = rule
         .head
         .args

@@ -147,6 +147,7 @@ pub fn powerset(members: &[Value]) -> Vec<Value> {
         let mut s = BTreeSet::new();
         for (i, m) in members.iter().enumerate() {
             if mask & (1 << i) != 0 {
+                // must stay: each subset owns its members
                 s.insert(m.clone());
             }
         }
@@ -176,6 +177,7 @@ pub fn powerset_par(members: &[Value], workers: usize) -> Vec<Value> {
             let mut s = BTreeSet::new();
             for (i, m) in members.iter().enumerate() {
                 if mask & (1 << i) != 0 {
+                    // must stay: each subset owns its members
                     s.insert(m.clone());
                 }
             }
@@ -186,21 +188,26 @@ pub fn powerset_par(members: &[Value], workers: usize) -> Vec<Value> {
     chunks.into_iter().flatten().collect()
 }
 
-/// Cartesian product of value columns, as tuples.
+/// Cartesian product of value columns, as tuples (row-major: the last
+/// column varies fastest). Rows are built by mixed-radix decomposition of
+/// the row index, so each cell is cloned exactly once — no intermediate
+/// prefix vectors are re-cloned per extension.
 pub fn cartesian(columns: &[Vec<Value>]) -> Vec<Value> {
-    let mut out: Vec<Vec<Value>> = vec![Vec::new()];
-    for col in columns {
-        let mut next = Vec::with_capacity(out.len() * col.len());
-        for prefix in &out {
-            for v in col {
-                let mut row = prefix.clone();
-                row.push(v.clone());
-                next.push(row);
-            }
-        }
-        out = next;
+    let total: usize = columns.iter().map(Vec::len).product();
+    if total == 0 {
+        return Vec::new();
     }
-    out.into_iter().map(Value::Tuple).collect()
+    let mut out = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut row = vec![Value::empty_set(); columns.len()];
+        let mut rem = idx;
+        for (j, col) in columns.iter().enumerate().rev() {
+            row[j] = col[rem % col.len()].clone();
+            rem /= col.len();
+        }
+        out.push(Value::Tuple(row));
+    }
+    out
 }
 
 /// [`cartesian`] with the row-index space split into contiguous ranges
@@ -316,6 +323,7 @@ fn compositions(n: usize) -> Vec<Vec<usize>> {
     fn rec(rem: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
         if rem == 0 {
             if !cur.is_empty() {
+                // must stay: backtracking snapshot of a Vec<usize>, cheap
                 out.push(cur.clone());
             }
             return;
@@ -339,6 +347,7 @@ fn pick_values(by_size: &[Vec<Value>], parts: &[usize], idx: usize) -> Result<Ve
     for v in &by_size[parts[idx]] {
         for suffix in &rest {
             let mut row = Vec::with_capacity(parts.len());
+            // must stay: every product row owns its cells
             row.push(v.clone());
             row.extend(suffix.iter().cloned());
             out.push(row);
@@ -368,6 +377,7 @@ fn pick_set_members(by_size: &[Vec<Value>], budget: usize) -> Vec<Vec<Value>> {
     ) {
         if rem == 0 {
             if !cur.is_empty() {
+                // must stay: backtracking snapshot of the chosen members
                 out.push(cur.clone());
             }
             return;
@@ -377,6 +387,7 @@ fn pick_set_members(by_size: &[Vec<Value>], budget: usize) -> Vec<Vec<Value>> {
             if sz == 0 || sz > rem {
                 continue;
             }
+            // must stay: the working set owns its candidate members
             cur.push((*v).clone());
             rec(pool, i + 1, rem - sz, cur, out);
             cur.pop();
@@ -400,6 +411,8 @@ pub fn ordinal_chain(seed: Atom, len: usize) -> Vec<Value> {
     }
     chain.push(Value::Atom(seed));
     while chain.len() < len {
+        // must stay in tree form: element k+1 contains copies of all
+        // previous elements (the pool shares them when interning is on)
         let next = Value::Set(chain.iter().cloned().collect());
         chain.push(next);
     }
@@ -418,6 +431,7 @@ pub fn singleton_chain(seed: Atom, len: usize) -> Vec<Value> {
     let mut out = Vec::with_capacity(len);
     let mut cur = Value::Atom(seed);
     for _ in 0..len {
+        // must stay: `cur` is both emitted and wrapped by the next step
         out.push(cur.clone());
         cur = Value::Set([cur].into_iter().collect());
     }

@@ -7,11 +7,13 @@
 
 use crate::atom::Atom;
 use crate::error::{ObjectError, Result};
+use crate::intern::{self, FxBuildHasher, ObjRef, Pool};
 use crate::rtype::{RType, Type};
 use crate::value::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Process-global source of instance mutation stamps. Every constructed
 /// or mutated [`Instance`] takes a fresh stamp, so two instances (or two
@@ -41,10 +43,82 @@ fn next_version() -> u64 {
 // reachable empty — every constructor with contents and every
 // successful mutation takes a fresh nonzero stamp — so any cache
 // stamped 0 describes the empty relation correctly.
-#[derive(Clone, Debug, Default)]
+#[derive(Default)]
 pub struct Instance {
     values: BTreeSet<Value>,
     version: u64,
+    /// Interned-id sidecar: the pool ids of exactly the members, valid
+    /// iff `refs.stamp == version` (mutations that cannot maintain it
+    /// drop it instead). Strictly demand-driven: built the first time
+    /// usage proves it pays — a membership probe against a large
+    /// instance, or a run of rejected duplicate inserts (fixpoint
+    /// extents) — and never eagerly on construction, so distinct-heavy
+    /// enumeration results (powersets, `cons_T`) pay nothing for it.
+    /// Consulted only while `USET_INTERN` is on; representation
+    /// metadata, never content — equality, ordering, hashing and
+    /// `Debug` ignore it.
+    refs: OnceLock<Box<RefSet>>,
+    /// Duplicate inserts rejected while no sidecar existed — the
+    /// adaptive trigger for building one (see [`DUP_SIDECAR_AFTER`]).
+    dup_rejects: u32,
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        let refs = OnceLock::new();
+        // carry a current sidecar over (the engines clone extents every
+        // round and immediately keep mutating them); a stale one is not
+        // worth hauling along
+        if let Some(rs) = self.refs.get() {
+            if rs.stamp == self.version {
+                let _ = refs.set(rs.clone());
+            }
+        }
+        Instance {
+            values: self.values.clone(),
+            version: self.version,
+            refs,
+            dup_rejects: self.dup_rejects,
+        }
+    }
+}
+
+/// The id sidecar of an [`Instance`]: one interned [`ObjRef`] per member.
+#[derive(Clone, Default)]
+struct RefSet {
+    /// The [`Instance::version`] this sidecar reflects.
+    stamp: u64,
+    ids: HashSet<ObjRef, FxBuildHasher>,
+}
+
+/// Probes against instances smaller than this never build a sidecar:
+/// the plain B-tree lookup is already cheap there, and interning the
+/// probe value would cost more than it saves.
+const SIDECAR_PROBE_MIN: usize = 16;
+
+/// Rejected duplicate inserts observed without a sidecar before one is
+/// built. Fixpoint extents cross this within a round or two;
+/// distinct-heavy enumeration results never do.
+const DUP_SIDECAR_AFTER: u32 = 16;
+
+/// Build a fresh sidecar for `values`, interning every member.
+fn build_refs(values: &BTreeSet<Value>, stamp: u64) -> RefSet {
+    let pool = Pool::global();
+    RefSet {
+        stamp,
+        ids: values.iter().map(|v| pool.intern(v)).collect(),
+    }
+}
+
+/// `Debug` matches the pre-sidecar derived output (values + version):
+/// the sidecar is representation, not content.
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Instance")
+            .field("values", &self.values)
+            .field("version", &self.version)
+            .finish()
+    }
 }
 
 impl PartialEq for Instance {
@@ -84,6 +158,8 @@ impl Instance {
         Instance {
             values: items.into_iter().collect(),
             version: next_version(),
+            refs: OnceLock::new(),
+            dup_rejects: 0,
         }
     }
 
@@ -93,12 +169,53 @@ impl Instance {
         R: IntoIterator<Item = Value>,
         I: IntoIterator<Item = R>,
     {
-        Instance {
-            values: rows
-                .into_iter()
-                .map(|r| Value::Tuple(r.into_iter().collect()))
-                .collect(),
-            version: next_version(),
+        Instance::from_values(
+            rows.into_iter()
+                .map(|r| Value::Tuple(r.into_iter().collect())),
+        )
+    }
+
+    /// The sidecar, iff it is live: interning on and stamp current.
+    fn valid_refs(&self) -> Option<&RefSet> {
+        if !intern::enabled() {
+            return None;
+        }
+        self.refs
+            .get()
+            .map(|b| &**b)
+            .filter(|rs| rs.stamp == self.version)
+    }
+
+    /// True iff a mutation can maintain the sidecar in place. A sidecar
+    /// that can no longer follow (stale stamp, or the knob turned off
+    /// mid-stream) is discarded here rather than ever serving wrong ids,
+    /// which also lets a later probe rebuild it against fresh contents.
+    fn live_sidecar(&mut self) -> bool {
+        match self.refs.get() {
+            Some(rs) if rs.stamp == self.version && intern::enabled() => true,
+            Some(_) => {
+                self.refs = OnceLock::new();
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Adaptive sidecar trigger: count duplicate inserts rejected the
+    /// slow way, and build the sidecar once they prove this instance is
+    /// a dedup-heavy accumulator (a fixpoint extent) rather than a
+    /// distinct-heavy enumeration result.
+    fn note_duplicate(&mut self) {
+        if !intern::enabled() {
+            return;
+        }
+        self.dup_rejects = self.dup_rejects.saturating_add(1);
+        if self.dup_rejects >= DUP_SIDECAR_AFTER {
+            self.dup_rejects = 0;
+            self.refs = OnceLock::new();
+            let _ = self
+                .refs
+                .set(Box::new(build_refs(&self.values, self.version)));
         }
     }
 
@@ -128,15 +245,73 @@ impl Instance {
 
     /// Insert an object; returns true if newly added.
     pub fn insert(&mut self, v: Value) -> bool {
+        if self.live_sidecar() {
+            let id = Pool::global().intern(&v);
+            let rs = self.refs.get_mut().expect("live sidecar");
+            if rs.ids.contains(&id) {
+                debug_assert!(self.values.contains(&v));
+                return false;
+            }
+            self.values.insert(v);
+            self.version = next_version();
+            let rs = self.refs.get_mut().expect("live sidecar");
+            rs.ids.insert(id);
+            rs.stamp = self.version;
+            return true;
+        }
         let added = self.values.insert(v);
         if added {
             self.version = next_version();
+        } else {
+            self.note_duplicate();
         }
         added
     }
 
+    /// Insert by reference, cloning `v` only if it is actually new —
+    /// the fixpoint engines' hot path, where the overwhelmingly common
+    /// case is a duplicate candidate that should cost one lookup and no
+    /// allocation.
+    pub fn insert_ref(&mut self, v: &Value) -> bool {
+        if self.live_sidecar() {
+            let id = Pool::global().intern(v);
+            let rs = self.refs.get_mut().expect("live sidecar");
+            if rs.ids.contains(&id) {
+                debug_assert!(self.values.contains(v));
+                return false;
+            }
+            self.values.insert(v.clone());
+            self.version = next_version();
+            let rs = self.refs.get_mut().expect("live sidecar");
+            rs.ids.insert(id);
+            rs.stamp = self.version;
+            return true;
+        }
+        if self.values.contains(v) {
+            self.note_duplicate();
+            return false;
+        }
+        self.values.insert(v.clone());
+        self.version = next_version();
+        true
+    }
+
     /// Remove an object; returns true if it was present.
     pub fn remove(&mut self, v: &Value) -> bool {
+        if self.live_sidecar() {
+            let id = Pool::global().intern(v);
+            let rs = self.refs.get_mut().expect("live sidecar");
+            if !rs.ids.contains(&id) {
+                debug_assert!(!self.values.contains(v));
+                return false;
+            }
+            self.values.remove(v);
+            self.version = next_version();
+            let rs = self.refs.get_mut().expect("live sidecar");
+            rs.ids.remove(&id);
+            rs.stamp = self.version;
+            return true;
+        }
         let removed = self.values.remove(v);
         if removed {
             self.version = next_version();
@@ -144,9 +319,44 @@ impl Instance {
         removed
     }
 
-    /// Membership test.
+    /// Membership test. Against a large instance this is one intern of
+    /// `v` plus an O(1) id lookup instead of O(log n) deep comparisons
+    /// down the tree; the first such probe builds the sidecar. Small
+    /// instances answer from the B-tree directly — interning the probe
+    /// would cost more than the lookup it replaces.
     pub fn contains(&self, v: &Value) -> bool {
+        if intern::enabled() && self.values.len() >= SIDECAR_PROBE_MIN {
+            let rs = self
+                .refs
+                .get_or_init(|| Box::new(build_refs(&self.values, self.version)));
+            if rs.stamp == self.version {
+                return rs.ids.contains(&Pool::global().intern(v));
+            }
+            // stale sidecar: the next mutation discards it; answer plainly
+        }
         self.values.contains(v)
+    }
+
+    /// Membership by pool id, when a sidecar can answer it — `None`
+    /// means the caller must fall back to [`Instance::contains`]. This
+    /// is the probe path that lets a negative literal test a bound row
+    /// without materializing the row as a fresh `Value::Tuple`; like
+    /// [`Instance::contains`], the first probe against a large instance
+    /// builds the sidecar.
+    pub fn contains_ref(&self, id: ObjRef) -> Option<bool> {
+        if !intern::enabled() {
+            return None;
+        }
+        if self.values.len() >= SIDECAR_PROBE_MIN {
+            let rs = self
+                .refs
+                .get_or_init(|| Box::new(build_refs(&self.values, self.version)));
+            if rs.stamp == self.version {
+                return Some(rs.ids.contains(&id));
+            }
+            return None;
+        }
+        self.valid_refs().map(|rs| rs.ids.contains(&id))
     }
 
     /// Iterate members in canonical order.
@@ -154,27 +364,84 @@ impl Instance {
         self.values.iter()
     }
 
+    /// Combine the sidecars of a binary set operation: when both sides
+    /// are live the result's ids come from the same O(1) id-set
+    /// operation (no re-interning). Otherwise the result starts without
+    /// a sidecar — demand on the result decides whether it ever grows
+    /// one, the same as any freshly built instance.
+    fn combined_refs(
+        &self,
+        other: &Instance,
+        stamp: u64,
+        op: impl Fn(
+            &HashSet<ObjRef, FxBuildHasher>,
+            &HashSet<ObjRef, FxBuildHasher>,
+        ) -> HashSet<ObjRef, FxBuildHasher>,
+    ) -> OnceLock<Box<RefSet>> {
+        let out = OnceLock::new();
+        if let (Some(a), Some(b)) = (self.valid_refs(), other.valid_refs()) {
+            let _ = out.set(Box::new(RefSet {
+                stamp,
+                ids: op(&a.ids, &b.ids),
+            }));
+        }
+        out
+    }
+
     /// Union with another instance.
     pub fn union(&self, other: &Instance) -> Instance {
+        // must stay: the result instance owns its members (use `absorb`
+        // for the in-place accumulating shape)
+        let values: BTreeSet<Value> = self.values.union(&other.values).cloned().collect();
+        let version = next_version();
+        let refs = self.combined_refs(other, version, |a, b| a.union(b).copied().collect());
         Instance {
-            values: self.values.union(&other.values).cloned().collect(),
-            version: next_version(),
+            values,
+            version,
+            refs,
+            dup_rejects: 0,
+        }
+    }
+
+    /// Union `other` into `self` in place, reusing the larger side's
+    /// allocation (sides are swapped wholesale when `other` is bigger,
+    /// so the work is proportional to the *smaller* side — the shape
+    /// the invention semantics' per-level accumulation needs, where one
+    /// side keeps growing and the other is a small increment).
+    pub fn absorb(&mut self, mut other: Instance) {
+        if other.values.len() > self.values.len() {
+            std::mem::swap(self, &mut other);
+        }
+        for v in other.values {
+            self.insert(v);
         }
     }
 
     /// Set difference `self − other`.
     pub fn difference(&self, other: &Instance) -> Instance {
+        // must stay: the result instance owns its members
+        let values: BTreeSet<Value> = self.values.difference(&other.values).cloned().collect();
+        let version = next_version();
+        let refs = self.combined_refs(other, version, |a, b| a.difference(b).copied().collect());
         Instance {
-            values: self.values.difference(&other.values).cloned().collect(),
-            version: next_version(),
+            values,
+            version,
+            refs,
+            dup_rejects: 0,
         }
     }
 
     /// Intersection with another instance.
     pub fn intersection(&self, other: &Instance) -> Instance {
+        // must stay: the result instance owns its members
+        let values: BTreeSet<Value> = self.values.intersection(&other.values).cloned().collect();
+        let version = next_version();
+        let refs = self.combined_refs(other, version, |a, b| a.intersection(b).copied().collect());
         Instance {
-            values: self.values.intersection(&other.values).cloned().collect(),
-            version: next_version(),
+            values,
+            version,
+            refs,
+            dup_rejects: 0,
         }
     }
 
@@ -207,22 +474,25 @@ impl Instance {
 
     /// Apply an atom renaming to every member.
     pub fn map_atoms(&self, f: &mut impl FnMut(Atom) -> Atom) -> Instance {
-        Instance {
-            values: self.values.iter().map(|v| v.map_atoms(f)).collect(),
-            version: next_version(),
-        }
+        Instance::from_values(self.values.iter().map(|v| v.map_atoms(f)))
     }
 
     /// View this instance as a single set object `{v1, …, vn}`.
     pub fn to_set_value(&self) -> Value {
+        // must stay: the set object owns its members
         Value::Set(self.values.clone())
     }
 
     /// Build an instance from a set object's members.
     pub fn from_set_value(v: &Value) -> Option<Instance> {
-        v.as_set().map(|s| Instance {
-            values: s.clone(),
-            version: next_version(),
+        v.as_set().map(|s| {
+            Instance {
+                // must stay: the instance owns its members
+                values: s.clone(),
+                version: next_version(),
+                refs: OnceLock::new(),
+                dup_rejects: 0,
+            }
         })
     }
 
@@ -364,7 +634,8 @@ impl Database {
     }
 
     /// Fetch a relation; absent relations read as empty (the convention used
-    /// by the fixpoint languages).
+    /// by the fixpoint languages). This deep-clones the whole relation —
+    /// hot paths should borrow via [`Database::get_ref`] instead.
     pub fn get(&self, name: &str) -> Instance {
         self.relations.get(name).cloned().unwrap_or_default()
     }
@@ -381,12 +652,10 @@ impl Database {
     /// fixpoint) cost one lookup and no allocation.
     pub fn insert_row(&mut self, name: &str, row: &Value) -> bool {
         if let Some(rel) = self.relations.get_mut(name) {
-            if rel.contains(row) {
-                return false;
-            }
-            return rel.insert(row.clone());
+            return rel.insert_ref(row);
         }
         self.relations
+            // must stay: only the first row of a brand-new relation clones
             .insert(name.to_owned(), Instance::from_values([row.clone()]));
         true
     }
@@ -639,6 +908,75 @@ mod tests {
         assert_eq!(db, Database::empty());
         // Removing from an absent relation is a clean no-op.
         assert!(!db.remove_row("R", &tuple([atom(1), atom(2)])));
+    }
+
+    /// The id sidecar must answer membership exactly as the tree does,
+    /// across every mutation path and both knob settings.
+    #[test]
+    fn sidecar_membership_agrees_with_tree() {
+        for on in [true, false] {
+            let was = crate::intern::enabled();
+            crate::intern::set_enabled(on);
+            let mut inst = Instance::from_values([atom(1), set([atom(2)])]);
+            assert!(inst.contains(&atom(1)));
+            assert!(!inst.contains(&atom(9)));
+            assert!(inst.insert(tuple([atom(3), atom(4)])));
+            assert!(!inst.insert(tuple([atom(3), atom(4)])));
+            assert!(inst.contains(&tuple([atom(3), atom(4)])));
+            assert!(inst.remove(&atom(1)));
+            assert!(!inst.remove(&atom(1)));
+            assert!(!inst.contains(&atom(1)));
+            assert!(inst.insert_ref(&set([atom(2), atom(5)])));
+            assert!(!inst.insert_ref(&set([atom(2), atom(5)])));
+            assert_eq!(inst.len(), 3);
+            // A pristine default grows into sidecar maintenance too.
+            let mut fresh = Instance::empty();
+            assert!(fresh.insert(atom(42)));
+            assert!(fresh.contains(&atom(42)));
+            crate::intern::set_enabled(was);
+        }
+    }
+
+    /// Set operations keep the sidecar consistent whether derived from
+    /// both sides' ids or rebuilt.
+    #[test]
+    fn sidecar_survives_set_operations() {
+        let a = Instance::from_values([atom(1), atom(2), set([atom(7)])]);
+        let b = Instance::from_values([atom(2), atom(3)]);
+        let u = a.union(&b);
+        assert!(u.contains(&atom(1)) && u.contains(&atom(3)) && u.contains(&set([atom(7)])));
+        assert!(!u.contains(&atom(4)));
+        let d = a.difference(&b);
+        assert!(d.contains(&atom(1)) && !d.contains(&atom(2)));
+        let i = a.intersection(&b);
+        assert!(i.contains(&atom(2)) && !i.contains(&atom(1)));
+    }
+
+    #[test]
+    fn absorb_is_union_into_reusing_larger_side() {
+        let mut big = Instance::from_values([atom(1), atom(2), atom(3)]);
+        let small = Instance::from_values([atom(3), atom(4)]);
+        big.absorb(small);
+        assert_eq!(
+            big,
+            Instance::from_values([atom(1), atom(2), atom(3), atom(4)])
+        );
+        // The swap direction: absorbing a larger instance into a
+        // smaller one must end with the same union.
+        let mut tiny = Instance::from_values([atom(9)]);
+        let large = Instance::from_values([atom(1), atom(2), atom(3)]);
+        tiny.absorb(large);
+        assert_eq!(
+            tiny,
+            Instance::from_values([atom(1), atom(2), atom(3), atom(9)])
+        );
+        assert!(tiny.contains(&atom(9)), "sidecar follows the swap");
+        // Absorbing emptiness in either direction is the identity.
+        let mut e = Instance::empty();
+        e.absorb(Instance::from_values([atom(5)]));
+        assert_eq!(e, Instance::from_values([atom(5)]));
+        e.absorb(Instance::empty());
+        assert_eq!(e.len(), 1);
     }
 
     #[test]

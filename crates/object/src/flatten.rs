@@ -117,6 +117,7 @@ fn flatten_rec(
         return id;
     }
     let id = inventor.fresh();
+    // must stay: the memo key outlives the borrowed subtree
     memo.insert(v.clone(), id);
     match v {
         Value::Atom(a) => {

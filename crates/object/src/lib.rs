@@ -26,8 +26,10 @@
 //!   counters ([`stats`]).
 //!
 //! The crate is deliberately free of interior mutability and global state
-//! except for the process-wide atom name interner, which only affects
-//! `Display` output, never semantics.
+//! except for the process-wide atom name interner (which only affects
+//! `Display` output, never semantics) and the hash-consing object pool
+//! ([`intern`]), which is advisory: it changes how objects are stored
+//! and compared, never what any evaluation computes.
 
 pub mod atom;
 pub mod cons;
@@ -35,6 +37,7 @@ pub mod database;
 pub mod error;
 pub mod flatten;
 pub mod index;
+pub mod intern;
 pub mod lists;
 pub mod perm;
 pub mod rtype;
@@ -45,6 +48,7 @@ pub use atom::Atom;
 pub use database::{Database, Instance, Schema};
 pub use error::{ObjectError, Result};
 pub use index::{ColumnIndex, IndexSet};
+pub use intern::{InternStats, ObjRef, Pool};
 pub use rtype::{RType, Type};
 pub use stats::EvalStats;
 pub use value::Value;

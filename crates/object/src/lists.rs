@@ -89,6 +89,7 @@ pub fn list_to_values(list: &Value) -> Option<Vec<Value>> {
         if items.len() != 2 {
             return None;
         }
+        // must stay: the flattened element list owns its cells
         out.push(items[0].clone());
         cur = &items[1];
     }
@@ -108,6 +109,7 @@ pub fn list_chain(seed: Atom, len: usize) -> Vec<Value> {
     let mut out = Vec::with_capacity(len);
     let mut cur = nil();
     for _ in 0..len {
+        // must stay: `cur` is both emitted and extended by the next step
         out.push(cur.clone());
         cur = cons(Value::Atom(seed), cur);
     }

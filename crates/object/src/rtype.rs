@@ -184,6 +184,7 @@ impl RType {
     /// operation (e.g. union) merges differently-shaped operands.
     pub fn join(&self, other: &RType) -> RType {
         match (self, other) {
+            // must stay: the joined type is an owned result
             (a, b) if a == b => a.clone(),
             (RType::Set(a), RType::Set(b)) => RType::Set(Box::new(a.join(b))),
             (RType::Tuple(xs), RType::Tuple(ys)) if xs.len() == ys.len() => {

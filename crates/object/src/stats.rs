@@ -9,7 +9,16 @@
 
 /// Cumulative work counters for one evaluation (or several, when reused
 /// across strata — counters only ever accumulate).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// The first six fields are *work* counters: they measure what the engine
+/// logically did and must be bit-identical across representation choices
+/// (interning on/off, parallel widths, checkpoint resume). The `intern_*`
+/// fields are *advisory* pool-attribution counters: they describe how the
+/// hash-consing layer served that work, legitimately differ between an
+/// interned and a plain run (or across a kill/resume that re-warms the
+/// pool), and are therefore excluded from equality, `Display`, and the
+/// checkpoint codec.
+#[derive(Clone, Copy, Debug, Default, Eq)]
 pub struct EvalStats {
     /// Fixpoint rounds executed.
     pub rounds: u64,
@@ -26,6 +35,30 @@ pub struct EvalStats {
     pub scan_fallbacks: u64,
     /// Largest total fact count observed in the evolving state.
     pub peak_facts: usize,
+    /// Distinct objects the hash-consing pool stored during this
+    /// evaluation (advisory; see the struct docs).
+    pub objects_interned: u64,
+    /// Intern calls the pool answered from an existing record —
+    /// each one is a deep traversal (hash/compare/clone) that the
+    /// sharing avoided (advisory).
+    pub intern_hits: u64,
+    /// Estimated heap bytes structural sharing avoided allocating
+    /// (advisory).
+    pub bytes_shared_estimate: u64,
+}
+
+/// Equality covers the work counters only: interned and plain runs of
+/// the same program must compare equal even though their pool
+/// attribution differs.
+impl PartialEq for EvalStats {
+    fn eq(&self, other: &EvalStats) -> bool {
+        self.rounds == other.rounds
+            && self.rules_fired == other.rules_fired
+            && self.tuples_derived == other.tuples_derived
+            && self.index_probes == other.index_probes
+            && self.scan_fallbacks == other.scan_fallbacks
+            && self.peak_facts == other.peak_facts
+    }
 }
 
 impl EvalStats {
@@ -44,9 +77,24 @@ impl EvalStats {
         self.index_probes += other.index_probes;
         self.scan_fallbacks += other.scan_fallbacks;
         self.peak_facts = self.peak_facts.max(other.peak_facts);
+        self.objects_interned += other.objects_interned;
+        self.intern_hits += other.intern_hits;
+        self.bytes_shared_estimate += other.bytes_shared_estimate;
+    }
+
+    /// Attribute pool counter movement to this evaluation: callers
+    /// snapshot [`crate::Pool::stats`] on entry and pass the delta on
+    /// exit.
+    pub fn note_intern(&mut self, delta: &crate::intern::InternStats) {
+        self.objects_interned += delta.objects_interned;
+        self.intern_hits += delta.intern_hits;
+        self.bytes_shared_estimate += delta.bytes_shared_estimate;
     }
 }
 
+/// `Display` prints the work counters only (the stable six-field line
+/// examples and traces were built against); pool attribution is read
+/// from the fields or [`crate::Pool::stats`] directly.
 impl std::fmt::Display for EvalStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -75,6 +123,7 @@ mod tests {
             index_probes: 5,
             scan_fallbacks: 2,
             peak_facts: 40,
+            ..EvalStats::default()
         };
         let b = EvalStats {
             rounds: 3,
@@ -83,6 +132,7 @@ mod tests {
             index_probes: 1,
             scan_fallbacks: 1,
             peak_facts: 7,
+            ..EvalStats::default()
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -100,5 +150,26 @@ mod tests {
         s.observe_facts(9);
         s.observe_facts(6);
         assert_eq!(s.peak_facts, 9);
+    }
+
+    #[test]
+    fn intern_counters_are_advisory() {
+        let mut a = EvalStats {
+            rounds: 1,
+            ..EvalStats::default()
+        };
+        let mut b = a;
+        b.objects_interned = 100;
+        b.intern_hits = 50;
+        b.bytes_shared_estimate = 4096;
+        // Same work, different pool attribution: still equal, same line.
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(!a.to_string().contains("intern"));
+        // ...but absorb carries them for the bench harness.
+        a.absorb(&b);
+        assert_eq!(a.objects_interned, 100);
+        assert_eq!(a.intern_hits, 50);
+        assert_eq!(a.rounds, 2);
     }
 }

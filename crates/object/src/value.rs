@@ -86,6 +86,23 @@ impl Value {
         other.as_set().is_some_and(|s| s.contains(self))
     }
 
+    /// Union `other` into this set in place, reusing the larger side's
+    /// allocation: when `other` has more members the two sides are
+    /// swapped wholesale before merging, so the tree-insert work is
+    /// proportional to the *smaller* side. Returns true iff both values
+    /// were sets (nothing is touched otherwise) — the replacement for
+    /// the collect-into-a-fresh-`BTreeSet`-then-union pattern.
+    pub fn union_into(&mut self, other: Value) -> bool {
+        let (Value::Set(mine), Value::Set(mut theirs)) = (&mut *self, other) else {
+            return false;
+        };
+        if theirs.len() > mine.len() {
+            std::mem::swap(mine, &mut theirs);
+        }
+        mine.extend(theirs);
+        true
+    }
+
     /// The atomic (active) domain `adom(X)`: the set of atoms used in
     /// building this object.
     pub fn adom(&self) -> BTreeSet<Atom> {
@@ -242,6 +259,24 @@ mod tests {
         assert!(t.member_of(&s));
         assert!(!atom(1).member_of(&s));
         assert!(!atom(1).member_of(&atom(2)));
+    }
+
+    #[test]
+    fn union_into_merges_sets_in_place() {
+        let mut a = set([atom(1), atom(2), atom(3)]);
+        assert!(a.union_into(set([atom(3), atom(4)])));
+        assert_eq!(a, set([atom(1), atom(2), atom(3), atom(4)]));
+        // Swap direction: small ∪= big keeps the union correct.
+        let mut b = set([atom(9)]);
+        assert!(b.union_into(set([atom(1), atom(2), atom(3)])));
+        assert_eq!(b, set([atom(1), atom(2), atom(3), atom(9)]));
+        // Non-sets are left untouched on either side.
+        let mut t = tuple([atom(1)]);
+        assert!(!t.union_into(set([atom(2)])));
+        assert_eq!(t, tuple([atom(1)]));
+        let mut s = set([atom(1)]);
+        assert!(!s.union_into(atom(2)));
+        assert_eq!(s, set([atom(1)]));
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Differential suite for the hash-consing pool (`uset_object::intern`):
+//! interning must be **observationally invisible**. On random programs,
+//! a run with the pool enabled must produce final states bit-identical
+//! to the plain (knob-off) run, identical `EvalStats` work counters,
+//! and byte-identical JSONL traces — across both COL strategies and
+//! both semantics, at par widths 1 and 4, and across a checkpoint
+//! kill/resume (in both knob directions: a WAL written pooled resumes
+//! plain and vice versa, since snapshot bytes never encode pool ids).
+//!
+//! The `USET_INTERN` knob is process-global, so every test that toggles
+//! it serializes on one mutex and restores the default (on) before
+//! releasing it.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use untyped_sets::deductive::col::ast::{ColLiteral, ColProgram, ColRule, ColTerm};
+use untyped_sets::deductive::col::eval::{
+    inflationary_governed, stratified_governed, ColConfig, ColStrategy,
+};
+use untyped_sets::deductive::{DatalogProgram, DlAtom, DlRule, DlTerm};
+use untyped_sets::guard::{FailPoint, Governor, Resource};
+use untyped_sets::object::{atom, intern, Atom, Database, EvalStats, Instance, Value};
+use untyped_sets::par::ParConfig;
+use untyped_sets::trace::{JsonlTracer, TraceHandle};
+
+/// Par widths the acceptance criteria pin: sequential and a real fan-out.
+const WIDTHS: [usize; 2] = [1, 4];
+
+static KNOB: Mutex<()> = Mutex::new(());
+
+/// Run `f` twice — pool enabled, then disabled — under the knob lock,
+/// restoring the default (enabled) afterwards. Returns (pooled, plain).
+fn paired<T>(f: impl Fn() -> T) -> (T, T) {
+    let _g = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    intern::set_enabled(true);
+    let pooled = f();
+    intern::set_enabled(false);
+    let plain = f();
+    intern::set_enabled(true);
+    (pooled, plain)
+}
+
+fn a(id: u64) -> Value {
+    Value::Atom(Atom::new(id))
+}
+
+fn arb_graph() -> impl Strategy<Value = Database> {
+    prop::collection::vec((0u64..6, 0u64..6), 0..12).prop_map(|edges| {
+        let mut db = Database::empty();
+        db.set(
+            "R",
+            Instance::from_rows(edges.into_iter().map(|(x, y)| [a(x), a(y)])),
+        );
+        db
+    })
+}
+
+fn governor(workers: usize) -> Governor {
+    Governor::unlimited().with_par(ParConfig::workers(workers))
+}
+
+/// TC + a negation stratum, so the suite covers the negated-literal
+/// `ObjRef` probe path as well as the positive index probes.
+fn dl_tc_neg_prog() -> DatalogProgram {
+    let v = DlTerm::var;
+    DatalogProgram::new(vec![
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("y")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("T", vec![v("x"), v("z")]),
+            vec![
+                (true, DlAtom::new("R", vec![v("x"), v("y")])),
+                (true, DlAtom::new("T", vec![v("y"), v("z")])),
+            ],
+        ),
+        DlRule::new(
+            DlAtom::new("N", vec![v("x")]),
+            vec![(true, DlAtom::new("R", vec![v("x"), v("y")]))],
+        ),
+        DlRule::new(
+            DlAtom::new("NT", vec![v("x"), v("y")]),
+            vec![
+                (true, DlAtom::new("N", vec![v("x")])),
+                (true, DlAtom::new("N", vec![v("y")])),
+                (false, DlAtom::new("T", vec![v("x"), v("y")])),
+            ],
+        ),
+    ])
+}
+
+fn col_tc_neg_prog() -> ColProgram {
+    let v = ColTerm::var;
+    ColProgram::new(vec![
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("y")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "T",
+            vec![v("x"), v("z")],
+            vec![
+                ColLiteral::pred("R", vec![v("x"), v("y")]),
+                ColLiteral::pred("T", vec![v("y"), v("z")]),
+            ],
+        ),
+        ColRule::pred(
+            "N",
+            vec![v("x")],
+            vec![ColLiteral::pred("R", vec![v("x"), v("y")])],
+        ),
+        ColRule::pred(
+            "NT",
+            vec![v("x"), v("y")],
+            vec![
+                ColLiteral::pred("N", vec![v("x")]),
+                ColLiteral::pred("N", vec![v("y")]),
+                ColLiteral::not_pred("T", vec![v("x"), v("y")]),
+            ],
+        ),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DATALOG¬ (stratified semi-naive and inflationary): pooled ≡ plain
+    /// on random graphs — states and work counters — at widths 1 and 4.
+    #[test]
+    fn datalog_pooled_matches_plain(db in arb_graph()) {
+        let prog = dl_tc_neg_prog();
+        for workers in WIDTHS {
+            let (pooled, plain) = paired(|| {
+                let mut stats = EvalStats::default();
+                let strat = prog
+                    .eval_stratified_seminaive_governed(&db, &governor(workers), &mut stats)
+                    .unwrap();
+                let mut infl_stats = EvalStats::default();
+                let infl = prog
+                    .eval_inflationary_governed(&db, &governor(workers), &mut infl_stats)
+                    .unwrap();
+                (strat, stats, infl, infl_stats)
+            });
+            assert_eq!(pooled.0, plain.0, "stratified state, width {workers}");
+            assert_eq!(pooled.1, plain.1, "stratified stats, width {workers}");
+            assert_eq!(pooled.2, plain.2, "inflationary state, width {workers}");
+            assert_eq!(pooled.3, plain.3, "inflationary stats, width {workers}");
+        }
+    }
+
+    /// COL: pooled ≡ plain under both fixpoint strategies and both
+    /// semantics, at widths 1 and 4.
+    #[test]
+    fn col_pooled_matches_plain(db in arb_graph()) {
+        let prog = col_tc_neg_prog();
+        let cfg = ColConfig::default();
+        for strategy in [ColStrategy::Naive, ColStrategy::Seminaive] {
+            for workers in WIDTHS {
+                let (pooled, plain) = paired(|| {
+                    let mut stats = EvalStats::default();
+                    let strat = stratified_governed(
+                        &prog, &db, &cfg, strategy, &governor(workers), &mut stats,
+                    )
+                    .unwrap();
+                    let mut infl_stats = EvalStats::default();
+                    let infl = inflationary_governed(
+                        &prog, &db, &cfg, strategy, &governor(workers), &mut infl_stats,
+                    )
+                    .unwrap();
+                    (strat, stats, infl, infl_stats)
+                });
+                assert_eq!(pooled.0, plain.0, "state {strategy:?} width {workers}");
+                assert_eq!(pooled.1, plain.1, "stats {strategy:?} width {workers}");
+                assert_eq!(pooled.2, plain.2, "infl state {strategy:?} width {workers}");
+                assert_eq!(pooled.3, plain.3, "infl stats {strategy:?} width {workers}");
+            }
+        }
+    }
+
+    /// Calculus (limited interpretation): pooled ≡ plain on random
+    /// graphs. Exercises the domain cache and the `get_ref` probe path.
+    #[test]
+    fn calculus_pooled_matches_plain(db in arb_graph()) {
+        use untyped_sets::calculus::{eval_query, CalcConfig, CalcQuery, CalcTerm, Formula};
+        use untyped_sets::object::RType;
+        // the identity query { t / [U,U] | R(t) } over the random graph
+        let q = CalcQuery::new(
+            "t",
+            RType::Tuple(vec![RType::Atomic, RType::Atomic]),
+            Formula::Pred("R".into(), CalcTerm::var("t")),
+        );
+        let (pooled, plain) = paired(|| eval_query(&q, &db, &CalcConfig::default()).unwrap());
+        assert_eq!(pooled, plain);
+    }
+}
+
+/// Scrub wall-clock fields (`wall_us`, `wall_micros`) from a JSONL
+/// trace: timing is the only field allowed to vary between runs.
+fn scrub_wall(text: &str) -> String {
+    let mut s = text.to_owned();
+    for key in ["\"wall_us\":", "\"wall_micros\":"] {
+        let mut from = 0;
+        while let Some(rel) = s[from..].find(key) {
+            let start = from + rel + key.len();
+            let end = s[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(s.len(), |e| start + e);
+            s.replace_range(start..end, "0");
+            from = start + 1;
+        }
+    }
+    s
+}
+
+/// JSONL traces are byte-identical pooled vs plain (modulo wall-clock),
+/// sequentially and at width 4: interning may never change derivation
+/// order, round boundaries, or any counted quantity a trace records.
+#[test]
+fn traces_byte_identical_pooled_vs_plain() {
+    let run = |workers: usize, tag: &str| -> String {
+        let path = std::env::temp_dir().join(format!(
+            "uset-intern-trace-{}-{workers}-{tag}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = JsonlTracer::create(&path).expect("create trace file");
+            let governor = Governor::unlimited()
+                .with_trace(TraceHandle::new(Arc::new(sink)))
+                .with_par(ParConfig::workers(workers));
+            let mut stats = EvalStats::default();
+            stratified_governed(
+                &col_tc_neg_prog(),
+                &{
+                    let mut db = Database::empty();
+                    db.set(
+                        "R",
+                        Instance::from_rows((0..11).map(|i| [atom(i), atom(i + 1)])),
+                    );
+                    db
+                },
+                &ColConfig::default(),
+                ColStrategy::Seminaive,
+                &governor,
+                &mut stats,
+            )
+            .unwrap();
+        }
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        std::fs::remove_file(&path).ok();
+        scrub_wall(&text)
+    };
+    for workers in WIDTHS {
+        let (pooled, plain) = paired(|| run(workers, "x"));
+        assert_eq!(
+            pooled, plain,
+            "width {workers}: pooled trace must be byte-identical to plain"
+        );
+        assert!(pooled.contains("\"ev\":\"rule_fired\""));
+    }
+}
+
+/// The pooled run attributes its advisory counters without perturbing
+/// the six governed work counters: on a fixed workload the pooled run
+/// reports interning work, the plain run reports none, and the two
+/// compare equal anyway (advisory fields are excluded from
+/// `EvalStats::eq`).
+#[test]
+fn advisory_intern_counters_do_not_affect_equality() {
+    let prog = dl_tc_neg_prog();
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows((0..8).map(|i| [atom(i), atom(i + 1)])),
+    );
+    let (pooled, plain) = paired(|| {
+        let mut stats = EvalStats::default();
+        let out = prog
+            .eval_stratified_seminaive_governed(&db, &governor(1), &mut stats)
+            .unwrap();
+        (out, stats)
+    });
+    assert_eq!(pooled.0, plain.0);
+    assert_eq!(pooled.1, plain.1, "work counters are knob-independent");
+    assert!(
+        pooled.1.objects_interned + pooled.1.intern_hits > 0,
+        "pooled run must attribute pool activity"
+    );
+    assert_eq!(
+        plain.1.objects_interned + plain.1.intern_hits,
+        0,
+        "plain run must not touch the pool"
+    );
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("uset-intern-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Crash/resume across the knob: a run killed with the pool enabled must
+/// resume correctly with it disabled (and vice versa), because snapshot
+/// bytes never encode pool ids — the shared-subtree backrefs are
+/// knob-portable post-order sequence numbers any decoder accepts.
+#[test]
+fn ckpt_kill_resume_is_knob_portable() {
+    use untyped_sets::ckpt::Spec;
+    let prog = dl_tc_neg_prog();
+    let db = path_db_r(10);
+    // plain uninterrupted reference
+    let _g = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    intern::set_enabled(false);
+    let mut ref_stats = EvalStats::default();
+    let reference = prog
+        .eval_stratified_seminaive_governed(&db, &Governor::unlimited(), &mut ref_stats)
+        .expect("reference run");
+    for (crash_pooled, tag) in [(true, "on-off"), (false, "off-on")] {
+        let dir = tmpdir(tag);
+        let mut crashed = false;
+        // sweep the crash over every tick; each resumed run flips the knob
+        for tick in 1..10_000 {
+            intern::set_enabled(crash_pooled);
+            let gov = Governor::unlimited()
+                .with_failpoint(FailPoint::die_at(tick))
+                .with_ckpt(Spec::new(&dir).with_every(1));
+            let mut stats = EvalStats::default();
+            match prog.eval_stratified_seminaive_governed(&db, &gov, &mut stats) {
+                Ok(out) => {
+                    assert_eq!(out, reference);
+                    assert!(crashed, "sweep never crashed ({tag})");
+                    break;
+                }
+                Err(untyped_sets::deductive::DlError::Exhausted(report)) => {
+                    assert_eq!(report.resource(), Resource::Died);
+                    crashed = true;
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+            // resume with the opposite knob setting
+            intern::set_enabled(!crash_pooled);
+            let gov = Governor::unlimited().with_ckpt(Spec::new(&dir).with_every(1));
+            let mut stats = EvalStats::default();
+            let out = prog
+                .eval_stratified_seminaive_governed(&db, &gov, &mut stats)
+                .expect("resumed run completes");
+            assert_eq!(out, reference, "{tag}: state diverged at tick {tick}");
+            assert_eq!(stats, ref_stats, "{tag}: stats diverged at tick {tick}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    intern::set_enabled(true);
+}
+
+/// `path_db` over relation `R` (the programs in this suite read `R`).
+fn path_db_r(n: u64) -> Database {
+    let mut db = Database::empty();
+    db.set(
+        "R",
+        Instance::from_rows((0..n.saturating_sub(1)).map(|i| [atom(i), atom(i + 1)])),
+    );
+    db
+}
